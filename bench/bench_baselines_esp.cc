@@ -1,0 +1,156 @@
+// bench_baselines_esp — paper §5.1/§5.3 update-path comparison: AIM's
+// event processing rate versus the commercial systems' (System M could do
+// ~100 ev/s, System D ~200 ev/s, HyPer ~5.5k in isolation / ~1.9k with one
+// RTA client; AIM 10k+/node — two orders of magnitude over M/D).
+//
+// The decisive ingredient is CONCURRENT analytics — the paper's workload
+// always has ad-hoc queries in flight. Architecturally:
+//   AIM        updates land in the delta; scans read the main — updates
+//              never wait for queries (delta-main, Appendix A handshake);
+//   System M   pure column store: every scan holds a reader lock for its
+//              full pass, starving the writer, which additionally pays the
+//              ~550-column gather/scatter per event;
+//   System D   row store: scans block the writer too, plus secondary-index
+//              maintenance per update;
+//   HyPer-CoW  writers never block, but pay a page copy for every first
+//              touch while any snapshot is live.
+//
+// Each system is measured twice: update-only (isolation) and with two
+// closed-loop analyst threads running the Q1-style scan mix.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "aim/baselines/cow_store.h"
+#include "aim/baselines/indexed_row_store.h"
+#include "aim/baselines/pure_column_store.h"
+#include "bench_common.h"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace {
+
+constexpr std::uint64_t kEntities = 5000;
+constexpr double kSeconds = 2.0;
+constexpr int kAnalysts = 2;
+
+/// Update throughput of a BaselineStore, optionally under analyst load.
+double MeasureBaseline(const WorkloadSetup& setup, BaselineStore* store,
+                       bool with_analysts) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> analysts;
+  if (with_analysts) {
+    for (int a = 0; a < kAnalysts; ++a) {
+      analysts.emplace_back([&, a] {
+        QueryWorkload workload(setup.schema.get(), &setup.dims, 600 + a);
+        while (!stop.load(std::memory_order_acquire)) {
+          (void)store->Execute(workload.Next());
+        }
+      });
+    }
+  }
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  Timestamp now = 0;
+  Stopwatch sw;
+  std::uint64_t n = 0;
+  while (sw.ElapsedSeconds() < kSeconds) {
+    AIM_CHECK(store->ApplyEvent(gen.Next(now += 10)).ok());
+    ++n;
+  }
+  const double eps = static_cast<double>(n) / sw.ElapsedSeconds();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : analysts) t.join();
+  return eps;
+}
+
+/// AIM measured on its threaded storage node (1 partition, 1 ESP thread),
+/// optionally with closed-loop clients — the deployment whose concurrency
+/// story is under test.
+double MeasureAim(const WorkloadSetup& setup, bool with_analysts) {
+  auto cluster = MakeCluster(setup, kEntities, /*nodes=*/1, /*partitions=*/1,
+                             /*esp_threads=*/1);
+  MixedOptions opts;
+  opts.entities = kEntities;
+  opts.target_eps = 0;  // as fast as the node accepts
+  opts.clients = with_analysts ? kAnalysts : 0;
+  opts.seconds = kSeconds;
+  const MixedResult r = RunMixedWorkload(cluster.get(), setup, opts);
+  cluster->Stop();
+  return r.esp_eps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== bench_baselines_esp (paper §5.1: event rates, isolation and "
+      "under concurrent analytics) ===\n");
+  WorkloadSetup setup = MakeSetup(/*full_schema=*/true, /*num_rules=*/0);
+
+  std::vector<std::uint8_t> row(setup.schema->record_size(), 0);
+  auto load = [&](BaselineStore* store) {
+    for (EntityId e = 1; e <= kEntities; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*setup.schema, setup.dims, e, kEntities,
+                            row.data());
+      AIM_CHECK(store->Load(e, row.data()).ok());
+    }
+  };
+
+  std::printf("%-22s %16s %22s %10s\n", "system", "isolated ev/s",
+              "with analytics ev/s", "vs AIM");
+
+  const double aim_isolated = MeasureAim(setup, false);
+  const double aim_mixed = MeasureAim(setup, true);
+  std::printf("%-22s %16.0f %22.0f %9.2fx\n", "AIM (delta-main)",
+              aim_isolated, aim_mixed, 1.0);
+
+  {
+    PureColumnStore::Options opts;
+    opts.max_records = kEntities + 64;
+    PureColumnStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    load(&store);
+    const double isolated = MeasureBaseline(setup, &store, false);
+    const double mixed = MeasureBaseline(setup, &store, true);
+    std::printf("%-22s %16.0f %22.0f %9.2fx\n", store.name().c_str(),
+                isolated, mixed, mixed / aim_mixed);
+  }
+  {
+    IndexedRowStore::Options opts;
+    opts.max_records = kEntities + 64;
+    for (const char* attr :
+         {"number_of_local_calls_this_week", "number_of_calls_this_week",
+          "total_duration_of_local_calls_this_week", "zip",
+          "subscription_type", "category", "cell_value_type"}) {
+      opts.indexed_attrs.push_back(setup.schema->FindAttribute(attr));
+    }
+    IndexedRowStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    load(&store);
+    const double isolated = MeasureBaseline(setup, &store, false);
+    const double mixed = MeasureBaseline(setup, &store, true);
+    std::printf("%-22s %16.0f %22.0f %9.2fx\n", store.name().c_str(),
+                isolated, mixed, mixed / aim_mixed);
+  }
+  {
+    CowStore::Options opts;
+    opts.max_records = kEntities + 64;
+    CowStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    load(&store);
+    const double isolated = MeasureBaseline(setup, &store, false);
+    const double mixed = MeasureBaseline(setup, &store, true);
+    std::printf("%-22s %16.0f %22.0f %9.2fx  (%llu pages copied)\n",
+                store.name().c_str(), isolated, mixed, mixed / aim_mixed,
+                static_cast<unsigned long long>(store.pages_copied()));
+  }
+
+  std::printf(
+      "\nExpected shape: under concurrent analytics AIM keeps (most of) its "
+      "isolated rate — updates never wait for scans; the lock-coupled "
+      "column/row stores collapse by orders of magnitude; CoW lands in "
+      "between, paying page copies (paper §5.1/§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// bench_baselines_rta — paper Figures 9b/10b comparison rows: AIM versus
+// System M / System D / HyPer-CoW on the seven-query analytical mix, with
+// the event stream running concurrently (the paper's operating point; it
+// notes the competitors were measured read-only and still lost by >= 2.5x).
+//
+// Setup: c = 4 closed-loop analyst clients per system + one update thread
+// paced at a fixed event rate. AIM runs its threaded storage node (shared
+// scans batch the concurrent clients); the baselines execute one query at
+// a time under their own concurrency control.
+//
+// Shape to reproduce: AIM delivers the best mixed-workload throughput and
+// response times; the row-organized stores lose on scan speed, the column
+// store loses ground to writer/reader lock coupling.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "aim/baselines/cow_store.h"
+#include "aim/baselines/indexed_row_store.h"
+#include "aim/baselines/pure_column_store.h"
+#include "bench_common.h"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace {
+
+constexpr std::uint64_t kEntities = 5000;
+constexpr int kWarmEvents = 20000;
+constexpr double kSeconds = 2.0;
+constexpr int kClients = 4;
+constexpr double kEventRate = 1000.0;
+
+struct RtaScore {
+  double mean_ms = 0;
+  double p95_ms = 0;
+  double qps = 0;
+  double esp_eps = 0;
+};
+
+RtaScore MeasureBaseline(const WorkloadSetup& setup, BaselineStore* store) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> events{0};
+
+  std::thread updater([&] {
+    CdrGenerator::Options gopts;
+    gopts.num_entities = kEntities;
+    gopts.seed = 77;
+    CdrGenerator gen(gopts);
+    Timestamp now = 1000000;
+    Stopwatch pace;
+    std::uint64_t sent = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (pace.ElapsedSeconds() < static_cast<double>(sent) / kEventRate) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      AIM_CHECK(store->ApplyEvent(gen.Next(now += 10)).ok());
+      events.fetch_add(1, std::memory_order_relaxed);
+      ++sent;
+    }
+  });
+
+  std::vector<LatencyRecorder> lat(kClients);
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryWorkload workload(setup.schema.get(), &setup.dims, 4242 + c);
+      Stopwatch sw;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Query q = workload.Next();
+        sw.Restart();
+        const QueryResult r = store->Execute(q);
+        AIM_CHECK(r.status.ok());
+        lat[c].Record(sw.ElapsedMicros());
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Stopwatch run;
+  while (run.ElapsedSeconds() < kSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_release);
+  updater.join();
+  for (auto& t : clients) t.join();
+  const double elapsed = run.ElapsedSeconds();
+
+  LatencyRecorder all;
+  for (const auto& l : lat) all.Merge(l);
+  RtaScore s;
+  s.mean_ms = all.MeanMicros() / 1e3;
+  s.p95_ms = all.PercentileMicros(0.95) / 1e3;
+  s.qps = static_cast<double>(queries.load()) / elapsed;
+  s.esp_eps = static_cast<double>(events.load()) / elapsed;
+  return s;
+}
+
+RtaScore MeasureAim(const WorkloadSetup& setup) {
+  auto cluster = MakeCluster(setup, kEntities, /*nodes=*/1, /*partitions=*/2,
+                             /*esp_threads=*/1);
+  // Warm with the same history the baselines get.
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  Timestamp now = 0;
+  EventCompletion done;
+  for (int i = 0; i < kWarmEvents; ++i) {
+    EventCompletion* d = (i == kWarmEvents - 1) ? &done : nullptr;
+    AIM_CHECK(cluster->IngestEvent(gen.Next(now += 10), d));
+  }
+  done.Wait();
+
+  MixedOptions opts;
+  opts.entities = kEntities;
+  opts.target_eps = kEventRate;
+  opts.clients = kClients;
+  opts.seconds = kSeconds;
+  const MixedResult r = RunMixedWorkload(cluster.get(), setup, opts);
+  cluster->Stop();
+  RtaScore s;
+  s.mean_ms = r.rta_lat.MeanMicros() / 1e3;
+  s.p95_ms = r.rta_lat.PercentileMicros(0.95) / 1e3;
+  s.qps = r.rta_qps;
+  s.esp_eps = r.esp_eps;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== bench_baselines_rta (paper Fig 9b/10b baselines; c=%d clients + "
+      "%.0f ev/s stream) ===\n",
+      kClients, kEventRate);
+  WorkloadSetup setup = MakeSetup(/*full_schema=*/true, /*num_rules=*/0);
+
+  std::vector<std::uint8_t> row(setup.schema->record_size(), 0);
+  auto warm = [&](BaselineStore* store) {
+    for (EntityId e = 1; e <= kEntities; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*setup.schema, setup.dims, e, kEntities,
+                            row.data());
+      AIM_CHECK(store->Load(e, row.data()).ok());
+    }
+    CdrGenerator::Options gopts;
+    gopts.num_entities = kEntities;
+    CdrGenerator gen(gopts);
+    Timestamp now = 0;
+    for (int i = 0; i < kWarmEvents; ++i) {
+      AIM_CHECK(store->ApplyEvent(gen.Next(now += 10)).ok());
+    }
+  };
+
+  std::printf("%-22s %12s %12s %12s %12s\n", "system", "rta_mean_ms",
+              "rta_p95_ms", "rta_qps", "esp_eps");
+  const RtaScore aim = MeasureAim(setup);
+  std::printf("%-22s %12.2f %12.2f %12.1f %12.0f\n", "AIM (shared scans)",
+              aim.mean_ms, aim.p95_ms, aim.qps, aim.esp_eps);
+
+  {
+    PureColumnStore::Options opts;
+    opts.max_records = kEntities + 64;
+    PureColumnStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    warm(&store);
+    const RtaScore s = MeasureBaseline(setup, &store);
+    std::printf("%-22s %12.2f %12.2f %12.1f %12.0f\n", store.name().c_str(),
+                s.mean_ms, s.p95_ms, s.qps, s.esp_eps);
+  }
+  {
+    IndexedRowStore::Options opts;
+    opts.max_records = kEntities + 64;
+    for (const char* attr :
+         {"number_of_local_calls_this_week", "number_of_calls_this_week",
+          "total_duration_of_local_calls_this_week"}) {
+      opts.indexed_attrs.push_back(setup.schema->FindAttribute(attr));
+    }
+    IndexedRowStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    warm(&store);
+    const RtaScore s = MeasureBaseline(setup, &store);
+    std::printf("%-22s %12.2f %12.2f %12.1f %12.0f\n", store.name().c_str(),
+                s.mean_ms, s.p95_ms, s.qps, s.esp_eps);
+  }
+  {
+    CowStore::Options opts;
+    opts.max_records = kEntities + 64;
+    CowStore store(setup.schema.get(), &setup.dims.catalog, opts);
+    warm(&store);
+    const RtaScore s = MeasureBaseline(setup, &store);
+    std::printf("%-22s %12.2f %12.2f %12.1f %12.0f\n", store.name().c_str(),
+                s.mean_ms, s.p95_ms, s.qps, s.esp_eps);
+  }
+
+  std::printf(
+      "\nExpected shape: AIM leads the mixed workload on both axes while "
+      "also holding its event rate; the paper reports >= 2.5x over the best "
+      "competitor even with the competitors running read-only (§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#ifndef AIM_BENCH_BENCH_COMMON_H_
+#define AIM_BENCH_BENCH_COMMON_H_
+
+// Shared driver for the system-level benches: loads a cluster with the
+// benchmark workload and runs the paper's mixed workload — a paced CDR
+// stream plus c closed-loop RTA clients drawing uniformly from the seven
+// Table-5 queries — reporting throughput and latency for both sides.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aim/common/clock.h"
+#include "aim/common/latency_recorder.h"
+#include "aim/server/aim_cluster.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/kpi.h"
+#include "aim/workload/query_workload.h"
+#include "aim/workload/rules_generator.h"
+
+namespace aim {
+namespace bench {
+
+struct WorkloadSetup {
+  std::unique_ptr<Schema> schema;
+  BenchmarkDims dims;
+  std::vector<Rule> rules;
+};
+
+/// Builds the full 546-indicator benchmark environment (schema, dimension
+/// data, 300 rules).
+inline WorkloadSetup MakeSetup(bool full_schema = true,
+                               std::size_t num_rules = 300) {
+  WorkloadSetup s;
+  s.schema = full_schema ? MakeBenchmarkSchema() : MakeCompactSchema();
+  s.dims = MakeBenchmarkDims();
+  RulesGeneratorOptions ropts;
+  ropts.num_rules = num_rules;
+  s.rules = MakeBenchmarkRules(*s.schema, ropts);
+  return s;
+}
+
+/// Loads `entities` profiles into the cluster (pre-Start).
+inline void LoadCluster(AimCluster* cluster, const WorkloadSetup& s,
+                        std::uint64_t entities) {
+  std::vector<std::uint8_t> row(s.schema->record_size(), 0);
+  for (EntityId e = 1; e <= entities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*s.schema, s.dims, e, entities, row.data());
+    AIM_CHECK(cluster->LoadEntity(e, row.data()).ok());
+  }
+}
+
+struct MixedResult {
+  double esp_eps = 0;  // achieved event throughput
+  double rta_qps = 0;  // achieved query throughput
+  LatencyRecorder esp_lat;
+  LatencyRecorder rta_lat;
+  std::uint64_t events = 0;
+  std::uint64_t queries = 0;
+};
+
+struct MixedOptions {
+  std::uint64_t entities = 10000;
+  double target_eps = 0;  // 0 = as fast as possible
+  int clients = 4;        // closed-loop RTA clients (paper's c)
+  double seconds = 3.0;
+  /// Q numbers drawn round-robin; default = the full seven-query mix.
+  std::vector<int> query_mix = {1, 2, 3, 4, 5, 6, 7};
+};
+
+/// Runs the mixed workload against a started cluster.
+inline MixedResult RunMixedWorkload(AimCluster* cluster,
+                                    const WorkloadSetup& s,
+                                    const MixedOptions& opts) {
+  MixedResult result;
+  std::atomic<bool> stop{false};
+
+  std::thread esp_driver([&] {
+    CdrGenerator::Options gopts;
+    gopts.num_entities = opts.entities;
+    CdrGenerator gen(gopts);
+    Timestamp now = 0;
+    EventCompletion done;
+    Stopwatch sw;
+    Stopwatch pace;
+    std::uint64_t sent = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (opts.target_eps > 0) {
+        // Open-loop pacing: do not run ahead of the target rate.
+        const double due = static_cast<double>(sent) / opts.target_eps;
+        if (pace.ElapsedSeconds() < due) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
+        }
+      }
+      const bool sample = sent % 64 == 0;
+      if (sample) {
+        done.Reset();
+        sw.Restart();
+        if (!cluster->IngestEvent(gen.Next(now += 10), &done)) break;
+        done.Wait();
+        result.esp_lat.Record(sw.ElapsedMicros());
+      } else if (!cluster->IngestEvent(gen.Next(now += 10), nullptr)) {
+        break;
+      }
+      ++sent;
+    }
+    result.events = sent;
+  });
+
+  std::vector<LatencyRecorder> client_lat(opts.clients);
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryWorkload workload(s.schema.get(), &s.dims, 9000 + c);
+      Stopwatch sw;
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Query q =
+            workload.Make(opts.query_mix[i++ % opts.query_mix.size()]);
+        sw.Restart();
+        const QueryResult r = cluster->ExecuteQuery(q);
+        if (!r.status.ok()) break;
+        client_lat[c].Record(sw.ElapsedMicros());
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Stopwatch run;
+  while (run.ElapsedSeconds() < opts.seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_release);
+  esp_driver.join();
+  for (auto& t : clients) t.join();
+  const double elapsed = run.ElapsedSeconds();
+
+  for (const auto& l : client_lat) result.rta_lat.Merge(l);
+  result.queries = queries.load();
+  result.esp_eps = static_cast<double>(result.events) / elapsed;
+  result.rta_qps = static_cast<double>(result.queries) / elapsed;
+  return result;
+}
+
+/// Convenience: builds, loads and starts a cluster.
+inline std::unique_ptr<AimCluster> MakeCluster(
+    const WorkloadSetup& s, std::uint64_t entities, std::uint32_t nodes,
+    std::uint32_t partitions, std::uint32_t esp_threads,
+    std::uint32_t bucket_size = ColumnMap::kDefaultBucketSize) {
+  AimCluster::Options copts;
+  copts.num_nodes = nodes;
+  copts.node.num_partitions = partitions;
+  copts.node.num_esp_threads = esp_threads;
+  copts.node.bucket_size = bucket_size;
+  copts.node.max_records_per_partition =
+      entities * 2 / (nodes * partitions) + 4096;
+  auto cluster = std::make_unique<AimCluster>(s.schema.get(), &s.dims.catalog,
+                                              &s.rules, copts);
+  LoadCluster(cluster.get(), s, entities);
+  AIM_CHECK(cluster->Start().ok());
+  return cluster;
+}
+
+}  // namespace bench
+}  // namespace aim
+
+#endif  // AIM_BENCH_BENCH_COMMON_H_

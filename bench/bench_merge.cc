@@ -1,0 +1,150 @@
+// bench_merge — paper §4.6 ablation: the differential-updates machinery.
+//   * Put throughput into the delta (the ESP-visible write cost)
+//   * merge cost as a function of the accumulated delta size (decides how
+//     often the RTA thread should interleave merge steps: merge time is the
+//     freshness floor)
+//   * hot-spot compaction: skewed Puts overwrite in place, so the merged
+//     record count is far below the Put count
+//   * delta-switch handshake cost (Algorithms 6/7) with a live ESP thread
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "aim/storage/delta_main.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+
+namespace aim {
+namespace {
+
+constexpr std::uint64_t kEntities = 20000;
+
+struct StoreFixture {
+  std::unique_ptr<Schema> schema;
+  BenchmarkDims dims;
+  std::unique_ptr<DeltaMainStore> store;
+  std::vector<std::uint8_t> row;
+
+  /// google-benchmark re-invokes benchmark functions while calibrating
+  /// iteration counts; the 20k-record fixture must be built once, not per
+  /// calibration pass. Leaked deliberately (trivial-destruction-at-exit
+  /// rule for static storage).
+  static StoreFixture& Shared() {
+    static StoreFixture& fx = *new StoreFixture();
+    fx.store->Merge();  // drain any delta left by the previous benchmark
+    return fx;
+  }
+
+  StoreFixture() : schema(MakeBenchmarkSchema()), dims(MakeBenchmarkDims()) {
+    DeltaMainStore::Options opts;
+    opts.max_records = kEntities + 64;
+    store = std::make_unique<DeltaMainStore>(schema.get(), opts);
+    row.resize(schema->record_size());
+    for (EntityId e = 1; e <= kEntities; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema, dims, e, kEntities, row.data());
+      AIM_CHECK(store->BulkInsert(e, row.data()).ok());
+    }
+  }
+
+  void PutOne(EntityId e) {
+    Version v = 0;
+    AIM_CHECK(store->Get(e, row.data(), &v).ok());
+    AIM_CHECK(store->Put(e, row.data(), v).ok());
+  }
+};
+
+void BM_DeltaPut(benchmark::State& state) {
+  StoreFixture& fx = StoreFixture::Shared();
+  Random rng(1);
+  for (auto _ : state) {
+    fx.PutOne(rng.Uniform(kEntities) + 1);
+    // Keep the delta bounded so we measure Put, not allocation drift.
+    if (fx.store->delta_size() > 4096) {
+      state.PauseTiming();
+      fx.store->Merge();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaPut);
+
+/// Merge cost vs delta size (uniform keys: every Put hits a distinct-ish
+/// record).
+void BM_MergeByDeltaSize(benchmark::State& state) {
+  const std::uint64_t delta_records =
+      static_cast<std::uint64_t>(state.range(0));
+  StoreFixture& fx = StoreFixture::Shared();
+  Random rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.store->Merge();  // drain
+    for (std::uint64_t i = 0; i < delta_records; ++i) {
+      fx.PutOne((i * 37 % kEntities) + 1);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fx.store->Merge());
+  }
+  state.SetItemsProcessed(state.iterations() * delta_records);
+}
+BENCHMARK(BM_MergeByDeltaSize)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+/// Hot-spot compaction: 100k Puts over 128 hot entities merge as 128
+/// records (paper §4.6: "AIM favors hot spot entities").
+void BM_MergeHotSpot(benchmark::State& state) {
+  StoreFixture& fx = StoreFixture::Shared();
+  Random rng(3);
+  std::size_t merged_total = 0;
+  std::size_t puts_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.store->Merge();
+    for (int i = 0; i < 10000; ++i) {
+      fx.PutOne(rng.Uniform(128) + 1);  // hot set
+    }
+    puts_total += 10000;
+    state.ResumeTiming();
+    merged_total += fx.store->Merge();
+  }
+  state.counters["puts_per_merged_record"] =
+      static_cast<double>(puts_total) /
+      static_cast<double>(merged_total == 0 ? 1 : merged_total);
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_MergeHotSpot);
+
+/// Delta-switch handshake latency with a live checkpointing ESP thread.
+void BM_DeltaSwitchHandshake(benchmark::State& state) {
+  StoreFixture& fx = StoreFixture::Shared();
+  fx.store->set_esp_attached(true);
+  std::atomic<bool> stop{false};
+  std::thread esp([&] {
+    std::vector<std::uint8_t> buf(fx.schema->record_size());
+    Random rng(4);
+    while (!stop.load(std::memory_order_acquire)) {
+      fx.store->EspCheckpoint();
+      Version v = 0;
+      const EntityId e = rng.Uniform(kEntities) + 1;
+      if (fx.store->Get(e, buf.data(), &v).ok()) {
+        (void)fx.store->Put(e, buf.data(), v);
+      }
+    }
+    fx.store->set_esp_attached(false);
+  });
+  for (auto _ : state) {
+    fx.store->SwitchDeltas();   // the only moment ESP blocks
+    fx.store->MergeStep();
+  }
+  stop.store(true, std::memory_order_release);
+  esp.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaSwitchHandshake);
+
+}  // namespace
+}  // namespace aim

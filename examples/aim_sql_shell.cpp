@@ -1,0 +1,110 @@
+// aim_sql_shell: an interactive SQL shell over a live AIM instance. Loads
+// subscribers, replays a CDR stream, then answers the SQL subset of paper
+// Table 5 from stdin (or one-shot via -c "...").
+//
+//   $ ./aim_sql_shell
+//   aim> SELECT AVG(total_duration_this_week) FROM AnalyticsMatrix
+//        WHERE number_of_local_calls_this_week > 1;
+//
+//   $ ./aim_sql_shell -c "SELECT COUNT(*) FROM AnalyticsMatrix"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "aim/common/clock.h"
+#include "aim/rta/sql_parser.h"
+#include "aim/server/aim_db.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+
+using namespace aim;
+
+namespace {
+
+void PrintResult(const Query& query, const QueryResult& result,
+                 double millis) {
+  if (!result.status.ok()) {
+    std::printf("error: %s\n", result.status.ToString().c_str());
+    return;
+  }
+  for (const QueryResult::Row& row : result.rows) {
+    if (!row.group_label.empty()) {
+      std::printf("%-20s", row.group_label.c_str());
+    } else if (query.kind == Query::Kind::kGroupBy) {
+      std::printf("%-20llu", static_cast<unsigned long long>(row.group_key));
+    }
+    for (double v : row.values) std::printf(" %14.4f", v);
+    std::printf("\n");
+  }
+  std::printf("(%zu row%s, %.2f ms)\n", result.rows.size(),
+              result.rows.size() == 1 ? "" : "s", millis);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t entities = 10000;
+  const int warm_events = 50000;
+
+  std::unique_ptr<Schema> schema = MakeCompactSchema();
+  BenchmarkDims dims = MakeBenchmarkDims();
+  AimDb::Options options;
+  options.max_records = entities + 64;
+  AimDb db(schema.get(), &dims.catalog, nullptr, options);
+
+  std::fprintf(stderr, "loading %llu subscribers + %d CDRs...\n",
+               static_cast<unsigned long long>(entities), warm_events);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (EntityId e = 1; e <= entities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*schema, dims, e, entities, row.data());
+    if (!db.LoadEntity(e, row.data()).ok()) return 1;
+  }
+  CdrGenerator::Options gopts;
+  gopts.num_entities = entities;
+  CdrGenerator gen(gopts);
+  Timestamp now = 0;
+  for (int i = 0; i < warm_events; ++i) {
+    if (!db.ProcessEvent(gen.Next(now += 20)).ok()) return 1;
+  }
+
+  SqlParser parser(schema.get(), &dims.catalog);
+  auto run_one = [&](const std::string& sql) {
+    StatusOr<Query> query = parser.Parse(sql);
+    if (!query.ok()) {
+      std::printf("%s\n", query.status().ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    const QueryResult result = db.Execute(*query);
+    PrintResult(*query, result, sw.ElapsedMillis());
+  };
+
+  if (argc > 2 && std::strcmp(argv[1], "-c") == 0) {
+    run_one(argv[2]);
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "AIM SQL shell — tables: AnalyticsMatrix, RegionInfo, "
+               "SubscriptionType, Category, CellValueType. "
+               "End statements with ';'. Ctrl-D quits.\n");
+  std::string buffer;
+  std::string line;
+  std::fprintf(stderr, "aim> ");
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += ' ';
+    if (line.find(';') != std::string::npos) {
+      if (buffer.find_first_not_of(" ;") != std::string::npos) {
+        run_one(buffer);
+      }
+      buffer.clear();
+      std::fprintf(stderr, "aim> ");
+    }
+  }
+  return 0;
+}

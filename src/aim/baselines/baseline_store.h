@@ -1,0 +1,45 @@
+#ifndef AIM_BASELINES_BASELINE_STORE_H_
+#define AIM_BASELINES_BASELINE_STORE_H_
+
+#include <string>
+
+#include "aim/common/status.h"
+#include "aim/esp/event.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+
+namespace aim {
+
+/// Interface the comparison benches drive (paper §5.3): AIM against
+/// "System M" (in-memory column store), "System D" (row store with
+/// indexes) and HyPer (copy-on-write snapshots). Each baseline maintains
+/// the same Analytics Matrix semantics — the compiled update program runs
+/// per event — but with the storage architecture the paper attributes to
+/// the competitor, so the relative shapes (who wins updates, who wins
+/// scans, by roughly what class) reproduce.
+///
+/// All baselines are thread-compatible the same way: one writer thread
+/// calls ApplyEvent, reader threads call Execute; the implementation
+/// synchronizes internally (that synchronization cost is part of what is
+/// being measured).
+class BaselineStore {
+ public:
+  virtual ~BaselineStore() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Bulk load before any events/queries.
+  virtual Status Load(EntityId entity, const std::uint8_t* row) = 0;
+
+  /// Processes one event end-to-end (update path only; baselines do not
+  /// evaluate business rules — the paper measured their RTA performance in
+  /// isolation and their raw event rates via stored procedures).
+  virtual Status ApplyEvent(const Event& event) = 0;
+
+  /// Executes one query (traditional one-query-at-a-time processing).
+  virtual QueryResult Execute(const Query& query) = 0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_BASELINES_BASELINE_STORE_H_

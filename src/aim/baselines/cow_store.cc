@@ -1,0 +1,99 @@
+#include "aim/baselines/cow_store.h"
+
+#include <cstring>
+
+#include "aim/schema/record.h"
+
+namespace aim {
+
+CowStore::CowStore(const Schema* schema, const DimensionCatalog* dims,
+                   const Options& options)
+    : schema_(schema),
+      dims_(dims),
+      options_(options),
+      row_stride_((schema->record_size() + 7u) & ~std::size_t{7}),
+      page_bytes_(row_stride_ * options.rows_per_page),
+      primary_(1024),
+      program_(*schema, schema->FindAttribute("preferred_number")) {}
+
+std::uint8_t* CowStore::WritableRowLocked(std::uint32_t idx) {
+  const std::uint32_t p = idx / options_.rows_per_page;
+  PagePtr& page = pages_[p];
+  if (page.use_count() > 1) {
+    // Page still referenced by a snapshot: clone before writing (the CoW
+    // "page fault").
+    auto clone = std::make_shared<Page>(page_bytes_);
+    std::memcpy(clone->data.get(), page->data.get(), page_bytes_);
+    page = std::move(clone);
+    ++pages_copied_;
+  }
+  return page->data.get() +
+         static_cast<std::size_t>(idx % options_.rows_per_page) * row_stride_;
+}
+
+Status CowStore::Load(EntityId entity, const std::uint8_t* row) {
+  std::lock_guard lock(mutex_);
+  if (primary_.Contains(entity)) return Status::Conflict("duplicate entity");
+  const std::uint32_t idx = num_rows_;
+  if (idx / options_.rows_per_page >= pages_.size()) {
+    pages_.push_back(std::make_shared<Page>(page_bytes_));
+  }
+  num_rows_ = idx + 1;
+  std::memcpy(WritableRowLocked(idx), row, schema_->record_size());
+  primary_.Upsert(entity, idx);
+  return Status::OK();
+}
+
+Status CowStore::ApplyEvent(const Event& event) {
+  std::lock_guard lock(mutex_);
+  std::uint32_t idx = primary_.Find(event.caller);
+  if (idx == DenseMap::kNotFound) {
+    idx = num_rows_;
+    if (idx / options_.rows_per_page >= pages_.size()) {
+      pages_.push_back(std::make_shared<Page>(page_bytes_));
+    }
+    num_rows_ = idx + 1;
+    std::uint8_t* row = WritableRowLocked(idx);
+    std::memset(row, 0, schema_->record_size());
+    RecordView rec(schema_, row);
+    const std::uint16_t entity_attr = schema_->FindAttribute("entity_id");
+    if (entity_attr != kInvalidAttr) {
+      rec.SetAs<std::uint64_t>(entity_attr, event.caller);
+    }
+    program_.Apply(event, row);
+    primary_.Upsert(event.caller, idx);
+    return Status::OK();
+  }
+  program_.Apply(event, WritableRowLocked(idx));
+  return Status::OK();
+}
+
+QueryResult CowStore::Execute(const Query& query) {
+  // Snapshot: copy the page table under the lock (fork()'s lazy copy), then
+  // scan without blocking the writer.
+  std::vector<PagePtr> snapshot;
+  std::uint32_t rows;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = pages_;
+    rows = num_rows_;
+  }
+
+  RowQueryRun run;
+  Status st = RowQueryRun::Compile(query, schema_, dims_, &run);
+  if (!st.ok()) {
+    QueryResult r;
+    r.query_id = query.id;
+    r.status = st;
+    return r;
+  }
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    const std::uint8_t* row =
+        snapshot[i / options_.rows_per_page]->data.get() +
+        static_cast<std::size_t>(i % options_.rows_per_page) * row_stride_;
+    if (run.Matches(row)) run.Accumulate(row);
+  }
+  return run.Finish();
+}
+
+}  // namespace aim

@@ -1,0 +1,70 @@
+#ifndef AIM_BASELINES_COW_STORE_H_
+#define AIM_BASELINES_COW_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "aim/baselines/baseline_store.h"
+#include "aim/baselines/row_query.h"
+#include "aim/esp/update_kernel.h"
+#include "aim/storage/dense_map.h"
+
+namespace aim {
+
+/// HyPer surrogate (paper §3.1 / §6): copy-on-write snapshots instead of
+/// differential updates. The matrix lives in row-major pages; a query takes
+/// a snapshot by copying the page table (the userspace analogue of fork's
+/// lazy page-table copy), and the writer clones any page still shared with
+/// a live snapshot before modifying it. Queries therefore never block the
+/// writer, but the writer pays a page copy per first-touch after each
+/// snapshot — the CoW overhead the paper's ESP KPIs could not tolerate
+/// (§3.1: "the overhead caused by page faults in Copy-on-write is
+/// unacceptable").
+class CowStore : public BaselineStore {
+ public:
+  struct Options {
+    std::uint64_t max_records = 1u << 20;
+    /// Rows per page. With ~9 KB benchmark records, 4 rows per page gives
+    /// page sizes in the tens of kilobytes — several OS pages, matching the
+    /// fact that one record touches multiple pages in fork-based CoW.
+    std::uint32_t rows_per_page = 16;
+  };
+
+  CowStore(const Schema* schema, const DimensionCatalog* dims,
+           const Options& options);
+
+  std::string name() const override { return "HyPer-cow"; }
+  Status Load(EntityId entity, const std::uint8_t* row) override;
+  Status ApplyEvent(const Event& event) override;
+  QueryResult Execute(const Query& query) override;
+
+  std::uint64_t pages_copied() const { return pages_copied_; }
+
+ private:
+  struct Page {
+    explicit Page(std::size_t bytes) : data(new std::uint8_t[bytes]()) {}
+    std::unique_ptr<std::uint8_t[]> data;
+  };
+  using PagePtr = std::shared_ptr<Page>;
+
+  std::uint8_t* WritableRowLocked(std::uint32_t idx);
+
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+  Options options_;
+  std::size_t row_stride_;
+  std::size_t page_bytes_;
+
+  std::vector<PagePtr> pages_;
+  std::uint32_t num_rows_ = 0;
+  DenseMap primary_;
+
+  UpdateProgram program_;
+  std::uint64_t pages_copied_ = 0;
+  mutable std::mutex mutex_;  // guards pages_ vector + writer path
+};
+
+}  // namespace aim
+
+#endif  // AIM_BASELINES_COW_STORE_H_

@@ -1,0 +1,65 @@
+#include "aim/baselines/pure_column_store.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace aim {
+
+PureColumnStore::PureColumnStore(const Schema* schema,
+                                 const DimensionCatalog* dims,
+                                 const Options& options)
+    : schema_(schema),
+      dims_(dims),
+      columns_(std::make_unique<ColumnMap>(
+          schema, static_cast<std::uint32_t>(options.max_records),
+          options.max_records)),
+      program_(*schema, schema->FindAttribute("preferred_number")),
+      row_buf_(schema->record_size(), 0) {}
+
+Status PureColumnStore::Load(EntityId entity, const std::uint8_t* row) {
+  std::unique_lock lock(mutex_);
+  StatusOr<RecordId> id = columns_->Insert(entity, row, 1);
+  return id.ok() ? Status::OK() : id.status();
+}
+
+Status PureColumnStore::ApplyEvent(const Event& event) {
+  std::unique_lock lock(mutex_);
+  const RecordId id = columns_->Lookup(event.caller);
+  if (id == kInvalidRecordId) {
+    // Auto-create, as the AIM engine does.
+    std::memset(row_buf_.data(), 0, row_buf_.size());
+    RecordView rec(schema_, row_buf_.data());
+    const std::uint16_t entity_attr = schema_->FindAttribute("entity_id");
+    if (entity_attr != kInvalidAttr) {
+      rec.SetAs<std::uint64_t>(entity_attr, event.caller);
+    }
+    program_.Apply(event, row_buf_.data());
+    StatusOr<RecordId> inserted =
+        columns_->Insert(event.caller, row_buf_.data(), 1);
+    return inserted.ok() ? Status::OK() : inserted.status();
+  }
+  // The "500 random memory accesses" path: gather, update, scatter.
+  columns_->MaterializeRow(id, row_buf_.data());
+  program_.Apply(event, row_buf_.data());
+  columns_->ScatterRow(id, row_buf_.data());
+  columns_->set_version(id, columns_->version(id) + 1);
+  return Status::OK();
+}
+
+QueryResult PureColumnStore::Execute(const Query& query) {
+  std::shared_lock lock(mutex_);
+  StatusOr<CompiledQuery> cq = CompiledQuery::Compile(query, schema_, dims_);
+  if (!cq.ok()) {
+    QueryResult r;
+    r.query_id = query.id;
+    r.status = cq.status();
+    return r;
+  }
+  const std::uint32_t buckets = columns_->num_buckets();
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    cq->ProcessBucket(*columns_, columns_->bucket(b), &scratch_);
+  }
+  return FinalizeResult(query, dims_, cq->TakePartial());
+}
+
+}  // namespace aim

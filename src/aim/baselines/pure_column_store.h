@@ -1,0 +1,49 @@
+#ifndef AIM_BASELINES_PURE_COLUMN_STORE_H_
+#define AIM_BASELINES_PURE_COLUMN_STORE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "aim/baselines/baseline_store.h"
+#include "aim/esp/update_kernel.h"
+#include "aim/rta/compiled_query.h"
+#include "aim/storage/column_map.h"
+
+namespace aim {
+
+/// "System M" surrogate (paper §5.1): a main-memory pure column store
+/// optimized for analytics. Queries scan full columns with the same SIMD
+/// kernels AIM uses, one query at a time. Updates are the weak spot the
+/// paper identifies (§6: "an update of an Entity Record would incur 500
+/// random memory accesses"): every event gathers the record from ~550
+/// column arrays, applies the update program and scatters it back, under a
+/// writer lock that excludes concurrent queries (no delta, no snapshots).
+class PureColumnStore : public BaselineStore {
+ public:
+  struct Options {
+    std::uint64_t max_records = 1u << 20;
+  };
+
+  PureColumnStore(const Schema* schema, const DimensionCatalog* dims,
+                  const Options& options);
+
+  std::string name() const override { return "SystemM-columnstore"; }
+  Status Load(EntityId entity, const std::uint8_t* row) override;
+  Status ApplyEvent(const Event& event) override;
+  QueryResult Execute(const Query& query) override;
+
+ private:
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+  // bucket_size == max_records: one giant bucket = pure columnar layout.
+  std::unique_ptr<ColumnMap> columns_;
+  UpdateProgram program_;
+  std::vector<std::uint8_t> row_buf_;
+  ScanScratch scratch_;
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_BASELINES_PURE_COLUMN_STORE_H_

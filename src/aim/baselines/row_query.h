@@ -1,0 +1,87 @@
+#ifndef AIM_BASELINES_ROW_QUERY_H_
+#define AIM_BASELINES_ROW_QUERY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+
+namespace aim {
+
+/// Row-at-a-time query evaluation used by the row-organized baselines
+/// (IndexedRowStore, CowStore). Compiles a Query once, then consumes
+/// row-format records:
+///
+///   RowQueryRun run;
+///   RETURN_IF_ERROR(RowQueryRun::Compile(query, schema, dims, &run));
+///   for (row : rows) if (run.Matches(row)) run.Accumulate(row);
+///   QueryResult r = run.Finish();
+///
+/// Matches() is split out so an index scan can skip it for rows already
+/// qualified by the index.
+class RowQueryRun {
+ public:
+  static Status Compile(const Query& query, const Schema* schema,
+                        const DimensionCatalog* dims, RowQueryRun* out);
+
+  /// Full predicate check (matrix filters + dimension FK membership).
+  bool Matches(const std::uint8_t* row) const;
+
+  /// Like Matches() but skipping the predicate at `skip_index` (already
+  /// guaranteed by an index scan).
+  bool MatchesExcept(const std::uint8_t* row, std::size_t skip_index) const;
+
+  void Accumulate(const std::uint8_t* row);
+
+  QueryResult Finish();
+
+  const Query& query() const { return query_; }
+  std::size_t num_filters() const { return filters_.size(); }
+  const ScanFilter& filter(std::size_t i) const { return query_.where[i]; }
+
+ private:
+  double LoadAttr(const std::uint8_t* row, std::uint16_t attr) const;
+
+  Query query_;
+  const Schema* schema_ = nullptr;
+  const DimensionCatalog* dims_ = nullptr;
+
+  struct RowFilter {
+    std::uint32_t offset;
+    ValueType type;
+    CmpOp op;
+    double constant;
+  };
+  std::vector<RowFilter> filters_;
+
+  struct FkSet {
+    std::uint32_t offset;
+    std::unordered_set<std::uint32_t> matching;
+  };
+  std::vector<FkSet> fk_filters_;
+
+  // Aggregation state mirrors CompiledQuery's slot scheme.
+  struct AggSlot {
+    std::uint32_t slot;
+    std::uint16_t attr;  // kInvalidAttr = COUNT(*)
+  };
+  std::vector<AggSlot> agg_slots_;
+  std::uint32_t num_slots_ = 0;
+
+  bool group_by_dim_ = false;
+  std::uint16_t group_attr_ = kInvalidAttr;
+  std::uint16_t group_fk_attr_ = kInvalidAttr;
+  std::unordered_map<std::uint32_t, std::uint64_t> fk_to_group_;
+
+  PartialResult partial_;
+  std::unordered_map<std::uint64_t, std::uint32_t> group_index_;
+  std::vector<std::vector<TopKEntry>> topk_state_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_BASELINES_ROW_QUERY_H_

@@ -1,0 +1,111 @@
+#ifndef AIM_COMMON_BINARY_IO_H_
+#define AIM_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace aim {
+
+/// Little-endian append-only binary writer. Messages between simulated tiers
+/// (events, queries, partial results) are serialized with this so that the
+/// code path exercised matches a real networked deployment: structures are
+/// flattened, shipped as bytes, and re-parsed on the other side.
+class BinaryWriter {
+ public:
+  void PutU8(std::uint8_t v) { Append(&v, 1); }
+  void PutU16(std::uint16_t v) { Append(&v, 2); }
+  void PutU32(std::uint32_t v) { Append(&v, 4); }
+  void PutU64(std::uint64_t v) { Append(&v, 8); }
+  void PutI32(std::int32_t v) { Append(&v, 4); }
+  void PutI64(std::int64_t v) { Append(&v, 8); }
+  void PutF32(float v) { Append(&v, 4); }
+  void PutF64(double v) { Append(&v, 8); }
+
+  void PutBytes(const void* data, std::size_t n) { Append(data, n); }
+
+  void PutString(const std::string& s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void Append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Companion reader. Out-of-bounds reads set a sticky error flag and return
+/// zeroes instead of invoking UB; callers check ok() once after parsing.
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  std::uint8_t GetU8() { return GetPod<std::uint8_t>(); }
+  std::uint16_t GetU16() { return GetPod<std::uint16_t>(); }
+  std::uint32_t GetU32() { return GetPod<std::uint32_t>(); }
+  std::uint64_t GetU64() { return GetPod<std::uint64_t>(); }
+  std::int32_t GetI32() { return GetPod<std::int32_t>(); }
+  std::int64_t GetI64() { return GetPod<std::int64_t>(); }
+  float GetF32() { return GetPod<float>(); }
+  double GetF64() { return GetPod<double>(); }
+
+  std::string GetString() {
+    std::uint32_t n = GetU32();
+    if (!CheckAvailable(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool GetBytes(void* out, std::size_t n) {
+    if (!CheckAvailable(n)) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T GetPod() {
+    T v{};
+    if (CheckAvailable(sizeof(T))) {
+      std::memcpy(&v, data_ + pos_, sizeof(T));
+      pos_ += sizeof(T);
+    }
+    return v;
+  }
+
+  bool CheckAvailable(std::size_t n) {
+    if (size_ - pos_ < n) {
+      ok_ = false;
+      pos_ = size_;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_BINARY_IO_H_

@@ -1,0 +1,82 @@
+#ifndef AIM_COMMON_CLOCK_H_
+#define AIM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "aim/common/types.h"
+
+namespace aim {
+
+/// Time source abstraction. Window semantics (today / this week / last 24h)
+/// depend on "now"; tests and the deterministic benchmark drive a
+/// VirtualClock, production-style runs use WallClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds since the clock's epoch.
+  virtual Timestamp NowMillis() const = 0;
+};
+
+/// Monotonic wall-clock (steady_clock based, epoch = first process use).
+class WallClock : public Clock {
+ public:
+  Timestamp NowMillis() const override {
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for tests and deterministic workload replay.
+/// Thread-safe: readers may race with Advance().
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp NowMillis() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void Advance(Timestamp delta_ms) {
+    now_.fetch_add(delta_ms, std::memory_order_relaxed);
+  }
+
+  void Set(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+/// High-resolution stopwatch for latency measurements (nanosecond ticks).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  std::int64_t ElapsedNanos() const { return Now() - start_; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  static std::int64_t Now() {
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::int64_t start_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_CLOCK_H_

@@ -1,0 +1,36 @@
+#ifndef AIM_COMMON_HASH_H_
+#define AIM_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace aim {
+
+/// 64-bit mix finalizer (MurmurHash3 fmix64). Entity ids in the benchmark
+/// are sequential integers, so the storage router and the delta hash map
+/// must scramble them before taking a modulus — otherwise all keys of one
+/// partition would collide into the same buckets.
+inline std::uint64_t Mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Two-level routing hashes (paper §4.8): first hash picks the storage node,
+/// a node-local second hash (salted by node id) picks the partition. The
+/// salt keeps the two levels independent so partitions stay balanced.
+inline std::uint32_t NodeHash(std::uint64_t key, std::uint32_t num_nodes) {
+  return static_cast<std::uint32_t>(Mix64(key) % num_nodes);
+}
+
+inline std::uint32_t PartitionHash(std::uint64_t key, std::uint32_t node_id,
+                                   std::uint32_t num_partitions) {
+  return static_cast<std::uint32_t>(
+      Mix64(key ^ (0x517cc1b727220a95ULL * (node_id + 1))) % num_partitions);
+}
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_HASH_H_

@@ -1,0 +1,80 @@
+#include "aim/common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace aim {
+
+LatencyRecorder::LatencyRecorder() { Reset(); }
+
+void LatencyRecorder::Reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_micros_ = 0.0;
+  max_micros_ = 0.0;
+  min_micros_ = 0.0;
+}
+
+int LatencyRecorder::BucketFor(double micros) {
+  if (micros <= 1.0) return 0;
+  // 4 buckets per octave: index = 4 * log2(micros).
+  int idx = static_cast<int>(4.0 * std::log2(micros));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void LatencyRecorder::Record(double micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketFor(micros)]++;
+  if (count_ == 0 || micros < min_micros_) min_micros_ = micros;
+  if (micros > max_micros_) max_micros_ = micros;
+  count_++;
+  sum_micros_ += micros;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_micros_ < min_micros_) {
+      min_micros_ = other.min_micros_;
+    }
+    max_micros_ = std::max(max_micros_, other.max_micros_);
+  }
+  count_ += other.count_;
+  sum_micros_ += other.sum_micros_;
+}
+
+double LatencyRecorder::MeanMicros() const {
+  return count_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(count_);
+}
+
+double LatencyRecorder::PercentileMicros(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Upper edge of bucket i: 2^((i+1)/4) microseconds.
+      return std::exp2(static_cast<double>(i + 1) / 4.0);
+    }
+  }
+  return max_micros_;
+}
+
+std::string LatencyRecorder::SummaryMillis() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms "
+                "(n=%llu)",
+                MeanMicros() / 1e3, PercentileMicros(0.50) / 1e3,
+                PercentileMicros(0.95) / 1e3, PercentileMicros(0.99) / 1e3,
+                max_micros_ / 1e3,
+                static_cast<unsigned long long>(count_));
+  return std::string(buf);
+}
+
+}  // namespace aim

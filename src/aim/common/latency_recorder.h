@@ -1,0 +1,56 @@
+#ifndef AIM_COMMON_LATENCY_RECORDER_H_
+#define AIM_COMMON_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aim {
+
+/// Log-bucketed latency histogram (HdrHistogram-style, coarse). Records
+/// microsecond samples into geometric buckets and answers percentile and
+/// mean queries. Used by the benchmark harness to report the paper's
+/// response-time series without storing every sample.
+///
+/// Not thread-safe; each measuring thread keeps its own recorder and the
+/// harness calls Merge() afterwards.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Record one sample, in microseconds.
+  void Record(double micros);
+
+  /// Merge another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other);
+
+  std::uint64_t count() const { return count_; }
+  double MeanMicros() const;
+  double MaxMicros() const { return max_micros_; }
+  double MinMicros() const { return count_ == 0 ? 0.0 : min_micros_; }
+
+  /// Percentile in microseconds (q in [0,1], e.g. 0.99). Returns the upper
+  /// edge of the bucket containing the q-quantile.
+  double PercentileMicros(double q) const;
+
+  /// "mean/p50/p95/p99/max" summary line in milliseconds.
+  std::string SummaryMillis() const;
+
+  void Reset();
+
+ private:
+  // Buckets cover [2^(i/4)) microseconds — ~19% resolution, 256 buckets
+  // covers up to ~2^64 us which is far beyond any sane latency.
+  static constexpr int kNumBuckets = 256;
+  static int BucketFor(double micros);
+
+  std::uint64_t buckets_[kNumBuckets];
+  std::uint64_t count_;
+  double sum_micros_;
+  double max_micros_;
+  double min_micros_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_LATENCY_RECORDER_H_

@@ -1,0 +1,44 @@
+#ifndef AIM_COMMON_LOGGING_H_
+#define AIM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aim {
+
+/// Invariant checking. AIM_CHECK stays on in release builds: storage-engine
+/// invariant violations must fail fast, never corrupt the store. The cost is
+/// a predictable branch per check, which is negligible next to the work the
+/// checked code does.
+#define AIM_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (__builtin_expect(!(cond), 0)) {                                    \
+      std::fprintf(stderr, "AIM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define AIM_CHECK_MSG(cond, ...)                                           \
+  do {                                                                     \
+    if (__builtin_expect(!(cond), 0)) {                                    \
+      std::fprintf(stderr, "AIM_CHECK failed at %s:%d: %s: ", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only check, compiled out in release builds (hot paths).
+#ifdef NDEBUG
+#define AIM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define AIM_DCHECK(cond) AIM_CHECK(cond)
+#endif
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_LOGGING_H_

@@ -1,0 +1,122 @@
+#ifndef AIM_COMMON_MPSC_QUEUE_H_
+#define AIM_COMMON_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace aim {
+
+/// Bounded multi-producer single-consumer queue used as the "network" between
+/// simulated tiers (ESP nodes -> storage node, RTA front-end -> storage node,
+/// storage node -> RTA front-end). A plain mutex + condvar queue is fast
+/// enough at the message rates of the simulation and keeps the code obvious.
+///
+/// Close() wakes all waiters; after Close(), Push fails and Pop drains the
+/// remaining items before reporting emptiness.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Blocking push. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false if full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt once the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Drain every currently queued item into `out` (appends). Used by the
+  /// shared-scan loop to grab the whole pending query batch at once.
+  /// Returns the number of items drained.
+  template <typename Container>
+  std::size_t DrainInto(Container* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t n = items_.size();
+    while (!items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const std::size_t capacity_;  // 0 = unbounded
+  bool closed_ = false;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_MPSC_QUEUE_H_

@@ -1,0 +1,59 @@
+#ifndef AIM_COMMON_RANDOM_H_
+#define AIM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace aim {
+
+/// Fast deterministic PRNG (xorshift128+). Used by every workload generator
+/// so that benchmark runs are reproducible from a seed. Not for cryptography.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into two non-zero lanes.
+    state_[0] = SplitMix64(&seed);
+    state_[1] = SplitMix64(&seed);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t s1 = state_[0];
+    const std::uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+    return state_[1] + s0;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool OneIn(std::uint32_t n) { return Uniform(n) == 0; }
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t* state) {
+    std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[2];
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_RANDOM_H_

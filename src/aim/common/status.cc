@@ -1,0 +1,55 @@
+#include "aim/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aim {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kConflict:
+      return "CONFLICT";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kCapacity:
+      return "CAPACITY";
+    case Status::Code::kUnsupported:
+      return "UNSUPPORTED";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kTimedOut:
+      return "TIMED_OUT";
+    case Status::Code::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void DieStatusOrValue(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() called on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace aim

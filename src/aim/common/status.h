@@ -1,0 +1,137 @@
+#ifndef AIM_COMMON_STATUS_H_
+#define AIM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace aim {
+
+/// RocksDB-style operation result. Functions that can fail return a Status;
+/// functions that can fail and produce a value return StatusOr<T>.
+///
+/// A Status is cheap to copy (code + message string). The `ok()` fast path is
+/// a single integer compare.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,        // key / record / table absent
+    kConflict = 2,        // conditional write lost the race (stale version)
+    kInvalidArgument = 3, // malformed query, schema violation, bad config
+    kCapacity = 4,        // structure full (fixed-capacity delta, queue)
+    kUnsupported = 5,     // feature intentionally out of scope
+    kInternal = 6,        // invariant violation
+    kTimedOut = 7,        // blocking call exceeded deadline
+    kShutdown = 8,        // component is stopping; request not processed
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Capacity(std::string msg = "") {
+    return Status(Code::kCapacity, std::move(msg));
+  }
+  static Status Unsupported(std::string msg = "") {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Shutdown(std::string msg = "") {
+    return Status(Code::kShutdown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCapacity() const { return code_ == Code::kCapacity; }
+  bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsShutdown() const { return code_ == Code::kShutdown; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string for logs and test output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Minimal StatusOr: either an ok Status plus a value, or a non-ok Status.
+/// Accessing value() on a non-ok StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value)                                        // NOLINT: implicit
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieStatusOrValue(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfNotOk() const {
+  if (!status_.ok()) internal::DieStatusOrValue(status_);
+}
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_STATUS_H_

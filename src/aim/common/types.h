@@ -1,0 +1,44 @@
+#ifndef AIM_COMMON_TYPES_H_
+#define AIM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace aim {
+
+/// Application-visible entity identifier (subscriber id / cell id). Entity
+/// ids are arbitrary application-dependent values; they are mapped to dense
+/// record ids inside a ColumnMap (paper §4.5).
+using EntityId = std::uint64_t;
+
+/// Dense record index inside one ColumnMap partition; contiguous from 0.
+using RecordId = std::uint32_t;
+
+inline constexpr RecordId kInvalidRecordId =
+    std::numeric_limits<RecordId>::max();
+
+/// Event / record timestamps: milliseconds since an arbitrary epoch. The
+/// benchmark drives a virtual clock, so epoch choice is irrelevant; only
+/// window arithmetic (day/week boundaries) matters.
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kMillisPerSecond = 1000;
+inline constexpr Timestamp kMillisPerMinute = 60 * kMillisPerSecond;
+inline constexpr Timestamp kMillisPerHour = 60 * kMillisPerMinute;
+inline constexpr Timestamp kMillisPerDay = 24 * kMillisPerHour;
+inline constexpr Timestamp kMillisPerWeek = 7 * kMillisPerDay;
+
+/// Version counter attached to every Entity Record for conditional writes
+/// (paper footnote 8): a Get returns the record's version; a Put only
+/// succeeds if the version still matches.
+using Version = std::uint64_t;
+
+/// Identifier of a storage node in the (simulated) cluster.
+using NodeId = std::uint32_t;
+
+/// Identifier of an intra-node data partition (one RTA scan thread each).
+using PartitionId = std::uint32_t;
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_TYPES_H_

@@ -1,0 +1,106 @@
+#include "aim/esp/esp_engine.h"
+
+#include <cstring>
+
+#include "aim/common/logging.h"
+#include "aim/schema/record.h"
+
+namespace aim {
+
+EspEngine::EspEngine(const Schema* schema, DeltaMainStore* store,
+                     const std::vector<Rule>* rules, const SystemAttrs& sys,
+                     const Options& options)
+    : schema_(schema),
+      store_(store),
+      rules_(rules),
+      sys_(sys),
+      options_(options),
+      program_(*schema, sys.preferred_number),
+      evaluator_(rules),
+      row_buf_(schema->record_size(), 0) {
+  if (!rules_->empty()) {
+    rule_index_ = std::make_unique<RuleIndex>(rules_);
+  }
+  if (options.keep_event_archive) {
+    EventArchive::Options aopts;
+    aopts.retention_ms = options.archive_retention_ms;
+    archive_ = std::make_unique<EventArchive>(aopts);
+  }
+}
+
+void EspEngine::InitFreshRecord(EntityId entity, const Event& event) {
+  std::memset(row_buf_.data(), 0, row_buf_.size());
+  RecordView rec(schema_, row_buf_.data());
+  if (sys_.entity_id != kInvalidAttr) {
+    rec.SetAs<std::uint64_t>(sys_.entity_id, entity);
+  }
+}
+
+Status EspEngine::ProcessEvent(const Event& event,
+                               std::vector<std::uint32_t>* fired) {
+  if (fired != nullptr) fired->clear();
+  store_->EspCheckpoint();
+
+  const EntityId entity = event.caller;
+  Status result;
+  bool updated = false;
+  for (int attempt = 0; attempt < options_.max_txn_retries; ++attempt) {
+    Version version = 0;
+    Status get = store_->Get(entity, row_buf_.data(), &version);
+    bool fresh = false;
+    if (get.IsNotFound()) {
+      if (!options_.create_missing_entities) return get;
+      InitFreshRecord(entity, event);
+      fresh = true;
+    } else if (!get.ok()) {
+      return get;
+    }
+
+    // Algorithm 1, steps 4-5: every attribute group's compiled update
+    // function is applied to the record.
+    program_.Apply(event, row_buf_.data());
+    RecordView rec(schema_, row_buf_.data());
+    if (sys_.last_event_ts != kInvalidAttr) {
+      rec.SetAs<std::int64_t>(sys_.last_event_ts, event.timestamp);
+    }
+
+    Status put = fresh ? store_->Insert(entity, row_buf_.data())
+                       : store_->Put(entity, row_buf_.data(), version);
+    if (put.ok()) {
+      if (fresh) stats_.entities_created++;
+      updated = true;
+      break;
+    }
+    if (put.IsConflict()) {
+      // Conditional write lost: restart the single-row transaction.
+      stats_.txn_conflicts++;
+      continue;
+    }
+    return put;
+  }
+  if (!updated) {
+    return Status::Conflict("single-row transaction retries exhausted");
+  }
+  stats_.events_processed++;
+  if (archive_ != nullptr) archive_->Append(event);
+
+  // Business rule evaluation against the event and the updated record.
+  if (!rules_->empty()) {
+    ConstRecordView rec(schema_, row_buf_.data());
+    if (options_.use_rule_index && rule_index_ != nullptr) {
+      rule_index_->Evaluate(event, rec, &index_scratch_, &matched_buf_);
+    } else {
+      evaluator_.Evaluate(event, rec, &matched_buf_);
+    }
+    const std::size_t before = matched_buf_.size();
+    policy_tracker_.Filter(*rules_, entity, event.timestamp, &matched_buf_);
+    stats_.rules_suppressed += before - matched_buf_.size();
+    stats_.rules_fired += matched_buf_.size();
+    if (fired != nullptr) {
+      fired->assign(matched_buf_.begin(), matched_buf_.end());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aim

@@ -1,0 +1,101 @@
+#ifndef AIM_ESP_ESP_ENGINE_H_
+#define AIM_ESP_ESP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/esp/event.h"
+#include "aim/esp/event_archive.h"
+#include "aim/esp/firing_policy.h"
+#include "aim/esp/rule.h"
+#include "aim/esp/rule_eval.h"
+#include "aim/esp/rule_index.h"
+#include "aim/esp/update_kernel.h"
+#include "aim/storage/delta_main.h"
+
+namespace aim {
+
+/// Well-known raw attributes the ESP engine maintains besides the
+/// indicators. Use kInvalidAttr for attributes a schema does not have.
+struct SystemAttrs {
+  std::uint16_t entity_id = kInvalidAttr;         // u64
+  std::uint16_t last_event_ts = kInvalidAttr;     // i64
+  std::uint16_t preferred_number = kInvalidAttr;  // u64 (kPreferred filter)
+};
+
+/// Event Stream Processing engine for one store partition (paper §2.2).
+/// Per event it runs the single-row transaction of Algorithm 1 — Get,
+/// update every attribute group via the compiled update program, Put with
+/// conditional write, retry on conflict — and then evaluates the Business
+/// Rules against the updated record (Algorithm 2, or the rule index when
+/// enabled), applying firing policies.
+///
+/// One engine instance per ESP thread; not thread-safe (the paper dedicates
+/// each entity to exactly one ESP thread, §4.6).
+class EspEngine {
+ public:
+  struct Options {
+    int max_txn_retries = 16;
+    bool use_rule_index = false;
+    /// Auto-create a fresh record when an event references an unknown
+    /// entity (the benchmark pre-loads entities; this is the fallback).
+    bool create_missing_entities = true;
+    /// Keep an event archive (production-AIM feature, paper §7/footnote 1):
+    /// every processed event is retained for `archive_retention_ms`,
+    /// enabling exact sliding-window rebuilds and recovery-by-replay.
+    bool keep_event_archive = false;
+    Timestamp archive_retention_ms = kMillisPerWeek;
+  };
+
+  struct Stats {
+    std::uint64_t events_processed = 0;
+    std::uint64_t txn_conflicts = 0;
+    std::uint64_t rules_fired = 0;
+    std::uint64_t rules_suppressed = 0;  // by firing policy
+    std::uint64_t entities_created = 0;
+  };
+
+  /// All pointers must outlive the engine. `rules` may be empty.
+  EspEngine(const Schema* schema, DeltaMainStore* store,
+            const std::vector<Rule>* rules, const SystemAttrs& sys,
+            const Options& options);
+
+  /// Processes one event end-to-end. Appends ids of fired rules (after
+  /// policy filtering) to `fired` (cleared first; may be nullptr).
+  Status ProcessEvent(const Event& event, std::vector<std::uint32_t>* fired);
+
+  const Stats& stats() const { return stats_; }
+  const UpdateProgram& program() const { return program_; }
+
+  /// Switches between indexed and straight-forward rule evaluation.
+  void set_use_rule_index(bool use) { options_.use_rule_index = use; }
+
+  /// The event archive (null unless Options::keep_event_archive).
+  const EventArchive* archive() const { return archive_.get(); }
+
+ private:
+  void InitFreshRecord(EntityId entity, const Event& event);
+
+  const Schema* schema_;
+  DeltaMainStore* store_;
+  const std::vector<Rule>* rules_;
+  SystemAttrs sys_;
+  Options options_;
+
+  UpdateProgram program_;
+  RuleEvaluator evaluator_;
+  std::unique_ptr<EventArchive> archive_;
+  std::unique_ptr<RuleIndex> rule_index_;
+  RuleIndex::Scratch index_scratch_;
+  FiringPolicyTracker policy_tracker_;
+
+  std::vector<std::uint8_t> row_buf_;
+  std::vector<std::uint32_t> matched_buf_;
+  Stats stats_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ESP_ESP_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "aim/esp/event.h"
+
+#include <cstdio>
+
+namespace aim {
+
+std::string Event::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Event{caller=%llu callee=%llu ts=%lld dur=%us cost=%.2f "
+                "data=%.1fMB%s%s%s}",
+                static_cast<unsigned long long>(caller),
+                static_cast<unsigned long long>(callee),
+                static_cast<long long>(timestamp), duration,
+                static_cast<double>(cost), static_cast<double>(data_mb),
+                long_distance() ? " LD" : " local",
+                international() ? " intl" : "", roaming() ? " roam" : "");
+  return std::string(buf);
+}
+
+}  // namespace aim

@@ -1,0 +1,82 @@
+#ifndef AIM_ESP_EVENT_H_
+#define AIM_ESP_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "aim/common/binary_io.h"
+#include "aim/common/types.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Call Detail Record event, 64 bytes as in the paper (§4.2: "considerably
+/// smaller Events (64 B)"). The entity whose record is updated is `caller`.
+struct Event {
+  // Event flags (bitmask).
+  static constexpr std::uint32_t kLongDistance = 1u << 0;
+  static constexpr std::uint32_t kInternational = 1u << 1;
+  static constexpr std::uint32_t kRoaming = 1u << 2;
+
+  EntityId caller = 0;       // entity id ("from")
+  EntityId callee = 0;       // other party ("to")
+  Timestamp timestamp = 0;   // event time, ms
+  std::uint32_t duration = 0;  // call duration in seconds
+  float cost = 0.0f;           // call cost
+  float data_mb = 0.0f;        // data volume in MB
+  std::uint32_t flags = 0;
+  std::uint64_t sequence = 0;  // generator sequence number (diagnostics)
+  std::uint8_t pad[16] = {};   // pad the wire size to 64 bytes
+
+  bool long_distance() const { return (flags & kLongDistance) != 0; }
+  bool international() const { return (flags & kInternational) != 0; }
+  bool roaming() const { return (flags & kRoaming) != 0; }
+
+  /// Metric extraction used by the update kernel and rule predicates.
+  float Metric(EventMetric m) const {
+    switch (m) {
+      case EventMetric::kDuration:
+        return static_cast<float>(duration);
+      case EventMetric::kCost:
+        return cost;
+      case EventMetric::kDataVolume:
+        return data_mb;
+    }
+    return 0.0f;
+  }
+
+  void Serialize(BinaryWriter* w) const {
+    w->PutU64(caller);
+    w->PutU64(callee);
+    w->PutI64(timestamp);
+    w->PutU32(duration);
+    w->PutF32(cost);
+    w->PutF32(data_mb);
+    w->PutU32(flags);
+    w->PutU64(sequence);
+    w->PutBytes(pad, sizeof(pad));
+  }
+
+  static Event Deserialize(BinaryReader* r) {
+    Event e;
+    e.caller = r->GetU64();
+    e.callee = r->GetU64();
+    e.timestamp = r->GetI64();
+    e.duration = r->GetU32();
+    e.cost = r->GetF32();
+    e.data_mb = r->GetF32();
+    e.flags = r->GetU32();
+    e.sequence = r->GetU64();
+    r->GetBytes(e.pad, sizeof(e.pad));
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+/// 64-byte wire size (8+8+8+4+4+4+4+8+16).
+inline constexpr std::size_t kEventWireSize = 64;
+
+}  // namespace aim
+
+#endif  // AIM_ESP_EVENT_H_

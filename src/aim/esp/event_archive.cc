@@ -1,0 +1,110 @@
+#include "aim/esp/event_archive.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "aim/schema/record.h"
+
+namespace aim {
+
+void EventArchive::Append(const Event& event) {
+  std::deque<Event>& ring = per_entity_[event.caller];
+  ring.push_back(event);
+  ++total_events_;
+  newest_ts_ = std::max(newest_ts_, event.timestamp);
+
+  // Amortized trimming: drop events past the retention horizon or over the
+  // per-entity cap.
+  const Timestamp horizon = newest_ts_ - options_.retention_ms;
+  while (!ring.empty() && (ring.front().timestamp < horizon ||
+                           ring.size() > options_.max_events_per_entity)) {
+    ring.pop_front();
+    --total_events_;
+  }
+}
+
+namespace {
+
+bool EventMatchesFilter(CallFilter filter, const Event& e,
+                        std::uint64_t preferred) {
+  switch (filter) {
+    case CallFilter::kAny:
+      return true;
+    case CallFilter::kLocal:
+      return !e.long_distance();
+    case CallFilter::kLongDistance:
+      return e.long_distance();
+    case CallFilter::kInternational:
+      return e.international();
+    case CallFilter::kRoaming:
+      return e.roaming();
+    case CallFilter::kPreferred:
+      return preferred != 0 && e.callee == preferred;
+  }
+  return false;
+}
+
+void StoreIndicator(const Schema& schema, std::uint16_t attr,
+                    std::uint8_t* record, float v) {
+  if (attr == kInvalidAttr) return;
+  const Attribute& a = schema.attribute(attr);
+  std::memcpy(record + a.row_offset, &v, sizeof(float));
+}
+
+}  // namespace
+
+Status RebuildSlidingFromArchive(const Schema& schema,
+                                 std::uint16_t group_id,
+                                 const EventArchive& archive,
+                                 EntityId entity, Timestamp now,
+                                 std::uint8_t* record) {
+  if (group_id >= schema.num_groups()) {
+    return Status::InvalidArgument("group out of range");
+  }
+  const AttributeGroupSpec& g = schema.group(group_id);
+  if (g.window.kind != WindowKind::kSliding) {
+    return Status::InvalidArgument("not a sliding-window group");
+  }
+
+  std::uint64_t preferred = 0;
+  const std::uint16_t pref_attr = schema.FindAttribute("preferred_number");
+  if (pref_attr != kInvalidAttr) {
+    std::memcpy(&preferred,
+                record + schema.attribute(pref_attr).row_offset, 8);
+  }
+
+  // Exact window: (now - length, now].
+  std::int32_t count = 0;
+  float sum = 0, mn = 0, mx = 0;
+  archive.ForEachInRange(
+      entity, now - g.window.length_ms + 1, now + 1, [&](const Event& e) {
+        if (!EventMatchesFilter(g.filter, e, preferred)) return;
+        const float v = g.has_metric ? e.Metric(g.metric) : 0.0f;
+        if (count == 0) {
+          mn = v;
+          mx = v;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+        sum += v;
+        ++count;
+      });
+
+  // Write the exposed indicators exactly like the update kernel does.
+  if (g.count_attr != kInvalidAttr) {
+    const Attribute& a = schema.attribute(g.count_attr);
+    std::memcpy(record + a.row_offset, &count, sizeof(count));
+  }
+  if (g.has_metric) {
+    const bool empty = count == 0;
+    StoreIndicator(schema, g.sum_attr, record, sum);
+    StoreIndicator(schema, g.min_attr, record, empty ? 0.0f : mn);
+    StoreIndicator(schema, g.max_attr, record, empty ? 0.0f : mx);
+    StoreIndicator(schema, g.avg_attr, record,
+                   empty ? 0.0f : sum / static_cast<float>(count));
+  }
+  return Status::OK();
+}
+
+}  // namespace aim

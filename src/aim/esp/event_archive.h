@@ -1,0 +1,92 @@
+#ifndef AIM_ESP_EVENT_ARCHIVE_H_
+#define AIM_ESP_EVENT_ARCHIVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "aim/common/types.h"
+#include "aim/esp/event.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Archive of recent events, the production-AIM feature the paper mentions
+/// in §7 and relies on in footnote 1: when all top-N values of a sliding
+/// min/max indicator fall out of the window, the *exact* extremum of the
+/// current window can only be recovered from the raw events.
+///
+/// Implementation: per-entity ring of recent events (bounded by a retention
+/// horizon), plus a global append order for replay. Events older than the
+/// retention horizon are dropped on Append (amortized).
+///
+/// Single-writer (the owning ESP thread); readers must be quiesced or be
+/// the same thread. The horizon should cover the longest sliding window in
+/// the schema.
+class EventArchive {
+ public:
+  struct Options {
+    /// How long events are retained, relative to the newest appended
+    /// timestamp. Defaults to 7 days — the longest sliding window of the
+    /// benchmark schema.
+    Timestamp retention_ms = kMillisPerWeek;
+    /// Hard cap on buffered events per entity (memory guard).
+    std::size_t max_events_per_entity = 4096;
+  };
+
+  EventArchive() : EventArchive(Options{kMillisPerWeek, 4096}) {}
+  explicit EventArchive(const Options& options) : options_(options) {}
+
+  /// Appends one event (keyed by event.caller).
+  void Append(const Event& event);
+
+  /// Visits the retained events of one entity, oldest first.
+  /// Fn: void(const Event&).
+  template <typename Fn>
+  void ForEachOf(EntityId entity, Fn&& fn) const {
+    auto it = per_entity_.find(entity);
+    if (it == per_entity_.end()) return;
+    for (const Event& e : it->second) fn(e);
+  }
+
+  /// Visits retained events of `entity` with timestamp in [from, to),
+  /// oldest first.
+  template <typename Fn>
+  void ForEachInRange(EntityId entity, Timestamp from, Timestamp to,
+                      Fn&& fn) const {
+    ForEachOf(entity, [&](const Event& e) {
+      if (e.timestamp >= from && e.timestamp < to) fn(e);
+    });
+  }
+
+  std::size_t TotalEvents() const { return total_events_; }
+  std::size_t EventsOf(EntityId entity) const {
+    auto it = per_entity_.find(entity);
+    return it == per_entity_.end() ? 0 : it->second.size();
+  }
+  Timestamp newest_timestamp() const { return newest_ts_; }
+
+ private:
+  Options options_;
+  std::unordered_map<EntityId, std::deque<Event>> per_entity_;
+  std::size_t total_events_ = 0;
+  Timestamp newest_ts_ = 0;
+};
+
+/// Recomputes one attribute group's indicators *exactly* from the archive
+/// (footnote 1's recovery path): instead of the pane approximation, the
+/// true window [now - window, now] is aggregated over the raw events.
+/// Writes the indicators into `record` like the update kernel would.
+/// Only meaningful for sliding-window groups; returns kInvalidArgument
+/// otherwise.
+Status RebuildSlidingFromArchive(const Schema& schema,
+                                 std::uint16_t group_id,
+                                 const EventArchive& archive,
+                                 EntityId entity, Timestamp now,
+                                 std::uint8_t* record);
+
+}  // namespace aim
+
+#endif  // AIM_ESP_EVENT_ARCHIVE_H_

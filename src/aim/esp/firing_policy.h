@@ -1,0 +1,98 @@
+#ifndef AIM_ESP_FIRING_POLICY_H_
+#define AIM_ESP_FIRING_POLICY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aim/common/types.h"
+#include "aim/esp/rule.h"
+
+namespace aim {
+
+/// Tracks per-(rule, entity) firing counts so that a rule fires at most
+/// `policy.max_firings` times per tumbling `policy.window_ms` window for the
+/// same entity (paper §2.2). State is only kept for (rule, entity) pairs
+/// that actually fired, so memory stays proportional to firing volume, not
+/// to #rules x #entities.
+///
+/// Not thread-safe; each ESP thread owns one tracker (entities are sticky to
+/// one ESP thread, so per-thread state is exact).
+class FiringPolicyTracker {
+ public:
+  /// Filters `matched` (rule ids from the evaluator) in place: rules whose
+  /// policy suppresses this firing are removed; allowed firings are counted.
+  /// `rules` must be the same vector the evaluator used; `now` is the event
+  /// timestamp.
+  void Filter(const std::vector<Rule>& rules, EntityId entity, Timestamp now,
+              std::vector<std::uint32_t>* matched) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < matched->size(); ++i) {
+      const std::uint32_t rule_id = (*matched)[i];
+      const Rule* rule = FindRule(rules, rule_id);
+      if (rule == nullptr || Allow(*rule, entity, now)) {
+        (*matched)[out++] = rule_id;
+      }
+    }
+    matched->resize(out);
+  }
+
+  /// Decides a single firing. Public for unit tests.
+  bool Allow(const Rule& rule, EntityId entity, Timestamp now) {
+    if (rule.policy.max_firings == 0) return true;  // unlimited
+    const Timestamp window_start =
+        WindowSpec::AlignDown(now, rule.policy.window_ms);
+    State& st = state_[Key(rule.id, entity)];
+    if (st.window_start != window_start) {
+      st.window_start = window_start;
+      st.count = 0;
+    }
+    if (st.count >= rule.policy.max_firings) return false;
+    st.count++;
+    return true;
+  }
+
+  std::size_t tracked_pairs() const { return state_.size(); }
+
+  /// Drops state for windows ending before `horizon` (periodic GC).
+  void Expire(Timestamp horizon) {
+    for (auto it = state_.begin(); it != state_.end();) {
+      if (it->second.window_start < horizon) {
+        it = state_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  struct State {
+    Timestamp window_start = -1;
+    std::uint32_t count = 0;
+  };
+
+  static std::uint64_t Key(std::uint32_t rule_id, EntityId entity) {
+    // Entity ids in practice fit 40 bits; mix to be safe against collisions
+    // between (rule, entity) pairs.
+    return (static_cast<std::uint64_t>(rule_id) << 40) ^ entity;
+  }
+
+  static const Rule* FindRule(const std::vector<Rule>& rules,
+                              std::uint32_t rule_id) {
+    // Rule ids are usually dense and equal to the position; fall back to a
+    // linear scan otherwise.
+    if (rule_id < rules.size() && rules[rule_id].id == rule_id) {
+      return &rules[rule_id];
+    }
+    for (const Rule& r : rules) {
+      if (r.id == rule_id) return &r;
+    }
+    return nullptr;
+  }
+
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ESP_FIRING_POLICY_H_

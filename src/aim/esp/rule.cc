@@ -1,0 +1,167 @@
+#include "aim/esp/rule.h"
+
+#include <cstdio>
+
+namespace aim {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* EventFieldName(EventFieldId f) {
+  switch (f) {
+    case EventFieldId::kDuration:
+      return "event.duration";
+    case EventFieldId::kCost:
+      return "event.cost";
+    case EventFieldId::kDataVolume:
+      return "event.data_mb";
+    case EventFieldId::kLongDistance:
+      return "event.long_distance";
+    case EventFieldId::kInternational:
+      return "event.international";
+    case EventFieldId::kRoaming:
+      return "event.roaming";
+  }
+  return "?";
+}
+
+bool EvaluateCmp(CmpOp op, double lhs, double rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+double Predicate::LhsValue(const Event& e, const ConstRecordView& r) const {
+  if (lhs == Lhs::kRecordAttr) {
+    return r.Get(attr).AsDouble();
+  }
+  switch (field) {
+    case EventFieldId::kDuration:
+      return static_cast<double>(e.duration);
+    case EventFieldId::kCost:
+      return static_cast<double>(e.cost);
+    case EventFieldId::kDataVolume:
+      return static_cast<double>(e.data_mb);
+    case EventFieldId::kLongDistance:
+      return e.long_distance() ? 1.0 : 0.0;
+    case EventFieldId::kInternational:
+      return e.international() ? 1.0 : 0.0;
+    case EventFieldId::kRoaming:
+      return e.roaming() ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+bool Predicate::Evaluate(const Event& e, const ConstRecordView& r) const {
+  return EvaluateCmp(op, LhsValue(e, r), constant);
+}
+
+std::string Predicate::ToString(const Schema* schema) const {
+  std::string lhs_name;
+  if (lhs == Lhs::kRecordAttr) {
+    lhs_name = (schema != nullptr && attr < schema->num_attributes())
+                   ? schema->attribute(attr).name
+                   : "attr#" + std::to_string(attr);
+  } else {
+    lhs_name = EventFieldName(field);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %s %g", CmpOpName(op), constant);
+  return lhs_name + buf;
+}
+
+std::string Rule::ToString(const Schema* schema) const {
+  std::string out = "Rule " + std::to_string(id) + " (" + name + "): ";
+  for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+    if (c > 0) out += " OR ";
+    out += "(";
+    const Conjunct& conj = conjuncts[c];
+    for (std::size_t p = 0; p < conj.predicates.size(); ++p) {
+      if (p > 0) out += " AND ";
+      out += conj.predicates[p].ToString(schema);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+RuleBuilder::RuleBuilder(std::uint32_t id, std::string name) {
+  rule_.id = id;
+  rule_.name = std::move(name);
+}
+
+RuleBuilder& RuleBuilder::Where(std::uint16_t attr, CmpOp op,
+                                double constant) {
+  current_.predicates.push_back(Predicate::OnAttr(attr, op, constant));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::And(std::uint16_t attr, CmpOp op, double constant) {
+  return Where(attr, op, constant);
+}
+
+RuleBuilder& RuleBuilder::WhereEvent(EventFieldId field, CmpOp op,
+                                     double constant) {
+  current_.predicates.push_back(Predicate::OnEvent(field, op, constant));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::AndEvent(EventFieldId field, CmpOp op,
+                                   double constant) {
+  return WhereEvent(field, op, constant);
+}
+
+RuleBuilder& RuleBuilder::Or() {
+  if (!current_.predicates.empty()) {
+    rule_.conjuncts.push_back(std::move(current_));
+    current_ = Conjunct{};
+  }
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WithAction(std::string action) {
+  rule_.action = std::move(action);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WithPolicy(FiringPolicy policy) {
+  rule_.policy = policy;
+  return *this;
+}
+
+Rule RuleBuilder::Build() {
+  if (!current_.predicates.empty()) {
+    rule_.conjuncts.push_back(std::move(current_));
+    current_ = Conjunct{};
+  }
+  return std::move(rule_);
+}
+
+}  // namespace aim

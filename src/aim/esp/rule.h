@@ -1,0 +1,141 @@
+#ifndef AIM_ESP_RULE_H_
+#define AIM_ESP_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aim/common/types.h"
+#include "aim/esp/event.h"
+#include "aim/schema/record.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Comparison operators for rule predicates.
+enum class CmpOp : std::uint8_t {
+  kLt = 0,
+  kLe = 1,
+  kGt = 2,
+  kGe = 3,
+  kEq = 4,
+  kNe = 5,
+};
+
+const char* CmpOpName(CmpOp op);
+
+/// Scalar event fields a predicate can reference (the paper's rules test
+/// both the updated Entity Record and the event itself, e.g. rule 1 uses
+/// "event.duration > 300 secs").
+enum class EventFieldId : std::uint8_t {
+  kDuration = 0,
+  kCost = 1,
+  kDataVolume = 2,
+  kLongDistance = 3,   // 0/1
+  kInternational = 4,  // 0/1
+  kRoaming = 5,        // 0/1
+};
+
+inline constexpr int kNumEventFields = 6;
+const char* EventFieldName(EventFieldId f);
+
+/// Atomic predicate: <lhs> <op> <constant>, where lhs is either an Analytics
+/// Matrix attribute of the (already updated) Entity Record or a field of the
+/// triggering event. Comparisons happen in the double domain, which covers
+/// every column type the matrix supports.
+struct Predicate {
+  enum class Lhs : std::uint8_t { kRecordAttr = 0, kEventField = 1 };
+
+  Lhs lhs = Lhs::kRecordAttr;
+  std::uint16_t attr = 0;  // attribute id (lhs == kRecordAttr)
+  EventFieldId field = EventFieldId::kDuration;  // (lhs == kEventField)
+  CmpOp op = CmpOp::kGt;
+  double constant = 0.0;
+
+  static Predicate OnAttr(std::uint16_t attr, CmpOp op, double constant) {
+    Predicate p;
+    p.lhs = Lhs::kRecordAttr;
+    p.attr = attr;
+    p.op = op;
+    p.constant = constant;
+    return p;
+  }
+
+  static Predicate OnEvent(EventFieldId field, CmpOp op, double constant) {
+    Predicate p;
+    p.lhs = Lhs::kEventField;
+    p.field = field;
+    p.op = op;
+    p.constant = constant;
+    return p;
+  }
+
+  double LhsValue(const Event& e, const ConstRecordView& r) const;
+  bool Evaluate(const Event& e, const ConstRecordView& r) const;
+
+  std::string ToString(const Schema* schema) const;
+};
+
+bool EvaluateCmp(CmpOp op, double lhs, double rhs);
+
+/// A conjunct: AND of predicates.
+struct Conjunct {
+  std::vector<Predicate> predicates;
+};
+
+/// Firing policy (paper §2.2): bounds how many times a rule may trigger per
+/// entity within a tumbling time window. max_firings == 0 means unlimited.
+struct FiringPolicy {
+  std::uint32_t max_firings = 0;
+  Timestamp window_ms = kMillisPerDay;
+
+  static FiringPolicy Unlimited() { return {0, kMillisPerDay}; }
+  static FiringPolicy PerWindow(std::uint32_t max, Timestamp window_ms) {
+    return {max, window_ms};
+  }
+};
+
+/// Business rule in disjunctive normal form: OR of conjuncts. `action` is an
+/// opaque label delivered to the client when the rule fires (the production
+/// system would send a campaign message / alert).
+struct Rule {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string action;
+  std::vector<Conjunct> conjuncts;
+  FiringPolicy policy = FiringPolicy::Unlimited();
+
+  std::string ToString(const Schema* schema) const;
+};
+
+/// Fluent rule builder used by tests, examples and the workload generator.
+///
+///   Rule r = RuleBuilder(1, "heavy_caller")
+///                .Where(attr_calls_today, CmpOp::kGt, 20)
+///                .And(attr_cost_today, CmpOp::kGt, 100)
+///                .AndEvent(EventFieldId::kDuration, CmpOp::kGt, 300)
+///                .Or()                   // start a new conjunct
+///                .Where(...)...
+///                .Build();
+class RuleBuilder {
+ public:
+  RuleBuilder(std::uint32_t id, std::string name);
+
+  RuleBuilder& Where(std::uint16_t attr, CmpOp op, double constant);
+  RuleBuilder& And(std::uint16_t attr, CmpOp op, double constant);
+  RuleBuilder& WhereEvent(EventFieldId field, CmpOp op, double constant);
+  RuleBuilder& AndEvent(EventFieldId field, CmpOp op, double constant);
+  RuleBuilder& Or();
+  RuleBuilder& WithAction(std::string action);
+  RuleBuilder& WithPolicy(FiringPolicy policy);
+
+  Rule Build();
+
+ private:
+  Rule rule_;
+  Conjunct current_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ESP_RULE_H_

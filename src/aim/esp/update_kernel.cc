@@ -1,0 +1,295 @@
+#include "aim/esp/update_kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "aim/common/logging.h"
+#include "aim/schema/window.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Building blocks. Each compiled function is an instantiation of one of the
+// Update* templates below over (CallFilter, EventMetric | count-only). This
+// mirrors the paper's construction: a "huge nested switch" at group-creation
+// time (see CompileFn at the bottom) yielding a branch-lean function pointer
+// that is called once per event.
+// ---------------------------------------------------------------------------
+
+template <CallFilter F>
+inline bool Matches(const Event& e, const std::uint8_t* record,
+                    const GroupRuntime& rt) {
+  if constexpr (F == CallFilter::kAny) {
+    return true;
+  } else if constexpr (F == CallFilter::kLocal) {
+    return !e.long_distance();
+  } else if constexpr (F == CallFilter::kLongDistance) {
+    return e.long_distance();
+  } else if constexpr (F == CallFilter::kInternational) {
+    return e.international();
+  } else if constexpr (F == CallFilter::kRoaming) {
+    return e.roaming();
+  } else {  // kPreferred: record-dependent filter
+    if (rt.preferred_off == GroupRuntime::kNoColumn) return false;
+    std::uint64_t preferred;
+    std::memcpy(&preferred, record + rt.preferred_off, sizeof(preferred));
+    return preferred != 0 && preferred == e.callee;
+  }
+}
+
+template <EventMetric M>
+inline float Extract(const Event& e) {
+  if constexpr (M == EventMetric::kDuration) {
+    return static_cast<float>(e.duration);
+  } else if constexpr (M == EventMetric::kCost) {
+    return e.cost;
+  } else {
+    return e.data_mb;
+  }
+}
+
+inline void StoreI32(std::uint8_t* record, std::uint32_t off,
+                     std::int32_t v) {
+  if (off != GroupRuntime::kNoColumn) std::memcpy(record + off, &v, 4);
+}
+
+inline void StoreF32(std::uint8_t* record, std::uint32_t off, float v) {
+  if (off != GroupRuntime::kNoColumn) std::memcpy(record + off, &v, 4);
+}
+
+/// Writes the exposed indicator columns from folded aggregate values.
+/// Empty windows read as zeroes (matching the zero-initialized record).
+inline void WriteIndicators(std::uint8_t* record, const GroupRuntime& rt,
+                            std::int32_t count, float sum, float mn,
+                            float mx) {
+  StoreI32(record, rt.count_off, count);
+  StoreF32(record, rt.sum_off, sum);
+  const bool empty = count == 0;
+  StoreF32(record, rt.min_off, empty ? 0.0f : mn);
+  StoreF32(record, rt.max_off, empty ? 0.0f : mx);
+  StoreF32(record, rt.avg_off,
+           empty ? 0.0f : sum / static_cast<float>(count));
+}
+
+// --------------------------- tumbling windows ------------------------------
+
+template <CallFilter F, EventMetric M, bool kHasMetric>
+void UpdateTumbling(const Event& e, std::uint8_t* record,
+                    const GroupRuntime& rt) {
+  if (!Matches<F>(e, record, rt)) return;
+  auto* st = reinterpret_cast<TumblingState*>(record + rt.state_offset);
+  const std::int64_t ws = WindowSpec::AlignDown(e.timestamp, rt.window_len);
+  if (ws > st->window_start) {
+    // New window: reset. Late events (ws < window_start) are folded into
+    // the current window rather than resurrecting an expired one.
+    st->window_start = ws;
+    st->count = 0;
+    st->sum = 0.0f;
+    st->min = 0.0f;
+    st->max = 0.0f;
+  }
+  st->count += 1;
+  if constexpr (kHasMetric) {
+    const float v = Extract<M>(e);
+    st->sum += v;
+    if (st->count == 1) {
+      st->min = v;
+      st->max = v;
+    } else {
+      st->min = std::min(st->min, v);
+      st->max = std::max(st->max, v);
+    }
+  }
+  WriteIndicators(record, rt, st->count, st->sum, st->min, st->max);
+}
+
+// ---------------------------- sliding windows ------------------------------
+
+template <CallFilter F, EventMetric M, bool kHasMetric>
+void UpdateSliding(const Event& e, std::uint8_t* record,
+                   const GroupRuntime& rt) {
+  if (!Matches<F>(e, record, rt)) return;
+  auto* hdr = reinterpret_cast<SlidingHeader*>(record + rt.state_offset);
+  auto* slots = reinterpret_cast<SlidingSlot*>(record + rt.state_offset +
+                                               sizeof(SlidingHeader));
+  const std::int64_t slot_len = rt.window_len;
+  const std::uint32_t num_slots = rt.num_slots;
+  const std::int64_t cur = WindowSpec::AlignDown(e.timestamp, slot_len);
+
+  if (cur > hdr->last_slot_start) {
+    // Ring advances: clear every slot between the previous head and the new
+    // one (they correspond to pane intervals with no events).
+    const std::int64_t steps = (cur - hdr->last_slot_start) / slot_len;
+    if (steps >= num_slots) {
+      std::memset(slots, 0, num_slots * sizeof(SlidingSlot));
+    } else {
+      std::int64_t s = hdr->last_slot_start;
+      for (std::int64_t i = 0; i < steps; ++i) {
+        s += slot_len;
+        slots[static_cast<std::uint64_t>(s / slot_len) % num_slots] =
+            SlidingSlot{};
+      }
+    }
+    hdr->last_slot_start = cur;
+  } else if (hdr->last_slot_start - cur >= rt.window_span) {
+    // Late event older than the whole window: drop it.
+    return;
+  }
+
+  SlidingSlot& slot =
+      slots[static_cast<std::uint64_t>(cur / slot_len) % num_slots];
+  slot.count += 1;
+  if constexpr (kHasMetric) {
+    const float v = Extract<M>(e);
+    slot.sum += v;
+    if (slot.count == 1) {
+      slot.min = v;
+      slot.max = v;
+    } else {
+      slot.min = std::min(slot.min, v);
+      slot.max = std::max(slot.max, v);
+    }
+  }
+
+  // Fold all live panes into the exposed indicators.
+  std::int32_t count = 0;
+  float sum = 0.0f, mn = 0.0f, mx = 0.0f;
+  bool any = false;
+  for (std::uint32_t i = 0; i < num_slots; ++i) {
+    const SlidingSlot& s = slots[i];
+    if (s.count == 0) continue;
+    count += s.count;
+    sum += s.sum;
+    if (!any) {
+      mn = s.min;
+      mx = s.max;
+      any = true;
+    } else {
+      mn = std::min(mn, s.min);
+      mx = std::max(mx, s.max);
+    }
+  }
+  WriteIndicators(record, rt, count, sum, mn, mx);
+}
+
+// --------------------------- event-based windows ---------------------------
+
+template <CallFilter F, EventMetric M, bool kHasMetric>
+void UpdateEventRing(const Event& e, std::uint8_t* record,
+                     const GroupRuntime& rt) {
+  if (!Matches<F>(e, record, rt)) return;
+  auto* hdr = reinterpret_cast<EventRingHeader*>(record + rt.state_offset);
+  const std::uint32_t n = rt.num_slots;
+
+  if constexpr (!kHasMetric) {
+    // Count of the last N matching events saturates at N.
+    hdr->filled = std::min(hdr->filled + 1, n);
+    StoreI32(record, rt.count_off, static_cast<std::int32_t>(hdr->filled));
+    return;
+  } else {
+    auto* vals = reinterpret_cast<float*>(record + rt.state_offset +
+                                          sizeof(EventRingHeader));
+    vals[hdr->pos] = Extract<M>(e);
+    hdr->pos = (hdr->pos + 1) % n;
+    hdr->filled = std::min(hdr->filled + 1, n);
+
+    float sum = 0.0f, mn = vals[0], mx = vals[0];
+    for (std::uint32_t i = 0; i < hdr->filled; ++i) {
+      sum += vals[i];
+      mn = std::min(mn, vals[i]);
+      mx = std::max(mx, vals[i]);
+    }
+    WriteIndicators(record, rt, static_cast<std::int32_t>(hdr->filled), sum,
+                    mn, mx);
+  }
+}
+
+// ------------------------- nested-switch dispatch --------------------------
+
+template <CallFilter F, EventMetric M, bool kHasMetric>
+GroupUpdateFn SelectWindow(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTumbling:
+      return &UpdateTumbling<F, M, kHasMetric>;
+    case WindowKind::kSliding:
+      return &UpdateSliding<F, M, kHasMetric>;
+    case WindowKind::kEventBased:
+      return &UpdateEventRing<F, M, kHasMetric>;
+  }
+  return nullptr;
+}
+
+template <CallFilter F>
+GroupUpdateFn SelectMetric(const AttributeGroupSpec& spec) {
+  if (!spec.has_metric) {
+    return SelectWindow<F, EventMetric::kDuration, false>(spec.window.kind);
+  }
+  switch (spec.metric) {
+    case EventMetric::kDuration:
+      return SelectWindow<F, EventMetric::kDuration, true>(spec.window.kind);
+    case EventMetric::kCost:
+      return SelectWindow<F, EventMetric::kCost, true>(spec.window.kind);
+    case EventMetric::kDataVolume:
+      return SelectWindow<F, EventMetric::kDataVolume, true>(
+          spec.window.kind);
+  }
+  return nullptr;
+}
+
+GroupUpdateFn CompileFn(const AttributeGroupSpec& spec) {
+  switch (spec.filter) {
+    case CallFilter::kAny:
+      return SelectMetric<CallFilter::kAny>(spec);
+    case CallFilter::kLocal:
+      return SelectMetric<CallFilter::kLocal>(spec);
+    case CallFilter::kLongDistance:
+      return SelectMetric<CallFilter::kLongDistance>(spec);
+    case CallFilter::kInternational:
+      return SelectMetric<CallFilter::kInternational>(spec);
+    case CallFilter::kRoaming:
+      return SelectMetric<CallFilter::kRoaming>(spec);
+    case CallFilter::kPreferred:
+      return SelectMetric<CallFilter::kPreferred>(spec);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+UpdateProgram::UpdateProgram(const Schema& schema,
+                             std::uint16_t preferred_attr) {
+  AIM_CHECK_MSG(schema.finalized(), "schema must be finalized");
+  const std::uint32_t preferred_off =
+      preferred_attr == kInvalidAttr
+          ? GroupRuntime::kNoColumn
+          : schema.attribute(preferred_attr).row_offset;
+
+  groups_.reserve(schema.num_groups());
+  for (const AttributeGroupSpec& spec : schema.groups()) {
+    GroupRuntime rt;
+    rt.state_offset = spec.state_offset;
+    auto off = [&](std::uint16_t attr) {
+      return attr == kInvalidAttr ? GroupRuntime::kNoColumn
+                                  : schema.attribute(attr).row_offset;
+    };
+    rt.count_off = off(spec.count_attr);
+    rt.sum_off = off(spec.sum_attr);
+    rt.min_off = off(spec.min_attr);
+    rt.max_off = off(spec.max_attr);
+    rt.avg_off = off(spec.avg_attr);
+    rt.num_slots = spec.window.num_slots;
+    rt.window_span = spec.window.length_ms;
+    rt.window_len = spec.window.kind == WindowKind::kSliding
+                        ? spec.window.SlotLengthMs()
+                        : spec.window.length_ms;
+    rt.preferred_off = preferred_off;
+    rt.metric = spec.metric;
+
+    GroupUpdateFn fn = CompileFn(spec);
+    AIM_CHECK(fn != nullptr);
+    groups_.push_back(CompiledGroup{fn, rt});
+  }
+}
+
+}  // namespace aim

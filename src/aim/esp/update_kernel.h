@@ -1,0 +1,82 @@
+#ifndef AIM_ESP_UPDATE_KERNEL_H_
+#define AIM_ESP_UPDATE_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aim/esp/event.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Precomputed per-group constants handed to the compiled update function.
+/// Everything the function touches is resolved to raw byte offsets so the
+/// per-event path does no schema lookups.
+struct GroupRuntime {
+  std::uint32_t state_offset = 0;
+
+  static constexpr std::uint32_t kNoColumn = 0xffffffffu;
+  std::uint32_t count_off = kNoColumn;  // row offset of count indicator
+  std::uint32_t sum_off = kNoColumn;
+  std::uint32_t min_off = kNoColumn;
+  std::uint32_t max_off = kNoColumn;
+  std::uint32_t avg_off = kNoColumn;
+
+  std::int64_t window_len = 0;  // tumbling: period; sliding: slot length
+  std::int64_t window_span = 0;  // sliding: total span (late-event cutoff)
+  std::uint32_t num_slots = 1;
+
+  // Row offset of the entity's preferred-number attribute; only read by
+  // kPreferred-filtered groups.
+  std::uint32_t preferred_off = kNoColumn;
+
+  EventMetric metric = EventMetric::kDuration;
+};
+
+/// Signature of a compiled attribute-group update function (paper §4.3):
+/// applies one event to one group's state inside `record` and refreshes the
+/// group's exposed indicator columns. Selected once per group from templated
+/// building blocks (filter x metric x window), so the per-event call is a
+/// single indirect call with no data-dependent branches beyond the filter
+/// test itself.
+using GroupUpdateFn = void (*)(const Event& event, std::uint8_t* record,
+                               const GroupRuntime& rt);
+
+/// The compiled update program for a schema: one (fn, runtime) pair per
+/// attribute group. Thread-compatible: Apply() may run concurrently on
+/// different records, never on the same record (the single-writer-per-entity
+/// discipline of the ESP layer guarantees this).
+class UpdateProgram {
+ public:
+  /// `preferred_attr` is the raw attribute holding the entity's preferred
+  /// number (kInvalidAttr if the schema has none; kPreferred groups then
+  /// never match). Schema must be finalized.
+  UpdateProgram(const Schema& schema, std::uint16_t preferred_attr);
+
+  /// Applies `event` to every attribute group of `record` (Algorithm 1's
+  /// loop body, steps 4-5).
+  void Apply(const Event& event, std::uint8_t* record) const {
+    for (const CompiledGroup& g : groups_) g.fn(event, record, g.rt);
+  }
+
+  /// Applies only group `group_id` (unit tests).
+  void ApplyGroup(std::uint16_t group_id, const Event& event,
+                  std::uint8_t* record) const {
+    const CompiledGroup& g = groups_[group_id];
+    g.fn(event, record, g.rt);
+  }
+
+  std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct CompiledGroup {
+    GroupUpdateFn fn;
+    GroupRuntime rt;
+  };
+
+  std::vector<CompiledGroup> groups_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_ESP_UPDATE_KERNEL_H_

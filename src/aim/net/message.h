@@ -1,0 +1,78 @@
+#ifndef AIM_NET_MESSAGE_H_
+#define AIM_NET_MESSAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/common/types.h"
+
+namespace aim {
+
+/// Completion slot for an event submission. The submitter owns it and polls
+/// (or blocks on) `done`; the storage node's ESP thread fills it in. This
+/// models the synchronous ESP <-> storage interaction of the paper (§4.2)
+/// without a per-request heap allocation.
+struct EventCompletion {
+  std::atomic<bool> done{false};
+  Status status;
+  std::vector<std::uint32_t> fired_rules;
+  std::int64_t submit_nanos = 0;    // set by the submitter
+  std::int64_t complete_nanos = 0;  // set by the ESP thread
+
+  void Reset() {
+    done.store(false, std::memory_order_relaxed);
+    status = Status::OK();
+    fired_rules.clear();
+    submit_nanos = 0;
+    complete_nanos = 0;
+  }
+
+  void Wait() const {
+    while (!done.load(std::memory_order_acquire)) {
+      // The ESP SLA is 10ms; yielding is plenty precise at that scale.
+      std::this_thread::yield();
+    }
+  }
+};
+
+/// Event message on the "wire" between the event dispatcher and a storage
+/// node: the 64-byte serialized CDR plus an optional completion slot.
+struct EventMessage {
+  std::vector<std::uint8_t> bytes;
+  EventCompletion* completion = nullptr;  // may be null (fire-and-forget)
+};
+
+/// Query message: serialized Query plus a reply callback receiving the
+/// node's serialized PartialResult. The callback is invoked exactly once,
+/// from the node's RTA coordinator thread; shutdown aborts with an empty
+/// payload.
+struct QueryMessage {
+  std::vector<std::uint8_t> bytes;
+  std::function<void(std::vector<std::uint8_t>&&)> reply;
+};
+
+/// Record-level request against a storage node's Get/Put interface — the
+/// paper's deployment option (a), where a separate ESP tier manipulates
+/// Entity Records remotely (§4.2). Served by the node's ESP service threads
+/// so the single-writer-per-partition discipline is preserved.
+struct RecordRequest {
+  enum class Kind : std::uint8_t { kGet = 0, kPut = 1, kInsert = 2 };
+
+  Kind kind = Kind::kGet;
+  EntityId entity = 0;
+  std::vector<std::uint8_t> row;  // kPut / kInsert payload (record bytes)
+  Version expected_version = 0;   // kPut conditional-write guard
+
+  /// Reply: status, record bytes (kGet only) and current version. Invoked
+  /// exactly once from the owning ESP service thread; shutdown replies
+  /// kShutdown.
+  std::function<void(Status, std::vector<std::uint8_t>&&, Version)> reply;
+};
+
+}  // namespace aim
+
+#endif  // AIM_NET_MESSAGE_H_

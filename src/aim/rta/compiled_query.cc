@@ -1,0 +1,426 @@
+#include "aim/rta/compiled_query.h"
+
+#include <algorithm>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+namespace {
+
+/// Loads one column value as double (group-by keys, top-k values).
+inline double LoadDouble(ValueType t, const std::uint8_t* col,
+                         std::uint32_t idx) {
+  switch (t) {
+    case ValueType::kInt32: {
+      std::int32_t v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return v;
+    }
+    case ValueType::kUInt32: {
+      std::uint32_t v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return v;
+    }
+    case ValueType::kInt64: {
+      std::int64_t v;
+      std::memcpy(&v, col + idx * 8u, 8);
+      return static_cast<double>(v);
+    }
+    case ValueType::kUInt64: {
+      std::uint64_t v;
+      std::memcpy(&v, col + idx * 8u, 8);
+      return static_cast<double>(v);
+    }
+    case ValueType::kFloat: {
+      float v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return v;
+    }
+    case ValueType::kDouble: {
+      double v;
+      std::memcpy(&v, col + idx * 8u, 8);
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+/// Loads one column value as a u64 group key (sign-extended for ints so
+/// ordering by key stays sensible for non-negative values).
+inline std::uint64_t LoadKey(ValueType t, const std::uint8_t* col,
+                             std::uint32_t idx) {
+  switch (t) {
+    case ValueType::kInt32: {
+      std::int32_t v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    }
+    case ValueType::kUInt32: {
+      std::uint32_t v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return v;
+    }
+    case ValueType::kInt64:
+    case ValueType::kUInt64: {
+      std::uint64_t v;
+      std::memcpy(&v, col + idx * 8u, 8);
+      return v;
+    }
+    case ValueType::kFloat: {
+      // Group floats by bit pattern (exact-value grouping).
+      std::uint32_t v;
+      std::memcpy(&v, col + idx * 4u, 4);
+      return v;
+    }
+    case ValueType::kDouble: {
+      std::uint64_t v;
+      std::memcpy(&v, col + idx * 8u, 8);
+      return v;
+    }
+  }
+  return 0;
+}
+
+bool CmpU32(CmpOp op, std::uint32_t lhs, std::uint32_t rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<CompiledQuery> CompiledQuery::Compile(const Query& query,
+                                               const Schema* schema,
+                                               const DimensionCatalog* dims) {
+  CompiledQuery cq;
+  cq.query_ = query;
+  cq.schema_ = schema;
+  cq.dims_ = dims;
+
+  // WHERE predicates on matrix columns.
+  for (const ScanFilter& f : query.where) {
+    if (f.attr >= schema->num_attributes()) {
+      return Status::InvalidArgument("filter attribute out of range");
+    }
+    cq.filters_.push_back(ColumnFilter{
+        f.attr, schema->attribute(f.attr).type, f.op, f.constant});
+  }
+
+  // Dimension predicates -> FK membership sets. Several predicates through
+  // the same FK intersect into one set.
+  for (const DimFilter& f : query.dim_where) {
+    if (dims == nullptr || f.dim_table >= dims->num_tables()) {
+      return Status::InvalidArgument("unknown dimension table");
+    }
+    const DimensionTable& table = dims->table(f.dim_table);
+    if (f.dim_column >= table.num_columns()) {
+      return Status::InvalidArgument("unknown dimension column");
+    }
+    if (f.fk_attr >= schema->num_attributes() ||
+        schema->attribute(f.fk_attr).type != ValueType::kUInt32) {
+      return Status::InvalidArgument("dim FK must be a uint32 attribute");
+    }
+    std::unordered_set<std::uint32_t> matching;
+    const bool is_string =
+        table.column_type(f.dim_column) == DimensionTable::ColumnType::kString;
+    for (std::uint32_t row = 0; row < table.num_rows(); ++row) {
+      bool pass;
+      if (is_string) {
+        if (f.op != CmpOp::kEq && f.op != CmpOp::kNe) {
+          return Status::InvalidArgument(
+              "string dim predicates support ==/!= only");
+        }
+        const bool eq = table.string_value(row, f.dim_column) ==
+                        f.str_constant;
+        pass = (f.op == CmpOp::kEq) ? eq : !eq;
+      } else {
+        pass = CmpU32(f.op, table.u32_value(row, f.dim_column), f.constant);
+      }
+      if (pass) {
+        matching.insert(static_cast<std::uint32_t>(table.row_key(row)));
+      }
+    }
+    // Intersect with an existing set on the same FK, if any.
+    bool merged = false;
+    for (FkSetFilter& existing : cq.fk_filters_) {
+      if (existing.attr == f.fk_attr) {
+        std::erase_if(existing.matching, [&](std::uint32_t v) {
+          return matching.find(v) == matching.end();
+        });
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      cq.fk_filters_.push_back(FkSetFilter{f.fk_attr, std::move(matching)});
+    }
+  }
+
+  // Aggregate slots.
+  std::uint32_t slot = 0;
+  for (const SelectItem& s : query.select) {
+    const bool count_star = s.attr == kInvalidAttr && s.op == AggOp::kCount;
+    if (!count_star && s.attr >= schema->num_attributes()) {
+      return Status::InvalidArgument("aggregate over invalid attribute");
+    }
+    const ValueType t =
+        count_star ? ValueType::kInt32 : schema->attribute(s.attr).type;
+    cq.agg_slots_.push_back(
+        AggSlot{slot++, count_star ? kInvalidAttr : s.attr, t});
+    if (s.is_sum_ratio) {
+      if (s.den_attr >= schema->num_attributes()) {
+        return Status::InvalidArgument("ratio denominator out of range");
+      }
+      cq.agg_slots_.push_back(AggSlot{slot++, s.den_attr,
+                                      schema->attribute(s.den_attr).type});
+    }
+  }
+  cq.num_slots_ = slot;
+
+  // GROUP BY.
+  if (query.group_by.kind == GroupBy::Kind::kMatrixAttr) {
+    if (query.group_by.attr >= schema->num_attributes()) {
+      return Status::InvalidArgument("group-by attribute out of range");
+    }
+    cq.group_attr_ = query.group_by.attr;
+    cq.group_attr_type_ = schema->attribute(cq.group_attr_).type;
+  } else if (query.group_by.kind == GroupBy::Kind::kDimColumn) {
+    if (dims == nullptr || query.group_by.dim_table >= dims->num_tables()) {
+      return Status::InvalidArgument("unknown group-by dimension table");
+    }
+    const DimensionTable& table = dims->table(query.group_by.dim_table);
+    cq.group_by_dim_ = true;
+    cq.group_fk_attr_ = query.group_by.fk_attr;
+    if (cq.group_fk_attr_ >= schema->num_attributes() ||
+        schema->attribute(cq.group_fk_attr_).type != ValueType::kUInt32) {
+      return Status::InvalidArgument("group-by FK must be uint32");
+    }
+    for (std::uint32_t row = 0; row < table.num_rows(); ++row) {
+      cq.fk_to_group_.emplace(
+          static_cast<std::uint32_t>(table.row_key(row)),
+          table.GroupKey(row, query.group_by.dim_column));
+    }
+  }
+
+  // Top-k sanity.
+  if (query.kind == Query::Kind::kTopK) {
+    for (const TopKTarget& t : query.topk) {
+      if (t.attr >= schema->num_attributes() ||
+          (t.den_attr != kInvalidAttr &&
+           t.den_attr >= schema->num_attributes())) {
+        return Status::InvalidArgument("top-k attribute out of range");
+      }
+    }
+    if (query.entity_attr >= schema->num_attributes()) {
+      return Status::InvalidArgument("top-k entity attribute out of range");
+    }
+  }
+
+  cq.Reset();
+  return cq;
+}
+
+void CompiledQuery::Reset() {
+  partial_ = PartialResult{};
+  partial_.query_id = query_.id;
+  group_index_.clear();
+  topk_state_.assign(query_.topk.size(), TopKState{});
+}
+
+PartialResult::Group* CompiledQuery::GroupFor(std::uint64_t key) {
+  auto [it, inserted] = group_index_.emplace(
+      key, static_cast<std::uint32_t>(partial_.groups.size()));
+  if (inserted) {
+    PartialResult::Group g;
+    g.key = key;
+    g.slots.assign(num_slots_, simd::AggAccum{});
+    partial_.groups.push_back(std::move(g));
+  }
+  return &partial_.groups[it->second];
+}
+
+void CompiledQuery::ProcessBucket(const ColumnMap& map,
+                                  const ColumnMap::BucketRef& bucket,
+                                  ScanScratch* scratch) {
+  const std::uint32_t count = bucket.count;
+  if (count == 0) return;
+  std::uint8_t* mask = scratch->MaskFor(count);
+
+  // Selection: SIMD column filters, then FK membership filters.
+  if (filters_.empty()) {
+    simd::FillMask(mask, count);
+  } else {
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+      const ColumnFilter& f = filters_[i];
+      simd::FilterColumn(f.type, bucket.Column(map, f.attr), count, f.op,
+                         f.constant, mask, /*combine_and=*/i > 0);
+    }
+  }
+  for (const FkSetFilter& f : fk_filters_) {
+    const std::uint8_t* col = bucket.Column(map, f.attr);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (mask[i] == 0) continue;
+      std::uint32_t fk;
+      std::memcpy(&fk, col + i * 4u, 4);
+      if (f.matching.find(fk) == f.matching.end()) mask[i] = 0;
+    }
+  }
+
+  switch (query_.kind) {
+    case Query::Kind::kAggregate:
+      AggregateBucket(map, bucket, mask, count);
+      break;
+    case Query::Kind::kGroupBy:
+      GroupByBucket(map, bucket, mask, count);
+      break;
+    case Query::Kind::kTopK:
+      TopKBucket(map, bucket, mask, count);
+      break;
+  }
+}
+
+void CompiledQuery::AggregateBucket(const ColumnMap& map,
+                                    const ColumnMap::BucketRef& bucket,
+                                    const std::uint8_t* mask,
+                                    std::uint32_t count) {
+  PartialResult::Group* g = GroupFor(0);
+  for (const AggSlot& slot : agg_slots_) {
+    simd::AggAccum* acc = &g->slots[slot.slot];
+    if (slot.attr == kInvalidAttr) {
+      acc->count += simd::CountMask(mask, count);  // COUNT(*)
+      continue;
+    }
+    simd::MaskedAggregate(slot.type, bucket.Column(map, slot.attr), mask,
+                          count, acc);
+  }
+}
+
+void CompiledQuery::GroupByBucket(const ColumnMap& map,
+                                  const ColumnMap::BucketRef& bucket,
+                                  const std::uint8_t* mask,
+                                  std::uint32_t count) {
+  const std::uint8_t* key_col =
+      group_by_dim_ ? bucket.Column(map, group_fk_attr_)
+                    : bucket.Column(map, group_attr_);
+
+  // Pre-resolve aggregate columns for the scalar per-record loop.
+  struct ColPtr {
+    const std::uint8_t* data;
+    ValueType type;
+    std::uint32_t slot;
+    bool is_count_star;
+  };
+  std::vector<ColPtr> cols;
+  cols.reserve(agg_slots_.size());
+  for (const AggSlot& slot : agg_slots_) {
+    cols.push_back(ColPtr{
+        slot.attr == kInvalidAttr ? nullptr : bucket.Column(map, slot.attr),
+        slot.type, slot.slot, slot.attr == kInvalidAttr});
+  }
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (mask[i] == 0) continue;
+    std::uint64_t key;
+    if (group_by_dim_) {
+      std::uint32_t fk;
+      std::memcpy(&fk, key_col + i * 4u, 4);
+      auto it = fk_to_group_.find(fk);
+      if (it == fk_to_group_.end()) continue;  // inner join: no dim row
+      key = it->second;
+    } else {
+      key = LoadKey(group_attr_type_, key_col, i);
+    }
+    PartialResult::Group* g = GroupFor(key);
+    for (const ColPtr& c : cols) {
+      simd::AggAccum& acc = g->slots[c.slot];
+      if (c.is_count_star) {
+        acc.count++;
+        continue;
+      }
+      const double v = LoadDouble(c.type, c.data, i);
+      acc.sum += v;
+      if (v < acc.min) acc.min = v;
+      if (v > acc.max) acc.max = v;
+      acc.count++;
+    }
+  }
+}
+
+void CompiledQuery::TopKBucket(const ColumnMap& map,
+                               const ColumnMap::BucketRef& bucket,
+                               const std::uint8_t* mask,
+                               std::uint32_t count) {
+  const std::uint8_t* entity_col = bucket.Column(map, query_.entity_attr);
+  const ValueType entity_type = schema_->attribute(query_.entity_attr).type;
+
+  for (std::size_t t = 0; t < query_.topk.size(); ++t) {
+    const TopKTarget& target = query_.topk[t];
+    TopKState& state = topk_state_[t];
+    const std::uint8_t* num_col = bucket.Column(map, target.attr);
+    const ValueType num_type = schema_->attribute(target.attr).type;
+    const std::uint8_t* den_col =
+        target.den_attr == kInvalidAttr ? nullptr
+                                        : bucket.Column(map, target.den_attr);
+    const ValueType den_type = target.den_attr == kInvalidAttr
+                                   ? ValueType::kFloat
+                                   : schema_->attribute(target.den_attr).type;
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (mask[i] == 0) continue;
+      double v = LoadDouble(num_type, num_col, i);
+      if (den_col != nullptr) {
+        const double den = LoadDouble(den_type, den_col, i);
+        if (den == 0.0) continue;  // undefined ratio: skip record
+        v /= den;
+      }
+      TopKEntry entry;
+      entry.entity = LoadKey(entity_type, entity_col, i);
+      entry.value = v;
+      state.entries.push_back(entry);
+      // Trim lazily to bound memory: keep 4x k candidates between trims.
+      if (state.entries.size() >= static_cast<std::size_t>(query_.k) * 4 + 16) {
+        const bool asc = target.ascending;
+        std::nth_element(state.entries.begin(),
+                         state.entries.begin() + query_.k - 1,
+                         state.entries.end(),
+                         [asc](const TopKEntry& a, const TopKEntry& b) {
+                           return asc ? a.value < b.value : a.value > b.value;
+                         });
+        state.entries.resize(query_.k);
+      }
+    }
+  }
+}
+
+PartialResult CompiledQuery::TakePartial() {
+  // Final trim + sort of top-k candidates.
+  partial_.topk.clear();
+  for (std::size_t t = 0; t < topk_state_.size(); ++t) {
+    auto& entries = topk_state_[t].entries;
+    const bool asc = query_.topk[t].ascending;
+    std::sort(entries.begin(), entries.end(),
+              [asc](const TopKEntry& a, const TopKEntry& b) {
+                return asc ? a.value < b.value : a.value > b.value;
+              });
+    if (entries.size() > query_.k) entries.resize(query_.k);
+    partial_.topk.push_back(std::move(entries));
+  }
+  PartialResult out = std::move(partial_);
+  Reset();
+  return out;
+}
+
+}  // namespace aim

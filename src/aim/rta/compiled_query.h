@@ -1,0 +1,122 @@
+#ifndef AIM_RTA_COMPILED_QUERY_H_
+#define AIM_RTA_COMPILED_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+#include "aim/rta/simd.h"
+#include "aim/storage/column_map.h"
+
+namespace aim {
+
+/// Reusable per-thread scan scratch (selection mask sized to bucket_size).
+struct ScanScratch {
+  std::vector<std::uint8_t> mask;
+
+  std::uint8_t* MaskFor(std::uint32_t n) {
+    if (mask.size() < n) mask.resize(n);
+    return mask.data();
+  }
+};
+
+/// A query compiled against a schema + dimension catalog, ready to consume
+/// ColumnMap buckets. Compilation resolves:
+///   * WHERE predicates into typed SIMD column filters;
+///   * dimension predicates into FK membership sets (the "join happens at
+///     the storage node" strategy of §3.4 — dimension tables are small,
+///     static and replicated, so semi-join reduction is exact);
+///   * GROUP BY dim columns into an FK -> group-key hash;
+///   * select items into aggregate slots.
+///
+/// Usage per scan: Reset(), ProcessBucket() for every bucket, TakePartial().
+/// One CompiledQuery instance is owned by one scan thread (not shared).
+class CompiledQuery {
+ public:
+  static StatusOr<CompiledQuery> Compile(const Query& query,
+                                         const Schema* schema,
+                                         const DimensionCatalog* dims);
+
+  const Query& query() const { return query_; }
+
+  /// Clears accumulated state for a fresh scan pass.
+  void Reset();
+
+  /// Consumes one bucket (Algorithm 5's process_bucket(bucket, query)).
+  void ProcessBucket(const ColumnMap& map, const ColumnMap::BucketRef& bucket,
+                     ScanScratch* scratch);
+
+  /// Moves the accumulated partial result out (ends the pass).
+  PartialResult TakePartial();
+
+ private:
+  CompiledQuery() = default;
+
+  struct ColumnFilter {
+    std::uint16_t attr;
+    ValueType type;
+    CmpOp op;
+    Value constant;
+  };
+
+  /// FK membership test from resolved dimension predicates: the record
+  /// passes iff its FK value is in `matching` (inner-join + predicate
+  /// semantics folded together).
+  struct FkSetFilter {
+    std::uint16_t attr;  // u32 FK column
+    std::unordered_set<std::uint32_t> matching;
+  };
+
+  void AggregateBucket(const ColumnMap& map,
+                       const ColumnMap::BucketRef& bucket,
+                       const std::uint8_t* mask, std::uint32_t count);
+  void GroupByBucket(const ColumnMap& map, const ColumnMap::BucketRef& bucket,
+                     const std::uint8_t* mask, std::uint32_t count);
+  void TopKBucket(const ColumnMap& map, const ColumnMap::BucketRef& bucket,
+                  const std::uint8_t* mask, std::uint32_t count);
+
+  PartialResult::Group* GroupFor(std::uint64_t key);
+
+  Query query_;
+  const Schema* schema_ = nullptr;
+  const DimensionCatalog* dims_ = nullptr;
+
+  std::vector<ColumnFilter> filters_;
+  std::vector<FkSetFilter> fk_filters_;
+
+  // Aggregate slots: (select item, slot index, attr, type). Ratio items
+  // produce two slot entries.
+  struct AggSlot {
+    std::uint32_t slot;
+    std::uint16_t attr;  // kInvalidAttr = COUNT(*)
+    ValueType type;
+  };
+  std::vector<AggSlot> agg_slots_;
+  std::uint32_t num_slots_ = 0;
+
+  // GROUP BY state.
+  bool group_by_dim_ = false;
+  std::uint16_t group_attr_ = kInvalidAttr;  // matrix-attr grouping
+  ValueType group_attr_type_ = ValueType::kInt32;
+  std::uint16_t group_fk_attr_ = kInvalidAttr;  // dim grouping
+  std::unordered_map<std::uint32_t, std::uint64_t> fk_to_group_;
+
+  // Execution state.
+  PartialResult partial_;
+  std::unordered_map<std::uint64_t, std::uint32_t> group_index_;
+
+  struct TopKState {
+    std::vector<TopKEntry> entries;  // kept loosely sorted, trimmed lazily
+  };
+  std::vector<TopKState> topk_state_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_COMPILED_QUERY_H_

@@ -1,0 +1,39 @@
+#ifndef AIM_RTA_PARALLEL_SCAN_H_
+#define AIM_RTA_PARALLEL_SCAN_H_
+
+#include <vector>
+
+#include "aim/rta/compiled_query.h"
+
+namespace aim {
+
+/// The alternative thread model of paper §3.2: instead of a fixed
+/// thread-to-partition assignment, the data is split into many small chunks
+/// at scan start and idle threads continuously grab the next chunk — work
+/// stealing, which balances skewed loads at the cost of chunk management.
+///
+/// Executes a query batch over one ColumnMap with `num_threads` workers
+/// pulling `chunk_buckets`-sized bucket ranges from a shared cursor. Each
+/// worker runs its own compiled copy of the batch; per-query partials are
+/// merged at the end (the same merge path node-level partials use).
+class ParallelSharedScan {
+ public:
+  struct Options {
+    std::uint32_t num_threads = 2;
+    std::uint32_t chunk_buckets = 1;  // chunk granularity
+  };
+
+  /// Returns one merged PartialResult per query (empty partials for
+  /// queries that fail to compile). `chunks_per_worker`, if non-null, is
+  /// filled with how many chunks each worker processed — the
+  /// load-balancing evidence the §3.2 discussion is about.
+  static StatusOr<std::vector<PartialResult>> Execute(
+      const ColumnMap& main, const Schema* schema,
+      const DimensionCatalog* dims, const std::vector<Query>& batch,
+      const Options& options,
+      std::vector<std::uint32_t>* chunks_per_worker = nullptr);
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_PARALLEL_SCAN_H_

@@ -1,0 +1,364 @@
+#include "aim/rta/query.h"
+
+#include <cstdio>
+
+namespace aim {
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+    case AggOp::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+namespace {
+
+void SerializeValue(BinaryWriter* w, const Value& v) {
+  w->PutU8(static_cast<std::uint8_t>(v.type()));
+  w->PutU64(v.type() == ValueType::kDouble || v.type() == ValueType::kFloat
+                ? [&] {
+                    double d = v.AsDouble();
+                    std::uint64_t bits;
+                    std::memcpy(&bits, &d, 8);
+                    return bits;
+                  }()
+                : static_cast<std::uint64_t>(v.AsInt64()));
+}
+
+Value DeserializeValue(BinaryReader* r) {
+  const ValueType t = static_cast<ValueType>(r->GetU8());
+  const std::uint64_t bits = r->GetU64();
+  switch (t) {
+    case ValueType::kInt32:
+      return Value::Int32(static_cast<std::int32_t>(bits));
+    case ValueType::kUInt32:
+      return Value::UInt32(static_cast<std::uint32_t>(bits));
+    case ValueType::kInt64:
+      return Value::Int64(static_cast<std::int64_t>(bits));
+    case ValueType::kUInt64:
+      return Value::UInt64(bits);
+    case ValueType::kFloat: {
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Float(static_cast<float>(d));
+    }
+    case ValueType::kDouble: {
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+  }
+  return Value();
+}
+
+}  // namespace
+
+void Query::Serialize(BinaryWriter* w) const {
+  w->PutU32(id);
+  w->PutU8(static_cast<std::uint8_t>(kind));
+
+  w->PutU32(static_cast<std::uint32_t>(select.size()));
+  for (const SelectItem& s : select) {
+    w->PutU8(static_cast<std::uint8_t>(s.op));
+    w->PutU16(s.attr);
+    w->PutU8(s.is_sum_ratio ? 1 : 0);
+    w->PutU16(s.den_attr);
+  }
+
+  w->PutU32(static_cast<std::uint32_t>(where.size()));
+  for (const ScanFilter& f : where) {
+    w->PutU16(f.attr);
+    w->PutU8(static_cast<std::uint8_t>(f.op));
+    SerializeValue(w, f.constant);
+  }
+
+  w->PutU32(static_cast<std::uint32_t>(dim_where.size()));
+  for (const DimFilter& f : dim_where) {
+    w->PutU16(f.fk_attr);
+    w->PutU16(f.dim_table);
+    w->PutU16(f.dim_column);
+    w->PutU8(static_cast<std::uint8_t>(f.op));
+    w->PutU32(f.constant);
+    w->PutString(f.str_constant);
+  }
+
+  w->PutU8(static_cast<std::uint8_t>(group_by.kind));
+  w->PutU16(group_by.attr);
+  w->PutU16(group_by.fk_attr);
+  w->PutU16(group_by.dim_table);
+  w->PutU16(group_by.dim_column);
+  w->PutU32(limit);
+
+  w->PutU32(static_cast<std::uint32_t>(topk.size()));
+  for (const TopKTarget& t : topk) {
+    w->PutU16(t.attr);
+    w->PutU16(t.den_attr);
+    w->PutU8(t.ascending ? 1 : 0);
+  }
+  w->PutU32(k);
+  w->PutU16(entity_attr);
+}
+
+StatusOr<Query> Query::Deserialize(BinaryReader* r) {
+  Query q;
+  q.id = r->GetU32();
+  q.kind = static_cast<Kind>(r->GetU8());
+
+  const std::uint32_t ns = r->GetU32();
+  for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
+    SelectItem s;
+    s.op = static_cast<AggOp>(r->GetU8());
+    s.attr = r->GetU16();
+    s.is_sum_ratio = r->GetU8() != 0;
+    s.den_attr = r->GetU16();
+    q.select.push_back(s);
+  }
+
+  const std::uint32_t nw = r->GetU32();
+  for (std::uint32_t i = 0; i < nw && r->ok(); ++i) {
+    ScanFilter f;
+    f.attr = r->GetU16();
+    f.op = static_cast<CmpOp>(r->GetU8());
+    f.constant = DeserializeValue(r);
+    q.where.push_back(f);
+  }
+
+  const std::uint32_t nd = r->GetU32();
+  for (std::uint32_t i = 0; i < nd && r->ok(); ++i) {
+    DimFilter f;
+    f.fk_attr = r->GetU16();
+    f.dim_table = r->GetU16();
+    f.dim_column = r->GetU16();
+    f.op = static_cast<CmpOp>(r->GetU8());
+    f.constant = r->GetU32();
+    f.str_constant = r->GetString();
+    q.dim_where.push_back(f);
+  }
+
+  q.group_by.kind = static_cast<GroupBy::Kind>(r->GetU8());
+  q.group_by.attr = r->GetU16();
+  q.group_by.fk_attr = r->GetU16();
+  q.group_by.dim_table = r->GetU16();
+  q.group_by.dim_column = r->GetU16();
+  q.limit = r->GetU32();
+
+  const std::uint32_t nt = r->GetU32();
+  for (std::uint32_t i = 0; i < nt && r->ok(); ++i) {
+    TopKTarget t;
+    t.attr = r->GetU16();
+    t.den_attr = r->GetU16();
+    t.ascending = r->GetU8() != 0;
+    q.topk.push_back(t);
+  }
+  q.k = r->GetU32();
+  q.entity_attr = r->GetU16();
+
+  if (!r->ok()) return Status::InvalidArgument("truncated query message");
+  return q;
+}
+
+std::string Query::ToString(const Schema* schema) const {
+  auto attr_name = [&](std::uint16_t a) -> std::string {
+    if (schema != nullptr && a < schema->num_attributes()) {
+      return schema->attribute(a).name;
+    }
+    return "attr#" + std::to_string(a);
+  };
+  std::string out = "SELECT ";
+  if (kind == Kind::kTopK) {
+    out += "TOP-" + std::to_string(k) + " ";
+    for (std::size_t i = 0; i < topk.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += attr_name(topk[i].attr);
+      if (topk[i].den_attr != kInvalidAttr) {
+        out += "/" + attr_name(topk[i].den_attr);
+      }
+      out += topk[i].ascending ? " ASC" : " DESC";
+    }
+  } else {
+    for (std::size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) out += ", ";
+      const SelectItem& s = select[i];
+      if (s.op == AggOp::kCount && s.attr == kInvalidAttr) {
+        out += "COUNT(*)";
+      } else if (s.is_sum_ratio) {
+        out += "SUM(" + attr_name(s.attr) + ")/SUM(" +
+               attr_name(s.den_attr) + ")";
+      } else {
+        out += std::string(AggOpName(s.op)) + "(" + attr_name(s.attr) + ")";
+      }
+    }
+  }
+  out += " FROM AnalyticsMatrix";
+  if (!where.empty() || !dim_where.empty()) {
+    out += " WHERE ";
+    bool first = true;
+    for (const ScanFilter& f : where) {
+      if (!first) out += " AND ";
+      first = false;
+      out += attr_name(f.attr) + " " + CmpOpName(f.op) + " " +
+             f.constant.ToString();
+    }
+    for (const DimFilter& f : dim_where) {
+      if (!first) out += " AND ";
+      first = false;
+      out += "dim[" + std::to_string(f.dim_table) + "." +
+             std::to_string(f.dim_column) + " via " + attr_name(f.fk_attr) +
+             "] " + CmpOpName(f.op) + " " +
+             (f.str_constant.empty() ? std::to_string(f.constant)
+                                     : f.str_constant);
+    }
+  }
+  if (group_by.kind == GroupBy::Kind::kMatrixAttr) {
+    out += " GROUP BY " + attr_name(group_by.attr);
+  } else if (group_by.kind == GroupBy::Kind::kDimColumn) {
+    out += " GROUP BY dim[" + std::to_string(group_by.dim_table) + "." +
+           std::to_string(group_by.dim_column) + "]";
+  }
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// QueryBuilder
+// ---------------------------------------------------------------------------
+
+std::uint16_t QueryBuilder::Resolve(const std::string& name) {
+  const std::uint16_t id = schema_->FindAttribute(name);
+  if (id == kInvalidAttr && !failed_) {
+    failed_ = true;
+    error_ = "unknown attribute: " + name;
+  }
+  return id;
+}
+
+QueryBuilder& QueryBuilder::WithId(std::uint32_t id) {
+  query_.id = id;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SelectCount() {
+  query_.select.push_back(SelectItem::Count());
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(AggOp op, const std::string& attr) {
+  query_.select.push_back(SelectItem::Agg(op, Resolve(attr)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SelectSumRatio(const std::string& num,
+                                           const std::string& den) {
+  query_.select.push_back(SelectItem::SumRatio(Resolve(num), Resolve(den)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(const std::string& attr, CmpOp op,
+                                  const Value& v) {
+  query_.where.push_back(ScanFilter{Resolve(attr), op, v});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereDim(const std::string& fk_attr,
+                                     std::uint16_t dim_table,
+                                     std::uint16_t dim_column, CmpOp op,
+                                     std::uint32_t constant) {
+  DimFilter f;
+  f.fk_attr = Resolve(fk_attr);
+  f.dim_table = dim_table;
+  f.dim_column = dim_column;
+  f.op = op;
+  f.constant = constant;
+  query_.dim_where.push_back(std::move(f));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereDimLabel(const std::string& fk_attr,
+                                          std::uint16_t dim_table,
+                                          std::uint16_t dim_column,
+                                          const std::string& label) {
+  DimFilter f;
+  f.fk_attr = Resolve(fk_attr);
+  f.dim_table = dim_table;
+  f.dim_column = dim_column;
+  f.op = CmpOp::kEq;
+  f.str_constant = label;
+  query_.dim_where.push_back(std::move(f));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupByAttr(const std::string& attr) {
+  query_.kind = Query::Kind::kGroupBy;
+  query_.group_by.kind = GroupBy::Kind::kMatrixAttr;
+  query_.group_by.attr = Resolve(attr);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupByDim(const std::string& fk_attr,
+                                       std::uint16_t dim_table,
+                                       std::uint16_t dim_column) {
+  query_.kind = Query::Kind::kGroupBy;
+  query_.group_by.kind = GroupBy::Kind::kDimColumn;
+  query_.group_by.fk_attr = Resolve(fk_attr);
+  query_.group_by.dim_table = dim_table;
+  query_.group_by.dim_column = dim_column;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(std::uint32_t limit) {
+  query_.limit = limit;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::TopK(const std::string& attr, bool ascending,
+                                 std::uint32_t k) {
+  query_.kind = Query::Kind::kTopK;
+  query_.topk.push_back(TopKTarget{Resolve(attr), kInvalidAttr, ascending});
+  query_.k = k;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::TopKRatio(const std::string& num,
+                                      const std::string& den, bool ascending,
+                                      std::uint32_t k) {
+  query_.kind = Query::Kind::kTopK;
+  query_.topk.push_back(TopKTarget{Resolve(num), Resolve(den), ascending});
+  query_.k = k;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithEntityAttr(const std::string& attr) {
+  query_.entity_attr = Resolve(attr);
+  return *this;
+}
+
+StatusOr<Query> QueryBuilder::Build() {
+  if (failed_) return Status::InvalidArgument(error_);
+  if (query_.kind == Query::Kind::kTopK) {
+    if (query_.entity_attr == kInvalidAttr) {
+      return Status::InvalidArgument("top-k query needs WithEntityAttr()");
+    }
+    if (query_.topk.empty()) {
+      return Status::InvalidArgument("top-k query has no targets");
+    }
+  } else if (query_.select.empty()) {
+    return Status::InvalidArgument("query selects nothing");
+  }
+  for (const SelectItem& s : query_.select) {
+    if (s.is_sum_ratio && s.den_attr == kInvalidAttr) {
+      return Status::InvalidArgument("sum-ratio without denominator");
+    }
+  }
+  return query_;
+}
+
+}  // namespace aim

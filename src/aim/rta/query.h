@@ -1,0 +1,159 @@
+#ifndef AIM_RTA_QUERY_H_
+#define AIM_RTA_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aim/common/binary_io.h"
+#include "aim/common/status.h"
+#include "aim/esp/rule.h"  // CmpOp
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Aggregate operators of the RTA query language.
+enum class AggOp : std::uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+};
+
+const char* AggOpName(AggOp op);
+
+/// One output expression: AGG(attr), COUNT(*), or SUM(attr)/SUM(den_attr)
+/// (the ratio form needed by Q3's cost_ratio).
+struct SelectItem {
+  AggOp op = AggOp::kCount;
+  std::uint16_t attr = kInvalidAttr;
+  bool is_sum_ratio = false;
+  std::uint16_t den_attr = kInvalidAttr;
+
+  static SelectItem Count() { return SelectItem{}; }
+  static SelectItem Agg(AggOp op, std::uint16_t attr) {
+    SelectItem s;
+    s.op = op;
+    s.attr = attr;
+    return s;
+  }
+  static SelectItem SumRatio(std::uint16_t num, std::uint16_t den) {
+    SelectItem s;
+    s.op = AggOp::kSum;
+    s.attr = num;
+    s.is_sum_ratio = true;
+    s.den_attr = den;
+    return s;
+  }
+};
+
+/// Predicate on an Analytics Matrix attribute (SIMD-scannable).
+struct ScanFilter {
+  std::uint16_t attr = 0;
+  CmpOp op = CmpOp::kGt;
+  Value constant;
+};
+
+/// Predicate on a dimension column, reached through a matrix FK attribute
+/// (e.g. "t.type = X AND a.subscription_type = t.id"). Resolved at compile
+/// time into a set of matching FK values, since dimension tables are small,
+/// static and replicated (paper §3.4).
+struct DimFilter {
+  std::uint16_t fk_attr = 0;    // matrix attribute holding the FK
+  std::uint16_t dim_table = 0;  // DimensionCatalog id
+  std::uint16_t dim_column = 0;
+  CmpOp op = CmpOp::kEq;
+  std::uint32_t constant = 0;  // numeric columns
+  std::string str_constant;    // string columns (equality only)
+};
+
+/// GROUP BY target: a matrix attribute, or a dimension column via FK join.
+struct GroupBy {
+  enum class Kind : std::uint8_t { kNone = 0, kMatrixAttr = 1, kDimColumn = 2 };
+  Kind kind = Kind::kNone;
+  std::uint16_t attr = 0;       // kMatrixAttr
+  std::uint16_t fk_attr = 0;    // kDimColumn
+  std::uint16_t dim_table = 0;  // kDimColumn
+  std::uint16_t dim_column = 0;  // kDimColumn
+};
+
+/// Top-k target (Q6/Q7): report entities extremal in `attr` (or the ratio
+/// attr/den_attr, skipping records with a zero denominator).
+struct TopKTarget {
+  std::uint16_t attr = 0;
+  std::uint16_t den_attr = kInvalidAttr;  // kInvalidAttr: plain attribute
+  bool ascending = false;                 // false = largest first
+};
+
+/// An RTA query. Shape: SELECT <select...> FROM AnalyticsMatrix [join dims]
+/// WHERE <where AND dim_where> [GROUP BY <group_by>] [LIMIT limit], or the
+/// top-k form. Serializable, since RTA front-ends ship queries to every
+/// storage node.
+struct Query {
+  enum class Kind : std::uint8_t { kAggregate = 0, kGroupBy = 1, kTopK = 2 };
+
+  std::uint32_t id = 0;
+  Kind kind = Kind::kAggregate;
+  std::vector<SelectItem> select;
+  std::vector<ScanFilter> where;
+  std::vector<DimFilter> dim_where;
+  GroupBy group_by;
+  std::uint32_t limit = 0;  // 0 = unlimited (group-by rows)
+
+  std::vector<TopKTarget> topk;
+  std::uint32_t k = 1;                       // results per top-k target
+  std::uint16_t entity_attr = kInvalidAttr;  // entity-id column for top-k
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Query> Deserialize(BinaryReader* r);
+
+  std::string ToString(const Schema* schema) const;
+};
+
+/// Fluent builder for queries, mirroring the SQL in Table 5 of the paper:
+///
+///   Query q = QueryBuilder(schema).Select(AggOp::kAvg, "total_duration_w")
+///                .Where("local_calls_w", CmpOp::kGt, Value::Int32(2))
+///                .Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Schema* schema) : schema_(schema) {}
+
+  QueryBuilder& WithId(std::uint32_t id);
+  QueryBuilder& SelectCount();
+  QueryBuilder& Select(AggOp op, const std::string& attr);
+  QueryBuilder& SelectSumRatio(const std::string& num, const std::string& den);
+  QueryBuilder& Where(const std::string& attr, CmpOp op, const Value& v);
+  QueryBuilder& WhereDim(const std::string& fk_attr, std::uint16_t dim_table,
+                         std::uint16_t dim_column, CmpOp op,
+                         std::uint32_t constant);
+  QueryBuilder& WhereDimLabel(const std::string& fk_attr,
+                              std::uint16_t dim_table,
+                              std::uint16_t dim_column,
+                              const std::string& label);
+  QueryBuilder& GroupByAttr(const std::string& attr);
+  QueryBuilder& GroupByDim(const std::string& fk_attr,
+                           std::uint16_t dim_table, std::uint16_t dim_column);
+  QueryBuilder& Limit(std::uint32_t limit);
+  QueryBuilder& TopK(const std::string& attr, bool ascending,
+                     std::uint32_t k = 1);
+  QueryBuilder& TopKRatio(const std::string& num, const std::string& den,
+                          bool ascending, std::uint32_t k = 1);
+  QueryBuilder& WithEntityAttr(const std::string& attr);
+
+  /// Returns kInvalidArgument if any attribute name did not resolve.
+  StatusOr<Query> Build();
+
+ private:
+  std::uint16_t Resolve(const std::string& name);
+
+  const Schema* schema_;
+  Query query_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_QUERY_H_

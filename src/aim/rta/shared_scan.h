@@ -1,0 +1,60 @@
+#ifndef AIM_RTA_SHARED_SCAN_H_
+#define AIM_RTA_SHARED_SCAN_H_
+
+#include <vector>
+
+#include "aim/rta/compiled_query.h"
+#include "aim/storage/delta_main.h"
+
+namespace aim {
+
+/// Shared-scan executor for one data partition (paper §4.7, Algorithm 5 and
+/// Figure 6). The owning RTA thread alternates:
+///
+///   scan step   — one pass over every bucket of the partition's main,
+///                 feeding each bucket to every query in the current batch;
+///   merge step  — SwitchDeltas() + MergeStep() on the partition's store,
+///                 folding the frozen delta into the main in place.
+///
+/// Interleaving the two gives snapshot-consistent queries (the main is
+/// read-only during the scan step) with bounded staleness (t_fresh is one
+/// scan+merge cycle).
+class SharedScan {
+ public:
+  explicit SharedScan(DeltaMainStore* store) : store_(store) {}
+
+  /// Scan step: runs `batch` over the whole main. Each CompiledQuery
+  /// accumulates its partial result internally (TakePartial() to collect).
+  void ScanStep(std::vector<CompiledQuery>& batch) {
+    const ColumnMap& main = store_->main();
+    const std::uint32_t buckets = main.num_buckets();
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      const ColumnMap::BucketRef bucket = main.bucket(b);
+      for (CompiledQuery& query : batch) {
+        query.ProcessBucket(main, bucket, &scratch_);
+      }
+    }
+  }
+
+  /// Merge step. Returns the number of delta records folded into the main.
+  std::size_t MergeStep() {
+    store_->SwitchDeltas();
+    return store_->MergeStep();
+  }
+
+  /// One full cycle: scan the batch, then merge (Figure 6's loop body).
+  std::size_t ScanAndMerge(std::vector<CompiledQuery>& batch) {
+    ScanStep(batch);
+    return MergeStep();
+  }
+
+  DeltaMainStore* store() { return store_; }
+
+ private:
+  DeltaMainStore* store_;
+  ScanScratch scratch_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_SHARED_SCAN_H_

@@ -1,0 +1,79 @@
+#ifndef AIM_RTA_SIMD_H_
+#define AIM_RTA_SIMD_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "aim/esp/rule.h"  // CmpOp
+#include "aim/schema/value.h"
+
+namespace aim {
+namespace simd {
+
+/// Scan kernels (paper §4.7.1): vectorized filtering producing a byte mask
+/// (0xff = selected, 0x00 = filtered out) and masked aggregation over
+/// columns, the two building blocks of the shared scan.
+///
+/// AVX2 paths cover the hot column types of the benchmark schema (int32 and
+/// float indicators, uint32 foreign keys); the remaining types use scalar
+/// loops. Every kernel has a *Scalar reference twin used for correctness
+/// tests and for the SIMD-vs-scalar ablation bench.
+
+/// True when the AVX2 paths are compiled in and used.
+bool HasAvx2();
+
+// ---------------------------------------------------------------------------
+// Filtering. If `combine_and` is true, the comparison result is ANDed into
+// `mask` (conjunctive WHERE clauses); otherwise `mask` is overwritten.
+// ---------------------------------------------------------------------------
+
+void FilterColumn(ValueType type, const std::uint8_t* column,
+                  std::uint32_t count, CmpOp op, const Value& constant,
+                  std::uint8_t* mask, bool combine_and);
+
+void FilterColumnScalar(ValueType type, const std::uint8_t* column,
+                        std::uint32_t count, CmpOp op, const Value& constant,
+                        std::uint8_t* mask, bool combine_and);
+
+/// mask[i] |= other[i] (disjunctive predicate groups).
+void MaskOr(std::uint8_t* mask, const std::uint8_t* other,
+            std::uint32_t count);
+
+/// Number of selected records in the mask.
+std::uint32_t CountMask(const std::uint8_t* mask, std::uint32_t count);
+
+/// Sets all `count` bytes to 0xff (queries without a WHERE clause).
+void FillMask(std::uint8_t* mask, std::uint32_t count);
+
+// ---------------------------------------------------------------------------
+// Masked aggregation. Accumulates sum/min/max/count of the selected values
+// into `acc` (across calls — initialize acc once per query, feed it every
+// bucket).
+// ---------------------------------------------------------------------------
+
+struct AggAccum {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::int64_t count = 0;
+
+  void MergeFrom(const AggAccum& o) {
+    sum += o.sum;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+    count += o.count;
+  }
+};
+
+void MaskedAggregate(ValueType type, const std::uint8_t* column,
+                     const std::uint8_t* mask, std::uint32_t count,
+                     AggAccum* acc);
+
+void MaskedAggregateScalar(ValueType type, const std::uint8_t* column,
+                           const std::uint8_t* mask, std::uint32_t count,
+                           AggAccum* acc);
+
+}  // namespace simd
+}  // namespace aim
+
+#endif  // AIM_RTA_SIMD_H_

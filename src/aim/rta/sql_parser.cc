@@ -1,0 +1,634 @@
+#include "aim/rta/sql_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+namespace aim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdent,
+    kNumber,
+    kString,  // '...' literal (quotes stripped)
+    kSymbol,  // ( ) , . / * = < > <= >= <> !=
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::size_t pos = 0;  // byte offset, for error messages
+};
+
+Status TokenizeError(std::size_t pos, const std::string& what) {
+  return Status::InvalidArgument("SQL error at offset " + std::to_string(pos) +
+                                 ": " + what);
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ';') {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < sql.size() && (std::isalnum(static_cast<unsigned char>(
+                                    sql[j])) ||
+                                sql[j] == '_')) {
+        ++j;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < sql.size() && (std::isdigit(static_cast<unsigned char>(
+                                    sql[j])) ||
+                                sql[j] == '.')) {
+        ++j;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < sql.size() && sql[j] != '\'') ++j;
+      if (j >= sql.size()) return TokenizeError(i, "unterminated string");
+      t.kind = Token::Kind::kString;
+      t.text = sql.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else if (c == '<' || c == '>' || c == '!') {
+      std::size_t j = i + 1;
+      if (j < sql.size() && (sql[j] == '=' || (c == '<' && sql[j] == '>'))) {
+        ++j;
+      }
+      t.kind = Token::Kind::kSymbol;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::string("(),./*=").find(c) != std::string::npos) {
+      t.kind = Token::Kind::kSymbol;
+      t.text = std::string(1, c);
+      ++i;
+    } else {
+      return TokenizeError(i, std::string("unexpected character '") + c +
+                                  "'");
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.pos = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+/// A reference that may be `name` or `qualifier.name`.
+struct ColumnRef {
+  std::string qualifier;  // empty if unqualified
+  std::string name;
+  std::size_t pos = 0;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Pending select item before resolution.
+struct PendingItem {
+  enum class Kind { kCountStar, kAgg, kSumRatio, kEcho };
+  Kind kind = Kind::kEcho;
+  AggOp op = AggOp::kCount;
+  ColumnRef column;  // kAgg / kEcho; ratio numerator
+  ColumnRef den;     // kSumRatio denominator
+};
+
+class Parser {
+ public:
+  Parser(const Schema* schema, const DimensionCatalog* dims,
+         std::vector<Token> tokens)
+      : schema_(schema), dims_(dims), tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Run();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().kind == Token::Kind::kIdent && Upper(Peek().text) == kw) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == sym) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return TokenizeError(Peek().pos, what);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Error(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) return Error("expected name");
+    return Next().text;
+  }
+
+  StatusOr<ColumnRef> ParseColumnRef() {
+    ColumnRef ref;
+    ref.pos = Peek().pos;
+    StatusOr<std::string> first = ExpectIdent();
+    if (!first.ok()) return first.status();
+    if (AcceptSymbol(".")) {
+      StatusOr<std::string> second = ExpectIdent();
+      if (!second.ok()) return second.status();
+      ref.qualifier = *first;
+      ref.name = *second;
+    } else {
+      ref.name = *first;
+    }
+    return ref;
+  }
+
+  StatusOr<CmpOp> ParseCmpOp() {
+    if (Peek().kind != Token::Kind::kSymbol) return Error("expected operator");
+    const std::string op = Next().text;
+    if (op == "<") return CmpOp::kLt;
+    if (op == "<=") return CmpOp::kLe;
+    if (op == ">") return CmpOp::kGt;
+    if (op == ">=") return CmpOp::kGe;
+    if (op == "=") return CmpOp::kEq;
+    if (op == "<>" || op == "!=") return CmpOp::kNe;
+    return Error("unknown operator '" + op + "'");
+  }
+
+  // Resolution ------------------------------------------------------------
+
+  bool IsMatrixQualifier(const std::string& q) const {
+    return q.empty() || q == matrix_name_ || q == matrix_alias_;
+  }
+
+  /// Dimension table id for a qualifier (name or alias), kNoTable if none.
+  std::uint16_t TableOf(const std::string& qualifier) const {
+    auto it = table_aliases_.find(qualifier);
+    if (it != table_aliases_.end()) return it->second;
+    if (dims_ != nullptr) return dims_->FindTable(qualifier);
+    return DimensionCatalog::kNoTable;
+  }
+
+  /// Resolves a ColumnRef as a matrix attribute; kInvalidAttr if not one.
+  std::uint16_t MatrixAttr(const ColumnRef& ref) const {
+    if (!IsMatrixQualifier(ref.qualifier)) return kInvalidAttr;
+    return schema_->FindAttribute(ref.name);
+  }
+
+  Status ParseSelectList();
+  Status ParseFromList();
+  Status ParseWhere();
+  Status ParseGroupBy();
+  Status Assemble(Query* query);
+
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  // Gathered clauses.
+  std::vector<PendingItem> items_;
+  std::string matrix_name_ = "AnalyticsMatrix";
+  std::string matrix_alias_;
+  std::unordered_map<std::string, std::uint16_t> table_aliases_;
+
+  struct RawFilter {
+    ColumnRef column;
+    CmpOp op;
+    bool is_label = false;
+    std::string label;
+    double number = 0;
+  };
+  std::vector<RawFilter> filters_;
+
+  struct RawJoin {
+    ColumnRef fk;   // matrix side
+    ColumnRef key;  // dimension side (table.key)
+  };
+  std::vector<RawJoin> joins_;
+
+  bool has_group_by_ = false;
+  ColumnRef group_by_;
+  std::uint32_t limit_ = 0;
+};
+
+Status Parser::ParseSelectList() {
+  while (true) {
+    PendingItem item;
+    const Token& t = Peek();
+    if (t.kind != Token::Kind::kIdent) return Error("expected select item");
+    const std::string upper = Upper(t.text);
+    if (upper == "FROM" || upper == "WHERE" || upper == "GROUP" ||
+        upper == "LIMIT") {
+      return Error("expected select item");
+    }
+    if (upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+        upper == "MIN" || upper == "MAX") {
+      Next();
+      Status st = ExpectSymbol("(");
+      if (!st.ok()) return st;
+      if (upper == "COUNT") {
+        if (AcceptSymbol("*")) {
+          item.kind = PendingItem::Kind::kCountStar;
+        } else {
+          StatusOr<ColumnRef> ref = ParseColumnRef();
+          if (!ref.ok()) return ref.status();
+          item.kind = PendingItem::Kind::kAgg;
+          item.op = AggOp::kCount;
+          item.column = *ref;
+        }
+      } else {
+        StatusOr<ColumnRef> ref = ParseColumnRef();
+        if (!ref.ok()) return ref.status();
+        item.kind = PendingItem::Kind::kAgg;
+        item.op = upper == "SUM"   ? AggOp::kSum
+                  : upper == "AVG" ? AggOp::kAvg
+                  : upper == "MIN" ? AggOp::kMin
+                                   : AggOp::kMax;
+        item.column = *ref;
+      }
+      st = ExpectSymbol(")");
+      if (!st.ok()) return st;
+      // SUM(a)/SUM(b) ratio form.
+      if (item.op == AggOp::kSum && AcceptSymbol("/")) {
+        Status st2 = ExpectKeyword("SUM");
+        if (!st2.ok()) return st2;
+        st2 = ExpectSymbol("(");
+        if (!st2.ok()) return st2;
+        StatusOr<ColumnRef> den = ParseColumnRef();
+        if (!den.ok()) return den.status();
+        st2 = ExpectSymbol(")");
+        if (!st2.ok()) return st2;
+        item.kind = PendingItem::Kind::kSumRatio;
+        item.den = *den;
+      }
+    } else {
+      // Bare column: echoed group-by column.
+      StatusOr<ColumnRef> ref = ParseColumnRef();
+      if (!ref.ok()) return ref.status();
+      item.kind = PendingItem::Kind::kEcho;
+      item.column = *ref;
+    }
+    if (AcceptKeyword("AS")) {
+      StatusOr<std::string> name = ExpectIdent();  // accepted, not stored
+      if (!name.ok()) return name.status();
+    }
+    items_.push_back(std::move(item));
+    if (!AcceptSymbol(",")) break;
+  }
+  if (items_.empty()) return Error("empty select list");
+  return Status::OK();
+}
+
+Status Parser::ParseFromList() {
+  bool first = true;
+  while (true) {
+    StatusOr<std::string> table = ExpectIdent();
+    if (!table.ok()) return table.status();
+    // Optional alias: a bare ident that is not a clause keyword.
+    std::string alias;
+    if (Peek().kind == Token::Kind::kIdent) {
+      const std::string upper = Upper(Peek().text);
+      if (upper != "WHERE" && upper != "GROUP" && upper != "LIMIT") {
+        alias = Next().text;
+      }
+    }
+    if (first) {
+      matrix_name_ = *table;
+      matrix_alias_ = alias;
+      first = false;
+    } else {
+      if (dims_ == nullptr) return Error("no dimension catalog available");
+      const std::uint16_t id = dims_->FindTable(*table);
+      if (id == DimensionCatalog::kNoTable) {
+        return Error("unknown dimension table '" + *table + "'");
+      }
+      table_aliases_[*table] = id;
+      if (!alias.empty()) table_aliases_[alias] = id;
+    }
+    if (!AcceptSymbol(",")) break;
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseWhere() {
+  while (true) {
+    StatusOr<ColumnRef> lhs = ParseColumnRef();
+    if (!lhs.ok()) return lhs.status();
+    StatusOr<CmpOp> op = ParseCmpOp();
+    if (!op.ok()) return op.status();
+
+    const Token& rhs = Peek();
+    if (rhs.kind == Token::Kind::kNumber) {
+      Next();
+      RawFilter f;
+      f.column = *lhs;
+      f.op = *op;
+      f.number = std::strtod(rhs.text.c_str(), nullptr);
+      filters_.push_back(std::move(f));
+    } else if (rhs.kind == Token::Kind::kString) {
+      Next();
+      RawFilter f;
+      f.column = *lhs;
+      f.op = *op;
+      f.is_label = true;
+      f.label = rhs.text;
+      filters_.push_back(std::move(f));
+    } else if (rhs.kind == Token::Kind::kIdent) {
+      StatusOr<ColumnRef> rref = ParseColumnRef();
+      if (!rref.ok()) return rref.status();
+      if (*op != CmpOp::kEq) {
+        return Error("join conditions must use '='");
+      }
+      // One side must be a matrix attribute, the other a dim key column.
+      const bool lhs_matrix = MatrixAttr(*lhs) != kInvalidAttr;
+      const bool rhs_matrix = MatrixAttr(*rref) != kInvalidAttr;
+      RawJoin join;
+      if (lhs_matrix && !rhs_matrix) {
+        join.fk = *lhs;
+        join.key = *rref;
+      } else if (rhs_matrix && !lhs_matrix) {
+        join.fk = *rref;
+        join.key = *lhs;
+      } else {
+        return Error("join must connect a matrix column to a table key");
+      }
+      if (TableOf(join.key.qualifier) == DimensionCatalog::kNoTable) {
+        return Error("unknown table in join: '" + join.key.qualifier + "'");
+      }
+      joins_.push_back(std::move(join));
+    } else {
+      return Error("expected literal or column after operator");
+    }
+    if (!AcceptKeyword("AND")) break;
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseGroupBy() {
+  Status st = ExpectKeyword("BY");
+  if (!st.ok()) return st;
+  StatusOr<ColumnRef> ref = ParseColumnRef();
+  if (!ref.ok()) return ref.status();
+  has_group_by_ = true;
+  group_by_ = *ref;
+  return Status::OK();
+}
+
+Status Parser::Assemble(Query* query) {
+  // Join map: dim table -> matrix FK attribute.
+  std::unordered_map<std::uint16_t, std::uint16_t> join_fk;
+  for (const RawJoin& join : joins_) {
+    const std::uint16_t table = TableOf(join.key.qualifier);
+    const std::uint16_t fk = MatrixAttr(join.fk);
+    if (fk == kInvalidAttr) {
+      return TokenizeError(join.fk.pos,
+                           "unknown matrix column '" + join.fk.ToString() +
+                               "'");
+    }
+    join_fk[table] = fk;
+  }
+
+  /// Finds (table, column) for a qualified dimension reference; also
+  /// handles unqualified names by searching joined tables.
+  auto resolve_dim = [&](const ColumnRef& ref, std::uint16_t* table,
+                         std::uint16_t* column) -> bool {
+    if (dims_ == nullptr) return false;
+    if (!ref.qualifier.empty() && !IsMatrixQualifier(ref.qualifier)) {
+      const std::uint16_t t = TableOf(ref.qualifier);
+      if (t == DimensionCatalog::kNoTable) return false;
+      const std::uint16_t c = dims_->table(t).FindColumn(ref.name);
+      if (c == DimensionTable::kNoColumn) return false;
+      *table = t;
+      *column = c;
+      return true;
+    }
+    for (const auto& [t, fk] : join_fk) {
+      const std::uint16_t c = dims_->table(t).FindColumn(ref.name);
+      if (c != DimensionTable::kNoColumn) {
+        *table = t;
+        *column = c;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // GROUP BY first (echo items validate against it).
+  if (has_group_by_) {
+    const std::uint16_t attr = MatrixAttr(group_by_);
+    if (attr != kInvalidAttr) {
+      query->kind = Query::Kind::kGroupBy;
+      query->group_by.kind = GroupBy::Kind::kMatrixAttr;
+      query->group_by.attr = attr;
+    } else {
+      std::uint16_t table = 0, column = 0;
+      if (!resolve_dim(group_by_, &table, &column)) {
+        return TokenizeError(group_by_.pos, "cannot resolve GROUP BY column '" +
+                                                group_by_.ToString() + "'");
+      }
+      auto it = join_fk.find(table);
+      if (it == join_fk.end()) {
+        return TokenizeError(group_by_.pos,
+                             "GROUP BY on '" + group_by_.ToString() +
+                                 "' requires a join condition for its table");
+      }
+      query->kind = Query::Kind::kGroupBy;
+      query->group_by.kind = GroupBy::Kind::kDimColumn;
+      query->group_by.fk_attr = it->second;
+      query->group_by.dim_table = table;
+      query->group_by.dim_column = column;
+    }
+  }
+
+  // Select items.
+  for (const PendingItem& item : items_) {
+    switch (item.kind) {
+      case PendingItem::Kind::kCountStar:
+        query->select.push_back(SelectItem::Count());
+        break;
+      case PendingItem::Kind::kAgg: {
+        const std::uint16_t attr = MatrixAttr(item.column);
+        if (attr == kInvalidAttr) {
+          return TokenizeError(item.column.pos, "unknown matrix column '" +
+                                                    item.column.ToString() +
+                                                    "'");
+        }
+        query->select.push_back(SelectItem::Agg(item.op, attr));
+        break;
+      }
+      case PendingItem::Kind::kSumRatio: {
+        const std::uint16_t num = MatrixAttr(item.column);
+        const std::uint16_t den = MatrixAttr(item.den);
+        if (num == kInvalidAttr || den == kInvalidAttr) {
+          return TokenizeError(item.column.pos, "unknown column in ratio");
+        }
+        query->select.push_back(SelectItem::SumRatio(num, den));
+        break;
+      }
+      case PendingItem::Kind::kEcho: {
+        // Must match the GROUP BY column (its value comes back as the
+        // row's group key/label).
+        if (!has_group_by_ || group_by_.name != item.column.name) {
+          return TokenizeError(item.column.pos,
+                               "bare column '" + item.column.ToString() +
+                                   "' must match the GROUP BY column");
+        }
+        break;
+      }
+    }
+  }
+  if (query->select.empty()) {
+    return Status::InvalidArgument("SQL error: no aggregates selected");
+  }
+
+  // Filters.
+  for (const RawFilter& f : filters_) {
+    const std::uint16_t attr = MatrixAttr(f.column);
+    if (attr != kInvalidAttr && !f.is_label) {
+      ScanFilter sf;
+      sf.attr = attr;
+      sf.op = f.op;
+      switch (schema_->attribute(attr).type) {
+        case ValueType::kInt32:
+          sf.constant = Value::Int32(static_cast<std::int32_t>(f.number));
+          break;
+        case ValueType::kUInt32:
+          sf.constant = Value::UInt32(static_cast<std::uint32_t>(f.number));
+          break;
+        case ValueType::kInt64:
+          sf.constant = Value::Int64(static_cast<std::int64_t>(f.number));
+          break;
+        case ValueType::kUInt64:
+          sf.constant = Value::UInt64(static_cast<std::uint64_t>(f.number));
+          break;
+        case ValueType::kFloat:
+          sf.constant = Value::Float(static_cast<float>(f.number));
+          break;
+        case ValueType::kDouble:
+          sf.constant = Value::Double(f.number);
+          break;
+      }
+      query->where.push_back(sf);
+      continue;
+    }
+    // Dimension predicate.
+    std::uint16_t table = 0, column = 0;
+    if (!resolve_dim(f.column, &table, &column)) {
+      return TokenizeError(f.column.pos, "cannot resolve column '" +
+                                             f.column.ToString() + "'");
+    }
+    auto it = join_fk.find(table);
+    if (it == join_fk.end()) {
+      return TokenizeError(f.column.pos,
+                           "predicate on '" + f.column.ToString() +
+                               "' requires a join condition for its table");
+    }
+    DimFilter df;
+    df.fk_attr = it->second;
+    df.dim_table = table;
+    df.dim_column = column;
+    df.op = f.op;
+    if (f.is_label) {
+      df.str_constant = f.label;
+    } else {
+      df.constant = static_cast<std::uint32_t>(f.number);
+    }
+    query->dim_where.push_back(std::move(df));
+  }
+
+  query->limit = limit_;
+  return Status::OK();
+}
+
+StatusOr<Query> Parser::Run() {
+  Status st = ExpectKeyword("SELECT");
+  if (!st.ok()) return st;
+  st = ParseSelectList();
+  if (!st.ok()) return st;
+  st = ExpectKeyword("FROM");
+  if (!st.ok()) return st;
+  st = ParseFromList();
+  if (!st.ok()) return st;
+  if (AcceptKeyword("WHERE")) {
+    st = ParseWhere();
+    if (!st.ok()) return st;
+  }
+  if (AcceptKeyword("GROUP")) {
+    st = ParseGroupBy();
+    if (!st.ok()) return st;
+  }
+  if (AcceptKeyword("LIMIT")) {
+    if (Peek().kind != Token::Kind::kNumber) return Error("expected number");
+    limit_ = static_cast<std::uint32_t>(
+        std::strtoul(Next().text.c_str(), nullptr, 10));
+  }
+  if (Peek().kind != Token::Kind::kEnd) {
+    return Error("unexpected trailing input '" + Peek().text + "'");
+  }
+
+  Query query;
+  st = Assemble(&query);
+  if (!st.ok()) return st;
+  return query;
+}
+
+}  // namespace
+
+StatusOr<Query> SqlParser::Parse(const std::string& sql) const {
+  StatusOr<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(schema_, dims_, std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace aim

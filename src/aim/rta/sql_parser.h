@@ -1,0 +1,58 @@
+#ifndef AIM_RTA_SQL_PARSER_H_
+#define AIM_RTA_SQL_PARSER_H_
+
+#include <string>
+
+#include "aim/common/status.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/query.h"
+
+namespace aim {
+
+/// SQL front-end for the RTA layer (the paper's queries are SQL, Table 5).
+/// Parses the subset the Analytics Matrix workload needs:
+///
+///   SELECT <item> [, <item>]*
+///   FROM AnalyticsMatrix [, <DimTable> [alias]]*
+///   [WHERE <condition> [AND <condition>]*]
+///   [GROUP BY <column>]
+///   [LIMIT <n>]
+///
+///   <item>      := COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+///                | SUM(col) / SUM(col) [AS name]
+///                | <group-by column>            (echoed dim/attr column)
+///   <condition> := col <op> <number>            (matrix predicate)
+///                | tbl.col <op> <number>        (dimension predicate)
+///                | tbl.col = '<label>'          (dimension label predicate)
+///                | col = tbl.<key-col>          (join: FK = dim key)
+///   <op>        := < | <= | > | >= | = | <> | !=
+///
+/// Dimension predicates / GROUP BY on dimension columns require a join
+/// condition connecting the matrix FK attribute to the table's key; the
+/// paper's Q4 "AnalyticsMatrix.zip = RegionInfo.zip" works verbatim. Table
+/// aliases from the FROM list are accepted anywhere a table name is.
+///
+/// Identifiers resolve against the Schema (including aliases like
+/// total_duration_this_week) and the DimensionCatalog. Keywords are
+/// case-insensitive; identifiers are case-sensitive like the schema.
+///
+/// Top-k queries (paper Q6/Q7) are not expressible in this subset — the
+/// paper itself gives them in prose only; build them with QueryBuilder.
+class SqlParser {
+ public:
+  /// `dims` may be null when no dimension tables are referenced.
+  SqlParser(const Schema* schema, const DimensionCatalog* dims)
+      : schema_(schema), dims_(dims) {}
+
+  /// Parses one statement into a Query. Returns kInvalidArgument with a
+  /// position-annotated message on any syntax or resolution error.
+  StatusOr<Query> Parse(const std::string& sql) const;
+
+ private:
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_SQL_PARSER_H_

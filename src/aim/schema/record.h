@@ -1,0 +1,127 @@
+#ifndef AIM_SCHEMA_RECORD_H_
+#define AIM_SCHEMA_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "aim/common/logging.h"
+#include "aim/common/types.h"
+#include "aim/schema/schema.h"
+#include "aim/schema/value.h"
+
+namespace aim {
+
+/// Typed view over one row-format Entity Record. Does not own the bytes.
+/// Used wherever a whole record is handled row-at-a-time: the delta, the
+/// ESP engine (Get → update → Put), and record materialization from the
+/// PAX main.
+class RecordView {
+ public:
+  RecordView(const Schema* schema, std::uint8_t* data)
+      : schema_(schema), data_(data) {}
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+
+  Value Get(std::uint16_t attr_id) const {
+    const Attribute& a = schema_->attribute(attr_id);
+    return Value::Load(a.type, data_ + a.row_offset);
+  }
+
+  void Set(std::uint16_t attr_id, const Value& v) {
+    const Attribute& a = schema_->attribute(attr_id);
+    AIM_DCHECK(v.type() == a.type);
+    v.Store(data_ + a.row_offset);
+  }
+
+  /// Unchecked typed accessors for hot paths (type must match the schema).
+  template <typename T>
+  T GetAs(std::uint16_t attr_id) const {
+    T v;
+    std::memcpy(&v, data_ + schema_->attribute(attr_id).row_offset, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void SetAs(std::uint16_t attr_id, T v) {
+    std::memcpy(data_ + schema_->attribute(attr_id).row_offset, &v, sizeof(T));
+  }
+
+  /// Pointer to a group's state block.
+  std::uint8_t* GroupState(std::uint16_t group_id) {
+    return data_ + schema_->group(group_id).state_offset;
+  }
+  const std::uint8_t* GroupState(std::uint16_t group_id) const {
+    return data_ + schema_->group(group_id).state_offset;
+  }
+
+ private:
+  const Schema* schema_;
+  std::uint8_t* data_;
+};
+
+/// Read-only variant.
+class ConstRecordView {
+ public:
+  ConstRecordView(const Schema* schema, const std::uint8_t* data)
+      : schema_(schema), data_(data) {}
+
+  const std::uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+
+  Value Get(std::uint16_t attr_id) const {
+    const Attribute& a = schema_->attribute(attr_id);
+    return Value::Load(a.type, data_ + a.row_offset);
+  }
+
+  template <typename T>
+  T GetAs(std::uint16_t attr_id) const {
+    T v;
+    std::memcpy(&v, data_ + schema_->attribute(attr_id).row_offset, sizeof(T));
+    return v;
+  }
+
+  const std::uint8_t* GroupState(std::uint16_t group_id) const {
+    return data_ + schema_->group(group_id).state_offset;
+  }
+
+ private:
+  const Schema* schema_;
+  const std::uint8_t* data_;
+};
+
+/// Owning row-format record buffer. Zero-initialized: all indicator values
+/// read 0 and all window state reads "never hit", which is the correct
+/// initial state for a fresh entity.
+class RecordBuffer {
+ public:
+  explicit RecordBuffer(const Schema* schema)
+      : schema_(schema), bytes_(schema->record_size(), 0) {}
+
+  RecordView view() { return RecordView(schema_, bytes_.data()); }
+  ConstRecordView const_view() const {
+    return ConstRecordView(schema_, bytes_.data());
+  }
+
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+  void Clear() { std::memset(bytes_.data(), 0, bytes_.size()); }
+
+  void CopyFrom(const std::uint8_t* src) {
+    std::memcpy(bytes_.data(), src, bytes_.size());
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SCHEMA_RECORD_H_

@@ -1,0 +1,209 @@
+#include "aim/schema/schema.h"
+
+#include <algorithm>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+const char* EventMetricName(EventMetric m) {
+  switch (m) {
+    case EventMetric::kDuration:
+      return "duration";
+    case EventMetric::kCost:
+      return "cost";
+    case EventMetric::kDataVolume:
+      return "data";
+  }
+  return "?";
+}
+
+const char* CallFilterName(CallFilter f) {
+  switch (f) {
+    case CallFilter::kAny:
+      return "any";
+    case CallFilter::kLocal:
+      return "local";
+    case CallFilter::kLongDistance:
+      return "long_distance";
+    case CallFilter::kInternational:
+      return "international";
+    case CallFilter::kRoaming:
+      return "roaming";
+    case CallFilter::kPreferred:
+      return "preferred";
+  }
+  return "?";
+}
+
+std::uint32_t GroupStateSize(const AttributeGroupSpec& spec) {
+  switch (spec.window.kind) {
+    case WindowKind::kTumbling:
+      return sizeof(TumblingState);
+    case WindowKind::kSliding:
+      return static_cast<std::uint32_t>(
+          sizeof(SlidingHeader) + spec.window.num_slots * sizeof(SlidingSlot));
+    case WindowKind::kEventBased:
+      // Count groups need only the ring header (count = filled); metric
+      // groups additionally store the last N metric values.
+      return static_cast<std::uint32_t>(
+          sizeof(EventRingHeader) +
+          (spec.has_metric ? spec.window.num_slots * sizeof(float) : 0));
+  }
+  return 0;
+}
+
+std::uint16_t Schema::AddAttribute(const std::string& name, ValueType type,
+                                   AttrKind kind, std::uint16_t group_id,
+                                   AggFn agg) {
+  AIM_CHECK_MSG(!finalized_, "schema already finalized");
+  AIM_CHECK_MSG(name_to_attr_.find(name) == name_to_attr_.end(),
+                "duplicate attribute name '%s'", name.c_str());
+  AIM_CHECK_MSG(attributes_.size() < kInvalidAttr,
+                "too many attributes");
+  Attribute attr;
+  attr.name = name;
+  attr.type = type;
+  attr.kind = kind;
+  attr.group_id = group_id;
+  attr.agg = agg;
+  const std::uint16_t id = static_cast<std::uint16_t>(attributes_.size());
+  attributes_.push_back(std::move(attr));
+  name_to_attr_.emplace(name, id);
+  if (kind == AttrKind::kIndicator) ++num_indicators_;
+  return id;
+}
+
+std::uint16_t Schema::AddRawAttribute(const std::string& name,
+                                      ValueType type) {
+  return AddAttribute(name, type, AttrKind::kRaw, 0xffff, AggFn::kCount);
+}
+
+std::uint16_t Schema::AddCountGroup(const std::string& name,
+                                    CallFilter filter,
+                                    const WindowSpec& window) {
+  AIM_CHECK_MSG(!finalized_, "schema already finalized");
+  AttributeGroupSpec spec;
+  spec.name = name;
+  spec.filter = filter;
+  spec.window = window;
+  spec.has_metric = false;
+  const std::uint16_t group_id = static_cast<std::uint16_t>(groups_.size());
+  spec.group_id = group_id;
+  spec.count_attr = AddAttribute(name, ValueType::kInt32, AttrKind::kIndicator,
+                                 group_id, AggFn::kCount);
+  groups_.push_back(std::move(spec));
+  return group_id;
+}
+
+std::uint16_t Schema::AddMetricGroup(const std::string& name_prefix,
+                                     CallFilter filter, EventMetric metric,
+                                     const WindowSpec& window,
+                                     std::uint8_t agg_mask) {
+  AIM_CHECK_MSG(!finalized_, "schema already finalized");
+  AIM_CHECK_MSG((agg_mask & kAllMetricAggs) != 0,
+                "metric group '%s' exposes no aggregates",
+                name_prefix.c_str());
+  AttributeGroupSpec spec;
+  spec.name = name_prefix;
+  spec.filter = filter;
+  spec.window = window;
+  spec.has_metric = true;
+  spec.metric = metric;
+  const std::uint16_t group_id = static_cast<std::uint16_t>(groups_.size());
+  spec.group_id = group_id;
+
+  auto add = [&](AggFn fn, std::uint16_t* slot) {
+    if (agg_mask & AggBit(fn)) {
+      *slot = AddAttribute(name_prefix + "_" + AggFnName(fn),
+                           ValueType::kFloat, AttrKind::kIndicator, group_id,
+                           fn);
+    }
+  };
+  add(AggFn::kSum, &spec.sum_attr);
+  add(AggFn::kMin, &spec.min_attr);
+  add(AggFn::kMax, &spec.max_attr);
+  add(AggFn::kAvg, &spec.avg_attr);
+
+  groups_.push_back(std::move(spec));
+  return group_id;
+}
+
+Status Schema::AddAlias(const std::string& alias, std::uint16_t attr_id) {
+  if (attr_id >= attributes_.size()) {
+    return Status::InvalidArgument("alias target out of range");
+  }
+  auto [it, inserted] = name_to_attr_.emplace(alias, attr_id);
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("alias name already in use: " + alias);
+  }
+  return Status::OK();
+}
+
+Status Schema::Finalize() {
+  if (finalized_) return Status::InvalidArgument("Finalize called twice");
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  for (const AttributeGroupSpec& g : groups_) {
+    if (g.window.kind != WindowKind::kEventBased && g.window.length_ms <= 0) {
+      return Status::InvalidArgument("group '" + g.name +
+                                     "': non-positive window length");
+    }
+    if (g.window.kind != WindowKind::kTumbling && g.window.num_slots == 0) {
+      return Status::InvalidArgument("group '" + g.name + "': zero slots");
+    }
+  }
+
+  // Attribute area: lay out 8-byte attributes first, then 4-byte ones, so
+  // everything stays naturally aligned without padding holes.
+  std::uint32_t offset = 0;
+  for (Attribute& a : attributes_) {
+    if (ValueTypeSize(a.type) == 8) {
+      a.row_offset = offset;
+      offset += 8;
+    }
+  }
+  for (Attribute& a : attributes_) {
+    if (ValueTypeSize(a.type) == 4) {
+      a.row_offset = offset;
+      offset += 4;
+    }
+  }
+  // State area, 8-byte aligned blocks (TumblingState/SlidingHeader start
+  // with an int64).
+  offset = (offset + 7u) & ~7u;
+  state_area_offset_ = offset;
+  for (AttributeGroupSpec& g : groups_) {
+    g.state_offset = offset;
+    g.state_size = GroupStateSize(g);
+    offset += (g.state_size + 7u) & ~7u;
+  }
+  record_size_ = offset;
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::uint16_t Schema::FindAttribute(const std::string& name) const {
+  auto it = name_to_attr_.find(name);
+  return it == name_to_attr_.end() ? kInvalidAttr : it->second;
+}
+
+}  // namespace aim

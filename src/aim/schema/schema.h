@@ -1,0 +1,236 @@
+#ifndef AIM_SCHEMA_SCHEMA_H_
+#define AIM_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/schema/value.h"
+#include "aim/schema/window.h"
+
+namespace aim {
+
+/// Aggregation functions of the update kernel (paper §4.3).
+enum class AggFn : std::uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+};
+
+const char* AggFnName(AggFn fn);
+
+/// Numeric event properties that indicators aggregate over. Extracted from
+/// a CDR event as float (see esp/update_kernel.h).
+enum class EventMetric : std::uint8_t {
+  kDuration = 0,    // call duration in seconds
+  kCost = 1,        // call cost
+  kDataVolume = 2,  // data usage in MB
+};
+
+inline constexpr int kNumEventMetrics = 3;
+const char* EventMetricName(EventMetric m);
+
+/// Event subsets an indicator is restricted to (the paper's "local /
+/// long-distance call, preferred number" event properties). kPreferred
+/// matches events whose callee equals the entity's preferred number — a
+/// record-dependent filter, which is why update functions get the record.
+enum class CallFilter : std::uint8_t {
+  kAny = 0,
+  kLocal = 1,
+  kLongDistance = 2,
+  kInternational = 3,
+  kRoaming = 4,
+  kPreferred = 5,
+};
+
+inline constexpr int kNumCallFilters = 6;
+const char* CallFilterName(CallFilter f);
+
+/// What an attribute (column) of the Analytics Matrix is.
+enum class AttrKind : std::uint8_t {
+  kRaw = 0,        // profile / dimension FK / system attribute, set directly
+  kIndicator = 1,  // event-maintained aggregate, owned by a group
+};
+
+inline constexpr std::uint16_t kInvalidAttr = 0xffff;
+
+/// One column of the Analytics Matrix.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt32;
+  AttrKind kind = AttrKind::kRaw;
+  std::uint32_t row_offset = 0;   // byte offset inside the row-format record
+  std::uint16_t group_id = 0xffff;  // owning group (indicators only)
+  AggFn agg = AggFn::kCount;        // which aggregate (indicators only)
+};
+
+/// One attribute group: either a count group (counts events matching
+/// `filter` in `window`) or a metric group (maintains sum/min/max/avg of one
+/// metric for matching events). Groups own a contiguous state block inside
+/// the record; the compiled update function (esp/update_kernel) maintains
+/// the state and refreshes the group's exposed indicator columns.
+struct AttributeGroupSpec {
+  std::string name;
+  CallFilter filter = CallFilter::kAny;
+  WindowSpec window;
+  bool has_metric = false;  // false => count-only group
+  EventMetric metric = EventMetric::kDuration;
+
+  // Which aggregates this group exposes, and the corresponding attribute id
+  // for each (kInvalidAttr when the aggregate is not exposed). Count groups
+  // use only `count_attr`.
+  std::uint16_t count_attr = kInvalidAttr;
+  std::uint16_t sum_attr = kInvalidAttr;
+  std::uint16_t min_attr = kInvalidAttr;
+  std::uint16_t max_attr = kInvalidAttr;
+  std::uint16_t avg_attr = kInvalidAttr;
+
+  // Assigned by Schema::Finalize().
+  std::uint16_t group_id = 0;
+  std::uint32_t state_offset = 0;  // byte offset of state block in the row
+  std::uint32_t state_size = 0;
+};
+
+/// Schema of the Analytics Matrix: raw attributes plus attribute groups.
+/// Build once (AddRawAttribute / AddCountGroup / AddMetricGroup), call
+/// Finalize() to assign the record layout, then treat as immutable. The
+/// paper assumes the initial schema is known at creation time (§2.1).
+///
+/// Record layout (row format, used in the delta and on the wire):
+///   [attribute values, each at attr.row_offset] [group state blocks]
+/// The PAX main (storage/column_map.h) re-arranges attributes column-wise
+/// per bucket and keeps state blocks row-wise.
+class Schema {
+ public:
+  Schema() = default;
+
+  Schema(const Schema&) = delete;
+  Schema& operator=(const Schema&) = delete;
+  Schema(Schema&&) = default;
+  Schema& operator=(Schema&&) = default;
+
+  /// Adds a raw (profile/dimension) attribute. Returns its attribute id.
+  std::uint16_t AddRawAttribute(const std::string& name, ValueType type);
+
+  /// Adds a count group exposing one kInt32 indicator named `name`.
+  /// Returns the group id.
+  std::uint16_t AddCountGroup(const std::string& name, CallFilter filter,
+                              const WindowSpec& window);
+
+  /// Adds a metric group. `agg_mask` selects which of sum/min/max/avg to
+  /// expose (bit per AggFn, e.g. AggBit(AggFn::kSum) | AggBit(AggFn::kAvg)).
+  /// Indicator columns are named "<name_prefix>_<agg>" unless an explicit
+  /// name is registered later via AddAlias(). Returns the group id.
+  std::uint16_t AddMetricGroup(const std::string& name_prefix,
+                               CallFilter filter, EventMetric metric,
+                               const WindowSpec& window,
+                               std::uint8_t agg_mask);
+
+  static constexpr std::uint8_t AggBit(AggFn fn) {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(fn));
+  }
+  static constexpr std::uint8_t kAllMetricAggs =
+      (1u << static_cast<unsigned>(AggFn::kSum)) |
+      (1u << static_cast<unsigned>(AggFn::kMin)) |
+      (1u << static_cast<unsigned>(AggFn::kMax)) |
+      (1u << static_cast<unsigned>(AggFn::kAvg));
+
+  /// Registers an alternative lookup name for an attribute (used to expose
+  /// paper-style names like "total_duration_this_week").
+  Status AddAlias(const std::string& alias, std::uint16_t attr_id);
+
+  /// Computes the record layout. Must be called exactly once, after which
+  /// the schema is immutable.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Total row-format record size in bytes (attributes + state blocks).
+  std::uint32_t record_size() const { return record_size_; }
+  /// Byte offset where group state blocks start (= end of attribute area).
+  std::uint32_t state_area_offset() const { return state_area_offset_; }
+  std::uint32_t state_area_size() const {
+    return record_size_ - state_area_offset_;
+  }
+
+  std::uint16_t num_attributes() const {
+    return static_cast<std::uint16_t>(attributes_.size());
+  }
+  const Attribute& attribute(std::uint16_t id) const {
+    return attributes_[id];
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  std::uint16_t num_groups() const {
+    return static_cast<std::uint16_t>(groups_.size());
+  }
+  const AttributeGroupSpec& group(std::uint16_t id) const {
+    return groups_[id];
+  }
+  const std::vector<AttributeGroupSpec>& groups() const { return groups_; }
+
+  /// Name (or alias) lookup. Returns kInvalidAttr if absent.
+  std::uint16_t FindAttribute(const std::string& name) const;
+
+  /// Number of indicator columns (the paper's "546 indicators" count).
+  std::uint32_t num_indicators() const { return num_indicators_; }
+
+ private:
+  std::uint16_t AddAttribute(const std::string& name, ValueType type,
+                             AttrKind kind, std::uint16_t group_id, AggFn agg);
+
+  std::vector<Attribute> attributes_;
+  std::vector<AttributeGroupSpec> groups_;
+  std::unordered_map<std::string, std::uint16_t> name_to_attr_;
+  std::uint32_t record_size_ = 0;
+  std::uint32_t state_area_offset_ = 0;
+  std::uint32_t num_indicators_ = 0;
+  bool finalized_ = false;
+};
+
+/// State block layouts maintained by the update kernel. These are plain
+/// PODs overlaid on the record's state area; layouts are part of the
+/// storage format.
+///
+/// Tumbling window state.
+struct TumblingState {
+  std::int64_t window_start;  // start of the current window, 0 = never hit
+  std::int32_t count;         // events in the current window
+  float sum;                  // metric groups only (unused in count groups)
+  float min;                  // valid iff count > 0
+  float max;                  // valid iff count > 0
+};
+static_assert(sizeof(TumblingState) == 24);
+
+/// One pane of a sliding window.
+struct SlidingSlot {
+  std::int32_t count;
+  float sum;
+  float min;  // valid iff count > 0
+  float max;  // valid iff count > 0
+};
+static_assert(sizeof(SlidingSlot) == 16);
+
+/// Sliding window state: header + WindowSpec::num_slots panes.
+struct SlidingHeader {
+  std::int64_t last_slot_start;  // slot-aligned ts of the newest pane
+};
+static_assert(sizeof(SlidingHeader) == 8);
+
+/// Event-based window state: header + num_slots float values (ring buffer
+/// of the last N matching metric values; count groups store no values).
+struct EventRingHeader {
+  std::uint32_t pos;     // next write position
+  std::uint32_t filled;  // number of valid entries (saturates at N)
+};
+static_assert(sizeof(EventRingHeader) == 8);
+
+/// Size of one group's state block given its spec (before Finalize).
+std::uint32_t GroupStateSize(const AttributeGroupSpec& spec);
+
+}  // namespace aim
+
+#endif  // AIM_SCHEMA_SCHEMA_H_

@@ -1,0 +1,34 @@
+#include "aim/schema/value.h"
+
+#include <cstdio>
+
+namespace aim {
+
+std::string Value::ToString() const {
+  char buf[48];
+  switch (type_) {
+    case ValueType::kInt32:
+      std::snprintf(buf, sizeof(buf), "%d", bits_.i32);
+      break;
+    case ValueType::kUInt32:
+      std::snprintf(buf, sizeof(buf), "%u", bits_.u32);
+      break;
+    case ValueType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(bits_.i64));
+      break;
+    case ValueType::kUInt64:
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(bits_.u64));
+      break;
+    case ValueType::kFloat:
+      std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(bits_.f32));
+      break;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", bits_.f64);
+      break;
+  }
+  return std::string(buf);
+}
+
+}  // namespace aim

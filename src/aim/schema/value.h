@@ -1,0 +1,193 @@
+#ifndef AIM_SCHEMA_VALUE_H_
+#define AIM_SCHEMA_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+/// Fixed-width column types supported by the Analytics Matrix. The paper's
+/// update kernel covers integer, long, float and double aggregates
+/// (§4.3); unsigned variants are used for raw/dimension attributes.
+enum class ValueType : std::uint8_t {
+  kInt32 = 0,
+  kUInt32 = 1,
+  kInt64 = 2,
+  kUInt64 = 3,
+  kFloat = 4,
+  kDouble = 5,
+};
+
+inline constexpr int kNumValueTypes = 6;
+
+inline std::size_t ValueTypeSize(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+    case ValueType::kUInt32:
+    case ValueType::kFloat:
+      return 4;
+    case ValueType::kInt64:
+    case ValueType::kUInt64:
+    case ValueType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+inline const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+      return "int32";
+    case ValueType::kUInt32:
+      return "uint32";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kUInt64:
+      return "uint64";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+inline bool IsFloatingPoint(ValueType t) {
+  return t == ValueType::kFloat || t == ValueType::kDouble;
+}
+
+/// Tagged scalar used for query constants, aggregation results and record
+/// accessors. Conversions widen explicitly via AsDouble()/AsInt64(); there
+/// are no implicit cross-type comparisons.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64) { bits_.i64 = 0; }
+
+  static Value Int32(std::int32_t v) {
+    Value x(ValueType::kInt32);
+    x.bits_.i32 = v;
+    return x;
+  }
+  static Value UInt32(std::uint32_t v) {
+    Value x(ValueType::kUInt32);
+    x.bits_.u32 = v;
+    return x;
+  }
+  static Value Int64(std::int64_t v) {
+    Value x(ValueType::kInt64);
+    x.bits_.i64 = v;
+    return x;
+  }
+  static Value UInt64(std::uint64_t v) {
+    Value x(ValueType::kUInt64);
+    x.bits_.u64 = v;
+    return x;
+  }
+  static Value Float(float v) {
+    Value x(ValueType::kFloat);
+    x.bits_.f32 = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x(ValueType::kDouble);
+    x.bits_.f64 = v;
+    return x;
+  }
+
+  /// A zero of the given type.
+  static Value Zero(ValueType t) {
+    Value x(t);
+    x.bits_.u64 = 0;
+    if (t == ValueType::kFloat) x.bits_.f32 = 0.0f;
+    if (t == ValueType::kDouble) x.bits_.f64 = 0.0;
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+
+  std::int32_t i32() const { return bits_.i32; }
+  std::uint32_t u32() const { return bits_.u32; }
+  std::int64_t i64() const { return bits_.i64; }
+  std::uint64_t u64() const { return bits_.u64; }
+  float f32() const { return bits_.f32; }
+  double f64() const { return bits_.f64; }
+
+  /// Numeric widening for mixed-type arithmetic in query results.
+  double AsDouble() const {
+    switch (type_) {
+      case ValueType::kInt32:
+        return static_cast<double>(bits_.i32);
+      case ValueType::kUInt32:
+        return static_cast<double>(bits_.u32);
+      case ValueType::kInt64:
+        return static_cast<double>(bits_.i64);
+      case ValueType::kUInt64:
+        return static_cast<double>(bits_.u64);
+      case ValueType::kFloat:
+        return static_cast<double>(bits_.f32);
+      case ValueType::kDouble:
+        return bits_.f64;
+    }
+    return 0.0;
+  }
+
+  std::int64_t AsInt64() const {
+    switch (type_) {
+      case ValueType::kInt32:
+        return bits_.i32;
+      case ValueType::kUInt32:
+        return bits_.u32;
+      case ValueType::kInt64:
+        return bits_.i64;
+      case ValueType::kUInt64:
+        return static_cast<std::int64_t>(bits_.u64);
+      case ValueType::kFloat:
+        return static_cast<std::int64_t>(bits_.f32);
+      case ValueType::kDouble:
+        return static_cast<std::int64_t>(bits_.f64);
+    }
+    return 0;
+  }
+
+  /// Reads a Value of type `t` from raw column storage.
+  static Value Load(ValueType t, const void* src) {
+    Value x(t);
+    std::memcpy(&x.bits_, src, ValueTypeSize(t));
+    return x;
+  }
+
+  /// Writes this value into raw column storage (type width bytes).
+  void Store(void* dst) const {
+    std::memcpy(dst, &bits_, ValueTypeSize(type_));
+  }
+
+  std::string ToString() const;
+
+  /// Exact same-type comparison (bit-level for the active member).
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type_ != b.type_) return false;
+    return std::memcmp(&a.bits_, &b.bits_, ValueTypeSize(a.type_)) == 0;
+  }
+
+ private:
+  explicit Value(ValueType t) : type_(t) { bits_.u64 = 0; }
+
+  union Bits {
+    std::int32_t i32;
+    std::uint32_t u32;
+    std::int64_t i64;
+    std::uint64_t u64;
+    float f32;
+    double f64;
+  };
+
+  ValueType type_;
+  Bits bits_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SCHEMA_VALUE_H_

@@ -1,0 +1,25 @@
+#include "aim/schema/window.h"
+
+#include <cstdio>
+
+namespace aim {
+
+std::string WindowSpec::ToString() const {
+  char buf[64];
+  switch (kind) {
+    case WindowKind::kTumbling:
+      std::snprintf(buf, sizeof(buf), "tumbling(%lldms)",
+                    static_cast<long long>(length_ms));
+      break;
+    case WindowKind::kSliding:
+      std::snprintf(buf, sizeof(buf), "sliding(%lldms,%u slots)",
+                    static_cast<long long>(length_ms), num_slots);
+      break;
+    case WindowKind::kEventBased:
+      std::snprintf(buf, sizeof(buf), "last_%u_events", num_slots);
+      break;
+  }
+  return std::string(buf);
+}
+
+}  // namespace aim

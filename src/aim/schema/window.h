@@ -1,0 +1,73 @@
+#ifndef AIM_SCHEMA_WINDOW_H_
+#define AIM_SCHEMA_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "aim/common/types.h"
+
+namespace aim {
+
+/// Aggregation window semantics (paper §2.1):
+///  * tumbling — "today", "this week": resets at fixed period boundaries.
+///  * sliding — "last 24 hours", "last 7 days": approximated with a ring of
+///    `num_slots` subwindows, the standard panes technique. The indicator
+///    combines all live slots; granularity error is one slot length.
+///  * event-based — "over the last N events": exact, via a ring buffer of
+///    the last N metric values kept in the attribute group's state block.
+enum class WindowKind : std::uint8_t {
+  kTumbling = 0,
+  kSliding = 1,
+  kEventBased = 2,
+};
+
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTumbling;
+
+  /// Tumbling: period length. Sliding: total span covered by the ring.
+  /// Ignored for event-based windows.
+  Timestamp length_ms = kMillisPerDay;
+
+  /// Sliding: number of subwindow slots (slot length = length_ms / num_slots).
+  /// Event-based: N, the number of most recent events covered.
+  std::uint16_t num_slots = 1;
+
+  static WindowSpec Tumbling(Timestamp length_ms) {
+    return {WindowKind::kTumbling, length_ms, 1};
+  }
+  static WindowSpec Sliding(Timestamp length_ms, std::uint16_t slots) {
+    return {WindowKind::kSliding, length_ms, slots};
+  }
+  static WindowSpec LastNEvents(std::uint16_t n) {
+    return {WindowKind::kEventBased, 0, n};
+  }
+
+  /// Convenience constructors matching the benchmark's window set.
+  static WindowSpec Today() { return Tumbling(kMillisPerDay); }
+  static WindowSpec ThisWeek() { return Tumbling(kMillisPerWeek); }
+  static WindowSpec Last24Hours() { return Sliding(kMillisPerDay, 24); }
+  static WindowSpec Last7Days() { return Sliding(kMillisPerWeek, 7); }
+
+  Timestamp SlotLengthMs() const {
+    return num_slots == 0 ? length_ms : length_ms / num_slots;
+  }
+
+  /// Start of the tumbling window (or sliding slot) containing `ts`.
+  static Timestamp AlignDown(Timestamp ts, Timestamp period) {
+    if (period <= 0) return ts;
+    Timestamp r = ts % period;
+    if (r < 0) r += period;  // negative timestamps round toward -inf
+    return ts - r;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const WindowSpec& a, const WindowSpec& b) {
+    return a.kind == b.kind && a.length_ms == b.length_ms &&
+           a.num_slots == b.num_slots;
+  }
+};
+
+}  // namespace aim
+
+#endif  // AIM_SCHEMA_WINDOW_H_

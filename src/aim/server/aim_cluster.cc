@@ -1,0 +1,69 @@
+#include "aim/server/aim_cluster.h"
+
+namespace aim {
+
+AimCluster::AimCluster(const Schema* schema, const DimensionCatalog* dims,
+                       const std::vector<Rule>* rules,
+                       const Options& options) {
+  for (std::uint32_t i = 0; i < options.num_nodes; ++i) {
+    StorageNode::Options node_opts = options.node;
+    node_opts.node_id = i;
+    nodes_.push_back(
+        std::make_unique<StorageNode>(schema, dims, rules, node_opts));
+  }
+  std::vector<StorageNode*> raw;
+  raw.reserve(nodes_.size());
+  for (auto& n : nodes_) raw.push_back(n.get());
+  front_end_ = std::make_unique<RtaFrontEnd>(std::move(raw), schema, dims);
+}
+
+AimCluster::~AimCluster() { Stop(); }
+
+Status AimCluster::LoadEntity(EntityId entity, const std::uint8_t* row) {
+  return nodes_[NodeOf(entity)]->BulkLoad(entity, row);
+}
+
+Status AimCluster::Start() {
+  for (auto& n : nodes_) {
+    Status st = n->Start();
+    if (!st.ok()) return st;
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+void AimCluster::Stop() {
+  if (!running_) return;
+  for (auto& n : nodes_) n->Stop();
+  running_ = false;
+}
+
+bool AimCluster::IngestEvent(const Event& event,
+                             EventCompletion* completion) {
+  BinaryWriter writer;
+  event.Serialize(&writer);
+  return nodes_[NodeOf(event.caller)]->SubmitEvent(writer.TakeBuffer(),
+                                                   completion);
+}
+
+StorageNode::NodeStats AimCluster::TotalStats() const {
+  StorageNode::NodeStats total;
+  for (const auto& n : nodes_) {
+    const StorageNode::NodeStats s = n->stats();
+    total.events_processed += s.events_processed;
+    total.txn_conflicts += s.txn_conflicts;
+    total.rules_fired += s.rules_fired;
+    total.queries_processed += s.queries_processed;
+    total.scan_cycles += s.scan_cycles;
+    total.records_merged += s.records_merged;
+  }
+  return total;
+}
+
+std::uint64_t AimCluster::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->total_records();
+  return n;
+}
+
+}  // namespace aim

@@ -1,0 +1,69 @@
+#ifndef AIM_SERVER_AIM_CLUSTER_H_
+#define AIM_SERVER_AIM_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "aim/common/hash.h"
+#include "aim/server/rta_front_end.h"
+#include "aim/server/storage_node.h"
+
+namespace aim {
+
+/// A simulated AIM deployment: N storage nodes (each with its own threads,
+/// partitions and replicated dimension tables / rule set), an event
+/// dispatcher routing 64-byte events by the global hash h(key) (paper §4.8),
+/// and an RTA front-end that fans queries out to every node and merges the
+/// partials. Stands in for the paper's Infiniband cluster — see DESIGN.md
+/// for the substitution argument.
+class AimCluster {
+ public:
+  struct Options {
+    std::uint32_t num_nodes = 1;
+    StorageNode::Options node;  // node_id is assigned per node
+  };
+
+  /// All pointers must outlive the cluster.
+  AimCluster(const Schema* schema, const DimensionCatalog* dims,
+             const std::vector<Rule>* rules, const Options& options);
+  ~AimCluster();
+
+  AimCluster(const AimCluster&) = delete;
+  AimCluster& operator=(const AimCluster&) = delete;
+
+  /// Bulk load before Start(): routes the entity to its node + partition.
+  Status LoadEntity(EntityId entity, const std::uint8_t* row);
+
+  Status Start();
+  void Stop();
+
+  /// Serializes and routes an event to its storage node (fire-and-forget if
+  /// `completion` is null). Returns false once stopped.
+  bool IngestEvent(const Event& event, EventCompletion* completion);
+
+  /// Executes a query across all nodes via the RTA front-end.
+  QueryResult ExecuteQuery(const Query& query) const {
+    return front_end_->Execute(query);
+  }
+
+  std::uint32_t NodeOf(EntityId entity) const {
+    return NodeHash(entity, static_cast<std::uint32_t>(nodes_.size()));
+  }
+
+  StorageNode& node(std::uint32_t i) { return *nodes_[i]; }
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  StorageNode::NodeStats TotalStats() const;
+  std::uint64_t total_records() const;
+
+ private:
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::unique_ptr<RtaFrontEnd> front_end_;
+  bool running_ = false;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVER_AIM_CLUSTER_H_

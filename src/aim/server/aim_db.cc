@@ -1,0 +1,77 @@
+#include "aim/server/aim_db.h"
+
+namespace aim {
+
+AimDb::AimDb(const Schema* schema, const DimensionCatalog* dims,
+             const std::vector<Rule>* rules, const Options& options)
+    : schema_(schema),
+      dims_(dims),
+      rules_(rules != nullptr ? rules : &empty_rules_),
+      options_(options) {
+  DeltaMainStore::Options store_opts;
+  store_opts.bucket_size = options.bucket_size;
+  store_opts.max_records = options.max_records;
+  store_ = std::make_unique<DeltaMainStore>(schema, store_opts);
+
+  SystemAttrs sys;
+  sys.entity_id = schema->FindAttribute("entity_id");
+  sys.last_event_ts = schema->FindAttribute("last_event_ts");
+  sys.preferred_number = schema->FindAttribute("preferred_number");
+  engine_ = std::make_unique<EspEngine>(schema, store_.get(), rules_, sys,
+                                        options.esp);
+}
+
+QueryResult AimDb::Execute(const Query& query) {
+  std::vector<QueryResult> results = ExecuteBatch({query});
+  return std::move(results[0]);
+}
+
+std::vector<QueryResult> AimDb::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  if (options_.merge_before_query && store_->delta_size() > 0) {
+    store_->Merge();
+  }
+
+  std::vector<QueryResult> results(queries.size());
+  std::vector<CompiledQuery> compiled;
+  std::vector<std::size_t> compiled_for;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    StatusOr<CompiledQuery> cq =
+        CompiledQuery::Compile(queries[i], schema_, dims_);
+    if (!cq.ok()) {
+      results[i].query_id = queries[i].id;
+      results[i].status = cq.status();
+      continue;
+    }
+    compiled.push_back(std::move(cq).value());
+    compiled_for.push_back(i);
+  }
+
+  // One shared pass over the main for the whole batch.
+  const ColumnMap& main = store_->main();
+  const std::uint32_t buckets = main.num_buckets();
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const ColumnMap::BucketRef bucket = main.bucket(b);
+    for (CompiledQuery& query : compiled) {
+      query.ProcessBucket(main, bucket, &scratch_);
+    }
+  }
+
+  for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
+    const std::size_t qi = compiled_for[ci];
+    results[qi] =
+        FinalizeResult(queries[qi], dims_, compiled[ci].TakePartial());
+  }
+  return results;
+}
+
+StatusOr<Value> AimDb::GetAttribute(EntityId entity,
+                                    const std::string& attr_name) {
+  const std::uint16_t attr = schema_->FindAttribute(attr_name);
+  if (attr == kInvalidAttr) {
+    return Status::InvalidArgument("unknown attribute: " + attr_name);
+  }
+  return store_->GetAttribute(entity, attr);
+}
+
+}  // namespace aim

@@ -1,0 +1,81 @@
+#ifndef AIM_SERVER_AIM_DB_H_
+#define AIM_SERVER_AIM_DB_H_
+
+#include <memory>
+#include <vector>
+
+#include "aim/esp/esp_engine.h"
+#include "aim/rta/compiled_query.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/shared_scan.h"
+#include "aim/storage/delta_main.h"
+
+namespace aim {
+
+/// Embedded, single-threaded AIM facade: one delta-main partition, one ESP
+/// engine, synchronous query execution. The easiest way to use the library
+/// (see examples/quickstart.cpp) and the reference "one box, no threads"
+/// configuration that the threaded StorageNode is tested against.
+///
+/// Not thread-safe. For the full threaded/distributed system use AimCluster.
+class AimDb {
+ public:
+  struct Options {
+    std::uint32_t bucket_size = ColumnMap::kDefaultBucketSize;
+    std::uint64_t max_records = 1u << 20;
+    /// Merge the delta into the main before each query, so queries always
+    /// see every processed event (t_fresh = 0 semantics). Disable to mimic
+    /// the asynchronous freshness of the threaded system.
+    bool merge_before_query = true;
+    EspEngine::Options esp;
+  };
+
+  /// `schema` must be finalized; all pointers must outlive the db. `dims`
+  /// and `rules` may be null/empty.
+  AimDb(const Schema* schema, const DimensionCatalog* dims,
+        const std::vector<Rule>* rules, const Options& options);
+
+  const Schema& schema() const { return *schema_; }
+  DeltaMainStore& store() { return *store_; }
+  EspEngine& engine() { return *engine_; }
+
+  /// Bulk load (before any event processing, by convention).
+  Status LoadEntity(EntityId entity, const std::uint8_t* row) {
+    return store_->BulkInsert(entity, row);
+  }
+
+  /// Processes one event: updates the Analytics Matrix and evaluates the
+  /// business rules. `fired` (optional) receives matched rule ids.
+  Status ProcessEvent(const Event& event,
+                      std::vector<std::uint32_t>* fired = nullptr) {
+    return engine_->ProcessEvent(event, fired);
+  }
+
+  /// Executes one query synchronously.
+  QueryResult Execute(const Query& query);
+
+  /// Executes a batch in one shared scan pass (Algorithm 5).
+  std::vector<QueryResult> ExecuteBatch(const std::vector<Query>& queries);
+
+  /// Point lookup of one attribute of one entity.
+  StatusOr<Value> GetAttribute(EntityId entity, const std::string& attr_name);
+
+  /// Folds the delta into the main (SwitchDeltas + MergeStep).
+  std::size_t Merge() { return store_->Merge(); }
+
+ private:
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+  const std::vector<Rule>* rules_;
+  std::vector<Rule> empty_rules_;
+  Options options_;
+
+  std::unique_ptr<DeltaMainStore> store_;
+  std::unique_ptr<EspEngine> engine_;
+  ScanScratch scratch_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVER_AIM_DB_H_

@@ -1,0 +1,220 @@
+#include "aim/server/esp_tier.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "aim/common/logging.h"
+#include "aim/esp/rule_eval.h"
+#include "aim/esp/update_kernel.h"
+#include "aim/schema/record.h"
+
+namespace aim {
+
+namespace {
+
+std::int64_t NowNanos() {
+  using namespace std::chrono;
+  return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Synchronous rendezvous for one Get/Put round trip.
+struct Rendezvous {
+  std::atomic<bool> done{false};
+  Status status;
+  std::vector<std::uint8_t> row;
+  Version version = 0;
+
+  void Complete(Status st, std::vector<std::uint8_t>&& bytes, Version v) {
+    status = std::move(st);
+    row = std::move(bytes);
+    version = v;
+    done.store(true, std::memory_order_release);
+  }
+
+  void Wait() const {
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() {
+    done.store(false, std::memory_order_relaxed);
+    status = Status::OK();
+    row.clear();
+    version = 0;
+  }
+};
+
+}  // namespace
+
+EspTierNode::EspTierNode(const Schema* schema, StorageNode* node,
+                         const std::vector<Rule>* rules,
+                         const Options& options)
+    : schema_(schema), node_(node), rules_(rules), options_(options) {
+  sys_.entity_id = schema_->FindAttribute("entity_id");
+  sys_.last_event_ts = schema_->FindAttribute("last_event_ts");
+  sys_.preferred_number = schema_->FindAttribute("preferred_number");
+  for (std::uint32_t i = 0; i < options_.num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+EspTierNode::~EspTierNode() { Stop(); }
+
+Status EspTierNode::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("already running");
+  }
+  running_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+  return Status::OK();
+}
+
+void EspTierNode::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+bool EspTierNode::SubmitEvent(std::vector<std::uint8_t> event_bytes,
+                              EventCompletion* completion) {
+  if (!running_.load(std::memory_order_acquire)) return false;
+  if (event_bytes.size() < kEventWireSize) return false;
+  EntityId caller;
+  std::memcpy(&caller, event_bytes.data(), sizeof(caller));
+  // Sticky entity -> worker mapping preserves the single-writer discipline
+  // across tier workers.
+  const std::uint32_t w =
+      node_->PartitionOf(caller) % options_.num_threads;
+  EventMessage msg;
+  msg.bytes = std::move(event_bytes);
+  msg.completion = completion;
+  return workers_[w]->queue.Push(std::move(msg));
+}
+
+void EspTierNode::WorkerLoop(Worker* worker) {
+  UpdateProgram program(*schema_, sys_.preferred_number);
+  RuleEvaluator evaluator(rules_);
+  FiringPolicyTracker policy_tracker;
+  std::vector<std::uint32_t> matched;
+  Rendezvous rendezvous;
+  const std::uint32_t record_size = schema_->record_size();
+
+  while (true) {
+    std::optional<EventMessage> msg = worker->queue.Pop();
+    if (!msg.has_value()) break;  // queue closed and drained
+
+    BinaryReader reader(msg->bytes);
+    const Event event = Event::Deserialize(&reader);
+
+    matched.clear();
+    Status result = Status::Conflict("retries exhausted");
+    for (int attempt = 0; attempt < options_.max_txn_retries; ++attempt) {
+      // Remote Get: the full Entity Record crosses the wire.
+      rendezvous.Reset();
+      RecordRequest get;
+      get.kind = RecordRequest::Kind::kGet;
+      get.entity = event.caller;
+      get.reply = [&rendezvous](Status st, std::vector<std::uint8_t>&& row,
+                                Version v) {
+        rendezvous.Complete(std::move(st), std::move(row), v);
+      };
+      if (!node_->SubmitRecordRequest(std::move(get))) {
+        result = Status::Shutdown();
+        break;
+      }
+      rendezvous.Wait();
+
+      bool fresh = false;
+      std::vector<std::uint8_t> row;
+      Version version = 0;
+      if (rendezvous.status.ok()) {
+        row = std::move(rendezvous.row);
+        record_bytes_shipped_.fetch_add(row.size(),
+                                        std::memory_order_relaxed);
+        version = rendezvous.version;
+      } else if (rendezvous.status.IsNotFound()) {
+        row.assign(record_size, 0);
+        RecordView rec(schema_, row.data());
+        if (sys_.entity_id != kInvalidAttr) {
+          rec.SetAs<std::uint64_t>(sys_.entity_id, event.caller);
+        }
+        fresh = true;
+      } else {
+        result = rendezvous.status;
+        break;
+      }
+
+      // Local processing on the ESP node: update program + rules.
+      program.Apply(event, row.data());
+      if (sys_.last_event_ts != kInvalidAttr) {
+        RecordView(schema_, row.data())
+            .SetAs<std::int64_t>(sys_.last_event_ts, event.timestamp);
+      }
+      evaluator.Evaluate(event, ConstRecordView(schema_, row.data()),
+                         &matched);
+      policy_tracker.Filter(*rules_, event.caller, event.timestamp,
+                            &matched);
+
+      // Remote Put: the record crosses the wire again.
+      rendezvous.Reset();
+      RecordRequest put;
+      put.kind = fresh ? RecordRequest::Kind::kInsert
+                       : RecordRequest::Kind::kPut;
+      put.entity = event.caller;
+      put.row = std::move(row);
+      put.expected_version = version;
+      record_bytes_shipped_.fetch_add(record_size,
+                                      std::memory_order_relaxed);
+      put.reply = [&rendezvous](Status st, std::vector<std::uint8_t>&& b,
+                                Version v) {
+        rendezvous.Complete(std::move(st), std::move(b), v);
+      };
+      if (!node_->SubmitRecordRequest(std::move(put))) {
+        result = Status::Shutdown();
+        break;
+      }
+      rendezvous.Wait();
+      if (rendezvous.status.ok()) {
+        result = Status::OK();
+        break;
+      }
+      if (rendezvous.status.IsConflict()) {
+        txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // restart the single-row transaction
+      }
+      result = rendezvous.status;
+      break;
+    }
+
+    if (result.ok()) {
+      events_processed_.fetch_add(1, std::memory_order_relaxed);
+      rules_fired_.fetch_add(matched.size(), std::memory_order_relaxed);
+    }
+    if (msg->completion != nullptr) {
+      msg->completion->status = result;
+      msg->completion->fired_rules = matched;
+      msg->completion->complete_nanos = NowNanos();
+      msg->completion->done.store(true, std::memory_order_release);
+    }
+  }
+}
+
+EspTierNode::Stats EspTierNode::stats() const {
+  Stats s;
+  s.events_processed = events_processed_.load(std::memory_order_relaxed);
+  s.txn_conflicts = txn_conflicts_.load(std::memory_order_relaxed);
+  s.rules_fired = rules_fired_.load(std::memory_order_relaxed);
+  s.record_bytes_shipped =
+      record_bytes_shipped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace aim

@@ -1,0 +1,49 @@
+#include "aim/server/rta_front_end.h"
+
+namespace aim {
+
+QueryResult RtaFrontEnd::Execute(const Query& query) const {
+  BinaryWriter writer;
+  query.Serialize(&writer);
+  const std::vector<std::uint8_t> wire = writer.TakeBuffer();
+
+  // Fan out; replies land in this call's own queue. shared_ptr keeps the
+  // queue alive even if a late reply races with our return path.
+  auto replies =
+      std::make_shared<MpscQueue<std::vector<std::uint8_t>>>();
+  std::size_t submitted = 0;
+  for (StorageNode* node : nodes_) {
+    const bool ok = node->SubmitQuery(
+        wire, [replies](std::vector<std::uint8_t>&& bytes) {
+          replies->Push(std::move(bytes));
+        });
+    if (ok) ++submitted;
+  }
+  if (submitted == 0) {
+    QueryResult result;
+    result.query_id = query.id;
+    result.status = Status::Shutdown("no storage node accepted the query");
+    return result;
+  }
+
+  // Collect and merge (result-merging cost grows with the node count —
+  // the overhead the paper's Figure 11 discussion calls out).
+  PartialResult merged;
+  bool have_any = false;
+  for (std::size_t i = 0; i < submitted; ++i) {
+    std::optional<std::vector<std::uint8_t>> bytes = replies->Pop();
+    if (!bytes.has_value() || bytes->empty()) continue;  // shutdown reply
+    BinaryReader reader(*bytes);
+    StatusOr<PartialResult> partial = PartialResult::Deserialize(&reader);
+    if (!partial.ok()) continue;
+    if (!have_any) {
+      merged = std::move(partial).value();
+      have_any = true;
+    } else {
+      merged.MergeFrom(partial.value(), query);
+    }
+  }
+  return FinalizeResult(query, dims_, std::move(merged));
+}
+
+}  // namespace aim

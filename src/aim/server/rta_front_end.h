@@ -1,0 +1,39 @@
+#ifndef AIM_SERVER_RTA_FRONT_END_H_
+#define AIM_SERVER_RTA_FRONT_END_H_
+
+#include <memory>
+#include <vector>
+
+#include "aim/common/mpsc_queue.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+#include "aim/server/storage_node.h"
+
+namespace aim {
+
+/// Stateless RTA processing node (paper §4.2): takes a query, redirects it
+/// to all storage nodes, merges the partial results and finalizes. Several
+/// client threads may call Execute() concurrently — each call keeps its own
+/// reply queue, mirroring the asynchronous RTA <-> storage communication.
+class RtaFrontEnd {
+ public:
+  /// `nodes` entries must outlive the front-end.
+  RtaFrontEnd(std::vector<StorageNode*> nodes, const Schema* schema,
+              const DimensionCatalog* dims)
+      : nodes_(std::move(nodes)), schema_(schema), dims_(dims) {}
+
+  /// Executes one query across the cluster and returns the final result.
+  QueryResult Execute(const Query& query) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  std::vector<StorageNode*> nodes_;
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVER_RTA_FRONT_END_H_

@@ -1,0 +1,367 @@
+#include "aim/server/storage_node.h"
+
+#include <chrono>
+
+#include "aim/common/clock.h"
+#include "aim/common/hash.h"
+#include "aim/common/logging.h"
+
+namespace aim {
+
+namespace {
+
+std::int64_t NowNanos() {
+  using namespace std::chrono;
+  return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
+                         const std::vector<Rule>* rules,
+                         const Options& options)
+    : schema_(schema), dims_(dims), rules_(rules), options_(options) {
+  AIM_CHECK(options_.num_partitions > 0);
+  AIM_CHECK(options_.num_esp_threads > 0);
+
+  sys_attrs_.entity_id = schema_->FindAttribute("entity_id");
+  sys_attrs_.last_event_ts = schema_->FindAttribute("last_event_ts");
+  sys_attrs_.preferred_number = schema_->FindAttribute("preferred_number");
+
+  DeltaMainStore::Options store_opts;
+  store_opts.bucket_size = options_.bucket_size;
+  store_opts.max_records = options_.max_records_per_partition;
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    partitions_.push_back(
+        std::make_unique<DeltaMainStore>(schema_, store_opts));
+  }
+
+  // ESP thread p-mod-s ownership, engines bound per owned partition.
+  for (std::uint32_t e = 0; e < options_.num_esp_threads; ++e) {
+    auto state = std::make_unique<EspThreadState>();
+    for (std::uint32_t p = e; p < options_.num_partitions;
+         p += options_.num_esp_threads) {
+      state->owned_partitions.push_back(p);
+      state->engines.push_back(std::make_unique<EspEngine>(
+          schema_, partitions_[p].get(), rules_, sys_attrs_, options_.esp));
+    }
+    esp_threads_.push_back(std::move(state));
+  }
+
+  partials_.resize(options_.num_partitions);
+  round_barrier_ = std::make_unique<std::barrier<>>(options_.num_partitions);
+}
+
+StorageNode::~StorageNode() {
+  if (running()) Stop();
+}
+
+std::uint32_t StorageNode::PartitionOf(EntityId entity) const {
+  return PartitionHash(entity, options_.node_id, options_.num_partitions);
+}
+
+Status StorageNode::BulkLoad(EntityId entity, const std::uint8_t* row) {
+  AIM_CHECK_MSG(!running(), "BulkLoad only before Start()");
+  return partitions_[PartitionOf(entity)]->BulkInsert(entity, row);
+}
+
+Status StorageNode::Start() {
+  if (running()) return Status::InvalidArgument("already running");
+  running_.store(true, std::memory_order_release);
+
+  for (auto& state : esp_threads_) {
+    for (std::uint32_t p : state->owned_partitions) {
+      partitions_[p]->set_esp_attached(true);
+    }
+    EspThreadState* raw = state.get();
+    state->thread = std::thread([this, raw] { EspLoop(raw); });
+  }
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    rta_threads_.emplace_back([this, p] { RtaLoop(p); });
+  }
+  return Status::OK();
+}
+
+void StorageNode::Stop() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  query_queue_.Close();
+  for (auto& state : esp_threads_) {
+    state->queue.Close();
+    state->record_queue.Close();
+  }
+  for (auto& state : esp_threads_) {
+    if (state->thread.joinable()) state->thread.join();
+  }
+  for (std::thread& t : rta_threads_) {
+    if (t.joinable()) t.join();
+  }
+  rta_threads_.clear();
+}
+
+bool StorageNode::SubmitEvent(std::vector<std::uint8_t> event_bytes,
+                              EventCompletion* completion) {
+  if (!running()) return false;
+  // Peek the caller id to route to the owning ESP thread. The 64-byte wire
+  // format starts with the caller id (see Event::Serialize).
+  if (event_bytes.size() < kEventWireSize) return false;
+  EntityId caller;
+  std::memcpy(&caller, event_bytes.data(), sizeof(caller));
+  const std::uint32_t p = PartitionOf(caller);
+  const std::uint32_t e = p % options_.num_esp_threads;
+  EventMessage msg;
+  msg.bytes = std::move(event_bytes);
+  msg.completion = completion;
+  return esp_threads_[e]->queue.Push(std::move(msg));
+}
+
+bool StorageNode::SubmitQuery(
+    std::vector<std::uint8_t> query_bytes,
+    std::function<void(std::vector<std::uint8_t>&&)> reply) {
+  if (!running()) return false;
+  QueryMessage msg;
+  msg.bytes = std::move(query_bytes);
+  msg.reply = std::move(reply);
+  return query_queue_.Push(std::move(msg));
+}
+
+bool StorageNode::SubmitRecordRequest(RecordRequest request) {
+  if (!running()) return false;
+  const std::uint32_t p = PartitionOf(request.entity);
+  const std::uint32_t e = p % options_.num_esp_threads;
+  return esp_threads_[e]->record_queue.Push(std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// ESP service loop (paper Algorithm 7 around EspEngine::ProcessEvent, plus
+// the Get/Put record service used by remote ESP tiers).
+// ---------------------------------------------------------------------------
+
+void StorageNode::ServeRecordRequest(RecordRequest& request) {
+  DeltaMainStore* store = partitions_[PartitionOf(request.entity)].get();
+  switch (request.kind) {
+    case RecordRequest::Kind::kGet: {
+      std::vector<std::uint8_t> row(schema_->record_size());
+      Version version = 0;
+      Status st = store->Get(request.entity, row.data(), &version);
+      if (!st.ok()) row.clear();
+      if (request.reply) request.reply(st, std::move(row), version);
+      return;
+    }
+    case RecordRequest::Kind::kPut: {
+      Status st = request.row.size() == schema_->record_size()
+                      ? store->Put(request.entity, request.row.data(),
+                                   request.expected_version)
+                      : Status::InvalidArgument("bad record size");
+      if (request.reply) {
+        request.reply(st, {}, request.expected_version + 1);
+      }
+      return;
+    }
+    case RecordRequest::Kind::kInsert: {
+      Status st = request.row.size() == schema_->record_size()
+                      ? store->Insert(request.entity, request.row.data())
+                      : Status::InvalidArgument("bad record size");
+      if (request.reply) request.reply(st, {}, 1);
+      return;
+    }
+  }
+}
+
+void StorageNode::EspLoop(EspThreadState* state) {
+  std::vector<std::uint32_t> fired;
+  while (true) {
+    // Algorithm 7 line 3-5: acknowledge pending delta switches on every
+    // owned partition before (and between) requests.
+    for (std::size_t i = 0; i < state->owned_partitions.size(); ++i) {
+      partitions_[state->owned_partitions[i]]->EspCheckpoint();
+    }
+
+    // Record service first (remote ESP tiers are latency-sensitive: they
+    // block synchronously on Get/Put round trips).
+    if (std::optional<RecordRequest> req = state->record_queue.TryPop()) {
+      ServeRecordRequest(*req);
+      continue;
+    }
+
+    std::optional<EventMessage> msg = state->queue.TryPop();
+    if (!msg.has_value()) {
+      if (!running_.load(std::memory_order_acquire) &&
+          state->queue.size() == 0 && state->record_queue.size() == 0) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.esp_idle_micros));
+      continue;
+    }
+
+    BinaryReader reader(msg->bytes);
+    Event event = Event::Deserialize(&reader);
+    const std::uint32_t p = PartitionOf(event.caller);
+    // Find the engine bound to this partition.
+    EspEngine* engine = nullptr;
+    for (std::size_t i = 0; i < state->owned_partitions.size(); ++i) {
+      if (state->owned_partitions[i] == p) {
+        engine = state->engines[i].get();
+        break;
+      }
+    }
+    AIM_CHECK_MSG(engine != nullptr, "event routed to wrong ESP thread");
+
+    const std::uint64_t conflicts_before = engine->stats().txn_conflicts;
+    Status st = engine->ProcessEvent(event, &fired);
+    if (st.ok()) {
+      events_processed_.fetch_add(1, std::memory_order_relaxed);
+      rules_fired_.fetch_add(fired.size(), std::memory_order_relaxed);
+    }
+    txn_conflicts_.fetch_add(
+        engine->stats().txn_conflicts - conflicts_before,
+        std::memory_order_relaxed);
+    if (msg->completion != nullptr) {
+      msg->completion->status = st;
+      msg->completion->fired_rules = fired;
+      msg->completion->complete_nanos = NowNanos();
+      msg->completion->done.store(true, std::memory_order_release);
+    }
+  }
+
+  // Detach from the handshake so in-flight delta switches can proceed, and
+  // fail any record requests that raced with shutdown.
+  for (std::uint32_t p : state->owned_partitions) {
+    partitions_[p]->set_esp_attached(false);
+  }
+  while (std::optional<RecordRequest> req = state->record_queue.TryPop()) {
+    if (req->reply) req->reply(Status::Shutdown(), {}, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RTA scan loop (paper Figure 6 + Algorithm 5, coordinated across the
+// node's partitions).
+// ---------------------------------------------------------------------------
+
+void StorageNode::FillBatch() {
+  batch_.clear();
+  batch_queries_.clear();
+  stop_round_ = false;
+
+  // Wait briefly for work so that idle cycles still merge periodically.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(options_.scan_poll_micros);
+  while (batch_.empty()) {
+    std::optional<QueryMessage> msg = query_queue_.TryPop();
+    if (msg.has_value()) {
+      batch_.push_back(std::move(*msg));
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      stop_round_ = true;
+      return;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // Drain up to the batch cap (shared scan batching, §4.7).
+  while (batch_.size() < options_.max_query_batch) {
+    std::optional<QueryMessage> msg = query_queue_.TryPop();
+    if (!msg.has_value()) break;
+    batch_.push_back(std::move(*msg));
+  }
+
+  for (QueryMessage& msg : batch_) {
+    BinaryReader reader(msg.bytes);
+    StatusOr<Query> q = Query::Deserialize(&reader);
+    // Malformed queries still occupy a batch slot so reply order holds; the
+    // coordinator replies with an empty partial for them.
+    batch_queries_.push_back(q.ok() ? std::move(q).value() : Query{});
+  }
+}
+
+void StorageNode::MergeAndReply() {
+  for (std::size_t qi = 0; qi < batch_.size(); ++qi) {
+    PartialResult merged = std::move(partials_[0][qi]);
+    for (std::uint32_t p = 1; p < options_.num_partitions; ++p) {
+      merged.MergeFrom(partials_[p][qi], batch_queries_[qi]);
+    }
+    BinaryWriter writer;
+    merged.Serialize(&writer);
+    if (batch_[qi].reply) batch_[qi].reply(writer.TakeBuffer());
+    queries_processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StorageNode::RtaLoop(std::uint32_t partition_id) {
+  DeltaMainStore* store = partitions_[partition_id].get();
+  SharedScan scan(store);
+  ScanScratch scratch;
+
+  while (true) {
+    if (partition_id == 0) FillBatch();
+    round_barrier_->arrive_and_wait();  // batch published
+    if (stop_round_) break;
+
+    // Compile and scan this partition for the whole batch (Algorithm 5:
+    // bucket-major, query-minor).
+    std::vector<CompiledQuery> compiled;
+    compiled.reserve(batch_queries_.size());
+    std::vector<std::size_t> compiled_for;  // batch index per compiled entry
+    for (std::size_t qi = 0; qi < batch_queries_.size(); ++qi) {
+      StatusOr<CompiledQuery> cq =
+          CompiledQuery::Compile(batch_queries_[qi], schema_, dims_);
+      if (cq.ok()) {
+        compiled.push_back(std::move(cq).value());
+        compiled_for.push_back(qi);
+      }
+    }
+    if (!compiled.empty()) scan.ScanStep(compiled);
+
+    partials_[partition_id].assign(batch_queries_.size(), PartialResult{});
+    for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
+      partials_[partition_id][compiled_for[ci]] = compiled[ci].TakePartial();
+    }
+
+    round_barrier_->arrive_and_wait();  // partials ready
+    if (partition_id == 0) MergeAndReply();
+
+    // Merge step: fold the delta into the main before the next scan.
+    if (store->delta_size() > 0) {
+      records_merged_.fetch_add(scan.MergeStep(), std::memory_order_relaxed);
+    }
+    if (partition_id == 0) {
+      scan_cycles_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Drain pending replies on shutdown (coordinator only).
+  if (partition_id == 0) {
+    for (QueryMessage& msg : batch_) {
+      if (msg.reply) msg.reply({});
+    }
+    std::optional<QueryMessage> msg;
+    while ((msg = query_queue_.TryPop()).has_value()) {
+      if (msg->reply) msg->reply({});
+    }
+  }
+}
+
+StorageNode::NodeStats StorageNode::stats() const {
+  NodeStats s;
+  s.events_processed = events_processed_.load(std::memory_order_relaxed);
+  s.txn_conflicts = txn_conflicts_.load(std::memory_order_relaxed);
+  s.rules_fired = rules_fired_.load(std::memory_order_relaxed);
+  s.queries_processed = queries_processed_.load(std::memory_order_relaxed);
+  s.scan_cycles = scan_cycles_.load(std::memory_order_relaxed);
+  s.records_merged = records_merged_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t StorageNode::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& p : partitions_) {
+    n += p->main_records();
+  }
+  return n;
+}
+
+}  // namespace aim

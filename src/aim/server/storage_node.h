@@ -1,0 +1,158 @@
+#ifndef AIM_SERVER_STORAGE_NODE_H_
+#define AIM_SERVER_STORAGE_NODE_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aim/common/mpsc_queue.h"
+#include "aim/common/status.h"
+#include "aim/esp/esp_engine.h"
+#include "aim/net/message.h"
+#include "aim/rta/compiled_query.h"
+#include "aim/rta/dimension.h"
+#include "aim/rta/shared_scan.h"
+#include "aim/storage/delta_main.h"
+
+namespace aim {
+
+/// One AIM storage server (paper §4.2 and Figure 8): hosts `n` data
+/// partitions of the Analytics Matrix, each with its own delta-main store
+/// and a dedicated RTA scan thread, plus `s` ESP service threads that own
+/// the deltas of the partitions assigned to them (partition p is served by
+/// ESP thread p mod s — the paper's k = n/s assignment).
+///
+/// Deployment matches the paper's measured configuration (§4.2 option b):
+/// ESP processing runs on the storage node itself, receiving 64-byte events
+/// instead of shipping 3 KB records over the network. Dimension tables and
+/// the business rule set are replicated per node (§3.4).
+///
+/// RTA processing: incoming queries queue up; the scan threads batch them
+/// (bounded by Options::max_query_batch), start each scan cycle together
+/// (intra-node consistency, §4.8) and interleave merge steps between scans
+/// (Figure 6). The coordinator thread merges the per-partition partials and
+/// replies with one node-level partial per query.
+class StorageNode {
+ public:
+  struct Options {
+    NodeId node_id = 0;
+    std::uint32_t num_partitions = 5;  // n: RTA scan threads
+    std::uint32_t num_esp_threads = 1;  // s
+    std::uint32_t bucket_size = ColumnMap::kDefaultBucketSize;
+    std::uint64_t max_records_per_partition = 1u << 20;
+    std::uint32_t max_query_batch = 8;
+    /// How long the RTA coordinator waits for queries before running a
+    /// merge-only cycle (bounds t_fresh when the query queue is empty).
+    std::int64_t scan_poll_micros = 500;
+    /// ESP idle poll interval (the service loop must keep reaching its
+    /// checkpoint even without traffic, or delta switches would stall).
+    std::int64_t esp_idle_micros = 100;
+    EspEngine::Options esp;
+  };
+
+  struct NodeStats {
+    std::uint64_t events_processed = 0;
+    std::uint64_t txn_conflicts = 0;
+    std::uint64_t rules_fired = 0;
+    std::uint64_t queries_processed = 0;
+    std::uint64_t scan_cycles = 0;
+    std::uint64_t records_merged = 0;
+  };
+
+  /// All pointers must outlive the node. `rules` may be empty.
+  StorageNode(const Schema* schema, const DimensionCatalog* dims,
+              const std::vector<Rule>* rules, const Options& options);
+  ~StorageNode();
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Pre-start bulk load of one entity (routes to its partition's main).
+  Status BulkLoad(EntityId entity, const std::uint8_t* row);
+
+  /// Starts the ESP service threads and RTA scan threads.
+  Status Start();
+  /// Stops and joins all threads. Pending queries get empty replies.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Enqueues a serialized event (64-byte wire format). Returns false after
+  /// shutdown. `completion` may be null.
+  bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
+                   EventCompletion* completion);
+
+  /// Enqueues a serialized query; `reply` receives the node's serialized
+  /// PartialResult (empty payload on shutdown).
+  bool SubmitQuery(std::vector<std::uint8_t> query_bytes,
+                   std::function<void(std::vector<std::uint8_t>&&)> reply);
+
+  /// Record-level Get/Put service for a remote ESP tier (paper §4.2
+  /// deployment option a). Routed to the entity's owning ESP service
+  /// thread; must not be mixed with SubmitEvent traffic for the same
+  /// entities (two writers would race).
+  bool SubmitRecordRequest(RecordRequest request);
+
+  /// Which partition an entity lives in (two-level routing, §4.8).
+  std::uint32_t PartitionOf(EntityId entity) const;
+
+  NodeStats stats() const;
+  const Options& options() const { return options_; }
+  const DeltaMainStore& partition(std::uint32_t p) const {
+    return *partitions_[p];
+  }
+  std::uint64_t total_records() const;
+
+ private:
+  struct EspThreadState {
+    MpscQueue<EventMessage> queue;
+    MpscQueue<RecordRequest> record_queue;
+    std::vector<std::uint32_t> owned_partitions;
+    std::vector<std::unique_ptr<EspEngine>> engines;  // parallel to owned
+    std::thread thread;
+  };
+
+  void ServeRecordRequest(RecordRequest& request);
+
+  void EspLoop(EspThreadState* state);
+  void RtaLoop(std::uint32_t partition_id);
+
+  // Coordinator-side batch management (RTA thread 0).
+  void FillBatch();
+  void MergeAndReply();
+
+  const Schema* schema_;
+  const DimensionCatalog* dims_;
+  const std::vector<Rule>* rules_;
+  Options options_;
+  SystemAttrs sys_attrs_;
+
+  std::vector<std::unique_ptr<DeltaMainStore>> partitions_;
+  std::vector<std::unique_ptr<EspThreadState>> esp_threads_;
+  std::vector<std::thread> rta_threads_;
+
+  MpscQueue<QueryMessage> query_queue_;
+
+  // Per-round shared state (published by the coordinator between barriers).
+  std::vector<QueryMessage> batch_;
+  std::vector<Query> batch_queries_;
+  bool stop_round_ = false;
+  // partials_[partition][query in batch]
+  std::vector<std::vector<PartialResult>> partials_;
+
+  std::unique_ptr<std::barrier<>> round_barrier_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> queries_processed_{0};
+  std::atomic<std::uint64_t> scan_cycles_{0};
+  std::atomic<std::uint64_t> records_merged_{0};
+  std::atomic<std::uint64_t> events_processed_{0};
+  std::atomic<std::uint64_t> txn_conflicts_{0};
+  std::atomic<std::uint64_t> rules_fired_{0};
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVER_STORAGE_NODE_H_

@@ -1,0 +1,104 @@
+#include "aim/storage/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace aim {
+namespace checkpoint {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'I', 'M', 'C', 'K', 'P', 'T', '1'};
+}  // namespace
+
+Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
+             BinaryWriter* out) {
+  const Schema& schema = store.schema();
+  if (entity_attr >= schema.num_attributes()) {
+    return Status::InvalidArgument("entity attribute out of range");
+  }
+  out->PutBytes(kMagic, sizeof(kMagic));
+  out->PutU32(schema.record_size());
+
+  // Two-pass: count first (the header needs it), then payload.
+  std::uint64_t count = 0;
+  store.ForEachVisible(entity_attr,
+                       [&](EntityId, Version, const std::uint8_t*) {
+                         ++count;
+                       });
+  out->PutU64(count);
+  store.ForEachVisible(
+      entity_attr, [&](EntityId entity, Version version,
+                       const std::uint8_t* row) {
+        out->PutU64(entity);
+        out->PutU64(version);
+        out->PutBytes(row, schema.record_size());
+      });
+  return Status::OK();
+}
+
+Status Restore(BinaryReader* in, DeltaMainStore* store) {
+  const Schema& schema = store->schema();
+  if (store->main_records() != 0 || store->delta_size() != 0) {
+    return Status::Conflict("restore target is not empty");
+  }
+  char magic[8];
+  if (!in->GetBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  const std::uint32_t record_size = in->GetU32();
+  if (record_size != schema.record_size()) {
+    return Status::InvalidArgument("checkpoint record size mismatch");
+  }
+  const std::uint64_t count = in->GetU64();
+  std::vector<std::uint8_t> row(record_size);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const EntityId entity = in->GetU64();
+    const Version version = in->GetU64();
+    if (!in->GetBytes(row.data(), record_size)) {
+      return Status::InvalidArgument("truncated checkpoint");
+    }
+    Status st = store->BulkInsertWithVersion(entity, row.data(), version);
+    if (!st.ok()) return st;
+  }
+  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
+  return Status::OK();
+}
+
+Status WriteToFile(const DeltaMainStore& store, std::uint16_t entity_attr,
+                   const std::string& path) {
+  BinaryWriter writer;
+  Status st = Write(store, entity_attr, &writer);
+  if (!st.ok()) return st;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::size_t written =
+      std::fwrite(writer.buffer().data(), 1, writer.size(), f);
+  const int closed = std::fclose(f);
+  if (written != writer.size() || closed != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status RestoreFromFile(const std::string& path, DeltaMainStore* store) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat " + path);
+  }
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::Internal("short read from " + path);
+  BinaryReader reader(buf);
+  return Restore(&reader, store);
+}
+
+}  // namespace checkpoint
+}  // namespace aim

@@ -1,0 +1,146 @@
+#include "aim/storage/column_map.h"
+
+#include <cstring>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+ColumnMap::ColumnMap(const Schema* schema, std::uint32_t bucket_size,
+                     std::uint64_t max_records)
+    : schema_(schema),
+      bucket_size_(bucket_size),
+      max_records_(max_records),
+      index_(/*initial_capacity=*/1024) {
+  AIM_CHECK_MSG(schema_->finalized(), "schema must be finalized");
+  AIM_CHECK_MSG(bucket_size_ > 0, "bucket_size must be positive");
+
+  // Column layout inside a bucket block: attributes in schema order, each
+  // occupying width * bucket_size bytes, then the row-major state area.
+  col_offset_.resize(schema_->num_attributes());
+  std::uint64_t off = 0;
+  for (std::uint16_t i = 0; i < schema_->num_attributes(); ++i) {
+    col_offset_[i] = static_cast<std::uint32_t>(off);
+    off += ValueTypeSize(schema_->attribute(i).type) * bucket_size_;
+  }
+  state_offset_ = static_cast<std::uint32_t>(off);
+  state_stride_ = schema_->state_area_size();
+  bucket_bytes_ = off + static_cast<std::uint64_t>(state_stride_) *
+                            bucket_size_;
+
+  bucket_slots_ = static_cast<std::uint32_t>(
+      (max_records_ + bucket_size_ - 1) / bucket_size_);
+  if (bucket_slots_ == 0) bucket_slots_ = 1;
+  buckets_.reset(new std::atomic<Bucket*>[bucket_slots_]);
+  for (std::uint32_t i = 0; i < bucket_slots_; ++i) {
+    buckets_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  index_.Reserve(std::min<std::uint64_t>(max_records_, 1u << 20));
+}
+
+ColumnMap::~ColumnMap() {
+  for (std::uint32_t i = 0; i < bucket_slots_; ++i) {
+    delete buckets_[i].load(std::memory_order_relaxed);
+  }
+}
+
+StatusOr<RecordId> ColumnMap::Insert(EntityId entity, const std::uint8_t* row,
+                                     Version version) {
+  if (index_.Contains(entity)) {
+    return Status::Conflict("entity already present in main");
+  }
+  const std::uint64_t id64 = num_records_.load(std::memory_order_relaxed);
+  if (id64 >= max_records_) {
+    return Status::Capacity("ColumnMap full");
+  }
+  const RecordId id = static_cast<RecordId>(id64);
+  const std::uint32_t b = id / bucket_size_;
+  Bucket* bucket = GetBucket(b);
+  if (bucket == nullptr) {
+    auto fresh = std::make_unique<Bucket>();
+    fresh->data.reset(new std::uint8_t[bucket_bytes_]());
+    fresh->versions.reset(new Version[bucket_size_]());
+    bucket = fresh.release();
+    buckets_[b].store(bucket, std::memory_order_release);
+  }
+  // Publish order: record bytes and version first, then the count, then the
+  // index entry — readers that find the entity always see complete data.
+  ScatterRow(id, row);
+  bucket->versions[id % bucket_size_] = version;
+  num_records_.store(id64 + 1, std::memory_order_release);
+  index_.Upsert(entity, id);
+  return id;
+}
+
+void ColumnMap::ScatterRow(RecordId id, const std::uint8_t* row) {
+  const std::uint32_t b = id / bucket_size_;
+  const std::uint32_t idx = id % bucket_size_;
+  Bucket* bucket = GetBucket(b);
+  AIM_DCHECK(bucket != nullptr);
+  std::uint8_t* block = bucket->data.get();
+  const std::uint16_t n = schema_->num_attributes();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const Attribute& a = schema_->attribute(i);
+    const std::size_t w = ValueTypeSize(a.type);
+    std::memcpy(block + col_offset_[i] + idx * w, row + a.row_offset, w);
+  }
+  if (state_stride_ > 0) {
+    std::memcpy(block + state_offset_ + idx * state_stride_,
+                row + schema_->state_area_offset(), state_stride_);
+  }
+}
+
+void ColumnMap::MaterializeRow(RecordId id, std::uint8_t* out) const {
+  const std::uint32_t b = id / bucket_size_;
+  const std::uint32_t idx = id % bucket_size_;
+  const Bucket* bucket = GetBucket(b);
+  AIM_DCHECK(bucket != nullptr);
+  const std::uint8_t* block = bucket->data.get();
+  const std::uint16_t n = schema_->num_attributes();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const Attribute& a = schema_->attribute(i);
+    const std::size_t w = ValueTypeSize(a.type);
+    std::memcpy(out + a.row_offset, block + col_offset_[i] + idx * w, w);
+  }
+  if (state_stride_ > 0) {
+    std::memcpy(out + schema_->state_area_offset(),
+                block + state_offset_ + idx * state_stride_, state_stride_);
+  }
+}
+
+Value ColumnMap::GetValue(RecordId id, std::uint16_t attr) const {
+  const std::uint32_t b = id / bucket_size_;
+  const std::uint32_t idx = id % bucket_size_;
+  const Bucket* bucket = GetBucket(b);
+  AIM_DCHECK(bucket != nullptr);
+  const Attribute& a = schema_->attribute(attr);
+  const std::size_t w = ValueTypeSize(a.type);
+  return Value::Load(a.type, bucket->data.get() + col_offset_[attr] + idx * w);
+}
+
+Version ColumnMap::version(RecordId id) const {
+  const Bucket* bucket = GetBucket(id / bucket_size_);
+  AIM_DCHECK(bucket != nullptr);
+  return bucket->versions[id % bucket_size_];
+}
+
+void ColumnMap::set_version(RecordId id, Version v) {
+  Bucket* bucket = GetBucket(id / bucket_size_);
+  AIM_DCHECK(bucket != nullptr);
+  bucket->versions[id % bucket_size_] = v;
+}
+
+ColumnMap::BucketRef ColumnMap::bucket(std::uint32_t b) const {
+  const std::uint64_t total = num_records();
+  BucketRef ref;
+  const Bucket* bucket = GetBucket(b);
+  AIM_CHECK_MSG(bucket != nullptr, "bucket %u not allocated", b);
+  ref.block = bucket->data.get();
+  ref.first_record = b * bucket_size_;
+  const std::uint64_t remaining = total - ref.first_record;
+  ref.count = static_cast<std::uint32_t>(
+      remaining < bucket_size_ ? remaining : bucket_size_);
+  return ref;
+}
+
+}  // namespace aim

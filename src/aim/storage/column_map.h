@@ -1,0 +1,165 @@
+#ifndef AIM_STORAGE_COLUMN_MAP_H_
+#define AIM_STORAGE_COLUMN_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/common/types.h"
+#include "aim/schema/record.h"
+#include "aim/schema/schema.h"
+#include "aim/storage/dense_map.h"
+
+namespace aim {
+
+/// PAX-style main store (paper §4.5, Figure 5). Records are grouped into
+/// Buckets of `bucket_size` records; inside a bucket each attribute's values
+/// are stored contiguously (column-major), while the opaque group-state
+/// blocks are kept row-major at the end of the bucket (they are only touched
+/// record-at-a-time by Get/merge, never scanned).
+///
+///   bucket block = [col0 x B][col1 x B]...[colK x B][state row x B]
+///
+/// bucket_size = 1 degenerates into a row store; bucket_size >= number of
+/// records into a pure column store — the paper's tunability argument.
+///
+/// A DenseMap keeps the entity-id -> record-id mapping; record ids are dense
+/// and never change, so value addresses are computable (§4.5).
+///
+/// Concurrency: one writer (bulk load / the merging RTA thread), many
+/// readers. Bucket slots are pre-allocated atomic pointers (no vector
+/// growth), so readers can materialize rows while the writer appends new
+/// records. Writers must scatter a new record's bytes before publishing its
+/// index entry; in-place updates of existing records are only performed by
+/// the merge step, whose safety is argued at the delta-main level (a record
+/// being merged is still present in the frozen delta, so no reader touches
+/// its main image).
+class ColumnMap {
+ public:
+  /// Paper default: 3072 records per bucket (largest power of two whose
+  /// 3 KB-record bucket fits a 10 MB L3).
+  static constexpr std::uint32_t kDefaultBucketSize = 3072;
+
+  /// `schema` must be finalized and outlive the map. `max_records` bounds
+  /// capacity (bucket pointer slots are pre-allocated).
+  ColumnMap(const Schema* schema, std::uint32_t bucket_size,
+            std::uint64_t max_records);
+
+  ColumnMap(const ColumnMap&) = delete;
+  ColumnMap& operator=(const ColumnMap&) = delete;
+  ~ColumnMap();
+
+  const Schema& schema() const { return *schema_; }
+  std::uint32_t bucket_size() const { return bucket_size_; }
+
+  // ------------------------------------------------------------------
+  // Index.
+  // ------------------------------------------------------------------
+
+  /// Record id for an entity, or kInvalidRecordId.
+  RecordId Lookup(EntityId entity) const {
+    std::uint32_t v = index_.Find(entity);
+    return v == DenseMap::kNotFound ? kInvalidRecordId : v;
+  }
+
+  // ------------------------------------------------------------------
+  // Writer-side operations.
+  // ------------------------------------------------------------------
+
+  /// Appends a new record (row format) for `entity`. Fails with kCapacity
+  /// when max_records is reached, kConflict if the entity already exists.
+  StatusOr<RecordId> Insert(EntityId entity, const std::uint8_t* row,
+                            Version version);
+
+  /// Overwrites an existing record in place (merge step).
+  void ScatterRow(RecordId id, const std::uint8_t* row);
+
+  /// Version bookkeeping for conditional writes.
+  Version version(RecordId id) const;
+  void set_version(RecordId id, Version v);
+
+  /// Releases index tables retired by growth. Same quiescence contract as
+  /// DenseMap::ReclaimRetired().
+  void ReclaimRetired() { index_.ReclaimRetired(); }
+
+  // ------------------------------------------------------------------
+  // Reader-side operations.
+  // ------------------------------------------------------------------
+
+  /// Gathers record `id` into row format (record_size bytes).
+  void MaterializeRow(RecordId id, std::uint8_t* out) const;
+
+  /// Single-value read (fast path for point lookups of one attribute).
+  Value GetValue(RecordId id, std::uint16_t attr) const;
+
+  std::uint64_t num_records() const {
+    return num_records_.load(std::memory_order_acquire);
+  }
+  std::uint64_t max_records() const { return max_records_; }
+  std::uint32_t num_buckets() const {
+    const std::uint64_t n = num_records();
+    return static_cast<std::uint32_t>((n + bucket_size_ - 1) / bucket_size_);
+  }
+
+  // ------------------------------------------------------------------
+  // Scan access (shared scans read columns directly).
+  // ------------------------------------------------------------------
+
+  /// Read-only view of one bucket for scan kernels.
+  struct BucketRef {
+    const std::uint8_t* block = nullptr;  // bucket base
+    std::uint32_t count = 0;              // live records in this bucket
+    std::uint32_t first_record = 0;       // record id of row 0
+
+    /// Column base for an attribute (given the map's layout).
+    const std::uint8_t* Column(const ColumnMap& map,
+                               std::uint16_t attr) const {
+      return block + map.col_offset_[attr];
+    }
+  };
+
+  /// Bucket `b` must be < num_buckets() at the time of the call. The count
+  /// is clamped to the record count observed at call time, so scans racing
+  /// with appends see a consistent prefix.
+  BucketRef bucket(std::uint32_t b) const;
+
+  /// Byte offset of attribute `attr`'s column inside a bucket block.
+  std::uint32_t column_offset(std::uint16_t attr) const {
+    return col_offset_[attr];
+  }
+  /// Total bytes of one bucket block (diagnostics / memory accounting).
+  std::uint64_t bucket_bytes() const { return bucket_bytes_; }
+
+ private:
+  struct Bucket {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::unique_ptr<Version[]> versions;
+  };
+
+  Bucket* GetBucket(std::uint32_t b) const {
+    return buckets_[b].load(std::memory_order_acquire);
+  }
+
+  const Schema* schema_;
+  const std::uint32_t bucket_size_;
+  const std::uint64_t max_records_;
+
+  // Layout: per-attribute column offsets within a bucket block, then the
+  // row-major state area.
+  std::vector<std::uint32_t> col_offset_;
+  std::uint32_t state_offset_ = 0;   // offset of state area in bucket block
+  std::uint32_t state_stride_ = 0;   // schema state_area_size
+  std::uint64_t bucket_bytes_ = 0;
+
+  std::unique_ptr<std::atomic<Bucket*>[]> buckets_;
+  std::uint32_t bucket_slots_ = 0;
+  std::atomic<std::uint64_t> num_records_{0};
+
+  DenseMap index_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_COLUMN_MAP_H_

@@ -1,0 +1,49 @@
+#include "aim/storage/delta.h"
+
+#include <cstring>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+Delta::Delta(const Schema* schema)
+    : schema_(schema),
+      entry_stride_((kHeaderSize + schema->record_size() + 7u) & ~std::size_t{7}),
+      index_(/*initial_capacity=*/1024) {
+  AIM_CHECK_MSG(schema_->finalized(), "schema must be finalized");
+}
+
+void Delta::Put(EntityId entity, const std::uint8_t* row, Version version) {
+  const std::uint32_t record_size = schema_->record_size();
+  std::uint32_t idx = index_.Find(entity);
+  if (idx == DenseMap::kNotFound) {
+    idx = size_.load(std::memory_order_relaxed);
+    if (idx / kChunkEntries >= chunks_.size()) {
+      chunks_.emplace_back(new std::uint8_t[kChunkEntries * entry_stride_]);
+    }
+    std::uint8_t* e = EntryAt(idx);
+    std::memcpy(e, &entity, sizeof(entity));
+    std::memcpy(e + sizeof(EntityId), &version, sizeof(version));
+    std::memcpy(e + kHeaderSize, row, record_size);
+    // Publish entry bytes before the index entry and the size.
+    index_.Upsert(entity, idx);
+    size_.store(idx + 1, std::memory_order_release);
+  } else {
+    // Hot-spot path: overwrite in place (automatic compaction, §4.6).
+    std::uint8_t* e = EntryAt(idx);
+    std::memcpy(e + sizeof(EntityId), &version, sizeof(version));
+    std::memcpy(e + kHeaderSize, row, record_size);
+  }
+}
+
+const std::uint8_t* Delta::Get(EntityId entity, Version* out_version) const {
+  const std::uint32_t idx = index_.Find(entity);
+  if (idx == DenseMap::kNotFound) return nullptr;
+  const std::uint8_t* e = EntryAt(idx);
+  if (out_version != nullptr) {
+    std::memcpy(out_version, e + sizeof(EntityId), sizeof(Version));
+  }
+  return e + kHeaderSize;
+}
+
+}  // namespace aim

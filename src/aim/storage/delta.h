@@ -1,0 +1,104 @@
+#ifndef AIM_STORAGE_DELTA_H_
+#define AIM_STORAGE_DELTA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aim/common/types.h"
+#include "aim/schema/schema.h"
+#include "aim/storage/dense_map.h"
+
+namespace aim {
+
+/// Indexed delta structure (paper §4.6): accumulates Puts between merges.
+/// Implemented as a dense hash map (entity-id -> entry index) over a chunked
+/// record arena. Hot-spot entities overwrite their entry in place, so the
+/// delta "compacts" them automatically before the merge — the paper's
+/// hot-spot-favoring property.
+///
+/// Concurrency contract (delta-main protocol):
+///   * while ACTIVE: written and read only by the owning ESP thread;
+///   * while FROZEN (being merged): read by the ESP thread (Get fallthrough)
+///     and read + finally Clear()ed by the RTA thread. Clear only resets the
+///     index and the write position; entry bytes stay intact until the delta
+///     becomes active again, which happens after an ESP handshake — so a
+///     racing ESP reader never observes reused memory.
+class Delta {
+ public:
+  /// Arena chunks hold `kChunkEntries` records each; chunk pointers are
+  /// stable (chunks are never reallocated), so readers may follow an entry
+  /// index without locking.
+  static constexpr std::uint32_t kChunkEntries = 1024;
+
+  /// `schema` must be finalized and outlive the delta.
+  explicit Delta(const Schema* schema);
+
+  Delta(const Delta&) = delete;
+  Delta& operator=(const Delta&) = delete;
+
+  /// Inserts or overwrites the record for `entity`. Writer thread only.
+  void Put(EntityId entity, const std::uint8_t* row, Version version);
+
+  /// Looks up an entity. Returns nullptr if absent. The returned pointer is
+  /// valid until the delta is cleared AND reactivated (see class comment).
+  /// `out_version` may be null.
+  const std::uint8_t* Get(EntityId entity, Version* out_version) const;
+
+  /// Number of distinct entities currently buffered.
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Iterates all entries (merge step; frozen delta, RTA thread).
+  /// Fn: void(EntityId, Version, const uint8_t* row).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::uint32_t n = size_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint8_t* e = EntryAt(i);
+      EntityId entity;
+      Version version;
+      std::memcpy(&entity, e, sizeof(entity));
+      std::memcpy(&version, e + sizeof(EntityId), sizeof(version));
+      fn(entity, version, e + kHeaderSize);
+    }
+  }
+
+  /// Empties the delta (RTA thread, after merging). See class comment for
+  /// why this is safe against racing ESP readers.
+  void Clear() {
+    index_.Clear();
+    size_.store(0, std::memory_order_release);
+  }
+
+  /// Frees retired index tables; call only while the ESP thread is parked
+  /// in the delta-switch handshake.
+  void ReclaimRetired() { index_.ReclaimRetired(); }
+
+  /// Bytes currently allocated by the arena (diagnostics).
+  std::size_t arena_bytes() const {
+    return chunks_.size() * kChunkEntries * entry_stride_;
+  }
+
+ private:
+  static constexpr std::size_t kHeaderSize =
+      sizeof(EntityId) + sizeof(Version);
+
+  std::uint8_t* EntryAt(std::uint32_t idx) const {
+    return chunks_[idx / kChunkEntries].get() +
+           static_cast<std::size_t>(idx % kChunkEntries) * entry_stride_;
+  }
+
+  const Schema* schema_;
+  std::size_t entry_stride_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  std::atomic<std::uint32_t> size_{0};
+  DenseMap index_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_DELTA_H_

@@ -1,0 +1,166 @@
+#include "aim/storage/delta_main.h"
+
+#include <cstring>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+DeltaMainStore::DeltaMainStore(const Schema* schema, const Options& options)
+    : schema_(schema) {
+  AIM_CHECK_MSG(schema_->finalized(), "schema must be finalized");
+  main_ = std::make_unique<ColumnMap>(schema, options.bucket_size,
+                                      options.max_records);
+  deltas_[0] = std::make_unique<Delta>(schema);
+  deltas_[1] = std::make_unique<Delta>(schema);
+}
+
+Status DeltaMainStore::Get(EntityId entity, std::uint8_t* out_row,
+                           Version* out_version) const {
+  const std::uint32_t record_size = schema_->record_size();
+  // Algorithm 3: new delta (when merging, the active one is the "new"
+  // delta), then the frozen one, then main.
+  Version version = 0;
+  const std::uint8_t* row = ActiveDelta()->Get(entity, &version);
+  if (row == nullptr && merging_.load(std::memory_order_acquire)) {
+    row = FrozenDelta()->Get(entity, &version);
+  }
+  if (row != nullptr) {
+    std::memcpy(out_row, row, record_size);
+    if (out_version != nullptr) *out_version = version;
+    return Status::OK();
+  }
+  const RecordId id = main_->Lookup(entity);
+  if (id == kInvalidRecordId) return Status::NotFound();
+  main_->MaterializeRow(id, out_row);
+  if (out_version != nullptr) *out_version = main_->version(id);
+  return Status::OK();
+}
+
+StatusOr<Value> DeltaMainStore::GetAttribute(EntityId entity,
+                                             std::uint16_t attr) const {
+  Version version = 0;
+  const std::uint8_t* row = ActiveDelta()->Get(entity, &version);
+  if (row == nullptr && merging_.load(std::memory_order_acquire)) {
+    row = FrozenDelta()->Get(entity, &version);
+  }
+  if (row != nullptr) {
+    const Attribute& a = schema_->attribute(attr);
+    return Value::Load(a.type, row + a.row_offset);
+  }
+  const RecordId id = main_->Lookup(entity);
+  if (id == kInvalidRecordId) return Status::NotFound();
+  return main_->GetValue(id, attr);
+}
+
+Version DeltaMainStore::CurrentVersion(EntityId entity, bool* found) const {
+  Version version = 0;
+  if (ActiveDelta()->Get(entity, &version) != nullptr) {
+    *found = true;
+    return version;
+  }
+  if (merging_.load(std::memory_order_acquire) &&
+      FrozenDelta()->Get(entity, &version) != nullptr) {
+    *found = true;
+    return version;
+  }
+  const RecordId id = main_->Lookup(entity);
+  if (id != kInvalidRecordId) {
+    *found = true;
+    return main_->version(id);
+  }
+  *found = false;
+  return 0;
+}
+
+Status DeltaMainStore::Put(EntityId entity, const std::uint8_t* row,
+                           Version expected_version) {
+  bool found = false;
+  const Version current = CurrentVersion(entity, &found);
+  if (!found) return Status::NotFound();
+  if (current != expected_version) {
+    return Status::Conflict("version mismatch");
+  }
+  // Algorithm 4: always write to the active ("new") delta.
+  ActiveDelta()->Put(entity, row, current + 1);
+  return Status::OK();
+}
+
+Status DeltaMainStore::Insert(EntityId entity, const std::uint8_t* row) {
+  bool found = false;
+  (void)CurrentVersion(entity, &found);
+  if (found) return Status::Conflict("entity already exists");
+  ActiveDelta()->Put(entity, row, /*version=*/1);
+  return Status::OK();
+}
+
+bool DeltaMainStore::Exists(EntityId entity) const {
+  bool found = false;
+  (void)CurrentVersion(entity, &found);
+  return found;
+}
+
+Status DeltaMainStore::BulkInsert(EntityId entity, const std::uint8_t* row) {
+  return BulkInsertWithVersion(entity, row, /*version=*/1);
+}
+
+Status DeltaMainStore::BulkInsertWithVersion(EntityId entity,
+                                             const std::uint8_t* row,
+                                             Version version) {
+  StatusOr<RecordId> id = main_->Insert(entity, row, version);
+  return id.ok() ? Status::OK() : id.status();
+}
+
+void DeltaMainStore::SwitchDeltas() {
+  AIM_CHECK_MSG(!merging_.load(std::memory_order_relaxed),
+                "SwitchDeltas while a merge is in flight");
+  if (FrozenDelta()->size() != 0) {
+    // Defensive: the previous MergeStep must have drained the frozen delta.
+    AIM_CHECK(FrozenDelta()->size() == 0);
+  }
+  if (esp_attached_.load(std::memory_order_acquire)) {
+    // Algorithm 6: announce intent, wait until the ESP thread parks, do the
+    // swap inside the quiescent window, release.
+    rta_ready_.store(true, std::memory_order_seq_cst);
+    int spins = 0;
+    while (!esp_waiting_.load(std::memory_order_acquire)) {
+      if (!esp_attached_.load(std::memory_order_acquire)) {
+        // The ESP thread detached (shutdown): no writer left to quiesce.
+        break;
+      }
+      CpuRelax(++spins);
+    }
+    DoSwap();
+    esp_waiting_.store(false, std::memory_order_seq_cst);
+    rta_ready_.store(false, std::memory_order_seq_cst);
+  } else {
+    DoSwap();
+  }
+}
+
+std::size_t DeltaMainStore::MergeStep() {
+  AIM_CHECK_MSG(merging_.load(std::memory_order_relaxed),
+                "MergeStep without SwitchDeltas");
+  Delta* frozen = FrozenDelta();
+  std::size_t merged = 0;
+  frozen->ForEach([&](EntityId entity, Version version,
+                      const std::uint8_t* row) {
+    const RecordId id = main_->Lookup(entity);
+    if (id != kInvalidRecordId) {
+      // Single pass, index lookup, in-place replace — no sorting needed
+      // because both structures are indexed (paper footnote 3).
+      main_->ScatterRow(id, row);
+      main_->set_version(id, version);
+    } else {
+      StatusOr<RecordId> inserted = main_->Insert(entity, row, version);
+      AIM_CHECK_MSG(inserted.ok(), "main full during merge: %s",
+                    inserted.status().ToString().c_str());
+    }
+    ++merged;
+  });
+  frozen->Clear();
+  merging_.store(false, std::memory_order_release);
+  return merged;
+}
+
+}  // namespace aim

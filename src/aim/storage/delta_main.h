@@ -1,0 +1,231 @@
+#ifndef AIM_STORAGE_DELTA_MAIN_H_
+#define AIM_STORAGE_DELTA_MAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/common/types.h"
+#include "aim/storage/column_map.h"
+#include "aim/storage/delta.h"
+
+namespace aim {
+
+/// Differential-updates store for one data partition (paper §3.1, §4.6 and
+/// Appendix A): a ColumnMap main plus two pre-allocated deltas that swap
+/// roles at each merge.
+///
+/// Thread roles (enforced by convention, as in the paper):
+///   * exactly one ESP thread calls EspCheckpoint / Get / Put / Insert;
+///   * exactly one RTA thread calls SwitchDeltas / MergeStep and scans
+///     main() between them;
+///   * BulkInsert / anything else only before the threads start.
+///
+/// Get follows Algorithm 3 (active delta, then frozen delta while a merge
+/// is in flight, then main); Put follows Algorithm 4 (active delta). The
+/// delta switch uses the two atomic flags of Algorithms 6/7: the RTA thread
+/// announces intent (rta_ready), the ESP thread acknowledges and parks
+/// (esp_waiting), the RTA thread swaps the delta pointers inside that
+/// window — the only moment the ESP thread is ever blocked, and it lasts a
+/// pointer swap, not a merge.
+class DeltaMainStore {
+ public:
+  struct Options {
+    std::uint32_t bucket_size = ColumnMap::kDefaultBucketSize;
+    std::uint64_t max_records = 1u << 20;
+  };
+
+  DeltaMainStore(const Schema* schema, const Options& options);
+
+  DeltaMainStore(const DeltaMainStore&) = delete;
+  DeltaMainStore& operator=(const DeltaMainStore&) = delete;
+
+  const Schema& schema() const { return *schema_; }
+
+  // ------------------------------------------------------------------
+  // ESP side (single designated thread).
+  // ------------------------------------------------------------------
+
+  /// Algorithm 7, lines 3-5: acknowledge and wait out a pending delta
+  /// switch. Call once before each Get/Put request (the storage node's ESP
+  /// service loop does this), and periodically while idle.
+  ///
+  /// The acknowledgement is (re-)issued inside the wait loop, not once
+  /// before it: if the RTA thread starts the *next* switch while this
+  /// thread is still draining the previous one, a single up-front store
+  /// would leave esp_waiting false forever and deadlock both sides. The
+  /// re-store is safe — after raising esp_waiting the thread re-checks
+  /// rta_ready before touching the store, so the RTA thread's swap always
+  /// happens against a parked writer.
+  void EspCheckpoint() {
+    int spins = 0;
+    while (rta_ready_.load(std::memory_order_acquire)) {
+      esp_waiting_.store(true, std::memory_order_seq_cst);
+      CpuRelax(++spins);
+    }
+  }
+
+  /// Algorithm 3: copies the entity's current record (row format,
+  /// schema().record_size() bytes) and its version for a later conditional
+  /// write. Returns kNotFound for unknown entities.
+  Status Get(EntityId entity, std::uint8_t* out_row,
+             Version* out_version) const;
+
+  /// Point read of a single attribute (same lookup path as Get).
+  StatusOr<Value> GetAttribute(EntityId entity, std::uint16_t attr) const;
+
+  /// Algorithm 4 + conditional write (paper footnote 8): installs `row` for
+  /// an existing entity iff its current version equals `expected_version`;
+  /// returns kConflict otherwise (caller restarts the single-row
+  /// transaction).
+  Status Put(EntityId entity, const std::uint8_t* row,
+             Version expected_version);
+
+  /// Creates a new entity through the delta. Returns kConflict if it
+  /// already exists.
+  Status Insert(EntityId entity, const std::uint8_t* row);
+
+  bool Exists(EntityId entity) const;
+
+  // ------------------------------------------------------------------
+  // Load phase (single-threaded).
+  // ------------------------------------------------------------------
+
+  /// Inserts directly into main, bypassing the delta (initial population).
+  Status BulkInsert(EntityId entity, const std::uint8_t* row);
+
+  /// BulkInsert preserving an explicit version (checkpoint restore).
+  Status BulkInsertWithVersion(EntityId entity, const std::uint8_t* row,
+                               Version version);
+
+  // ------------------------------------------------------------------
+  // RTA side (the partition's scan thread).
+  // ------------------------------------------------------------------
+
+  /// Algorithm 6: freezes the current delta and redirects Puts to the other
+  /// pre-allocated one. If `esp_attached` was never signalled, the swap is
+  /// performed without the handshake (single-threaded and test usage).
+  void SwitchDeltas();
+
+  /// Applies the frozen delta to main in place, then empties it. Must be
+  /// preceded by SwitchDeltas(). Returns the number of records merged.
+  std::size_t MergeStep();
+
+  /// Convenience: SwitchDeltas + MergeStep (used where scan interleaving
+  /// does not matter, e.g. tests).
+  std::size_t Merge() {
+    SwitchDeltas();
+    return MergeStep();
+  }
+
+  /// The scannable main. During a scan step the RTA thread may read it
+  /// freely; the merge step is the only writer.
+  const ColumnMap& main() const { return *main_; }
+
+  bool merging() const { return merging_.load(std::memory_order_acquire); }
+
+  /// Entities buffered in the active delta (freshness metric).
+  std::size_t delta_size() const {
+    return ActiveDelta()->size();
+  }
+  std::size_t frozen_size() const { return FrozenDelta()->size(); }
+
+  /// Total records visible (main + new entities still in deltas is not
+  /// tracked exactly; this is the main's count, used for scan sizing).
+  std::uint64_t main_records() const { return main_->num_records(); }
+
+  /// Visits every visible record once (checkpointing; caller must quiesce
+  /// all threads). Delta entries are visited with their current image;
+  /// main records shadowed by a delta entry are skipped. `entity_attr` is
+  /// the raw attribute carrying the entity id in the row format.
+  /// Fn: void(EntityId, Version, const uint8_t* row).
+  template <typename Fn>
+  void ForEachVisible(std::uint16_t entity_attr, Fn&& fn) const {
+    ActiveDelta()->ForEach(
+        [&](EntityId e, Version v, const std::uint8_t* row) { fn(e, v, row); });
+    if (merging_.load(std::memory_order_acquire)) {
+      FrozenDelta()->ForEach(
+          [&](EntityId e, Version v, const std::uint8_t* row) {
+            if (ActiveDelta()->Get(e, nullptr) == nullptr) fn(e, v, row);
+          });
+    }
+    const Attribute& ea = schema_->attribute(entity_attr);
+    std::vector<std::uint8_t> row(schema_->record_size());
+    const std::uint64_t n = main_->num_records();
+    for (std::uint64_t id = 0; id < n; ++id) {
+      main_->MaterializeRow(static_cast<RecordId>(id), row.data());
+      EntityId entity;
+      std::memcpy(&entity, row.data() + ea.row_offset, sizeof(entity));
+      if (ActiveDelta()->Get(entity, nullptr) != nullptr) continue;
+      if (merging_.load(std::memory_order_acquire) &&
+          FrozenDelta()->Get(entity, nullptr) != nullptr) {
+        continue;
+      }
+      fn(entity, main_->version(static_cast<RecordId>(id)), row.data());
+    }
+  }
+
+  /// Marks that a live ESP thread participates in the handshake. The
+  /// storage node sets this when its ESP service loop starts.
+  void set_esp_attached(bool attached) {
+    esp_attached_.store(attached, std::memory_order_release);
+  }
+
+ private:
+  /// Spin helper: pause for short waits, fall back to yielding once the
+  /// other side clearly is not running (mandatory on oversubscribed cores,
+  /// where pure pause-spinning livelocks the handshake until the OS
+  /// preempts us).
+  static void CpuRelax(int spins) {
+    if (spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// The swap itself; runs inside the quiescent window (or single-threaded).
+  void DoSwap() {
+    const std::uint32_t cur = active_idx_.load(std::memory_order_relaxed);
+    active_idx_.store(1 - cur, std::memory_order_release);
+    merging_.store(true, std::memory_order_release);
+    // No reader can hold a stale table reference here: reclaim hash tables
+    // retired by growth since the last switch.
+    deltas_[0]->ReclaimRetired();
+    deltas_[1]->ReclaimRetired();
+    main_->ReclaimRetired();
+  }
+
+  Delta* ActiveDelta() const {
+    return deltas_[active_idx_.load(std::memory_order_acquire)].get();
+  }
+  Delta* FrozenDelta() const {
+    return deltas_[1 - active_idx_.load(std::memory_order_acquire)].get();
+  }
+
+  /// Current version of an entity along the Get path (0 if unknown).
+  Version CurrentVersion(EntityId entity, bool* found) const;
+
+  const Schema* schema_;
+  std::unique_ptr<ColumnMap> main_;
+  std::unique_ptr<Delta> deltas_[2];
+  std::atomic<std::uint32_t> active_idx_{0};
+  std::atomic<bool> merging_{false};
+
+  // Appendix A flags.
+  std::atomic<bool> rta_ready_{false};
+  std::atomic<bool> esp_waiting_{false};
+  std::atomic<bool> esp_attached_{false};
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_DELTA_MAIN_H_

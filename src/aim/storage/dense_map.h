@@ -1,0 +1,173 @@
+#ifndef AIM_STORAGE_DENSE_MAP_H_
+#define AIM_STORAGE_DENSE_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aim/common/hash.h"
+#include "aim/common/logging.h"
+
+namespace aim {
+
+/// Open-addressing hash map from EntityId (u64) to a u32 payload, standing
+/// in for Google's dense_hash_map which the paper uses for the delta (§4.6)
+/// and as the ColumnMap's entity-id -> record-id index (§4.5).
+///
+/// Concurrency contract (exactly what delta-main needs, no more):
+///   * one writer thread (Upsert/Clear/Reserve), any number of reader
+///     threads (Find) — table pointer and slots are atomics, so concurrent
+///     reads are never UB;
+///   * a reader may miss a concurrently inserted key or still see a
+///     concurrently cleared one; the delta-main Get protocol tolerates both
+///     (a missed delta hit falls through to an identical merged main value);
+///   * growth never frees the old table immediately: it is retired and
+///     reclaimed by ReclaimRetired(), which the owner calls while readers
+///     are quiesced (the ESP handshake window at delta switch).
+///
+/// Key kEmptyKey (u64 max) is reserved as the empty-slot marker; entity ids
+/// never legitimately take that value.
+class DenseMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  explicit DenseMap(std::size_t initial_capacity = 64) {
+    Table* t = NewTable(NormalizeCapacity(initial_capacity));
+    active_.store(t, std::memory_order_release);
+  }
+
+  DenseMap(const DenseMap&) = delete;
+  DenseMap& operator=(const DenseMap&) = delete;
+
+  /// Inserts or overwrites. Writer thread only.
+  void Upsert(std::uint64_t key, std::uint32_t value) {
+    AIM_DCHECK(key != kEmptyKey);
+    Table* t = active_.load(std::memory_order_relaxed);
+    if ((size_ + 1) * 10 >= t->capacity * 7) {
+      GrowTo(t->capacity * 2);
+      t = active_.load(std::memory_order_relaxed);
+    }
+    std::size_t idx = Mix64(key) & t->mask;
+    while (true) {
+      std::uint64_t k = t->keys[idx].load(std::memory_order_acquire);
+      if (k == key) {
+        t->values[idx].store(value, std::memory_order_release);
+        return;
+      }
+      if (k == kEmptyKey) {
+        // Publish the value before the key so readers that observe the key
+        // also observe a valid value.
+        t->values[idx].store(value, std::memory_order_release);
+        t->keys[idx].store(key, std::memory_order_release);
+        ++size_;
+        return;
+      }
+      idx = (idx + 1) & t->mask;
+    }
+  }
+
+  /// Lookup; safe from any thread. Returns kNotFound if absent.
+  std::uint32_t Find(std::uint64_t key) const {
+    const Table* t = active_.load(std::memory_order_acquire);
+    std::size_t idx = Mix64(key) & t->mask;
+    while (true) {
+      std::uint64_t k = t->keys[idx].load(std::memory_order_acquire);
+      if (k == key) return t->values[idx].load(std::memory_order_acquire);
+      if (k == kEmptyKey) return kNotFound;
+      idx = (idx + 1) & t->mask;
+    }
+  }
+
+  bool Contains(std::uint64_t key) const { return Find(key) != kNotFound; }
+
+  /// Removes all entries; capacity retained. Writer thread only. Readers
+  /// racing with Clear may still observe old entries until the wipe reaches
+  /// them — acceptable under the delta-main protocol (see class comment).
+  void Clear() {
+    Table* t = active_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < t->capacity; ++i) {
+      t->keys[i].store(kEmptyKey, std::memory_order_release);
+    }
+    size_ = 0;
+  }
+
+  /// Frees tables retired by growth. Call only while no reader can hold a
+  /// reference to an old table (e.g. the ESP-blocked window at delta
+  /// switch, or single-threaded phases).
+  void ReclaimRetired() {
+    Table* t = active_.load(std::memory_order_relaxed);
+    std::erase_if(tables_, [t](const std::unique_ptr<Table>& p) {
+      return p.get() != t;
+    });
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const {
+    return active_.load(std::memory_order_acquire)->capacity;
+  }
+  std::size_t retired_tables() const { return tables_.size() - 1; }
+
+  /// Pre-sizes the table so that `n` entries fit without growth (avoids
+  /// retire churn during bulk loads). Writer thread only.
+  void Reserve(std::size_t n) {
+    std::size_t needed = NormalizeCapacity(n * 10 / 7 + 1);
+    if (needed > capacity()) GrowTo(needed);
+  }
+
+ private:
+  struct Table {
+    explicit Table(std::size_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          keys(new std::atomic<std::uint64_t>[cap]),
+          values(new std::atomic<std::uint32_t>[cap]) {
+      for (std::size_t i = 0; i < cap; ++i) {
+        keys[i].store(kEmptyKey, std::memory_order_relaxed);
+      }
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> keys;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> values;
+  };
+
+  static std::size_t NormalizeCapacity(std::size_t c) {
+    std::size_t cap = 64;
+    while (cap < c) cap <<= 1;
+    return cap;
+  }
+
+  Table* NewTable(std::size_t cap) {
+    tables_.push_back(std::make_unique<Table>(cap));
+    return tables_.back().get();
+  }
+
+  void GrowTo(std::size_t new_cap) {
+    Table* old = active_.load(std::memory_order_relaxed);
+    Table* next = NewTable(new_cap);
+    for (std::size_t i = 0; i < old->capacity; ++i) {
+      std::uint64_t k = old->keys[i].load(std::memory_order_relaxed);
+      if (k == kEmptyKey) continue;
+      std::uint32_t v = old->values[i].load(std::memory_order_relaxed);
+      std::size_t idx = Mix64(k) & next->mask;
+      while (next->keys[idx].load(std::memory_order_relaxed) != kEmptyKey) {
+        idx = (idx + 1) & next->mask;
+      }
+      next->values[idx].store(v, std::memory_order_relaxed);
+      next->keys[idx].store(k, std::memory_order_relaxed);
+    }
+    // Old table stays alive in tables_ until ReclaimRetired(); concurrent
+    // readers probing it simply see a stale (but previously valid) view.
+    active_.store(next, std::memory_order_release);
+  }
+
+  std::atomic<Table*> active_;
+  std::vector<std::unique_ptr<Table>> tables_;  // owns active + retired
+  std::size_t size_ = 0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_DENSE_MAP_H_

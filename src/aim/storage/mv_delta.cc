@@ -1,0 +1,93 @@
+#include "aim/storage/mv_delta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+MvDelta::MvDelta(const Schema* schema) : schema_(schema) {
+  AIM_CHECK_MSG(schema_->finalized(), "schema must be finalized");
+}
+
+Status MvDelta::Begin() {
+  if (txn_open_) return Status::InvalidArgument("transaction already open");
+  txn_open_ = true;
+  txn_writes_.clear();
+  return Status::OK();
+}
+
+Status MvDelta::Write(EntityId entity, const std::uint8_t* row) {
+  if (!txn_open_) return Status::InvalidArgument("no open transaction");
+  // Last write of the same entity within one transaction wins.
+  for (auto& [e, bytes] : txn_writes_) {
+    if (e == entity) {
+      std::memcpy(bytes.data(), row, schema_->record_size());
+      return Status::OK();
+    }
+  }
+  txn_writes_.emplace_back(
+      entity, std::vector<std::uint8_t>(row, row + schema_->record_size()));
+  return Status::OK();
+}
+
+StatusOr<MvDelta::Snapshot> MvDelta::Commit() {
+  if (!txn_open_) return Status::InvalidArgument("no open transaction");
+  const Snapshot commit_ts = committed_ + 1;
+  for (auto& [entity, bytes] : txn_writes_) {
+    std::vector<VersionEntry>& chain = chains_[entity];
+    chain.push_back(VersionEntry{commit_ts, std::move(bytes)});
+    ++total_versions_;
+  }
+  txn_writes_.clear();
+  txn_open_ = false;
+  // Publishing the watermark makes every write of the transaction visible
+  // at once — the atomic multi-record update of §7.
+  committed_ = commit_ts;
+  return commit_ts;
+}
+
+void MvDelta::Rollback() {
+  txn_writes_.clear();
+  txn_open_ = false;
+}
+
+const std::uint8_t* MvDelta::Get(EntityId entity, Snapshot snapshot) const {
+  auto it = chains_.find(entity);
+  if (it == chains_.end()) return nullptr;
+  const std::vector<VersionEntry>& chain = it->second;
+  // Chains are append-ordered by commit_ts: binary search for the newest
+  // version at or below the snapshot.
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), snapshot,
+      [](Snapshot s, const VersionEntry& v) { return s < v.commit_ts; });
+  if (pos == chain.begin()) return nullptr;  // nothing visible yet
+  return std::prev(pos)->row.data();
+}
+
+std::size_t MvDelta::Truncate(Snapshot oldest_active) {
+  std::size_t dropped = 0;
+  for (auto& [entity, chain] : chains_) {
+    // Keep the newest version with commit_ts <= oldest_active (it is still
+    // visible to the oldest snapshot) and everything newer.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].commit_ts <= oldest_active) keep = i;
+    }
+    dropped += keep;
+    chain.erase(chain.begin(),
+                chain.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  total_versions_ -= dropped;
+  return dropped;
+}
+
+void MvDelta::Clear() {
+  chains_.clear();
+  total_versions_ = 0;
+  txn_writes_.clear();
+  txn_open_ = false;
+}
+
+}  // namespace aim

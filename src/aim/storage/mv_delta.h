@@ -1,0 +1,125 @@
+#ifndef AIM_STORAGE_MV_DELTA_H_
+#define AIM_STORAGE_MV_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/common/types.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Multi-versioned delta — the paper's §7 future-work sketch: "making the
+/// delta multi-versioned seems sufficient" to (a) serve as a building block
+/// for general OLTP/OLAP engines on top of the Get/Put/Scan store (TELL)
+/// and (b) let ESP update several Entity Records atomically.
+///
+/// Each entity keeps a small version chain ordered by commit timestamp.
+/// Readers open a snapshot (the current commit watermark) and see, for
+/// every entity, the newest version with commit_ts <= snapshot. Writers
+/// group writes into transactions: all writes of one transaction become
+/// visible atomically when Commit() advances the watermark — the
+/// multi-record atomicity the single-versioned delta cannot give.
+///
+/// Single-writer / many-reader, like the plain Delta: one ESP thread calls
+/// Begin/Write/Commit; readers call Get with a snapshot obtained from
+/// LatestSnapshot(). Truncate(oldest_active) garbage-collects versions no
+/// live snapshot can reach (the merge step would call this after folding
+/// the newest committed versions into the main).
+class MvDelta {
+ public:
+  using Snapshot = std::uint64_t;
+
+  explicit MvDelta(const Schema* schema);
+
+  MvDelta(const MvDelta&) = delete;
+  MvDelta& operator=(const MvDelta&) = delete;
+
+  // ------------------------------------------------------------------
+  // Writer side.
+  // ------------------------------------------------------------------
+
+  /// Starts a transaction. Only one may be open at a time (single writer).
+  Status Begin();
+
+  /// Buffers a record image for `entity` in the open transaction.
+  Status Write(EntityId entity, const std::uint8_t* row);
+
+  /// Atomically publishes every buffered write. Returns the new snapshot.
+  StatusOr<Snapshot> Commit();
+
+  /// Discards the open transaction.
+  void Rollback();
+
+  /// Single-record convenience (one-write transaction).
+  Status Put(EntityId entity, const std::uint8_t* row) {
+    Status st = Begin();
+    if (!st.ok()) return st;
+    st = Write(entity, row);
+    if (!st.ok()) {
+      Rollback();
+      return st;
+    }
+    return Commit().status();
+  }
+
+  // ------------------------------------------------------------------
+  // Reader side.
+  // ------------------------------------------------------------------
+
+  /// The newest committed snapshot (0 = nothing committed yet).
+  Snapshot LatestSnapshot() const { return committed_; }
+
+  /// Newest version of `entity` visible at `snapshot`; nullptr if the
+  /// entity has no visible version in the delta (fall through to main).
+  const std::uint8_t* Get(EntityId entity, Snapshot snapshot) const;
+
+  // ------------------------------------------------------------------
+  // Maintenance.
+  // ------------------------------------------------------------------
+
+  /// Visits the newest committed version of every entity (the images a
+  /// merge step would fold into the main).
+  /// Fn: void(EntityId, Snapshot commit_ts, const uint8_t* row).
+  template <typename Fn>
+  void ForEachNewest(Fn&& fn) const {
+    for (const auto& [entity, chain] : chains_) {
+      if (chain.empty()) continue;
+      const VersionEntry& newest = chain.back();
+      fn(entity, newest.commit_ts, newest.row.data());
+    }
+  }
+
+  /// Drops versions that no snapshot >= `oldest_active` can see: for each
+  /// entity, every version older than the newest one with
+  /// commit_ts <= oldest_active. Returns the number of versions dropped.
+  std::size_t Truncate(Snapshot oldest_active);
+
+  /// Removes everything (post-merge reset).
+  void Clear();
+
+  std::size_t num_entities() const { return chains_.size(); }
+  std::size_t total_versions() const { return total_versions_; }
+
+ private:
+  struct VersionEntry {
+    Snapshot commit_ts;
+    std::vector<std::uint8_t> row;
+  };
+
+  const Schema* schema_;
+  std::unordered_map<EntityId, std::vector<VersionEntry>> chains_;
+  std::size_t total_versions_ = 0;
+
+  Snapshot committed_ = 0;
+  bool txn_open_ = false;
+  std::vector<std::pair<EntityId, std::vector<std::uint8_t>>> txn_writes_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_MV_DELTA_H_

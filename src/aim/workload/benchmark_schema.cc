@@ -1,0 +1,171 @@
+#include "aim/workload/benchmark_schema.h"
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+const std::vector<BenchmarkWindow>& BenchmarkWindows() {
+  static const std::vector<BenchmarkWindow>& windows =
+      *new std::vector<BenchmarkWindow>{
+          {"this_hour", WindowSpec::Tumbling(kMillisPerHour)},
+          {"today", WindowSpec::Today()},
+          {"this_week", WindowSpec::ThisWeek()},
+          {"this_month", WindowSpec::Tumbling(30 * kMillisPerDay)},
+          {"last_24h", WindowSpec::Sliding(kMillisPerDay, 6)},
+          {"last_7d", WindowSpec::Sliding(kMillisPerWeek, 7)},
+          {"last_10_events", WindowSpec::LastNEvents(10)},
+      };
+  return windows;
+}
+
+std::string CountIndicatorName(CallFilter filter, const std::string& window) {
+  if (filter == CallFilter::kAny) return "number_of_calls_" + window;
+  return std::string("number_of_") + CallFilterName(filter) + "_calls_" +
+         window;
+}
+
+std::string MetricGroupPrefix(CallFilter filter, EventMetric metric,
+                              const std::string& window) {
+  std::string prefix;
+  if (filter != CallFilter::kAny) {
+    prefix = std::string(CallFilterName(filter)) + "_";
+  }
+  return prefix + EventMetricName(metric) + "_" + window;
+}
+
+std::string MetricIndicatorName(CallFilter filter, EventMetric metric,
+                                const std::string& window, AggFn agg) {
+  return MetricGroupPrefix(filter, metric, window) + "_" + AggFnName(agg);
+}
+
+namespace {
+
+void AddRawAttributes(Schema* schema) {
+  schema->AddRawAttribute("entity_id", ValueType::kUInt64);
+  schema->AddRawAttribute("last_event_ts", ValueType::kInt64);
+  schema->AddRawAttribute("preferred_number", ValueType::kUInt64);
+  schema->AddRawAttribute("zip", ValueType::kUInt32);
+  schema->AddRawAttribute("subscription_type", ValueType::kUInt32);
+  schema->AddRawAttribute("category", ValueType::kUInt32);
+  schema->AddRawAttribute("cell_value_type", ValueType::kUInt32);
+}
+
+void AddIndicatorGroups(Schema* schema,
+                        const std::vector<CallFilter>& filters,
+                        const std::vector<BenchmarkWindow>& windows,
+                        const std::vector<EventMetric>& metrics) {
+  for (CallFilter filter : filters) {
+    for (const BenchmarkWindow& w : windows) {
+      schema->AddCountGroup(CountIndicatorName(filter, w.name), filter,
+                            w.spec);
+      for (EventMetric metric : metrics) {
+        schema->AddMetricGroup(MetricGroupPrefix(filter, metric, w.name),
+                               filter, metric, w.spec,
+                               Schema::kAllMetricAggs);
+      }
+    }
+  }
+}
+
+/// Paper-style aliases (Table 5 / Table 2 attribute names).
+void AddPaperAliases(Schema* schema) {
+  auto alias = [&](const std::string& alias_name, const std::string& target) {
+    const std::uint16_t id = schema->FindAttribute(target);
+    AIM_CHECK_MSG(id != kInvalidAttr, "alias target missing: %s",
+                  target.c_str());
+    Status st = schema->AddAlias(alias_name, id);
+    AIM_CHECK_MSG(st.ok(), "alias failed: %s", st.ToString().c_str());
+  };
+  // Q1/Q2/Q3/Q7.
+  alias("total_duration_this_week", "duration_this_week_sum");
+  alias("most_expensive_call_this_week", "cost_this_week_max");
+  alias("total_cost_this_week", "cost_this_week_sum");
+  // Q4.
+  alias("number_of_local_calls_this_week_alias",
+        "number_of_local_calls_this_week");
+  alias("total_duration_of_local_calls_this_week",
+        "local_duration_this_week_sum");
+  // Q5.
+  alias("total_cost_of_local_calls_this_week", "local_cost_this_week_sum");
+  alias("total_cost_of_long_distance_calls_this_week",
+        "long_distance_cost_this_week_sum");
+  // Q6 (longest calls).
+  alias("longest_local_call_today", "local_duration_today_max");
+  alias("longest_local_call_this_week", "local_duration_this_week_max");
+  alias("longest_long_distance_call_today",
+        "long_distance_duration_today_max");
+  alias("longest_long_distance_call_this_week",
+        "long_distance_duration_this_week_max");
+  // Business rules of Table 2.
+  alias("number_of_calls_today_alias", "number_of_calls_today");
+  alias("total_cost_today", "cost_today_sum");
+  alias("avg_duration_today", "duration_today_avg");
+}
+
+}  // namespace
+
+std::unique_ptr<Schema> MakeBenchmarkSchema(
+    const BenchmarkSchemaOptions& options) {
+  auto schema = std::make_unique<Schema>();
+  AddRawAttributes(schema.get());
+
+  const std::vector<CallFilter> filters = {
+      CallFilter::kAny,           CallFilter::kLocal,
+      CallFilter::kLongDistance,  CallFilter::kInternational,
+      CallFilter::kRoaming,       CallFilter::kPreferred,
+  };
+  const std::vector<EventMetric> metrics = {
+      EventMetric::kDuration, EventMetric::kCost, EventMetric::kDataVolume};
+
+  AddIndicatorGroups(schema.get(), filters, BenchmarkWindows(), metrics);
+  AddPaperAliases(schema.get());
+
+  Status st = schema->Finalize();
+  AIM_CHECK_MSG(st.ok(), "benchmark schema: %s", st.ToString().c_str());
+  // 6 filters x 7 windows x (1 + 3*4) = 546 indicators, the paper's count.
+  AIM_CHECK_MSG(schema->num_indicators() == 546,
+                "benchmark schema has %u indicators",
+                schema->num_indicators());
+  return schema;
+}
+
+std::unique_ptr<Schema> MakeCompactSchema() {
+  auto schema = std::make_unique<Schema>();
+  AddRawAttributes(schema.get());
+
+  const std::vector<CallFilter> filters = {CallFilter::kAny,
+                                           CallFilter::kLocal,
+                                           CallFilter::kLongDistance};
+  const std::vector<BenchmarkWindow> windows = {
+      {"today", WindowSpec::Today()},
+      {"this_week", WindowSpec::ThisWeek()},
+      {"last_24h", WindowSpec::Sliding(kMillisPerDay, 6)},
+      {"last_10_events", WindowSpec::LastNEvents(10)},
+  };
+  const std::vector<EventMetric> metrics = {EventMetric::kDuration,
+                                            EventMetric::kCost};
+
+  AddIndicatorGroups(schema.get(), filters, windows, metrics);
+
+  // The compact schema still carries the aliases the example queries and
+  // rules rely on.
+  auto alias = [&](const std::string& a, const std::string& t) {
+    (void)schema->AddAlias(a, schema->FindAttribute(t));
+  };
+  alias("total_duration_this_week", "duration_this_week_sum");
+  alias("most_expensive_call_this_week", "cost_this_week_max");
+  alias("total_cost_this_week", "cost_this_week_sum");
+  alias("total_cost_today", "cost_today_sum");
+  alias("avg_duration_today", "duration_today_avg");
+  alias("total_duration_of_local_calls_this_week",
+        "local_duration_this_week_sum");
+  alias("total_cost_of_local_calls_this_week", "local_cost_this_week_sum");
+  alias("total_cost_of_long_distance_calls_this_week",
+        "long_distance_cost_this_week_sum");
+
+  Status st = schema->Finalize();
+  AIM_CHECK_MSG(st.ok(), "compact schema: %s", st.ToString().c_str());
+  return schema;
+}
+
+}  // namespace aim

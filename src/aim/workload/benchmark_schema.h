@@ -1,0 +1,53 @@
+#ifndef AIM_WORKLOAD_BENCHMARK_SCHEMA_H_
+#define AIM_WORKLOAD_BENCHMARK_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// The benchmark's window set (paper §2.1 / §5): four tumbling windows,
+/// two pane-approximated sliding windows, one event-based window.
+struct BenchmarkWindow {
+  std::string name;
+  WindowSpec spec;
+};
+
+const std::vector<BenchmarkWindow>& BenchmarkWindows();
+
+/// Canonical indicator names used by the generated schema:
+///   count groups:  number_of_<filter>_calls_<window> ("any" filter omits
+///                  the filter part: number_of_calls_<window>)
+///   metric groups: <filter>_<metric>_<window>_<agg> ("any" omits filter)
+std::string CountIndicatorName(CallFilter filter, const std::string& window);
+std::string MetricGroupPrefix(CallFilter filter, EventMetric metric,
+                              const std::string& window);
+std::string MetricIndicatorName(CallFilter filter, EventMetric metric,
+                                const std::string& window, AggFn agg);
+
+/// Options for the generated Analytics Matrix schema.
+struct BenchmarkSchemaOptions {
+  /// Full benchmark: 6 filters x 7 windows x (1 count + 3 metrics x 4 aggs)
+  /// = 546 indicators, matching the paper's evaluation schema.
+  bool full = true;
+};
+
+/// Builds the benchmark Analytics Matrix schema (finalized): raw profile
+/// attributes (entity_id, last_event_ts, preferred_number, zip,
+/// subscription_type, category, cell_value_type) plus the indicator groups,
+/// with paper-style aliases registered (total_duration_this_week,
+/// most_expensive_call_this_week, ...).
+std::unique_ptr<Schema> MakeBenchmarkSchema(
+    const BenchmarkSchemaOptions& options = {});
+
+/// Small schema for unit tests and the quickstart example: same raw
+/// attributes, one filter (any) + local, windows {today, this_week,
+/// last_24h, last_10_events}, duration + cost metrics. Finalized.
+std::unique_ptr<Schema> MakeCompactSchema();
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_BENCHMARK_SCHEMA_H_

@@ -1,0 +1,70 @@
+#include "aim/workload/cdr_generator.h"
+
+#include "aim/common/hash.h"
+#include "aim/common/logging.h"
+
+namespace aim {
+
+Event CdrGenerator::Next(Timestamp now) {
+  Event e;
+  e.caller = rng_.Uniform(options_.num_entities) + 1;
+  if (rng_.Uniform(100) < options_.preferred_callee_pct) {
+    e.callee = PreferredOf(e.caller, options_.num_entities);
+  } else {
+    e.callee = rng_.Uniform(options_.num_entities) + 1;
+  }
+  e.timestamp = now;
+  // Durations 1..3600 s, uniform (mean ~30 min); costs scale with duration
+  // and distance class; data volume is usually zero (voice call) with an
+  // occasional data session.
+  e.duration = static_cast<std::uint32_t>(rng_.Uniform(3600) + 1);
+  if (rng_.Uniform(100) < options_.long_distance_pct) {
+    e.flags |= Event::kLongDistance;
+  }
+  if (rng_.Uniform(100) < options_.international_pct) {
+    e.flags |= Event::kInternational;
+  }
+  if (rng_.Uniform(100) < options_.roaming_pct) {
+    e.flags |= Event::kRoaming;
+  }
+  const double rate = e.long_distance() ? 0.004 : 0.001;  // $/sec
+  const double surcharge =
+      (e.international() ? 0.5 : 0.0) + (e.roaming() ? 0.3 : 0.0);
+  e.cost = static_cast<float>(e.duration * rate + surcharge);
+  e.data_mb = rng_.OneIn(5)
+                  ? static_cast<float>(rng_.Uniform(500)) / 10.0f
+                  : 0.0f;
+  e.sequence = ++sequence_;
+  return e;
+}
+
+void PopulateEntityProfile(const Schema& schema, const BenchmarkDims& dims,
+                           EntityId entity, std::uint64_t num_entities,
+                           std::uint8_t* row) {
+  RecordView rec(&schema, row);
+  auto set_u64 = [&](const char* name, std::uint64_t v) {
+    const std::uint16_t attr = schema.FindAttribute(name);
+    if (attr != kInvalidAttr) rec.SetAs<std::uint64_t>(attr, v);
+  };
+  auto set_u32 = [&](const char* name, std::uint32_t v) {
+    const std::uint16_t attr = schema.FindAttribute(name);
+    if (attr != kInvalidAttr) rec.SetAs<std::uint32_t>(attr, v);
+  };
+  set_u64("entity_id", entity);
+  set_u64("preferred_number",
+          CdrGenerator::PreferredOf(entity, num_entities));
+  // Profile fields are deterministic hashes of the entity id, so any
+  // process (loader, verifier, query checker) can recompute them.
+  set_u32("zip", static_cast<std::uint32_t>(Mix64(entity ^ 0x5a5a) %
+                                            dims.num_zips));
+  set_u32("subscription_type",
+          static_cast<std::uint32_t>(Mix64(entity ^ 0x1111) %
+                                     dims.num_subscription_types));
+  set_u32("category", static_cast<std::uint32_t>(Mix64(entity ^ 0x2222) %
+                                                 dims.num_categories));
+  set_u32("cell_value_type",
+          static_cast<std::uint32_t>(Mix64(entity ^ 0x3333) %
+                                     dims.num_cell_value_types));
+}
+
+}  // namespace aim

@@ -1,0 +1,63 @@
+#ifndef AIM_WORKLOAD_CDR_GENERATOR_H_
+#define AIM_WORKLOAD_CDR_GENERATOR_H_
+
+#include <cstdint>
+
+#include "aim/common/hash.h"
+#include "aim/common/random.h"
+#include "aim/common/types.h"
+#include "aim/esp/event.h"
+#include "aim/schema/record.h"
+#include "aim/workload/dimension_data.h"
+
+namespace aim {
+
+/// Deterministic CDR event source for the benchmark. Entity ids are
+/// 1..num_entities (0 is never used, so zero-initialized FK columns are
+/// detectably empty). Event parameters are drawn uniformly, as specified in
+/// the paper's benchmark section (§5).
+class CdrGenerator {
+ public:
+  struct Options {
+    std::uint64_t num_entities = 10000;
+    std::uint64_t seed = 7;
+    /// Flag probabilities (percent).
+    std::uint32_t long_distance_pct = 30;
+    std::uint32_t international_pct = 10;
+    std::uint32_t roaming_pct = 5;
+    /// Probability (percent) that the callee is the caller's preferred
+    /// number (exercises the record-dependent kPreferred filter).
+    std::uint32_t preferred_callee_pct = 10;
+  };
+
+  explicit CdrGenerator(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Deterministic preferred number of an entity — the profile loader and
+  /// the generator agree on it without shared state.
+  static EntityId PreferredOf(EntityId entity, std::uint64_t num_entities) {
+    return (Mix64(entity * 0x9e3779b97f4a7c15ULL) % num_entities) + 1;
+  }
+
+  /// Produces the next event, timestamped `now`.
+  Event Next(Timestamp now);
+
+  std::uint64_t events_generated() const { return sequence_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Random rng_;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Fills a zeroed row with a deterministic entity profile: entity_id,
+/// preferred_number, zip, subscription_type, category, cell_value_type.
+/// `row` must be schema->record_size() bytes, zero-initialized.
+void PopulateEntityProfile(const Schema& schema, const BenchmarkDims& dims,
+                           EntityId entity, std::uint64_t num_entities,
+                           std::uint8_t* row);
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_CDR_GENERATOR_H_

@@ -1,0 +1,105 @@
+#include "aim/workload/dimension_data.h"
+
+#include "aim/common/random.h"
+
+namespace aim {
+
+namespace {
+
+std::vector<std::string> MakeLabels(const std::string& prefix,
+                                    std::uint32_t n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    labels.push_back(prefix + "_" + std::to_string(i));
+  }
+  return labels;
+}
+
+}  // namespace
+
+BenchmarkDims MakeBenchmarkDims(const BenchmarkDimsOptions& options) {
+  BenchmarkDims dims;
+  Random rng(options.seed);
+
+  dims.countries = MakeLabels("country", options.num_countries);
+  dims.regions = MakeLabels("region", options.num_regions);
+  dims.cities = MakeLabels("city", options.num_cities);
+  dims.subscription_types = {"prepaid", "postpaid", "business", "family"};
+  dims.subscription_types.resize(options.num_subscription_types,
+                                 "subtype_x");
+  for (std::uint32_t i = 4; i < options.num_subscription_types; ++i) {
+    dims.subscription_types[i] = "subtype_" + std::to_string(i);
+  }
+  dims.categories = MakeLabels("category", options.num_categories);
+  dims.cell_value_types = MakeLabels("value_type",
+                                     options.num_cell_value_types);
+
+  // RegionInfo: zip -> (city, region, country). Each city belongs to one
+  // region, each region to one country, so GROUP BY city/region behaves
+  // like a real geography rollup.
+  {
+    DimensionTable t("RegionInfo");
+    dims.region_city = t.AddStringColumn("city");
+    dims.region_region = t.AddStringColumn("region");
+    dims.region_country = t.AddStringColumn("country");
+    std::vector<std::uint32_t> city_region(options.num_cities);
+    for (std::uint32_t c = 0; c < options.num_cities; ++c) {
+      city_region[c] =
+          static_cast<std::uint32_t>(rng.Uniform(options.num_regions));
+    }
+    std::vector<std::uint32_t> region_country(options.num_regions);
+    for (std::uint32_t r = 0; r < options.num_regions; ++r) {
+      region_country[r] =
+          static_cast<std::uint32_t>(rng.Uniform(options.num_countries));
+    }
+    for (std::uint32_t zip = 0; zip < options.num_zips; ++zip) {
+      const std::uint32_t city =
+          static_cast<std::uint32_t>(rng.Uniform(options.num_cities));
+      const std::uint32_t region = city_region[city];
+      const std::uint32_t country = region_country[region];
+      t.AddRow(zip, {},
+               {dims.cities[city], dims.regions[region],
+                dims.countries[country]});
+    }
+    dims.region_info = dims.catalog.AddTable(std::move(t));
+  }
+
+  // SubscriptionType: id -> type name.
+  {
+    DimensionTable t("SubscriptionType");
+    dims.subscription_type_name = t.AddStringColumn("type");
+    for (std::uint32_t i = 0; i < options.num_subscription_types; ++i) {
+      t.AddRow(i, {}, {dims.subscription_types[i]});
+    }
+    dims.subscription_type = dims.catalog.AddTable(std::move(t));
+  }
+
+  // Category: id -> category name.
+  {
+    DimensionTable t("Category");
+    dims.category_name = t.AddStringColumn("category");
+    for (std::uint32_t i = 0; i < options.num_categories; ++i) {
+      t.AddRow(i, {}, {dims.categories[i]});
+    }
+    dims.category = dims.catalog.AddTable(std::move(t));
+  }
+
+  // CellValueType: id -> value type name (Q7's parameter domain).
+  {
+    DimensionTable t("CellValueType");
+    dims.cell_value_type_name = t.AddStringColumn("name");
+    for (std::uint32_t i = 0; i < options.num_cell_value_types; ++i) {
+      t.AddRow(i, {}, {dims.cell_value_types[i]});
+    }
+    dims.cell_value_type = dims.catalog.AddTable(std::move(t));
+  }
+
+  dims.num_zips = options.num_zips;
+  dims.num_subscription_types = options.num_subscription_types;
+  dims.num_categories = options.num_categories;
+  dims.num_cell_value_types = options.num_cell_value_types;
+  return dims;
+}
+
+}  // namespace aim

@@ -1,0 +1,62 @@
+#ifndef AIM_WORKLOAD_DIMENSION_DATA_H_
+#define AIM_WORKLOAD_DIMENSION_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aim/rta/dimension.h"
+
+namespace aim {
+
+/// The benchmark's dimension tables (paper Table 5 joins): RegionInfo
+/// (zip -> city/region/country), SubscriptionType, Category, CellValueType.
+/// Built deterministically from a seed; replicated at every storage node.
+struct BenchmarkDims {
+  DimensionCatalog catalog;
+
+  // Table ids in `catalog`.
+  std::uint16_t region_info = 0;
+  std::uint16_t subscription_type = 0;
+  std::uint16_t category = 0;
+  std::uint16_t cell_value_type = 0;
+
+  // Column ids within their tables.
+  std::uint16_t region_city = 0;
+  std::uint16_t region_region = 0;
+  std::uint16_t region_country = 0;
+  std::uint16_t subscription_type_name = 0;
+  std::uint16_t category_name = 0;
+  std::uint16_t cell_value_type_name = 0;
+
+  // Distinct label pools for random query parameters.
+  std::vector<std::string> countries;
+  std::vector<std::string> regions;
+  std::vector<std::string> cities;
+  std::vector<std::string> subscription_types;
+  std::vector<std::string> categories;
+  std::vector<std::string> cell_value_types;
+
+  // Key ranges for generating entity profiles.
+  std::uint32_t num_zips = 0;
+  std::uint32_t num_subscription_types = 0;
+  std::uint32_t num_categories = 0;
+  std::uint32_t num_cell_value_types = 0;
+};
+
+struct BenchmarkDimsOptions {
+  std::uint32_t num_zips = 1000;
+  std::uint32_t num_cities = 100;
+  std::uint32_t num_regions = 20;
+  std::uint32_t num_countries = 5;
+  std::uint32_t num_subscription_types = 4;
+  std::uint32_t num_categories = 5;
+  std::uint32_t num_cell_value_types = 3;
+  std::uint64_t seed = 42;
+};
+
+BenchmarkDims MakeBenchmarkDims(const BenchmarkDimsOptions& options = {});
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_DIMENSION_DATA_H_

@@ -1,0 +1,59 @@
+#ifndef AIM_WORKLOAD_KPI_H_
+#define AIM_WORKLOAD_KPI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "aim/common/latency_recorder.h"
+#include "aim/common/types.h"
+
+namespace aim {
+
+/// The SLAs of the paper's AIM implementation (Table 4).
+struct KpiTargets {
+  double t_esp_ms = 10.0;        // max event processing time
+  double f_esp_per_hour = 3.6;   // min events per entity per hour
+  double t_rta_ms = 100.0;       // max RTA response time
+  double f_rta_qps = 100.0;      // min RTA queries per second
+  double t_fresh_ms = 1000.0;    // max event-to-visibility time
+};
+
+/// One experiment's measured KPIs plus pass/fail against the targets.
+/// Response-time KPIs are checked against the mean, matching the paper's
+/// reporting ("average end-to-end response time").
+struct KpiReport {
+  double esp_mean_ms = 0.0;
+  double esp_p99_ms = 0.0;
+  double esp_throughput_eps = 0.0;
+  double rta_mean_ms = 0.0;
+  double rta_p99_ms = 0.0;
+  double rta_throughput_qps = 0.0;
+  double fresh_ms = 0.0;
+
+  bool MeetsEsp(const KpiTargets& t) const { return esp_mean_ms <= t.t_esp_ms; }
+  bool MeetsRta(const KpiTargets& t) const {
+    return rta_mean_ms <= t.t_rta_ms && rta_throughput_qps >= t.f_rta_qps;
+  }
+  bool MeetsFreshness(const KpiTargets& t) const {
+    return fresh_ms <= t.t_fresh_ms;
+  }
+
+  static KpiReport FromRecorders(const LatencyRecorder& esp,
+                                 const LatencyRecorder& rta,
+                                 double esp_eps, double rta_qps,
+                                 double fresh_ms) {
+    KpiReport r;
+    r.esp_mean_ms = esp.MeanMicros() / 1e3;
+    r.esp_p99_ms = esp.PercentileMicros(0.99) / 1e3;
+    r.esp_throughput_eps = esp_eps;
+    r.rta_mean_ms = rta.MeanMicros() / 1e3;
+    r.rta_p99_ms = rta.PercentileMicros(0.99) / 1e3;
+    r.rta_throughput_qps = rta_qps;
+    r.fresh_ms = fresh_ms;
+    return r;
+  }
+};
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_KPI_H_

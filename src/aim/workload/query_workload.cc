@@ -1,0 +1,110 @@
+#include "aim/workload/query_workload.h"
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+Query QueryWorkload::Make(int qnum) {
+  const std::uint32_t id = next_id_++;
+  QueryBuilder qb(schema_);
+  qb.WithId(id);
+
+  switch (qnum) {
+    case 1: {
+      // SELECT AVG(total_duration_this_week) FROM AnalyticsMatrix
+      // WHERE number_of_local_calls_this_week > alpha;
+      const std::int64_t alpha = rng_.UniformRange(0, 2);
+      qb.Select(AggOp::kAvg, "total_duration_this_week")
+          .Where("number_of_local_calls_this_week", CmpOp::kGt,
+                 Value::Int32(static_cast<std::int32_t>(alpha)));
+      break;
+    }
+    case 2: {
+      // SELECT MAX(most_expensive_call_this_week)
+      // WHERE total_number_of_calls_this_week > beta;
+      const std::int64_t beta = rng_.UniformRange(2, 5);
+      qb.Select(AggOp::kMax, "most_expensive_call_this_week")
+          .Where("number_of_calls_this_week", CmpOp::kGt,
+                 Value::Int32(static_cast<std::int32_t>(beta)));
+      break;
+    }
+    case 3: {
+      // SELECT SUM(total_cost_this_week)/SUM(total_duration_this_week)
+      // GROUP BY number_of_calls_this_week LIMIT 100;
+      qb.SelectSumRatio("total_cost_this_week", "total_duration_this_week")
+          .GroupByAttr("number_of_calls_this_week")
+          .Limit(100);
+      break;
+    }
+    case 4: {
+      // SELECT city, AVG(number_of_local_calls_this_week),
+      //        SUM(total_duration_of_local_calls_this_week)
+      // WHERE local calls > gamma AND local duration > delta AND zip join
+      // GROUP BY city;
+      const std::int64_t gamma = rng_.UniformRange(2, 10);
+      const std::int64_t delta = rng_.UniformRange(20, 150);
+      qb.Select(AggOp::kAvg, "number_of_local_calls_this_week")
+          .Select(AggOp::kSum, "total_duration_of_local_calls_this_week")
+          .Where("number_of_local_calls_this_week", CmpOp::kGt,
+                 Value::Int32(static_cast<std::int32_t>(gamma)))
+          .Where("total_duration_of_local_calls_this_week", CmpOp::kGt,
+                 Value::Float(static_cast<float>(delta)))
+          .GroupByDim("zip", dims_->region_info, dims_->region_city);
+      break;
+    }
+    case 5: {
+      // SELECT region, SUM(local cost), SUM(long-distance cost)
+      // WHERE t.type = T AND c.category = CAT (via FK joins)
+      // GROUP BY region;
+      const std::string& t =
+          dims_->subscription_types[rng_.Uniform(
+              dims_->subscription_types.size())];
+      const std::string& cat =
+          dims_->categories[rng_.Uniform(dims_->categories.size())];
+      qb.Select(AggOp::kSum, "total_cost_of_local_calls_this_week")
+          .Select(AggOp::kSum, "total_cost_of_long_distance_calls_this_week")
+          .WhereDimLabel("subscription_type", dims_->subscription_type,
+                         dims_->subscription_type_name, t)
+          .WhereDimLabel("category", dims_->category, dims_->category_name,
+                         cat)
+          .GroupByDim("zip", dims_->region_info, dims_->region_region);
+      break;
+    }
+    case 6: {
+      // Entity ids with the longest call today/this week, local and long
+      // distance, within a specific country.
+      const std::string& cty =
+          dims_->countries[rng_.Uniform(dims_->countries.size())];
+      qb.TopK("longest_local_call_today", /*ascending=*/false)
+          .TopK("longest_local_call_this_week", false)
+          .TopK("longest_long_distance_call_today", false)
+          .TopK("longest_long_distance_call_this_week", false)
+          .WhereDimLabel("zip", dims_->region_info, dims_->region_country,
+                         cty)
+          .WithEntityAttr("entity_id");
+      break;
+    }
+    case 7: {
+      // Entity id with the smallest flat rate (cost/duration this week) for
+      // a specific cell value type.
+      const std::string& v =
+          dims_->cell_value_types[rng_.Uniform(
+              dims_->cell_value_types.size())];
+      qb.TopKRatio("total_cost_this_week", "total_duration_this_week",
+                   /*ascending=*/true)
+          .WhereDimLabel("cell_value_type", dims_->cell_value_type,
+                         dims_->cell_value_type_name, v)
+          .WithEntityAttr("entity_id");
+      break;
+    }
+    default:
+      AIM_CHECK_MSG(false, "query number out of range: %d", qnum);
+  }
+
+  StatusOr<Query> q = qb.Build();
+  AIM_CHECK_MSG(q.ok(), "Q%d failed to build: %s", qnum,
+                q.status().ToString().c_str());
+  return std::move(q).value();
+}
+
+}  // namespace aim

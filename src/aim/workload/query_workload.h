@@ -1,0 +1,45 @@
+#ifndef AIM_WORKLOAD_QUERY_WORKLOAD_H_
+#define AIM_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "aim/common/random.h"
+#include "aim/rta/query.h"
+#include "aim/workload/dimension_data.h"
+
+namespace aim {
+
+/// The seven parameterized RTA queries of paper Table 5. Parameters are
+/// drawn uniformly at random from the paper's ranges:
+///   Q1: alpha in [0,2]      Q2: beta in [2,5]
+///   Q4: gamma in [2,10], delta in [20,150]
+///   Q5: t in SubscriptionTypes, cat in Categories
+///   Q6: cty in Countries    Q7: v in CellValueTypes
+///
+/// Next() draws from the uniform all-seven mix used in the paper's
+/// experiments (§5.1: "query mix of all seven queries, drawn at random with
+/// equal probability").
+class QueryWorkload {
+ public:
+  QueryWorkload(const Schema* schema, const BenchmarkDims* dims,
+                std::uint64_t seed)
+      : schema_(schema), dims_(dims), rng_(seed) {}
+
+  /// Builds query number `qnum` (1..7) with fresh random parameters.
+  Query Make(int qnum);
+
+  /// Uniform random pick from Q1..Q7.
+  Query Next() { return Make(1 + static_cast<int>(rng_.Uniform(7))); }
+
+  std::uint32_t queries_generated() const { return next_id_; }
+
+ private:
+  const Schema* schema_;
+  const BenchmarkDims* dims_;
+  Random rng_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,133 @@
+#include "aim/workload/rules_generator.h"
+
+#include "aim/common/logging.h"
+#include "aim/common/random.h"
+
+namespace aim {
+
+namespace {
+
+/// Picks a random indicator attribute and a threshold that is selective but
+/// reachable for it (counts are small integers; float indicators span the
+/// metric's realistic range).
+Predicate RandomIndicatorPredicate(const Schema& schema,
+                                   const std::vector<std::uint16_t>& pool,
+                                   Random* rng) {
+  const std::uint16_t attr = pool[rng->Uniform(pool.size())];
+  const Attribute& a = schema.attribute(attr);
+  // Campaign-style predicates are selective: thresholds sit in the tail of
+  // the indicator's distribution, whichever direction the comparison goes.
+  const bool less = rng->Uniform(100) < 25;
+  const CmpOp op = less ? (rng->OneIn(2) ? CmpOp::kLt : CmpOp::kLe)
+                        : (rng->OneIn(2) ? CmpOp::kGt : CmpOp::kGe);
+  double constant;
+  if (a.type == ValueType::kInt32) {
+    constant = less ? static_cast<double>(rng->Uniform(3))
+                    : static_cast<double>(10 + rng->Uniform(40));
+  } else if (a.agg == AggFn::kAvg) {
+    constant = less ? static_cast<double>(rng->Uniform(60))
+                    : static_cast<double>(1000 + rng->Uniform(2500));
+  } else {
+    constant = less ? static_cast<double>(rng->Uniform(500))
+                    : static_cast<double>(20000 + rng->Uniform(80000));
+  }
+  return Predicate::OnAttr(attr, op, constant);
+}
+
+Predicate RandomEventPredicate(Random* rng) {
+  switch (rng->Uniform(4)) {
+    case 0:
+      return Predicate::OnEvent(EventFieldId::kDuration,
+                                rng->OneIn(2) ? CmpOp::kGt : CmpOp::kLt,
+                                static_cast<double>(rng->Uniform(3600)));
+    case 1:
+      return Predicate::OnEvent(EventFieldId::kCost,
+                                rng->OneIn(2) ? CmpOp::kGt : CmpOp::kLt,
+                                static_cast<double>(rng->Uniform(150)) / 10.0);
+    case 2:
+      return Predicate::OnEvent(EventFieldId::kLongDistance, CmpOp::kEq,
+                                rng->OneIn(2) ? 1.0 : 0.0);
+    default:
+      return Predicate::OnEvent(EventFieldId::kRoaming, CmpOp::kEq,
+                                rng->OneIn(2) ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+std::vector<Rule> MakeBenchmarkRules(const Schema& schema,
+                                     const RulesGeneratorOptions& options) {
+  Random rng(options.seed);
+
+  // Indicator pool: all exposed indicator columns.
+  std::vector<std::uint16_t> pool;
+  for (std::uint16_t i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.attribute(i).kind == AttrKind::kIndicator) pool.push_back(i);
+  }
+  AIM_CHECK_MSG(!pool.empty(), "schema has no indicators");
+
+  std::vector<Rule> rules;
+  rules.reserve(options.num_rules);
+  for (std::size_t r = 0; r < options.num_rules; ++r) {
+    Rule rule;
+    rule.id = static_cast<std::uint32_t>(r);
+    rule.name = "bench_rule_" + std::to_string(r);
+    rule.action = "notify_subscriber";
+    const std::uint32_t conjuncts =
+        1 + static_cast<std::uint32_t>(rng.Uniform(options.max_conjuncts));
+    for (std::uint32_t c = 0; c < conjuncts; ++c) {
+      Conjunct conj;
+      const std::uint32_t preds =
+          1 + static_cast<std::uint32_t>(rng.Uniform(options.max_predicates));
+      for (std::uint32_t p = 0; p < preds; ++p) {
+        if (rng.Uniform(100) < options.event_predicate_pct) {
+          conj.predicates.push_back(RandomEventPredicate(&rng));
+        } else {
+          conj.predicates.push_back(
+              RandomIndicatorPredicate(schema, pool, &rng));
+        }
+      }
+      rule.conjuncts.push_back(std::move(conj));
+    }
+    // A third of the rules carry a firing policy (campaigns are throttled).
+    if (rng.OneIn(3)) {
+      rule.policy = FiringPolicy::PerWindow(
+          1 + static_cast<std::uint32_t>(rng.Uniform(3)), kMillisPerDay);
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<Rule> MakePaperTable2Rules(const Schema& schema) {
+  std::vector<Rule> rules;
+  const std::uint16_t calls_today =
+      schema.FindAttribute("number_of_calls_today");
+  const std::uint16_t cost_today = schema.FindAttribute("total_cost_today");
+  const std::uint16_t avg_dur_today =
+      schema.FindAttribute("avg_duration_today");
+  AIM_CHECK(calls_today != kInvalidAttr && cost_today != kInvalidAttr &&
+            avg_dur_today != kInvalidAttr);
+
+  // Rule 1: number-of-calls-today > 20 AND total-cost-today > $100 AND
+  // event.duration > 300s -> free minutes campaign.
+  rules.push_back(RuleBuilder(0, "free_minutes_campaign")
+                      .Where(calls_today, CmpOp::kGt, 20)
+                      .And(cost_today, CmpOp::kGt, 100)
+                      .AndEvent(EventFieldId::kDuration, CmpOp::kGt, 300)
+                      .WithAction("inform subscriber: next 10 minutes free")
+                      .WithPolicy(FiringPolicy::PerWindow(1, kMillisPerDay))
+                      .Build());
+
+  // Rule 2: number-of-calls-today > 30 AND avg duration < 10s -> phone
+  // misuse alert.
+  rules.push_back(RuleBuilder(1, "phone_misuse_alert")
+                      .Where(calls_today, CmpOp::kGt, 30)
+                      .And(avg_dur_today, CmpOp::kLt, 10)
+                      .WithAction("advise subscriber: activate screen lock")
+                      .WithPolicy(FiringPolicy::PerWindow(1, kMillisPerDay))
+                      .Build());
+  return rules;
+}
+
+}  // namespace aim

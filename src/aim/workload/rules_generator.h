@@ -1,0 +1,35 @@
+#ifndef AIM_WORKLOAD_RULES_GENERATOR_H_
+#define AIM_WORKLOAD_RULES_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aim/esp/rule.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+
+/// Generator for the benchmark's business rule set: by default 300 rules
+/// with 1-10 conjuncts of 1-10 predicates each (paper §5). Predicates mix
+/// indicator attributes and event fields; thresholds are drawn from
+/// plausible ranges so that a small-but-nonzero fraction of events fires.
+struct RulesGeneratorOptions {
+  std::size_t num_rules = 300;
+  std::uint64_t seed = 1234;
+  std::uint32_t max_conjuncts = 10;
+  std::uint32_t max_predicates = 10;
+  /// Percent of predicates that test event fields instead of indicators.
+  std::uint32_t event_predicate_pct = 20;
+};
+
+std::vector<Rule> MakeBenchmarkRules(const Schema& schema,
+                                     const RulesGeneratorOptions& options);
+
+/// The two hand-written rules of paper Table 2 (heavy-caller campaign and
+/// phone-misuse alert), for examples and tests. Requires the paper aliases
+/// (number_of_calls_today, total_cost_today, avg_duration_today).
+std::vector<Rule> MakePaperTable2Rules(const Schema& schema);
+
+}  // namespace aim
+
+#endif  // AIM_WORKLOAD_RULES_GENERATOR_H_

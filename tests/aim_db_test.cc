@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "aim/server/aim_db.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/query_workload.h"
+#include "aim/workload/rules_generator.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+class AimDbTest : public ::testing::Test {
+ protected:
+  AimDbTest()
+      : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {
+    rules_ = MakePaperTable2Rules(*schema_);
+    AimDb::Options opts;
+    opts.bucket_size = 64;
+    opts.max_records = 1 << 14;
+    db_ = std::make_unique<AimDb>(schema_.get(), &dims_.catalog, &rules_,
+                                  opts);
+  }
+
+  void LoadEntities(std::uint64_t n) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= n; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, n, row.data());
+      ASSERT_TRUE(db_->LoadEntity(e, row.data()).ok());
+    }
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+  std::unique_ptr<AimDb> db_;
+};
+
+TEST_F(AimDbTest, EndToEndEventThenQuery) {
+  LoadEntities(100);
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 100;
+  CdrGenerator gen(gopts);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(db_->ProcessEvent(gen.Next(1000 + i)).ok());
+  }
+
+  // Total calls today must equal the number of events (all within one day).
+  Query q = *QueryBuilder(schema_.get())
+                 .Select(AggOp::kSum, "number_of_calls_today")
+                 .Build();
+  QueryResult r = db_->Execute(q);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0].values[0], 1000.0);
+}
+
+TEST_F(AimDbTest, SumOfDurationsMatchesGeneratedEvents) {
+  LoadEntities(50);
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 50;
+  CdrGenerator gen(gopts);
+  double total_duration = 0;
+  for (int i = 0; i < 500; ++i) {
+    Event e = gen.Next(5000 + i);
+    total_duration += e.duration;
+    ASSERT_TRUE(db_->ProcessEvent(e).ok());
+  }
+  Query q = *QueryBuilder(schema_.get())
+                 .Select(AggOp::kSum, "duration_today_sum")
+                 .Build();
+  QueryResult r = db_->Execute(q);
+  EXPECT_NEAR(r.rows[0].values[0], total_duration,
+              1e-4 * (1 + total_duration));
+}
+
+TEST_F(AimDbTest, GetAttributePointLookup) {
+  LoadEntities(10);
+  Event e;
+  e.caller = 7;
+  e.callee = 1;
+  e.timestamp = 100;
+  e.duration = 42;
+  ASSERT_TRUE(db_->ProcessEvent(e).ok());
+  StatusOr<Value> v = db_->GetAttribute(7, "duration_today_sum");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FLOAT_EQ(v->f32(), 42.0f);
+  EXPECT_FALSE(db_->GetAttribute(7, "no_attr").ok());
+  EXPECT_TRUE(db_->GetAttribute(9999, "duration_today_sum")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AimDbTest, BatchExecutionMatchesIndividual) {
+  LoadEntities(200);
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 200;
+  CdrGenerator gen(gopts);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db_->ProcessEvent(gen.Next(1000 + i)).ok());
+  }
+
+  std::vector<Query> queries;
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kAvg, "total_duration_this_week")
+                         .Where("number_of_local_calls_this_week", CmpOp::kGt,
+                                Value::Int32(1))
+                         .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .SelectSumRatio("total_cost_this_week",
+                                         "total_duration_this_week")
+                         .GroupByAttr("number_of_calls_this_week")
+                         .Limit(100)
+                         .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .TopK("cost_this_week_max", false, 3)
+                         .WithEntityAttr("entity_id")
+                         .Build());
+
+  const std::vector<QueryResult> batch = db_->ExecuteBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult solo = db_->Execute(queries[i]);
+    ASSERT_EQ(batch[i].rows.size(), solo.rows.size());
+    for (std::size_t r = 0; r < solo.rows.size(); ++r) {
+      for (std::size_t v = 0; v < solo.rows[r].values.size(); ++v) {
+        EXPECT_DOUBLE_EQ(batch[i].rows[r].values[v], solo.rows[r].values[v]);
+      }
+    }
+    ASSERT_EQ(batch[i].topk.size(), solo.topk.size());
+    for (std::size_t t = 0; t < solo.topk.size(); ++t) {
+      ASSERT_EQ(batch[i].topk[t].size(), solo.topk[t].size());
+      for (std::size_t k = 0; k < solo.topk[t].size(); ++k) {
+        EXPECT_DOUBLE_EQ(batch[i].topk[t][k].value, solo.topk[t][k].value);
+      }
+    }
+  }
+}
+
+TEST_F(AimDbTest, RulesFireThroughFacade) {
+  LoadEntities(5);
+  // Rule 2 (phone misuse): > 30 calls today with avg duration < 10s.
+  std::vector<std::uint32_t> fired;
+  Event e;
+  e.caller = 1;
+  e.callee = 2;
+  e.duration = 3;
+  bool fired_once = false;
+  for (int i = 0; i < 40; ++i) {
+    e.timestamp = 1000 + i;
+    ASSERT_TRUE(db_->ProcessEvent(e, &fired).ok());
+    if (!fired.empty()) fired_once = true;
+  }
+  EXPECT_TRUE(fired_once);
+}
+
+TEST_F(AimDbTest, InvalidQueryReportsStatus) {
+  LoadEntities(5);
+  Query bad;
+  bad.id = 77;
+  bad.select.push_back(SelectItem::Agg(AggOp::kSum, 9999));
+  QueryResult r = db_->Execute(bad);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.query_id, 77u);
+}
+
+TEST_F(AimDbTest, MergeBeforeQueryGivesFreshness) {
+  LoadEntities(5);
+  Event e;
+  e.caller = 1;
+  e.callee = 2;
+  e.timestamp = 50;
+  e.duration = 10;
+  ASSERT_TRUE(db_->ProcessEvent(e).ok());
+  // merge_before_query=true (default): the event is visible immediately.
+  Query q = *QueryBuilder(schema_.get())
+                 .Select(AggOp::kSum, "number_of_calls_today")
+                 .Build();
+  EXPECT_DOUBLE_EQ(db_->Execute(q).rows[0].values[0], 1.0);
+}
+
+TEST(AimDbFreshnessTest, WithoutMergeQueriesSeeSnapshot) {
+  auto schema = MakeCompactSchema();
+  AimDb::Options opts;
+  opts.merge_before_query = false;
+  opts.bucket_size = 16;
+  opts.max_records = 256;
+  AimDb db(schema.get(), nullptr, nullptr, opts);
+
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  RecordView(schema.get(), row.data())
+      .SetAs<std::uint64_t>(schema->FindAttribute("entity_id"), 1);
+  ASSERT_TRUE(db.LoadEntity(1, row.data()).ok());
+
+  Event e;
+  e.caller = 1;
+  e.timestamp = 10;
+  e.duration = 5;
+  ASSERT_TRUE(db.ProcessEvent(e).ok());
+
+  Query q = *QueryBuilder(schema.get())
+                 .Select(AggOp::kSum, "number_of_calls_today")
+                 .Build();
+  // Event still buffered in the delta: the scan does not see it.
+  EXPECT_DOUBLE_EQ(db.Execute(q).rows[0].values[0], 0.0);
+  db.Merge();
+  EXPECT_DOUBLE_EQ(db.Execute(q).rows[0].values[0], 1.0);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,202 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "aim/baselines/cow_store.h"
+#include "aim/baselines/indexed_row_store.h"
+#include "aim/baselines/pure_column_store.h"
+#include "aim/server/aim_db.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/query_workload.h"
+
+namespace aim {
+namespace {
+
+/// Every baseline must produce the same analytics as AIM (AimDb reference)
+/// for the same event stream — they differ in *performance*, not results.
+class BaselineEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  BaselineEquivalenceTest()
+      : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {}
+
+  std::unique_ptr<BaselineStore> MakeStore(const std::string& which) {
+    if (which == "column") {
+      PureColumnStore::Options opts;
+      opts.max_records = 1 << 14;
+      return std::make_unique<PureColumnStore>(schema_.get(), &dims_.catalog,
+                                               opts);
+    }
+    if (which == "row") {
+      IndexedRowStore::Options opts;
+      opts.max_records = 1 << 14;
+      opts.indexed_attrs = {
+          schema_->FindAttribute("number_of_calls_this_week")};
+      return std::make_unique<IndexedRowStore>(schema_.get(), &dims_.catalog,
+                                               opts);
+    }
+    CowStore::Options opts;
+    opts.max_records = 1 << 14;
+    opts.rows_per_page = 8;
+    return std::make_unique<CowStore>(schema_.get(), &dims_.catalog, opts);
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+};
+
+TEST_P(BaselineEquivalenceTest, MatchesAimOnBenchmarkQueries) {
+  constexpr std::uint64_t kEntities = 150;
+  constexpr int kEvents = 1500;
+
+  std::unique_ptr<BaselineStore> baseline = MakeStore(GetParam());
+  AimDb::Options ropts;
+  ropts.bucket_size = 64;
+  ropts.max_records = 1 << 14;
+  AimDb reference(schema_.get(), &dims_.catalog, nullptr, ropts);
+
+  std::vector<std::uint8_t> row(schema_->record_size(), 0);
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*schema_, dims_, e, kEntities, row.data());
+    ASSERT_TRUE(baseline->Load(e, row.data()).ok());
+    ASSERT_TRUE(reference.LoadEntity(e, row.data()).ok());
+  }
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  for (int i = 0; i < kEvents; ++i) {
+    const Event e = gen.Next(20000 + i);
+    ASSERT_TRUE(baseline->ApplyEvent(e).ok());
+    ASSERT_TRUE(reference.ProcessEvent(e).ok());
+  }
+
+  // A representative query per shape, plus the benchmark's random Q mix.
+  std::vector<Query> queries;
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kAvg, "total_duration_this_week")
+                         .Where("number_of_local_calls_this_week", CmpOp::kGt,
+                                Value::Int32(1))
+                         .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kMax, "most_expensive_call_this_week")
+                         .Where("number_of_calls_this_week", CmpOp::kGt,
+                                Value::Int32(3))
+                         .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .SelectSumRatio("total_cost_this_week",
+                                         "total_duration_this_week")
+                         .GroupByAttr("number_of_calls_this_week")
+                         .Limit(100)
+                         .Build());
+  queries.push_back(
+      *QueryBuilder(schema_.get())
+           .Select(AggOp::kSum, "total_cost_of_local_calls_this_week")
+           .GroupByDim("zip", dims_.region_info, dims_.region_region)
+           .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .TopK("cost_this_week_max", false, 3)
+                         .WithEntityAttr("entity_id")
+                         .Build());
+
+  for (const Query& q : queries) {
+    const QueryResult want = reference.Execute(q);
+    const QueryResult got = baseline->Execute(q);
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ASSERT_EQ(got.rows.size(), want.rows.size())
+        << baseline->name() << ": " << q.ToString(schema_.get());
+    for (std::size_t r = 0; r < want.rows.size(); ++r) {
+      EXPECT_EQ(got.rows[r].group_key, want.rows[r].group_key);
+      for (std::size_t v = 0; v < want.rows[r].values.size(); ++v) {
+        EXPECT_NEAR(got.rows[r].values[v], want.rows[r].values[v],
+                    1e-3 * (1.0 + std::abs(want.rows[r].values[v])))
+            << baseline->name() << " row " << r;
+      }
+    }
+    ASSERT_EQ(got.topk.size(), want.topk.size());
+    for (std::size_t t = 0; t < want.topk.size(); ++t) {
+      ASSERT_EQ(got.topk[t].size(), want.topk[t].size());
+      for (std::size_t k = 0; k < want.topk[t].size(); ++k) {
+        EXPECT_NEAR(got.topk[t][k].value, want.topk[t][k].value, 1e-3);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineEquivalenceTest,
+                         ::testing::Values("column", "row", "cow"));
+
+TEST(IndexedRowStoreTest, AutoIndexCreatedByAdvisor) {
+  auto schema = MakeCompactSchema();
+  const BenchmarkDims dims = MakeBenchmarkDims();
+  IndexedRowStore::Options opts;
+  opts.max_records = 1024;
+  IndexedRowStore store(schema.get(), &dims.catalog, opts);
+  EXPECT_EQ(store.num_indexes(), 0u);
+
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (EntityId e = 1; e <= 100; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*schema, dims, e, 100, row.data());
+    ASSERT_TRUE(store.Load(e, row.data()).ok());
+  }
+  Query q = *QueryBuilder(schema.get())
+                 .SelectCount()
+                 .Where("number_of_calls_today", CmpOp::kGt, Value::Int32(0))
+                 .Build();
+  (void)store.Execute(q);
+  EXPECT_EQ(store.num_indexes(), 1u);  // advisor built it on first use
+}
+
+TEST(CowStoreTest, SnapshotIsolatesFromConcurrentWrites) {
+  auto schema = MakeCompactSchema();
+  CowStore::Options opts;
+  opts.max_records = 256;
+  opts.rows_per_page = 4;
+  CowStore store(schema.get(), nullptr, opts);
+
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (EntityId e = 1; e <= 20; ++e) {
+    RecordView(schema.get(), row.data())
+        .SetAs<std::uint64_t>(schema->FindAttribute("entity_id"), e);
+    ASSERT_TRUE(store.Load(e, row.data()).ok());
+  }
+
+  Event e;
+  e.caller = 1;
+  e.timestamp = 100;
+  e.duration = 30;
+  ASSERT_TRUE(store.ApplyEvent(e).ok());
+  EXPECT_GE(store.pages_copied(), 0u);
+
+  Query q = *QueryBuilder(schema.get())
+                 .Select(AggOp::kSum, "number_of_calls_today")
+                 .Build();
+  EXPECT_DOUBLE_EQ(store.Execute(q).rows[0].values[0], 1.0);
+
+  // Writes after many snapshots keep working (page clones accumulate).
+  for (int i = 0; i < 10; ++i) {
+    (void)store.Execute(q);
+    ASSERT_TRUE(store.ApplyEvent(e).ok());
+  }
+  EXPECT_DOUBLE_EQ(store.Execute(q).rows[0].values[0], 11.0);
+}
+
+TEST(BaselineNamesTest, Distinct) {
+  auto schema = MakeCompactSchema();
+  const BenchmarkDims dims = MakeBenchmarkDims();
+  PureColumnStore m(schema.get(), &dims.catalog, {});
+  IndexedRowStore d(schema.get(), &dims.catalog, {});
+  CowStore h(schema.get(), &dims.catalog, {});
+  EXPECT_NE(m.name(), d.name());
+  EXPECT_NE(m.name(), h.name());
+  EXPECT_NE(d.name(), h.name());
+}
+
+}  // namespace
+}  // namespace aim

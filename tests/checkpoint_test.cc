@@ -1,0 +1,143 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "aim/storage/checkpoint.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::FillRandomRow;
+using testing_util::MakeTinySchema;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() : schema_(MakeTinySchema()) {
+    entity_attr_ = schema_->FindAttribute("entity_id");
+    store_ = MakeStore();
+  }
+
+  std::unique_ptr<DeltaMainStore> MakeStore() {
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 16;
+    opts.max_records = 1024;
+    return std::make_unique<DeltaMainStore>(schema_.get(), opts);
+  }
+
+  void Populate(int n, bool leave_delta_dirty) {
+    std::vector<std::uint8_t> row(schema_->record_size());
+    for (EntityId e = 1; e <= static_cast<EntityId>(n); ++e) {
+      FillRandomRow(*schema_, &rng_, row.data());
+      RecordView(schema_.get(), row.data())
+          .SetAs<std::uint64_t>(entity_attr_, e);
+      ASSERT_TRUE(store_->BulkInsert(e, row.data()).ok());
+    }
+    // Update a few through the delta; optionally keep them unmerged so the
+    // checkpoint has to read through the delta.
+    for (EntityId e = 1; e <= 5; ++e) {
+      Version v = 0;
+      ASSERT_TRUE(store_->Get(e, row.data(), &v).ok());
+      RecordView(schema_.get(), row.data())
+          .Set(schema_->FindAttribute("calls_today"),
+               Value::Int32(static_cast<std::int32_t>(e * 11)));
+      ASSERT_TRUE(store_->Put(e, row.data(), v).ok());
+    }
+    // A brand-new entity only in the delta.
+    FillRandomRow(*schema_, &rng_, row.data());
+    RecordView(schema_.get(), row.data())
+        .SetAs<std::uint64_t>(entity_attr_, 999);
+    ASSERT_TRUE(store_->Insert(999, row.data()).ok());
+    if (!leave_delta_dirty) store_->Merge();
+  }
+
+  void ExpectStoresEqual(DeltaMainStore* a, DeltaMainStore* b, int n) {
+    std::vector<std::uint8_t> ra(schema_->record_size());
+    std::vector<std::uint8_t> rb(schema_->record_size());
+    for (EntityId e = 1; e <= static_cast<EntityId>(n); ++e) {
+      Version va = 0, vb = 0;
+      ASSERT_TRUE(a->Get(e, ra.data(), &va).ok()) << e;
+      ASSERT_TRUE(b->Get(e, rb.data(), &vb).ok()) << e;
+      EXPECT_EQ(va, vb) << e;
+      EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size()), 0) << e;
+    }
+    Version v9 = 0;
+    ASSERT_TRUE(a->Get(999, ra.data(), &v9).ok());
+    ASSERT_TRUE(b->Get(999, rb.data(), &v9).ok());
+    EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size()), 0);
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::uint16_t entity_attr_;
+  std::unique_ptr<DeltaMainStore> store_;
+  Random rng_{21};
+};
+
+TEST_F(CheckpointTest, RoundTripMergedStore) {
+  Populate(50, /*leave_delta_dirty=*/false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+
+  auto restored = MakeStore();
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(checkpoint::Restore(&reader, restored.get()).ok());
+  EXPECT_EQ(restored->main_records(), store_->main_records());
+  ExpectStoresEqual(store_.get(), restored.get(), 50);
+}
+
+TEST_F(CheckpointTest, RoundTripWithDirtyDelta) {
+  // The checkpoint captures the *visible* state: delta images shadow main.
+  Populate(30, /*leave_delta_dirty=*/true);
+  EXPECT_GT(store_->delta_size(), 0u);
+
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  auto restored = MakeStore();
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(checkpoint::Restore(&reader, restored.get()).ok());
+  ExpectStoresEqual(store_.get(), restored.get(), 30);
+  // Restored state is fully merged (all in main).
+  EXPECT_EQ(restored->delta_size(), 0u);
+  EXPECT_EQ(restored->main_records(), 31u);  // 30 + entity 999
+}
+
+TEST_F(CheckpointTest, RestoreRejectsNonEmptyStore) {
+  Populate(5, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(checkpoint::Restore(&reader, store_.get()).IsConflict());
+}
+
+TEST_F(CheckpointTest, RestoreRejectsCorruptHeader) {
+  auto restored = MakeStore();
+  std::vector<std::uint8_t> garbage = {'X', 'X', 'X'};
+  BinaryReader reader(garbage);
+  EXPECT_TRUE(
+      checkpoint::Restore(&reader, restored.get()).IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, RestoreRejectsTruncatedPayload) {
+  Populate(10, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  auto restored = MakeStore();
+  BinaryReader reader(writer.buffer().data(), writer.size() - 17);
+  EXPECT_TRUE(
+      checkpoint::Restore(&reader, restored.get()).IsInvalidArgument());
+}
+
+TEST_F(CheckpointTest, FileRoundTrip) {
+  Populate(20, false);
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_test.bin";
+  ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+  auto restored = MakeStore();
+  ASSERT_TRUE(checkpoint::RestoreFromFile(path, restored.get()).ok());
+  ExpectStoresEqual(store_.get(), restored.get(), 20);
+  std::remove(path.c_str());
+  EXPECT_TRUE(checkpoint::RestoreFromFile(path, MakeStore().get())
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,200 @@
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "aim/server/aim_cluster.h"
+#include "aim/server/aim_db.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/query_workload.h"
+
+namespace aim {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {}
+
+  AimCluster::Options ClusterOptions(std::uint32_t nodes) {
+    AimCluster::Options opts;
+    opts.num_nodes = nodes;
+    opts.node.num_partitions = 2;
+    opts.node.num_esp_threads = 1;
+    opts.node.bucket_size = 64;
+    opts.node.max_records_per_partition = 1 << 14;
+    opts.node.scan_poll_micros = 200;
+    return opts;
+  }
+
+  void LoadEntities(AimCluster* cluster, AimDb* reference, std::uint64_t n) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= n; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, n, row.data());
+      ASSERT_TRUE(cluster->LoadEntity(e, row.data()).ok());
+      if (reference != nullptr) {
+        ASSERT_TRUE(reference->LoadEntity(e, row.data()).ok());
+      }
+    }
+  }
+
+  /// Waits until the cluster has processed `n` events.
+  void AwaitEvents(AimCluster* cluster, std::uint64_t n) {
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      if (cluster->TotalStats().events_processed >= n) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    FAIL() << "cluster never drained " << n << " events";
+  }
+
+  /// Polls a query until consecutive results agree and the delta has
+  /// drained (freshness settled).
+  QueryResult SettledQuery(AimCluster* cluster, const Query& q,
+                           double expected_first_value) {
+    QueryResult r;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      r = cluster->ExecuteQuery(q);
+      if (r.status.ok() && !r.rows.empty() &&
+          r.rows[0].values[0] == expected_first_value) {
+        return r;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return r;
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+};
+
+TEST_F(ClusterTest, RoutesEntitiesAcrossNodes) {
+  AimCluster cluster(schema_.get(), &dims_.catalog, &rules_,
+                     ClusterOptions(3));
+  LoadEntities(&cluster, nullptr, 300);
+  EXPECT_EQ(cluster.total_records(), 300u);
+  // Every node got a reasonable share.
+  for (std::uint32_t i = 0; i < cluster.num_nodes(); ++i) {
+    EXPECT_GT(cluster.node(i).total_records(), 50u);
+  }
+}
+
+TEST_F(ClusterTest, ClusterMatchesEmbeddedReference) {
+  // The same event stream processed by the threaded 2-node cluster and the
+  // single-threaded embedded AimDb must converge to identical analytics.
+  AimCluster cluster(schema_.get(), &dims_.catalog, &rules_,
+                     ClusterOptions(2));
+  AimDb::Options ropts;
+  ropts.bucket_size = 64;
+  ropts.max_records = 1 << 14;
+  AimDb reference(schema_.get(), &dims_.catalog, &rules_, ropts);
+
+  constexpr std::uint64_t kEntities = 200;
+  constexpr int kEvents = 2000;
+  LoadEntities(&cluster, &reference, kEntities);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  for (int i = 0; i < kEvents; ++i) {
+    const Event e = gen.Next(10000 + i);
+    ASSERT_TRUE(reference.ProcessEvent(e).ok());
+    ASSERT_TRUE(cluster.IngestEvent(e, nullptr));
+  }
+  AwaitEvents(&cluster, kEvents);
+
+  // Compare several deterministic queries.
+  std::vector<Query> queries;
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kSum, "number_of_calls_today")
+                         .SelectCount()
+                         .Build());
+  queries.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kMax, "cost_this_week_max")
+                         .Select(AggOp::kSum, "total_duration_this_week")
+                         .Build());
+  queries.push_back(
+      *QueryBuilder(schema_.get())
+           .SelectCount()
+           .GroupByDim("zip", dims_.region_info, dims_.region_region)
+           .Build());
+
+  for (const Query& q : queries) {
+    const QueryResult want = reference.Execute(q);
+    ASSERT_TRUE(want.status.ok());
+    const QueryResult got =
+        SettledQuery(&cluster, q, want.rows[0].values[0]);
+    ASSERT_TRUE(got.status.ok());
+    ASSERT_EQ(got.rows.size(), want.rows.size()) << q.ToString(schema_.get());
+    for (std::size_t r = 0; r < want.rows.size(); ++r) {
+      EXPECT_EQ(got.rows[r].group_key, want.rows[r].group_key);
+      ASSERT_EQ(got.rows[r].values.size(), want.rows[r].values.size());
+      for (std::size_t v = 0; v < want.rows[r].values.size(); ++v) {
+        EXPECT_NEAR(got.rows[r].values[v], want.rows[r].values[v],
+                    1e-3 * (1.0 + std::abs(want.rows[r].values[v])))
+            << q.ToString(schema_.get()) << " row " << r << " val " << v;
+      }
+    }
+  }
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, ConcurrentClientsInClosedLoop) {
+  AimCluster cluster(schema_.get(), &dims_.catalog, &rules_,
+                     ClusterOptions(2));
+  LoadEntities(&cluster, nullptr, 100);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Event feeder thread + c=4 closed-loop query clients.
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    CdrGenerator::Options gopts;
+    gopts.num_entities = 100;
+    CdrGenerator gen(gopts);
+    Timestamp now = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      cluster.IngestEvent(gen.Next(now++), nullptr);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<std::uint64_t> ok_queries{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      QueryWorkload workload(schema_.get(), &dims_, 100 + c);
+      Query q = *QueryBuilder(schema_.get())
+                     .SelectCount()
+                     .Where("number_of_calls_today", CmpOp::kGe,
+                            Value::Int32(c))
+                     .Build();
+      for (int i = 0; i < 20; ++i) {
+        const QueryResult r = cluster.ExecuteQuery(q);
+        if (r.status.ok()) ok_queries.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  feeder.join();
+  cluster.Stop();
+  EXPECT_EQ(ok_queries.load(), 80u);
+  EXPECT_GT(cluster.TotalStats().queries_processed, 0u);
+}
+
+TEST_F(ClusterTest, QueryAfterStopReportsShutdown) {
+  AimCluster cluster(schema_.get(), &dims_.catalog, &rules_,
+                     ClusterOptions(1));
+  LoadEntities(&cluster, nullptr, 10);
+  ASSERT_TRUE(cluster.Start().ok());
+  cluster.Stop();
+  Query q = *QueryBuilder(schema_.get()).SelectCount().Build();
+  const QueryResult r = cluster.ExecuteQuery(q);
+  EXPECT_TRUE(r.status.IsShutdown());
+}
+
+}  // namespace
+}  // namespace aim

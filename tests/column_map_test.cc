@@ -1,0 +1,161 @@
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/storage/column_map.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::FillRandomRow;
+using testing_util::MakeTinySchema;
+
+class ColumnMapParamTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ColumnMapParamTest, InsertMaterializeRoundTrip) {
+  auto schema = MakeTinySchema();
+  const std::uint32_t bucket_size = GetParam();
+  constexpr std::uint32_t kRecords = 300;
+  ColumnMap map(schema.get(), bucket_size, kRecords);
+  Random rng(11 + bucket_size);
+
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (std::uint32_t i = 0; i < kRecords; ++i) {
+    std::vector<std::uint8_t> row(schema->record_size(), 0);
+    FillRandomRow(*schema, &rng, row.data());
+    const EntityId entity = 1000 + i;
+    StatusOr<RecordId> id = map.Insert(entity, row.data(), /*version=*/i + 1);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+    rows.push_back(std::move(row));
+  }
+  EXPECT_EQ(map.num_records(), kRecords);
+  EXPECT_EQ(map.num_buckets(), (kRecords + bucket_size - 1) / bucket_size);
+
+  std::vector<std::uint8_t> out(schema->record_size(), 0);
+  for (std::uint32_t i = 0; i < kRecords; ++i) {
+    const RecordId id = map.Lookup(1000 + i);
+    ASSERT_NE(id, kInvalidRecordId);
+    map.MaterializeRow(id, out.data());
+    ASSERT_EQ(std::memcmp(out.data(), rows[i].data(), out.size()), 0)
+        << "record " << i << " bucket_size " << bucket_size;
+    EXPECT_EQ(map.version(id), i + 1);
+  }
+}
+
+TEST_P(ColumnMapParamTest, ScatterOverwritesInPlace) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), GetParam(), 100);
+  Random rng(5);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    FillRandomRow(*schema, &rng, row.data());
+    ASSERT_TRUE(map.Insert(i + 1, row.data(), 1).ok());
+  }
+  // Overwrite record 17 with new bytes.
+  FillRandomRow(*schema, &rng, row.data());
+  const RecordId id = map.Lookup(18);
+  map.ScatterRow(id, row.data());
+  map.set_version(id, 9);
+
+  std::vector<std::uint8_t> out(schema->record_size(), 0);
+  map.MaterializeRow(id, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), row.data(), out.size()), 0);
+  EXPECT_EQ(map.version(id), 9u);
+  EXPECT_EQ(map.num_records(), 50u);  // unchanged
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, ColumnMapParamTest,
+                         ::testing::Values(1u,       // pure row store
+                                           7u,       // odd partial buckets
+                                           32u,      // SIMD minimum
+                                           300u,     // exactly all records
+                                           100000u   // pure column store
+                                           ));
+
+TEST(ColumnMapTest, SingleValueReads) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 8, 64);
+  Random rng(3);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  FillRandomRow(*schema, &rng, row.data());
+  RecordView rec(schema.get(), row.data());
+  rec.Set(schema->FindAttribute("calls_today"), Value::Int32(-77));
+  ASSERT_TRUE(map.Insert(5, row.data(), 1).ok());
+
+  const RecordId id = map.Lookup(5);
+  EXPECT_EQ(map.GetValue(id, schema->FindAttribute("calls_today")).i32(),
+            -77);
+}
+
+TEST(ColumnMapTest, DuplicateInsertConflicts) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 8, 64);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  ASSERT_TRUE(map.Insert(5, row.data(), 1).ok());
+  StatusOr<RecordId> again = map.Insert(5, row.data(), 1);
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsConflict());
+}
+
+TEST(ColumnMapTest, CapacityExhausted) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 4, 8);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (EntityId e = 1; e <= 8; ++e) {
+    ASSERT_TRUE(map.Insert(e, row.data(), 1).ok());
+  }
+  StatusOr<RecordId> overflow = map.Insert(9, row.data(), 1);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsCapacity());
+}
+
+TEST(ColumnMapTest, LookupMissing) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 8, 64);
+  EXPECT_EQ(map.Lookup(42), kInvalidRecordId);
+}
+
+TEST(ColumnMapTest, BucketRefExposesColumns) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 4, 64);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  RecordView rec(schema.get(), row.data());
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  for (EntityId e = 1; e <= 6; ++e) {
+    rec.Set(calls, Value::Int32(static_cast<std::int32_t>(e * 10)));
+    ASSERT_TRUE(map.Insert(e, row.data(), 1).ok());
+  }
+  ASSERT_EQ(map.num_buckets(), 2u);
+
+  const ColumnMap::BucketRef b0 = map.bucket(0);
+  EXPECT_EQ(b0.count, 4u);
+  EXPECT_EQ(b0.first_record, 0u);
+  const auto* col = reinterpret_cast<const std::int32_t*>(
+      b0.Column(map, calls));
+  EXPECT_EQ(col[0], 10);
+  EXPECT_EQ(col[3], 40);
+
+  const ColumnMap::BucketRef b1 = map.bucket(1);
+  EXPECT_EQ(b1.count, 2u);  // partial tail bucket
+  const auto* col1 = reinterpret_cast<const std::int32_t*>(
+      b1.Column(map, calls));
+  EXPECT_EQ(col1[0], 50);
+  EXPECT_EQ(col1[1], 60);
+}
+
+TEST(ColumnMapTest, BucketBytesAccounting) {
+  auto schema = MakeTinySchema();
+  ColumnMap map(schema.get(), 16, 64);
+  std::uint64_t attr_bytes = 0;
+  for (std::uint16_t i = 0; i < schema->num_attributes(); ++i) {
+    attr_bytes += ValueTypeSize(schema->attribute(i).type);
+  }
+  EXPECT_EQ(map.bucket_bytes(),
+            (attr_bytes + schema->state_area_size()) * 16);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,326 @@
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/binary_io.h"
+#include "aim/common/clock.h"
+#include "aim/common/hash.h"
+#include "aim/common/latency_recorder.h"
+#include "aim/common/mpsc_queue.h"
+#include "aim/common/random.h"
+#include "aim/common/status.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: key 42");
+
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::Capacity().IsCapacity());
+  EXPECT_TRUE(Status::Unsupported().IsUnsupported());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Shutdown().IsShutdown());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Conflict());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123), b(123), c(124);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    std::int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, RoughlyUniformBuckets) {
+  Random rng(99);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.Uniform(10)]++;
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_GT(buckets[b], n / 10 - n / 50);
+    EXPECT_LT(buckets[b], n / 10 + n / 50);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, NodeRoutingIsStableAndInRange) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    std::uint32_t n = NodeHash(k, 7);
+    EXPECT_LT(n, 7u);
+    EXPECT_EQ(n, NodeHash(k, 7));
+  }
+}
+
+TEST(HashTest, SequentialKeysSpreadAcrossPartitions) {
+  // The benchmark uses sequential entity ids; routing must still balance.
+  int counts[4] = {};
+  for (std::uint64_t k = 1; k <= 4000; ++k) {
+    counts[PartitionHash(k, /*node_id=*/0, 4)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(HashTest, NodeAndPartitionHashesAreIndependent) {
+  // Keys all landing on node 0 must still spread over node 0's partitions.
+  int counts[4] = {};
+  int total = 0;
+  for (std::uint64_t k = 1; k <= 20000; ++k) {
+    if (NodeHash(k, 4) != 0) continue;
+    counts[PartitionHash(k, 0, 4)]++;
+    total++;
+  }
+  ASSERT_GT(total, 3000);
+  for (int c : counts) EXPECT_GT(c, total / 8);
+}
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMillis(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMillis(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.NowMillis(), 10);
+}
+
+TEST(ClockTest, WallClockMonotonic) {
+  WallClock clock;
+  Timestamp a = clock.NowMillis();
+  Timestamp b = clock.NowMillis();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, StopwatchMeasuresElapsed) {
+  Stopwatch sw;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sw.ElapsedNanos(), 0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRecorderTest, EmptyRecorder) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.MeanMicros(), 0.0);
+  EXPECT_EQ(r.PercentileMicros(0.5), 0.0);
+}
+
+TEST(LatencyRecorderTest, MeanAndExtremes) {
+  LatencyRecorder r;
+  r.Record(100.0);
+  r.Record(200.0);
+  r.Record(300.0);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.MeanMicros(), 200.0);
+  EXPECT_DOUBLE_EQ(r.MaxMicros(), 300.0);
+  EXPECT_DOUBLE_EQ(r.MinMicros(), 100.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesBracketTrueValue) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 1000; ++i) r.Record(static_cast<double>(i));
+  // Log-bucketed: p50 should be near 500 within one bucket (~19%).
+  const double p50 = r.PercentileMicros(0.50);
+  EXPECT_GT(p50, 500.0 * 0.8);
+  EXPECT_LT(p50, 500.0 * 1.3);
+  const double p99 = r.PercentileMicros(0.99);
+  EXPECT_GT(p99, 990.0 * 0.8);
+  EXPECT_LT(p99, 990.0 * 1.3);
+}
+
+TEST(LatencyRecorderTest, MergeCombines) {
+  LatencyRecorder a, b;
+  a.Record(10.0);
+  b.Record(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.MaxMicros(), 1000.0);
+  EXPECT_DOUBLE_EQ(a.MinMicros(), 10.0);
+  EXPECT_FALSE(a.SummaryMillis().empty());
+}
+
+// ---------------------------------------------------------------------------
+// MpscQueue
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueueTest, PushPopFifo) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpscQueueTest, CloseDrainsThenEmpty) {
+  MpscQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);  // drains remaining
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpscQueueTest, BoundedTryPush) {
+  MpscQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.TryPop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpscQueueTest, DrainInto) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(&out), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpscQueueTest, MultiProducerSingleConsumer) {
+  MpscQueue<int> q;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::int64_t sum = 0;
+  int got = 0;
+  while (got < 3 * kPerProducer) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+    got++;
+  }
+  for (auto& t : producers) t.join();
+  const std::int64_t n = 3 * kPerProducer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Binary IO
+// ---------------------------------------------------------------------------
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  w.PutString("hello");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0x1234);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI32(), -42);
+  EXPECT_EQ(r.GetI64(), -1234567890123LL);
+  EXPECT_EQ(r.GetF32(), 3.5f);
+  EXPECT_EQ(r.GetF64(), -2.25);
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncatedReadSetsError) {
+  BinaryWriter w;
+  w.PutU16(7);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU64(), 0u);  // too short
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, TruncatedStringSetsError) {
+  BinaryWriter w;
+  w.PutU32(100);  // claims 100 bytes follow
+  w.PutU8('x');
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace aim

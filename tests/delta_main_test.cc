@@ -1,0 +1,294 @@
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "aim/storage/delta.h"
+#include "aim/storage/delta_main.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::FillRandomRow;
+using testing_util::MakeTinySchema;
+
+// ---------------------------------------------------------------------------
+// Delta
+// ---------------------------------------------------------------------------
+
+TEST(DeltaTest, PutGetOverwrite) {
+  auto schema = MakeTinySchema();
+  Delta delta(schema.get());
+  Random rng(1);
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+
+  FillRandomRow(*schema, &rng, row.data());
+  delta.Put(5, row.data(), 2);
+  EXPECT_EQ(delta.size(), 1u);
+
+  Version v = 0;
+  const std::uint8_t* got = delta.Get(5, &v);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(std::memcmp(got, row.data(), row.size()), 0);
+
+  // Overwrite in place: size stays 1 (hot-spot compaction).
+  FillRandomRow(*schema, &rng, row.data());
+  delta.Put(5, row.data(), 3);
+  EXPECT_EQ(delta.size(), 1u);
+  got = delta.Get(5, &v);
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(std::memcmp(got, row.data(), row.size()), 0);
+
+  EXPECT_EQ(delta.Get(6, nullptr), nullptr);
+}
+
+TEST(DeltaTest, ForEachVisitsAll) {
+  auto schema = MakeTinySchema();
+  Delta delta(schema.get());
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  for (EntityId e = 1; e <= 2500; ++e) {  // spans multiple arena chunks
+    delta.Put(e, row.data(), e);
+  }
+  std::uint64_t sum = 0, count = 0;
+  delta.ForEach([&](EntityId e, Version v, const std::uint8_t*) {
+    sum += e;
+    EXPECT_EQ(v, e);
+    count++;
+  });
+  EXPECT_EQ(count, 2500u);
+  EXPECT_EQ(sum, 2500ull * 2501 / 2);
+
+  delta.Clear();
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.Get(1, nullptr), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaMainStore
+// ---------------------------------------------------------------------------
+
+class DeltaMainTest : public ::testing::Test {
+ protected:
+  DeltaMainTest() : schema_(MakeTinySchema()) {
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 8;
+    opts.max_records = 4096;
+    store_ = std::make_unique<DeltaMainStore>(schema_.get(), opts);
+    row_.resize(schema_->record_size());
+    out_.resize(schema_->record_size());
+  }
+
+  void RandomRow() { FillRandomRow(*schema_, &rng_, row_.data()); }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<DeltaMainStore> store_;
+  Random rng_{17};
+  std::vector<std::uint8_t> row_, out_;
+};
+
+TEST_F(DeltaMainTest, GetFromMainAfterBulkInsert) {
+  RandomRow();
+  ASSERT_TRUE(store_->BulkInsert(7, row_.data()).ok());
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v).ok());
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(std::memcmp(out_.data(), row_.data(), row_.size()), 0);
+  EXPECT_TRUE(store_->Exists(7));
+  EXPECT_FALSE(store_->Exists(8));
+  EXPECT_TRUE(store_->Get(8, out_.data(), &v).IsNotFound());
+}
+
+TEST_F(DeltaMainTest, ConditionalWriteDetectsStaleVersion) {
+  RandomRow();
+  ASSERT_TRUE(store_->BulkInsert(7, row_.data()).ok());
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v).ok());
+
+  // First writer wins.
+  RandomRow();
+  ASSERT_TRUE(store_->Put(7, row_.data(), v).ok());
+  // Second writer with the old version loses.
+  EXPECT_TRUE(store_->Put(7, row_.data(), v).IsConflict());
+  // Re-read and retry succeeds (version is now v+1).
+  Version v2 = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v2).ok());
+  EXPECT_EQ(v2, v + 1);
+  EXPECT_TRUE(store_->Put(7, row_.data(), v2).ok());
+}
+
+TEST_F(DeltaMainTest, PutUnknownEntityIsNotFound) {
+  RandomRow();
+  EXPECT_TRUE(store_->Put(99, row_.data(), 0).IsNotFound());
+}
+
+TEST_F(DeltaMainTest, InsertNewEntityThroughDelta) {
+  RandomRow();
+  ASSERT_TRUE(store_->Insert(50, row_.data()).ok());
+  EXPECT_TRUE(store_->Insert(50, row_.data()).IsConflict());
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(50, out_.data(), &v).ok());
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(store_->main_records(), 0u);  // not merged yet
+  EXPECT_EQ(store_->Merge(), 1u);
+  EXPECT_EQ(store_->main_records(), 1u);
+  ASSERT_TRUE(store_->Get(50, out_.data(), &v).ok());
+  EXPECT_EQ(std::memcmp(out_.data(), row_.data(), row_.size()), 0);
+}
+
+TEST_F(DeltaMainTest, DeltaShadowsMainUntilMerge) {
+  RandomRow();
+  ASSERT_TRUE(store_->BulkInsert(7, row_.data()).ok());
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v).ok());
+  RecordView rec(schema_.get(), out_.data());
+  rec.Set(calls, Value::Int32(123));
+  ASSERT_TRUE(store_->Put(7, out_.data(), v).ok());
+
+  // Get sees the delta value; the main still has the old one (snapshot
+  // isolation for scans).
+  EXPECT_EQ(store_->GetAttribute(7, calls)->i32(), 123);
+  const RecordId id = store_->main().Lookup(7);
+  EXPECT_NE(store_->main().GetValue(id, calls).i32(), 123);
+
+  EXPECT_EQ(store_->Merge(), 1u);
+  EXPECT_EQ(store_->main().GetValue(id, calls).i32(), 123);
+  EXPECT_EQ(store_->delta_size(), 0u);
+}
+
+TEST_F(DeltaMainTest, GetDuringMergeReadsFrozenDelta) {
+  RandomRow();
+  ASSERT_TRUE(store_->BulkInsert(7, row_.data()).ok());
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v).ok());
+  RecordView(schema_.get(), out_.data()).Set(calls, Value::Int32(55));
+  ASSERT_TRUE(store_->Put(7, out_.data(), v).ok());
+
+  // Freeze but don't merge: Algorithm 3 must find the record in the frozen
+  // delta.
+  store_->SwitchDeltas();
+  EXPECT_TRUE(store_->merging());
+  EXPECT_EQ(store_->GetAttribute(7, calls)->i32(), 55);
+  EXPECT_EQ(store_->delta_size(), 0u);
+  EXPECT_EQ(store_->frozen_size(), 1u);
+
+  // Puts during the merge go to the new delta.
+  Version v2 = 0;
+  ASSERT_TRUE(store_->Get(7, out_.data(), &v2).ok());
+  RecordView(schema_.get(), out_.data()).Set(calls, Value::Int32(56));
+  ASSERT_TRUE(store_->Put(7, out_.data(), v2).ok());
+  EXPECT_EQ(store_->delta_size(), 1u);
+
+  EXPECT_EQ(store_->MergeStep(), 1u);
+  EXPECT_FALSE(store_->merging());
+  // Newest value still from the (new) delta.
+  EXPECT_EQ(store_->GetAttribute(7, calls)->i32(), 56);
+  EXPECT_EQ(store_->Merge(), 1u);
+  EXPECT_EQ(store_->GetAttribute(7, calls)->i32(), 56);
+}
+
+TEST_F(DeltaMainTest, PropertyRandomOpsAgainstReferenceMap) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  std::unordered_map<EntityId, std::int32_t> ref;
+
+  for (int round = 0; round < 10; ++round) {
+    for (int op = 0; op < 400; ++op) {
+      const EntityId e = rng_.Uniform(200) + 1;
+      const std::int32_t val =
+          static_cast<std::int32_t>(rng_.Uniform(1 << 20));
+      Version v = 0;
+      Status got = store_->Get(e, out_.data(), &v);
+      if (got.IsNotFound()) {
+        std::memset(out_.data(), 0, out_.size());
+        RecordView(schema_.get(), out_.data()).Set(calls, Value::Int32(val));
+        ASSERT_TRUE(store_->Insert(e, out_.data()).ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        RecordView(schema_.get(), out_.data()).Set(calls, Value::Int32(val));
+        ASSERT_TRUE(store_->Put(e, out_.data(), v).ok());
+      }
+      ref[e] = val;
+    }
+    // Interleave merges at random points.
+    store_->Merge();
+    for (const auto& [e, val] : ref) {
+      ASSERT_EQ(store_->GetAttribute(e, calls)->i32(), val);
+    }
+  }
+  EXPECT_EQ(store_->main_records(), ref.size());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent ESP/RTA stress: one writer thread (ESP role) doing read-modify-
+// write cycles with checkpoints, one merger thread (RTA role) doing
+// switch+merge cycles. Invariant: the per-entity counter only grows, and the
+// final state matches the number of increments.
+// ---------------------------------------------------------------------------
+
+TEST_F(DeltaMainTest, ConcurrentEspAndMergeThreads) {
+  constexpr EntityId kEntities = 64;
+  constexpr int kIncrementsPerEntity = 400;
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+
+  // Preload.
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    std::memset(row_.data(), 0, row_.size());
+    ASSERT_TRUE(store_->BulkInsert(e, row_.data()).ok());
+  }
+  store_->set_esp_attached(true);
+
+  std::atomic<bool> esp_done{false};
+  std::thread esp([&] {
+    std::vector<std::uint8_t> buf(schema_->record_size());
+    Random rng(99);
+    std::vector<int> done(kEntities + 1, 0);
+    std::uint64_t remaining = kEntities * kIncrementsPerEntity;
+    while (remaining > 0) {
+      store_->EspCheckpoint();
+      EntityId e = rng.Uniform(kEntities) + 1;
+      if (done[e] >= kIncrementsPerEntity) continue;
+      Version v = 0;
+      ASSERT_TRUE(store_->Get(e, buf.data(), &v).ok());
+      RecordView rec(schema_.get(), buf.data());
+      rec.Set(calls, Value::Int32(rec.Get(calls).i32() + 1));
+      Status put = store_->Put(e, buf.data(), v);
+      // Single-writer: conditional writes must never conflict.
+      ASSERT_TRUE(put.ok()) << put.ToString();
+      done[e]++;
+      remaining--;
+    }
+    store_->set_esp_attached(false);
+    esp_done.store(true, std::memory_order_release);
+  });
+
+  std::thread rta([&] {
+    std::uint64_t merged = 0;
+    while (!esp_done.load(std::memory_order_acquire)) {
+      store_->SwitchDeltas();
+      merged += store_->MergeStep();
+      std::this_thread::yield();
+    }
+    (void)merged;
+  });
+
+  esp.join();
+  rta.join();
+
+  // Final merge folds any leftover delta.
+  store_->Merge();
+  std::uint64_t total = 0;
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    total += static_cast<std::uint64_t>(
+        store_->GetAttribute(e, calls)->i32());
+  }
+  EXPECT_EQ(total, kEntities * kIncrementsPerEntity);
+}
+
+}  // namespace
+}  // namespace aim

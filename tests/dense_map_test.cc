@@ -1,0 +1,136 @@
+#include <thread>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/random.h"
+#include "aim/storage/dense_map.h"
+
+namespace aim {
+namespace {
+
+TEST(DenseMapTest, EmptyFinds) {
+  DenseMap map;
+  EXPECT_EQ(map.Find(1), DenseMap::kNotFound);
+  EXPECT_FALSE(map.Contains(0));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(DenseMapTest, InsertFindOverwrite) {
+  DenseMap map;
+  map.Upsert(10, 100);
+  map.Upsert(11, 101);
+  EXPECT_EQ(map.Find(10), 100u);
+  EXPECT_EQ(map.Find(11), 101u);
+  EXPECT_EQ(map.size(), 2u);
+  map.Upsert(10, 200);  // overwrite, no size change
+  EXPECT_EQ(map.Find(10), 200u);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(DenseMapTest, ZeroKeyWorks) {
+  DenseMap map;
+  map.Upsert(0, 7);
+  EXPECT_EQ(map.Find(0), 7u);
+}
+
+TEST(DenseMapTest, GrowthPreservesEntries) {
+  DenseMap map(64);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    map.Upsert(k * 3 + 1, static_cast<std::uint32_t>(k));
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  EXPECT_GT(map.retired_tables(), 0u);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(map.Find(k * 3 + 1), k);
+  }
+  map.ReclaimRetired();
+  EXPECT_EQ(map.retired_tables(), 0u);
+  EXPECT_EQ(map.Find(4), 1u);
+}
+
+TEST(DenseMapTest, ClearKeepsCapacity) {
+  DenseMap map;
+  for (std::uint64_t k = 1; k <= 100; ++k) map.Upsert(k, 1);
+  const std::size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(50), DenseMap::kNotFound);
+  map.Upsert(50, 2);
+  EXPECT_EQ(map.Find(50), 2u);
+}
+
+TEST(DenseMapTest, ReserveAvoidsGrowth) {
+  DenseMap map;
+  map.Reserve(100000);
+  map.ReclaimRetired();  // drop the initial tiny table
+  const std::size_t cap = map.capacity();
+  for (std::uint64_t k = 0; k < 100000; ++k) map.Upsert(k + 1, 0);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.retired_tables(), 0u);
+}
+
+TEST(DenseMapTest, FuzzAgainstUnorderedMap) {
+  Random rng(77);
+  DenseMap map;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.Uniform(5000);
+    if (rng.OneIn(10)) {
+      // Clear both occasionally.
+      map.Clear();
+      ref.clear();
+      continue;
+    }
+    const std::uint32_t value = static_cast<std::uint32_t>(rng.Uniform(1u << 30));
+    map.Upsert(key, value);
+    ref[key] = value;
+    // Random probe.
+    const std::uint64_t probe = rng.Uniform(5000);
+    auto it = ref.find(probe);
+    if (it == ref.end()) {
+      ASSERT_EQ(map.Find(probe), DenseMap::kNotFound);
+    } else {
+      ASSERT_EQ(map.Find(probe), it->second);
+    }
+  }
+  EXPECT_EQ(map.size(), ref.size());
+}
+
+TEST(DenseMapTest, ConcurrentReadersDuringWrites) {
+  // Readers race with a writer; they may miss fresh keys but must never
+  // crash or return a value that was never stored for that key.
+  DenseMap map;
+  constexpr std::uint64_t kKeys = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> anomalies{0};
+
+  std::thread reader([&] {
+    Random rng(5);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t k = rng.Uniform(kKeys) + 1;
+      const std::uint32_t v = map.Find(k);
+      // Writer stores value = key; anything else (except NotFound) is
+      // corruption.
+      if (v != DenseMap::kNotFound && v != k) {
+        anomalies.fetch_add(1);
+      }
+    }
+  });
+
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    map.Upsert(k, static_cast<std::uint32_t>(k));
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0u);
+  // Reclaim is safe once readers are quiesced.
+  map.ReclaimRetired();
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_EQ(map.Find(k), k);
+  }
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "aim/esp/esp_engine.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+class EspEngineTest : public ::testing::Test {
+ protected:
+  EspEngineTest() : schema_(MakeTinySchema()) {
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 8;
+    opts.max_records = 1024;
+    store_ = std::make_unique<DeltaMainStore>(schema_.get(), opts);
+    sys_.entity_id = schema_->FindAttribute("entity_id");
+    sys_.last_event_ts = schema_->FindAttribute("last_event_ts");
+    sys_.preferred_number = schema_->FindAttribute("preferred_number");
+  }
+
+  EspEngine MakeEngine(EspEngine::Options opts = {}) {
+    return EspEngine(schema_.get(), store_.get(), &rules_, sys_, opts);
+  }
+
+  Event CallEvent(EntityId caller, Timestamp ts, std::uint32_t duration,
+                  float cost = 1.0f, bool long_distance = false) {
+    Event e;
+    e.caller = caller;
+    e.callee = 2;
+    e.timestamp = ts;
+    e.duration = duration;
+    e.cost = cost;
+    if (long_distance) e.flags |= Event::kLongDistance;
+    return e;
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<DeltaMainStore> store_;
+  std::vector<Rule> rules_;
+  SystemAttrs sys_;
+};
+
+TEST_F(EspEngineTest, CreatesMissingEntityAndUpdates) {
+  EspEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(5, 1000, 60), nullptr).ok());
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(5, 2000, 40), nullptr).ok());
+
+  EXPECT_EQ(engine.stats().events_processed, 2u);
+  EXPECT_EQ(engine.stats().entities_created, 1u);
+  EXPECT_EQ(
+      store_->GetAttribute(5, schema_->FindAttribute("calls_today"))->i32(),
+      2);
+  EXPECT_FLOAT_EQ(
+      store_->GetAttribute(5, schema_->FindAttribute("dur_today_sum"))->f32(),
+      100.0f);
+  EXPECT_EQ(store_->GetAttribute(5, sys_.entity_id)->u64(), 5u);
+  EXPECT_EQ(store_->GetAttribute(5, sys_.last_event_ts)->i64(), 2000);
+}
+
+TEST_F(EspEngineTest, MissingEntityRejectedWhenCreateDisabled) {
+  EspEngine::Options opts;
+  opts.create_missing_entities = false;
+  EspEngine engine = MakeEngine(opts);
+  EXPECT_TRUE(
+      engine.ProcessEvent(CallEvent(5, 1000, 60), nullptr).IsNotFound());
+}
+
+TEST_F(EspEngineTest, UpdatesExistingBulkLoadedEntity) {
+  std::vector<std::uint8_t> row(schema_->record_size(), 0);
+  RecordView rec(schema_.get(), row.data());
+  rec.SetAs<std::uint64_t>(sys_.entity_id, 9);
+  ASSERT_TRUE(store_->BulkInsert(9, row.data()).ok());
+
+  EspEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(9, 500, 30), nullptr).ok());
+  EXPECT_EQ(engine.stats().entities_created, 0u);
+  EXPECT_EQ(
+      store_->GetAttribute(9, schema_->FindAttribute("calls_today"))->i32(),
+      1);
+}
+
+TEST_F(EspEngineTest, RulesFireOnUpdatedRecord) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  rules_.push_back(
+      RuleBuilder(0, "threshold").Where(calls, CmpOp::kGe, 3).Build());
+  EspEngine engine = MakeEngine();
+
+  std::vector<std::uint32_t> fired;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(engine.ProcessEvent(CallEvent(1, 100 + i, 10), &fired).ok());
+    EXPECT_TRUE(fired.empty()) << "event " << i;
+  }
+  // Third call today: count reaches 3, rule fires.
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(1, 102, 10), &fired).ok());
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+  EXPECT_EQ(engine.stats().rules_fired, 1u);
+}
+
+TEST_F(EspEngineTest, FiringPolicySuppressesRepeats) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  rules_.push_back(RuleBuilder(0, "capped")
+                       .Where(calls, CmpOp::kGe, 1)
+                       .WithPolicy(FiringPolicy::PerWindow(2, kMillisPerDay))
+                       .Build());
+  EspEngine engine = MakeEngine();
+
+  std::vector<std::uint32_t> fired;
+  int total_fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.ProcessEvent(CallEvent(1, 100 + i, 10), &fired).ok());
+    total_fired += static_cast<int>(fired.size());
+  }
+  EXPECT_EQ(total_fired, 2);
+  EXPECT_EQ(engine.stats().rules_suppressed, 3u);
+}
+
+TEST_F(EspEngineTest, RuleIndexModeAgreesWithStraightEvaluation) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  const std::uint16_t sum = schema_->FindAttribute("dur_today_sum");
+  rules_.push_back(
+      RuleBuilder(0, "a").Where(calls, CmpOp::kGe, 2).Build());
+  rules_.push_back(RuleBuilder(1, "b")
+                       .Where(sum, CmpOp::kGt, 100)
+                       .AndEvent(EventFieldId::kDuration, CmpOp::kGt, 50)
+                       .Build());
+
+  // Two engines over two stores processing identical events.
+  DeltaMainStore::Options opts;
+  opts.bucket_size = 8;
+  opts.max_records = 1024;
+  DeltaMainStore store2(schema_.get(), opts);
+  EspEngine straight = MakeEngine();
+  EspEngine::Options iopts;
+  iopts.use_rule_index = true;
+  EspEngine indexed(schema_.get(), &store2, &rules_, sys_, iopts);
+
+  Random rng(4);
+  std::vector<std::uint32_t> f1, f2;
+  for (int i = 0; i < 200; ++i) {
+    Event e = testing_util::RandomEvent(&rng, rng.Uniform(5) + 1, 1000 + i);
+    ASSERT_TRUE(straight.ProcessEvent(e, &f1).ok());
+    ASSERT_TRUE(indexed.ProcessEvent(e, &f2).ok());
+    std::sort(f1.begin(), f1.end());
+    std::sort(f2.begin(), f2.end());
+    ASSERT_EQ(f1, f2) << "event " << i;
+  }
+}
+
+TEST_F(EspEngineTest, ArchiveRetainsProcessedEvents) {
+  EspEngine::Options opts;
+  opts.keep_event_archive = true;
+  opts.archive_retention_ms = kMillisPerDay;
+  EspEngine engine = MakeEngine(opts);
+  ASSERT_NE(engine.archive(), nullptr);
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(4, 100, 10), nullptr).ok());
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(4, 200, 20), nullptr).ok());
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(5, 300, 30), nullptr).ok());
+  EXPECT_EQ(engine.archive()->TotalEvents(), 3u);
+  EXPECT_EQ(engine.archive()->EventsOf(4), 2u);
+
+  // No archive unless requested.
+  EspEngine plain = MakeEngine();
+  EXPECT_EQ(plain.archive(), nullptr);
+}
+
+TEST_F(EspEngineTest, IndicatorsVisibleAfterMergeToo) {
+  EspEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(3, 100, 25), nullptr).ok());
+  store_->Merge();
+  ASSERT_TRUE(engine.ProcessEvent(CallEvent(3, 200, 25), nullptr).ok());
+  EXPECT_EQ(
+      store_->GetAttribute(3, schema_->FindAttribute("calls_today"))->i32(),
+      2);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "aim/server/esp_tier.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/rules_generator.h"
+
+namespace aim {
+namespace {
+
+/// Deployment option (a): a separate ESP tier driving a storage node via
+/// its Get/Put record service.
+class EspTierTest : public ::testing::Test {
+ protected:
+  EspTierTest() : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {
+    rules_ = MakePaperTable2Rules(*schema_);
+    StorageNode::Options opts;
+    opts.num_partitions = 2;
+    opts.num_esp_threads = 1;
+    opts.bucket_size = 64;
+    opts.max_records_per_partition = 1 << 12;
+    opts.esp_idle_micros = 20;
+    node_ = std::make_unique<StorageNode>(schema_.get(), &dims_.catalog,
+                                          &rules_, opts);
+  }
+
+  void LoadEntities(std::uint64_t n) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= n; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, n, row.data());
+      ASSERT_TRUE(node_->BulkLoad(e, row.data()).ok());
+    }
+  }
+
+  static std::vector<std::uint8_t> Wire(const Event& e) {
+    BinaryWriter w;
+    e.Serialize(&w);
+    return w.TakeBuffer();
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+  std::unique_ptr<StorageNode> node_;
+};
+
+TEST_F(EspTierTest, RecordServiceGetPutRoundTrip) {
+  LoadEntities(20);
+  ASSERT_TRUE(node_->Start().ok());
+
+  // Remote Get.
+  std::atomic<bool> done{false};
+  Status status;
+  std::vector<std::uint8_t> row;
+  Version version = 0;
+  RecordRequest get;
+  get.kind = RecordRequest::Kind::kGet;
+  get.entity = 7;
+  get.reply = [&](Status st, std::vector<std::uint8_t>&& bytes, Version v) {
+    status = std::move(st);
+    row = std::move(bytes);
+    version = v;
+    done.store(true, std::memory_order_release);
+  };
+  ASSERT_TRUE(node_->SubmitRecordRequest(std::move(get)));
+  while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(row.size(), schema_->record_size());
+  EXPECT_EQ(ConstRecordView(schema_.get(), row.data())
+                .Get(schema_->FindAttribute("entity_id"))
+                .u64(),
+            7u);
+
+  // Remote conditional Put with the fetched version succeeds; a stale
+  // retry conflicts.
+  RecordView(schema_.get(), row.data())
+      .Set(schema_->FindAttribute("number_of_calls_today"), Value::Int32(9));
+  for (int round = 0; round < 2; ++round) {
+    done.store(false);
+    RecordRequest put;
+    put.kind = RecordRequest::Kind::kPut;
+    put.entity = 7;
+    put.row = row;
+    put.expected_version = version;
+    put.reply = [&](Status st, std::vector<std::uint8_t>&&, Version) {
+      status = std::move(st);
+      done.store(true, std::memory_order_release);
+    };
+    ASSERT_TRUE(node_->SubmitRecordRequest(std::move(put)));
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    if (round == 0) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    } else {
+      EXPECT_TRUE(status.IsConflict());
+    }
+  }
+  node_->Stop();
+}
+
+TEST_F(EspTierTest, TierProcessesEventsRemotely) {
+  constexpr std::uint64_t kEntities = 50;
+  constexpr int kEvents = 300;
+  LoadEntities(kEntities);
+  ASSERT_TRUE(node_->Start().ok());
+
+  EspTierNode::Options topts;
+  topts.num_threads = 2;
+  EspTierNode tier(schema_.get(), node_.get(), &rules_, topts);
+  ASSERT_TRUE(tier.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  EventCompletion done;
+  for (int i = 0; i < kEvents; ++i) {
+    done.Reset();
+    ASSERT_TRUE(tier.SubmitEvent(Wire(gen.Next(1000 + i)), &done));
+    done.Wait();
+    ASSERT_TRUE(done.status.ok()) << done.status.ToString();
+  }
+
+  const EspTierNode::Stats stats = tier.stats();
+  EXPECT_EQ(stats.events_processed, kEvents);
+  EXPECT_EQ(stats.txn_conflicts, 0u);  // sticky entity->worker mapping
+  // Each event shipped the record twice (Get reply + Put payload).
+  EXPECT_EQ(stats.record_bytes_shipped,
+            2ull * kEvents * schema_->record_size());
+
+  tier.Stop();
+  node_->Stop();
+
+  // The matrix reflects every event: total calls_today == events.
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    const_cast<DeltaMainStore&>(node_->partition(p)).Merge();
+  }
+  const std::uint16_t calls = schema_->FindAttribute("number_of_calls_today");
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    const std::uint32_t p = node_->PartitionOf(e);
+    StatusOr<Value> v = node_->partition(p).GetAttribute(e, calls);
+    if (v.ok()) total += static_cast<std::uint64_t>(v->i32());
+  }
+  EXPECT_EQ(total, kEvents);
+}
+
+TEST_F(EspTierTest, TierMatchesColocatedResults) {
+  // The same stream through option (a) and option (b) must produce the
+  // same matrix. Build a second identical node for the co-located run.
+  constexpr std::uint64_t kEntities = 40;
+  constexpr int kEvents = 200;
+
+  StorageNode::Options opts2;
+  opts2.num_partitions = 2;
+  opts2.num_esp_threads = 1;
+  opts2.bucket_size = 64;
+  opts2.max_records_per_partition = 1 << 12;
+  StorageNode colocated(schema_.get(), &dims_.catalog, &rules_, opts2);
+
+  std::vector<std::uint8_t> row(schema_->record_size(), 0);
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*schema_, dims_, e, kEntities, row.data());
+    ASSERT_TRUE(node_->BulkLoad(e, row.data()).ok());
+    ASSERT_TRUE(colocated.BulkLoad(e, row.data()).ok());
+  }
+  ASSERT_TRUE(node_->Start().ok());
+  ASSERT_TRUE(colocated.Start().ok());
+
+  EspTierNode tier(schema_.get(), node_.get(), &rules_, {});
+  ASSERT_TRUE(tier.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = kEntities;
+  CdrGenerator gen(gopts);
+  EventCompletion d1, d2;
+  for (int i = 0; i < kEvents; ++i) {
+    const Event e = gen.Next(1000 + i * 100);
+    d1.Reset();
+    d2.Reset();
+    ASSERT_TRUE(tier.SubmitEvent(Wire(e), &d1));
+    ASSERT_TRUE(colocated.SubmitEvent(Wire(e), &d2));
+    d1.Wait();
+    d2.Wait();
+    ASSERT_TRUE(d1.status.ok());
+    ASSERT_TRUE(d2.status.ok());
+    // Both layouts fire the same rules for the same event.
+    EXPECT_EQ(d1.fired_rules, d2.fired_rules) << "event " << i;
+  }
+  tier.Stop();
+  node_->Stop();
+  colocated.Stop();
+
+  // Compare a few indicators entity by entity.
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    const_cast<DeltaMainStore&>(node_->partition(p)).Merge();
+    const_cast<DeltaMainStore&>(colocated.partition(p)).Merge();
+  }
+  for (const char* name :
+       {"number_of_calls_today", "duration_this_week_sum",
+        "cost_this_week_max"}) {
+    const std::uint16_t attr = schema_->FindAttribute(name);
+    for (EntityId e = 1; e <= kEntities; ++e) {
+      StatusOr<Value> a =
+          node_->partition(node_->PartitionOf(e)).GetAttribute(e, attr);
+      StatusOr<Value> b = colocated.partition(colocated.PartitionOf(e))
+                              .GetAttribute(e, attr);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) {
+        EXPECT_DOUBLE_EQ(a->AsDouble(), b->AsDouble())
+            << name << " entity " << e;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aim

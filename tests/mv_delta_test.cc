@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "aim/storage/mv_delta.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+class MvDeltaTest : public ::testing::Test {
+ protected:
+  MvDeltaTest() : schema_(MakeTinySchema()), delta_(schema_.get()) {
+    calls_ = schema_->FindAttribute("calls_today");
+    row_.resize(schema_->record_size(), 0);
+  }
+
+  const std::uint8_t* RowWith(std::int32_t calls) {
+    RecordView(schema_.get(), row_.data()).Set(calls_, Value::Int32(calls));
+    return row_.data();
+  }
+
+  std::int32_t CallsOf(const std::uint8_t* row) {
+    return ConstRecordView(schema_.get(), row).Get(calls_).i32();
+  }
+
+  std::unique_ptr<Schema> schema_;
+  MvDelta delta_;
+  std::uint16_t calls_;
+  std::vector<std::uint8_t> row_;
+};
+
+TEST_F(MvDeltaTest, SnapshotSeesOnlyCommittedVersions) {
+  const MvDelta::Snapshot s0 = delta_.LatestSnapshot();
+  ASSERT_TRUE(delta_.Put(7, RowWith(1)).ok());
+  const MvDelta::Snapshot s1 = delta_.LatestSnapshot();
+  ASSERT_TRUE(delta_.Put(7, RowWith(2)).ok());
+  const MvDelta::Snapshot s2 = delta_.LatestSnapshot();
+
+  EXPECT_EQ(delta_.Get(7, s0), nullptr);  // before first commit
+  EXPECT_EQ(CallsOf(delta_.Get(7, s1)), 1);
+  EXPECT_EQ(CallsOf(delta_.Get(7, s2)), 2);
+  EXPECT_EQ(delta_.Get(8, s2), nullptr);
+  EXPECT_EQ(delta_.total_versions(), 2u);
+}
+
+TEST_F(MvDeltaTest, MultiRecordCommitIsAtomic) {
+  // The §7 motivation: update two Entity Records in one transaction.
+  const MvDelta::Snapshot before = delta_.LatestSnapshot();
+  ASSERT_TRUE(delta_.Begin().ok());
+  ASSERT_TRUE(delta_.Write(1, RowWith(10)).ok());
+  ASSERT_TRUE(delta_.Write(2, RowWith(20)).ok());
+  // Nothing visible until commit — even at the "latest" snapshot.
+  EXPECT_EQ(delta_.Get(1, delta_.LatestSnapshot()), nullptr);
+  EXPECT_EQ(delta_.Get(2, delta_.LatestSnapshot()), nullptr);
+
+  StatusOr<MvDelta::Snapshot> committed = delta_.Commit();
+  ASSERT_TRUE(committed.ok());
+  // Old snapshot still sees nothing (repeatable reads).
+  EXPECT_EQ(delta_.Get(1, before), nullptr);
+  // New snapshot sees both writes together.
+  EXPECT_EQ(CallsOf(delta_.Get(1, *committed)), 10);
+  EXPECT_EQ(CallsOf(delta_.Get(2, *committed)), 20);
+}
+
+TEST_F(MvDeltaTest, LastWriteWinsWithinTransaction) {
+  ASSERT_TRUE(delta_.Begin().ok());
+  ASSERT_TRUE(delta_.Write(1, RowWith(5)).ok());
+  ASSERT_TRUE(delta_.Write(1, RowWith(6)).ok());
+  const MvDelta::Snapshot s = *delta_.Commit();
+  EXPECT_EQ(CallsOf(delta_.Get(1, s)), 6);
+  EXPECT_EQ(delta_.total_versions(), 1u);
+}
+
+TEST_F(MvDeltaTest, RollbackDiscards) {
+  ASSERT_TRUE(delta_.Begin().ok());
+  ASSERT_TRUE(delta_.Write(1, RowWith(5)).ok());
+  delta_.Rollback();
+  EXPECT_EQ(delta_.Get(1, delta_.LatestSnapshot()), nullptr);
+  EXPECT_EQ(delta_.total_versions(), 0u);
+  // A new transaction can start after rollback.
+  EXPECT_TRUE(delta_.Begin().ok());
+  delta_.Rollback();
+}
+
+TEST_F(MvDeltaTest, TransactionDisciplineEnforced) {
+  EXPECT_TRUE(delta_.Write(1, RowWith(1)).IsInvalidArgument());
+  EXPECT_FALSE(delta_.Commit().ok());
+  ASSERT_TRUE(delta_.Begin().ok());
+  EXPECT_TRUE(delta_.Begin().IsInvalidArgument());
+  delta_.Rollback();
+}
+
+TEST_F(MvDeltaTest, ForEachNewestVisitsLatestVersions) {
+  ASSERT_TRUE(delta_.Put(1, RowWith(1)).ok());
+  ASSERT_TRUE(delta_.Put(1, RowWith(2)).ok());
+  ASSERT_TRUE(delta_.Put(2, RowWith(9)).ok());
+  std::map<EntityId, std::int32_t> seen;
+  delta_.ForEachNewest([&](EntityId e, MvDelta::Snapshot,
+                           const std::uint8_t* row) {
+    seen[e] = CallsOf(row);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], 2);
+  EXPECT_EQ(seen[2], 9);
+}
+
+TEST_F(MvDeltaTest, TruncateDropsUnreachableVersions) {
+  ASSERT_TRUE(delta_.Put(1, RowWith(1)).ok());  // ts 1
+  ASSERT_TRUE(delta_.Put(1, RowWith(2)).ok());  // ts 2
+  ASSERT_TRUE(delta_.Put(1, RowWith(3)).ok());  // ts 3
+  EXPECT_EQ(delta_.total_versions(), 3u);
+
+  // Oldest active snapshot = 2: version 1 is unreachable, version 2 must
+  // stay (snapshot 2 reads it).
+  EXPECT_EQ(delta_.Truncate(2), 1u);
+  EXPECT_EQ(delta_.total_versions(), 2u);
+  EXPECT_EQ(CallsOf(delta_.Get(1, 2)), 2);
+  EXPECT_EQ(CallsOf(delta_.Get(1, 3)), 3);
+
+  // All snapshots past 3: only the newest survives.
+  EXPECT_EQ(delta_.Truncate(99), 1u);
+  EXPECT_EQ(delta_.total_versions(), 1u);
+  EXPECT_EQ(CallsOf(delta_.Get(1, 99)), 3);
+}
+
+TEST_F(MvDeltaTest, ClearResets) {
+  ASSERT_TRUE(delta_.Put(1, RowWith(1)).ok());
+  delta_.Clear();
+  EXPECT_EQ(delta_.num_entities(), 0u);
+  EXPECT_EQ(delta_.total_versions(), 0u);
+  EXPECT_EQ(delta_.Get(1, delta_.LatestSnapshot()), nullptr);
+}
+
+TEST_F(MvDeltaTest, PropertySnapshotReadsAreRepeatable) {
+  // Random committed history; every historical snapshot keeps returning
+  // exactly what it saw when it was current.
+  Random rng(13);
+  std::map<std::pair<EntityId, MvDelta::Snapshot>, std::int32_t> oracle;
+  std::map<EntityId, std::int32_t> current;
+  for (int txn = 0; txn < 60; ++txn) {
+    ASSERT_TRUE(delta_.Begin().ok());
+    const int writes = 1 + static_cast<int>(rng.Uniform(3));
+    for (int w = 0; w < writes; ++w) {
+      const EntityId e = rng.Uniform(6) + 1;
+      const std::int32_t v = static_cast<std::int32_t>(rng.Uniform(1000));
+      ASSERT_TRUE(delta_.Write(e, RowWith(v)).ok());
+      current[e] = v;
+    }
+    const MvDelta::Snapshot s = *delta_.Commit();
+    for (const auto& [e, v] : current) oracle[{e, s}] = v;
+  }
+  // Verify every (entity, snapshot) pair recorded along the way.
+  for (const auto& [key, want] : oracle) {
+    const std::uint8_t* row = delta_.Get(key.first, key.second);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(CallsOf(row), want);
+  }
+}
+
+}  // namespace
+}  // namespace aim

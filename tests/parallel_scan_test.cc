@@ -1,0 +1,152 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "aim/rta/parallel_scan.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+class ParallelScanTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kRecords = 2000;
+
+  ParallelScanTest() : schema_(MakeTinySchema()) {
+    map_ = std::make_unique<ColumnMap>(schema_.get(), /*bucket_size=*/64,
+                                       kRecords);
+    Random rng(55);
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    const std::uint16_t calls = schema_->FindAttribute("calls_today");
+    const std::uint16_t dur = schema_->FindAttribute("dur_today_sum");
+    const std::uint16_t entity = schema_->FindAttribute("entity_id");
+    for (EntityId e = 1; e <= kRecords; ++e) {
+      RecordView rec(schema_.get(), row.data());
+      rec.Set(entity, Value::UInt64(e));
+      rec.Set(calls, Value::Int32(static_cast<std::int32_t>(rng.Uniform(20))));
+      rec.Set(dur, Value::Float(static_cast<float>(rng.Uniform(5000))));
+      AIM_CHECK(map_->Insert(e, row.data(), 1).ok());
+    }
+  }
+
+  std::vector<Query> MakeBatch() {
+    std::vector<Query> batch;
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kSum, "dur_today_sum")
+                         .SelectCount()
+                         .Where("calls_today", CmpOp::kGt, Value::Int32(5))
+                         .Build());
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .SelectCount()
+                         .GroupByAttr("calls_today")
+                         .Build());
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .TopK("dur_today_sum", false, 3)
+                         .WithEntityAttr("entity_id")
+                         .Build());
+    return batch;
+  }
+
+  std::vector<PartialResult> SingleThreadReference(
+      const std::vector<Query>& batch) {
+    std::vector<PartialResult> out;
+    ScanScratch scratch;
+    for (const Query& q : batch) {
+      CompiledQuery cq = *CompiledQuery::Compile(q, schema_.get(), nullptr);
+      for (std::uint32_t b = 0; b < map_->num_buckets(); ++b) {
+        cq.ProcessBucket(*map_, map_->bucket(b), &scratch);
+      }
+      out.push_back(cq.TakePartial());
+    }
+    return out;
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<ColumnMap> map_;
+};
+
+TEST_F(ParallelScanTest, MatchesSingleThreadedResults) {
+  const std::vector<Query> batch = MakeBatch();
+  const std::vector<PartialResult> want = SingleThreadReference(batch);
+
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    ParallelSharedScan::Options opts;
+    opts.num_threads = threads;
+    opts.chunk_buckets = 3;
+    StatusOr<std::vector<PartialResult>> got = ParallelSharedScan::Execute(
+        *map_, schema_.get(), nullptr, batch, opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), batch.size());
+    for (std::size_t q = 0; q < batch.size(); ++q) {
+      QueryResult rw = FinalizeResult(batch[q], nullptr,
+                                      PartialResult((*got)[q]));
+      QueryResult rr =
+          FinalizeResult(batch[q], nullptr, PartialResult(want[q]));
+      ASSERT_EQ(rw.rows.size(), rr.rows.size()) << "threads " << threads;
+      for (std::size_t r = 0; r < rr.rows.size(); ++r) {
+        EXPECT_EQ(rw.rows[r].group_key, rr.rows[r].group_key);
+        for (std::size_t v = 0; v < rr.rows[r].values.size(); ++v) {
+          EXPECT_NEAR(rw.rows[r].values[v], rr.rows[r].values[v],
+                      1e-3 * (1 + std::abs(rr.rows[r].values[v])));
+        }
+      }
+      ASSERT_EQ(rw.topk.size(), rr.topk.size());
+      for (std::size_t t = 0; t < rr.topk.size(); ++t) {
+        ASSERT_EQ(rw.topk[t].size(), rr.topk[t].size());
+        for (std::size_t k = 0; k < rr.topk[t].size(); ++k) {
+          EXPECT_DOUBLE_EQ(rw.topk[t][k].value, rr.topk[t][k].value);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelScanTest, EveryChunkProcessedExactlyOnce) {
+  const std::vector<Query> batch = {*QueryBuilder(schema_.get())
+                                         .SelectCount()
+                                         .Build()};
+  ParallelSharedScan::Options opts;
+  opts.num_threads = 3;
+  opts.chunk_buckets = 2;
+  std::vector<std::uint32_t> chunks;
+  StatusOr<std::vector<PartialResult>> got = ParallelSharedScan::Execute(
+      *map_, schema_.get(), nullptr, batch, opts, &chunks);
+  ASSERT_TRUE(got.ok());
+
+  // COUNT(*) over all chunks must equal the record count (each chunk
+  // visited exactly once).
+  QueryResult r = FinalizeResult(batch[0], nullptr,
+                                 std::move((*got)[0]));
+  EXPECT_DOUBLE_EQ(r.rows[0].values[0], kRecords);
+
+  const std::uint32_t expected_chunks =
+      (map_->num_buckets() + opts.chunk_buckets - 1) / opts.chunk_buckets;
+  EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0u),
+            expected_chunks);
+}
+
+TEST_F(ParallelScanTest, RejectsBadOptions) {
+  const std::vector<Query> batch = {*QueryBuilder(schema_.get())
+                                         .SelectCount()
+                                         .Build()};
+  ParallelSharedScan::Options opts;
+  opts.num_threads = 0;
+  EXPECT_FALSE(ParallelSharedScan::Execute(*map_, schema_.get(), nullptr,
+                                           batch, opts)
+                   .ok());
+}
+
+TEST_F(ParallelScanTest, CompileErrorPropagates) {
+  Query bad;
+  bad.select.push_back(SelectItem::Agg(AggOp::kSum, 9999));
+  ParallelSharedScan::Options opts;
+  opts.num_threads = 2;
+  EXPECT_FALSE(ParallelSharedScan::Execute(*map_, schema_.get(), nullptr,
+                                           {bad}, opts)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aim

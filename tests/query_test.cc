@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "aim/rta/query.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+TEST(QueryBuilderTest, SimpleAggregate) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> q = QueryBuilder(schema.get())
+                          .WithId(9)
+                          .Select(AggOp::kAvg, "dur_today_sum")
+                          .Where("calls_today", CmpOp::kGt, Value::Int32(2))
+                          .Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->id, 9u);
+  EXPECT_EQ(q->kind, Query::Kind::kAggregate);
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].op, AggOp::kAvg);
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].op, CmpOp::kGt);
+  EXPECT_FALSE(q->ToString(schema.get()).empty());
+}
+
+TEST(QueryBuilderTest, UnknownAttributeFails) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> q = QueryBuilder(schema.get())
+                          .Select(AggOp::kSum, "no_such_attr")
+                          .Build();
+  EXPECT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(QueryBuilderTest, EmptySelectFails) {
+  auto schema = MakeTinySchema();
+  EXPECT_FALSE(QueryBuilder(schema.get()).Build().ok());
+}
+
+TEST(QueryBuilderTest, TopKNeedsEntityAttr) {
+  auto schema = MakeTinySchema();
+  EXPECT_FALSE(QueryBuilder(schema.get())
+                   .TopK("dur_today_max", false)
+                   .Build()
+                   .ok());
+  EXPECT_TRUE(QueryBuilder(schema.get())
+                  .TopK("dur_today_max", false)
+                  .WithEntityAttr("entity_id")
+                  .Build()
+                  .ok());
+}
+
+TEST(QueryBuilderTest, GroupByAndLimit) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> q = QueryBuilder(schema.get())
+                          .SelectSumRatio("cost_week_sum", "dur_today_sum")
+                          .GroupByAttr("calls_today")
+                          .Limit(100)
+                          .Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, Query::Kind::kGroupBy);
+  EXPECT_EQ(q->group_by.kind, GroupBy::Kind::kMatrixAttr);
+  EXPECT_EQ(q->limit, 100u);
+  EXPECT_TRUE(q->select[0].is_sum_ratio);
+}
+
+TEST(QuerySerializationTest, RoundTripAllFields) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> built =
+      QueryBuilder(schema.get())
+          .WithId(1234)
+          .Select(AggOp::kSum, "dur_today_sum")
+          .SelectCount()
+          .SelectSumRatio("cost_week_sum", "dur_today_sum")
+          .Where("calls_today", CmpOp::kGe, Value::Int32(3))
+          .Where("dur_today_avg", CmpOp::kLt, Value::Float(10.5f))
+          .WhereDim("zip", 0, 1, CmpOp::kEq, 77)
+          .WhereDimLabel("zip", 0, 2, "city_3")
+          .GroupByDim("zip", 0, 1)
+          .Limit(10)
+          .Build();
+  ASSERT_TRUE(built.ok());
+
+  BinaryWriter w;
+  built->Serialize(&w);
+  BinaryReader r(w.buffer());
+  StatusOr<Query> parsed = Query::Deserialize(&r);
+  ASSERT_TRUE(parsed.ok());
+
+  EXPECT_EQ(parsed->id, built->id);
+  EXPECT_EQ(parsed->kind, built->kind);
+  ASSERT_EQ(parsed->select.size(), built->select.size());
+  for (std::size_t i = 0; i < built->select.size(); ++i) {
+    EXPECT_EQ(parsed->select[i].op, built->select[i].op);
+    EXPECT_EQ(parsed->select[i].attr, built->select[i].attr);
+    EXPECT_EQ(parsed->select[i].is_sum_ratio, built->select[i].is_sum_ratio);
+    EXPECT_EQ(parsed->select[i].den_attr, built->select[i].den_attr);
+  }
+  ASSERT_EQ(parsed->where.size(), built->where.size());
+  for (std::size_t i = 0; i < built->where.size(); ++i) {
+    EXPECT_EQ(parsed->where[i].attr, built->where[i].attr);
+    EXPECT_EQ(parsed->where[i].op, built->where[i].op);
+    EXPECT_EQ(parsed->where[i].constant, built->where[i].constant);
+  }
+  ASSERT_EQ(parsed->dim_where.size(), 2u);
+  EXPECT_EQ(parsed->dim_where[0].constant, 77u);
+  EXPECT_EQ(parsed->dim_where[1].str_constant, "city_3");
+  EXPECT_EQ(parsed->group_by.kind, GroupBy::Kind::kDimColumn);
+  EXPECT_EQ(parsed->limit, 10u);
+}
+
+TEST(QuerySerializationTest, RoundTripTopK) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> built = QueryBuilder(schema.get())
+                              .WithId(5)
+                              .TopK("dur_today_max", false, 3)
+                              .TopKRatio("cost_week_sum", "dur_today_sum",
+                                         true, 3)
+                              .WithEntityAttr("entity_id")
+                              .Build();
+  ASSERT_TRUE(built.ok());
+  BinaryWriter w;
+  built->Serialize(&w);
+  BinaryReader r(w.buffer());
+  StatusOr<Query> parsed = Query::Deserialize(&r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, Query::Kind::kTopK);
+  ASSERT_EQ(parsed->topk.size(), 2u);
+  EXPECT_FALSE(parsed->topk[0].ascending);
+  EXPECT_TRUE(parsed->topk[1].ascending);
+  EXPECT_EQ(parsed->topk[1].den_attr, built->topk[1].den_attr);
+  EXPECT_EQ(parsed->k, 3u);
+  EXPECT_EQ(parsed->entity_attr, built->entity_attr);
+}
+
+TEST(QuerySerializationTest, TruncatedFails) {
+  auto schema = MakeTinySchema();
+  StatusOr<Query> built = QueryBuilder(schema.get())
+                              .Select(AggOp::kSum, "dur_today_sum")
+                              .Build();
+  ASSERT_TRUE(built.ok());
+  BinaryWriter w;
+  built->Serialize(&w);
+  for (std::size_t cut : {std::size_t{0}, w.size() / 2, w.size() - 1}) {
+    BinaryReader r(w.buffer().data(), cut);
+    StatusOr<Query> parsed = Query::Deserialize(&r);
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "aim/esp/rule_eval.h"
+#include "aim/esp/rule_index.h"
+#include "aim/workload/rules_generator.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+using testing_util::RandomEvent;
+
+std::set<std::uint32_t> AsSet(const std::vector<std::uint32_t>& v) {
+  return std::set<std::uint32_t>(v.begin(), v.end());
+}
+
+TEST(RuleIndexTest, SimpleRuleMatches) {
+  auto schema = MakeTinySchema();
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  std::vector<Rule> rules;
+  rules.push_back(RuleBuilder(0, "gt").Where(calls, CmpOp::kGt, 5).Build());
+  rules.push_back(RuleBuilder(1, "lt").Where(calls, CmpOp::kLt, 3).Build());
+
+  RuleIndex index(&rules);
+  RuleIndex::Scratch scratch;
+  RecordBuffer buf(schema.get());
+  Event e;
+  std::vector<std::uint32_t> matched;
+
+  buf.view().Set(calls, Value::Int32(10));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{0}));
+
+  buf.view().Set(calls, Value::Int32(1));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{1}));
+
+  buf.view().Set(calls, Value::Int32(4));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_TRUE(matched.empty());
+}
+
+TEST(RuleIndexTest, EqualityAndNotEqual) {
+  auto schema = MakeTinySchema();
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  std::vector<Rule> rules;
+  rules.push_back(RuleBuilder(0, "eq").Where(calls, CmpOp::kEq, 7).Build());
+  // Rule with only != predicates exercises the unindexed-conjunct path.
+  rules.push_back(RuleBuilder(1, "ne").Where(calls, CmpOp::kNe, 7).Build());
+  // Mixed: indexed predicate plus a != residual.
+  rules.push_back(RuleBuilder(2, "mixed")
+                      .Where(calls, CmpOp::kGt, 0)
+                      .And(calls, CmpOp::kNe, 9)
+                      .Build());
+
+  RuleIndex index(&rules);
+  RuleIndex::Scratch scratch;
+  RecordBuffer buf(schema.get());
+  Event e;
+  std::vector<std::uint32_t> matched;
+
+  buf.view().Set(calls, Value::Int32(7));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{0, 2}));
+
+  buf.view().Set(calls, Value::Int32(9));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{1}));
+
+  buf.view().Set(calls, Value::Int32(3));
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{1, 2}));
+}
+
+TEST(RuleIndexTest, SharedPredicatesAcrossRules) {
+  auto schema = MakeTinySchema();
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  const std::uint16_t sum = schema->FindAttribute("dur_today_sum");
+  // Identical atomic predicate (calls > 5) in three different rules must be
+  // deduplicated but still bump every owner conjunct.
+  std::vector<Rule> rules;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    rules.push_back(RuleBuilder(i, "r" + std::to_string(i))
+                        .Where(calls, CmpOp::kGt, 5)
+                        .And(sum, CmpOp::kGt, static_cast<double>(i * 100))
+                        .Build());
+  }
+  RuleIndex index(&rules);
+  RuleIndex::Scratch scratch;
+  RecordBuffer buf(schema.get());
+  buf.view().Set(calls, Value::Int32(6));
+  buf.view().Set(sum, Value::Float(150.0f));
+  Event e;
+  std::vector<std::uint32_t> matched;
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_EQ(AsSet(matched), (std::set<std::uint32_t>{0, 1}));
+}
+
+class RuleIndexEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleIndexEquivalenceTest, IndexAgreesWithAlgorithm2) {
+  auto schema = MakeTinySchema();
+  Random rng(500 + GetParam());
+
+  RulesGeneratorOptions opts;
+  opts.num_rules = 60;
+  opts.seed = 900 + GetParam();
+  opts.max_conjuncts = 4;
+  opts.max_predicates = 4;
+  std::vector<Rule> rules = MakeBenchmarkRules(*schema, opts);
+
+  // Add hand-built edge-case rules: != only, == thresholds.
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  rules.push_back(RuleBuilder(1000, "ne_only")
+                      .Where(calls, CmpOp::kNe, 3)
+                      .Build());
+  rules.push_back(
+      RuleBuilder(1001, "eq").Where(calls, CmpOp::kEq, 2).Build());
+
+  RuleEvaluator eval(&rules);
+  RuleIndex index(&rules);
+  RuleIndex::Scratch scratch;
+
+  RecordBuffer buf(schema.get());
+  std::vector<std::uint32_t> matched_eval, matched_index;
+  for (int i = 0; i < 300; ++i) {
+    // Random record state + random event.
+    buf.view().Set(calls, Value::Int32(static_cast<std::int32_t>(
+                              rng.Uniform(40))));
+    buf.view().Set(schema->FindAttribute("dur_today_sum"),
+                   Value::Float(static_cast<float>(rng.Uniform(12000))));
+    buf.view().Set(schema->FindAttribute("dur_today_avg"),
+                   Value::Float(static_cast<float>(rng.Uniform(3000))));
+    buf.view().Set(schema->FindAttribute("cost_week_sum"),
+                   Value::Float(static_cast<float>(rng.Uniform(12000))));
+    Event e = RandomEvent(&rng, 1, 1000 + i);
+
+    eval.Evaluate(e, buf.const_view(), &matched_eval);
+    index.Evaluate(e, buf.const_view(), &scratch, &matched_index);
+    ASSERT_EQ(AsSet(matched_eval), AsSet(matched_index)) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleIndexEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST(RuleIndexTest, EmptyRuleSet) {
+  std::vector<Rule> rules;
+  RuleIndex index(&rules);
+  RuleIndex::Scratch scratch;
+  auto schema = MakeTinySchema();
+  RecordBuffer buf(schema.get());
+  Event e;
+  std::vector<std::uint32_t> matched;
+  index.Evaluate(e, buf.const_view(), &scratch, &matched);
+  EXPECT_TRUE(matched.empty());
+  EXPECT_EQ(index.num_conjuncts(), 0u);
+}
+
+}  // namespace
+}  // namespace aim

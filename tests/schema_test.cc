@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "aim/schema/record.h"
+#include "aim/schema/schema.h"
+#include "aim/schema/value.h"
+#include "aim/schema/window.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+TEST(ValueTest, TypeSizes) {
+  EXPECT_EQ(ValueTypeSize(ValueType::kInt32), 4u);
+  EXPECT_EQ(ValueTypeSize(ValueType::kUInt32), 4u);
+  EXPECT_EQ(ValueTypeSize(ValueType::kFloat), 4u);
+  EXPECT_EQ(ValueTypeSize(ValueType::kInt64), 8u);
+  EXPECT_EQ(ValueTypeSize(ValueType::kUInt64), 8u);
+  EXPECT_EQ(ValueTypeSize(ValueType::kDouble), 8u);
+}
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Int32(-5).i32(), -5);
+  EXPECT_EQ(Value::UInt32(5).u32(), 5u);
+  EXPECT_EQ(Value::Int64(-7).i64(), -7);
+  EXPECT_EQ(Value::UInt64(7).u64(), 7u);
+  EXPECT_EQ(Value::Float(1.5f).f32(), 1.5f);
+  EXPECT_EQ(Value::Double(2.5).f64(), 2.5);
+}
+
+TEST(ValueTest, Widening) {
+  EXPECT_DOUBLE_EQ(Value::Int32(-3).AsDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(Value::Float(1.5f).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Double(9.9).AsInt64(), 9);
+  EXPECT_EQ(Value::UInt32(12).AsInt64(), 12);
+}
+
+TEST(ValueTest, LoadStoreRoundTrip) {
+  std::uint8_t buf[8];
+  Value::Float(3.25f).Store(buf);
+  EXPECT_EQ(Value::Load(ValueType::kFloat, buf).f32(), 3.25f);
+  Value::Int64(-99).Store(buf);
+  EXPECT_EQ(Value::Load(ValueType::kInt64, buf).i64(), -99);
+}
+
+TEST(ValueTest, EqualitySameTypeOnly) {
+  EXPECT_EQ(Value::Int32(1), Value::Int32(1));
+  EXPECT_FALSE(Value::Int32(1) == Value::Int64(1));
+}
+
+TEST(WindowTest, AlignDown) {
+  EXPECT_EQ(WindowSpec::AlignDown(0, 10), 0);
+  EXPECT_EQ(WindowSpec::AlignDown(9, 10), 0);
+  EXPECT_EQ(WindowSpec::AlignDown(10, 10), 10);
+  EXPECT_EQ(WindowSpec::AlignDown(25, 10), 20);
+  EXPECT_EQ(WindowSpec::AlignDown(-1, 10), -10);  // rounds toward -inf
+  EXPECT_EQ(WindowSpec::AlignDown(-10, 10), -10);
+}
+
+TEST(WindowTest, Factories) {
+  EXPECT_EQ(WindowSpec::Today().kind, WindowKind::kTumbling);
+  EXPECT_EQ(WindowSpec::Today().length_ms, kMillisPerDay);
+  const WindowSpec sliding = WindowSpec::Last24Hours();
+  EXPECT_EQ(sliding.kind, WindowKind::kSliding);
+  EXPECT_EQ(sliding.num_slots, 24);
+  EXPECT_EQ(sliding.SlotLengthMs(), kMillisPerHour);
+  EXPECT_EQ(WindowSpec::LastNEvents(10).kind, WindowKind::kEventBased);
+  EXPECT_FALSE(WindowSpec::Today().ToString().empty());
+}
+
+TEST(SchemaTest, BuildAndFinalize) {
+  Schema schema;
+  const std::uint16_t id_attr =
+      schema.AddRawAttribute("entity_id", ValueType::kUInt64);
+  const std::uint16_t zip = schema.AddRawAttribute("zip", ValueType::kUInt32);
+  const std::uint16_t g0 =
+      schema.AddCountGroup("calls_today", CallFilter::kAny,
+                           WindowSpec::Today());
+  const std::uint16_t g1 = schema.AddMetricGroup(
+      "dur_today", CallFilter::kAny, EventMetric::kDuration,
+      WindowSpec::Today(), Schema::kAllMetricAggs);
+  ASSERT_TRUE(schema.Finalize().ok());
+
+  EXPECT_TRUE(schema.finalized());
+  EXPECT_EQ(schema.num_groups(), 2);
+  EXPECT_EQ(schema.num_indicators(), 5u);  // count + sum/min/max/avg
+  EXPECT_EQ(schema.FindAttribute("entity_id"), id_attr);
+  EXPECT_EQ(schema.FindAttribute("zip"), zip);
+  EXPECT_EQ(schema.FindAttribute("nope"), kInvalidAttr);
+  EXPECT_NE(schema.FindAttribute("dur_today_sum"), kInvalidAttr);
+  EXPECT_NE(schema.FindAttribute("dur_today_avg"), kInvalidAttr);
+
+  // Count group wiring.
+  const AttributeGroupSpec& count_group = schema.group(g0);
+  EXPECT_FALSE(count_group.has_metric);
+  EXPECT_NE(count_group.count_attr, kInvalidAttr);
+  EXPECT_EQ(schema.attribute(count_group.count_attr).type, ValueType::kInt32);
+
+  // Metric group wiring.
+  const AttributeGroupSpec& metric_group = schema.group(g1);
+  EXPECT_TRUE(metric_group.has_metric);
+  EXPECT_NE(metric_group.sum_attr, kInvalidAttr);
+  EXPECT_EQ(schema.attribute(metric_group.sum_attr).agg, AggFn::kSum);
+  EXPECT_EQ(schema.attribute(metric_group.sum_attr).kind,
+            AttrKind::kIndicator);
+}
+
+TEST(SchemaTest, LayoutIsAlignedAndNonOverlapping) {
+  auto schema = testing_util::MakeTinySchema();
+  // 8-byte attributes first, aligned; then 4-byte; state area 8-aligned.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  for (std::uint16_t i = 0; i < schema->num_attributes(); ++i) {
+    const Attribute& a = schema->attribute(i);
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(ValueTypeSize(a.type));
+    EXPECT_EQ(a.row_offset % w, 0u) << a.name;
+    ranges.push_back({a.row_offset, a.row_offset + w});
+  }
+  EXPECT_EQ(schema->state_area_offset() % 8, 0u);
+  for (const AttributeGroupSpec& g : schema->groups()) {
+    EXPECT_EQ(g.state_offset % 8, 0u);
+    EXPECT_GE(g.state_offset, schema->state_area_offset());
+    ranges.push_back({g.state_offset, g.state_offset + g.state_size});
+  }
+  // No overlaps.
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+  }
+  EXPECT_LE(ranges.back().second, schema->record_size());
+}
+
+TEST(SchemaTest, StateSizes) {
+  AttributeGroupSpec tumbling;
+  tumbling.window = WindowSpec::Today();
+  tumbling.has_metric = true;
+  EXPECT_EQ(GroupStateSize(tumbling), sizeof(TumblingState));
+
+  AttributeGroupSpec sliding;
+  sliding.window = WindowSpec::Sliding(kMillisPerDay, 6);
+  sliding.has_metric = true;
+  EXPECT_EQ(GroupStateSize(sliding),
+            sizeof(SlidingHeader) + 6 * sizeof(SlidingSlot));
+
+  AttributeGroupSpec ring;
+  ring.window = WindowSpec::LastNEvents(10);
+  ring.has_metric = true;
+  EXPECT_EQ(GroupStateSize(ring), sizeof(EventRingHeader) + 10 * 4);
+  ring.has_metric = false;
+  EXPECT_EQ(GroupStateSize(ring), sizeof(EventRingHeader));
+}
+
+TEST(SchemaTest, AliasResolution) {
+  Schema schema;
+  const std::uint16_t a = schema.AddRawAttribute("x", ValueType::kInt32);
+  EXPECT_TRUE(schema.AddAlias("alias_x", a).ok());
+  EXPECT_FALSE(schema.AddAlias("x", a).ok());       // name taken
+  EXPECT_FALSE(schema.AddAlias("bad", 999).ok());   // out of range
+  ASSERT_TRUE(schema.Finalize().ok());
+  EXPECT_EQ(schema.FindAttribute("alias_x"), a);
+}
+
+TEST(SchemaTest, FinalizeTwiceFails) {
+  Schema schema;
+  schema.AddRawAttribute("x", ValueType::kInt32);
+  ASSERT_TRUE(schema.Finalize().ok());
+  EXPECT_FALSE(schema.Finalize().ok());
+}
+
+TEST(SchemaTest, FinalizeEmptyFails) {
+  Schema schema;
+  EXPECT_FALSE(schema.Finalize().ok());
+}
+
+TEST(SchemaTest, FinalizeRejectsBadWindows) {
+  {
+    Schema schema;
+    schema.AddCountGroup("bad", CallFilter::kAny, WindowSpec::Tumbling(0));
+    EXPECT_FALSE(schema.Finalize().ok());
+  }
+  {
+    Schema schema;
+    WindowSpec w = WindowSpec::Sliding(kMillisPerDay, 6);
+    w.num_slots = 0;
+    schema.AddCountGroup("bad", CallFilter::kAny, w);
+    EXPECT_FALSE(schema.Finalize().ok());
+  }
+}
+
+TEST(RecordTest, ViewGetSet) {
+  auto schema = testing_util::MakeTinySchema();
+  RecordBuffer buf(schema.get());
+  RecordView rec = buf.view();
+  const std::uint16_t id_attr = schema->FindAttribute("entity_id");
+  rec.Set(id_attr, Value::UInt64(42));
+  EXPECT_EQ(rec.Get(id_attr).u64(), 42u);
+  EXPECT_EQ(rec.GetAs<std::uint64_t>(id_attr), 42u);
+  rec.SetAs<std::uint64_t>(id_attr, 43);
+  EXPECT_EQ(buf.const_view().GetAs<std::uint64_t>(id_attr), 43u);
+}
+
+TEST(RecordTest, FreshRecordReadsZero) {
+  auto schema = testing_util::MakeTinySchema();
+  RecordBuffer buf(schema.get());
+  for (std::uint16_t i = 0; i < schema->num_attributes(); ++i) {
+    EXPECT_DOUBLE_EQ(buf.const_view().Get(i).AsDouble(), 0.0);
+  }
+}
+
+TEST(RecordTest, GroupStatePointers) {
+  auto schema = testing_util::MakeTinySchema();
+  RecordBuffer buf(schema.get());
+  RecordView rec = buf.view();
+  for (std::uint16_t g = 0; g < schema->num_groups(); ++g) {
+    EXPECT_EQ(rec.GroupState(g),
+              buf.data() + schema->group(g).state_offset);
+  }
+}
+
+}  // namespace
+}  // namespace aim

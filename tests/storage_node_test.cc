@@ -1,0 +1,200 @@
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "aim/server/storage_node.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+class StorageNodeTest : public ::testing::Test {
+ protected:
+  StorageNodeTest()
+      : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {}
+
+  StorageNode::Options NodeOptions(std::uint32_t partitions,
+                                   std::uint32_t esp_threads) {
+    StorageNode::Options opts;
+    opts.node_id = 0;
+    opts.num_partitions = partitions;
+    opts.num_esp_threads = esp_threads;
+    opts.bucket_size = 64;
+    opts.max_records_per_partition = 1 << 14;
+    opts.scan_poll_micros = 200;
+    return opts;
+  }
+
+  void LoadEntities(StorageNode* node, std::uint64_t n) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= n; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, n, row.data());
+      ASSERT_TRUE(node->BulkLoad(e, row.data()).ok());
+    }
+  }
+
+  static std::vector<std::uint8_t> Wire(const Event& e) {
+    BinaryWriter w;
+    e.Serialize(&w);
+    return w.TakeBuffer();
+  }
+
+  QueryResult RunQuery(StorageNode* node, const Query& q) {
+    BinaryWriter w;
+    q.Serialize(&w);
+    MpscQueue<std::vector<std::uint8_t>> replies;
+    EXPECT_TRUE(node->SubmitQuery(
+        w.TakeBuffer(),
+        [&replies](std::vector<std::uint8_t>&& b) { replies.Push(std::move(b)); }));
+    std::optional<std::vector<std::uint8_t>> bytes = replies.Pop();
+    QueryResult result;
+    if (!bytes.has_value() || bytes->empty()) {
+      result.status = Status::Shutdown();
+      return result;
+    }
+    BinaryReader r(*bytes);
+    StatusOr<PartialResult> partial = PartialResult::Deserialize(&r);
+    EXPECT_TRUE(partial.ok());
+    return FinalizeResult(q, &dims_.catalog, std::move(partial).value());
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+};
+
+TEST_F(StorageNodeTest, StartStopIsClean) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(2, 1));
+  ASSERT_TRUE(node.Start().ok());
+  EXPECT_TRUE(node.running());
+  EXPECT_FALSE(node.Start().ok());  // double start rejected
+  node.Stop();
+  EXPECT_FALSE(node.running());
+}
+
+TEST_F(StorageNodeTest, EventsProcessedWithCompletion) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(2, 1));
+  LoadEntities(&node, 50);
+  ASSERT_TRUE(node.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 50;
+  CdrGenerator gen(gopts);
+  constexpr int kEvents = 500;
+  for (int i = 0; i < kEvents; ++i) {
+    EventCompletion done;
+    ASSERT_TRUE(node.SubmitEvent(Wire(gen.Next(1000 + i)), &done));
+    done.Wait();
+    ASSERT_TRUE(done.status.ok()) << done.status.ToString();
+  }
+  node.Stop();
+  EXPECT_EQ(node.stats().events_processed, kEvents);
+  EXPECT_EQ(node.stats().txn_conflicts, 0u);
+}
+
+TEST_F(StorageNodeTest, QueriesSeeAllEventsAfterFreshnessWindow) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(3, 1));
+  LoadEntities(&node, 100);
+  ASSERT_TRUE(node.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 100;
+  CdrGenerator gen(gopts);
+  constexpr int kEvents = 1000;
+  EventCompletion last;
+  for (int i = 0; i < kEvents; ++i) {
+    EventCompletion* done = (i == kEvents - 1) ? &last : nullptr;
+    ASSERT_TRUE(node.SubmitEvent(Wire(gen.Next(1000 + i)), done));
+  }
+  last.Wait();
+
+  // One scan/merge cycle bounds freshness; poll until visible (t_fresh).
+  Query q = *QueryBuilder(schema_.get())
+                 .Select(AggOp::kSum, "number_of_calls_today")
+                 .Build();
+  double seen = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const QueryResult r = RunQuery(&node, q);
+    ASSERT_TRUE(r.status.ok());
+    seen = r.rows[0].values[0];
+    if (seen == kEvents) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_DOUBLE_EQ(seen, kEvents);
+  node.Stop();
+  EXPECT_GT(node.stats().scan_cycles, 0u);
+  EXPECT_GT(node.stats().records_merged, 0u);
+  EXPECT_GE(node.stats().queries_processed, 1u);
+}
+
+TEST_F(StorageNodeTest, MultipleEspThreadsPartitionOwnership) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(4, 2));
+  LoadEntities(&node, 200);
+  ASSERT_TRUE(node.Start().ok());
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 200;
+  CdrGenerator gen(gopts);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(node.SubmitEvent(Wire(gen.Next(1000 + i)), nullptr));
+  }
+  // Wait for all events to drain.
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    if (node.stats().events_processed == 400) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(node.stats().events_processed, 400u);
+  node.Stop();
+}
+
+TEST_F(StorageNodeTest, PartitionRoutingIsStable) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(4, 1));
+  for (EntityId e = 1; e <= 100; ++e) {
+    const std::uint32_t p = node.PartitionOf(e);
+    EXPECT_LT(p, 4u);
+    EXPECT_EQ(p, node.PartitionOf(e));
+  }
+}
+
+TEST_F(StorageNodeTest, GroupByQueryAcrossPartitions) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(3, 1));
+  LoadEntities(&node, 300);
+  ASSERT_TRUE(node.Start().ok());
+
+  // Group-by over a profile attribute: counts must cover all 300 entities
+  // regardless of partitioning.
+  Query q = *QueryBuilder(schema_.get())
+                 .SelectCount()
+                 .GroupByDim("zip", dims_.region_info, dims_.region_city)
+                 .Build();
+  const QueryResult r = RunQuery(&node, q);
+  ASSERT_TRUE(r.status.ok());
+  double total = 0;
+  for (const auto& row : r.rows) total += row.values[0];
+  EXPECT_DOUBLE_EQ(total, 300.0);
+  node.Stop();
+}
+
+TEST_F(StorageNodeTest, PendingQueriesGetShutdownReplies) {
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_,
+                   NodeOptions(2, 1));
+  LoadEntities(&node, 10);
+  ASSERT_TRUE(node.Start().ok());
+  node.Stop();
+  // Submitting after stop fails cleanly.
+  EXPECT_FALSE(node.SubmitQuery({1, 2, 3}, [](std::vector<std::uint8_t>&&) {}));
+  EXPECT_FALSE(node.SubmitEvent(std::vector<std::uint8_t>(64, 0), nullptr));
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,102 @@
+#ifndef AIM_TESTS_TEST_UTIL_H_
+#define AIM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "aim/common/random.h"
+#include "aim/esp/event.h"
+#include "aim/schema/record.h"
+#include "aim/schema/schema.h"
+
+namespace aim {
+namespace testing_util {
+
+/// Minimal schema used by precise-reference tests: the three system raw
+/// attributes plus a handful of groups covering every window kind.
+inline std::unique_ptr<Schema> MakeTinySchema() {
+  auto schema = std::make_unique<Schema>();
+  schema->AddRawAttribute("entity_id", ValueType::kUInt64);
+  schema->AddRawAttribute("last_event_ts", ValueType::kInt64);
+  schema->AddRawAttribute("preferred_number", ValueType::kUInt64);
+  schema->AddRawAttribute("zip", ValueType::kUInt32);
+
+  schema->AddCountGroup("calls_today", CallFilter::kAny,
+                        WindowSpec::Today());
+  schema->AddMetricGroup("dur_today", CallFilter::kAny,
+                         EventMetric::kDuration, WindowSpec::Today(),
+                         Schema::kAllMetricAggs);
+  schema->AddMetricGroup("cost_week", CallFilter::kAny, EventMetric::kCost,
+                         WindowSpec::ThisWeek(), Schema::kAllMetricAggs);
+  schema->AddCountGroup("local_calls_today", CallFilter::kLocal,
+                        WindowSpec::Today());
+  schema->AddMetricGroup("ld_dur_24h", CallFilter::kLongDistance,
+                         EventMetric::kDuration,
+                         WindowSpec::Sliding(kMillisPerDay, 6),
+                         Schema::kAllMetricAggs);
+  schema->AddMetricGroup("dur_last5", CallFilter::kAny,
+                         EventMetric::kDuration, WindowSpec::LastNEvents(5),
+                         Schema::kAllMetricAggs);
+  schema->AddCountGroup("pref_calls_today", CallFilter::kPreferred,
+                        WindowSpec::Today());
+  AIM_CHECK(schema->Finalize().ok());
+  return schema;
+}
+
+/// Random event with controllable caller and timestamp.
+inline Event RandomEvent(Random* rng, EntityId caller, Timestamp ts) {
+  Event e;
+  e.caller = caller;
+  e.callee = rng->Uniform(100) + 1;
+  e.timestamp = ts;
+  e.duration = static_cast<std::uint32_t>(rng->Uniform(1000) + 1);
+  e.cost = static_cast<float>(rng->Uniform(500)) / 100.0f;
+  e.data_mb = static_cast<float>(rng->Uniform(100)) / 10.0f;
+  if (rng->OneIn(3)) e.flags |= Event::kLongDistance;
+  if (rng->OneIn(10)) e.flags |= Event::kInternational;
+  if (rng->OneIn(20)) e.flags |= Event::kRoaming;
+  return e;
+}
+
+/// Fills a row with random-but-valid values in every attribute (used by
+/// storage round-trip tests).
+inline void FillRandomRow(const Schema& schema, Random* rng,
+                          std::uint8_t* row) {
+  RecordView rec(&schema, row);
+  for (std::uint16_t i = 0; i < schema.num_attributes(); ++i) {
+    switch (schema.attribute(i).type) {
+      case ValueType::kInt32:
+        rec.Set(i, Value::Int32(static_cast<std::int32_t>(
+                       rng->UniformRange(-1000, 1000))));
+        break;
+      case ValueType::kUInt32:
+        rec.Set(i, Value::UInt32(static_cast<std::uint32_t>(
+                       rng->Uniform(100000))));
+        break;
+      case ValueType::kInt64:
+        rec.Set(i, Value::Int64(rng->UniformRange(-1000000, 1000000)));
+        break;
+      case ValueType::kUInt64:
+        rec.Set(i, Value::UInt64(rng->Uniform(1u << 30)));
+        break;
+      case ValueType::kFloat:
+        rec.Set(i, Value::Float(static_cast<float>(rng->NextDouble()) *
+                                1000.0f));
+        break;
+      case ValueType::kDouble:
+        rec.Set(i, Value::Double(rng->NextDouble() * 1000.0));
+        break;
+    }
+  }
+  // Random state bytes too, so scatter/materialize round-trips are checked
+  // over the full record.
+  std::uint8_t* state = row + schema.state_area_offset();
+  for (std::uint32_t b = 0; b < schema.state_area_size(); ++b) {
+    state[b] = static_cast<std::uint8_t>(rng->Uniform(256));
+  }
+}
+
+}  // namespace testing_util
+}  // namespace aim
+
+#endif  // AIM_TESTS_TEST_UTIL_H_

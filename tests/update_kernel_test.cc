@@ -1,0 +1,364 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/esp/update_kernel.h"
+#include "aim/schema/record.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+using testing_util::RandomEvent;
+
+bool MatchesFilter(CallFilter f, const Event& e, std::uint64_t preferred) {
+  switch (f) {
+    case CallFilter::kAny:
+      return true;
+    case CallFilter::kLocal:
+      return !e.long_distance();
+    case CallFilter::kLongDistance:
+      return e.long_distance();
+    case CallFilter::kInternational:
+      return e.international();
+    case CallFilter::kRoaming:
+      return e.roaming();
+    case CallFilter::kPreferred:
+      return preferred != 0 && e.callee == preferred;
+  }
+  return false;
+}
+
+/// Brute-force reference for one group over a (time-ordered) event list.
+struct Expected {
+  std::int32_t count = 0;
+  double sum = 0, min = 0, max = 0, avg = 0;
+};
+
+Expected ReferenceIndicators(const AttributeGroupSpec& g,
+                             const std::vector<Event>& events,
+                             std::uint64_t preferred) {
+  std::vector<const Event*> matching;
+  for (const Event& e : events) {
+    if (MatchesFilter(g.filter, e, preferred)) matching.push_back(&e);
+  }
+  Expected out;
+  if (matching.empty()) return out;
+
+  std::vector<const Event*> in_window;
+  switch (g.window.kind) {
+    case WindowKind::kTumbling: {
+      const Timestamp ws = WindowSpec::AlignDown(matching.back()->timestamp,
+                                                 g.window.length_ms);
+      for (const Event* e : matching) {
+        if (WindowSpec::AlignDown(e->timestamp, g.window.length_ms) == ws) {
+          in_window.push_back(e);
+        }
+      }
+      break;
+    }
+    case WindowKind::kSliding: {
+      const Timestamp slot_len = g.window.SlotLengthMs();
+      const Timestamp cur =
+          WindowSpec::AlignDown(matching.back()->timestamp, slot_len);
+      const Timestamp oldest = cur - slot_len * (g.window.num_slots - 1);
+      for (const Event* e : matching) {
+        const Timestamp slot = WindowSpec::AlignDown(e->timestamp, slot_len);
+        if (slot >= oldest && slot <= cur) in_window.push_back(e);
+      }
+      break;
+    }
+    case WindowKind::kEventBased: {
+      const std::size_t n =
+          std::min<std::size_t>(matching.size(), g.window.num_slots);
+      in_window.assign(matching.end() - n, matching.end());
+      break;
+    }
+  }
+  if (in_window.empty()) return out;
+
+  out.count = static_cast<std::int32_t>(in_window.size());
+  bool first = true;
+  float fsum = 0;
+  for (const Event* e : in_window) {
+    const float v = e->Metric(g.metric);
+    fsum += v;
+    if (first) {
+      out.min = v;
+      out.max = v;
+      first = false;
+    } else {
+      out.min = std::min(out.min, static_cast<double>(v));
+      out.max = std::max(out.max, static_cast<double>(v));
+    }
+  }
+  out.sum = fsum;
+  out.avg = fsum / static_cast<float>(out.count);
+  return out;
+}
+
+void CheckGroup(const Schema& schema, const AttributeGroupSpec& g,
+                const ConstRecordView& rec, const Expected& want,
+                const std::string& ctx) {
+  auto get = [&](std::uint16_t attr) {
+    return rec.Get(attr).AsDouble();
+  };
+  if (g.count_attr != kInvalidAttr) {
+    EXPECT_EQ(get(g.count_attr), want.count) << ctx << " count " << g.name;
+  }
+  if (!g.has_metric) return;
+  const double tol = 1e-3 * (1.0 + std::abs(want.sum));
+  if (g.sum_attr != kInvalidAttr) {
+    EXPECT_NEAR(get(g.sum_attr), want.sum, tol) << ctx << " sum " << g.name;
+  }
+  if (g.min_attr != kInvalidAttr) {
+    EXPECT_NEAR(get(g.min_attr), want.min, 1e-3) << ctx << " min " << g.name;
+  }
+  if (g.max_attr != kInvalidAttr) {
+    EXPECT_NEAR(get(g.max_attr), want.max, 1e-3) << ctx << " max " << g.name;
+  }
+  if (g.avg_attr != kInvalidAttr) {
+    EXPECT_NEAR(get(g.avg_attr), want.avg,
+                1e-3 * (1.0 + std::abs(want.avg)))
+        << ctx << " avg " << g.name;
+  }
+}
+
+class UpdateKernelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpdateKernelPropertyTest, MatchesReferenceModel) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, schema->FindAttribute("preferred_number"));
+  Random rng(1000 + GetParam());
+
+  RecordBuffer buf(schema.get());
+  const std::uint64_t preferred = rng.Uniform(100) + 1;
+  buf.view().SetAs<std::uint64_t>(schema->FindAttribute("preferred_number"),
+                                  preferred);
+
+  std::vector<Event> events;
+  Timestamp now = static_cast<Timestamp>(rng.Uniform(1000000));
+  const int steps = 200;
+  for (int i = 0; i < steps; ++i) {
+    // Advance time by 0 .. ~1.5 days to exercise rollovers and full
+    // window expiry.
+    now += static_cast<Timestamp>(rng.Uniform(kMillisPerDay * 3 / 2));
+    Event e = RandomEvent(&rng, /*caller=*/1, now);
+    events.push_back(e);
+    program.Apply(e, buf.data());
+
+    if (i % 17 == 0 || i == steps - 1) {
+      for (const AttributeGroupSpec& g : schema->groups()) {
+        const Expected want = ReferenceIndicators(g, events, preferred);
+        CheckGroup(*schema, g, buf.const_view(), want,
+                   "step " + std::to_string(i));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateKernelPropertyTest,
+                         ::testing::Range(0, 12));
+
+class BenchmarkSchemaKernelTest : public ::testing::TestWithParam<int> {};
+
+/// The same reference-model property over the full 546-indicator benchmark
+/// schema: all 168 groups (6 filters x 7 windows x 4 group kinds) checked
+/// against brute force.
+TEST_P(BenchmarkSchemaKernelTest, FullSchemaMatchesReference) {
+  auto schema = MakeBenchmarkSchema();
+  UpdateProgram program(*schema, schema->FindAttribute("preferred_number"));
+  Random rng(7700 + GetParam());
+
+  RecordBuffer buf(schema.get());
+  const std::uint64_t preferred = rng.Uniform(50) + 1;
+  buf.view().SetAs<std::uint64_t>(schema->FindAttribute("preferred_number"),
+                                  preferred);
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = 50;
+  gopts.seed = 7800 + GetParam();
+  CdrGenerator gen(gopts);
+
+  std::vector<Event> events;
+  Timestamp now = static_cast<Timestamp>(rng.Uniform(1000000));
+  for (int i = 0; i < 60; ++i) {
+    now += static_cast<Timestamp>(rng.Uniform(kMillisPerDay));
+    Event e = gen.Next(now);
+    e.caller = 1;  // one record under test
+    events.push_back(e);
+    program.Apply(e, buf.data());
+  }
+  for (const AttributeGroupSpec& g : schema->groups()) {
+    const Expected want = ReferenceIndicators(g, events, preferred);
+    CheckGroup(*schema, g, buf.const_view(), want, "full schema");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchmarkSchemaKernelTest,
+                         ::testing::Range(0, 4));
+
+TEST(UpdateKernelTest, TumblingWindowResetsAtBoundary) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  RecordBuffer buf(schema.get());
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+  const std::uint16_t sum = schema->FindAttribute("dur_today_sum");
+
+  Event e;
+  e.caller = 1;
+  e.duration = 100;
+  e.timestamp = kMillisPerDay + 10;
+  program.Apply(e, buf.data());
+  program.Apply(e, buf.data());
+  EXPECT_EQ(buf.const_view().Get(calls).i32(), 2);
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 200.0f);
+
+  e.timestamp = 2 * kMillisPerDay + 10;  // next day: reset
+  e.duration = 7;
+  program.Apply(e, buf.data());
+  EXPECT_EQ(buf.const_view().Get(calls).i32(), 1);
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 7.0f);
+}
+
+TEST(UpdateKernelTest, LateEventFoldsIntoCurrentWindow) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  RecordBuffer buf(schema.get());
+  const std::uint16_t calls = schema->FindAttribute("calls_today");
+
+  Event e;
+  e.caller = 1;
+  e.duration = 10;
+  e.timestamp = 5 * kMillisPerDay;
+  program.Apply(e, buf.data());
+  // An hour-old event from the previous day must not resurrect that day.
+  e.timestamp = 5 * kMillisPerDay - kMillisPerHour;
+  program.Apply(e, buf.data());
+  EXPECT_EQ(buf.const_view().Get(calls).i32(), 2);
+}
+
+TEST(UpdateKernelTest, EmptyMinMaxReadZeroAfterReset) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  RecordBuffer buf(schema.get());
+  const std::uint16_t mn = schema->FindAttribute("dur_today_min");
+  const std::uint16_t mx = schema->FindAttribute("dur_today_max");
+
+  Event e;
+  e.caller = 1;
+  e.duration = 55;
+  e.timestamp = 100;
+  program.Apply(e, buf.data());
+  EXPECT_FLOAT_EQ(buf.const_view().Get(mn).f32(), 55.0f);
+  EXPECT_FLOAT_EQ(buf.const_view().Get(mx).f32(), 55.0f);
+
+  e.timestamp = kMillisPerDay + 1;
+  e.duration = 77;
+  program.Apply(e, buf.data());
+  EXPECT_FLOAT_EQ(buf.const_view().Get(mn).f32(), 77.0f);
+  EXPECT_FLOAT_EQ(buf.const_view().Get(mx).f32(), 77.0f);
+}
+
+TEST(UpdateKernelTest, SlidingWindowExpiresOldSlots) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  RecordBuffer buf(schema.get());
+  // ld_dur_24h: long-distance duration, 24h window in 6 slots of 4h.
+  const std::uint16_t sum = schema->FindAttribute("ld_dur_24h_sum");
+
+  Event e;
+  e.caller = 1;
+  e.flags = Event::kLongDistance;
+  e.duration = 100;
+  e.timestamp = 0;
+  program.Apply(e, buf.data());
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 100.0f);
+
+  // 12 hours later: first event still in window.
+  e.timestamp = 12 * kMillisPerHour;
+  program.Apply(e, buf.data());
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 200.0f);
+
+  // 30 hours after start: the first event's slot has expired.
+  e.timestamp = 30 * kMillisPerHour;
+  program.Apply(e, buf.data());
+  const float sum_now = buf.const_view().Get(sum).f32();
+  EXPECT_FLOAT_EQ(sum_now, 200.0f);  // events at 12h and 30h
+
+  // Far future: everything expired but the new event.
+  e.timestamp += 10 * kMillisPerDay;
+  program.Apply(e, buf.data());
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 100.0f);
+}
+
+TEST(UpdateKernelTest, EventRingKeepsLastN) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  RecordBuffer buf(schema.get());
+  const std::uint16_t sum = schema->FindAttribute("dur_last5_sum");
+  const std::uint16_t mx = schema->FindAttribute("dur_last5_max");
+
+  Event e;
+  e.caller = 1;
+  for (int i = 1; i <= 8; ++i) {
+    e.duration = static_cast<std::uint32_t>(i * 10);
+    e.timestamp = i * 1000;
+    program.Apply(e, buf.data());
+  }
+  // Last 5 events: durations 40..80.
+  EXPECT_FLOAT_EQ(buf.const_view().Get(sum).f32(), 40 + 50 + 60 + 70 + 80);
+  EXPECT_FLOAT_EQ(buf.const_view().Get(mx).f32(), 80.0f);
+}
+
+TEST(UpdateKernelTest, FiltersRouteEvents) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, schema->FindAttribute("preferred_number"));
+  RecordBuffer buf(schema.get());
+  buf.view().SetAs<std::uint64_t>(schema->FindAttribute("preferred_number"),
+                                  777);
+  const std::uint16_t all = schema->FindAttribute("calls_today");
+  const std::uint16_t local = schema->FindAttribute("local_calls_today");
+  const std::uint16_t pref = schema->FindAttribute("pref_calls_today");
+
+  Event e;
+  e.caller = 1;
+  e.callee = 5;
+  e.timestamp = 100;
+  program.Apply(e, buf.data());  // local, not preferred
+  e.flags = Event::kLongDistance;
+  program.Apply(e, buf.data());  // long-distance
+  e.callee = 777;
+  program.Apply(e, buf.data());  // long-distance + preferred
+
+  EXPECT_EQ(buf.const_view().Get(all).i32(), 3);
+  EXPECT_EQ(buf.const_view().Get(local).i32(), 1);
+  EXPECT_EQ(buf.const_view().Get(pref).i32(), 1);
+}
+
+TEST(UpdateKernelTest, PreferredFilterWithoutAttributeNeverMatches) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);  // no preferred column
+  RecordBuffer buf(schema.get());
+  const std::uint16_t pref = schema->FindAttribute("pref_calls_today");
+  Event e;
+  e.caller = 1;
+  e.callee = 777;
+  e.timestamp = 5;
+  program.Apply(e, buf.data());
+  EXPECT_EQ(buf.const_view().Get(pref).i32(), 0);
+}
+
+TEST(UpdateKernelTest, GroupCountMatchesSchema) {
+  auto schema = MakeTinySchema();
+  UpdateProgram program(*schema, kInvalidAttr);
+  EXPECT_EQ(program.num_groups(), schema->num_groups());
+}
+
+}  // namespace
+}  // namespace aim

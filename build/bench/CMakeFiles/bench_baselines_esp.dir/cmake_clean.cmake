@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_esp.dir/bench_baselines_esp.cc.o"
+  "CMakeFiles/bench_baselines_esp.dir/bench_baselines_esp.cc.o.d"
+  "bench_baselines_esp"
+  "bench_baselines_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

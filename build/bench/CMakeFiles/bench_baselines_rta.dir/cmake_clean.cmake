@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_rta.dir/bench_baselines_rta.cc.o"
+  "CMakeFiles/bench_baselines_rta.dir/bench_baselines_rta.cc.o.d"
+  "bench_baselines_rta"
+  "bench_baselines_rta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

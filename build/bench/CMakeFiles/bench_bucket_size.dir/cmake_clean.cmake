@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bucket_size.dir/bench_bucket_size.cc.o"
+  "CMakeFiles/bench_bucket_size.dir/bench_bucket_size.cc.o.d"
+  "bench_bucket_size"
+  "bench_bucket_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bucket_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clients.dir/bench_clients.cc.o"
+  "CMakeFiles/bench_clients.dir/bench_clients.cc.o.d"
+  "bench_clients"
+  "bench_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

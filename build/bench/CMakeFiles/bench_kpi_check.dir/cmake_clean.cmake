@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kpi_check.dir/bench_kpi_check.cc.o"
+  "CMakeFiles/bench_kpi_check.dir/bench_kpi_check.cc.o.d"
+  "bench_kpi_check"
+  "bench_kpi_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kpi_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kpi_check.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_index.dir/bench_rule_index.cc.o"
+  "CMakeFiles/bench_rule_index.dir/bench_rule_index.cc.o.d"
+  "bench_rule_index"
+  "bench_rule_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

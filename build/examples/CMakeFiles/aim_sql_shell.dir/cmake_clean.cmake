@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_sql_shell.dir/aim_sql_shell.cpp.o"
+  "CMakeFiles/aim_sql_shell.dir/aim_sql_shell.cpp.o.d"
+  "aim_sql_shell"
+  "aim_sql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_sql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_alerts.dir/fraud_alerts.cpp.o"
+  "CMakeFiles/fraud_alerts.dir/fraud_alerts.cpp.o.d"
+  "fraud_alerts"
+  "fraud_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

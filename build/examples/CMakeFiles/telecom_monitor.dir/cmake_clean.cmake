@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_monitor.dir/telecom_monitor.cpp.o"
+  "CMakeFiles/telecom_monitor.dir/telecom_monitor.cpp.o.d"
+  "telecom_monitor"
+  "telecom_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

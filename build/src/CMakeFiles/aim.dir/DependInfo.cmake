@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aim/baselines/cow_store.cc" "src/CMakeFiles/aim.dir/aim/baselines/cow_store.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/baselines/cow_store.cc.o.d"
+  "/root/repo/src/aim/baselines/indexed_row_store.cc" "src/CMakeFiles/aim.dir/aim/baselines/indexed_row_store.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/baselines/indexed_row_store.cc.o.d"
+  "/root/repo/src/aim/baselines/pure_column_store.cc" "src/CMakeFiles/aim.dir/aim/baselines/pure_column_store.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/baselines/pure_column_store.cc.o.d"
+  "/root/repo/src/aim/baselines/row_query.cc" "src/CMakeFiles/aim.dir/aim/baselines/row_query.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/baselines/row_query.cc.o.d"
+  "/root/repo/src/aim/common/latency_recorder.cc" "src/CMakeFiles/aim.dir/aim/common/latency_recorder.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/common/latency_recorder.cc.o.d"
+  "/root/repo/src/aim/common/status.cc" "src/CMakeFiles/aim.dir/aim/common/status.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/common/status.cc.o.d"
+  "/root/repo/src/aim/esp/esp_engine.cc" "src/CMakeFiles/aim.dir/aim/esp/esp_engine.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/esp_engine.cc.o.d"
+  "/root/repo/src/aim/esp/event.cc" "src/CMakeFiles/aim.dir/aim/esp/event.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/event.cc.o.d"
+  "/root/repo/src/aim/esp/event_archive.cc" "src/CMakeFiles/aim.dir/aim/esp/event_archive.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/event_archive.cc.o.d"
+  "/root/repo/src/aim/esp/rule.cc" "src/CMakeFiles/aim.dir/aim/esp/rule.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/rule.cc.o.d"
+  "/root/repo/src/aim/esp/rule_index.cc" "src/CMakeFiles/aim.dir/aim/esp/rule_index.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/rule_index.cc.o.d"
+  "/root/repo/src/aim/esp/update_kernel.cc" "src/CMakeFiles/aim.dir/aim/esp/update_kernel.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/esp/update_kernel.cc.o.d"
+  "/root/repo/src/aim/rta/compiled_query.cc" "src/CMakeFiles/aim.dir/aim/rta/compiled_query.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/compiled_query.cc.o.d"
+  "/root/repo/src/aim/rta/dimension.cc" "src/CMakeFiles/aim.dir/aim/rta/dimension.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/dimension.cc.o.d"
+  "/root/repo/src/aim/rta/parallel_scan.cc" "src/CMakeFiles/aim.dir/aim/rta/parallel_scan.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/parallel_scan.cc.o.d"
+  "/root/repo/src/aim/rta/partial_result.cc" "src/CMakeFiles/aim.dir/aim/rta/partial_result.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/partial_result.cc.o.d"
+  "/root/repo/src/aim/rta/query.cc" "src/CMakeFiles/aim.dir/aim/rta/query.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/query.cc.o.d"
+  "/root/repo/src/aim/rta/simd.cc" "src/CMakeFiles/aim.dir/aim/rta/simd.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/simd.cc.o.d"
+  "/root/repo/src/aim/rta/sql_parser.cc" "src/CMakeFiles/aim.dir/aim/rta/sql_parser.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/rta/sql_parser.cc.o.d"
+  "/root/repo/src/aim/schema/schema.cc" "src/CMakeFiles/aim.dir/aim/schema/schema.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/schema/schema.cc.o.d"
+  "/root/repo/src/aim/schema/value.cc" "src/CMakeFiles/aim.dir/aim/schema/value.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/schema/value.cc.o.d"
+  "/root/repo/src/aim/schema/window.cc" "src/CMakeFiles/aim.dir/aim/schema/window.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/schema/window.cc.o.d"
+  "/root/repo/src/aim/server/aim_cluster.cc" "src/CMakeFiles/aim.dir/aim/server/aim_cluster.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/server/aim_cluster.cc.o.d"
+  "/root/repo/src/aim/server/aim_db.cc" "src/CMakeFiles/aim.dir/aim/server/aim_db.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/server/aim_db.cc.o.d"
+  "/root/repo/src/aim/server/esp_tier.cc" "src/CMakeFiles/aim.dir/aim/server/esp_tier.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/server/esp_tier.cc.o.d"
+  "/root/repo/src/aim/server/rta_front_end.cc" "src/CMakeFiles/aim.dir/aim/server/rta_front_end.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/server/rta_front_end.cc.o.d"
+  "/root/repo/src/aim/server/storage_node.cc" "src/CMakeFiles/aim.dir/aim/server/storage_node.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/server/storage_node.cc.o.d"
+  "/root/repo/src/aim/storage/checkpoint.cc" "src/CMakeFiles/aim.dir/aim/storage/checkpoint.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/storage/checkpoint.cc.o.d"
+  "/root/repo/src/aim/storage/column_map.cc" "src/CMakeFiles/aim.dir/aim/storage/column_map.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/storage/column_map.cc.o.d"
+  "/root/repo/src/aim/storage/delta.cc" "src/CMakeFiles/aim.dir/aim/storage/delta.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/storage/delta.cc.o.d"
+  "/root/repo/src/aim/storage/delta_main.cc" "src/CMakeFiles/aim.dir/aim/storage/delta_main.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/storage/delta_main.cc.o.d"
+  "/root/repo/src/aim/storage/mv_delta.cc" "src/CMakeFiles/aim.dir/aim/storage/mv_delta.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/storage/mv_delta.cc.o.d"
+  "/root/repo/src/aim/workload/benchmark_schema.cc" "src/CMakeFiles/aim.dir/aim/workload/benchmark_schema.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/workload/benchmark_schema.cc.o.d"
+  "/root/repo/src/aim/workload/cdr_generator.cc" "src/CMakeFiles/aim.dir/aim/workload/cdr_generator.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/workload/cdr_generator.cc.o.d"
+  "/root/repo/src/aim/workload/dimension_data.cc" "src/CMakeFiles/aim.dir/aim/workload/dimension_data.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/workload/dimension_data.cc.o.d"
+  "/root/repo/src/aim/workload/query_workload.cc" "src/CMakeFiles/aim.dir/aim/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/workload/query_workload.cc.o.d"
+  "/root/repo/src/aim/workload/rules_generator.cc" "src/CMakeFiles/aim.dir/aim/workload/rules_generator.cc.o" "gcc" "src/CMakeFiles/aim.dir/aim/workload/rules_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_db_test.dir/aim_db_test.cc.o"
+  "CMakeFiles/aim_db_test.dir/aim_db_test.cc.o.d"
+  "aim_db_test"
+  "aim_db_test.pdb"
+  "aim_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

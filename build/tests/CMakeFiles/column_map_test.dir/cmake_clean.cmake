@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_map_test.dir/column_map_test.cc.o"
+  "CMakeFiles/column_map_test.dir/column_map_test.cc.o.d"
+  "column_map_test"
+  "column_map_test.pdb"
+  "column_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

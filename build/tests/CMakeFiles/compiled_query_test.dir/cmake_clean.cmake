@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_query_test.dir/compiled_query_test.cc.o"
+  "CMakeFiles/compiled_query_test.dir/compiled_query_test.cc.o.d"
+  "compiled_query_test"
+  "compiled_query_test.pdb"
+  "compiled_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

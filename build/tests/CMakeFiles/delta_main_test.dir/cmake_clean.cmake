@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_main_test.dir/delta_main_test.cc.o"
+  "CMakeFiles/delta_main_test.dir/delta_main_test.cc.o.d"
+  "delta_main_test"
+  "delta_main_test.pdb"
+  "delta_main_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_main_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

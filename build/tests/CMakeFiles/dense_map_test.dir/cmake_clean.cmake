@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_map_test.dir/dense_map_test.cc.o"
+  "CMakeFiles/dense_map_test.dir/dense_map_test.cc.o.d"
+  "dense_map_test"
+  "dense_map_test.pdb"
+  "dense_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

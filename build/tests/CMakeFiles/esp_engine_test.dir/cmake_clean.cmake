@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_engine_test.dir/esp_engine_test.cc.o"
+  "CMakeFiles/esp_engine_test.dir/esp_engine_test.cc.o.d"
+  "esp_engine_test"
+  "esp_engine_test.pdb"
+  "esp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tier_test.dir/esp_tier_test.cc.o"
+  "CMakeFiles/esp_tier_test.dir/esp_tier_test.cc.o.d"
+  "esp_tier_test"
+  "esp_tier_test.pdb"
+  "esp_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

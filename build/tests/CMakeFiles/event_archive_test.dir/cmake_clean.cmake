@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_archive_test.dir/event_archive_test.cc.o"
+  "CMakeFiles/event_archive_test.dir/event_archive_test.cc.o.d"
+  "event_archive_test"
+  "event_archive_test.pdb"
+  "event_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_delta_test.dir/mv_delta_test.cc.o"
+  "CMakeFiles/mv_delta_test.dir/mv_delta_test.cc.o.d"
+  "mv_delta_test"
+  "mv_delta_test.pdb"
+  "mv_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scan_test.dir/parallel_scan_test.cc.o"
+  "CMakeFiles/parallel_scan_test.dir/parallel_scan_test.cc.o.d"
+  "parallel_scan_test"
+  "parallel_scan_test.pdb"
+  "parallel_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_result_test.dir/partial_result_test.cc.o"
+  "CMakeFiles/partial_result_test.dir/partial_result_test.cc.o.d"
+  "partial_result_test"
+  "partial_result_test.pdb"
+  "partial_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

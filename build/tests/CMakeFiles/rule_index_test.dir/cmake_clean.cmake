@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_index_test.dir/rule_index_test.cc.o"
+  "CMakeFiles/rule_index_test.dir/rule_index_test.cc.o.d"
+  "rule_index_test"
+  "rule_index_test.pdb"
+  "rule_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

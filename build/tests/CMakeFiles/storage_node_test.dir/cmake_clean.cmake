@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_node_test.dir/storage_node_test.cc.o"
+  "CMakeFiles/storage_node_test.dir/storage_node_test.cc.o.d"
+  "storage_node_test"
+  "storage_node_test.pdb"
+  "storage_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_kernel_test.dir/update_kernel_test.cc.o"
+  "CMakeFiles/update_kernel_test.dir/update_kernel_test.cc.o.d"
+  "update_kernel_test"
+  "update_kernel_test.pdb"
+  "update_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dense_map_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/update_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_index_test[1]_include.cmake")
+include("/root/repo/build/tests/column_map_test[1]_include.cmake")
+include("/root/repo/build/tests/delta_main_test[1]_include.cmake")
+include("/root/repo/build/tests/simd_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/compiled_query_test[1]_include.cmake")
+include("/root/repo/build/tests/partial_result_test[1]_include.cmake")
+include("/root/repo/build/tests/dimension_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/esp_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/aim_db_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_node_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/esp_tier_test[1]_include.cmake")
+include("/root/repo/build/tests/event_archive_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/mv_delta_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_scan_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")

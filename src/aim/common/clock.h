@@ -35,14 +35,18 @@ class VirtualClock : public Clock {
  public:
   explicit VirtualClock(Timestamp start = 0) : now_(start) {}
 
+  // relaxed: the virtual time value is self-contained — no reader
+  // derives other shared state from it, so no ordering is needed.
   Timestamp NowMillis() const override {
     return now_.load(std::memory_order_relaxed);
   }
 
+  // relaxed: see NowMillis.
   void Advance(Timestamp delta_ms) {
     now_.fetch_add(delta_ms, std::memory_order_relaxed);
   }
 
+  // relaxed: see NowMillis.
   void Set(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
 
  private:

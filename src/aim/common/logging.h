@@ -30,13 +30,26 @@ namespace aim {
     }                                                                      \
   } while (0)
 
-/// Debug-only check, compiled out in release builds (hot paths).
+/// Debug-only checks, compiled out under NDEBUG (hot paths). The condition
+/// stays inside an unevaluated sizeof so it is still parsed (and its
+/// variables count as used) without generating any code.
+///
+/// Policy (docs/CORRECTNESS.md): AIM_DCHECK guards invariants on hot paths
+/// that AIM_CHECK would make measurably slower — per-record bounds, swap
+/// preconditions, version monotonicity. Sanitizer builds compile without
+/// NDEBUG, so the stress tier runs with every DCHECK live.
 #ifdef NDEBUG
-#define AIM_DCHECK(cond) \
-  do {                   \
+#define AIM_DCHECK(cond)     \
+  do {                       \
+    (void)sizeof(!(cond));   \
+  } while (0)
+#define AIM_DCHECK_MSG(cond, ...) \
+  do {                            \
+    (void)sizeof(!(cond));        \
   } while (0)
 #else
 #define AIM_DCHECK(cond) AIM_CHECK(cond)
+#define AIM_DCHECK_MSG(cond, ...) AIM_CHECK_MSG(cond, __VA_ARGS__)
 #endif
 
 }  // namespace aim

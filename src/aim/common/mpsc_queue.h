@@ -16,6 +16,12 @@ namespace aim {
 ///
 /// Close() wakes all waiters; after Close(), Push fails and Pop drains the
 /// remaining items before reporting emptiness.
+///
+/// All condvar notifications happen while the mutex is held. Notifying
+/// after unlock would let the peer consume the item and destroy the queue
+/// while the notifier is still inside pthread_cond_signal on the freed
+/// condvar — a real use-after-free for the common "pop the final reply,
+/// then drop the queue" pattern (caught by TSan in the stress tier).
 template <typename T>
 class MpscQueue {
  public:
@@ -32,20 +38,17 @@ class MpscQueue {
     });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false if full or closed.
   bool TryPush(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
-        return false;
-      }
-      items_.push_back(std::move(item));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+      return false;
     }
+    items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -57,7 +60,6 @@ class MpscQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
   }
@@ -68,7 +70,6 @@ class MpscQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
   }
@@ -84,16 +85,13 @@ class MpscQueue {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    lock.unlock();
     if (n > 0) not_full_.notify_all();
     return n;
   }
 
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -24,6 +24,8 @@ struct EventCompletion {
   std::int64_t complete_nanos = 0;  // set by the ESP thread
 
   void Reset() {
+    // relaxed: Reset must not race with an in-flight completion anyway
+    // (the slot is reused only after Wait() returned).
     done.store(false, std::memory_order_relaxed);
     status = Status::OK();
     fired_rules.clear();

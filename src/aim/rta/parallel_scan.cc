@@ -38,6 +38,8 @@ StatusOr<std::vector<PartialResult>> ParallelSharedScan::Execute(
     }
     ScanScratch scratch;
     while (true) {
+      // relaxed: the ticket value alone partitions the work; workers read
+      // only immutable scan inputs, published before thread start.
       const std::uint32_t chunk =
           cursor.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) break;

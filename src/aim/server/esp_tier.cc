@@ -39,6 +39,7 @@ struct Rendezvous {
   }
 
   void Reset() {
+    // relaxed: the slot is only reused after Wait() returned.
     done.store(false, std::memory_order_relaxed);
     status = Status::OK();
     row.clear();
@@ -137,6 +138,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
       Version version = 0;
       if (rendezvous.status.ok()) {
         row = std::move(rendezvous.row);
+        // relaxed: monitoring counter; no ordering with the record data.
         record_bytes_shipped_.fetch_add(row.size(),
                                         std::memory_order_relaxed);
         version = rendezvous.version;
@@ -171,6 +173,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
       put.entity = event.caller;
       put.row = std::move(row);
       put.expected_version = version;
+      // relaxed: monitoring counter.
       record_bytes_shipped_.fetch_add(record_size,
                                       std::memory_order_relaxed);
       put.reply = [&rendezvous](Status st, std::vector<std::uint8_t>&& b,
@@ -187,6 +190,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
         break;
       }
       if (rendezvous.status.IsConflict()) {
+        // relaxed: monitoring counter.
         txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
         continue;  // restart the single-row transaction
       }
@@ -194,6 +198,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
       break;
     }
 
+    // relaxed: monitoring counters; stats() tolerates torn snapshots.
     if (result.ok()) {
       events_processed_.fetch_add(1, std::memory_order_relaxed);
       rules_fired_.fetch_add(matched.size(), std::memory_order_relaxed);
@@ -209,6 +214,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
 
 EspTierNode::Stats EspTierNode::stats() const {
   Stats s;
+  // relaxed: monitoring snapshot; counters may be mutually torn.
   s.events_processed = events_processed_.load(std::memory_order_relaxed);
   s.txn_conflicts = txn_conflicts_.load(std::memory_order_relaxed);
   s.rules_fired = rules_fired_.load(std::memory_order_relaxed);

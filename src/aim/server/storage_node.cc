@@ -211,10 +211,13 @@ void StorageNode::EspLoop(EspThreadState* state) {
 
     const std::uint64_t conflicts_before = engine->stats().txn_conflicts;
     Status st = engine->ProcessEvent(event, &fired);
+    // relaxed: monitoring counters; stats() tolerates torn cross-counter
+    // snapshots and needs no ordering with the event data.
     if (st.ok()) {
       events_processed_.fetch_add(1, std::memory_order_relaxed);
       rules_fired_.fetch_add(fired.size(), std::memory_order_relaxed);
     }
+    // relaxed: same monitoring-counter rule as above.
     txn_conflicts_.fetch_add(
         engine->stats().txn_conflicts - conflicts_before,
         std::memory_order_relaxed);
@@ -287,6 +290,7 @@ void StorageNode::MergeAndReply() {
     BinaryWriter writer;
     merged.Serialize(&writer);
     if (batch_[qi].reply) batch_[qi].reply(writer.TakeBuffer());
+    // relaxed: monitoring counter (see EspLoop).
     queries_processed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -325,10 +329,12 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
     if (partition_id == 0) MergeAndReply();
 
     // Merge step: fold the delta into the main before the next scan.
+    // relaxed: monitoring counters (see EspLoop).
     if (store->delta_size() > 0) {
       records_merged_.fetch_add(scan.MergeStep(), std::memory_order_relaxed);
     }
     if (partition_id == 0) {
+      // relaxed: monitoring counter.
       scan_cycles_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -347,6 +353,7 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
 
 StorageNode::NodeStats StorageNode::stats() const {
   NodeStats s;
+  // relaxed: monitoring snapshot; counters may be mutually torn.
   s.events_processed = events_processed_.load(std::memory_order_relaxed);
   s.txn_conflicts = txn_conflicts_.load(std::memory_order_relaxed);
   s.rules_fired = rules_fired_.load(std::memory_order_relaxed);

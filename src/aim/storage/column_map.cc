@@ -33,6 +33,7 @@ ColumnMap::ColumnMap(const Schema* schema, std::uint32_t bucket_size,
   if (bucket_slots_ == 0) bucket_slots_ = 1;
   buckets_.reset(new std::atomic<Bucket*>[bucket_slots_]);
   for (std::uint32_t i = 0; i < bucket_slots_; ++i) {
+    // relaxed: single-threaded construction; no reader exists yet.
     buckets_[i].store(nullptr, std::memory_order_relaxed);
   }
   index_.Reserve(std::min<std::uint64_t>(max_records_, 1u << 20));
@@ -40,6 +41,7 @@ ColumnMap::ColumnMap(const Schema* schema, std::uint32_t bucket_size,
 
 ColumnMap::~ColumnMap() {
   for (std::uint32_t i = 0; i < bucket_slots_; ++i) {
+    // relaxed: destruction requires external quiescence anyway.
     delete buckets_[i].load(std::memory_order_relaxed);
   }
 }
@@ -49,6 +51,8 @@ StatusOr<RecordId> ColumnMap::Insert(EntityId entity, const std::uint8_t* row,
   if (index_.Contains(entity)) {
     return Status::Conflict("entity already present in main");
   }
+  // relaxed: num_records_ is only advanced by this (single) writer thread;
+  // reading our own last store needs no ordering.
   const std::uint64_t id64 = num_records_.load(std::memory_order_relaxed);
   if (id64 >= max_records_) {
     return Status::Capacity("ColumnMap full");
@@ -73,6 +77,7 @@ StatusOr<RecordId> ColumnMap::Insert(EntityId entity, const std::uint8_t* row,
 }
 
 void ColumnMap::ScatterRow(RecordId id, const std::uint8_t* row) {
+  AIM_DCHECK_MSG(id < max_records_, "record id out of bounds");
   const std::uint32_t b = id / bucket_size_;
   const std::uint32_t idx = id % bucket_size_;
   Bucket* bucket = GetBucket(b);
@@ -91,6 +96,7 @@ void ColumnMap::ScatterRow(RecordId id, const std::uint8_t* row) {
 }
 
 void ColumnMap::MaterializeRow(RecordId id, std::uint8_t* out) const {
+  AIM_DCHECK_MSG(id < num_records(), "materialize of unpublished record");
   const std::uint32_t b = id / bucket_size_;
   const std::uint32_t idx = id % bucket_size_;
   const Bucket* bucket = GetBucket(b);
@@ -109,6 +115,8 @@ void ColumnMap::MaterializeRow(RecordId id, std::uint8_t* out) const {
 }
 
 Value ColumnMap::GetValue(RecordId id, std::uint16_t attr) const {
+  AIM_DCHECK_MSG(id < num_records(), "read of unpublished record");
+  AIM_DCHECK(attr < schema_->num_attributes());
   const std::uint32_t b = id / bucket_size_;
   const std::uint32_t idx = id % bucket_size_;
   const Bucket* bucket = GetBucket(b);
@@ -137,6 +145,8 @@ ColumnMap::BucketRef ColumnMap::bucket(std::uint32_t b) const {
   AIM_CHECK_MSG(bucket != nullptr, "bucket %u not allocated", b);
   ref.block = bucket->data.get();
   ref.first_record = b * bucket_size_;
+  AIM_DCHECK_MSG(ref.first_record < total,
+                 "bucket %u past the published record count", b);
   const std::uint64_t remaining = total - ref.first_record;
   ref.count = static_cast<std::uint32_t>(
       remaining < bucket_size_ ? remaining : bucket_size_);

@@ -139,6 +139,7 @@ class ColumnMap {
   };
 
   Bucket* GetBucket(std::uint32_t b) const {
+    AIM_DCHECK(b < bucket_slots_);
     return buckets_[b].load(std::memory_order_acquire);
   }
 

@@ -17,6 +17,7 @@ void Delta::Put(EntityId entity, const std::uint8_t* row, Version version) {
   const std::uint32_t record_size = schema_->record_size();
   std::uint32_t idx = index_.Find(entity);
   if (idx == DenseMap::kNotFound) {
+    // relaxed: only this (writer) thread advances size_.
     idx = size_.load(std::memory_order_relaxed);
     if (idx / kChunkEntries >= chunks_.size()) {
       chunks_.emplace_back(new std::uint8_t[kChunkEntries * entry_stride_]);

@@ -112,18 +112,28 @@ Status DeltaMainStore::BulkInsertWithVersion(EntityId entity,
 }
 
 void DeltaMainStore::SwitchDeltas() {
+  // relaxed: merging_ is only ever written by this (RTA) thread; this is a
+  // same-thread protocol-state assertion, not a synchronization point.
   AIM_CHECK_MSG(!merging_.load(std::memory_order_relaxed),
                 "SwitchDeltas while a merge is in flight");
-  if (FrozenDelta()->size() != 0) {
-    // Defensive: the previous MergeStep must have drained the frozen delta.
-    AIM_CHECK(FrozenDelta()->size() == 0);
-  }
+  // The previous MergeStep must have drained the frozen delta.
+  AIM_CHECK_MSG(FrozenDelta()->size() == 0,
+                "SwitchDeltas with an undrained frozen delta");
   if (esp_attached_.load(std::memory_order_acquire)) {
-    // Algorithm 6: announce intent, wait until the ESP thread parks, do the
-    // swap inside the quiescent window, release.
-    rta_ready_.store(true, std::memory_order_seq_cst);
+    // Algorithm 6, epoch formulation: announce intent by advancing to an
+    // odd epoch, wait until the ESP thread acknowledges *this* epoch, swap
+    // inside the quiescent window, release by advancing to the next even
+    // epoch. Stale acknowledgements from earlier rounds never match `odd`,
+    // so the swap always runs against a genuinely parked writer.
+    //
+    // relaxed: swap_epoch_ is only ever stored by this thread; the load is
+    // a same-thread read of our own counter.
+    const std::uint64_t odd =
+        swap_epoch_.load(std::memory_order_relaxed) + 1;
+    AIM_DCHECK((odd & 1) == 1);
+    swap_epoch_.store(odd, std::memory_order_release);
     int spins = 0;
-    while (!esp_waiting_.load(std::memory_order_acquire)) {
+    while (esp_ack_.load(std::memory_order_acquire) != odd) {
       if (!esp_attached_.load(std::memory_order_acquire)) {
         // The ESP thread detached (shutdown): no writer left to quiesce.
         break;
@@ -131,14 +141,17 @@ void DeltaMainStore::SwitchDeltas() {
       CpuRelax(++spins);
     }
     DoSwap();
-    esp_waiting_.store(false, std::memory_order_seq_cst);
-    rta_ready_.store(false, std::memory_order_seq_cst);
+    // Release pairs with the acquire load in EspCheckpoint: observing the
+    // even epoch implies observing the swapped delta pointers.
+    swap_epoch_.store(odd + 1, std::memory_order_release);
   } else {
     DoSwap();
   }
 }
 
 std::size_t DeltaMainStore::MergeStep() {
+  // relaxed: merging_ is only written by this (RTA) thread — same-thread
+  // protocol-state assertion.
   AIM_CHECK_MSG(merging_.load(std::memory_order_relaxed),
                 "MergeStep without SwitchDeltas");
   Delta* frozen = FrozenDelta();
@@ -147,6 +160,10 @@ std::size_t DeltaMainStore::MergeStep() {
                       const std::uint8_t* row) {
     const RecordId id = main_->Lookup(entity);
     if (id != kInvalidRecordId) {
+      // A delta image always postdates the main image it shadows: every
+      // Put writes version current+1 where current >= the main version.
+      AIM_DCHECK_MSG(version > main_->version(id),
+                     "merge would regress entity version");
       // Single pass, index lookup, in-place replace — no sorting needed
       // because both structures are indexed (paper footnote 3).
       main_->ScatterRow(id, row);
@@ -159,6 +176,9 @@ std::size_t DeltaMainStore::MergeStep() {
     ++merged;
   });
   frozen->Clear();
+  // relaxed: the counter is monotone bookkeeping; the release on merging_
+  // below publishes the merged data.
+  merge_epoch_.fetch_add(1, std::memory_order_relaxed);
   merging_.store(false, std::memory_order_release);
   return merged;
 }

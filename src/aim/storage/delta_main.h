@@ -27,11 +27,23 @@ namespace aim {
 ///
 /// Get follows Algorithm 3 (active delta, then frozen delta while a merge
 /// is in flight, then main); Put follows Algorithm 4 (active delta). The
-/// delta switch uses the two atomic flags of Algorithms 6/7: the RTA thread
-/// announces intent (rta_ready), the ESP thread acknowledges and parks
-/// (esp_waiting), the RTA thread swaps the delta pointers inside that
-/// window — the only moment the ESP thread is ever blocked, and it lasts a
-/// pointer swap, not a merge.
+/// delta switch implements the two-flag handshake of Algorithms 6/7 with an
+/// epoch counter instead of raw booleans: the RTA thread announces intent by
+/// advancing swap_epoch_ to an odd value, the ESP thread acknowledges by
+/// copying that exact epoch into esp_ack_ and parks, the RTA thread swaps
+/// the delta pointers inside that window and releases by advancing the
+/// epoch to the next even value — the only moment the ESP thread is ever
+/// blocked, and it lasts a pointer swap, not a merge.
+///
+/// Why epochs and not the paper's two booleans: with plain flags, a parked
+/// ESP thread that re-raises its "waiting" flag while the RTA thread is
+/// tearing the handshake down can leave a *dangling* acknowledgement — the
+/// next SwitchDeltas then observes it, skips the wait, and swaps against an
+/// unparked writer (a sequentially-consistent interleaving bug, not a
+/// memory-ordering one; tests/stress/delta_swap_stress_test.cc reproduces
+/// it against the boolean protocol). Tagging each acknowledgement with the
+/// epoch it answers makes stale acks inert: the RTA thread only proceeds on
+/// an ack that names the round it is currently running.
 class DeltaMainStore {
  public:
   struct Options {
@@ -56,16 +68,24 @@ class DeltaMainStore {
   ///
   /// The acknowledgement is (re-)issued inside the wait loop, not once
   /// before it: if the RTA thread starts the *next* switch while this
-  /// thread is still draining the previous one, a single up-front store
-  /// would leave esp_waiting false forever and deadlock both sides. The
-  /// re-store is safe — after raising esp_waiting the thread re-checks
-  /// rta_ready before touching the store, so the RTA thread's swap always
-  /// happens against a parked writer.
+  /// thread is still parked in the previous one, it re-reads the new odd
+  /// epoch and acks that round too — no deadlock. A stale ack from an
+  /// earlier round can never unpark the RTA thread, because the RTA thread
+  /// waits for the ack to equal its own odd epoch.
+  ///
+  /// Ordering: the acquire load of swap_epoch_ pairs with the release store
+  /// in SwitchDeltas after DoSwap, so once this thread observes the even
+  /// epoch it also observes the swapped delta pointers. No seq_cst is
+  /// needed: unlike a Dekker/store-buffer pattern, neither side proceeds on
+  /// the *absence* of the other's write — each waits for a positive,
+  /// epoch-tagged value.
   void EspCheckpoint() {
+    std::uint64_t e = swap_epoch_.load(std::memory_order_acquire);
     int spins = 0;
-    while (rta_ready_.load(std::memory_order_acquire)) {
-      esp_waiting_.store(true, std::memory_order_seq_cst);
+    while (e & 1) {  // odd: a switch is in progress
+      esp_ack_.store(e, std::memory_order_release);
       CpuRelax(++spins);
+      e = swap_epoch_.load(std::memory_order_acquire);
     }
   }
 
@@ -128,6 +148,14 @@ class DeltaMainStore {
 
   bool merging() const { return merging_.load(std::memory_order_acquire); }
 
+  /// Number of completed MergeStep() calls. Strictly monotone; the debug
+  /// invariant layer checks it never observes a regression.
+  std::uint64_t merge_epoch() const {
+    // relaxed: a plain monotone counter for stats/invariants; readers need
+    // no ordering with the merged data itself.
+    return merge_epoch_.load(std::memory_order_relaxed);
+  }
+
   /// Entities buffered in the active delta (freshness metric).
   std::size_t delta_size() const {
     return ActiveDelta()->size();
@@ -185,6 +213,8 @@ class DeltaMainStore {
 #if defined(__x86_64__) || defined(__i386__)
       __builtin_ia32_pause();
 #else
+      // Not an ordering requirement — merely a spin-throttle standing in
+      // for the pause instruction on architectures without one.
       std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
     } else {
@@ -194,6 +224,9 @@ class DeltaMainStore {
 
   /// The swap itself; runs inside the quiescent window (or single-threaded).
   void DoSwap() {
+    // relaxed: active_idx_ is only ever stored by this (RTA) thread, and
+    // the ESP thread cannot be reading it here — it is parked in the
+    // handshake (or detached).
     const std::uint32_t cur = active_idx_.load(std::memory_order_relaxed);
     active_idx_.store(1 - cur, std::memory_order_release);
     merging_.store(true, std::memory_order_release);
@@ -219,10 +252,13 @@ class DeltaMainStore {
   std::unique_ptr<Delta> deltas_[2];
   std::atomic<std::uint32_t> active_idx_{0};
   std::atomic<bool> merging_{false};
+  std::atomic<std::uint64_t> merge_epoch_{0};
 
-  // Appendix A flags.
-  std::atomic<bool> rta_ready_{false};
-  std::atomic<bool> esp_waiting_{false};
+  // Appendix A handshake state (epoch formulation, see class comment).
+  // swap_epoch_ odd = switch requested; esp_ack_ holds the last odd epoch
+  // the ESP thread parked for.
+  std::atomic<std::uint64_t> swap_epoch_{0};
+  std::atomic<std::uint64_t> esp_ack_{0};
   std::atomic<bool> esp_attached_{false};
 };
 

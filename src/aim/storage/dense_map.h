@@ -44,11 +44,14 @@ class DenseMap {
   /// Inserts or overwrites. Writer thread only.
   void Upsert(std::uint64_t key, std::uint32_t value) {
     AIM_DCHECK(key != kEmptyKey);
+    // relaxed: only the (single) writer thread stores active_, so it reads
+    // its own last store; readers use the acquire load in Find.
     Table* t = active_.load(std::memory_order_relaxed);
     if ((size_ + 1) * 10 >= t->capacity * 7) {
       GrowTo(t->capacity * 2);
-      t = active_.load(std::memory_order_relaxed);
+      t = active_.load(std::memory_order_relaxed);  // relaxed: same-thread
     }
+    AIM_DCHECK_MSG(size_ < t->capacity, "probe loop requires a free slot");
     std::size_t idx = Mix64(key) & t->mask;
     while (true) {
       std::uint64_t k = t->keys[idx].load(std::memory_order_acquire);
@@ -86,6 +89,7 @@ class DenseMap {
   /// racing with Clear may still observe old entries until the wipe reaches
   /// them — acceptable under the delta-main protocol (see class comment).
   void Clear() {
+    // relaxed: writer-thread-only operation reading its own last store.
     Table* t = active_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < t->capacity; ++i) {
       t->keys[i].store(kEmptyKey, std::memory_order_release);
@@ -97,6 +101,7 @@ class DenseMap {
   /// reference to an old table (e.g. the ESP-blocked window at delta
   /// switch, or single-threaded phases).
   void ReclaimRetired() {
+    // relaxed: caller guarantees quiescence (see contract above).
     Table* t = active_.load(std::memory_order_relaxed);
     std::erase_if(tables_, [t](const std::unique_ptr<Table>& p) {
       return p.get() != t;
@@ -124,6 +129,7 @@ class DenseMap {
           keys(new std::atomic<std::uint64_t>[cap]),
           values(new std::atomic<std::uint32_t>[cap]) {
       for (std::size_t i = 0; i < cap; ++i) {
+        // relaxed: table is private until published via active_.
         keys[i].store(kEmptyKey, std::memory_order_relaxed);
       }
     }
@@ -136,6 +142,7 @@ class DenseMap {
   static std::size_t NormalizeCapacity(std::size_t c) {
     std::size_t cap = 64;
     while (cap < c) cap <<= 1;
+    AIM_DCHECK((cap & (cap - 1)) == 0);  // mask-probing needs a power of two
     return cap;
   }
 
@@ -145,16 +152,24 @@ class DenseMap {
   }
 
   void GrowTo(std::size_t new_cap) {
+    // relaxed: (whole function) runs on the single writer thread. The old
+    // table's slots were written by this thread, and the new table is
+    // private until the release store of active_ below publishes it.
     Table* old = active_.load(std::memory_order_relaxed);
+    AIM_DCHECK_MSG(new_cap > old->capacity, "growth must enlarge the table");
     Table* next = NewTable(new_cap);
     for (std::size_t i = 0; i < old->capacity; ++i) {
+      // relaxed: reading slots this thread wrote.
       std::uint64_t k = old->keys[i].load(std::memory_order_relaxed);
       if (k == kEmptyKey) continue;
+      // relaxed: reading slots this thread wrote.
       std::uint32_t v = old->values[i].load(std::memory_order_relaxed);
       std::size_t idx = Mix64(k) & next->mask;
+      // relaxed: `next` is private to this thread until published below.
       while (next->keys[idx].load(std::memory_order_relaxed) != kEmptyKey) {
         idx = (idx + 1) & next->mask;
       }
+      // relaxed: `next` is private to this thread until published below.
       next->values[idx].store(v, std::memory_order_relaxed);
       next->keys[idx].store(k, std::memory_order_relaxed);
     }

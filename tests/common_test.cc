@@ -161,8 +161,8 @@ TEST(ClockTest, WallClockMonotonic) {
 
 TEST(ClockTest, StopwatchMeasuresElapsed) {
   Stopwatch sw;
-  volatile int sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) sink += i;
   EXPECT_GT(sw.ElapsedNanos(), 0);
   EXPECT_GE(sw.ElapsedMillis(), 0.0);
 }

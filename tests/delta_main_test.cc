@@ -290,5 +290,55 @@ TEST_F(DeltaMainTest, ConcurrentEspAndMergeThreads) {
   EXPECT_EQ(total, kEntities * kIncrementsPerEntity);
 }
 
+// With no ESP attached there is nobody to acknowledge the swap epoch, so
+// SwitchDeltas must take the unsynchronized fast path instead of waiting —
+// the startup/shutdown state of every storage node. Single-threaded and
+// fully deterministic: a handshake regression here is a hang, not a flake.
+TEST_F(DeltaMainTest, SwitchWithoutEspAttachedDoesNotBlock) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  std::memset(row_.data(), 0, row_.size());
+  ASSERT_TRUE(store_->BulkInsert(1, row_.data()).ok());
+
+  for (int round = 0; round < 3; ++round) {
+    Version v = 0;
+    ASSERT_TRUE(store_->Get(1, out_.data(), &v).ok());
+    RecordView rec(schema_.get(), out_.data());
+    rec.Set(calls, Value::Int32(rec.Get(calls).i32() + 1));
+    ASSERT_TRUE(store_->Put(1, out_.data(), v).ok());
+
+    store_->SwitchDeltas();  // must return immediately: no writer to park
+    EXPECT_EQ(store_->MergeStep(), 1u);
+  }
+  EXPECT_EQ(store_->GetAttribute(1, calls)->i32(), 3);
+}
+
+// Detach racing an in-flight switch: the RTA side is parked in SwitchDeltas
+// waiting for an acknowledgement that will never come, because the ESP
+// detaches instead of checkpointing. The detach must release the waiter
+// (otherwise this test hangs). The switch itself must still complete so a
+// later merge sees the frozen delta.
+TEST_F(DeltaMainTest, DetachWhileSwitchWaitingReleasesRta) {
+  const std::uint16_t calls = schema_->FindAttribute("calls_today");
+  std::memset(row_.data(), 0, row_.size());
+  ASSERT_TRUE(store_->BulkInsert(1, row_.data()).ok());
+
+  store_->set_esp_attached(true);
+  Version v = 0;
+  ASSERT_TRUE(store_->Get(1, out_.data(), &v).ok());
+  RecordView rec(schema_.get(), out_.data());
+  rec.Set(calls, Value::Int32(7));
+  ASSERT_TRUE(store_->Put(1, out_.data(), v).ok());
+
+  // RTA thread blocks in SwitchDeltas: the attached ESP never checkpoints.
+  std::thread rta([&] { store_->SwitchDeltas(); });
+  // Give the waiter time to actually park before pulling the rug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  store_->set_esp_attached(false);
+  rta.join();  // hangs here if detach does not release the wait loop
+
+  EXPECT_EQ(store_->MergeStep(), 1u);
+  EXPECT_EQ(store_->GetAttribute(1, calls)->i32(), 7);
+}
+
 }  // namespace
 }  // namespace aim

@@ -1,0 +1,226 @@
+// Concurrency stress for the delta-swap protocol (paper Algorithms 6/7,
+// epoch formulation in delta_main.h). Each test runs a real ESP writer
+// thread against an RTA thread doing switch/merge cycles with *no* pacing,
+// so any ordering hole in the handshake shows up either as a ThreadSanitizer
+// report (delta bytes written while merged) or as a lost update the final
+// accounting catches. The boolean two-flag protocol this replaced fails
+// RapidSwitchVsWriter: its dangling-acknowledgement window lets a switch
+// run against an unparked writer.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/storage/delta_main.h"
+#include "stress_util.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+class DeltaSwapStressTest : public ::testing::Test {
+ protected:
+  DeltaSwapStressTest() : schema_(MakeTinySchema()) {
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 16;
+    opts.max_records = 1u << 16;
+    store_ = std::make_unique<DeltaMainStore>(schema_.get(), opts);
+    calls_ = schema_->FindAttribute("calls_today");
+  }
+
+  void Preload(EntityId entities) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= entities; ++e) {
+      ASSERT_TRUE(store_->BulkInsert(e, row.data()).ok());
+    }
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<DeltaMainStore> store_;
+  std::uint16_t calls_ = 0;
+};
+
+// The core torture: back-to-back SwitchDeltas/MergeStep cycles with zero
+// delay between rounds, racing a writer that checkpoints before every
+// read-modify-write. Validates total increment conservation at the end.
+TEST_F(DeltaSwapStressTest, RapidSwitchVsWriter) {
+  constexpr EntityId kEntities = 48;
+  const std::uint64_t kIncrements = stress::Scaled(20000);
+  Preload(kEntities);
+  store_->set_esp_attached(true);
+
+  std::atomic<bool> esp_done{false};
+  std::thread esp([&] {
+    std::vector<std::uint8_t> buf(schema_->record_size());
+    Random rng(7);
+    for (std::uint64_t i = 0; i < kIncrements; ++i) {
+      store_->EspCheckpoint();
+      const EntityId e = rng.Uniform(kEntities) + 1;
+      Version v = 0;
+      ASSERT_TRUE(store_->Get(e, buf.data(), &v).ok());
+      RecordView rec(schema_.get(), buf.data());
+      rec.Set(calls_, Value::Int32(rec.Get(calls_).i32() + 1));
+      Status put = store_->Put(e, buf.data(), v);
+      ASSERT_TRUE(put.ok()) << put.ToString();
+    }
+    store_->set_esp_attached(false);
+    esp_done.store(true, std::memory_order_release);
+  });
+
+  std::thread rta([&] {
+    while (!esp_done.load(std::memory_order_acquire)) {
+      store_->SwitchDeltas();  // no pacing: maximize handshake pressure
+      store_->MergeStep();
+    }
+  });
+
+  esp.join();
+  rta.join();
+  store_->Merge();
+
+  std::uint64_t total = 0;
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    total +=
+        static_cast<std::uint64_t>(store_->GetAttribute(e, calls_)->i32());
+  }
+  EXPECT_EQ(total, kIncrements);
+  EXPECT_GT(store_->merge_epoch(), 0u);
+}
+
+// New entities flow through the delta while switches race the inserts;
+// every insert must survive exactly once.
+TEST_F(DeltaSwapStressTest, InsertsSurviveSwitchRaces) {
+  const EntityId kInserts = static_cast<EntityId>(stress::Scaled(8000));
+  store_->set_esp_attached(true);
+
+  std::atomic<bool> esp_done{false};
+  std::thread esp([&] {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= kInserts; ++e) {
+      store_->EspCheckpoint();
+      RecordView rec(schema_.get(), row.data());
+      rec.Set(calls_, Value::Int32(static_cast<std::int32_t>(e % 1000)));
+      Status st = store_->Insert(e, row.data());
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    store_->set_esp_attached(false);
+    esp_done.store(true, std::memory_order_release);
+  });
+
+  std::thread rta([&] {
+    while (!esp_done.load(std::memory_order_acquire)) {
+      store_->SwitchDeltas();
+      store_->MergeStep();
+    }
+  });
+
+  esp.join();
+  rta.join();
+  store_->Merge();
+
+  EXPECT_EQ(store_->main_records(), kInserts);
+  for (EntityId e = 1; e <= kInserts; e += 97) {  // spot-check values
+    ASSERT_EQ(store_->GetAttribute(e, calls_)->i32(),
+              static_cast<std::int32_t>(e % 1000));
+  }
+}
+
+// The ESP thread must never observe a value older than one it already saw:
+// Algorithm 3's read path (active delta -> frozen delta -> main) has to
+// stay monotone across switch and merge boundaries.
+TEST_F(DeltaSwapStressTest, ReadsNeverTravelBackInTime) {
+  constexpr EntityId kEntities = 16;
+  const std::uint64_t kIncrements = stress::Scaled(12000);
+  Preload(kEntities);
+  store_->set_esp_attached(true);
+
+  std::atomic<bool> esp_done{false};
+  std::thread esp([&] {
+    std::vector<std::uint8_t> buf(schema_->record_size());
+    std::vector<std::int32_t> last_seen(kEntities + 1, 0);
+    Random rng(23);
+    for (std::uint64_t i = 0; i < kIncrements; ++i) {
+      store_->EspCheckpoint();
+      const EntityId e = rng.Uniform(kEntities) + 1;
+      Version v = 0;
+      ASSERT_TRUE(store_->Get(e, buf.data(), &v).ok());
+      RecordView rec(schema_.get(), buf.data());
+      const std::int32_t seen = rec.Get(calls_).i32();
+      // Single writer: the read must return exactly the last value written.
+      ASSERT_EQ(seen, last_seen[e]) << "stale read for entity " << e;
+      rec.Set(calls_, Value::Int32(seen + 1));
+      ASSERT_TRUE(store_->Put(e, buf.data(), v).ok());
+      last_seen[e] = seen + 1;
+    }
+    store_->set_esp_attached(false);
+    esp_done.store(true, std::memory_order_release);
+  });
+
+  std::thread rta([&] {
+    while (!esp_done.load(std::memory_order_acquire)) {
+      store_->SwitchDeltas();
+      store_->MergeStep();
+    }
+  });
+
+  esp.join();
+  rta.join();
+}
+
+// Attach/detach churn, modelled on storage-node start/stop: each round
+// attaches the ESP writer *before* the RTA thread starts switching (the
+// protocol's contract), then detaches while the RTA side is still mid-
+// cycle. Exercises both the detached fast path and the detach-while-
+// waiting escape in SwitchDeltas.
+TEST_F(DeltaSwapStressTest, AttachDetachChurn) {
+  constexpr EntityId kEntities = 8;
+  const int kRounds = static_cast<int>(stress::Scaled(60));
+  Preload(kEntities);
+
+  std::uint64_t increments = 0;
+  std::vector<std::uint8_t> buf(schema_->record_size());
+  for (int round = 0; round < kRounds; ++round) {
+    store_->set_esp_attached(true);
+    std::atomic<bool> rta_stop{false};
+    std::thread esp([&] {
+      Random rng(round);
+      for (int i = 0; i < 100; ++i) {
+        store_->EspCheckpoint();
+        const EntityId e = rng.Uniform(kEntities) + 1;
+        Version v = 0;
+        ASSERT_TRUE(store_->Get(e, buf.data(), &v).ok());
+        RecordView rec(schema_.get(), buf.data());
+        rec.Set(calls_, Value::Int32(rec.Get(calls_).i32() + 1));
+        ASSERT_TRUE(store_->Put(e, buf.data(), v).ok());
+      }
+      store_->set_esp_attached(false);  // detach races the RTA's wait loop
+    });
+    std::thread rta([&] {
+      while (!rta_stop.load(std::memory_order_acquire)) {
+        store_->SwitchDeltas();
+        store_->MergeStep();
+      }
+    });
+    esp.join();
+    rta_stop.store(true, std::memory_order_release);
+    rta.join();
+    increments += 100;
+  }
+
+  store_->Merge();
+
+  std::uint64_t total = 0;
+  for (EntityId e = 1; e <= kEntities; ++e) {
+    total +=
+        static_cast<std::uint64_t>(store_->GetAttribute(e, calls_)->i32());
+  }
+  EXPECT_EQ(total, increments);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,106 @@
+// Stress for DenseMap's single-writer / multi-reader contract: growth under
+// load with concurrent probes, Clear() racing readers, and retired-table
+// reclamation at quiescence. Readers validate values against a published
+// watermark, so a torn or lost publication fails the test even without
+// TSan; with TSan, any unsynchronized slot access is reported directly.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/storage/dense_map.h"
+#include "stress_util.h"
+
+namespace aim {
+namespace {
+
+std::uint32_t ExpectedValue(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key * 2654435761u);
+}
+
+// Writer inserts an increasing key range (forcing several growth/retire
+// cycles from the small initial capacity); readers must find every key at
+// or below the watermark with its exact value.
+TEST(DenseMapStressTest, ReadersVsWriterGrowth) {
+  const std::uint64_t kKeys = stress::Scaled(30000);
+  DenseMap map(/*initial_capacity=*/64);
+
+  std::atomic<std::uint64_t> watermark{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t x = 88172645463325252ull + r;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t w = watermark.load(std::memory_order_acquire);
+        if (w == 0) continue;
+        // xorshift64 — cheap thread-local PRNG.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t key = x % w + 1;
+        const std::uint32_t got = map.Find(key);
+        ASSERT_EQ(got, ExpectedValue(key)) << "key " << key;
+      }
+    });
+  }
+
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    map.Upsert(k, ExpectedValue(k));
+    watermark.store(k, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  // Growth from capacity 64 to >= kKeys must have retired tables; with the
+  // readers quiesced we may reclaim them.
+  EXPECT_GT(map.retired_tables(), 0u);
+  map.ReclaimRetired();
+  EXPECT_EQ(map.retired_tables(), 0u);
+  for (std::uint64_t k = 1; k <= kKeys; k += 101) {
+    ASSERT_EQ(map.Find(k), ExpectedValue(k));
+  }
+}
+
+// Clear() racing readers: a reader may see a key's value or kNotFound, but
+// never a value the key was not mapped to.
+TEST(DenseMapStressTest, ClearVsReadersNeverFabricates) {
+  constexpr std::uint64_t kKeys = 512;
+  const int kRounds = static_cast<int>(stress::Scaled(200));
+  DenseMap map(/*initial_capacity=*/2048);  // no growth: isolate Clear races
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t x = 1442695040888963407ull + r;
+      while (!done.load(std::memory_order_acquire)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t key = x % kKeys + 1;
+        const std::uint32_t got = map.Find(key);
+        if (got != DenseMap::kNotFound) {
+          ASSERT_EQ(got, ExpectedValue(key)) << "fabricated value";
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::uint64_t k = 1; k <= kKeys; ++k) {
+      map.Upsert(k, ExpectedValue(k));
+    }
+    map.Clear();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(map.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aim

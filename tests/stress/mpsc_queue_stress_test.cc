@@ -1,0 +1,164 @@
+// Multi-producer torture for MpscQueue: conservation (nothing lost, nothing
+// duplicated), per-producer FIFO order, bounded-capacity backpressure, and
+// the Close() drain semantics — all under ThreadSanitizer in the stress
+// tier.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/mpsc_queue.h"
+#include "stress_util.h"
+
+namespace aim {
+namespace {
+
+struct Item {
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+};
+
+// Blocking Push from several producers; the consumer must see every item
+// exactly once and each producer's items in submission order.
+TEST(MpscQueueStressTest, MultiProducerConservationAndFifo) {
+  constexpr std::uint32_t kProducers = 4;
+  const std::uint64_t kPerProducer = stress::Scaled(8000);
+  MpscQueue<Item> queue(/*capacity=*/64);
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p, kPerProducer] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push({p, i}));
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::optional<Item> item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_LT(item->producer, kProducers);
+    ASSERT_EQ(item->seq, next_seq[item->producer]) << "per-producer FIFO";
+    next_seq[item->producer]++;
+    received++;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// TryPush against a tiny bound with a slow consumer: successful pushes plus
+// rejected pushes must account for every attempt, and the consumer must
+// drain exactly the successful ones.
+TEST(MpscQueueStressTest, TryPushBackpressureConservation) {
+  constexpr std::uint32_t kProducers = 3;
+  const std::uint64_t kAttempts = stress::Scaled(20000);
+  MpscQueue<Item> queue(/*capacity=*/8);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> producers_done{false};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kAttempts; ++i) {
+        if (queue.TryPush({p, i})) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::uint64_t drained = 0;
+  std::thread consumer([&] {
+    while (true) {
+      if (std::optional<Item> item = queue.TryPop()) {
+        drained++;
+        continue;
+      }
+      if (producers_done.load(std::memory_order_acquire) &&
+          queue.size() == 0) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  producers_done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(drained, accepted.load(std::memory_order_acquire));
+}
+
+// Close() racing active producers: every Push that reported success must be
+// delivered; every Push after the close must report failure. The consumer
+// drains the backlog after close (documented Close semantics).
+TEST(MpscQueueStressTest, CloseRaceDrainsBacklog) {
+  constexpr std::uint32_t kProducers = 4;
+  MpscQueue<Item> queue(/*capacity=*/32);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0;; ++i) {
+        if (!queue.Push({p, i})) return;  // closed
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let the producers build up steam, then close under load.
+  std::uint64_t drained = 0;
+  const std::uint64_t close_after = stress::Scaled(5000);
+  while (drained < close_after) {
+    if (queue.Pop().has_value()) drained++;
+  }
+  queue.Close();
+  for (auto& t : producers) t.join();
+  while (queue.Pop().has_value()) drained++;
+
+  EXPECT_EQ(drained, accepted.load(std::memory_order_acquire));
+  EXPECT_TRUE(queue.closed());
+}
+
+// DrainInto batch consumption (the shared-scan ingestion pattern) against
+// concurrent producers.
+TEST(MpscQueueStressTest, DrainIntoBatchesConserve) {
+  constexpr std::uint32_t kProducers = 2;
+  const std::uint64_t kPerProducer = stress::Scaled(10000);
+  MpscQueue<Item> queue(/*capacity=*/128);
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p, kPerProducer] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push({p, i}));
+      }
+    });
+  }
+
+  std::vector<Item> batch;
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    batch.clear();
+    if (queue.DrainInto(&batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Item& item : batch) {
+      ASSERT_EQ(item.seq, next_seq[item.producer]);
+      next_seq[item.producer]++;
+    }
+    received += batch.size();
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace aim

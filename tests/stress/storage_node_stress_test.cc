@@ -1,0 +1,224 @@
+// End-to-end ingest-while-query stress: a full StorageNode (ESP service
+// threads + RTA scan threads + coordinator) under concurrent multi-producer
+// event submission and a live query stream, plus the same workload driven
+// through the separate-ESP-tier deployment (EspTierNode, paper §4.2 option
+// a). Every submitted event must be processed exactly once, and aggregates
+// observed mid-flight must be monotone.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/server/esp_tier.h"
+#include "aim/server/storage_node.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "stress_util.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+class StorageNodeStressTest : public ::testing::Test {
+ protected:
+  StorageNodeStressTest()
+      : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {}
+
+  StorageNode::Options NodeOptions(std::uint32_t partitions,
+                                   std::uint32_t esp_threads) {
+    StorageNode::Options opts;
+    opts.node_id = 0;
+    opts.num_partitions = partitions;
+    opts.num_esp_threads = esp_threads;
+    opts.bucket_size = 64;
+    opts.max_records_per_partition = 1 << 14;
+    opts.scan_poll_micros = 200;
+    return opts;
+  }
+
+  void LoadEntities(StorageNode* node, std::uint64_t n) {
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= n; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, n, row.data());
+      ASSERT_TRUE(node->BulkLoad(e, row.data()).ok());
+    }
+  }
+
+  static std::vector<std::uint8_t> Wire(const Event& e) {
+    BinaryWriter w;
+    e.Serialize(&w);
+    return w.TakeBuffer();
+  }
+
+  QueryResult RunQuery(StorageNode* node, const Query& q) {
+    BinaryWriter w;
+    q.Serialize(&w);
+    MpscQueue<std::vector<std::uint8_t>> replies;
+    EXPECT_TRUE(node->SubmitQuery(w.TakeBuffer(),
+                                  [&replies](std::vector<std::uint8_t>&& b) {
+                                    replies.Push(std::move(b));
+                                  }));
+    std::optional<std::vector<std::uint8_t>> bytes = replies.Pop();
+    QueryResult result;
+    if (!bytes.has_value() || bytes->empty()) {
+      result.status = Status::Shutdown();
+      return result;
+    }
+    BinaryReader r(*bytes);
+    StatusOr<PartialResult> partial = PartialResult::Deserialize(&r);
+    EXPECT_TRUE(partial.ok());
+    return FinalizeResult(q, &dims_.catalog, std::move(partial).value());
+  }
+
+  /// Polls the SUM(number_of_calls_today) aggregate until it reaches
+  /// `expected` or the attempt budget runs out; returns the last value.
+  double AwaitSum(StorageNode* node, double expected) {
+    Query q = *QueryBuilder(schema_.get())
+                   .Select(AggOp::kSum, "number_of_calls_today")
+                   .Build();
+    double seen = 0;
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      const QueryResult r = RunQuery(node, q);
+      EXPECT_TRUE(r.status.ok());
+      seen = r.rows[0].values[0];
+      if (seen == expected) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return seen;
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+};
+
+// Co-located deployment (paper §4.2 option b): several producers submit
+// events while a query thread streams SUM/COUNT aggregates. The query
+// stream must stay monotone (increment-only workload) and the final tally
+// must account for every submitted event exactly once.
+TEST_F(StorageNodeStressTest, IngestWhileQuery) {
+  constexpr std::uint64_t kEntities = 64;
+  constexpr std::uint32_t kProducers = 3;
+  const std::uint64_t kPerProducer = stress::Scaled(2000);
+
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_, NodeOptions(2, 1));
+  LoadEntities(&node, kEntities);
+  ASSERT_TRUE(node.Start().ok());
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      CdrGenerator::Options gopts;
+      gopts.num_entities = kEntities;
+      gopts.seed = 100 + p;
+      CdrGenerator gen(gopts);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(node.SubmitEvent(Wire(gen.Next(1000 + i)), nullptr));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Query stream racing the ingest: SUM(number_of_calls_today) counts one
+  // per processed event, so it must be monotone and bounded by submissions.
+  std::atomic<bool> stop_queries{false};
+  std::thread querier([&] {
+    Query q = *QueryBuilder(schema_.get())
+                   .Select(AggOp::kSum, "number_of_calls_today")
+                   .Build();
+    double last = 0;
+    while (!stop_queries.load(std::memory_order_acquire)) {
+      const QueryResult r = RunQuery(&node, q);
+      ASSERT_TRUE(r.status.ok());
+      const double sum = r.rows[0].values[0];
+      ASSERT_GE(sum, last) << "aggregate regressed mid-ingest";
+      ASSERT_LE(sum, static_cast<double>(
+                         submitted.load(std::memory_order_acquire)));
+      last = sum;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  const std::uint64_t total = submitted.load(std::memory_order_acquire);
+  EXPECT_EQ(AwaitSum(&node, static_cast<double>(total)),
+            static_cast<double>(total));
+  stop_queries.store(true, std::memory_order_release);
+  querier.join();
+  node.Stop();
+
+  EXPECT_EQ(node.stats().events_processed, total);
+  EXPECT_GT(node.stats().scan_cycles, 0u);
+}
+
+// Same workload through the separate ESP tier (option a): events enter
+// EspTierNode workers, which drive the storage node via its record-level
+// Get/Put service. Conservation must hold across the extra hop, and the
+// tier must report record traffic.
+TEST_F(StorageNodeStressTest, EspTierIngestWhileQuery) {
+  constexpr std::uint64_t kEntities = 64;
+  constexpr std::uint32_t kProducers = 2;
+  const std::uint64_t kPerProducer = stress::Scaled(1500);
+
+  StorageNode node(schema_.get(), &dims_.catalog, &rules_, NodeOptions(2, 1));
+  LoadEntities(&node, kEntities);
+  ASSERT_TRUE(node.Start().ok());
+
+  EspTierNode::Options topts;
+  topts.num_threads = 2;
+  EspTierNode tier(schema_.get(), &node, &rules_, topts);
+  ASSERT_TRUE(tier.Start().ok());
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      CdrGenerator::Options gopts;
+      gopts.num_entities = kEntities;
+      gopts.seed = 300 + p;
+      CdrGenerator gen(gopts);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        EventCompletion done;
+        ASSERT_TRUE(tier.SubmitEvent(Wire(gen.Next(1000 + i)), &done));
+        done.Wait();
+        ASSERT_TRUE(done.status.ok()) << done.status.ToString();
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<bool> stop_queries{false};
+  std::thread querier([&] {
+    Query q = *QueryBuilder(schema_.get())
+                   .Select(AggOp::kSum, "number_of_calls_today")
+                   .Build();
+    double last = 0;
+    while (!stop_queries.load(std::memory_order_acquire)) {
+      const QueryResult r = RunQuery(&node, q);
+      ASSERT_TRUE(r.status.ok());
+      const double sum = r.rows[0].values[0];
+      ASSERT_GE(sum, last);
+      last = sum;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  const std::uint64_t total = submitted.load(std::memory_order_acquire);
+  EXPECT_EQ(AwaitSum(&node, static_cast<double>(total)),
+            static_cast<double>(total));
+  stop_queries.store(true, std::memory_order_release);
+  querier.join();
+  tier.Stop();
+  node.Stop();
+
+  EXPECT_EQ(tier.stats().events_processed, total);
+  EXPECT_GT(tier.stats().record_bytes_shipped, 0u);
+}
+
+}  // namespace
+}  // namespace aim

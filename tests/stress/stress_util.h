@@ -1,0 +1,27 @@
+#ifndef AIM_TESTS_STRESS_STRESS_UTIL_H_
+#define AIM_TESTS_STRESS_STRESS_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace aim {
+namespace stress {
+
+/// Iteration multiplier for the stress tier. Defaults to 1 so the tier
+/// stays quick under plain `ctest`; the CI TSan job (and anyone hunting a
+/// rare interleaving locally) raises it via AIM_STRESS_SCALE. The tests are
+/// designed so that *correctness* never depends on the scale — a larger
+/// scale only buys more interleavings.
+inline std::uint64_t Scale() {
+  const char* s = std::getenv("AIM_STRESS_SCALE");
+  if (s == nullptr) return 1;
+  const long v = std::atol(s);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+inline std::uint64_t Scaled(std::uint64_t base) { return base * Scale(); }
+
+}  // namespace stress
+}  // namespace aim
+
+#endif  // AIM_TESTS_STRESS_STRESS_UTIL_H_

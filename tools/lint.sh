@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Lint gate for the AIM tree. Two checks:
+#
+#   1. memory-order audit (always runs, no toolchain dependency): every
+#      `memory_order_relaxed` in src/aim/** must carry a `// relaxed: ...`
+#      justification — on the same line, within the 3 preceding lines, or
+#      chained from an immediately preceding justified relaxed line (one
+#      comment may cover a contiguous block). See docs/CORRECTNESS.md.
+#
+#   2. clang-tidy over src/aim/**/*.cc with the repo .clang-tidy config.
+#      Skipped with a notice when clang-tidy or compile_commands.json is
+#      unavailable (the CI lint job provides both).
+#
+# Exit status is non-zero iff a check that ran found a violation.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+STATUS=0
+
+# ---------------------------------------------------------------------------
+# Check 1: relaxed-ordering justifications.
+# ---------------------------------------------------------------------------
+echo "== memory_order_relaxed justification audit =="
+
+RELAXED_VIOLATIONS=$(
+  find src/aim -name '*.h' -o -name '*.cc' | sort | xargs awk '
+    FNR == 1 { last_justify = -10; last_ok_relaxed = -10 }
+    /relaxed:/ { last_justify = FNR }
+    /memory_order_relaxed/ {
+      if (/relaxed:/ || FNR - last_justify <= 3 ||
+          FNR - last_ok_relaxed <= 2) {
+        last_ok_relaxed = FNR
+      } else {
+        printf "%s:%d: memory_order_relaxed without a \"// relaxed:\" justification\n", FILENAME, FNR
+      }
+    }
+  '
+)
+
+if [ -n "$RELAXED_VIOLATIONS" ]; then
+  echo "$RELAXED_VIOLATIONS"
+  COUNT=$(printf '%s\n' "$RELAXED_VIOLATIONS" | wc -l)
+  echo "FAIL: $COUNT unjustified memory_order_relaxed use(s)."
+  echo "Add an adjacent '// relaxed: <why no ordering is needed>' comment."
+  STATUS=1
+else
+  echo "OK: all memory_order_relaxed uses are justified."
+fi
+
+# ---------------------------------------------------------------------------
+# Check 2: clang-tidy (when available).
+# ---------------------------------------------------------------------------
+echo
+echo "== clang-tidy =="
+
+BUILD_DIR="${AIM_LINT_BUILD_DIR:-build}"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "SKIP: clang-tidy not installed (install LLVM or run the CI lint job)."
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "SKIP: $BUILD_DIR/compile_commands.json not found."
+  echo "      Configure first: cmake -B $BUILD_DIR -S . (exports compile commands)."
+else
+  # shellcheck disable=SC2046
+  if ! clang-tidy -p "$BUILD_DIR" --quiet $(find src/aim -name '*.cc' | sort); then
+    echo "FAIL: clang-tidy reported warnings (treated as errors)."
+    STATUS=1
+  else
+    echo "OK: clang-tidy clean."
+  fi
+fi
+
+exit $STATUS

@@ -1,11 +1,12 @@
 #ifndef AIM_COMMON_MPSC_QUEUE_H_
 #define AIM_COMMON_MPSC_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "aim/common/sync_provider.h"
 
 namespace aim {
 
@@ -21,8 +22,11 @@ namespace aim {
 /// after unlock would let the peer consume the item and destroy the queue
 /// while the notifier is still inside pthread_cond_signal on the freed
 /// condvar — a real use-after-free for the common "pop the final reply,
-/// then drop the queue" pattern (caught by TSan in the stress tier).
-template <typename T>
+/// then drop the queue" pattern (caught by TSan in the stress tier and
+/// proved exhaustively by tests/mc/mpsc_queue_mc_test.cc, which
+/// instantiates this class with the model checker's sync provider — that
+/// is what the P parameter exists for; production uses the default).
+template <typename T, typename P = RealSyncProvider>
 class MpscQueue {
  public:
   explicit MpscQueue(std::size_t capacity = 0) : capacity_(capacity) {}
@@ -32,7 +36,7 @@ class MpscQueue {
 
   /// Blocking push. Returns false if the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<typename P::Mutex> lock(mu_);
     not_full_.wait(lock, [&] {
       return closed_ || capacity_ == 0 || items_.size() < capacity_;
     });
@@ -44,7 +48,7 @@ class MpscQueue {
 
   /// Non-blocking push. Returns false if full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<typename P::Mutex> lock(mu_);
     if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
       return false;
     }
@@ -55,7 +59,7 @@ class MpscQueue {
 
   /// Blocking pop. Returns nullopt once the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<typename P::Mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -66,7 +70,7 @@ class MpscQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<typename P::Mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -79,7 +83,7 @@ class MpscQueue {
   /// Returns the number of items drained.
   template <typename Container>
   std::size_t DrainInto(Container* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<typename P::Mutex> lock(mu_);
     std::size_t n = items_.size();
     while (!items_.empty()) {
       out->push_back(std::move(items_.front()));
@@ -90,26 +94,26 @@ class MpscQueue {
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<typename P::Mutex> lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<typename P::Mutex> lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<typename P::Mutex> lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable typename P::Mutex mu_;
+  typename P::CondVar not_empty_;
+  typename P::CondVar not_full_;
   std::deque<T> items_;
   const std::size_t capacity_;  // 0 = unbounded
   bool closed_ = false;

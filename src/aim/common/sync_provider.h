@@ -1,0 +1,49 @@
+#ifndef AIM_COMMON_SYNC_PROVIDER_H_
+#define AIM_COMMON_SYNC_PROVIDER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace aim {
+
+/// Synchronization-primitive provider for the concurrency-protocol
+/// templates (SwapHandshake, BasicDenseMap, MpscQueue). Production code
+/// instantiates them with this provider — plain std types, zero overhead;
+/// the model checker instantiates them with mc::ModelSyncProvider
+/// (aim/mc/shim.h), which routes every operation through an exhaustive
+/// interleaving explorer. Parameterizing the *real* protocol code is what
+/// lets the checker test production logic instead of a re-implementation
+/// (see docs/CORRECTNESS.md, "Model checking").
+struct RealSyncProvider {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+  using AtomicBool = std::atomic<bool>;
+  using Mutex = std::mutex;
+  using CondVar = std::condition_variable;
+
+  /// Spin-throttle for handshake wait loops: pause for short waits, yield
+  /// once the other side clearly is not running (mandatory on
+  /// oversubscribed cores, where pure pause-spinning livelocks the
+  /// handshake until the OS preempts us). Never an ordering operation —
+  /// protocol correctness must not depend on it (the model checker
+  /// replaces it with a block-until-peer-writes hint).
+  static void Pause(int spins) {
+    if (spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      // No pause instruction: yield instead of spinning hot. (A fence here
+      // would smuggle in ordering the protocol must not rely on.)
+      std::this_thread::yield();
+#endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_SYNC_PROVIDER_H_

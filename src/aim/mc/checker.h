@@ -1,0 +1,112 @@
+#ifndef AIM_MC_CHECKER_H_
+#define AIM_MC_CHECKER_H_
+
+// Public API of the aim::mc model checker: exhaustively explores thread
+// interleavings of a test body built from the shim types in
+// "aim/mc/shim.h", up to a configurable preemption bound.
+//
+//   mc::Options opts;
+//   opts.preemption_bound = 2;
+//   mc::Result r = mc::Check(opts, [](mc::Sim& sim) {
+//     auto st = std::make_shared<State>();          // shim objects inside
+//     sim.Spawn("writer", [st] { ... mc::McAssert(...); ... });
+//     sim.Spawn("merger", [st] { ... });
+//     sim.OnFinal([st] { mc::McAssert(st->total == 3, "conservation"); });
+//   });
+//   ASSERT_TRUE(r.ok()) << r.Report();
+//
+// The setup lambda runs once per explored execution and must be
+// deterministic (no wall clock, no randomness); shared state must be kept
+// alive by the thread closures (shared_ptr), so each execution starts
+// fresh. A failing execution is reported with a human-readable trace and a
+// schedule seed string; passing that string as Options::replay re-runs
+// exactly that interleaving (e.g. while debugging with extra Notes).
+//
+// See docs/CORRECTNESS.md ("Model checking") for the design and for when
+// to write an mc test vs a stress test.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "aim/mc/scheduler.h"
+
+namespace aim {
+namespace mc {
+
+struct Options {
+  /// Maximum number of times the explorer may switch away from a thread
+  /// that could have kept running (context switches at blocking points are
+  /// free). 2-3 finds most interleaving bugs (CHESS's empirical result)
+  /// while keeping the schedule space small enough to exhaust.
+  int preemption_bound = 2;
+
+  /// Prune decision points whose (threads × objects) state hash was
+  /// already explored with at least as much remaining preemption budget.
+  /// Sound up to 64-bit hash collisions; disable to force a full DFS.
+  bool state_caching = true;
+
+  /// Replay exactly this schedule (a Result::failing_schedule string)
+  /// instead of exploring. Empty = explore.
+  std::string replay;
+
+  /// Safety rails: exploration aborts with Result::error set (and
+  /// complete = false) when exceeded — a signal the test body is too big
+  /// for exhaustive checking, not a pass.
+  std::uint64_t max_executions = 2'000'000;
+  std::uint64_t max_steps_per_execution = 20'000;
+};
+
+struct Result {
+  bool violation_found = false;
+  /// True iff the bounded schedule space was fully explored. False when a
+  /// violation stopped the search early, when replaying, or on error.
+  bool complete = false;
+  std::string failure;           // violation message (McAssert / deadlock)
+  std::string failing_schedule;  // re-runnable seed string ("0.1.1.0...")
+  std::string trace;             // human-readable failing interleaving
+  std::string error;             // infrastructure error (limits, misuse)
+
+  std::uint64_t executions = 0;  // schedules actually run
+  std::uint64_t steps = 0;       // total schedule points executed
+  std::uint64_t pruned = 0;      // decision points cut by the state cache
+  int max_preemptions_used = 0;
+
+  /// Passed: exhausted the space (or finished the replay) with no
+  /// violation and no infrastructure error.
+  bool ok() const { return !violation_found && error.empty(); }
+
+  /// Multi-line summary: stats, and on failure the trace + seed string.
+  std::string Report() const;
+};
+
+class Scheduler;
+
+/// Per-execution handle given to the setup lambda.
+class Sim {
+ public:
+  /// Spawns a virtual thread. Threads are scheduled only at shim
+  /// operations; code between schedule points runs atomically.
+  void Spawn(const char* name, std::function<void()> fn);
+
+  /// Registers a hook that runs (in setup context) after every thread of a
+  /// normally-finished execution has terminated; use for conservation /
+  /// post-condition checks via McAssert.
+  void OnFinal(std::function<void()> fn);
+
+ private:
+  friend class Scheduler;
+  explicit Sim(Scheduler* scheduler) : scheduler_(scheduler) {}
+  Scheduler* scheduler_;
+};
+
+/// Explores the interleavings of `setup`'s threads. Returns after the
+/// space is exhausted, a violation is found, or a safety rail triggers.
+/// Deterministic: identical inputs produce identical results and traces.
+Result Check(const Options& options,
+             const std::function<void(Sim&)>& setup);
+
+}  // namespace mc
+}  // namespace aim
+
+#endif  // AIM_MC_CHECKER_H_

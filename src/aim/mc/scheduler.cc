@@ -1,0 +1,934 @@
+#include "aim/mc/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "aim/mc/checker.h"
+
+namespace aim {
+namespace mc {
+namespace {
+
+/// splitmix64 finalizer: the mixing core of the state hash.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Mix2(std::uint64_t a, std::uint64_t b) {
+  return Mix(a ^ Mix(b));
+}
+
+const char* OpName(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kMutexUnlock: return "unlock";
+    case OpKind::kCondWait: return "cond-wait";
+    case OpKind::kCondNotify: return "notify";
+    case OpKind::kSpin: return "spin-pause";
+  }
+  return "?";
+}
+
+char ObjectPrefix(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kAtomic: return 'a';
+    case ObjectKind::kMutex: return 'm';
+    case ObjectKind::kCondVar: return 'c';
+  }
+  return '?';
+}
+
+/// Thrown inside a virtual thread to unwind it when the execution ends
+/// early (violation found, branch pruned, or explorer teardown).
+struct AbortExecution {};
+
+enum class ThreadStatus : std::uint8_t {
+  kRunnable,      // parked at a schedule point, eligible
+  kBlockedMutex,  // pending lock on a held mutex
+  kBlockedCond,   // inside CondWaitBlock, before any notify
+  kBlockedSpin,   // inside SpinPause, no state change since parking
+  kFinished,
+};
+
+}  // namespace
+
+// =====================================================================
+// Scheduler: one instance per mc::Check call; drives every execution.
+// =====================================================================
+
+class Scheduler {
+ public:
+  Scheduler(const Options& options, const std::function<void(Sim&)>& setup)
+      : options_(options), setup_(setup) {}
+
+  Result Explore();
+
+  // ----- hooks called from shim / virtual threads (public for the free
+  // functions below; not part of the user API) -----
+  ObjectId RegisterObjectImpl(ObjectKind kind, std::uint64_t initial);
+  void DestroyObjectImpl(ObjectId id);
+  void AtOpPointImpl(OpKind kind, ObjectId obj, std::uint64_t arg);
+  void ReportValueImpl(ObjectId obj, std::uint64_t value);
+  void DriverOpValueImpl(ObjectId obj, std::uint64_t value);
+  void SpinPauseImpl();
+  void MutexLockImpl(ObjectId id);
+  void MutexUnlockImpl(ObjectId id);
+  void CondWaitBlockImpl(ObjectId cv, ObjectId mutex);
+  void CondNotifyImpl(ObjectId cv);
+  void FailImpl(const char* msg);
+  void NoteImpl(const char* text);
+  void SpawnImpl(const char* name, std::function<void()> fn);
+  void OnFinalImpl(std::function<void()> fn);
+
+ private:
+  struct ThreadCtx {
+    int tid = -1;
+    std::string name;
+    std::function<void()> fn;
+    std::thread real;
+
+    // Handoff (guarded by Scheduler::hm_).
+    bool can_run = false;
+    std::condition_variable wake;
+
+    ThreadStatus status = ThreadStatus::kRunnable;
+    OpKind pending_kind = OpKind::kLoad;
+    ObjectId pending_obj = kNoObject;
+    std::uint64_t pending_arg = 0;
+    ObjectId reacquire_mutex = kNoObject;  // CondWait phase 2
+
+    // Spin-loop modeling. A paused spinner may be blocked only while no
+    // *other-thread* write has happened since its previous pause: the
+    // failed loop iteration between the two pauses read its condition
+    // somewhere in that window, so any other-thread write inside it might
+    // not have been observed yet and must keep the spinner schedulable
+    // (blocking on "no writes since the pause itself" loses wakeups that
+    // landed between the condition load and the pause). Own writes are
+    // excluded or a store-then-pause loop would keep itself awake forever.
+    std::uint64_t own_writes = 0;
+    std::uint64_t spin_baseline = 0;  // others-writes at the previous pause
+    // While parked at a pause: the baseline the enabled-check compares
+    // others-writes against (the previous pause's spin_baseline).
+    std::uint64_t spin_seen_writes = 0;
+
+    std::uint64_t obs_hash = 0;  // per-thread observation-sequence hash
+  };
+
+  struct ObjectInfo {
+    ObjectKind kind = ObjectKind::kAtomic;
+    bool alive = false;
+    std::uint64_t value = 0;  // atomics: last written; mutex: owner+1
+    std::uint64_t waiters = 0;  // condvar: xor-hash of waiting tids
+    // Per-object operation serial, folded into the obs hash for
+    // mutex/condvar ops: plain (uninstrumented) state guarded by a mutex
+    // is a function of the *order* of critical sections, so two states may
+    // only hash equal when their lock orders agree. Atomics rely on values
+    // instead, which keeps value-equivalent interleavings prunable.
+    std::uint64_t op_serial = 0;
+  };
+
+  struct Event {
+    int tid;
+    OpKind kind;
+    ObjectId obj;
+    std::uint64_t value;
+    const char* note;  // non-null => annotation event
+  };
+
+  struct Decision {
+    std::vector<int> enabled;  // canonical order (prev-thread first)
+    int choice = 0;            // index into enabled
+    int preemptions_before = 0;
+    int prev_running = -1;
+    bool prev_was_enabled = false;
+  };
+
+  // ----- execution driving -----
+  void RunOneExecution();
+  void DriveLoop();
+  void ReleaseAndWait(ThreadCtx* t);
+  void ParkCurrent(ThreadCtx* self);
+  void AbortRemainingThreads();
+  void JoinAllThreads();
+  void ThreadMain(ThreadCtx* t);
+
+  // ----- exploration bookkeeping -----
+  std::vector<int> EnabledThreads(int prev) const;
+  bool ThreadEnabled(const ThreadCtx& t) const;
+  bool AdvanceDeepestDecision();  // backtrack; false => space exhausted
+  int PreemptionCost(const Decision& d, int chosen) const;
+  std::uint64_t StateKey() const;
+  void RecordViolation(const std::string& msg);
+  void SetError(const std::string& msg);
+  std::string ScheduleString(std::size_t upto) const;
+  std::string FormatTrace() const;
+  std::string ObjName(ObjectId id) const;
+
+  const Options& options_;
+  const std::function<void(Sim&)>& setup_;
+
+  // Persistent across executions.
+  std::vector<Decision> stack_;
+  std::unordered_map<std::uint64_t, int> state_cache_;
+  std::vector<int> replay_;
+  Result result_;
+  bool stop_exploring_ = false;
+
+  // Per-execution state.
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<Event> trace_;
+  std::vector<int> schedule_;
+  std::function<void()> final_hook_;
+  std::size_t step_ = 0;
+  int preemptions_ = 0;
+  int prev_running_ = -1;
+  std::uint64_t write_serial_ = 0;  // bumped on every state-changing op
+  bool aborting_ = false;
+  bool teardown_ = false;  // between end-of-drive and next execution
+  bool violation_this_execution_ = false;
+  bool pruned_this_execution_ = false;
+  bool error_this_execution_ = false;
+
+  // Handoff machinery: exactly one of {driver, one virtual thread} runs at
+  // a time; hm_ serializes the baton passing.
+  std::mutex hm_;
+  std::condition_variable driver_wake_;
+  int parked_signal_ = 0;  // incremented whenever a thread parks/finishes
+
+  friend class Sim;
+  friend Result Check(const Options&, const std::function<void(Sim&)>&);
+};
+
+namespace {
+
+/// Active Check call (one at a time per process) and the virtual-thread
+/// context of the calling OS thread.
+Scheduler* g_active = nullptr;
+thread_local void* tls_thread_ctx = nullptr;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Free-function hooks (declared in scheduler.h).
+// ---------------------------------------------------------------------
+
+bool InSimulation() {
+  return g_active != nullptr && tls_thread_ctx != nullptr;
+}
+
+ObjectId RegisterObject(ObjectKind kind, std::uint64_t initial_value) {
+  if (g_active == nullptr) return kNoObject;
+  return g_active->RegisterObjectImpl(kind, initial_value);
+}
+
+void DestroyObject(ObjectId id) {
+  if (g_active == nullptr || id == kNoObject) return;
+  g_active->DestroyObjectImpl(id);
+}
+
+void AtOpPoint(OpKind kind, ObjectId obj, std::uint64_t arg) {
+  g_active->AtOpPointImpl(kind, obj, arg);
+}
+
+void ReportValue(ObjectId obj, std::uint64_t value) {
+  g_active->ReportValueImpl(obj, value);
+}
+
+void DriverOpValue(ObjectId obj, std::uint64_t value) {
+  if (g_active == nullptr || obj == kNoObject) return;
+  g_active->DriverOpValueImpl(obj, value);
+}
+
+void SpinPause() {
+  if (!InSimulation()) {
+    std::this_thread::yield();
+    return;
+  }
+  g_active->SpinPauseImpl();
+}
+
+void MutexLock(ObjectId id) { g_active->MutexLockImpl(id); }
+void MutexUnlock(ObjectId id) { g_active->MutexUnlockImpl(id); }
+
+void CondWaitBlock(ObjectId cv, ObjectId mutex) {
+  g_active->CondWaitBlockImpl(cv, mutex);
+}
+
+void CondNotify(ObjectId cv) { g_active->CondNotifyImpl(cv); }
+
+void McAssert(bool cond, const char* msg) {
+  if (cond) return;
+  if (g_active != nullptr) {
+    g_active->FailImpl(msg);
+    return;
+  }
+  throw std::logic_error(std::string("mc assertion failed outside Check: ") +
+                         msg);
+}
+
+void Note(const char* text) {
+  if (g_active == nullptr) return;
+  g_active->NoteImpl(text);
+}
+
+// ---------------------------------------------------------------------
+// Sim
+// ---------------------------------------------------------------------
+
+void Sim::Spawn(const char* name, std::function<void()> fn) {
+  scheduler_->SpawnImpl(name, std::move(fn));
+}
+
+void Sim::OnFinal(std::function<void()> fn) {
+  scheduler_->OnFinalImpl(std::move(fn));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: shim hooks
+// ---------------------------------------------------------------------
+
+ObjectId Scheduler::RegisterObjectImpl(ObjectKind kind,
+                                       std::uint64_t initial) {
+  ObjectInfo info;
+  info.kind = kind;
+  info.alive = true;
+  info.value = initial;
+  objects_.push_back(info);
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+void Scheduler::DestroyObjectImpl(ObjectId id) {
+  if (id >= objects_.size()) return;
+  ObjectInfo& o = objects_[id];
+  if (!o.alive) return;
+  o.alive = false;
+  // After an aborted execution the registry may be mid-flight (a thread
+  // unwound inside a critical section): teardown destructions are not
+  // protocol violations.
+  if (aborting_ || teardown_) return;
+  // Record only — never throw from here: shim destructors call this, and
+  // an exception escaping a destructor would terminate. The driver sees
+  // the violation at the next schedule point and aborts the execution.
+  if (o.kind == ObjectKind::kMutex && o.value != 0) {
+    RecordViolation("mutex destroyed while held");
+  }
+  if (o.kind == ObjectKind::kCondVar && o.waiters != 0) {
+    RecordViolation("condvar destroyed with blocked waiters");
+  }
+}
+
+void Scheduler::AtOpPointImpl(OpKind kind, ObjectId obj, std::uint64_t arg) {
+  // While an execution is being aborted, the only code running on virtual
+  // threads is stack unwinding; destructors along the way (unique_lock,
+  // guards) re-enter these hooks. They must neither park nor throw — a
+  // second AbortExecution mid-unwind would std::terminate — so every hook
+  // degrades to a no-op until teardown completes.
+  if (aborting_) return;
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  self->pending_kind = kind;
+  self->pending_obj = obj;
+  self->pending_arg = arg;
+  self->status = ThreadStatus::kRunnable;
+  ParkCurrent(self);
+  // Scheduled: about to perform the op. Operating on a destroyed shim
+  // object is the use-after-destroy bug class.
+  if (obj != kNoObject && !objects_[obj].alive) {
+    std::string msg = std::string(OpName(kind)) + " on destroyed object " +
+                      ObjName(obj);
+    FailImpl(msg.c_str());
+  }
+  trace_.push_back(Event{self->tid, kind, obj, arg, nullptr});
+  if (kind == OpKind::kStore || kind == OpKind::kRmw) {
+    ++write_serial_;
+    ++self->own_writes;
+  }
+}
+
+void Scheduler::ReportValueImpl(ObjectId obj, std::uint64_t value) {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  if (!trace_.empty()) trace_.back().value = value;
+  self->obs_hash = Mix2(self->obs_hash, Mix2(value, obj));
+  if (obj != kNoObject &&
+      (self->pending_kind == OpKind::kStore ||
+       self->pending_kind == OpKind::kRmw)) {
+    objects_[obj].value = value;
+  }
+}
+
+void Scheduler::DriverOpValueImpl(ObjectId obj, std::uint64_t value) {
+  objects_[obj].value = value;
+}
+
+void Scheduler::SpinPauseImpl() {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  self->pending_kind = OpKind::kSpin;
+  self->pending_obj = kNoObject;
+  self->pending_arg = 0;
+  self->status = ThreadStatus::kBlockedSpin;
+  // Rotate the baseline: enabled iff others-writes-now differs from the
+  // others-writes count at the *previous* pause (see ThreadCtx).
+  const std::uint64_t others_now = write_serial_ - self->own_writes;
+  const std::uint64_t prev_baseline = self->spin_baseline;
+  self->spin_baseline = others_now;
+  self->spin_seen_writes = prev_baseline;
+  ParkCurrent(self);
+  trace_.push_back(Event{self->tid, OpKind::kSpin, kNoObject, 0, nullptr});
+  self->obs_hash = Mix2(self->obs_hash, 0x5f1d);
+}
+
+void Scheduler::MutexLockImpl(ObjectId id) {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  self->pending_kind = OpKind::kMutexLock;
+  self->pending_obj = id;
+  self->pending_arg = 0;
+  self->status = ThreadStatus::kBlockedMutex;
+  ParkCurrent(self);
+  if (!objects_[id].alive) FailImpl("lock on destroyed mutex");
+  // The driver only schedules a lock-blocked thread when the mutex is
+  // free; take ownership now.
+  ObjectInfo& m = objects_[id];
+  if (m.value != 0) FailImpl("internal: scheduled lock on held mutex");
+  m.value = static_cast<std::uint64_t>(self->tid) + 1;
+  trace_.push_back(Event{self->tid, OpKind::kMutexLock, id, 0, nullptr});
+  self->obs_hash =
+      Mix2(self->obs_hash, Mix2(0x10c8, Mix2(id, ++m.op_serial)));
+}
+
+void Scheduler::MutexUnlockImpl(ObjectId id) {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  // Unlock is not a schedule point and must never park or throw: the std
+  // guard destructors (~lock_guard, ~unique_lock) reach here from noexcept
+  // frames, where an AbortExecution unwinding out would std::terminate.
+  // Folding the release into the current step loses no interleavings —
+  // its only shared effect is freeing the mutex, which commutes with every
+  // other thread's op except a lock of this same mutex, and "attempt the
+  // lock before the release, block, acquire after" reaches the state
+  // "attempt after the release, acquire directly" already covers. Misuse
+  // is recorded rather than thrown (same pattern as DestroyObjectImpl);
+  // the driver aborts at the next schedule point.
+  ObjectInfo& m = objects_[id];
+  if (!m.alive) {
+    RecordViolation("unlock on destroyed mutex");
+    return;
+  }
+  if (m.value != static_cast<std::uint64_t>(self->tid) + 1) {
+    RecordViolation("unlock of a mutex not held by this thread");
+    return;
+  }
+  m.value = 0;
+  ++write_serial_;  // lock-blocked and spin-blocked threads may wake
+  ++self->own_writes;
+  trace_.push_back(Event{self->tid, OpKind::kMutexUnlock, id, 0, nullptr});
+  self->obs_hash =
+      Mix2(self->obs_hash, Mix2(0xc10u, Mix2(id, ++m.op_serial)));
+}
+
+void Scheduler::CondWaitBlockImpl(ObjectId cv, ObjectId mutex) {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  // Atomically release the mutex and begin waiting: both effects happen
+  // within the calling thread's current step, before any other thread can
+  // run.
+  if (!objects_[cv].alive) FailImpl("wait on destroyed condvar");
+  ObjectInfo& m = objects_[mutex];
+  if (m.value != static_cast<std::uint64_t>(self->tid) + 1) {
+    FailImpl("CondVar::wait with a mutex not held by this thread");
+  }
+  m.value = 0;
+  ++write_serial_;
+  ++self->own_writes;
+  objects_[cv].waiters ^= Mix(static_cast<std::uint64_t>(self->tid) + 1);
+  trace_.push_back(Event{self->tid, OpKind::kCondWait, cv, 0, nullptr});
+  self->pending_kind = OpKind::kCondWait;
+  self->pending_obj = cv;
+  self->pending_arg = 0;
+  self->reacquire_mutex = mutex;
+  self->status = ThreadStatus::kBlockedCond;
+  ParkCurrent(self);
+  // Woken by a notify and scheduled: the driver only schedules us once the
+  // mutex is free again (status was moved to kBlockedMutex by the notify).
+  if (!objects_[cv].alive) FailImpl("woke on destroyed condvar");
+  ObjectInfo& m2 = objects_[mutex];
+  if (!objects_[mutex].alive) FailImpl("reacquire of destroyed mutex");
+  if (m2.value != 0) FailImpl("internal: scheduled cond-wake on held mutex");
+  m2.value = static_cast<std::uint64_t>(self->tid) + 1;
+  trace_.push_back(
+      Event{self->tid, OpKind::kMutexLock, mutex, 1, nullptr});
+  self->obs_hash = Mix2(
+      self->obs_hash, Mix2(0xc04d, Mix2(cv, ++objects_[mutex].op_serial)));
+  self->reacquire_mutex = kNoObject;
+}
+
+void Scheduler::CondNotifyImpl(ObjectId cv) {
+  if (aborting_) return;  // see AtOpPointImpl
+  auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+  self->pending_kind = OpKind::kCondNotify;
+  self->pending_obj = cv;
+  self->pending_arg = 0;
+  self->status = ThreadStatus::kRunnable;
+  ParkCurrent(self);
+  if (!objects_[cv].alive) FailImpl("notify on destroyed condvar");
+  // Wake every waiter (see shim.h): each moves to the lock-reacquire
+  // phase, schedulable once the associated mutex is free.
+  for (auto& tptr : threads_) {
+    ThreadCtx& t = *tptr;
+    if (t.status == ThreadStatus::kBlockedCond && t.pending_obj == cv) {
+      objects_[cv].waiters ^= Mix(static_cast<std::uint64_t>(t.tid) + 1);
+      t.status = ThreadStatus::kBlockedMutex;
+      t.pending_kind = OpKind::kMutexLock;
+      t.pending_obj = t.reacquire_mutex;
+    }
+  }
+  ++write_serial_;
+  ++self->own_writes;
+  trace_.push_back(Event{self->tid, OpKind::kCondNotify, cv, 0, nullptr});
+  self->obs_hash = Mix2(
+      self->obs_hash, Mix2(0x4071f, Mix2(cv, ++objects_[cv].op_serial)));
+}
+
+void Scheduler::FailImpl(const char* msg) {
+  if (aborting_) return;  // see AtOpPointImpl
+  RecordViolation(msg);
+  if (tls_thread_ctx != nullptr) throw AbortExecution{};
+}
+
+void Scheduler::NoteImpl(const char* text) {
+  if (aborting_) return;  // see AtOpPointImpl
+  int tid = -1;
+  if (auto* self = static_cast<ThreadCtx*>(tls_thread_ctx)) tid = self->tid;
+  trace_.push_back(Event{tid, OpKind::kLoad, kNoObject, 0, text});
+}
+
+void Scheduler::SpawnImpl(const char* name, std::function<void()> fn) {
+  auto ctx = std::make_unique<ThreadCtx>();
+  ctx->tid = static_cast<int>(threads_.size());
+  ctx->name = name;
+  ctx->fn = std::move(fn);
+  ThreadCtx* t = ctx.get();
+  threads_.push_back(std::move(ctx));
+  // The real thread runs the body eagerly up to its *first* schedule point
+  // (plain prologue code only — no shim op executes), then parks. This
+  // keeps "thread started" from being a wasted scheduling choice.
+  t->real = std::thread([this, t] { ThreadMain(t); });
+  std::unique_lock<std::mutex> lk(hm_);
+  int seen = parked_signal_;
+  t->can_run = true;
+  t->wake.notify_one();
+  driver_wake_.wait(lk, [&] { return parked_signal_ != seen; });
+}
+
+void Scheduler::OnFinalImpl(std::function<void()> fn) {
+  final_hook_ = std::move(fn);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: thread handoff
+// ---------------------------------------------------------------------
+
+void Scheduler::ThreadMain(ThreadCtx* t) {
+  tls_thread_ctx = t;
+  {
+    // Wait for the initial baton from SpawnImpl.
+    std::unique_lock<std::mutex> lk(hm_);
+    t->wake.wait(lk, [&] { return t->can_run; });
+    t->can_run = false;
+  }
+  try {
+    t->fn();
+  } catch (const AbortExecution&) {
+    // Unwound deliberately (violation / prune / teardown).
+  }
+  tls_thread_ctx = nullptr;
+  std::unique_lock<std::mutex> lk(hm_);
+  t->status = ThreadStatus::kFinished;
+  ++parked_signal_;
+  driver_wake_.notify_one();
+}
+
+void Scheduler::ParkCurrent(ThreadCtx* self) {
+  std::unique_lock<std::mutex> lk(hm_);
+  ++parked_signal_;
+  driver_wake_.notify_one();
+  self->wake.wait(lk, [&] { return self->can_run; });
+  self->can_run = false;
+  if (aborting_) {
+    lk.unlock();
+    throw AbortExecution{};
+  }
+}
+
+void Scheduler::ReleaseAndWait(ThreadCtx* t) {
+  std::unique_lock<std::mutex> lk(hm_);
+  int seen = parked_signal_;
+  t->can_run = true;
+  t->wake.notify_one();
+  driver_wake_.wait(lk, [&] { return parked_signal_ != seen; });
+}
+
+void Scheduler::AbortRemainingThreads() {
+  aborting_ = true;
+  for (auto& tptr : threads_) {
+    ThreadCtx& t = *tptr;
+    while (t.status != ThreadStatus::kFinished) {
+      ReleaseAndWait(&t);
+    }
+  }
+  aborting_ = false;
+}
+
+void Scheduler::JoinAllThreads() {
+  for (auto& tptr : threads_) {
+    if (tptr->real.joinable()) tptr->real.join();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: exploration
+// ---------------------------------------------------------------------
+
+bool Scheduler::ThreadEnabled(const ThreadCtx& t) const {
+  switch (t.status) {
+    case ThreadStatus::kRunnable:
+      return true;
+    case ThreadStatus::kBlockedMutex:
+      return objects_[t.pending_obj].value == 0;
+    case ThreadStatus::kBlockedCond:
+      return false;  // needs a notify first
+    case ThreadStatus::kBlockedSpin:
+      return (write_serial_ - t.own_writes) != t.spin_seen_writes;
+    case ThreadStatus::kFinished:
+      return false;
+  }
+  return false;
+}
+
+std::vector<int> Scheduler::EnabledThreads(int prev) const {
+  std::vector<int> enabled;
+  // Canonical order: the previously running thread first (so the default
+  // choice never preempts), then ascending tid.
+  if (prev >= 0 && ThreadEnabled(*threads_[prev])) enabled.push_back(prev);
+  for (const auto& tptr : threads_) {
+    if (tptr->tid == prev) continue;
+    if (ThreadEnabled(*tptr)) enabled.push_back(tptr->tid);
+  }
+  return enabled;
+}
+
+int Scheduler::PreemptionCost(const Decision& d, int chosen) const {
+  if (d.prev_running < 0) return 0;
+  if (chosen == d.prev_running) return 0;
+  return d.prev_was_enabled ? 1 : 0;
+}
+
+std::uint64_t Scheduler::StateKey() const {
+  // Order-insensitive combine of per-thread and per-object components:
+  // sound modulo 64-bit collisions (each component strongly mixed).
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const auto& tptr : threads_) {
+    const ThreadCtx& t = *tptr;
+    std::uint64_t status = static_cast<std::uint64_t>(t.status);
+    if (t.status == ThreadStatus::kBlockedSpin) {
+      status |= ((write_serial_ - t.own_writes) != t.spin_seen_writes)
+                    ? 0x100
+                    : 0x200;
+    }
+    h ^= Mix(Mix2(static_cast<std::uint64_t>(t.tid),
+                  Mix2(t.obs_hash, status)));
+  }
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const ObjectInfo& o = objects_[i];
+    if (!o.alive) continue;
+    h ^= Mix(Mix2(i, Mix2(o.value, o.waiters)));
+  }
+  return h;
+}
+
+void Scheduler::RecordViolation(const std::string& msg) {
+  if (violation_this_execution_) return;  // keep the first
+  violation_this_execution_ = true;
+  result_.violation_found = true;
+  result_.failure = msg;
+  result_.failing_schedule = ScheduleString(schedule_.size());
+  if (tls_thread_ctx != nullptr) {
+    auto* self = static_cast<ThreadCtx*>(tls_thread_ctx);
+    trace_.push_back(Event{self->tid, OpKind::kLoad, kNoObject, 0,
+                           "VIOLATION (see failure message)"});
+  }
+  result_.trace = FormatTrace();
+}
+
+void Scheduler::SetError(const std::string& msg) {
+  if (result_.error.empty()) result_.error = msg;
+  error_this_execution_ = true;
+}
+
+std::string Scheduler::ScheduleString(std::size_t upto) const {
+  std::string s;
+  for (std::size_t i = 0; i < upto && i < schedule_.size(); ++i) {
+    if (!s.empty()) s += '.';
+    s += std::to_string(schedule_[i]);
+  }
+  return s;
+}
+
+std::string Scheduler::ObjName(ObjectId id) const {
+  if (id == kNoObject) return "-";
+  return std::string(1, ObjectPrefix(objects_[id].kind)) +
+         std::to_string(id);
+}
+
+std::string Scheduler::FormatTrace() const {
+  std::ostringstream os;
+  int step = 0;
+  for (const Event& e : trace_) {
+    const char* name =
+        (e.tid >= 0 && e.tid < static_cast<int>(threads_.size()))
+            ? threads_[e.tid]->name.c_str()
+            : "setup";
+    if (e.note != nullptr) {
+      os << "        [" << name << "] -- " << e.note << "\n";
+      continue;
+    }
+    os << "  #" << step++ << "\t[" << name << "] " << OpName(e.kind);
+    if (e.obj != kNoObject) os << " " << ObjName(e.obj);
+    if (e.kind == OpKind::kLoad || e.kind == OpKind::kStore ||
+        e.kind == OpKind::kRmw) {
+      os << " = " << e.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Scheduler::DriveLoop() {
+  while (true) {
+    if (violation_this_execution_ || error_this_execution_) return;
+    bool all_finished = true;
+    for (const auto& t : threads_) {
+      if (t->status != ThreadStatus::kFinished) all_finished = false;
+    }
+    if (all_finished) return;
+
+    std::vector<int> enabled = EnabledThreads(prev_running_);
+    if (enabled.empty()) {
+      RecordViolation(
+          "deadlock: no runnable thread (lost wakeup, stuck spin loop, or "
+          "lock cycle)");
+      return;
+    }
+    if (step_ >= options_.max_steps_per_execution) {
+      SetError("max_steps_per_execution exceeded — body too large for "
+               "exhaustive checking");
+      return;
+    }
+
+    int choice_idx;
+    if (!replay_.empty()) {
+      // Replay mode: follow the recorded schedule; default policy once it
+      // is exhausted.
+      int want = step_ < replay_.size() ? replay_[step_] : enabled[0];
+      auto it = std::find(enabled.begin(), enabled.end(), want);
+      if (it == enabled.end()) {
+        SetError("replay diverged: scheduled thread not enabled at step " +
+                 std::to_string(step_));
+        return;
+      }
+      choice_idx = static_cast<int>(it - enabled.begin());
+    } else if (step_ < stack_.size()) {
+      Decision& d = stack_[step_];
+      if (d.enabled != enabled) {
+        SetError("nondeterministic test body: enabled set changed on "
+                 "re-execution at step " +
+                 std::to_string(step_));
+        return;
+      }
+      choice_idx = d.choice;
+    } else {
+      // Frontier: optionally prune via the state cache, else push a new
+      // decision point with the non-preempting default choice.
+      if (options_.state_caching) {
+        std::uint64_t key = StateKey();
+        int budget = options_.preemption_bound - preemptions_;
+        auto it = state_cache_.find(key);
+        if (it != state_cache_.end() && it->second >= budget) {
+          ++result_.pruned;
+          pruned_this_execution_ = true;
+          return;
+        }
+        if (it == state_cache_.end()) {
+          state_cache_.emplace(key, budget);
+        } else {
+          it->second = budget;
+        }
+      }
+      Decision d;
+      d.enabled = enabled;
+      d.choice = 0;
+      d.preemptions_before = preemptions_;
+      d.prev_running = prev_running_;
+      d.prev_was_enabled =
+          prev_running_ >= 0 && enabled.size() > 0 &&
+          std::find(enabled.begin(), enabled.end(), prev_running_) !=
+              enabled.end();
+      stack_.push_back(std::move(d));
+      choice_idx = 0;
+    }
+
+    int tid = enabled[choice_idx];
+    if (replay_.empty() && step_ < stack_.size()) {
+      preemptions_ += PreemptionCost(stack_[step_], tid);
+    } else if (prev_running_ >= 0 && tid != prev_running_ &&
+               std::find(enabled.begin(), enabled.end(), prev_running_) !=
+                   enabled.end()) {
+      preemptions_ += 1;  // replay-mode accounting (stats only)
+    }
+    result_.max_preemptions_used =
+        std::max(result_.max_preemptions_used, preemptions_);
+    schedule_.push_back(tid);
+    ++step_;
+    ++result_.steps;
+    ReleaseAndWait(threads_[tid].get());
+    prev_running_ = tid;
+  }
+}
+
+void Scheduler::RunOneExecution() {
+  threads_.clear();
+  objects_.clear();
+  trace_.clear();
+  schedule_.clear();
+  final_hook_ = nullptr;
+  step_ = 0;
+  preemptions_ = 0;
+  prev_running_ = -1;
+  write_serial_ = 0;
+  aborting_ = false;
+  teardown_ = false;
+  violation_this_execution_ = false;
+  pruned_this_execution_ = false;
+  error_this_execution_ = false;
+
+  Sim sim(this);
+  setup_(sim);
+
+  DriveLoop();
+
+  bool finished_normally = !violation_this_execution_ &&
+                           !pruned_this_execution_ &&
+                           !error_this_execution_;
+  if (!finished_normally) {
+    AbortRemainingThreads();
+  }
+  if (finished_normally && final_hook_) {
+    final_hook_();  // driver context; McAssert records violations
+  }
+  // Drop closures (and with them the shared test state) before joining so
+  // shim destructors run while this execution's registry is still active;
+  // teardown destructions are exempt from protocol checks.
+  teardown_ = true;
+  final_hook_ = nullptr;
+  for (auto& t : threads_) t->fn = nullptr;
+  JoinAllThreads();
+  ++result_.executions;
+}
+
+bool Scheduler::AdvanceDeepestDecision() {
+  while (!stack_.empty()) {
+    Decision& d = stack_.back();
+    int next = d.choice + 1;
+    while (next < static_cast<int>(d.enabled.size())) {
+      int cost = PreemptionCost(d, d.enabled[next]);
+      if (d.preemptions_before + cost <= options_.preemption_bound) break;
+      ++next;
+    }
+    if (next < static_cast<int>(d.enabled.size())) {
+      d.choice = next;
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+Result Scheduler::Explore() {
+  if (!options_.replay.empty()) {
+    // Parse "0.1.1.0" into the forced schedule.
+    std::istringstream is(options_.replay);
+    std::string tok;
+    while (std::getline(is, tok, '.')) {
+      replay_.push_back(std::stoi(tok));
+    }
+    RunOneExecution();
+    return result_;
+  }
+
+  while (true) {
+    RunOneExecution();
+    if (violation_this_execution_ || !result_.error.empty()) break;
+    if (result_.executions >= options_.max_executions) {
+      SetError("max_executions exceeded before exhausting the schedule "
+               "space");
+      break;
+    }
+    if (!AdvanceDeepestDecision()) {
+      result_.complete = true;
+      break;
+    }
+  }
+  return result_;
+}
+
+std::string Result::Report() const {
+  std::ostringstream os;
+  os << (violation_found ? "VIOLATION" : (error.empty() ? "ok" : "ERROR"))
+     << ": executions=" << executions << " steps=" << steps
+     << " pruned=" << pruned << " complete=" << (complete ? "yes" : "no")
+     << " max_preemptions=" << max_preemptions_used << "\n";
+  if (!failure.empty()) os << "failure: " << failure << "\n";
+  if (!error.empty()) os << "error: " << error << "\n";
+  if (!failing_schedule.empty()) {
+    os << "failing schedule (replay seed): " << failing_schedule << "\n";
+  }
+  if (!trace.empty()) os << "trace:\n" << trace;
+  return os.str();
+}
+
+Result Check(const Options& options,
+             const std::function<void(Sim&)>& setup) {
+  if (g_active != nullptr) {
+    throw std::logic_error("mc::Check calls cannot nest");
+  }
+  Scheduler scheduler(options, setup);
+  g_active = &scheduler;
+  Result result;
+  try {
+    result = scheduler.Explore();
+  } catch (...) {
+    g_active = nullptr;
+    throw;
+  }
+  g_active = nullptr;
+  return result;
+}
+
+}  // namespace mc
+}  // namespace aim

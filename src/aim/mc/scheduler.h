@@ -1,0 +1,108 @@
+#ifndef AIM_MC_SCHEDULER_H_
+#define AIM_MC_SCHEDULER_H_
+
+// Internal engine of the aim::mc model checker. Test code should include
+// "aim/mc/checker.h" (the Check/Options/Result API) and "aim/mc/shim.h"
+// (the instrumented Atomic/Mutex/CondVar types); this header declares the
+// hooks the shim routes through and is an implementation detail.
+//
+// Execution model (CHESS/Loom style, sequentially consistent):
+//   * every shim operation (atomic load/store/RMW, mutex lock/unlock,
+//     condvar wait/notify, spin pause) is a *schedule point*: the virtual
+//     thread parks before the operation and the explorer decides which
+//     parked thread performs its pending operation next;
+//   * exactly one virtual thread runs at a time, so the "atomics" are plain
+//     memory underneath — what is explored is the interleaving of the
+//     operations, under sequential consistency (weak-memory reorderings are
+//     out of scope; the TSan stress tier covers those statistically);
+//   * the explorer enumerates interleavings depth-first up to a preemption
+//     bound, pruning states already explored via a state hash.
+
+#include <cstdint>
+
+namespace aim {
+namespace mc {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kNoObject = 0xffffffffu;
+
+enum class ObjectKind : std::uint8_t { kAtomic, kMutex, kCondVar };
+
+enum class OpKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kRmw,
+  kMutexLock,
+  kMutexUnlock,
+  kCondWait,
+  kCondNotify,
+  kSpin,
+};
+
+// ---------------------------------------------------------------------
+// Hooks the shim (shim.h) routes through. All are no-ops / plain behavior
+// when no checked execution is active, so shim types degrade gracefully to
+// ordinary single-threaded objects outside mc::Check.
+// ---------------------------------------------------------------------
+
+/// True iff the calling thread is a virtual thread of an active execution.
+bool InSimulation();
+
+/// Registers a shim object with the active execution; kNoObject when none.
+ObjectId RegisterObject(ObjectKind kind, std::uint64_t initial_value);
+
+/// Marks a shim object destroyed. Later operations on it are violations.
+void DestroyObject(ObjectId id);
+
+/// Parks the calling virtual thread at a schedule point for `kind` on
+/// `obj`; returns when the explorer schedules this thread to perform the
+/// operation. `arg` is the value being stored / added (trace + state hash).
+void AtOpPoint(OpKind kind, ObjectId obj, std::uint64_t arg);
+
+/// Reports the value produced by the op the thread was just scheduled to
+/// perform (the loaded value, or the value now held after a store/RMW).
+/// Folds it into the trace, the thread's observation hash, and — for
+/// writes — the object's tracked value.
+void ReportValue(ObjectId obj, std::uint64_t value);
+
+/// Records the value of a shim object mutated from *driver* context
+/// (setup / final hooks run outside any virtual thread).
+void DriverOpValue(ObjectId obj, std::uint64_t value);
+
+/// Spin-loop pause: blocks the virtual thread until another thread
+/// performs a state-changing operation (store/RMW/unlock/notify). A plain
+/// retry loop would otherwise give the DFS an infinite "keep spinning"
+/// branch; blocking-until-change keeps exploration finite and models
+/// exactly the schedules where the spin can observe something new.
+void SpinPause();
+
+/// Mutex acquire: schedule point that is enabled only while the mutex is
+/// free; the scheduler transfers ownership before waking the thread.
+void MutexLock(ObjectId id);
+
+/// Mutex release: schedule point; re-enables lock waiters.
+void MutexUnlock(ObjectId id);
+
+/// Condvar wait: atomically releases `mutex` and blocks until a notify,
+/// then reacquires `mutex` before returning (both as schedule points).
+/// Callers must re-check their predicate in a loop, as with a real
+/// condvar: notifies wake *all* waiters (a sound over-approximation that
+/// also models spurious wakeups).
+void CondWaitBlock(ObjectId cv, ObjectId mutex);
+
+/// Condvar notify: schedule point; wakes every current waiter.
+void CondNotify(ObjectId cv);
+
+/// Model-checked assertion: records a violation (with the failing schedule
+/// and trace) and aborts the current execution when `cond` is false.
+/// Callable from virtual threads and from setup/final hooks.
+void McAssert(bool cond, const char* msg);
+
+/// Appends an annotation event to the trace (not a schedule point). Makes
+/// failing interleavings readable: "entered write section", etc.
+void Note(const char* text);
+
+}  // namespace mc
+}  // namespace aim
+
+#endif  // AIM_MC_SCHEDULER_H_

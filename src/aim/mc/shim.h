@@ -1,0 +1,232 @@
+#ifndef AIM_MC_SHIM_H_
+#define AIM_MC_SHIM_H_
+
+// Instrumented drop-ins for std::atomic / std::mutex /
+// std::condition_variable that route every operation through the mc
+// scheduler as a schedule point. Production code never includes this
+// header: protocol templates (SwapHandshake, BasicDenseMap, MpscQueue) are
+// parameterized on a sync provider, instantiated with RealSyncProvider
+// (plain std types, see aim/common/sync_provider.h) in production and with
+// ModelSyncProvider here under the checker — so the code the checker
+// explores *is* the production code.
+//
+// Outside an active mc::Check execution the shim types degrade to plain
+// single-threaded objects, so state may be constructed and inspected from
+// setup / OnFinal hooks.
+//
+// Ordering arguments are accepted for signature parity and ignored: the
+// checker explores interleavings under sequential consistency (see
+// scheduler.h). Memory_order bugs are TSan's department.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "aim/mc/scheduler.h"
+
+namespace aim {
+namespace mc {
+
+namespace internal {
+/// Shim objects fold their value into the explorer's state hash; anything
+/// std::atomic-able in this codebase (ints, bools, pointers) fits in 8
+/// bytes.
+template <typename T>
+std::uint64_t ToBits(T v) {
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "mc::Atomic supports values up to 8 bytes");
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T));
+  return bits;
+}
+}  // namespace internal
+
+/// Drop-in for std::atomic<T> (the subset this codebase uses). Every
+/// load/store/RMW is a schedule point while a checked execution is active.
+// seq_cst: default arguments mirror std::atomic's signatures only; the
+// checker ignores ordering arguments entirely (see header comment).
+template <typename T>
+class Atomic {
+ public:
+  Atomic() : Atomic(T{}) {}
+  explicit Atomic(T initial) : value_(initial) {
+    id_ = RegisterObject(ObjectKind::kAtomic, internal::ToBits(initial));
+  }
+  ~Atomic() { DestroyObject(id_); }
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  T load(std::memory_order = std::memory_order_seq_cst) const {
+    if (!InSimulation()) return value_;
+    AtOpPoint(OpKind::kLoad, id_, 0);
+    T v = value_;
+    ReportValue(id_, internal::ToBits(v));
+    return v;
+  }
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  void store(T v, std::memory_order = std::memory_order_seq_cst) {
+    if (!InSimulation()) {
+      value_ = v;
+      DriverOpValue(id_, internal::ToBits(v));
+      return;
+    }
+    AtOpPoint(OpKind::kStore, id_, internal::ToBits(v));
+    value_ = v;
+    ReportValue(id_, internal::ToBits(v));
+  }
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst) {
+    if (!InSimulation()) {
+      T old = value_;
+      value_ = static_cast<T>(value_ + delta);
+      DriverOpValue(id_, internal::ToBits(value_));
+      return old;
+    }
+    AtOpPoint(OpKind::kRmw, id_, internal::ToBits(delta));
+    T old = value_;
+    value_ = static_cast<T>(value_ + delta);
+    ReportValue(id_, internal::ToBits(value_));
+    return old;
+  }
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
+    if (!InSimulation()) {
+      T old = value_;
+      value_ = v;
+      DriverOpValue(id_, internal::ToBits(v));
+      return old;
+    }
+    AtOpPoint(OpKind::kRmw, id_, internal::ToBits(v));
+    T old = value_;
+    value_ = v;
+    ReportValue(id_, internal::ToBits(v));
+    return old;
+  }
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst) {
+    if (!InSimulation()) {
+      if (value_ == expected) {
+        value_ = desired;
+        DriverOpValue(id_, internal::ToBits(desired));
+        return true;
+      }
+      expected = value_;
+      return false;
+    }
+    AtOpPoint(OpKind::kRmw, id_, internal::ToBits(desired));
+    bool success = (value_ == expected);
+    if (success) {
+      value_ = desired;
+    } else {
+      expected = value_;
+    }
+    ReportValue(id_, internal::ToBits(value_));
+    return success;
+  }
+
+ private:
+  T value_;
+  ObjectId id_;
+};
+
+/// Drop-in for std::mutex. Lock/unlock are schedule points; the scheduler
+/// blocks lock() while another virtual thread holds the mutex and flags
+/// destroy-while-held / use-after-destroy as violations.
+class Mutex {
+ public:
+  Mutex() { id_ = RegisterObject(ObjectKind::kMutex, 0); }
+  ~Mutex() { DestroyObject(id_); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (!InSimulation()) {
+      plain_locked_ = true;
+      return;
+    }
+    MutexLock(id_);
+  }
+
+  void unlock() {
+    if (!InSimulation()) {
+      plain_locked_ = false;
+      return;
+    }
+    MutexUnlock(id_);
+  }
+
+ private:
+  friend class CondVar;
+  ObjectId id_;
+  bool plain_locked_ = false;  // driver-context bookkeeping only
+};
+
+/// Drop-in for std::condition_variable, against mc::Mutex. Notifies wake
+/// every waiter (sound over-approximation, doubles as the spurious-wakeup
+/// model); predicates are re-checked in a loop exactly as with the real
+/// type. Notifying or waiting on a destroyed condvar is a violation — the
+/// bug class MpscQueue's notify-under-lock rule exists to prevent.
+class CondVar {
+ public:
+  CondVar() { id_ = RegisterObject(ObjectKind::kCondVar, 0); }
+  ~CondVar() { DestroyObject(id_); }
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// `Lock` is any lock wrapper over mc::Mutex with mutex() access via
+  /// std::unique_lock / std::lock_guard-compatible ownership semantics.
+  template <typename Lock, typename Pred>
+  void wait(Lock& lock, Pred pred) {
+    while (!pred()) {
+      if (!InSimulation()) {
+        // Driver-context waits cannot be woken (single-threaded): a false
+        // predicate here is a deadlock in the test body.
+        McAssert(false, "CondVar::wait with false predicate outside sim");
+        return;
+      }
+      CondWaitBlock(id_, lock.mutex()->id_);
+    }
+  }
+
+  void notify_one() { Notify(); }
+  void notify_all() { Notify(); }
+
+ private:
+  void Notify() {
+    if (!InSimulation()) return;
+    CondNotify(id_);
+  }
+
+  ObjectId id_;
+};
+
+/// Sync provider instantiating the protocol templates with the shim types
+/// (counterpart of aim::RealSyncProvider).
+struct ModelSyncProvider {
+  template <typename T>
+  using Atomic = mc::Atomic<T>;
+  using AtomicBool = mc::Atomic<bool>;
+  using Mutex = mc::Mutex;
+  using CondVar = mc::CondVar;
+
+  /// Spin-throttle hook: under the checker a failed spin blocks the thread
+  /// until another thread writes, keeping the DFS finite (scheduler.h).
+  static void Pause(int /*spins*/) { SpinPause(); }
+};
+
+}  // namespace mc
+}  // namespace aim
+
+#endif  // AIM_MC_SHIM_H_

@@ -119,34 +119,10 @@ void DeltaMainStore::SwitchDeltas() {
   // The previous MergeStep must have drained the frozen delta.
   AIM_CHECK_MSG(FrozenDelta()->size() == 0,
                 "SwitchDeltas with an undrained frozen delta");
-  if (esp_attached_.load(std::memory_order_acquire)) {
-    // Algorithm 6, epoch formulation: announce intent by advancing to an
-    // odd epoch, wait until the ESP thread acknowledges *this* epoch, swap
-    // inside the quiescent window, release by advancing to the next even
-    // epoch. Stale acknowledgements from earlier rounds never match `odd`,
-    // so the swap always runs against a genuinely parked writer.
-    //
-    // relaxed: swap_epoch_ is only ever stored by this thread; the load is
-    // a same-thread read of our own counter.
-    const std::uint64_t odd =
-        swap_epoch_.load(std::memory_order_relaxed) + 1;
-    AIM_DCHECK((odd & 1) == 1);
-    swap_epoch_.store(odd, std::memory_order_release);
-    int spins = 0;
-    while (esp_ack_.load(std::memory_order_acquire) != odd) {
-      if (!esp_attached_.load(std::memory_order_acquire)) {
-        // The ESP thread detached (shutdown): no writer left to quiesce.
-        break;
-      }
-      CpuRelax(++spins);
-    }
-    DoSwap();
-    // Release pairs with the acquire load in EspCheckpoint: observing the
-    // even epoch implies observing the swapped delta pointers.
-    swap_epoch_.store(odd + 1, std::memory_order_release);
-  } else {
-    DoSwap();
-  }
+  // Algorithm 6, epoch formulation (SwapHandshake): quiesce the ESP
+  // writer, swap inside the window, release. Runs without the handshake
+  // when no ESP thread is attached (single-threaded and test usage).
+  handshake_.RunExclusive([this] { DoSwap(); });
 }
 
 std::size_t DeltaMainStore::MergeStep() {

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "aim/common/status.h"
 #include "aim/common/types.h"
 #include "aim/storage/column_map.h"
 #include "aim/storage/delta.h"
+#include "aim/storage/swap_handshake.h"
 
 namespace aim {
 
@@ -27,23 +27,18 @@ namespace aim {
 ///
 /// Get follows Algorithm 3 (active delta, then frozen delta while a merge
 /// is in flight, then main); Put follows Algorithm 4 (active delta). The
-/// delta switch implements the two-flag handshake of Algorithms 6/7 with an
-/// epoch counter instead of raw booleans: the RTA thread announces intent by
-/// advancing swap_epoch_ to an odd value, the ESP thread acknowledges by
-/// copying that exact epoch into esp_ack_ and parks, the RTA thread swaps
-/// the delta pointers inside that window and releases by advancing the
-/// epoch to the next even value — the only moment the ESP thread is ever
-/// blocked, and it lasts a pointer swap, not a merge.
-///
-/// Why epochs and not the paper's two booleans: with plain flags, a parked
-/// ESP thread that re-raises its "waiting" flag while the RTA thread is
-/// tearing the handshake down can leave a *dangling* acknowledgement — the
-/// next SwitchDeltas then observes it, skips the wait, and swaps against an
-/// unparked writer (a sequentially-consistent interleaving bug, not a
-/// memory-ordering one; tests/stress/delta_swap_stress_test.cc reproduces
-/// it against the boolean protocol). Tagging each acknowledgement with the
-/// epoch it answers makes stale acks inert: the RTA thread only proceeds on
-/// an ack that names the round it is currently running.
+/// delta switch runs inside the epoch-based writer-quiescence handshake —
+/// extracted to SwapHandshake (swap_handshake.h) so the exact production
+/// protocol is also what the model checker explores (tests/mc/): the RTA
+/// thread announces intent by advancing the epoch to an odd value, the ESP
+/// thread acknowledges by copying that exact epoch and parks, the RTA
+/// thread swaps the delta pointers inside that window and releases by
+/// advancing the epoch to the next even value — the only moment the ESP
+/// thread is ever blocked, and it lasts a pointer swap, not a merge. See
+/// SwapHandshake's header comment for why epochs and not the paper's two
+/// booleans (the boolean protocol's dangling-acknowledgement interleaving
+/// bug, which tests/mc/handshake_mc_test.cc refutes mechanically and
+/// tests/stress/delta_swap_stress_test.cc hammers statistically).
 class DeltaMainStore {
  public:
   struct Options {
@@ -64,30 +59,9 @@ class DeltaMainStore {
 
   /// Algorithm 7, lines 3-5: acknowledge and wait out a pending delta
   /// switch. Call once before each Get/Put request (the storage node's ESP
-  /// service loop does this), and periodically while idle.
-  ///
-  /// The acknowledgement is (re-)issued inside the wait loop, not once
-  /// before it: if the RTA thread starts the *next* switch while this
-  /// thread is still parked in the previous one, it re-reads the new odd
-  /// epoch and acks that round too — no deadlock. A stale ack from an
-  /// earlier round can never unpark the RTA thread, because the RTA thread
-  /// waits for the ack to equal its own odd epoch.
-  ///
-  /// Ordering: the acquire load of swap_epoch_ pairs with the release store
-  /// in SwitchDeltas after DoSwap, so once this thread observes the even
-  /// epoch it also observes the swapped delta pointers. No seq_cst is
-  /// needed: unlike a Dekker/store-buffer pattern, neither side proceeds on
-  /// the *absence* of the other's write — each waits for a positive,
-  /// epoch-tagged value.
-  void EspCheckpoint() {
-    std::uint64_t e = swap_epoch_.load(std::memory_order_acquire);
-    int spins = 0;
-    while (e & 1) {  // odd: a switch is in progress
-      esp_ack_.store(e, std::memory_order_release);
-      CpuRelax(++spins);
-      e = swap_epoch_.load(std::memory_order_acquire);
-    }
-  }
+  /// service loop does this), and periodically while idle. See
+  /// SwapHandshake::WriterCheckpoint for the protocol.
+  void EspCheckpoint() { handshake_.WriterCheckpoint(); }
 
   /// Algorithm 3: copies the entity's current record (row format,
   /// schema().record_size() bytes) and its version for a later conditional
@@ -200,28 +174,10 @@ class DeltaMainStore {
   /// Marks that a live ESP thread participates in the handshake. The
   /// storage node sets this when its ESP service loop starts.
   void set_esp_attached(bool attached) {
-    esp_attached_.store(attached, std::memory_order_release);
+    handshake_.set_writer_attached(attached);
   }
 
  private:
-  /// Spin helper: pause for short waits, fall back to yielding once the
-  /// other side clearly is not running (mandatory on oversubscribed cores,
-  /// where pure pause-spinning livelocks the handshake until the OS
-  /// preempts us).
-  static void CpuRelax(int spins) {
-    if (spins < 64) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#else
-      // Not an ordering requirement — merely a spin-throttle standing in
-      // for the pause instruction on architectures without one.
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-#endif
-    } else {
-      std::this_thread::yield();
-    }
-  }
-
   /// The swap itself; runs inside the quiescent window (or single-threaded).
   void DoSwap() {
     // relaxed: active_idx_ is only ever stored by this (RTA) thread, and
@@ -254,12 +210,9 @@ class DeltaMainStore {
   std::atomic<bool> merging_{false};
   std::atomic<std::uint64_t> merge_epoch_{0};
 
-  // Appendix A handshake state (epoch formulation, see class comment).
-  // swap_epoch_ odd = switch requested; esp_ack_ holds the last odd epoch
-  // the ESP thread parked for.
-  std::atomic<std::uint64_t> swap_epoch_{0};
-  std::atomic<std::uint64_t> esp_ack_{0};
-  std::atomic<bool> esp_attached_{false};
+  // Appendix A handshake (epoch formulation), shared with the model
+  // checker via the SwapHandshake template — see swap_handshake.h.
+  SwapHandshake<> handshake_;
 };
 
 }  // namespace aim

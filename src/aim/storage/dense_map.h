@@ -8,6 +8,7 @@
 
 #include "aim/common/hash.h"
 #include "aim/common/logging.h"
+#include "aim/common/sync_provider.h"
 
 namespace aim {
 
@@ -26,20 +27,28 @@ namespace aim {
 ///     reclaimed by ReclaimRetired(), which the owner calls while readers
 ///     are quiesced (the ESP handshake window at delta switch).
 ///
+/// The table-retirement publication protocol is what the sync-provider
+/// parameter exists for: tests/mc/dense_map_mc_test.cc instantiates this
+/// exact class with the model checker's atomics and exhaustively verifies
+/// reads-vs-growth and reclaim-under-quiescence (and that reclaiming
+/// *without* quiescence is caught as a use-after-free). Production uses
+/// the default RealSyncProvider alias below.
+///
 /// Key kEmptyKey (u64 max) is reserved as the empty-slot marker; entity ids
 /// never legitimately take that value.
-class DenseMap {
+template <typename P = RealSyncProvider>
+class BasicDenseMap {
  public:
   static constexpr std::uint64_t kEmptyKey = ~0ULL;
   static constexpr std::uint32_t kNotFound = 0xffffffffu;
 
-  explicit DenseMap(std::size_t initial_capacity = 64) {
+  explicit BasicDenseMap(std::size_t initial_capacity = 64) {
     Table* t = NewTable(NormalizeCapacity(initial_capacity));
     active_.store(t, std::memory_order_release);
   }
 
-  DenseMap(const DenseMap&) = delete;
-  DenseMap& operator=(const DenseMap&) = delete;
+  BasicDenseMap(const BasicDenseMap&) = delete;
+  BasicDenseMap& operator=(const BasicDenseMap&) = delete;
 
   /// Inserts or overwrites. Writer thread only.
   void Upsert(std::uint64_t key, std::uint32_t value) {
@@ -126,8 +135,8 @@ class DenseMap {
     explicit Table(std::size_t cap)
         : capacity(cap),
           mask(cap - 1),
-          keys(new std::atomic<std::uint64_t>[cap]),
-          values(new std::atomic<std::uint32_t>[cap]) {
+          keys(new typename P::template Atomic<std::uint64_t>[cap]),
+          values(new typename P::template Atomic<std::uint32_t>[cap]) {
       for (std::size_t i = 0; i < cap; ++i) {
         // relaxed: table is private until published via active_.
         keys[i].store(kEmptyKey, std::memory_order_relaxed);
@@ -135,12 +144,16 @@ class DenseMap {
     }
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<std::uint64_t>[]> keys;
-    std::unique_ptr<std::atomic<std::uint32_t>[]> values;
+    std::unique_ptr<typename P::template Atomic<std::uint64_t>[]> keys;
+    std::unique_ptr<typename P::template Atomic<std::uint32_t>[]> values;
   };
 
   static std::size_t NormalizeCapacity(std::size_t c) {
-    std::size_t cap = 64;
+    // Floor of 4 keeps the probe loop's free-slot guarantee at the 0.7
+    // load factor; callers default to 64 (the ctor argument), so only
+    // tests that ask for tiny tables — e.g. the model checker, where every
+    // slot is an instrumented object — get them.
+    std::size_t cap = 4;
     while (cap < c) cap <<= 1;
     AIM_DCHECK((cap & (cap - 1)) == 0);  // mask-probing needs a power of two
     return cap;
@@ -178,10 +191,13 @@ class DenseMap {
     active_.store(next, std::memory_order_release);
   }
 
-  std::atomic<Table*> active_;
+  typename P::template Atomic<Table*> active_;
   std::vector<std::unique_ptr<Table>> tables_;  // owns active + retired
   std::size_t size_ = 0;
 };
+
+/// The production instantiation (plain std::atomic slots).
+using DenseMap = BasicDenseMap<>;
 
 }  // namespace aim
 

@@ -1,0 +1,126 @@
+#ifndef AIM_STORAGE_SWAP_HANDSHAKE_H_
+#define AIM_STORAGE_SWAP_HANDSHAKE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "aim/common/logging.h"
+#include "aim/common/sync_provider.h"
+
+namespace aim {
+
+/// The epoch-based writer-quiescence handshake at the heart of the delta
+/// switch (paper Algorithms 6/7, Appendix A), extracted from
+/// DeltaMainStore so the exact production protocol can be instantiated
+/// with the model checker's instrumented atomics (tests/mc/) as well as
+/// with real ones. Two roles:
+///
+///   * exactly one WRITER thread (the ESP side) calls WriterCheckpoint()
+///     between its operations;
+///   * exactly one COORDINATOR thread (the RTA side) calls RunExclusive()
+///     to execute a critical action (the delta-pointer swap) while the
+///     writer is parked.
+///
+/// Protocol: the coordinator announces intent by advancing swap_epoch_ to
+/// an odd value; the writer acknowledges by copying that exact epoch into
+/// writer_ack_ and parks; the coordinator runs the action inside that
+/// window and releases by advancing the epoch to the next even value —
+/// the only moment the writer is ever blocked, and it lasts the action,
+/// not a merge.
+///
+/// Why epochs and not the paper's two booleans: with plain flags, a parked
+/// writer that re-raises its "waiting" flag while the coordinator is
+/// tearing the handshake down can leave a *dangling* acknowledgement — the
+/// next round then observes it, skips the wait, and runs the action
+/// against an unparked writer (a sequentially-consistent interleaving bug,
+/// not a memory-ordering one). Tagging each acknowledgement with the epoch
+/// it answers makes stale acks inert: the coordinator only proceeds on an
+/// ack that names the round it is currently running.
+/// tests/mc/handshake_mc_test.cc proves both claims exhaustively: this
+/// protocol admits no bad interleaving within the preemption bound, and
+/// the boolean protocol's violation is found mechanically.
+///
+/// Ordering: every edge is a positive epoch-tagged value published with
+/// release and consumed with acquire; neither side ever proceeds on the
+/// *absence* of the other's write, so no seq_cst (Dekker-style) total
+/// order is needed.
+template <typename P = RealSyncProvider>
+class SwapHandshake {
+ public:
+  SwapHandshake() = default;
+  SwapHandshake(const SwapHandshake&) = delete;
+  SwapHandshake& operator=(const SwapHandshake&) = delete;
+
+  /// Writer side (Algorithm 7, lines 3-5): acknowledge and wait out a
+  /// pending round. Call between writer operations and periodically while
+  /// idle.
+  ///
+  /// The acknowledgement is (re-)issued inside the wait loop, not once
+  /// before it: if the coordinator starts the *next* round while this
+  /// thread is still parked in the previous one, it re-reads the new odd
+  /// epoch and acks that round too — no deadlock. A stale ack from an
+  /// earlier round can never unpark the coordinator, because the
+  /// coordinator waits for the ack to equal its own odd epoch.
+  void WriterCheckpoint() {
+    std::uint64_t e = swap_epoch_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (e & 1) {  // odd: a round is in progress
+      writer_ack_.store(e, std::memory_order_release);
+      P::Pause(++spins);
+      e = swap_epoch_.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Marks that a live writer thread participates in the handshake. When
+  /// detached, RunExclusive runs its action without quiescing (single-
+  /// threaded and shutdown usage).
+  void set_writer_attached(bool attached) {
+    writer_attached_.store(attached, std::memory_order_release);
+  }
+
+  bool writer_attached() const {
+    return writer_attached_.load(std::memory_order_acquire);
+  }
+
+  /// Coordinator side (Algorithm 6, epoch formulation): quiesce the
+  /// writer, run `action` inside the window, release. If the writer
+  /// detaches mid-wait (shutdown), the wait escapes — there is no writer
+  /// left to quiesce.
+  template <typename Action>
+  void RunExclusive(Action&& action) {
+    if (!writer_attached()) {
+      action();
+      return;
+    }
+    // relaxed: swap_epoch_ is only ever stored by this (coordinator)
+    // thread; this is a same-thread read of our own counter.
+    const std::uint64_t odd =
+        swap_epoch_.load(std::memory_order_relaxed) + 1;
+    AIM_DCHECK((odd & 1) == 1);
+    swap_epoch_.store(odd, std::memory_order_release);
+    int spins = 0;
+    while (writer_ack_.load(std::memory_order_acquire) != odd) {
+      if (!writer_attached()) {
+        // The writer detached (shutdown): no writer left to quiesce.
+        break;
+      }
+      P::Pause(++spins);
+    }
+    action();
+    // Release pairs with the acquire load in WriterCheckpoint: once the
+    // writer observes the even epoch it also observes the action's
+    // effects (e.g. the swapped delta pointers).
+    swap_epoch_.store(odd + 1, std::memory_order_release);
+  }
+
+ private:
+  // swap_epoch_ odd = round in progress; writer_ack_ holds the last odd
+  // epoch the writer parked for.
+  typename P::template Atomic<std::uint64_t> swap_epoch_{0};
+  typename P::template Atomic<std::uint64_t> writer_ack_{0};
+  typename P::AtomicBool writer_attached_{false};
+};
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_SWAP_HANDSHAKE_H_

@@ -225,6 +225,119 @@ TEST_F(DeltaMainTest, PropertyRandomOpsAgainstReferenceMap) {
 }
 
 // ---------------------------------------------------------------------------
+// ForEachVisible while a merge is in flight (between SwitchDeltas and
+// MergeStep, merging() == true): every entity must be visited exactly once,
+// with its newest image — active delta over frozen delta over main. This is
+// the snapshot checkpoint::Write relies on for its two-pass count+payload
+// protocol, exercised across every shadowing combination at once.
+// ---------------------------------------------------------------------------
+
+class DeltaMainVisibilityTest : public DeltaMainTest {
+ protected:
+  DeltaMainVisibilityTest()
+      : entity_attr_(schema_->FindAttribute("entity_id")),
+        calls_(schema_->FindAttribute("calls_today")) {}
+
+  // Rows carry their own entity id (the raw attribute ForEachVisible and
+  // checkpointing key on), so every helper embeds it like the ESP does.
+  void BulkWithCalls(EntityId e, std::int32_t val) {
+    std::memset(row_.data(), 0, row_.size());
+    RecordView rec(schema_.get(), row_.data());
+    rec.Set(entity_attr_, Value::UInt64(e));
+    rec.Set(calls_, Value::Int32(val));
+    ASSERT_TRUE(store_->BulkInsert(e, row_.data()).ok());
+  }
+
+  void InsertWithCalls(EntityId e, std::int32_t val) {
+    std::memset(row_.data(), 0, row_.size());
+    RecordView rec(schema_.get(), row_.data());
+    rec.Set(entity_attr_, Value::UInt64(e));
+    rec.Set(calls_, Value::Int32(val));
+    ASSERT_TRUE(store_->Insert(e, row_.data()).ok());
+  }
+
+  void PutCalls(EntityId e, std::int32_t val) {
+    Version v = 0;
+    ASSERT_TRUE(store_->Get(e, out_.data(), &v).ok());
+    RecordView(schema_.get(), out_.data()).Set(calls_, Value::Int32(val));
+    ASSERT_TRUE(store_->Put(e, out_.data(), v).ok());
+  }
+
+  /// One full ForEachVisible pass, asserting no entity is visited twice and
+  /// that the visited row's embedded entity id matches the callback's.
+  std::unordered_map<EntityId, std::int32_t> Snapshot() {
+    std::unordered_map<EntityId, std::int32_t> seen;
+    store_->ForEachVisible(
+        entity_attr_, [&](EntityId e, Version, const std::uint8_t* row) {
+          RecordView rec(schema_.get(), const_cast<std::uint8_t*>(row));
+          EXPECT_EQ(rec.Get(entity_attr_).u64(), e);
+          const bool first =
+              seen.emplace(e, rec.Get(calls_).i32()).second;
+          EXPECT_TRUE(first) << "entity " << e << " visited twice";
+        });
+    return seen;
+  }
+
+  const std::uint16_t entity_attr_;
+  const std::uint16_t calls_;
+};
+
+TEST_F(DeltaMainVisibilityTest, MergeInFlightVisitsEachEntityOnceNewestWins) {
+  // Every shadowing combination at once:
+  //   1: main only                         -> main image
+  //   2: main + frozen                     -> frozen shadows main
+  //   3: main + active                     -> active shadows main
+  //   4: main + frozen + active            -> active shadows both
+  //   5: frozen only (new entity)          -> frozen image
+  //   6: frozen + active (new, then Put)   -> active shadows frozen
+  //   7: active only (new after switch)    -> active image
+  BulkWithCalls(1, 10);
+  BulkWithCalls(2, 20);
+  BulkWithCalls(3, 30);
+  BulkWithCalls(4, 40);
+  PutCalls(2, 200);
+  PutCalls(4, 400);
+  InsertWithCalls(5, 500);
+  InsertWithCalls(6, 600);
+
+  store_->SwitchDeltas();
+  ASSERT_TRUE(store_->merging());
+  PutCalls(3, 3000);
+  PutCalls(4, 4000);
+  PutCalls(6, 6000);
+  InsertWithCalls(7, 7000);
+
+  const std::unordered_map<EntityId, std::int32_t> expected = {
+      {1, 10},  {2, 200},  {3, 3000}, {4, 4000},
+      {5, 500}, {6, 6000}, {7, 7000}};
+  EXPECT_EQ(Snapshot(), expected);
+
+  // The snapshot is also merge-invariant: folding the frozen delta into
+  // main moves records between layers but must not change what is visible.
+  EXPECT_EQ(store_->MergeStep(), 4u);  // entities 2, 4, 5, 6
+  ASSERT_FALSE(store_->merging());
+  EXPECT_EQ(Snapshot(), expected);
+  EXPECT_EQ(store_->Merge(), 4u);  // entities 3, 4, 6, 7
+  EXPECT_EQ(Snapshot(), expected);
+}
+
+// The frozen delta's shadow check must key on entity id, not presence in
+// main: a *new* entity living in both deltas (inserted before the switch,
+// updated after) has no main record to skip, and the frozen copy alone must
+// yield to the active one.
+TEST_F(DeltaMainVisibilityTest, NewEntityInBothDeltasVisitedOnceFromActive) {
+  InsertWithCalls(9, 1);
+  store_->SwitchDeltas();
+  ASSERT_TRUE(store_->merging());
+  PutCalls(9, 2);
+
+  const auto snap = Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.at(9), 2);
+  EXPECT_EQ(store_->MergeStep(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent ESP/RTA stress: one writer thread (ESP role) doing read-modify-
 // write cycles with checkpoints, one merger thread (RTA role) doing
 // switch+merge cycles. Invariant: the per-entity counter only grows, and the

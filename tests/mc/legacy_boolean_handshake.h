@@ -1,0 +1,82 @@
+#ifndef AIM_TESTS_MC_LEGACY_BOOLEAN_HANDSHAKE_H_
+#define AIM_TESTS_MC_LEGACY_BOOLEAN_HANDSHAKE_H_
+
+#include <atomic>
+
+#include "aim/common/sync_provider.h"
+
+namespace aim {
+namespace mc_tests {
+
+/// The two-boolean delta-switch handshake exactly as this repo's seed
+/// implemented it (and as the paper's Algorithms 6/7 literally read),
+/// preserved as a model-checking specimen behind the same sync-provider
+/// template and interface as the production SwapHandshake.
+///
+/// It carries a genuine interleaving bug — the *dangling acknowledgement*:
+/// a parked writer that re-raises `esp_waiting_` after the coordinator has
+/// cleared it (but before `rta_ready_` comes down) leaves the flag set
+/// with nobody parked behind it. The next RunExclusive round then observes
+/// the stale flag, skips its wait, and runs the action against a running
+/// writer. Note this is a sequentially-consistent interleaving bug: every
+/// access below is seq_cst/acquire and the protocol is still wrong.
+/// tests/mc/handshake_mc_test.cc makes the checker derive the interleaving
+/// mechanically (it needs 3 preemptions); the epoch-tagged SwapHandshake
+/// fixes it by making every acknowledgement name the round it answers.
+template <typename P = RealSyncProvider>
+class LegacyBooleanHandshake {
+ public:
+  LegacyBooleanHandshake() = default;
+  LegacyBooleanHandshake(const LegacyBooleanHandshake&) = delete;
+  LegacyBooleanHandshake& operator=(const LegacyBooleanHandshake&) = delete;
+
+  /// Writer side: raise the waiting flag and park while a round is on.
+  void WriterCheckpoint() {
+    int spins = 0;
+    while (rta_ready_.load(std::memory_order_acquire)) {
+      // seq_cst: faithful to the seed protocol this specimen preserves
+      // (which leaned on a total store/load order — and is buggy anyway).
+      esp_waiting_.store(true, std::memory_order_seq_cst);
+      P::Pause(++spins);
+    }
+  }
+
+  void set_writer_attached(bool attached) {
+    writer_attached_.store(attached, std::memory_order_release);
+  }
+
+  bool writer_attached() const {
+    return writer_attached_.load(std::memory_order_acquire);
+  }
+
+  /// Coordinator side: announce, wait for the waiting flag, act, tear both
+  /// flags down. The teardown window is where the bug lives.
+  template <typename Action>
+  void RunExclusive(Action&& action) {
+    if (!writer_attached()) {
+      action();
+      return;
+    }
+    // seq_cst: faithful to the seed protocol (see WriterCheckpoint).
+    rta_ready_.store(true, std::memory_order_seq_cst);
+    int spins = 0;
+    while (!esp_waiting_.load(std::memory_order_acquire)) {
+      if (!writer_attached()) break;
+      P::Pause(++spins);
+    }
+    action();
+    // seq_cst: faithful to the seed protocol (see WriterCheckpoint).
+    esp_waiting_.store(false, std::memory_order_seq_cst);
+    rta_ready_.store(false, std::memory_order_seq_cst);
+  }
+
+ private:
+  typename P::template Atomic<bool> rta_ready_{false};
+  typename P::template Atomic<bool> esp_waiting_{false};
+  typename P::AtomicBool writer_attached_{false};
+};
+
+}  // namespace mc_tests
+}  // namespace aim
+
+#endif  // AIM_TESTS_MC_LEGACY_BOOLEAN_HANDSHAKE_H_

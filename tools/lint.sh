@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Lint gate for the AIM tree. Two checks:
+# Lint gate for the AIM tree. Three checks:
 #
-#   1. memory-order audit (always runs, no toolchain dependency): every
+#   1. memory-order audits (always run, no toolchain dependency): every
 #      `memory_order_relaxed` in src/aim/** must carry a `// relaxed: ...`
-#      justification — on the same line, within the 3 preceding lines, or
-#      chained from an immediately preceding justified relaxed line (one
-#      comment may cover a contiguous block). See docs/CORRECTNESS.md.
+#      justification and every `memory_order_seq_cst` a `// seq_cst: ...`
+#      one — on the same line, within the 3 preceding lines, or chained
+#      from an immediately preceding justified line (one comment may cover
+#      a contiguous block). Relaxed is suspect because it may be *too weak*;
+#      seq_cst because it may be papering over an unexplained protocol (or
+#      adding fence cost for nothing) — the default in this tree is
+#      acquire/release with a reason. See docs/CORRECTNESS.md.
 #
 #   2. clang-tidy over src/aim/**/*.cc with the repo .clang-tidy config.
 #      Skipped with a notice when clang-tidy or compile_commands.json is
@@ -48,6 +52,42 @@ if [ -n "$RELAXED_VIOLATIONS" ]; then
   STATUS=1
 else
   echo "OK: all memory_order_relaxed uses are justified."
+fi
+
+# ---------------------------------------------------------------------------
+# Check 1b: seq_cst-ordering justifications (mirror of the relaxed audit —
+# seq_cst is the other end of the "not plain acquire/release, explain
+# yourself" spectrum: it usually means a Dekker-style store/load protocol
+# that deserves a comment, or an accidental full fence that should be
+# weakened).
+# ---------------------------------------------------------------------------
+echo
+echo "== memory_order_seq_cst justification audit =="
+
+SEQCST_VIOLATIONS=$(
+  find src/aim -name '*.h' -o -name '*.cc' | sort | xargs awk '
+    FNR == 1 { last_justify = -10; last_ok_seqcst = -10 }
+    /seq_cst:/ { last_justify = FNR }
+    /memory_order_seq_cst/ {
+      if (/seq_cst:/ || FNR - last_justify <= 3 ||
+          FNR - last_ok_seqcst <= 2) {
+        last_ok_seqcst = FNR
+      } else {
+        printf "%s:%d: memory_order_seq_cst without a \"// seq_cst:\" justification\n", FILENAME, FNR
+      }
+    }
+  '
+)
+
+if [ -n "$SEQCST_VIOLATIONS" ]; then
+  echo "$SEQCST_VIOLATIONS"
+  COUNT=$(printf '%s\n' "$SEQCST_VIOLATIONS" | wc -l)
+  echo "FAIL: $COUNT unjustified memory_order_seq_cst use(s)."
+  echo "Add an adjacent '// seq_cst: <why a total order is required>' comment"
+  echo "or weaken the ordering."
+  STATUS=1
+else
+  echo "OK: all memory_order_seq_cst uses are justified."
 fi
 
 # ---------------------------------------------------------------------------

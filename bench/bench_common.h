@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -147,6 +150,135 @@ inline MixedResult RunMixedWorkload(AimCluster* cluster,
   result.esp_eps = static_cast<double>(result.events) / elapsed;
   result.rta_qps = static_cast<double>(result.queries) / elapsed;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: a small flag parser plus a KPI JSON writer, so CI
+// (and any dashboard) can consume bench results without scraping stdout.
+// ---------------------------------------------------------------------------
+
+/// Looks up `--name=value` in argv; returns nullptr when absent.
+inline const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline std::uint64_t FlagUint(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// Current commit sha (best effort — "unknown" outside a git checkout).
+inline std::string GitSha() {
+  std::string sha = "unknown";
+#if !defined(_WIN32)
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (s.size() == 40) sha = s;
+    }
+    pclose(p);
+  }
+#endif
+  return sha;
+}
+
+inline const char* BuildType() {
+#if defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+struct BenchRunInfo {
+  std::string bench_name;
+  std::uint64_t entities = 0;
+  std::uint32_t nodes = 1;
+  std::uint32_t partitions = 1;
+  std::uint32_t esp_threads = 1;
+  double seconds = 0;
+  double target_eps = 0;
+  int clients = 0;
+};
+
+/// Writes the run's KPIs + verdicts + provenance as one JSON document. The
+/// schema is stable (consumed by the CI bench-kpi job and committed as
+/// BENCH_kpi.json at the repo root); extend, do not rename.
+inline bool WriteKpiJson(const char* path, const BenchRunInfo& info,
+                         const KpiReport& report, const KpiTargets& targets,
+                         double f_esp_per_entity_hour) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  const bool esp_ok = report.MeetsEsp(targets);
+  const bool f_esp_ok = f_esp_per_entity_hour >= targets.f_esp_per_hour;
+  const bool rta_lat_ok = report.rta_mean_ms <= targets.t_rta_ms;
+  const bool rta_qps_ok = report.rta_throughput_qps >= targets.f_rta_qps;
+  const bool fresh_ok = report.fresh_ms >= 0 && report.MeetsFreshness(targets);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", info.bench_name.c_str());
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", BuildType());
+  std::fprintf(f,
+               "  \"scale\": {\"entities\": %llu, \"nodes\": %u, "
+               "\"partitions\": %u, \"esp_threads\": %u, \"seconds\": %g, "
+               "\"target_eps\": %g, \"clients\": %d},\n",
+               static_cast<unsigned long long>(info.entities), info.nodes,
+               info.partitions, info.esp_threads, info.seconds,
+               info.target_eps, info.clients);
+  std::fprintf(f, "  \"kpis\": {\n");
+  std::fprintf(f,
+               "    \"t_esp_ms\": {\"value\": %.4f, \"p99\": %.4f, "
+               "\"target\": %.4f, \"pass\": %s},\n",
+               report.esp_mean_ms, report.esp_p99_ms, targets.t_esp_ms,
+               esp_ok ? "true" : "false");
+  std::fprintf(f,
+               "    \"f_esp_per_entity_hour\": {\"value\": %.4f, "
+               "\"target\": %.4f, \"pass\": %s},\n",
+               f_esp_per_entity_hour, targets.f_esp_per_hour,
+               f_esp_ok ? "true" : "false");
+  std::fprintf(f,
+               "    \"t_rta_ms\": {\"value\": %.4f, \"p99\": %.4f, "
+               "\"target\": %.4f, \"pass\": %s},\n",
+               report.rta_mean_ms, report.rta_p99_ms, targets.t_rta_ms,
+               rta_lat_ok ? "true" : "false");
+  std::fprintf(f,
+               "    \"f_rta_qps\": {\"value\": %.4f, \"target\": %.4f, "
+               "\"pass\": %s},\n",
+               report.rta_throughput_qps, targets.f_rta_qps,
+               rta_qps_ok ? "true" : "false");
+  std::fprintf(f,
+               "    \"t_fresh_ms\": {\"value\": %.4f, \"target\": %.4f, "
+               "\"pass\": %s}\n",
+               report.fresh_ms, targets.t_fresh_ms,
+               fresh_ok ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"esp_throughput_eps\": %.2f,\n",
+               report.esp_throughput_eps);
+  std::fprintf(f, "  \"all_pass\": %s\n",
+               (esp_ok && f_esp_ok && rta_lat_ok && rta_qps_ok && fresh_ok)
+                   ? "true"
+                   : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
 }
 
 /// Convenience: builds, loads and starts a cluster.

@@ -7,7 +7,9 @@
 //     record count is far below the Put count
 //   * delta-switch handshake cost (Algorithms 6/7) with a live ESP thread
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -148,3 +150,32 @@ BENCHMARK(BM_DeltaSwitchHandshake);
 
 }  // namespace
 }  // namespace aim
+
+/// Custom main instead of benchmark_main: maps the repo-wide `--json=PATH`
+/// flag onto google-benchmark's JSON reporter so every bench binary shares
+/// one machine-readable output convention (see bench_common.h).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  constexpr char kJsonPrefix[] = "--json=";
+  constexpr char kJsonFormat[] = "--benchmark_out_format=json";
+  char format_flag[sizeof(kJsonFormat)];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strncmp(args[i], kJsonPrefix, sizeof(kJsonPrefix) - 1) == 0) {
+      out_flag = std::string("--benchmark_out=") +
+                 (args[i] + sizeof(kJsonPrefix) - 1);
+      std::memcpy(format_flag, kJsonFormat, sizeof(kJsonFormat));
+      args[i] = format_flag;
+      args.push_back(out_flag.data());
+      break;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,9 @@
 //        WHERE number_of_local_calls_this_week > 1;
 //
 //   $ ./aim_sql_shell -c "SELECT COUNT(*) FROM AnalyticsMatrix"
+//
+// Shell commands: \metrics dumps the live registry in Prometheus text
+// format, \metrics json as JSON (docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstring>
@@ -73,6 +76,18 @@ int main(int argc, char** argv) {
 
   SqlParser parser(schema.get(), &dims.catalog);
   auto run_one = [&](const std::string& sql) {
+    // Shell commands (not SQL): \metrics [json].
+    const std::size_t start = sql.find_first_not_of(" \t");
+    if (start != std::string::npos && sql[start] == '\\') {
+      if (sql.compare(start, 8, "\\metrics") == 0) {
+        const bool json = sql.find("json", start + 8) != std::string::npos;
+        std::printf("%s\n", json ? db.metrics().RenderJson().c_str()
+                                 : db.metrics().RenderPrometheus().c_str());
+      } else {
+        std::printf("unknown command; try \\metrics [json]\n");
+      }
+      return;
+    }
     StatusOr<Query> query = parser.Parse(sql);
     if (!query.ok()) {
       std::printf("%s\n", query.status().ToString().c_str());
@@ -96,6 +111,14 @@ int main(int argc, char** argv) {
   std::string line;
   std::fprintf(stderr, "aim> ");
   while (std::getline(std::cin, line)) {
+    // Backslash commands execute immediately, no ';' needed.
+    if (buffer.find_first_not_of(' ') == std::string::npos &&
+        line.find_first_not_of(" \t") != std::string::npos &&
+        line[line.find_first_not_of(" \t")] == '\\') {
+      run_one(line);
+      std::fprintf(stderr, "aim> ");
+      continue;
+    }
     buffer += line;
     buffer += ' ';
     if (line.find(';') != std::string::npos) {

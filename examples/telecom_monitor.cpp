@@ -53,6 +53,11 @@ int main(int argc, char** argv) {
   }
   if (!cluster.Start().ok()) return 1;
 
+  // Live SLA monitor over the cluster's always-on metrics; its t_fresh is
+  // traced inside the stores (write -> merge publication), not inferred.
+  KpiTargets targets;
+  KpiMonitor monitor = cluster.MakeKpiMonitor(entities, targets);
+
   std::atomic<bool> stop{false};
 
   // ESP driver: pump events as fast as the node accepts them, measuring
@@ -105,13 +110,25 @@ int main(int argc, char** argv) {
   }
 
   Stopwatch run;
+  Stopwatch since_kpi;
   while (run.ElapsedSeconds() < seconds) {
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
     std::printf("  t=%4.1fs  events=%llu  queries=%llu\n",
                 run.ElapsedSeconds(),
                 static_cast<unsigned long long>(events_sent.load()),
                 static_cast<unsigned long long>(queries_done.load()));
+    // Periodic live SLA check (every ~2s window).
+    if (since_kpi.ElapsedSeconds() >= 2.0) {
+      since_kpi.Restart();
+      const KpiSample live = monitor.Sample();
+      std::printf("  [kpi %d/5] t_ESP=%.2fms f_ESP=%.0f/h t_RTA=%.1fms "
+                  "f_RTA=%.0fq/s t_fresh=%.0fms%s\n",
+                  live.NumPass(), live.t_esp_ms, live.f_esp_per_entity_hour,
+                  live.t_rta_ms, live.f_rta_qps, live.t_fresh_ms,
+                  live.fresh_traced ? "" : " (untraced)");
+    }
   }
+  const KpiSample final_window = monitor.Sample();
   stop.store(true, std::memory_order_release);
   esp_driver.join();
   for (auto& t : clients) t.join();
@@ -121,7 +138,6 @@ int main(int argc, char** argv) {
   LatencyRecorder rta_all;
   for (const auto& r : rta_latency) rta_all.Merge(r);
 
-  const KpiTargets targets;
   const KpiReport report = KpiReport::FromRecorders(
       esp_latency, rta_all, events_sent.load() / elapsed,
       queries_done.load() / elapsed, /*fresh_ms=*/0.0);
@@ -141,5 +157,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rules_fired),
               static_cast<unsigned long long>(stats.scan_cycles),
               static_cast<unsigned long long>(stats.records_merged));
+
+  std::printf("\n=== live SLA monitor (final window, traced t_fresh) ===\n");
+  std::printf("%s", final_window.Render(targets).c_str());
+  std::printf("\n=== metrics snapshot (Prometheus text format) ===\n%s",
+              cluster.metrics().RenderPrometheus().c_str());
   return 0;
 }

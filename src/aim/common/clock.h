@@ -53,6 +53,15 @@ class VirtualClock : public Clock {
   std::atomic<Timestamp> now_;
 };
 
+/// Monotonic nanosecond timestamp (steady_clock). The shared time source
+/// for latency instrumentation and the freshness tracer — every stamp and
+/// publication observation must come off the same monotonic clock.
+inline std::int64_t MonotonicNanos() {
+  using namespace std::chrono;
+  return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// High-resolution stopwatch for latency measurements (nanosecond ticks).
 class Stopwatch {
  public:

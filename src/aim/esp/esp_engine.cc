@@ -26,6 +26,30 @@ EspEngine::EspEngine(const Schema* schema, DeltaMainStore* store,
     aopts.retention_ms = options.archive_retention_ms;
     archive_ = std::make_unique<EventArchive>(aopts);
   }
+
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = own_metrics_.get();
+  }
+  const Labels& labels = options_.metric_labels;
+  events_ = metrics->GetCounter("aim_esp_events_total", labels);
+  txn_conflicts_ = metrics->GetCounter("aim_esp_txn_conflicts_total", labels);
+  rules_fired_ = metrics->GetCounter("aim_esp_rules_fired_total", labels);
+  rules_suppressed_ =
+      metrics->GetCounter("aim_esp_rules_suppressed_total", labels);
+  entities_created_ =
+      metrics->GetCounter("aim_esp_entities_created_total", labels);
+}
+
+EspEngine::Stats EspEngine::stats() const {
+  Stats s;
+  s.events_processed = events_->Value();
+  s.txn_conflicts = txn_conflicts_->Value();
+  s.rules_fired = rules_fired_->Value();
+  s.rules_suppressed = rules_suppressed_->Value();
+  s.entities_created = entities_created_->Value();
+  return s;
 }
 
 void EspEngine::InitFreshRecord(EntityId entity, const Event& event) {
@@ -67,13 +91,13 @@ Status EspEngine::ProcessEvent(const Event& event,
     Status put = fresh ? store_->Insert(entity, row_buf_.data())
                        : store_->Put(entity, row_buf_.data(), version);
     if (put.ok()) {
-      if (fresh) stats_.entities_created++;
+      if (fresh) entities_created_->Add();
       updated = true;
       break;
     }
     if (put.IsConflict()) {
       // Conditional write lost: restart the single-row transaction.
-      stats_.txn_conflicts++;
+      txn_conflicts_->Add();
       continue;
     }
     return put;
@@ -81,7 +105,7 @@ Status EspEngine::ProcessEvent(const Event& event,
   if (!updated) {
     return Status::Conflict("single-row transaction retries exhausted");
   }
-  stats_.events_processed++;
+  events_->Add();
   if (archive_ != nullptr) archive_->Append(event);
 
   // Business rule evaluation against the event and the updated record.
@@ -94,8 +118,8 @@ Status EspEngine::ProcessEvent(const Event& event,
     }
     const std::size_t before = matched_buf_.size();
     policy_tracker_.Filter(*rules_, entity, event.timestamp, &matched_buf_);
-    stats_.rules_suppressed += before - matched_buf_.size();
-    stats_.rules_fired += matched_buf_.size();
+    rules_suppressed_->Add(before - matched_buf_.size());
+    rules_fired_->Add(matched_buf_.size());
     if (fired != nullptr) {
       fired->assign(matched_buf_.begin(), matched_buf_.end());
     }

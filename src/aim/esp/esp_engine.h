@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "aim/common/status.h"
+#include "aim/obs/registry.h"
 #include "aim/esp/event.h"
 #include "aim/esp/event_archive.h"
 #include "aim/esp/firing_policy.h"
@@ -47,8 +48,18 @@ class EspEngine {
     /// enabling exact sliding-window rebuilds and recovery-by-replay.
     bool keep_event_archive = false;
     Timestamp archive_retention_ms = kMillisPerWeek;
+    /// Registry the engine's counters live in (one source of truth for
+    /// monitoring — see docs/OBSERVABILITY.md). When null the engine owns
+    /// a private registry, so stats() always works. `metric_labels`
+    /// distinguishes engines sharing a registry (e.g. node/partition).
+    MetricsRegistry* metrics = nullptr;
+    Labels metric_labels;
   };
 
+  /// Monitoring snapshot of the engine's registry-backed counters. The
+  /// counters are atomics updated only by the owning ESP thread; any
+  /// thread may take a snapshot concurrently (values may be mutually torn
+  /// across fields — monitoring semantics).
   struct Stats {
     std::uint64_t events_processed = 0;
     std::uint64_t txn_conflicts = 0;
@@ -66,8 +77,15 @@ class EspEngine {
   /// policy filtering) to `fired` (cleared first; may be nullptr).
   Status ProcessEvent(const Event& event, std::vector<std::uint32_t>* fired);
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   const UpdateProgram& program() const { return program_; }
+
+  /// The engine's live counters (registry-owned; valid for the registry's
+  /// lifetime). Exposed so node- and cluster-level monitors can aggregate
+  /// without re-deriving metric names.
+  const Counter* metric_events() const { return events_; }
+  const Counter* metric_txn_conflicts() const { return txn_conflicts_; }
+  const Counter* metric_rules_fired() const { return rules_fired_; }
 
   /// Switches between indexed and straight-forward rule evaluation.
   void set_use_rule_index(bool use) { options_.use_rule_index = use; }
@@ -93,7 +111,14 @@ class EspEngine {
 
   std::vector<std::uint8_t> row_buf_;
   std::vector<std::uint32_t> matched_buf_;
-  Stats stats_;
+
+  // Registry-backed counters (owned by options_.metrics or own_metrics_).
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  Counter* events_;
+  Counter* txn_conflicts_;
+  Counter* rules_fired_;
+  Counter* rules_suppressed_;
+  Counter* entities_created_;
 };
 
 }  // namespace aim

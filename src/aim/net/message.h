@@ -55,6 +55,9 @@ struct EventMessage {
 struct QueryMessage {
   std::vector<std::uint8_t> bytes;
   std::function<void(std::vector<std::uint8_t>&&)> reply;
+  /// Stamped by SubmitQuery; the coordinator records queue+scan+merge time
+  /// against it when it replies (aim_rta_query_latency_micros).
+  std::int64_t enqueue_nanos = 0;
 };
 
 /// Record-level request against a storage node's Get/Put interface — the

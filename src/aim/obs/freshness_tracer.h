@@ -1,0 +1,87 @@
+#ifndef AIM_OBS_FRESHNESS_TRACER_H_
+#define AIM_OBS_FRESHNESS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "aim/obs/histogram.h"
+
+namespace aim {
+
+/// Live t_fresh tracing for one delta-main partition (paper Table 4:
+/// t_fresh <= 1 s). The bench harness can only *approximate* freshness
+/// from outside (ingest a burst, poll a query until the count moves); this
+/// tracer measures it from inside the write path itself:
+///
+///   * the ESP thread stamps the arrival time of the FIRST write into the
+///     currently active delta (OnWrite, called from DeltaMainStore::Put /
+///     Insert on success);
+///   * the delta switch moves that stamp to the frozen side (OnSwap,
+///     called inside the writer-quiescent swap window, so it can never
+///     race with a stamp);
+///   * when the merge publishes — the moment those writes become visible
+///     to the next shared scan — the RTA thread records
+///     `publish_time - first_write_time` (OnPublish, called at the end of
+///     DeltaMainStore::MergeStep).
+///
+/// The oldest write of each merge window is exactly the worst-case
+/// staleness of that cycle, so the resulting histogram is a distribution
+/// of per-cycle maximum t_fresh — the quantity the SLA bounds.
+///
+/// Thread-safety: OnWrite is called by the single ESP writer; OnSwap and
+/// OnPublish by the single RTA merger. window_ only changes inside the
+/// swap's writer-quiescent window, and the SwapHandshake's release/acquire
+/// pair orders the toggle before the writer's next operation — which is
+/// why every access here can be relaxed.
+class FreshnessTracer {
+ public:
+  /// `staleness_millis` receives one sample per non-empty merge window;
+  /// must outlive the tracer. May be null (tracing disabled, hooks become
+  /// cheap no-ops kept for branch-predictability).
+  explicit FreshnessTracer(AtomicHistogram* staleness_millis)
+      : staleness_millis_(staleness_millis) {}
+
+  FreshnessTracer(const FreshnessTracer&) = delete;
+  FreshnessTracer& operator=(const FreshnessTracer&) = delete;
+
+  /// ESP thread, after a successful delta write. Hot path: one relaxed
+  /// load plus, only for the first write of a window, one relaxed store.
+  void OnWrite(std::int64_t now_nanos) {
+    // relaxed: single-writer cells; the window index only moves while
+    // this (ESP) thread is parked in the swap handshake, whose
+    // release/acquire edge orders the toggle before our next call.
+    const std::uint32_t w = window_.load(std::memory_order_relaxed);
+    if (first_write_nanos_[w].load(std::memory_order_relaxed) == 0) {
+      first_write_nanos_[w].store(now_nanos, std::memory_order_relaxed);
+    }
+  }
+
+  /// RTA thread, inside the writer-quiescent swap window.
+  void OnSwap() {
+    // relaxed: runs inside the quiescent window — the ESP writer is
+    // parked, and the handshake's release publishes the toggle to it.
+    const std::uint32_t w = window_.load(std::memory_order_relaxed);
+    window_.store(1 - w, std::memory_order_relaxed);
+  }
+
+  /// RTA thread, when the merged records become scan-visible.
+  void OnPublish(std::int64_t now_nanos) {
+    // relaxed: the frozen cell has no concurrent writer — the ESP thread
+    // stamps the other window since the swap, ordered by the handshake.
+    const std::uint32_t frozen = 1 - window_.load(std::memory_order_relaxed);
+    const std::int64_t t0 =
+        first_write_nanos_[frozen].exchange(0, std::memory_order_relaxed);
+    if (t0 != 0 && staleness_millis_ != nullptr) {
+      staleness_millis_->Record(static_cast<double>(now_nanos - t0) / 1e6);
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> window_{0};
+  std::atomic<std::int64_t> first_write_nanos_[2] = {};
+  AtomicHistogram* staleness_millis_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_FRESHNESS_TRACER_H_

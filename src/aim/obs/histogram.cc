@@ -1,0 +1,108 @@
+#include "aim/obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace aim {
+
+int AtomicHistogram::BucketFor(double value) {
+  if (value <= 1.0) return 0;
+  // 4 buckets per octave: index = 4 * log2(value) (LatencyRecorder layout).
+  const int idx = static_cast<int>(4.0 * std::log2(value));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void AtomicHistogram::Record(double value) {
+  if (value < 0) value = 0;
+  const auto fp = static_cast<std::uint64_t>(value * kFixedPoint);
+  // relaxed: monitoring histogram; Snapshot() tolerates torn cross-field
+  // views and no reader derives other shared state from these values.
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_fp_.fetch_add(fp, std::memory_order_relaxed);
+
+  // relaxed: same monitoring rule; the CAS loops retry only while the
+  // extremum is actually moving.
+  std::uint64_t cur = min_fp_.load(std::memory_order_relaxed);
+  while (fp < cur && !min_fp_.compare_exchange_weak(
+                         cur, fp, std::memory_order_relaxed)) {
+  }
+  // relaxed: see min_fp_ above.
+  cur = max_fp_.load(std::memory_order_relaxed);
+  while (fp > cur && !max_fp_.compare_exchange_weak(
+                         cur, fp, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot AtomicHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  // relaxed: monitoring snapshot; may be mutually torn (see header).
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // relaxed: see above.
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = static_cast<double>(sum_fp_.load(std::memory_order_relaxed)) /
+          kFixedPoint;
+  const std::uint64_t min_fp = min_fp_.load(std::memory_order_relaxed);
+  // relaxed: see above.
+  const std::uint64_t max_fp = max_fp_.load(std::memory_order_relaxed);
+  s.min = min_fp == UINT64_MAX ? 0.0
+                               : static_cast<double>(min_fp) / kFixedPoint;
+  s.max = static_cast<double>(max_fp) / kFixedPoint;
+  return s;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target && buckets[i] > 0) {
+      // Upper edge of bucket i: 2^((i+1)/4).
+      return std::exp2(static_cast<double>(i + 1) / 4.0);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  if (other.count > 0) {
+    if (count == 0 || other.min < min) min = other.min;
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    // Guard against torn snapshots (a bucket increment visible in
+    // `earlier` but its count not yet in *this would underflow).
+    d.buckets[i] =
+        buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+  }
+  d.count = count >= earlier.count ? count - earlier.count : 0;
+  d.sum = sum >= earlier.sum ? sum - earlier.sum : 0.0;
+  d.min = 0.0;  // extrema cannot be windowed; use Percentile on the delta
+  d.max = 0.0;
+  return d;
+}
+
+std::string HistogramSnapshot::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.3f p50=%.3f p95=%.3f p99=%.3f pmax=%.3f (n=%llu)",
+                Mean(), Percentile(0.50), Percentile(0.95), Percentile(0.99),
+                Percentile(1.0), static_cast<unsigned long long>(count));
+  return std::string(buf);
+}
+
+}  // namespace aim

@@ -1,0 +1,97 @@
+#ifndef AIM_OBS_HISTOGRAM_H_
+#define AIM_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "aim/obs/metric.h"
+
+namespace aim {
+
+/// Point-in-time copy of an AtomicHistogram, with the percentile / mean
+/// math. Also the unit of window arithmetic: Delta() subtracts an earlier
+/// snapshot so a KpiMonitor can evaluate "mean latency over the last N
+/// seconds" from two cumulative snapshots.
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 256;
+
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Percentile (q in [0,1]): upper edge of the bucket containing the
+  /// q-quantile, 2^((i+1)/4) — the same ~19% bucket resolution as
+  /// LatencyRecorder. Percentile(1.0) bounds the window maximum.
+  double Percentile(double q) const;
+
+  /// Merge another snapshot's samples into this one (cluster-level view).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Samples recorded after `earlier` was taken (counts are monotone).
+  /// min/max cannot be windowed and are cleared; use Percentile(1.0) of
+  /// the delta to bound the window maximum.
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+
+  /// "mean/p50/p95/p99/pmax" summary (values in the histogram's unit).
+  std::string Summary() const;
+};
+
+/// Thread-safe log-bucketed histogram — the always-on sibling of
+/// LatencyRecorder, sharing its bucket layout (bucket i covers values up
+/// to 2^((i+1)/4), ~19% resolution). Any number of threads may Record()
+/// concurrently; any thread may Snapshot() concurrently with writers.
+///
+/// Hot-path cost: one relaxed fetch_add on the bucket plus two on
+/// count/sum; the min/max CAS loops only retry while the extremum is
+/// actually moving. The sum is kept in 1/1024 fixed point so it is a plain
+/// integer fetch_add (no atomic<double> CAS loop on the hot path).
+///
+/// The value unit is whatever the metric name declares (micros, millis,
+/// rows — see docs/OBSERVABILITY.md naming rules).
+class AtomicHistogram {
+ public:
+  static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  AtomicHistogram() = default;
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  /// Record one sample (negative values clamp to 0).
+  void Record(double value);
+
+  /// Consistent-enough copy for monitoring: individual fields are atomic,
+  /// the cross-field view may be torn by in-flight Records (a sample's
+  /// bucket increment may be visible before its sum increment). Counts are
+  /// monotone, so Delta() between two snapshots is always non-negative.
+  HistogramSnapshot Snapshot() const;
+
+  std::uint64_t Count() const {
+    // relaxed: monitoring read; see Record.
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  static int BucketFor(double value);
+
+ private:
+  // 1/1024 fixed point for sum/min/max: integer atomics, ~0.001 absolute
+  // resolution, 2^54 max representable value — far beyond any latency.
+  static constexpr double kFixedPoint = 1024.0;
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_fp_{0};
+  std::atomic<std::uint64_t> min_fp_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_fp_{0};
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_HISTOGRAM_H_

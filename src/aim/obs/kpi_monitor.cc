@@ -1,0 +1,107 @@
+#include "aim/obs/kpi_monitor.h"
+
+#include <cstdio>
+
+namespace aim {
+
+KpiMonitor::KpiMonitor(Inputs inputs, const KpiTargets& targets)
+    : in_(std::move(inputs)), targets_(targets) {
+  // Baseline the cumulative sources so the first Sample() is a true
+  // window, not "since process start".
+  prev_events_ = Sum(in_.events);
+  prev_queries_ = Sum(in_.queries);
+  prev_esp_ = Merged(in_.esp_latency_micros);
+  prev_rta_ = Merged(in_.rta_latency_micros);
+  prev_fresh_ = Merged(in_.freshness_millis);
+}
+
+std::uint64_t KpiMonitor::Sum(const std::vector<const Counter*>& counters) {
+  std::uint64_t total = 0;
+  for (const Counter* c : counters) {
+    if (c != nullptr) total += c->Value();
+  }
+  return total;
+}
+
+HistogramSnapshot KpiMonitor::Merged(
+    const std::vector<const AtomicHistogram*>& hists) {
+  HistogramSnapshot merged;
+  for (const AtomicHistogram* h : hists) {
+    if (h != nullptr) merged.Merge(h->Snapshot());
+  }
+  return merged;
+}
+
+KpiSample KpiMonitor::Sample() {
+  KpiSample s;
+  s.window_seconds = window_.ElapsedSeconds();
+  window_.Restart();
+  if (s.window_seconds <= 0.0) s.window_seconds = 1e-9;
+
+  const std::uint64_t events = Sum(in_.events);
+  const std::uint64_t queries = Sum(in_.queries);
+  const HistogramSnapshot esp = Merged(in_.esp_latency_micros);
+  const HistogramSnapshot rta = Merged(in_.rta_latency_micros);
+  const HistogramSnapshot fresh = Merged(in_.freshness_millis);
+
+  const std::uint64_t d_events = events - prev_events_;
+  const std::uint64_t d_queries = queries - prev_queries_;
+  const HistogramSnapshot d_esp = esp.Delta(prev_esp_);
+  const HistogramSnapshot d_rta = rta.Delta(prev_rta_);
+  const HistogramSnapshot d_fresh = fresh.Delta(prev_fresh_);
+  prev_events_ = events;
+  prev_queries_ = queries;
+  prev_esp_ = esp;
+  prev_rta_ = rta;
+  prev_fresh_ = fresh;
+
+  // t_ESP: window-mean event processing latency (micros -> ms).
+  s.t_esp_ms = d_esp.Mean() / 1e3;
+  s.t_esp_ok = d_esp.count > 0 && s.t_esp_ms <= targets_.t_esp_ms;
+
+  // f_ESP: sustained events per entity per hour.
+  if (in_.entities > 0) {
+    s.f_esp_per_entity_hour = static_cast<double>(d_events) /
+                              static_cast<double>(in_.entities) /
+                              (s.window_seconds / 3600.0);
+  }
+  s.f_esp_ok = s.f_esp_per_entity_hour >= targets_.f_esp_per_hour;
+
+  // t_RTA / f_RTA: window-mean query latency and throughput.
+  s.t_rta_ms = d_rta.Mean() / 1e3;
+  s.t_rta_ok = d_rta.count > 0 && s.t_rta_ms <= targets_.t_rta_ms;
+  s.f_rta_qps = static_cast<double>(d_queries) / s.window_seconds;
+  s.f_rta_ok = s.f_rta_qps >= targets_.f_rta_qps;
+
+  // t_fresh: worst traced staleness in the window (bucket upper edge).
+  // An idle window with no published merge cannot certify freshness.
+  s.fresh_traced = d_fresh.count > 0;
+  s.t_fresh_ms = s.fresh_traced ? d_fresh.Percentile(1.0) : 0.0;
+  s.t_fresh_ok = s.fresh_traced && s.t_fresh_ms <= targets_.t_fresh_ms;
+
+  return s;
+}
+
+std::string KpiSample::Render(const KpiTargets& targets) const {
+  char buf[640];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "%-26s %10s %10s  %s\n", "KPI (live, last window)", "target",
+      "measured", "verdict");
+  auto row = [&](const char* name, double target, double measured, bool ok,
+                 const char* note) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       "%-26s %10.1f %10.1f  %s%s\n", name, target, measured,
+                       ok ? "PASS" : "MISS", note);
+  };
+  row("t_ESP (ms, mean)", targets.t_esp_ms, t_esp_ms, t_esp_ok, "");
+  row("f_ESP (ev/entity/h)", targets.f_esp_per_hour, f_esp_per_entity_hour,
+      f_esp_ok, "");
+  row("t_RTA (ms, mean)", targets.t_rta_ms, t_rta_ms, t_rta_ok, "");
+  row("f_RTA (q/s)", targets.f_rta_qps, f_rta_qps, f_rta_ok, "");
+  row("t_fresh (ms, max)", targets.t_fresh_ms, t_fresh_ms, t_fresh_ok,
+      fresh_traced ? " (traced)" : " (no merge in window)");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace aim

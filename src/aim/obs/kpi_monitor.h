@@ -1,0 +1,104 @@
+#ifndef AIM_OBS_KPI_MONITOR_H_
+#define AIM_OBS_KPI_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aim/common/clock.h"
+#include "aim/obs/histogram.h"
+#include "aim/obs/metric.h"
+
+namespace aim {
+
+/// The SLAs of the paper's AIM implementation (Table 4). Lives in obs so
+/// the in-process KpiMonitor can evaluate them; workload/kpi.h re-exports
+/// it for the bench harness.
+struct KpiTargets {
+  double t_esp_ms = 10.0;        // max event processing time
+  double f_esp_per_hour = 3.6;   // min events per entity per hour
+  double t_rta_ms = 100.0;       // max RTA response time
+  double f_rta_qps = 100.0;      // min RTA queries per second
+  double t_fresh_ms = 1000.0;    // max event-to-visibility time
+};
+
+/// One sliding-window evaluation of the five Table-4 SLAs, produced by
+/// KpiMonitor::Sample(). Latency SLAs are checked against the window mean
+/// (matching the paper's "average end-to-end response time" reporting);
+/// t_fresh against the window's bucket-resolution maximum, since the SLA
+/// bounds the worst case.
+struct KpiSample {
+  double window_seconds = 0.0;
+
+  double t_esp_ms = 0.0;             // mean event latency in the window
+  double f_esp_per_entity_hour = 0.0;
+  double t_rta_ms = 0.0;             // mean query latency in the window
+  double f_rta_qps = 0.0;
+  double t_fresh_ms = 0.0;           // max traced staleness in the window
+  bool fresh_traced = false;         // any merge published in the window?
+
+  bool t_esp_ok = false;
+  bool f_esp_ok = false;
+  bool t_rta_ok = false;
+  bool f_rta_ok = false;
+  bool t_fresh_ok = false;
+
+  bool AllPass() const {
+    return t_esp_ok && f_esp_ok && t_rta_ok && f_rta_ok && t_fresh_ok;
+  }
+  int NumPass() const {
+    return static_cast<int>(t_esp_ok) + static_cast<int>(f_esp_ok) +
+           static_cast<int>(t_rta_ok) + static_cast<int>(f_rta_ok) +
+           static_cast<int>(t_fresh_ok);
+  }
+
+  /// Multi-line "KPI target measured verdict" table (Table-4 layout).
+  std::string Render(const KpiTargets& targets) const;
+};
+
+/// In-process Table-4 SLA monitor: wired to live registry metrics, it
+/// evaluates each SLA over the window since the previous Sample() call
+/// (cumulative counters and histogram snapshots are differenced, so the
+/// instrumented threads pay nothing for the monitoring).
+///
+/// Inputs take *vectors* of sources because the natural aggregation unit
+/// varies: a node sums one event counter per ESP engine; a cluster merges
+/// one latency histogram per node. Null/empty inputs make the
+/// corresponding SLA report zero and fail — a monitor must see real
+/// signals to certify them.
+class KpiMonitor {
+ public:
+  struct Inputs {
+    std::vector<const Counter*> events;  // ESP events processed
+    std::vector<const AtomicHistogram*> esp_latency_micros;
+    std::vector<const Counter*> queries;  // RTA queries answered
+    std::vector<const AtomicHistogram*> rta_latency_micros;
+    std::vector<const AtomicHistogram*> freshness_millis;  // traced t_fresh
+    std::uint64_t entities = 0;  // for f_ESP (events/entity/hour)
+  };
+
+  explicit KpiMonitor(Inputs inputs, const KpiTargets& targets = {});
+
+  /// Evaluates the window since the last Sample() (or construction).
+  KpiSample Sample();
+
+  const KpiTargets& targets() const { return targets_; }
+
+ private:
+  static std::uint64_t Sum(const std::vector<const Counter*>& counters);
+  static HistogramSnapshot Merged(
+      const std::vector<const AtomicHistogram*>& hists);
+
+  Inputs in_;
+  KpiTargets targets_;
+  Stopwatch window_;
+  std::uint64_t prev_events_ = 0;
+  std::uint64_t prev_queries_ = 0;
+  HistogramSnapshot prev_esp_;
+  HistogramSnapshot prev_rta_;
+  HistogramSnapshot prev_fresh_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_KPI_MONITOR_H_

@@ -1,0 +1,114 @@
+#ifndef AIM_OBS_METRIC_H_
+#define AIM_OBS_METRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace aim {
+
+/// Always-on scalar metric primitives (docs/OBSERVABILITY.md). Design
+/// rules, enforced by review and proven cheap by bench_kpi_check:
+///
+///   * every hot-path touch is exactly one relaxed atomic op — metrics
+///     never order the data they describe, so no fence is ever paid;
+///   * each metric object is cache-line aligned so one thread's counter
+///     traffic cannot false-share with a neighbour's;
+///   * metrics are owned by a MetricsRegistry (registry.h) and addressed
+///     by stable name + labels; instrumented code holds raw pointers that
+///     stay valid for the registry's lifetime.
+
+/// Hardware cache-line size. std::hardware_destructive_interference_size
+/// would be the standard spelling, but GCC warns that its value is ABI-
+/// sensitive; 64 is correct for every x86-64 and mainstream ARM part.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Monotonically increasing counter. Single writer or many writers — the
+/// fetch_add is atomic either way; prefer ShardedCounter when many threads
+/// hammer the same logical counter.
+class alignas(kCacheLineSize) Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t delta = 1) {
+    // relaxed: monitoring counter; readers tolerate torn cross-counter
+    // snapshots and never derive other shared state from the value.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    // relaxed: see Add.
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (queue depths, delta sizes, epochs). Writers Set/Add;
+/// readers see some recent value.
+class alignas(kCacheLineSize) Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) {
+    // relaxed: monitoring value; no reader derives shared state from it.
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void Add(std::int64_t delta) {
+    // relaxed: see Set.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::int64_t Value() const {
+    // relaxed: see Set.
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Counter sharded across cache lines for write-contended call sites
+/// (e.g. one logical "queries executed" counter incremented by every RTA
+/// client thread). Each Add lands on the caller's home shard — picked by a
+/// per-thread hash — so concurrent writers do not bounce one line between
+/// cores. Value() sums the shards; like all metric reads it is a
+/// monitoring snapshot, not a linearization point.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(std::uint64_t delta = 1) { shards_[HomeShard()].Add(delta); }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Counter& shard : shards_) total += shard.Value();
+    return total;
+  }
+
+ private:
+  static std::size_t HomeShard() {
+    // Hash the thread id once per thread; kShards is a power of two.
+    static thread_local const std::size_t home =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+        (kShards - 1);
+    return home;
+  }
+
+  Counter shards_[kShards];
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_METRIC_H_

@@ -1,0 +1,242 @@
+#include "aim/obs/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+
+namespace {
+
+/// Escapes a label value for both Prometheus and JSON output (the escape
+/// sets coincide for the characters we allow in label values).
+std::string EscapeValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + labels[i].first + "\":\"" + EscapeValue(labels[i].second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+/// %g-style compact double formatting that is also valid JSON (never
+/// produces inf/nan — metric values are finite by construction).
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      Labels labels,
+                                                      Type type) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      AIM_CHECK_MSG(e->type == type,
+                    "metric '%s' re-registered with a different type",
+                    name.c_str());
+      return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->type = type;
+  switch (type) {
+    case Type::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Type::kShardedCounter:
+      entry->sharded = std::make_unique<ShardedCounter>();
+      break;
+    case Type::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      entry->histogram = std::make_unique<AtomicHistogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  return FindOrCreate(name, std::move(labels), Type::kCounter)->counter.get();
+}
+
+ShardedCounter* MetricsRegistry::GetShardedCounter(const std::string& name,
+                                                   Labels labels) {
+  return FindOrCreate(name, std::move(labels), Type::kShardedCounter)
+      ->sharded.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  return FindOrCreate(name, std::move(labels), Type::kGauge)->gauge.get();
+}
+
+AtomicHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               Labels labels) {
+  return FindOrCreate(name, std::move(labels), Type::kHistogram)
+      ->histogram.get();
+}
+
+std::size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // One # TYPE line per family: entries are grouped by first appearance.
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  std::vector<std::string> families_done;
+  for (const auto& e : entries_) {
+    if (std::find(families_done.begin(), families_done.end(), e->name) !=
+        families_done.end()) {
+      continue;
+    }
+    families_done.push_back(e->name);
+    for (const auto& f : entries_) {
+      if (f->name == e->name) ordered.push_back(f.get());
+    }
+  }
+
+  std::string last_family;
+  for (const Entry* e : ordered) {
+    if (e->name != last_family) {
+      const char* type = nullptr;
+      switch (e->type) {
+        case Type::kCounter:
+        case Type::kShardedCounter: type = "counter"; break;
+        case Type::kGauge: type = "gauge"; break;
+        case Type::kHistogram: type = "histogram"; break;
+      }
+      AppendF(&out, "# TYPE %s %s\n", e->name.c_str(), type);
+      last_family = e->name;
+    }
+    const std::string labels = PromLabels(e->labels);
+    switch (e->type) {
+      case Type::kCounter:
+      case Type::kShardedCounter:
+        AppendF(&out, "%s%s %" PRIu64 "\n", e->name.c_str(), labels.c_str(),
+                e->CounterValue());
+        break;
+      case Type::kGauge:
+        AppendF(&out, "%s%s %" PRId64 "\n", e->name.c_str(), labels.c_str(),
+                e->gauge->Value());
+        break;
+      case Type::kHistogram: {
+        const HistogramSnapshot s = e->histogram->Snapshot();
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+          if (s.buckets[i] == 0) continue;
+          cumulative += s.buckets[i];
+          Labels le = e->labels;
+          le.emplace_back("le",
+                          Num(std::exp2(static_cast<double>(i + 1) / 4.0)));
+          AppendF(&out, "%s_bucket%s %" PRIu64 "\n", e->name.c_str(),
+                  PromLabels(le).c_str(), cumulative);
+        }
+        Labels inf = e->labels;
+        inf.emplace_back("le", "+Inf");
+        AppendF(&out, "%s_bucket%s %" PRIu64 "\n", e->name.c_str(),
+                PromLabels(inf).c_str(), s.count);
+        AppendF(&out, "%s_sum%s %s\n", e->name.c_str(), labels.c_str(),
+                Num(s.sum).c_str());
+        AppendF(&out, "%s_count%s %" PRIu64 "\n", e->name.c_str(),
+                labels.c_str(), s.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case Type::kCounter:
+      case Type::kShardedCounter:
+        if (!counters.empty()) counters += ",";
+        AppendF(&counters, "{\"name\":\"%s\",\"labels\":%s,\"value\":%" PRIu64
+                           "}",
+                e->name.c_str(), JsonLabels(e->labels).c_str(),
+                e->CounterValue());
+        break;
+      case Type::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        AppendF(&gauges, "{\"name\":\"%s\",\"labels\":%s,\"value\":%" PRId64
+                         "}",
+                e->name.c_str(), JsonLabels(e->labels).c_str(),
+                e->gauge->Value());
+        break;
+      case Type::kHistogram: {
+        const HistogramSnapshot s = e->histogram->Snapshot();
+        if (!histograms.empty()) histograms += ",";
+        AppendF(&histograms,
+                "{\"name\":\"%s\",\"labels\":%s,\"count\":%" PRIu64
+                ",\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}",
+                e->name.c_str(), JsonLabels(e->labels).c_str(), s.count,
+                Num(s.Mean()).c_str(), Num(s.Percentile(0.50)).c_str(),
+                Num(s.Percentile(0.95)).c_str(),
+                Num(s.Percentile(0.99)).c_str(), Num(s.max).c_str());
+        break;
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+}  // namespace aim

@@ -1,0 +1,83 @@
+#ifndef AIM_OBS_REGISTRY_H_
+#define AIM_OBS_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aim/obs/histogram.h"
+#include "aim/obs/metric.h"
+
+namespace aim {
+
+/// Metric labels: key/value pairs, e.g. {{"node","0"},{"partition","3"}}.
+/// Stored sorted by key so label order at the call site never creates
+/// duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Owner of all metrics of one process/component. Instrumented code asks
+/// once for a metric by stable name + labels and keeps the raw pointer —
+/// pointers stay valid for the registry's lifetime, and repeated Get calls
+/// with the same name+labels return the same object (so independent
+/// subsystems can share a series). Registration takes a mutex (cold);
+/// the returned objects are lock-free (metric.h / histogram.h).
+///
+/// Naming follows Prometheus conventions (docs/OBSERVABILITY.md):
+/// `aim_<tier>_<what>[_total|_micros|_millis]`, unit suffix mandatory for
+/// histograms. Asking for an existing name with a different metric type
+/// is a bug and fails an AIM_CHECK.
+///
+/// Reads are snapshot-on-read: RenderPrometheus()/RenderJson() load each
+/// atomic once; cross-metric views may be torn (monitoring semantics).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  ShardedCounter* GetShardedCounter(const std::string& name,
+                                    Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  AtomicHistogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  /// Prometheus text exposition format (one # TYPE line per family,
+  /// histograms as cumulative le-buckets + _sum/_count).
+  std::string RenderPrometheus() const;
+
+  /// JSON snapshot: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  /// Histograms carry count/mean/p50/p95/p99/max, not raw buckets.
+  std::string RenderJson() const;
+
+  std::size_t NumMetrics() const;
+
+ private:
+  enum class Type { kCounter, kShardedCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<ShardedCounter> sharded;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<AtomicHistogram> histogram;
+
+    std::uint64_t CounterValue() const {
+      return type == Type::kCounter ? counter->Value() : sharded->Value();
+    }
+  };
+
+  Entry* FindOrCreate(const std::string& name, Labels labels, Type type);
+
+  mutable std::mutex mu_;
+  // deque-of-unique_ptr semantics via vector<unique_ptr>: entries never
+  // move, so metric pointers handed out stay stable across registrations.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_OBS_REGISTRY_H_

@@ -4,17 +4,20 @@ namespace aim {
 
 AimCluster::AimCluster(const Schema* schema, const DimensionCatalog* dims,
                        const std::vector<Rule>* rules,
-                       const Options& options) {
+                       const Options& options)
+    : metrics_(std::make_unique<MetricsRegistry>()) {
   for (std::uint32_t i = 0; i < options.num_nodes; ++i) {
     StorageNode::Options node_opts = options.node;
     node_opts.node_id = i;
+    node_opts.metrics = metrics_.get();
     nodes_.push_back(
         std::make_unique<StorageNode>(schema, dims, rules, node_opts));
   }
   std::vector<StorageNode*> raw;
   raw.reserve(nodes_.size());
   for (auto& n : nodes_) raw.push_back(n.get());
-  front_end_ = std::make_unique<RtaFrontEnd>(std::move(raw), schema, dims);
+  front_end_ = std::make_unique<RtaFrontEnd>(std::move(raw), schema, dims,
+                                             metrics_.get());
 }
 
 AimCluster::~AimCluster() { Stop(); }
@@ -58,6 +61,14 @@ StorageNode::NodeStats AimCluster::TotalStats() const {
     total.records_merged += s.records_merged;
   }
   return total;
+}
+
+KpiMonitor AimCluster::MakeKpiMonitor(std::uint64_t entities,
+                                      const KpiTargets& targets) const {
+  KpiMonitor::Inputs inputs;
+  inputs.entities = entities;
+  for (const auto& n : nodes_) n->CollectMonitorInputs(&inputs);
+  return KpiMonitor(inputs, targets);
 }
 
 std::uint64_t AimCluster::total_records() const {

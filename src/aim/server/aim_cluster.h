@@ -58,7 +58,18 @@ class AimCluster {
   StorageNode::NodeStats TotalStats() const;
   std::uint64_t total_records() const;
 
+  /// One registry for the whole cluster; per-node series are distinguished
+  /// by their node="<id>" label. Always-on.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Cluster-wide Table-4 SLA monitor: aggregates every node's event
+  /// counters, latency histograms and traced-freshness distributions.
+  /// The monitor borrows the cluster's metrics; it must not outlive it.
+  KpiMonitor MakeKpiMonitor(std::uint64_t entities,
+                            const KpiTargets& targets = {}) const;
+
  private:
+  std::unique_ptr<MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::unique_ptr<RtaFrontEnd> front_end_;
   bool running_ = false;

@@ -1,5 +1,7 @@
 #include "aim/server/aim_db.h"
 
+#include "aim/common/clock.h"
+
 namespace aim {
 
 AimDb::AimDb(const Schema* schema, const DimensionCatalog* dims,
@@ -7,18 +9,39 @@ AimDb::AimDb(const Schema* schema, const DimensionCatalog* dims,
     : schema_(schema),
       dims_(dims),
       rules_(rules != nullptr ? rules : &empty_rules_),
-      options_(options) {
+      options_(options),
+      metrics_(std::make_unique<MetricsRegistry>()) {
   DeltaMainStore::Options store_opts;
   store_opts.bucket_size = options.bucket_size;
   store_opts.max_records = options.max_records;
   store_ = std::make_unique<DeltaMainStore>(schema, store_opts);
 
+  tracer_ = std::make_unique<FreshnessTracer>(
+      metrics_->GetHistogram("aim_fresh_staleness_millis", {}));
+  DeltaMainStore::StoreMetrics sm;
+  sm.records_merged = metrics_->GetCounter("aim_store_records_merged_total",
+                                           {});
+  sm.merges = metrics_->GetCounter("aim_store_merges_total", {});
+  sm.merge_duration_micros =
+      metrics_->GetHistogram("aim_store_merge_duration_micros", {});
+  sm.frozen_delta_records =
+      metrics_->GetGauge("aim_store_frozen_delta_records", {});
+  sm.merge_epoch = metrics_->GetGauge("aim_store_merge_epoch", {});
+  sm.tracer = tracer_.get();
+  store_->AttachMetrics(sm);
+
+  query_latency_ = metrics_->GetHistogram("aim_rta_query_latency_micros", {});
+  queries_ = metrics_->GetCounter("aim_rta_queries_total", {});
+
   SystemAttrs sys;
   sys.entity_id = schema->FindAttribute("entity_id");
   sys.last_event_ts = schema->FindAttribute("last_event_ts");
   sys.preferred_number = schema->FindAttribute("preferred_number");
+  EspEngine::Options engine_opts = options.esp;
+  engine_opts.metrics = metrics_.get();
+  engine_opts.metric_labels = {};
   engine_ = std::make_unique<EspEngine>(schema, store_.get(), rules_, sys,
-                                        options.esp);
+                                        engine_opts);
 }
 
 QueryResult AimDb::Execute(const Query& query) {
@@ -28,6 +51,7 @@ QueryResult AimDb::Execute(const Query& query) {
 
 std::vector<QueryResult> AimDb::ExecuteBatch(
     const std::vector<Query>& queries) {
+  Stopwatch batch_timer;
   if (options_.merge_before_query && store_->delta_size() > 0) {
     store_->Merge();
   }
@@ -62,6 +86,8 @@ std::vector<QueryResult> AimDb::ExecuteBatch(
     results[qi] =
         FinalizeResult(queries[qi], dims_, compiled[ci].TakePartial());
   }
+  query_latency_->Record(batch_timer.ElapsedMicros());
+  queries_->Add(queries.size());
   return results;
 }
 

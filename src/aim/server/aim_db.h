@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "aim/esp/esp_engine.h"
+#include "aim/obs/freshness_tracer.h"
+#include "aim/obs/histogram.h"
+#include "aim/obs/registry.h"
 #include "aim/rta/compiled_query.h"
 #include "aim/rta/dimension.h"
 #include "aim/rta/partial_result.h"
@@ -64,6 +67,10 @@ class AimDb {
   /// Folds the delta into the main (SwitchDeltas + MergeStep).
   std::size_t Merge() { return store_->Merge(); }
 
+  /// Always-on metrics of this embedded instance (engine counters, store
+  /// merge/freshness series, query latency). See docs/OBSERVABILITY.md.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   const Schema* schema_;
   const DimensionCatalog* dims_;
@@ -71,8 +78,12 @@ class AimDb {
   std::vector<Rule> empty_rules_;
   Options options_;
 
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<FreshnessTracer> tracer_;
   std::unique_ptr<DeltaMainStore> store_;
   std::unique_ptr<EspEngine> engine_;
+  AtomicHistogram* query_latency_ = nullptr;  // micros, per Execute batch
+  Counter* queries_ = nullptr;
   ScanScratch scratch_;
 };
 

@@ -1,8 +1,11 @@
 #include "aim/server/rta_front_end.h"
 
+#include "aim/common/clock.h"
+
 namespace aim {
 
 QueryResult RtaFrontEnd::Execute(const Query& query) const {
+  Stopwatch e2e_timer;
   BinaryWriter writer;
   query.Serialize(&writer);
   const std::vector<std::uint8_t> wire = writer.TakeBuffer();
@@ -43,7 +46,12 @@ QueryResult RtaFrontEnd::Execute(const Query& query) const {
       merged.MergeFrom(partial.value(), query);
     }
   }
-  return FinalizeResult(query, dims_, std::move(merged));
+  QueryResult result = FinalizeResult(query, dims_, std::move(merged));
+  if (e2e_latency_ != nullptr) {
+    e2e_latency_->Record(e2e_timer.ElapsedMicros());
+    e2e_queries_->Add();
+  }
+  return result;
 }
 
 }  // namespace aim

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "aim/common/mpsc_queue.h"
+#include "aim/obs/histogram.h"
+#include "aim/obs/metric.h"
+#include "aim/obs/registry.h"
 #include "aim/rta/dimension.h"
 #include "aim/rta/partial_result.h"
 #include "aim/rta/query.h"
@@ -18,10 +21,20 @@ namespace aim {
 /// reply queue, mirroring the asynchronous RTA <-> storage communication.
 class RtaFrontEnd {
  public:
-  /// `nodes` entries must outlive the front-end.
+  /// `nodes` entries (and `metrics`, when given) must outlive the
+  /// front-end. With a registry the front-end records the client-observed
+  /// end-to-end latency (fan-out + slowest node + final merge) — the full
+  /// t_RTA, as opposed to the per-node queue->reply component.
   RtaFrontEnd(std::vector<StorageNode*> nodes, const Schema* schema,
-              const DimensionCatalog* dims)
-      : nodes_(std::move(nodes)), schema_(schema), dims_(dims) {}
+              const DimensionCatalog* dims,
+              MetricsRegistry* metrics = nullptr)
+      : nodes_(std::move(nodes)), schema_(schema), dims_(dims) {
+    if (metrics != nullptr) {
+      e2e_latency_ = metrics->GetHistogram("aim_rta_e2e_latency_micros", {});
+      e2e_queries_ = metrics->GetShardedCounter("aim_rta_e2e_queries_total",
+                                                {});
+    }
+  }
 
   /// Executes one query across the cluster and returns the final result.
   QueryResult Execute(const Query& query) const;
@@ -32,6 +45,10 @@ class RtaFrontEnd {
   std::vector<StorageNode*> nodes_;
   const Schema* schema_;
   const DimensionCatalog* dims_;
+  // Written from concurrent client threads; sharded counter keeps the
+  // per-query overhead to one uncontended fetch_add.
+  AtomicHistogram* e2e_latency_ = nullptr;
+  ShardedCounter* e2e_queries_ = nullptr;
 };
 
 }  // namespace aim

@@ -8,16 +8,6 @@
 
 namespace aim {
 
-namespace {
-
-std::int64_t NowNanos() {
-  using namespace std::chrono;
-  return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
                          const std::vector<Rule>* rules,
                          const Options& options)
@@ -29,22 +19,69 @@ StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
   sys_attrs_.last_event_ts = schema_->FindAttribute("last_event_ts");
   sys_attrs_.preferred_number = schema_->FindAttribute("preferred_number");
 
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  const std::string node_label = std::to_string(options_.node_id);
+  const Labels node_labels = {{"node", node_label}};
+  esp_event_latency_ =
+      metrics_->GetHistogram("aim_esp_event_latency_micros", node_labels);
+  queries_processed_ =
+      metrics_->GetCounter("aim_rta_queries_total", node_labels);
+  rta_query_latency_ =
+      metrics_->GetHistogram("aim_rta_query_latency_micros", node_labels);
+  rta_batch_size_ =
+      metrics_->GetHistogram("aim_rta_batch_size_queries", node_labels);
+  rta_scan_duration_ =
+      metrics_->GetHistogram("aim_rta_scan_duration_micros", node_labels);
+  rta_queue_depth_ =
+      metrics_->GetGauge("aim_rta_queue_depth", node_labels);
+  scan_cycles_ = metrics_->GetCounter("aim_rta_scan_cycles_total", node_labels);
+  records_merged_ =
+      metrics_->GetCounter("aim_store_records_merged_total", node_labels);
+  freshness_millis_ =
+      metrics_->GetHistogram("aim_fresh_staleness_millis", node_labels);
+
   DeltaMainStore::Options store_opts;
   store_opts.bucket_size = options_.bucket_size;
   store_opts.max_records = options_.max_records_per_partition;
   for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
     partitions_.push_back(
         std::make_unique<DeltaMainStore>(schema_, store_opts));
+
+    const Labels part_labels = {{"node", node_label},
+                                {"partition", std::to_string(p)}};
+    tracers_.push_back(std::make_unique<FreshnessTracer>(freshness_millis_));
+    DeltaMainStore::StoreMetrics sm;
+    sm.records_merged = records_merged_;
+    sm.merges = metrics_->GetCounter("aim_store_merges_total", part_labels);
+    sm.merge_duration_micros =
+        metrics_->GetHistogram("aim_store_merge_duration_micros", node_labels);
+    sm.frozen_delta_records =
+        metrics_->GetGauge("aim_store_frozen_delta_records", part_labels);
+    sm.merge_epoch =
+        metrics_->GetGauge("aim_store_merge_epoch", part_labels);
+    sm.tracer = tracers_.back().get();
+    partitions_.back()->AttachMetrics(sm);
   }
 
   // ESP thread p-mod-s ownership, engines bound per owned partition.
   for (std::uint32_t e = 0; e < options_.num_esp_threads; ++e) {
     auto state = std::make_unique<EspThreadState>();
+    state->queue_depth = metrics_->GetGauge(
+        "aim_esp_queue_depth", {{"node", node_label},
+                                {"thread", std::to_string(e)}});
     for (std::uint32_t p = e; p < options_.num_partitions;
          p += options_.num_esp_threads) {
       state->owned_partitions.push_back(p);
+      EspEngine::Options engine_opts = options_.esp;
+      engine_opts.metrics = metrics_;
+      engine_opts.metric_labels = {{"node", node_label},
+                                   {"partition", std::to_string(p)}};
       state->engines.push_back(std::make_unique<EspEngine>(
-          schema_, partitions_[p].get(), rules_, sys_attrs_, options_.esp));
+          schema_, partitions_[p].get(), rules_, sys_attrs_, engine_opts));
     }
     esp_threads_.push_back(std::move(state));
   }
@@ -123,6 +160,7 @@ bool StorageNode::SubmitQuery(
   QueryMessage msg;
   msg.bytes = std::move(query_bytes);
   msg.reply = std::move(reply);
+  msg.enqueue_nanos = MonotonicNanos();
   return query_queue_.Push(std::move(msg));
 }
 
@@ -171,6 +209,7 @@ void StorageNode::ServeRecordRequest(RecordRequest& request) {
 
 void StorageNode::EspLoop(EspThreadState* state) {
   std::vector<std::uint32_t> fired;
+  std::uint64_t handled = 0;
   while (true) {
     // Algorithm 7 line 3-5: acknowledge pending delta switches on every
     // owned partition before (and between) requests.
@@ -191,9 +230,15 @@ void StorageNode::EspLoop(EspThreadState* state) {
           state->queue.size() == 0 && state->record_queue.size() == 0) {
         break;
       }
+      state->queue_depth->Set(0);
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.esp_idle_micros));
       continue;
+    }
+    // Queue-depth sampling is periodic, not per event: size() takes the
+    // queue mutex, which would be a second lock acquisition per event.
+    if ((++handled & 1023) == 0) {
+      state->queue_depth->Set(static_cast<std::int64_t>(state->queue.size()));
     }
 
     BinaryReader reader(msg->bytes);
@@ -209,22 +254,16 @@ void StorageNode::EspLoop(EspThreadState* state) {
     }
     AIM_CHECK_MSG(engine != nullptr, "event routed to wrong ESP thread");
 
-    const std::uint64_t conflicts_before = engine->stats().txn_conflicts;
+    // Per-event latency (t_ESP's in-process component): deserialize-to-
+    // processed. Counter updates happen inside the engine; the histogram
+    // record is the only instrumentation this loop adds per event.
+    Stopwatch event_timer;
     Status st = engine->ProcessEvent(event, &fired);
-    // relaxed: monitoring counters; stats() tolerates torn cross-counter
-    // snapshots and needs no ordering with the event data.
-    if (st.ok()) {
-      events_processed_.fetch_add(1, std::memory_order_relaxed);
-      rules_fired_.fetch_add(fired.size(), std::memory_order_relaxed);
-    }
-    // relaxed: same monitoring-counter rule as above.
-    txn_conflicts_.fetch_add(
-        engine->stats().txn_conflicts - conflicts_before,
-        std::memory_order_relaxed);
+    esp_event_latency_->Record(event_timer.ElapsedMicros());
     if (msg->completion != nullptr) {
       msg->completion->status = st;
       msg->completion->fired_rules = fired;
-      msg->completion->complete_nanos = NowNanos();
+      msg->completion->complete_nanos = MonotonicNanos();
       msg->completion->done.store(true, std::memory_order_release);
     }
   }
@@ -290,8 +329,12 @@ void StorageNode::MergeAndReply() {
     BinaryWriter writer;
     merged.Serialize(&writer);
     if (batch_[qi].reply) batch_[qi].reply(writer.TakeBuffer());
-    // relaxed: monitoring counter (see EspLoop).
-    queries_processed_.fetch_add(1, std::memory_order_relaxed);
+    queries_processed_->Add();
+    // Queue wait + scan + merge, stamped against the submit time — this is
+    // the node-side component of t_RTA.
+    rta_query_latency_->Record(
+        static_cast<double>(MonotonicNanos() - batch_[qi].enqueue_nanos) /
+        1000.0);
   }
 }
 
@@ -304,6 +347,9 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
     if (partition_id == 0) FillBatch();
     round_barrier_->arrive_and_wait();  // batch published
     if (stop_round_) break;
+    if (partition_id == 0 && !batch_.empty()) {
+      rta_batch_size_->Record(static_cast<double>(batch_.size()));
+    }
 
     // Compile and scan this partition for the whole batch (Algorithm 5:
     // bucket-major, query-minor).
@@ -318,7 +364,11 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
         compiled_for.push_back(qi);
       }
     }
-    if (!compiled.empty()) scan.ScanStep(compiled);
+    if (!compiled.empty()) {
+      Stopwatch scan_timer;
+      scan.ScanStep(compiled);
+      rta_scan_duration_->Record(scan_timer.ElapsedMicros());
+    }
 
     partials_[partition_id].assign(batch_queries_.size(), PartialResult{});
     for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
@@ -328,14 +378,15 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
     round_barrier_->arrive_and_wait();  // partials ready
     if (partition_id == 0) MergeAndReply();
 
-    // Merge step: fold the delta into the main before the next scan.
-    // relaxed: monitoring counters (see EspLoop).
+    // Merge step: fold the delta into the main before the next scan. The
+    // store's attached StoreMetrics count the merged records and stamp the
+    // t_fresh publication point; nothing to add here.
     if (store->delta_size() > 0) {
-      records_merged_.fetch_add(scan.MergeStep(), std::memory_order_relaxed);
+      scan.MergeStep();
     }
     if (partition_id == 0) {
-      // relaxed: monitoring counter.
-      scan_cycles_.fetch_add(1, std::memory_order_relaxed);
+      scan_cycles_->Add();
+      rta_queue_depth_->Set(static_cast<std::int64_t>(query_queue_.size()));
     }
   }
 
@@ -353,14 +404,40 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
 
 StorageNode::NodeStats StorageNode::stats() const {
   NodeStats s;
-  // relaxed: monitoring snapshot; counters may be mutually torn.
-  s.events_processed = events_processed_.load(std::memory_order_relaxed);
-  s.txn_conflicts = txn_conflicts_.load(std::memory_order_relaxed);
-  s.rules_fired = rules_fired_.load(std::memory_order_relaxed);
-  s.queries_processed = queries_processed_.load(std::memory_order_relaxed);
-  s.scan_cycles = scan_cycles_.load(std::memory_order_relaxed);
-  s.records_merged = records_merged_.load(std::memory_order_relaxed);
+  // Each Counter::Value() is an exact atomic read; the aggregate across
+  // counters is snapshot-on-read (fields may be mutually torn, which is
+  // fine for monitoring — the old hand-rolled atomics had the same window).
+  for (const auto& state : esp_threads_) {
+    for (const auto& engine : state->engines) {
+      s.events_processed += engine->metric_events()->Value();
+      s.txn_conflicts += engine->metric_txn_conflicts()->Value();
+      s.rules_fired += engine->metric_rules_fired()->Value();
+    }
+  }
+  s.queries_processed = queries_processed_->Value();
+  s.scan_cycles = scan_cycles_->Value();
+  s.records_merged = records_merged_->Value();
   return s;
+}
+
+KpiMonitor StorageNode::MakeKpiMonitor(std::uint64_t entities,
+                                       const KpiTargets& targets) const {
+  KpiMonitor::Inputs inputs;
+  inputs.entities = entities;
+  CollectMonitorInputs(&inputs);
+  return KpiMonitor(inputs, targets);
+}
+
+void StorageNode::CollectMonitorInputs(KpiMonitor::Inputs* inputs) const {
+  for (const auto& state : esp_threads_) {
+    for (const auto& engine : state->engines) {
+      inputs->events.push_back(engine->metric_events());
+    }
+  }
+  inputs->esp_latency_micros.push_back(esp_event_latency_);
+  inputs->queries.push_back(queries_processed_);
+  inputs->rta_latency_micros.push_back(rta_query_latency_);
+  inputs->freshness_millis.push_back(freshness_millis_);
 }
 
 std::uint64_t StorageNode::total_records() const {

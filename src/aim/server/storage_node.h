@@ -11,6 +11,9 @@
 #include "aim/common/mpsc_queue.h"
 #include "aim/common/status.h"
 #include "aim/esp/esp_engine.h"
+#include "aim/obs/freshness_tracer.h"
+#include "aim/obs/kpi_monitor.h"
+#include "aim/obs/registry.h"
 #include "aim/net/message.h"
 #include "aim/rta/compiled_query.h"
 #include "aim/rta/dimension.h"
@@ -50,9 +53,17 @@ class StorageNode {
     /// ESP idle poll interval (the service loop must keep reaching its
     /// checkpoint even without traffic, or delta switches would stall).
     std::int64_t esp_idle_micros = 100;
+    /// Registry the node's metrics live in. When null the node owns a
+    /// private one. Series are distinguished by a node="<id>" label, so
+    /// one registry can serve a whole cluster (see AimCluster).
+    MetricsRegistry* metrics = nullptr;
     EspEngine::Options esp;
   };
 
+  /// Legacy aggregate view over the registry-backed metrics (the registry
+  /// is the source of truth; this struct exists for call sites that want
+  /// the six headline numbers without naming metrics). Snapshot-on-read:
+  /// fields may be mutually torn, each value is itself exact.
   struct NodeStats {
     std::uint64_t events_processed = 0;
     std::uint64_t txn_conflicts = 0;
@@ -99,6 +110,20 @@ class StorageNode {
   std::uint32_t PartitionOf(EntityId entity) const;
 
   NodeStats stats() const;
+
+  /// The registry carrying every metric of this node (always-on).
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Builds a live Table-4 SLA monitor over this node's metrics —
+  /// including the traced (not inferred) t_fresh distribution. `entities`
+  /// scales the f_ESP target (events per entity per hour). The returned
+  /// monitor borrows the node's metrics; it must not outlive the node.
+  KpiMonitor MakeKpiMonitor(std::uint64_t entities,
+                            const KpiTargets& targets = {}) const;
+
+  /// Appends this node's monitor inputs (for cluster-level aggregation).
+  void CollectMonitorInputs(KpiMonitor::Inputs* inputs) const;
+
   const Options& options() const { return options_; }
   const DeltaMainStore& partition(std::uint32_t p) const {
     return *partitions_[p];
@@ -111,6 +136,7 @@ class StorageNode {
     MpscQueue<RecordRequest> record_queue;
     std::vector<std::uint32_t> owned_partitions;
     std::vector<std::unique_ptr<EspEngine>> engines;  // parallel to owned
+    Gauge* queue_depth = nullptr;  // sampled periodically, not per event
     std::thread thread;
   };
 
@@ -145,12 +171,22 @@ class StorageNode {
   std::unique_ptr<std::barrier<>> round_barrier_;
 
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> queries_processed_{0};
-  std::atomic<std::uint64_t> scan_cycles_{0};
-  std::atomic<std::uint64_t> records_merged_{0};
-  std::atomic<std::uint64_t> events_processed_{0};
-  std::atomic<std::uint64_t> txn_conflicts_{0};
-  std::atomic<std::uint64_t> rules_fired_{0};
+
+  // Registry-backed metrics (owned by options_.metrics or own_metrics_).
+  // ESP-side counters live in the per-partition EspEngines; these are the
+  // node-level series (see docs/OBSERVABILITY.md for the full catalogue).
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  AtomicHistogram* esp_event_latency_ = nullptr;   // micros, per event
+  Counter* queries_processed_ = nullptr;
+  AtomicHistogram* rta_query_latency_ = nullptr;   // micros, queue->reply
+  AtomicHistogram* rta_batch_size_ = nullptr;      // queries per scan cycle
+  AtomicHistogram* rta_scan_duration_ = nullptr;   // micros, per partition
+  Gauge* rta_queue_depth_ = nullptr;
+  Counter* scan_cycles_ = nullptr;
+  Counter* records_merged_ = nullptr;
+  AtomicHistogram* freshness_millis_ = nullptr;    // traced t_fresh
+  std::vector<std::unique_ptr<FreshnessTracer>> tracers_;  // per partition
 };
 
 }  // namespace aim

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "aim/common/clock.h"
 #include "aim/common/logging.h"
 
 namespace aim {
@@ -83,6 +84,7 @@ Status DeltaMainStore::Put(EntityId entity, const std::uint8_t* row,
   }
   // Algorithm 4: always write to the active ("new") delta.
   ActiveDelta()->Put(entity, row, current + 1);
+  if (metrics_.tracer != nullptr) metrics_.tracer->OnWrite(MonotonicNanos());
   return Status::OK();
 }
 
@@ -91,6 +93,7 @@ Status DeltaMainStore::Insert(EntityId entity, const std::uint8_t* row) {
   (void)CurrentVersion(entity, &found);
   if (found) return Status::Conflict("entity already exists");
   ActiveDelta()->Put(entity, row, /*version=*/1);
+  if (metrics_.tracer != nullptr) metrics_.tracer->OnWrite(MonotonicNanos());
   return Status::OK();
 }
 
@@ -123,6 +126,10 @@ void DeltaMainStore::SwitchDeltas() {
   // writer, swap inside the window, release. Runs without the handshake
   // when no ESP thread is attached (single-threaded and test usage).
   handshake_.RunExclusive([this] { DoSwap(); });
+  if (metrics_.frozen_delta_records != nullptr) {
+    metrics_.frozen_delta_records->Set(
+        static_cast<std::int64_t>(FrozenDelta()->size()));
+  }
 }
 
 std::size_t DeltaMainStore::MergeStep() {
@@ -130,6 +137,7 @@ std::size_t DeltaMainStore::MergeStep() {
   // protocol-state assertion.
   AIM_CHECK_MSG(merging_.load(std::memory_order_relaxed),
                 "MergeStep without SwitchDeltas");
+  Stopwatch merge_timer;
   Delta* frozen = FrozenDelta();
   std::size_t merged = 0;
   frozen->ForEach([&](EntityId entity, Version version,
@@ -156,6 +164,20 @@ std::size_t DeltaMainStore::MergeStep() {
   // below publishes the merged data.
   merge_epoch_.fetch_add(1, std::memory_order_relaxed);
   merging_.store(false, std::memory_order_release);
+
+  // Publication instrumentation: the merged records are scan-visible from
+  // here on, so this is the exact moment t_fresh samples close.
+  if (metrics_.merge_duration_micros != nullptr) {
+    metrics_.merge_duration_micros->Record(merge_timer.ElapsedMicros());
+  }
+  if (metrics_.records_merged != nullptr) {
+    metrics_.records_merged->Add(merged);
+  }
+  if (metrics_.merges != nullptr) metrics_.merges->Add();
+  if (metrics_.merge_epoch != nullptr) {
+    metrics_.merge_epoch->Set(static_cast<std::int64_t>(merge_epoch()));
+  }
+  if (metrics_.tracer != nullptr) metrics_.tracer->OnPublish(MonotonicNanos());
   return merged;
 }
 

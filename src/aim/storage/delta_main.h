@@ -9,6 +9,9 @@
 
 #include "aim/common/status.h"
 #include "aim/common/types.h"
+#include "aim/obs/freshness_tracer.h"
+#include "aim/obs/histogram.h"
+#include "aim/obs/metric.h"
 #include "aim/storage/column_map.h"
 #include "aim/storage/delta.h"
 #include "aim/storage/swap_handshake.h"
@@ -44,6 +47,22 @@ class DeltaMainStore {
   struct Options {
     std::uint32_t bucket_size = ColumnMap::kDefaultBucketSize;
     std::uint64_t max_records = 1u << 20;
+  };
+
+  /// Optional always-on instrumentation (docs/OBSERVABILITY.md). All
+  /// pointers may be null and must outlive the store. The tracer hooks run
+  /// at the protocol's own synchronization points: OnWrite on the ESP
+  /// thread after a successful delta write, OnSwap inside the
+  /// writer-quiescent swap window, OnPublish when MergeStep makes the
+  /// frozen delta scan-visible — so the traced t_fresh is exact, not
+  /// inferred.
+  struct StoreMetrics {
+    Counter* records_merged = nullptr;   // cumulative rows folded into main
+    Counter* merges = nullptr;           // completed merge steps
+    AtomicHistogram* merge_duration_micros = nullptr;
+    Gauge* frozen_delta_records = nullptr;  // delta size at each switch
+    Gauge* merge_epoch = nullptr;           // == merge_epoch()
+    FreshnessTracer* tracer = nullptr;
   };
 
   DeltaMainStore(const Schema* schema, const Options& options);
@@ -177,6 +196,10 @@ class DeltaMainStore {
     handshake_.set_writer_attached(attached);
   }
 
+  /// Attaches instrumentation. Call before the ESP/RTA threads start (the
+  /// hook pointers are read unsynchronized on the hot paths).
+  void AttachMetrics(const StoreMetrics& metrics) { metrics_ = metrics; }
+
  private:
   /// The swap itself; runs inside the quiescent window (or single-threaded).
   void DoSwap() {
@@ -186,6 +209,10 @@ class DeltaMainStore {
     const std::uint32_t cur = active_idx_.load(std::memory_order_relaxed);
     active_idx_.store(1 - cur, std::memory_order_release);
     merging_.store(true, std::memory_order_release);
+    // Toggle the freshness window inside the quiescent window too: the
+    // ESP thread cannot be mid-stamp here, so every OnWrite stamp lands
+    // in the window whose delta actually received the write.
+    if (metrics_.tracer != nullptr) metrics_.tracer->OnSwap();
     // No reader can hold a stale table reference here: reclaim hash tables
     // retired by growth since the last switch.
     deltas_[0]->ReclaimRetired();
@@ -213,6 +240,8 @@ class DeltaMainStore {
   // Appendix A handshake (epoch formulation), shared with the model
   // checker via the SwapHandshake template — see swap_handshake.h.
   SwapHandshake<> handshake_;
+
+  StoreMetrics metrics_;
 };
 
 }  // namespace aim

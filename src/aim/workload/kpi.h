@@ -6,17 +6,9 @@
 
 #include "aim/common/latency_recorder.h"
 #include "aim/common/types.h"
+#include "aim/obs/kpi_monitor.h"  // KpiTargets lives with the live monitor
 
 namespace aim {
-
-/// The SLAs of the paper's AIM implementation (Table 4).
-struct KpiTargets {
-  double t_esp_ms = 10.0;        // max event processing time
-  double f_esp_per_hour = 3.6;   // min events per entity per hour
-  double t_rta_ms = 100.0;       // max RTA response time
-  double f_rta_qps = 100.0;      // min RTA queries per second
-  double t_fresh_ms = 1000.0;    // max event-to-visibility time
-};
 
 /// One experiment's measured KPIs plus pass/fail against the targets.
 /// Response-time KPIs are checked against the mean, matching the paper's

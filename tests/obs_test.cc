@@ -1,0 +1,343 @@
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/clock.h"
+#include "aim/obs/freshness_tracer.h"
+#include "aim/obs/histogram.h"
+#include "aim/obs/kpi_monitor.h"
+#include "aim/obs/metric.h"
+#include "aim/obs/registry.h"
+
+namespace aim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / ShardedCounter
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(ShardedCounterTest, SumsAcrossThreads) {
+  ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicHistogram / HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+TEST(AtomicHistogramTest, CountSumMinMax) {
+  AtomicHistogram h;
+  h.Record(10.0);
+  h.Record(20.0);
+  h.Record(30.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum, 60.0, 0.01);
+  EXPECT_NEAR(s.Mean(), 20.0, 0.01);
+  EXPECT_NEAR(s.min, 10.0, 0.01);
+  EXPECT_NEAR(s.max, 30.0, 0.01);
+}
+
+TEST(AtomicHistogramTest, BucketLayoutMatchesLatencyRecorder) {
+  // Bucket i covers values up to 2^((i+1)/4) — ~19% resolution, the same
+  // log-bucket layout as LatencyRecorder.
+  EXPECT_EQ(AtomicHistogram::BucketFor(0.0), 0);
+  EXPECT_EQ(AtomicHistogram::BucketFor(1.0), 0);
+  EXPECT_EQ(AtomicHistogram::BucketFor(2.0), 4);
+  EXPECT_EQ(AtomicHistogram::BucketFor(4.0), 8);
+  EXPECT_EQ(AtomicHistogram::BucketFor(1e30),
+            AtomicHistogram::kNumBuckets - 1);  // clamps to the last bucket
+}
+
+TEST(AtomicHistogramTest, PercentileBrackets) {
+  AtomicHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10.0);
+  h.Record(1000.0);
+  const HistogramSnapshot s = h.Snapshot();
+  // p50 lands in 10's bucket: upper edge within +19% of 10.
+  const double p50 = s.Percentile(0.50);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 10.0 * 1.2);
+  // p100 lands in 1000's bucket.
+  const double p100 = s.Percentile(1.0);
+  EXPECT_GE(p100, 1000.0);
+  EXPECT_LE(p100, 1000.0 * 1.2);
+  // The outlier dominates the max but not the median.
+  EXPECT_LT(p50, p100);
+}
+
+TEST(HistogramSnapshotTest, MergeAddsSamples) {
+  AtomicHistogram a, b;
+  a.Record(5.0);
+  a.Record(7.0);
+  b.Record(100.0);
+  HistogramSnapshot m = a.Snapshot();
+  m.Merge(b.Snapshot());
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_NEAR(m.sum, 112.0, 0.01);
+  EXPECT_NEAR(m.min, 5.0, 0.01);
+  EXPECT_NEAR(m.max, 100.0, 0.01);
+}
+
+TEST(HistogramSnapshotTest, DeltaIsolatesWindow) {
+  AtomicHistogram h;
+  h.Record(10.0);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Record(500.0);
+  h.Record(500.0);
+  const HistogramSnapshot d = h.Snapshot().Delta(before);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_NEAR(d.Mean(), 500.0, 0.5);
+  // Only the window's samples contribute to the delta percentiles.
+  EXPECT_GE(d.Percentile(0.0), 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("aim_test_total", {{"node", "0"}});
+  Counter* b = reg.GetCounter("aim_test_total", {{"node", "0"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.NumMetrics(), 1u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotCreateDuplicateSeries) {
+  MetricsRegistry reg;
+  Counter* a =
+      reg.GetCounter("aim_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b =
+      reg.GetCounter("aim_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.NumMetrics(), 1u);
+}
+
+TEST(RegistryTest, DifferentLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("aim_test_total", {{"node", "0"}});
+  Counter* b = reg.GetCounter("aim_test_total", {{"node", "1"}});
+  EXPECT_NE(a, b);
+  a->Add(3);
+  b->Add(5);
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(b->Value(), 5u);
+  EXPECT_EQ(reg.NumMetrics(), 2u);
+}
+
+TEST(RegistryTest, PointersStableAcrossManyRegistrations) {
+  MetricsRegistry reg;
+  Counter* first = reg.GetCounter("aim_first_total", {});
+  for (int i = 0; i < 200; ++i) {
+    reg.GetCounter("aim_other_total", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(first, reg.GetCounter("aim_first_total", {}));
+  first->Add();
+  EXPECT_EQ(first->Value(), 1u);
+}
+
+TEST(RegistryTest, PrometheusRendering) {
+  MetricsRegistry reg;
+  reg.GetCounter("aim_events_total", {{"node", "0"}})->Add(12);
+  reg.GetGauge("aim_queue_depth", {})->Set(-4);
+  reg.GetHistogram("aim_lat_micros", {})->Record(2.0);
+
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE aim_events_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("aim_events_total{node=\"0\"} 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aim_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("aim_queue_depth -4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aim_lat_micros histogram\n"), std::string::npos);
+  // 2.0 lands in bucket 4, upper edge 2^(5/4) ≈ 2.37841.
+  EXPECT_NE(text.find("aim_lat_micros_bucket{le=\"2.37841\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aim_lat_micros_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aim_lat_micros_sum 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aim_lat_micros_count 1\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRendering) {
+  MetricsRegistry reg;
+  reg.GetCounter("aim_events_total", {{"node", "0"}})->Add(3);
+  reg.GetGauge("aim_depth", {})->Set(9);
+  reg.GetHistogram("aim_lat_micros", {})->Record(4.0);
+
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"aim_events_total\","
+                      "\"labels\":{\"node\":\"0\"},\"value\":3}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":[{\"name\":\"aim_depth\",\"labels\":{},"
+                      "\"value\":9}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"aim_lat_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(RegistryTest, ShardedCounterRendersAsCounter) {
+  MetricsRegistry reg;
+  reg.GetShardedCounter("aim_shared_total", {})->Add(6);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE aim_shared_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("aim_shared_total 6\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FreshnessTracer
+// ---------------------------------------------------------------------------
+
+TEST(FreshnessTracerTest, TracesOldestWritePerMergeWindow) {
+  AtomicHistogram staleness;
+  FreshnessTracer tracer(&staleness);
+
+  // Window 0 receives writes at t=1ms and t=2ms; only the first sticks.
+  tracer.OnWrite(1'000'000);
+  tracer.OnWrite(2'000'000);
+  tracer.OnSwap();                // freeze window 0
+  tracer.OnWrite(5'000'000);      // lands in window 1
+  tracer.OnPublish(11'000'000);   // window 0 published at t=11ms
+
+  ASSERT_EQ(staleness.Count(), 1u);
+  // Staleness = publish - first write = 10ms.
+  EXPECT_NEAR(staleness.Snapshot().max, 10.0, 0.01);
+
+  // Next cycle publishes window 1: staleness = 20 - 5 = 15ms.
+  tracer.OnSwap();
+  tracer.OnPublish(20'000'000);
+  ASSERT_EQ(staleness.Count(), 2u);
+  EXPECT_NEAR(staleness.Snapshot().max, 15.0, 0.01);
+}
+
+TEST(FreshnessTracerTest, EmptyWindowRecordsNothing) {
+  AtomicHistogram staleness;
+  FreshnessTracer tracer(&staleness);
+  tracer.OnSwap();
+  tracer.OnPublish(1'000'000);  // no writes happened
+  EXPECT_EQ(staleness.Count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KpiMonitor
+// ---------------------------------------------------------------------------
+
+TEST(KpiMonitorTest, EvaluatesAllFiveSlas) {
+  Counter events, queries;
+  AtomicHistogram esp_lat, rta_lat, fresh;
+
+  KpiTargets targets;
+  KpiMonitor::Inputs in;
+  in.events = {&events};
+  in.esp_latency_micros = {&esp_lat};
+  in.queries = {&queries};
+  in.rta_latency_micros = {&rta_lat};
+  in.freshness_millis = {&fresh};
+  in.entities = 10;
+  KpiMonitor monitor(in, targets);
+
+  // Drive a healthy window: sub-ms event latency, fast queries, fresh
+  // merges. Rates are huge relative to the tiny window duration.
+  for (int i = 0; i < 100; ++i) {
+    events.Add();
+    esp_lat.Record(500.0);  // 0.5 ms
+  }
+  for (int i = 0; i < 50; ++i) {
+    queries.Add();
+    rta_lat.Record(20000.0);  // 20 ms
+  }
+  fresh.Record(40.0);  // one traced merge, 40 ms staleness
+
+  const KpiSample s = monitor.Sample();
+  EXPECT_TRUE(s.t_esp_ok) << s.Render(targets);
+  EXPECT_TRUE(s.f_esp_ok);
+  EXPECT_TRUE(s.t_rta_ok);
+  EXPECT_TRUE(s.f_rta_ok);
+  EXPECT_TRUE(s.t_fresh_ok);
+  EXPECT_TRUE(s.fresh_traced);
+  EXPECT_TRUE(s.AllPass());
+  EXPECT_EQ(s.NumPass(), 5);
+  EXPECT_NEAR(s.t_esp_ms, 0.5, 0.1);
+  EXPECT_NEAR(s.t_rta_ms, 20.0, 4.0);  // bucket resolution ~19%
+}
+
+TEST(KpiMonitorTest, WindowsAreDifferenced) {
+  Counter events;
+  AtomicHistogram esp_lat;
+  KpiMonitor::Inputs in;
+  in.events = {&events};
+  in.esp_latency_micros = {&esp_lat};
+  in.entities = 1;
+  KpiMonitor monitor(in);
+
+  esp_lat.Record(100000.0);  // 100 ms — violates t_ESP in window 1
+  const KpiSample first = monitor.Sample();
+  EXPECT_FALSE(first.t_esp_ok);
+
+  esp_lat.Record(1000.0);  // 1 ms — window 2 must not see the old sample
+  const KpiSample second = monitor.Sample();
+  EXPECT_TRUE(second.t_esp_ok);
+  EXPECT_NEAR(second.t_esp_ms, 1.0, 0.3);
+}
+
+TEST(KpiMonitorTest, UntracedFreshnessFails) {
+  // No merge published in the window -> freshness cannot be certified.
+  AtomicHistogram fresh;
+  KpiMonitor::Inputs in;
+  in.freshness_millis = {&fresh};
+  KpiMonitor monitor(in);
+  const KpiSample s = monitor.Sample();
+  EXPECT_FALSE(s.fresh_traced);
+  EXPECT_FALSE(s.t_fresh_ok);
+  EXPECT_NE(s.Render(KpiTargets{}).find("no merge in window"),
+            std::string::npos);
+}
+
+TEST(KpiMonitorTest, AggregatesMultipleSources) {
+  Counter e0, e1;
+  AtomicHistogram h0, h1;
+  KpiMonitor::Inputs in;
+  in.events = {&e0, &e1};
+  in.esp_latency_micros = {&h0, &h1};
+  in.entities = 1;
+  KpiMonitor monitor(in);
+
+  e0.Add(10);
+  e1.Add(20);
+  h0.Record(1000.0);
+  h1.Record(3000.0);
+  const KpiSample s = monitor.Sample();
+  // Mean over both sources: (1ms + 3ms) / 2 = 2ms.
+  EXPECT_NEAR(s.t_esp_ms, 2.0, 0.5);
+  EXPECT_GT(s.f_esp_per_entity_hour, 0.0);
+}
+
+}  // namespace
+}  // namespace aim

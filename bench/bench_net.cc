@@ -1,0 +1,148 @@
+// bench_net — what the real TCP transport costs on loopback: per-event and
+// per-query round-trip latency through TcpClient -> TcpServer -> StorageNode
+// against the identical requests through the in-process channel. The gap is
+// pure transport overhead (framing, syscalls, loopback stack), the floor any
+// distributed deployment of the cluster pays per §4.2 round trip.
+//
+//   $ ./bench_net [--entities=N] [--events=N] [--queries=N]
+//
+// Ends with a Prometheus snapshot of the registry so the aim_net_* series
+// (frames, bytes, reconnects, timeouts) are visible alongside the node
+// metrics.
+
+#include "aim/net/tcp_client.h"
+#include "aim/net/tcp_server.h"
+#include "aim/server/local_node_channel.h"
+#include "bench_common.h"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace {
+
+/// One synchronous query round trip through any channel.
+double QueryRoundTripMicros(NodeChannel* channel,
+                            const std::vector<std::uint8_t>& wire) {
+  std::atomic<bool> done{false};
+  Stopwatch sw;
+  AIM_CHECK(channel->SubmitQuery(
+      wire, [&done](std::vector<std::uint8_t>&& bytes) {
+        AIM_CHECK(!bytes.empty());
+        done.store(true, std::memory_order_release);
+      }));
+  while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+  return sw.ElapsedMicros();
+}
+
+struct RttResult {
+  LatencyRecorder event_rtt;
+  LatencyRecorder query_rtt;
+};
+
+RttResult MeasureChannel(NodeChannel* channel, const WorkloadSetup& setup,
+                         std::uint64_t entities, std::uint64_t events,
+                         std::uint64_t queries) {
+  RttResult result;
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = entities;
+  CdrGenerator gen(gopts);
+  Timestamp now = 0;
+  Stopwatch sw;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    BinaryWriter writer;
+    gen.Next(now += 10).Serialize(&writer);
+    EventCompletion completion;
+    sw.Restart();
+    AIM_CHECK(channel->SubmitEvent(writer.TakeBuffer(), &completion));
+    // Both channels guarantee completion: the in-process node drains its
+    // queues, the TCP client fails lost replies at its request deadline.
+    completion.Wait();
+    AIM_CHECK(completion.status.ok());
+    result.event_rtt.Record(sw.ElapsedMicros());
+  }
+
+  QueryWorkload workload(setup.schema.get(), &setup.dims, 4242);
+  const int qnums[] = {1, 2, 3, 4, 5, 7};
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    BinaryWriter writer;
+    workload.Make(qnums[i % 6]).Serialize(&writer);
+    result.query_rtt.Record(
+        QueryRoundTripMicros(channel, writer.TakeBuffer()));
+  }
+  return result;
+}
+
+void PrintRow(const char* transport, const RttResult& r) {
+  std::printf("%-12s %10.1f %10.1f %12.1f %12.1f\n", transport,
+              r.event_rtt.PercentileMicros(0.5),
+              r.event_rtt.PercentileMicros(0.99),
+              r.query_rtt.PercentileMicros(0.5),
+              r.query_rtt.PercentileMicros(0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t entities = FlagUint(argc, argv, "entities", 10000);
+  const std::uint64_t events = FlagUint(argc, argv, "events", 20000);
+  const std::uint64_t queries = FlagUint(argc, argv, "queries", 200);
+
+  std::printf("bench_net: %llu entities, %llu events, %llu queries per "
+              "transport\n",
+              static_cast<unsigned long long>(entities),
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(queries));
+
+  WorkloadSetup setup = MakeSetup(/*full_schema=*/false);
+  MetricsRegistry metrics;
+  StorageNode::Options nopts;
+  nopts.num_partitions = 2;
+  nopts.max_records_per_partition = entities + 4096;
+  nopts.metrics = &metrics;
+  StorageNode node(setup.schema.get(), &setup.dims.catalog, &setup.rules,
+                   nopts);
+  std::vector<std::uint8_t> row(setup.schema->record_size(), 0);
+  for (EntityId e = 1; e <= entities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*setup.schema, setup.dims, e, entities, row.data());
+    AIM_CHECK(node.BulkLoad(e, row.data()).ok());
+  }
+  AIM_CHECK(node.Start().ok());
+  LocalNodeChannel local(&node);
+
+  net::TcpServer::Options sopts;
+  sopts.metrics = &metrics;
+  net::TcpServer server(&local, sopts);
+  AIM_CHECK(server.Start().ok());
+  net::TcpClient::Options copts;
+  copts.port = server.port();
+  copts.metrics = &metrics;
+  net::TcpClient client(copts);
+  AIM_CHECK(client.Connect().ok());
+
+  // Warm both paths (first scan cycles, page faults, TCP slow start).
+  MeasureChannel(&local, setup, entities, 256, 8);
+  MeasureChannel(&client, setup, entities, 256, 8);
+
+  const RttResult in_process =
+      MeasureChannel(&local, setup, entities, events, queries);
+  const RttResult loopback =
+      MeasureChannel(&client, setup, entities, events, queries);
+
+  std::printf("\n%-12s %10s %10s %12s %12s  (micros)\n", "transport",
+              "event p50", "event p99", "query p50", "query p99");
+  PrintRow("in-process", in_process);
+  PrintRow("tcp-loop", loopback);
+  std::printf("\nper-event transport overhead (p50): %.1f us\n",
+              loopback.event_rtt.PercentileMicros(0.5) -
+                  in_process.event_rtt.PercentileMicros(0.5));
+
+  client.Close();
+  server.Stop();
+  node.Stop();
+
+  std::printf("\n=== metrics snapshot (Prometheus text format) ===\n%s",
+              metrics.RenderPrometheus().c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// aim_server: one AIM storage node behind the real TCP transport — the
+// cluster's network-facing deployment (paper §4.2, Figure 4). Loads the
+// benchmark schema / dimensions / rules, preloads entity profiles, then
+// serves the frame protocol (docs/NETWORKING.md) until the duration ends.
+//
+//   $ ./aim_server [--port=N] [--entities=N] [--seconds=N]
+//                  [--node-id=I] [--num-nodes=N] [--partitions=N]
+//
+// Defaults: ephemeral port (printed), 20000 entities, run for 30s.
+// For a multi-node cluster start one aim_server per node with the same
+// --num-nodes and distinct --node-id: each preloads only the entities the
+// drivers' NodeHash routing will send it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "aim/common/clock.h"
+#include "aim/common/hash.h"
+#include "aim/net/tcp_server.h"
+#include "aim/server/local_node_channel.h"
+#include "aim/server/storage_node.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/rules_generator.h"
+
+using namespace aim;
+
+namespace {
+
+std::int64_t FlagValue(int argc, char** argv, const char* name,
+                       std::int64_t fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoll(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(FlagValue(argc, argv, "--port", 0));
+  const std::uint64_t entities =
+      static_cast<std::uint64_t>(FlagValue(argc, argv, "--entities", 20000));
+  const int seconds =
+      static_cast<int>(FlagValue(argc, argv, "--seconds", 30));
+  const std::uint32_t node_id =
+      static_cast<std::uint32_t>(FlagValue(argc, argv, "--node-id", 0));
+  const std::uint32_t num_nodes =
+      static_cast<std::uint32_t>(FlagValue(argc, argv, "--num-nodes", 1));
+  const std::uint32_t partitions =
+      static_cast<std::uint32_t>(FlagValue(argc, argv, "--partitions", 2));
+
+  std::unique_ptr<Schema> schema = MakeCompactSchema();
+  BenchmarkDims dims = MakeBenchmarkDims();
+  RulesGeneratorOptions ropts;
+  ropts.num_rules = 300;
+  std::vector<Rule> rules = MakeBenchmarkRules(*schema, ropts);
+
+  StorageNode::Options nopts;
+  nopts.node_id = node_id;
+  nopts.num_partitions = partitions;
+  nopts.max_records_per_partition = entities * 2 / partitions + 1024;
+  StorageNode node(schema.get(), &dims.catalog, &rules, nopts);
+
+  std::printf("aim_server: node %u/%u, loading %llu entity profiles...\n",
+              node_id, num_nodes, static_cast<unsigned long long>(entities));
+  std::vector<std::uint8_t> row(schema->record_size(), 0);
+  std::uint64_t loaded = 0;
+  for (EntityId e = 1; e <= entities; ++e) {
+    if (NodeHash(e, num_nodes) != node_id) continue;
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*schema, dims, e, entities, row.data());
+    if (!node.BulkLoad(e, row.data()).ok()) {
+      std::fprintf(stderr, "bulk load failed at entity %llu\n",
+                   static_cast<unsigned long long>(e));
+      return 1;
+    }
+    ++loaded;
+  }
+  if (!node.Start().ok()) {
+    std::fprintf(stderr, "node start failed\n");
+    return 1;
+  }
+
+  LocalNodeChannel channel(&node);
+  net::TcpServer::Options sopts;
+  sopts.port = port;
+  sopts.metrics = &node.metrics();
+  net::TcpServer server(&channel, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    node.Stop();
+    return 1;
+  }
+  // Scripts wait for this exact line to learn the (ephemeral) port.
+  std::printf("aim_server: %llu records, listening on 127.0.0.1:%u\n",
+              static_cast<unsigned long long>(loaded), server.port());
+  std::fflush(stdout);
+
+  Stopwatch run;
+  while (run.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  server.Stop();
+  node.Stop();
+
+  const StorageNode::NodeStats stats = node.stats();
+  std::printf("aim_server: served %llu events, %llu queries\n",
+              static_cast<unsigned long long>(stats.events_processed),
+              static_cast<unsigned long long>(stats.queries_processed));
+  std::printf("\n=== metrics snapshot (Prometheus text format) ===\n%s",
+              node.metrics().RenderPrometheus().c_str());
+  return 0;
+}

@@ -4,14 +4,23 @@
 // (Table 4: t_ESP <= 10ms, t_RTA <= 100ms, f_RTA >= 100 q/s, t_fresh <= 1s).
 //
 //   $ ./telecom_monitor [entities] [seconds] [nodes]
+//
+// Driver mode: point the same workload at remote aim_server processes over
+// the real TCP transport instead of an in-process cluster —
+//
+//   $ ./telecom_monitor --connect=host:port[,host:port...] [entities] [seconds]
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "aim/common/clock.h"
+#include "aim/common/hash.h"
 #include "aim/common/latency_recorder.h"
+#include "aim/net/tcp_client.h"
 #include "aim/server/aim_cluster.h"
 #include "aim/workload/benchmark_schema.h"
 #include "aim/workload/cdr_generator.h"
@@ -22,7 +31,142 @@
 
 using namespace aim;
 
+namespace {
+
+/// Drives remote aim_server nodes over TCP with the same workload the
+/// in-process path runs: an ESP event stream (sampled round trips measure
+/// end-to-end latency) plus closed-loop RTA clients fanning out through
+/// RtaFrontEnd over TcpClient channels. The servers own the node metrics;
+/// this prints the client-observed latencies and the aim_net_* client
+/// series.
+int RunTcpDriver(const std::string& endpoints, std::uint64_t entities,
+                 int seconds) {
+  MetricsRegistry metrics;
+  std::vector<std::unique_ptr<net::TcpClient>> clients;
+  std::size_t start = 0;
+  while (start < endpoints.size()) {
+    std::size_t comma = endpoints.find(',', start);
+    if (comma == std::string::npos) comma = endpoints.size();
+    const std::string endpoint = endpoints.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad endpoint '%s' (want host:port)\n",
+                   endpoint.c_str());
+      return 1;
+    }
+    net::TcpClient::Options copts;
+    copts.host = endpoint.substr(0, colon);
+    copts.port =
+        static_cast<std::uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+    copts.metrics = &metrics;
+    clients.push_back(std::make_unique<net::TcpClient>(copts));
+    Status st = clients.back()->Connect();
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect %s failed: %s\n", endpoint.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::uint32_t nodes = static_cast<std::uint32_t>(clients.size());
+  std::printf("AIM telecom monitor (TCP driver): %llu entities, %u remote "
+              "node(s), %ds run\n",
+              static_cast<unsigned long long>(entities), nodes, seconds);
+
+  std::unique_ptr<Schema> schema = MakeCompactSchema();
+  BenchmarkDims dims = MakeBenchmarkDims();
+  std::vector<NodeChannel*> channels;
+  for (auto& c : clients) channels.push_back(c.get());
+  RtaFrontEnd front_end(channels, schema.get(), &dims.catalog, &metrics);
+
+  std::atomic<bool> stop{false};
+
+  LatencyRecorder esp_latency;
+  std::atomic<std::uint64_t> events_sent{0};
+  std::thread esp_driver([&] {
+    CdrGenerator::Options gopts;
+    gopts.num_entities = entities;
+    CdrGenerator gen(gopts);
+    Timestamp now = 0;
+    Stopwatch sw;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Event event = gen.Next(now += 10);
+      BinaryWriter writer;
+      event.Serialize(&writer);
+      net::TcpClient* client = clients[NodeHash(event.caller, nodes)].get();
+      const bool sample =
+          events_sent.load(std::memory_order_relaxed) % 64 == 0;
+      if (sample) {
+        sw.Restart();
+        if (!client->EventRoundTrip(writer.TakeBuffer(), nullptr).ok()) {
+          break;
+        }
+        esp_latency.Record(sw.ElapsedMicros());
+      } else {
+        if (!client->SubmitEvent(writer.TakeBuffer(), nullptr)) break;
+      }
+      events_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  constexpr int kClients = 4;
+  LatencyRecorder rta_latency[kClients];
+  std::atomic<std::uint64_t> queries_done{0};
+  std::vector<std::thread> rta_clients;
+  for (int c = 0; c < kClients; ++c) {
+    rta_clients.emplace_back([&, c] {
+      QueryWorkload workload(schema.get(), &dims, 7000 + c);
+      Stopwatch sw;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int qnums[] = {1, 2, 3, 4, 5, 7};
+        Query q = workload.Make(qnums[queries_done.load() % 6]);
+        sw.Restart();
+        QueryResult r = front_end.Execute(q);
+        if (!r.status.ok()) break;
+        rta_latency[c].Record(sw.ElapsedMicros());
+        queries_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Stopwatch run;
+  while (run.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    std::printf("  t=%4.1fs  events=%llu  queries=%llu\n",
+                run.ElapsedSeconds(),
+                static_cast<unsigned long long>(events_sent.load()),
+                static_cast<unsigned long long>(queries_done.load()));
+  }
+  stop.store(true, std::memory_order_release);
+  esp_driver.join();
+  for (auto& t : rta_clients) t.join();
+  const double elapsed = run.ElapsedSeconds();
+  const std::uint64_t total_events = events_sent.load();
+  const std::uint64_t total_queries = queries_done.load();
+  for (auto& c : clients) c->Close();
+
+  LatencyRecorder rta_all;
+  for (const auto& r : rta_latency) rta_all.Merge(r);
+
+  std::printf("\n=== results (client-observed, over TCP) ===\n");
+  std::printf("ESP: %.0f events/s, sampled round trip %s\n",
+              total_events / elapsed, esp_latency.SummaryMillis().c_str());
+  std::printf("RTA: %.1f queries/s, latency %s\n", total_queries / elapsed,
+              rta_all.SummaryMillis().c_str());
+  std::printf("\n=== client metrics snapshot (Prometheus text format) ===\n%s",
+              metrics.RenderPrometheus().c_str());
+  return total_events > 0 && total_queries > 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strncmp(argv[1], "--connect=", 10) == 0) {
+    const std::string endpoints = argv[1] + 10;
+    const std::uint64_t tcp_entities = argc > 2 ? std::atoll(argv[2]) : 20000;
+    const int tcp_seconds = argc > 3 ? std::atoi(argv[3]) : 5;
+    return RunTcpDriver(endpoints, tcp_entities, tcp_seconds);
+  }
   const std::uint64_t entities = argc > 1 ? std::atoll(argv[1]) : 20000;
   const int seconds = argc > 2 ? std::atoi(argv[2]) : 5;
   const std::uint32_t nodes = argc > 3 ? std::atoi(argv[3]) : 1;

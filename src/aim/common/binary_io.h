@@ -1,6 +1,7 @@
 #ifndef AIM_COMMON_BINARY_IO_H_
 #define AIM_COMMON_BINARY_IO_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -8,10 +9,20 @@
 
 namespace aim {
 
-/// Little-endian append-only binary writer. Messages between simulated tiers
+// The writer/reader pair memcpys host-endian bytes, so the wire format is
+// little-endian only because every supported host is. Now that these bytes
+// cross a real TCP connection (aim/net), a big-endian peer would silently
+// misparse every integer — refuse to build there instead of byteswapping on
+// the (hot) serialization path.
+static_assert(std::endian::native == std::endian::little,
+              "aim wire format requires a little-endian host");
+
+/// Little-endian append-only binary writer (enforced by the static_assert
+/// above: integers are memcpy'd host-endian). Messages between tiers
 /// (events, queries, partial results) are serialized with this so that the
 /// code path exercised matches a real networked deployment: structures are
-/// flattened, shipped as bytes, and re-parsed on the other side.
+/// flattened, shipped as bytes, and re-parsed on the other side — since the
+/// aim/net transport, possibly over an actual socket.
 class BinaryWriter {
  public:
   void PutU8(std::uint8_t v) { Append(&v, 1); }
@@ -28,6 +39,13 @@ class BinaryWriter {
   void PutString(const std::string& s) {
     PutU32(static_cast<std::uint32_t>(s.size()));
     Append(s.data(), s.size());
+  }
+
+  /// Overwrites 8 previously written bytes at `offset` — for headers whose
+  /// count is only known after the payload is serialized (checkpoint
+  /// backpatch). `offset + 8` must not exceed size().
+  void PatchU64(std::size_t offset, std::uint64_t v) {
+    std::memcpy(buf_.data() + offset, &v, sizeof(v));
   }
 
   const std::vector<std::uint8_t>& buffer() const { return buf_; }

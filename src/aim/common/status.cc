@@ -27,6 +27,8 @@ const char* CodeName(Status::Code code) {
       return "TIMED_OUT";
     case Status::Code::kShutdown:
       return "SHUTDOWN";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,7 @@ class Status {
     kInternal = 6,        // invariant violation
     kTimedOut = 7,        // blocking call exceeded deadline
     kShutdown = 8,        // component is stopping; request not processed
+    kDeadlineExceeded = 9, // request in flight lost its reply (network)
   };
 
   Status() : code_(Code::kOk) {}
@@ -58,6 +59,9 @@ class Status {
   static Status Shutdown(std::string msg = "") {
     return Status(Code::kShutdown, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -68,6 +72,9 @@ class Status {
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsShutdown() const { return code_ == Code::kShutdown; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,210 @@
+#include "aim/net/frame.h"
+
+#include <cstring>
+
+namespace aim {
+namespace net {
+
+void EncodeFrameHeader(const FrameHeader& header, BinaryWriter* out) {
+  out->PutU32(kFrameMagic);
+  out->PutU8(static_cast<std::uint8_t>(header.type));
+  out->PutU8(header.flags);
+  out->PutU16(0);  // reserved
+  out->PutU64(header.request_id);
+  out->PutU32(header.payload_size);
+}
+
+Status DecodeFrameHeader(const std::uint8_t* bytes, FrameHeader* header) {
+  BinaryReader in(bytes, kFrameHeaderSize);
+  if (in.GetU32() != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const std::uint8_t type = in.GetU8();
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kRecordReply)) {
+    return Status::InvalidArgument("unknown frame type");
+  }
+  header->type = static_cast<FrameType>(type);
+  header->flags = in.GetU8();
+  in.GetU16();  // reserved
+  header->request_id = in.GetU64();
+  header->payload_size = in.GetU32();
+  if (header->payload_size > kMaxFramePayload) {
+    return Status::InvalidArgument("oversized frame payload");
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint8_t> BuildFrame(FrameType type, std::uint8_t flags,
+                                     std::uint64_t request_id,
+                                     const std::uint8_t* payload,
+                                     std::size_t payload_size) {
+  FrameHeader header;
+  header.type = type;
+  header.flags = flags;
+  header.request_id = request_id;
+  header.payload_size = static_cast<std::uint32_t>(payload_size);
+  BinaryWriter out;
+  EncodeFrameHeader(header, &out);
+  if (payload_size > 0) out.PutBytes(payload, payload_size);
+  return out.TakeBuffer();
+}
+
+void EncodeStatusPayload(const Status& status, BinaryWriter* out) {
+  out->PutU8(static_cast<std::uint8_t>(status.code()));
+  out->PutString(status.message());
+}
+
+Status DecodeStatusPayload(BinaryReader* in, Status* status) {
+  const std::uint8_t code = in->GetU8();
+  std::string message = in->GetString();
+  if (!in->ok() ||
+      code > static_cast<std::uint8_t>(Status::Code::kDeadlineExceeded)) {
+    return Status::InvalidArgument("malformed status payload");
+  }
+  // Round-trip through the factory matching the code; the default arm keeps
+  // unknown-but-range-checked codes from ever minting a fake OK.
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      *status = Status::OK();
+      break;
+    case Status::Code::kNotFound:
+      *status = Status::NotFound(std::move(message));
+      break;
+    case Status::Code::kConflict:
+      *status = Status::Conflict(std::move(message));
+      break;
+    case Status::Code::kInvalidArgument:
+      *status = Status::InvalidArgument(std::move(message));
+      break;
+    case Status::Code::kCapacity:
+      *status = Status::Capacity(std::move(message));
+      break;
+    case Status::Code::kUnsupported:
+      *status = Status::Unsupported(std::move(message));
+      break;
+    case Status::Code::kInternal:
+      *status = Status::Internal(std::move(message));
+      break;
+    case Status::Code::kTimedOut:
+      *status = Status::TimedOut(std::move(message));
+      break;
+    case Status::Code::kShutdown:
+      *status = Status::Shutdown(std::move(message));
+      break;
+    case Status::Code::kDeadlineExceeded:
+      *status = Status::DeadlineExceeded(std::move(message));
+      break;
+  }
+  return Status::OK();
+}
+
+void EncodeHello(BinaryWriter* out) { out->PutU32(kProtocolVersion); }
+
+Status DecodeHello(BinaryReader* in, std::uint32_t* version) {
+  *version = in->GetU32();
+  if (!in->ok()) return Status::InvalidArgument("malformed hello");
+  return Status::OK();
+}
+
+void EncodeHelloReply(const NodeChannel::NodeInfo& info, BinaryWriter* out) {
+  out->PutU32(kProtocolVersion);
+  out->PutU32(info.node_id);
+  out->PutU32(info.num_partitions);
+  out->PutU32(info.record_size);
+}
+
+Status DecodeHelloReply(BinaryReader* in, NodeChannel::NodeInfo* info) {
+  const std::uint32_t version = in->GetU32();
+  info->node_id = in->GetU32();
+  info->num_partitions = in->GetU32();
+  info->record_size = in->GetU32();
+  if (!in->ok()) return Status::InvalidArgument("malformed hello reply");
+  if (version != kProtocolVersion) {
+    return Status::Unsupported("protocol version mismatch");
+  }
+  if (info->num_partitions == 0) {
+    return Status::InvalidArgument("hello reply with zero partitions");
+  }
+  return Status::OK();
+}
+
+void EncodeEventReply(const Status& status,
+                      const std::vector<std::uint32_t>& fired_rules,
+                      BinaryWriter* out) {
+  EncodeStatusPayload(status, out);
+  out->PutU32(static_cast<std::uint32_t>(fired_rules.size()));
+  for (std::uint32_t rule : fired_rules) out->PutU32(rule);
+}
+
+Status DecodeEventReply(BinaryReader* in, Status* status,
+                        std::vector<std::uint32_t>* fired_rules) {
+  Status parse = DecodeStatusPayload(in, status);
+  if (!parse.ok()) return parse;
+  const std::uint32_t n = in->GetU32();
+  if (!in->ok() || static_cast<std::size_t>(n) * 4 > in->remaining()) {
+    return Status::InvalidArgument("malformed event reply");
+  }
+  fired_rules->clear();
+  fired_rules->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) fired_rules->push_back(in->GetU32());
+  if (!in->ok()) return Status::InvalidArgument("malformed event reply");
+  return Status::OK();
+}
+
+void EncodeRecordRequest(const RecordRequest& request, BinaryWriter* out) {
+  out->PutU8(static_cast<std::uint8_t>(request.kind));
+  out->PutU64(request.entity);
+  out->PutU64(request.expected_version);
+  out->PutU32(static_cast<std::uint32_t>(request.row.size()));
+  if (!request.row.empty()) {
+    out->PutBytes(request.row.data(), request.row.size());
+  }
+}
+
+Status DecodeRecordRequest(BinaryReader* in, RecordRequest* request) {
+  const std::uint8_t kind = in->GetU8();
+  if (kind > static_cast<std::uint8_t>(RecordRequest::Kind::kInsert)) {
+    return Status::InvalidArgument("unknown record request kind");
+  }
+  request->kind = static_cast<RecordRequest::Kind>(kind);
+  request->entity = in->GetU64();
+  request->expected_version = in->GetU64();
+  const std::uint32_t row_size = in->GetU32();
+  if (!in->ok() || row_size > in->remaining()) {
+    return Status::InvalidArgument("malformed record request");
+  }
+  request->row.resize(row_size);
+  if (row_size > 0 && !in->GetBytes(request->row.data(), row_size)) {
+    return Status::InvalidArgument("malformed record request");
+  }
+  return Status::OK();
+}
+
+void EncodeRecordReply(const Status& status,
+                       const std::vector<std::uint8_t>& row, Version version,
+                       BinaryWriter* out) {
+  EncodeStatusPayload(status, out);
+  out->PutU64(version);
+  out->PutU32(static_cast<std::uint32_t>(row.size()));
+  if (!row.empty()) out->PutBytes(row.data(), row.size());
+}
+
+Status DecodeRecordReply(BinaryReader* in, Status* status,
+                         std::vector<std::uint8_t>* row, Version* version) {
+  Status parse = DecodeStatusPayload(in, status);
+  if (!parse.ok()) return parse;
+  *version = in->GetU64();
+  const std::uint32_t row_size = in->GetU32();
+  if (!in->ok() || row_size > in->remaining()) {
+    return Status::InvalidArgument("malformed record reply");
+  }
+  row->resize(row_size);
+  if (row_size > 0 && !in->GetBytes(row->data(), row_size)) {
+    return Status::InvalidArgument("malformed record reply");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace aim

@@ -2,6 +2,7 @@
 #define AIM_NET_MESSAGE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -33,11 +34,30 @@ struct EventCompletion {
     complete_nanos = 0;
   }
 
+  /// Unbounded wait — only safe when the completer provably cannot
+  /// disappear (an in-process node drains its queues on Stop). Anything
+  /// that waits on a *remote* peer must use WaitFor: a dropped connection
+  /// means `done` may never flip.
   void Wait() const {
     while (!done.load(std::memory_order_acquire)) {
       // The ESP SLA is 10ms; yielding is plenty precise at that scale.
       std::this_thread::yield();
     }
+  }
+
+  /// Bounded wait. Returns true once completed, false when
+  /// `timeout_millis` elapsed first — the slot then must NOT be reused or
+  /// destroyed until the completer is known to be done with it (the TCP
+  /// client guarantees this by failing the completion itself on timeout or
+  /// disconnect before handing the slot back).
+  bool WaitFor(std::int64_t timeout_millis) const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
+    while (!done.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
   }
 };
 

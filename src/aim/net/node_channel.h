@@ -1,0 +1,67 @@
+#ifndef AIM_NET_NODE_CHANNEL_H_
+#define AIM_NET_NODE_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aim/common/hash.h"
+#include "aim/common/types.h"
+#include "aim/net/message.h"
+
+namespace aim {
+
+/// Transport-neutral handle to one storage node. The three Submit calls
+/// mirror StorageNode's service surface (events, queries, record Get/Put);
+/// the paper's tiers — ESP nodes, RTA front-ends, drivers — talk to storage
+/// exclusively through this interface, so the same tier code runs against
+/// an in-process node (server/LocalNodeChannel) or a remote one over TCP
+/// (net/TcpClient) unchanged.
+///
+/// Submit semantics (identical to StorageNode):
+///  - return false when the request was not accepted (peer stopped or
+///    unreachable); the caller's completion/reply is then never invoked.
+///  - return true when accepted: the completion/reply is invoked exactly
+///    once. Remote channels additionally bound that promise with a
+///    deadline — a lost reply completes with Status::DeadlineExceeded
+///    (events, records) or an empty payload (queries).
+class NodeChannel {
+ public:
+  /// Identity the channel learned about its node (TCP: via the hello
+  /// handshake). record_size lets remote peers sanity-check their schema.
+  struct NodeInfo {
+    NodeId node_id = 0;
+    std::uint32_t num_partitions = 1;
+    std::uint32_t record_size = 0;
+  };
+
+  virtual ~NodeChannel() = default;
+
+  virtual NodeInfo info() const = 0;
+
+  /// Enqueues a serialized event (64-byte wire format). `completion` may be
+  /// null (fire-and-forget; remote channels then ship it without a reply).
+  virtual bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
+                           EventCompletion* completion) = 0;
+
+  /// Enqueues a serialized query; `reply` receives the node's serialized
+  /// PartialResult (empty payload on shutdown or lost connection).
+  virtual bool SubmitQuery(
+      std::vector<std::uint8_t> query_bytes,
+      std::function<void(std::vector<std::uint8_t>&&)> reply) = 0;
+
+  /// Record-level Get/Put service (paper §4.2 deployment option a).
+  virtual bool SubmitRecordRequest(RecordRequest request) = 0;
+
+  /// Which partition of the node an entity lives in — pure function of the
+  /// node identity (two-level routing, §4.8), so remote channels can route
+  /// without a round trip.
+  std::uint32_t PartitionOf(EntityId entity) const {
+    const NodeInfo i = info();
+    return PartitionHash(entity, i.node_id, i.num_partitions);
+  }
+};
+
+}  // namespace aim
+
+#endif  // AIM_NET_NODE_CHANNEL_H_

@@ -1,0 +1,226 @@
+#include "aim/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace aim {
+namespace net {
+
+namespace {
+
+std::int64_t NowMillis() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget for a deadline computed up front; -1 passes through.
+int RemainingMillis(std::int64_t deadline_millis) {
+  if (deadline_millis < 0) return -1;
+  const std::int64_t left = deadline_millis - NowMillis();
+  if (left <= 0) return 0;
+  // Cap each poll slice so a clock jump cannot wedge us for minutes.
+  return static_cast<int>(left > 60000 ? 60000 : left);
+}
+
+Status ErrnoStatus(const char* op) {
+  return Status::Internal(std::string(op) + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status PollFor(int fd, short events, std::int64_t deadline_millis) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout = RemainingMillis(deadline_millis);
+    if (timeout == 0) return Status::DeadlineExceeded("poll deadline");
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      if (RemainingMillis(deadline_millis) == 0) {
+        return Status::DeadlineExceeded("poll deadline");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll");
+  }
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Socket> TcpConnect(const std::string& host, std::uint16_t port,
+                            std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) != 0 ||
+      result == nullptr) {
+    if (result != nullptr) ::freeaddrinfo(result);
+    return Status::Internal("cannot resolve " + host);
+  }
+
+  Socket sock(::socket(result->ai_family, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    ::freeaddrinfo(result);
+    return ErrnoStatus("socket");
+  }
+
+  // Non-blocking connect so the handshake honours the deadline, then back
+  // to blocking mode (all further I/O deadlines are enforced via poll).
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(sock.fd(), result->ai_addr,
+                     static_cast<socklen_t>(result->ai_addrlen));
+  ::freeaddrinfo(result);
+  if (rc != 0 && errno != EINPROGRESS) return ErrnoStatus("connect");
+  if (rc != 0) {
+    Status ready = PollFor(sock.fd(), POLLOUT, deadline);
+    if (!ready.ok()) return ready;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::Internal(std::string("connect: ") +
+                              std::strerror(err != 0 ? err : errno));
+    }
+  }
+  ::fcntl(sock.fd(), F_SETFL, flags);
+  SetNoDelay(sock.fd());
+  return sock;
+}
+
+StatusOr<Socket> TcpListen(const std::string& host, std::uint16_t port,
+                           int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address " + host);
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(sock.fd(), backlog) != 0) return ErrnoStatus("listen");
+  return sock;
+}
+
+StatusOr<std::uint16_t> LocalPort(const Socket& socket) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<Socket> Accept(const Socket& listener, std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  Status ready = PollFor(listener.fd(), POLLIN, deadline);
+  if (!ready.ok()) return ready;
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return ErrnoStatus("accept");
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Status WaitReadable(const Socket& socket, std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  return PollFor(socket.fd(), POLLIN, deadline);
+}
+
+Status SendAll(const Socket& socket, const void* data, std::size_t size,
+               std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(socket.fd(), p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = PollFor(socket.fd(), POLLOUT, deadline);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Status RecvAll(const Socket& socket, void* data, std::size_t size,
+               std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    Status ready = PollFor(socket.fd(), POLLIN, deadline);
+    if (!ready.ok()) return ready;
+    const ssize_t n = ::recv(socket.fd(), p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return got == 0 ? Status::Shutdown("connection closed")
+                      : Status::Internal("connection closed mid-message");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus("recv");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace aim

@@ -1,0 +1,84 @@
+#ifndef AIM_NET_SOCKET_H_
+#define AIM_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "aim/common/status.h"
+
+namespace aim {
+namespace net {
+
+/// Move-only RAII wrapper over a POSIX socket fd. All I/O helpers below
+/// take deadlines in milliseconds relative to the call (-1 = block
+/// forever) and map failures onto Status:
+///   kDeadlineExceeded  the deadline elapsed before the operation finished
+///   kShutdown          the peer closed the connection (orderly EOF)
+///   kInternal          any other socket error (errno in the message)
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Half-closes both directions without releasing the fd — wakes any
+  /// thread blocked in poll/recv on this socket (used for shutdown
+  /// signalling; the fd itself stays reserved until Close so late readers
+  /// cannot hit a recycled descriptor).
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPv4 or a resolvable name) within
+/// `timeout_millis`. The returned socket is blocking with TCP_NODELAY set.
+StatusOr<Socket> TcpConnect(const std::string& host, std::uint16_t port,
+                            std::int64_t timeout_millis);
+
+/// Binds + listens on host:port. port 0 picks an ephemeral port; read it
+/// back with LocalPort.
+StatusOr<Socket> TcpListen(const std::string& host, std::uint16_t port,
+                           int backlog);
+
+/// The locally bound port of a listening socket.
+StatusOr<std::uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one connection, waiting at most `timeout_millis`
+/// (kDeadlineExceeded when none arrived). The connection gets TCP_NODELAY.
+StatusOr<Socket> Accept(const Socket& listener, std::int64_t timeout_millis);
+
+/// Waits until the socket is readable (kDeadlineExceeded on timeout).
+Status WaitReadable(const Socket& socket, std::int64_t timeout_millis);
+
+/// Writes exactly `size` bytes (poll+send loop, SIGPIPE suppressed).
+Status SendAll(const Socket& socket, const void* data, std::size_t size,
+               std::int64_t timeout_millis);
+
+/// Reads exactly `size` bytes (poll+recv loop). Orderly EOF before the
+/// first byte reports kShutdown; EOF mid-message reports kInternal (a
+/// truncated frame is a protocol violation, not a clean close).
+Status RecvAll(const Socket& socket, void* data, std::size_t size,
+               std::int64_t timeout_millis);
+
+}  // namespace net
+}  // namespace aim
+
+#endif  // AIM_NET_SOCKET_H_

@@ -1,0 +1,298 @@
+#include "aim/net/tcp_server.h"
+
+#include "aim/common/logging.h"
+
+namespace aim {
+namespace net {
+
+namespace {
+/// How often blocked accept/read loops wake up to notice Stop().
+constexpr std::int64_t kStopPollMillis = 100;
+}  // namespace
+
+TcpServer::TcpServer(NodeChannel* node, const Options& options)
+    : node_(node), options_(options) {
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running()) return Status::InvalidArgument("already running");
+
+  StatusOr<Socket> listener = TcpListen(options_.host, options_.port, 128);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  StatusOr<std::uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  const Labels labels = {{"role", "server"},
+                         {"addr", options_.host + ":" +
+                                      std::to_string(port_)}};
+  frames_received_ =
+      metrics_->GetCounter("aim_net_frames_received_total", labels);
+  frames_sent_ = metrics_->GetCounter("aim_net_frames_sent_total", labels);
+  bytes_received_ =
+      metrics_->GetCounter("aim_net_bytes_received_total", labels);
+  bytes_sent_ = metrics_->GetCounter("aim_net_bytes_sent_total", labels);
+  frame_errors_ = metrics_->GetCounter("aim_net_frame_errors_total", labels);
+  connections_total_ =
+      metrics_->GetCounter("aim_net_connections_total", labels);
+  connections_gauge_ = metrics_->GetGauge("aim_net_connections", labels);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (Connection& conn : connections) {
+    conn.state->open.store(false, std::memory_order_release);
+    conn.state->sock.ShutdownBoth();
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+  connections_gauge_->Set(0);
+}
+
+void TcpServer::PruneFinished() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (std::size_t i = 0; i < connections_.size();) {
+    if (connections_[i].state->done.load(std::memory_order_acquire)) {
+      if (connections_[i].thread.joinable()) connections_[i].thread.join();
+      connections_.erase(connections_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  connections_gauge_->Set(static_cast<std::int64_t>(connections_.size()));
+}
+
+void TcpServer::AcceptLoop() {
+  while (running()) {
+    StatusOr<Socket> accepted = Accept(listener_, kStopPollMillis);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) {
+        PruneFinished();
+        continue;
+      }
+      if (!running()) return;
+      continue;  // transient accept error; keep serving
+    }
+    PruneFinished();
+    std::size_t active;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      active = connections_.size();
+    }
+    if (active >= options_.max_connections) {
+      // Refuse by closing: the client sees a clean EOF and backs off via
+      // its reconnect path instead of wedging a handler slot.
+      continue;
+    }
+    auto state = std::make_shared<ConnectionState>();
+    state->sock = std::move(accepted).value();
+    connections_total_->Add();
+    Connection conn;
+    conn.state = state;
+    conn.thread = std::thread([this, state] { ServeConnection(state); });
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(conn));
+      connections_gauge_->Set(static_cast<std::int64_t>(connections_.size()));
+    }
+  }
+}
+
+void TcpServer::WriteFrame(ConnectionState* state, FrameType type,
+                           std::uint64_t request_id,
+                           const BinaryWriter& payload) {
+  FrameHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.payload_size = static_cast<std::uint32_t>(payload.size());
+  BinaryWriter frame;
+  EncodeFrameHeader(header, &frame);
+  if (payload.size() > 0) {
+    frame.PutBytes(payload.buffer().data(), payload.size());
+  }
+
+  std::lock_guard<std::mutex> lock(state->write_mu);
+  if (!state->open.load(std::memory_order_acquire)) return;
+  Status st = SendAll(state->sock, frame.buffer().data(), frame.size(),
+                      options_.io_timeout_millis);
+  if (!st.ok()) {
+    state->open.store(false, std::memory_order_release);
+    state->sock.ShutdownBoth();
+    return;
+  }
+  frames_sent_->Add();
+  bytes_sent_->Add(frame.size());
+}
+
+void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
+  std::uint8_t header_bytes[kFrameHeaderSize];
+  std::vector<std::uint8_t> payload;
+
+  while (running() && state->open.load(std::memory_order_acquire)) {
+    Status readable = WaitReadable(state->sock, kStopPollMillis);
+    if (readable.IsDeadlineExceeded()) continue;
+    if (!readable.ok()) break;
+
+    Status st = RecvAll(state->sock, header_bytes, kFrameHeaderSize,
+                        options_.io_timeout_millis);
+    if (st.IsShutdown()) break;  // orderly close
+    if (!st.ok()) {
+      frame_errors_->Add();
+      break;
+    }
+    FrameHeader header;
+    st = DecodeFrameHeader(header_bytes, &header);
+    if (!st.ok()) {
+      // Garbage on the wire: framing is lost, drop the connection.
+      frame_errors_->Add();
+      break;
+    }
+    payload.resize(header.payload_size);
+    if (header.payload_size > 0) {
+      st = RecvAll(state->sock, payload.data(), payload.size(),
+                   options_.io_timeout_millis);
+      if (!st.ok()) {
+        frame_errors_->Add();
+        break;
+      }
+    }
+    frames_received_->Add();
+    bytes_received_->Add(kFrameHeaderSize + payload.size());
+
+    switch (header.type) {
+      case FrameType::kHello: {
+        std::uint32_t version = 0;
+        BinaryReader in(payload);
+        if (!DecodeHello(&in, &version).ok() ||
+            version != kProtocolVersion) {
+          frame_errors_->Add();
+          state->open.store(false, std::memory_order_release);
+          break;
+        }
+        BinaryWriter reply;
+        EncodeHelloReply(node_->info(), &reply);
+        WriteFrame(state.get(), FrameType::kHelloReply, header.request_id,
+                   reply);
+        break;
+      }
+
+      case FrameType::kEvent: {
+        if ((header.flags & kFlagNoReply) != 0) {
+          node_->SubmitEvent(std::move(payload), nullptr);
+          payload = {};
+          break;
+        }
+        EventCompletion completion;
+        BinaryWriter reply;
+        if (!node_->SubmitEvent(std::move(payload), &completion)) {
+          payload = {};
+          EncodeEventReply(Status::Shutdown("node stopped"), {}, &reply);
+        } else {
+          payload = {};
+          // Unbounded wait is safe here: the channel is the in-process
+          // node, which always drains its queue (even through Stop), so
+          // the completion cannot be abandoned. The *client* bounds the
+          // round trip with its own request deadline.
+          completion.Wait();
+          EncodeEventReply(completion.status, completion.fired_rules,
+                           &reply);
+        }
+        WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
+                   reply);
+        break;
+      }
+
+      case FrameType::kQuery: {
+        // Replies are written asynchronously from the node's RTA
+        // coordinator thread; the shared_ptr keeps the connection state
+        // alive however late the reply lands.
+        const std::uint64_t request_id = header.request_id;
+        const bool accepted = node_->SubmitQuery(
+            std::move(payload),
+            [this, state, request_id](std::vector<std::uint8_t>&& bytes) {
+              BinaryWriter reply;
+              if (!bytes.empty()) reply.PutBytes(bytes.data(), bytes.size());
+              WriteFrame(state.get(), FrameType::kQueryReply, request_id,
+                         reply);
+            });
+        payload = {};
+        if (!accepted) {
+          WriteFrame(state.get(), FrameType::kQueryReply, header.request_id,
+                     BinaryWriter());
+        }
+        break;
+      }
+
+      case FrameType::kRecordRequest: {
+        RecordRequest request;
+        BinaryReader in(payload);
+        if (!DecodeRecordRequest(&in, &request).ok()) {
+          frame_errors_->Add();
+          BinaryWriter reply;
+          EncodeRecordReply(
+              Status::InvalidArgument("malformed record request"), {}, 0,
+              &reply);
+          WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
+                     reply);
+          break;
+        }
+        const std::uint64_t request_id = header.request_id;
+        request.reply = [this, state, request_id](
+                            Status st_reply, std::vector<std::uint8_t>&& row,
+                            Version version) {
+          BinaryWriter reply;
+          EncodeRecordReply(st_reply, row, version, &reply);
+          WriteFrame(state.get(), FrameType::kRecordReply, request_id,
+                     reply);
+        };
+        if (!node_->SubmitRecordRequest(std::move(request))) {
+          BinaryWriter reply;
+          EncodeRecordReply(Status::Shutdown("node stopped"), {}, 0, &reply);
+          WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
+                     reply);
+        }
+        break;
+      }
+
+      default:
+        // A reply type arriving at the server is a protocol violation.
+        frame_errors_->Add();
+        state->open.store(false, std::memory_order_release);
+        break;
+    }
+  }
+
+  state->open.store(false, std::memory_order_release);
+  state->sock.ShutdownBoth();
+  // The gauge is corrected by the accept loop's next PruneFinished — doing
+  // it here would need connections_mu_, which PruneFinished holds while
+  // joining this very thread.
+  state->done.store(true, std::memory_order_release);
+}
+
+}  // namespace net
+}  // namespace aim

@@ -1,0 +1,116 @@
+#ifndef AIM_NET_TCP_SERVER_H_
+#define AIM_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aim/net/frame.h"
+#include "aim/net/node_channel.h"
+#include "aim/net/socket.h"
+#include "aim/obs/registry.h"
+
+namespace aim {
+namespace net {
+
+/// TCP front door of one storage node (paper §4.2, Figure 4: ESP nodes,
+/// RTA front-ends and drivers reach storage over the network). Serves the
+/// frame protocol (frame.h) against any NodeChannel — in production the
+/// node's LocalNodeChannel, in tests possibly a mock.
+///
+/// Threading: one accept thread plus one handler thread per connection
+/// (bounded by Options::max_connections; excess connections are refused by
+/// an immediate close). Event frames that want a reply are served
+/// synchronously on the handler thread; query and record replies are
+/// written asynchronously from the node's service threads under a
+/// per-connection write lock, so one connection can have many requests in
+/// flight. Clients that need event and query traffic to never head-of-line
+/// block each other use one connection per traffic class (TcpClient does).
+///
+/// Lifecycle: Start binds and serves; Stop refuses new work, wakes every
+/// blocked thread and joins them. Stop the server before or after the
+/// node — both orders are safe because an in-process node always drains
+/// its queues (completions and replies are guaranteed).
+class TcpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+    std::uint32_t max_connections = 64;
+    /// Per-frame socket I/O deadline (header+payload read, reply write).
+    std::int64_t io_timeout_millis = 10'000;
+    /// Registry for the aim_net_* server series. Null = metrics disabled
+    /// is not an option — the node's registry is the natural home; when
+    /// null the server owns a private one.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `node` must outlive the server.
+  TcpServer(NodeChannel* node, const Options& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  Status Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after Start; resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  /// Per-connection state shared with asynchronous reply writers. The
+  /// socket lives here so a query reply arriving after the handler thread
+  /// exited still refers to a reserved (if shut down) fd, never a recycled
+  /// one.
+  struct ConnectionState {
+    Socket sock;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    std::atomic<bool> done{false};  // handler thread exited
+  };
+
+  struct Connection {
+    std::shared_ptr<ConnectionState> state;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<ConnectionState> state);
+  /// Serializes one frame and writes it under the connection write lock.
+  /// Any failure marks the connection closed.
+  void WriteFrame(ConnectionState* state, FrameType type,
+                  std::uint64_t request_id, const BinaryWriter& payload);
+  void PruneFinished();
+
+  NodeChannel* node_;
+  Options options_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex connections_mu_;
+  std::vector<Connection> connections_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* frames_received_ = nullptr;
+  Counter* frames_sent_ = nullptr;
+  Counter* bytes_received_ = nullptr;
+  Counter* bytes_sent_ = nullptr;
+  Counter* frame_errors_ = nullptr;
+  Counter* connections_total_ = nullptr;
+  Gauge* connections_gauge_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace aim
+
+#endif  // AIM_NET_TCP_SERVER_H_

@@ -7,6 +7,7 @@
 #include "aim/esp/rule_eval.h"
 #include "aim/esp/update_kernel.h"
 #include "aim/schema/record.h"
+#include "aim/server/local_node_channel.h"
 
 namespace aim {
 
@@ -32,10 +33,16 @@ struct Rendezvous {
     done.store(true, std::memory_order_release);
   }
 
-  void Wait() const {
+  /// Bounded wait: false when the reply did not land in time. The slot must
+  /// then be abandoned (not reused) — a late completer may still write it.
+  bool WaitFor(std::int64_t timeout_millis) const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
     while (!done.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
       std::this_thread::yield();
     }
+    return true;
   }
 
   void Reset() {
@@ -49,16 +56,25 @@ struct Rendezvous {
 
 }  // namespace
 
-EspTierNode::EspTierNode(const Schema* schema, StorageNode* node,
+EspTierNode::EspTierNode(const Schema* schema, NodeChannel* channel,
                          const std::vector<Rule>* rules,
                          const Options& options)
-    : schema_(schema), node_(node), rules_(rules), options_(options) {
+    : schema_(schema), channel_(channel), rules_(rules), options_(options) {
   sys_.entity_id = schema_->FindAttribute("entity_id");
   sys_.last_event_ts = schema_->FindAttribute("last_event_ts");
   sys_.preferred_number = schema_->FindAttribute("preferred_number");
   for (std::uint32_t i = 0; i < options_.num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
+}
+
+EspTierNode::EspTierNode(const Schema* schema, StorageNode* node,
+                         const std::vector<Rule>* rules,
+                         const Options& options)
+    : EspTierNode(schema, static_cast<NodeChannel*>(nullptr), rules,
+                  options) {
+  owned_channel_ = std::make_unique<LocalNodeChannel>(node);
+  channel_ = owned_channel_.get();
 }
 
 EspTierNode::~EspTierNode() { Stop(); }
@@ -93,7 +109,7 @@ bool EspTierNode::SubmitEvent(std::vector<std::uint8_t> event_bytes,
   // Sticky entity -> worker mapping preserves the single-writer discipline
   // across tier workers.
   const std::uint32_t w =
-      node_->PartitionOf(caller) % options_.num_threads;
+      channel_->PartitionOf(caller) % options_.num_threads;
   EventMessage msg;
   msg.bytes = std::move(event_bytes);
   msg.completion = completion;
@@ -105,7 +121,10 @@ void EspTierNode::WorkerLoop(Worker* worker) {
   RuleEvaluator evaluator(rules_);
   FiringPolicyTracker policy_tracker;
   std::vector<std::uint32_t> matched;
-  Rendezvous rendezvous;
+  // Heap slot shared with the reply callback so a timed-out rendezvous can
+  // be abandoned to its late completer; reused across events otherwise, so
+  // the steady state stays allocation-free.
+  auto rendezvous = std::make_shared<Rendezvous>();
   const std::uint32_t record_size = schema_->record_size();
 
   while (true) {
@@ -119,30 +138,35 @@ void EspTierNode::WorkerLoop(Worker* worker) {
     Status result = Status::Conflict("retries exhausted");
     for (int attempt = 0; attempt < options_.max_txn_retries; ++attempt) {
       // Remote Get: the full Entity Record crosses the wire.
-      rendezvous.Reset();
+      rendezvous->Reset();
       RecordRequest get;
       get.kind = RecordRequest::Kind::kGet;
       get.entity = event.caller;
-      get.reply = [&rendezvous](Status st, std::vector<std::uint8_t>&& row,
-                                Version v) {
-        rendezvous.Complete(std::move(st), std::move(row), v);
+      get.reply = [rv = rendezvous](Status st,
+                                    std::vector<std::uint8_t>&& row,
+                                    Version v) {
+        rv->Complete(std::move(st), std::move(row), v);
       };
-      if (!node_->SubmitRecordRequest(std::move(get))) {
+      if (!channel_->SubmitRecordRequest(std::move(get))) {
         result = Status::Shutdown();
         break;
       }
-      rendezvous.Wait();
+      if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
+        result = Status::DeadlineExceeded("record get reply timed out");
+        rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
+        break;
+      }
 
       bool fresh = false;
       std::vector<std::uint8_t> row;
       Version version = 0;
-      if (rendezvous.status.ok()) {
-        row = std::move(rendezvous.row);
+      if (rendezvous->status.ok()) {
+        row = std::move(rendezvous->row);
         // relaxed: monitoring counter; no ordering with the record data.
         record_bytes_shipped_.fetch_add(row.size(),
                                         std::memory_order_relaxed);
-        version = rendezvous.version;
-      } else if (rendezvous.status.IsNotFound()) {
+        version = rendezvous->version;
+      } else if (rendezvous->status.IsNotFound()) {
         row.assign(record_size, 0);
         RecordView rec(schema_, row.data());
         if (sys_.entity_id != kInvalidAttr) {
@@ -150,7 +174,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
         }
         fresh = true;
       } else {
-        result = rendezvous.status;
+        result = rendezvous->status;
         break;
       }
 
@@ -166,7 +190,7 @@ void EspTierNode::WorkerLoop(Worker* worker) {
                             &matched);
 
       // Remote Put: the record crosses the wire again.
-      rendezvous.Reset();
+      rendezvous->Reset();
       RecordRequest put;
       put.kind = fresh ? RecordRequest::Kind::kInsert
                        : RecordRequest::Kind::kPut;
@@ -176,25 +200,29 @@ void EspTierNode::WorkerLoop(Worker* worker) {
       // relaxed: monitoring counter.
       record_bytes_shipped_.fetch_add(record_size,
                                       std::memory_order_relaxed);
-      put.reply = [&rendezvous](Status st, std::vector<std::uint8_t>&& b,
-                                Version v) {
-        rendezvous.Complete(std::move(st), std::move(b), v);
+      put.reply = [rv = rendezvous](Status st, std::vector<std::uint8_t>&& b,
+                                    Version v) {
+        rv->Complete(std::move(st), std::move(b), v);
       };
-      if (!node_->SubmitRecordRequest(std::move(put))) {
+      if (!channel_->SubmitRecordRequest(std::move(put))) {
         result = Status::Shutdown();
         break;
       }
-      rendezvous.Wait();
-      if (rendezvous.status.ok()) {
+      if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
+        result = Status::DeadlineExceeded("record put reply timed out");
+        rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
+        break;
+      }
+      if (rendezvous->status.ok()) {
         result = Status::OK();
         break;
       }
-      if (rendezvous.status.IsConflict()) {
+      if (rendezvous->status.IsConflict()) {
         // relaxed: monitoring counter.
         txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
         continue;  // restart the single-row transaction
       }
-      result = rendezvous.status;
+      result = rendezvous->status;
       break;
     }
 

@@ -9,6 +9,7 @@
 #include "aim/common/mpsc_queue.h"
 #include "aim/esp/esp_engine.h"
 #include "aim/net/message.h"
+#include "aim/net/node_channel.h"
 #include "aim/server/storage_node.h"
 
 namespace aim {
@@ -33,12 +34,23 @@ class EspTierNode {
   struct Options {
     std::uint32_t num_threads = 1;
     int max_txn_retries = 16;
+    /// Safety-net bound on one Get/Put rendezvous. Remote channels already
+    /// bound replies with their own request deadline; this catches a
+    /// misbehaving channel so a tier worker can never hang forever. An
+    /// expired rendezvous fails the event with Status::DeadlineExceeded.
+    std::int64_t record_reply_timeout_millis = 30'000;
     EspEngine::Options esp;  // rule-index toggle etc.
   };
 
   /// `node` must outlive this tier and be started. All ESP processing for
   /// `node` must go through this tier (single-writer discipline).
   EspTierNode(const Schema* schema, StorageNode* node,
+              const std::vector<Rule>* rules, const Options& options);
+
+  /// Same, over any NodeChannel — e.g. a net::TcpClient, putting a real
+  /// network under the paper's deployment option (a). `channel` must
+  /// outlive this tier.
+  EspTierNode(const Schema* schema, NodeChannel* channel,
               const std::vector<Rule>* rules, const Options& options);
   ~EspTierNode();
 
@@ -66,7 +78,8 @@ class EspTierNode {
   void WorkerLoop(Worker* worker);
 
   const Schema* schema_;
-  StorageNode* node_;
+  std::unique_ptr<NodeChannel> owned_channel_;  // legacy StorageNode* ctor
+  NodeChannel* channel_;
   const std::vector<Rule>* rules_;
   Options options_;
   SystemAttrs sys_;

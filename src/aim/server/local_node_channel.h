@@ -1,0 +1,51 @@
+#ifndef AIM_SERVER_LOCAL_NODE_CHANNEL_H_
+#define AIM_SERVER_LOCAL_NODE_CHANNEL_H_
+
+#include <vector>
+
+#include "aim/net/node_channel.h"
+#include "aim/server/storage_node.h"
+
+namespace aim {
+
+/// In-process NodeChannel: forwards straight to a StorageNode. This is the
+/// default transport of the repo (the paper's co-located deployment) and
+/// what TcpServer serves remotely — the same channel surface on both sides
+/// keeps tier code transport-agnostic.
+class LocalNodeChannel : public NodeChannel {
+ public:
+  /// `node` must outlive the channel.
+  explicit LocalNodeChannel(StorageNode* node) : node_(node) {}
+
+  NodeInfo info() const override {
+    NodeInfo info;
+    info.node_id = node_->options().node_id;
+    info.num_partitions = node_->options().num_partitions;
+    info.record_size = node_->schema().record_size();
+    return info;
+  }
+
+  bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
+                   EventCompletion* completion) override {
+    return node_->SubmitEvent(std::move(event_bytes), completion);
+  }
+
+  bool SubmitQuery(
+      std::vector<std::uint8_t> query_bytes,
+      std::function<void(std::vector<std::uint8_t>&&)> reply) override {
+    return node_->SubmitQuery(std::move(query_bytes), std::move(reply));
+  }
+
+  bool SubmitRecordRequest(RecordRequest request) override {
+    return node_->SubmitRecordRequest(std::move(request));
+  }
+
+  StorageNode* node() const { return node_; }
+
+ private:
+  StorageNode* node_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_SERVER_LOCAL_NODE_CHANNEL_H_

@@ -15,7 +15,7 @@ QueryResult RtaFrontEnd::Execute(const Query& query) const {
   auto replies =
       std::make_shared<MpscQueue<std::vector<std::uint8_t>>>();
   std::size_t submitted = 0;
-  for (StorageNode* node : nodes_) {
+  for (NodeChannel* node : channels_) {
     const bool ok = node->SubmitQuery(
         wire, [replies](std::vector<std::uint8_t>&& bytes) {
           replies->Push(std::move(bytes));

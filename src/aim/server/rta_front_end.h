@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "aim/common/mpsc_queue.h"
+#include "aim/net/node_channel.h"
 #include "aim/obs/histogram.h"
 #include "aim/obs/metric.h"
 #include "aim/obs/registry.h"
 #include "aim/rta/dimension.h"
 #include "aim/rta/partial_result.h"
 #include "aim/rta/query.h"
+#include "aim/server/local_node_channel.h"
 #include "aim/server/storage_node.h"
 
 namespace aim {
@@ -28,7 +30,33 @@ class RtaFrontEnd {
   RtaFrontEnd(std::vector<StorageNode*> nodes, const Schema* schema,
               const DimensionCatalog* dims,
               MetricsRegistry* metrics = nullptr)
-      : nodes_(std::move(nodes)), schema_(schema), dims_(dims) {
+      : schema_(schema), dims_(dims) {
+    owned_channels_.reserve(nodes.size());
+    channels_.reserve(nodes.size());
+    for (StorageNode* node : nodes) {
+      owned_channels_.push_back(std::make_unique<LocalNodeChannel>(node));
+      channels_.push_back(owned_channels_.back().get());
+    }
+    InitMetrics(metrics);
+  }
+
+  /// Same, over arbitrary NodeChannels — mixing in-process nodes and
+  /// net::TcpClient peers is fine; the fan-out/merge logic is identical.
+  /// `channels` entries must outlive the front-end.
+  RtaFrontEnd(std::vector<NodeChannel*> channels, const Schema* schema,
+              const DimensionCatalog* dims,
+              MetricsRegistry* metrics = nullptr)
+      : channels_(std::move(channels)), schema_(schema), dims_(dims) {
+    InitMetrics(metrics);
+  }
+
+  /// Executes one query across the cluster and returns the final result.
+  QueryResult Execute(const Query& query) const;
+
+  std::size_t num_nodes() const { return channels_.size(); }
+
+ private:
+  void InitMetrics(MetricsRegistry* metrics) {
     if (metrics != nullptr) {
       e2e_latency_ = metrics->GetHistogram("aim_rta_e2e_latency_micros", {});
       e2e_queries_ = metrics->GetShardedCounter("aim_rta_e2e_queries_total",
@@ -36,13 +64,8 @@ class RtaFrontEnd {
     }
   }
 
-  /// Executes one query across the cluster and returns the final result.
-  QueryResult Execute(const Query& query) const;
-
-  std::size_t num_nodes() const { return nodes_.size(); }
-
- private:
-  std::vector<StorageNode*> nodes_;
+  std::vector<std::unique_ptr<LocalNodeChannel>> owned_channels_;
+  std::vector<NodeChannel*> channels_;
   const Schema* schema_;
   const DimensionCatalog* dims_;
   // Written from concurrent client threads; sharded counter keeps the

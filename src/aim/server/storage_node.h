@@ -125,6 +125,7 @@ class StorageNode {
   void CollectMonitorInputs(KpiMonitor::Inputs* inputs) const;
 
   const Options& options() const { return options_; }
+  const Schema& schema() const { return *schema_; }
   const DeltaMainStore& partition(std::uint32_t p) const {
     return *partitions_[p];
   }

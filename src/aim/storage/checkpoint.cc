@@ -1,5 +1,7 @@
 #include "aim/storage/checkpoint.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -20,20 +22,27 @@ Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
   out->PutBytes(kMagic, sizeof(kMagic));
   out->PutU32(schema.record_size());
 
-  // Two-pass: count first (the header needs it), then payload.
+  // Single pass: serialize the payload directly and backpatch the header
+  // count afterwards. Two ForEachVisible passes (count, then payload) would
+  // let a concurrent merge or ESP write slip between them and make the
+  // header disagree with the payload — a checkpoint that fails, or worse
+  // silently misparses, on restore. With one pass the count always matches
+  // what was serialized. Snapshot consistency across *records* is still the
+  // caller's job: quiesce the writers for a point-in-time image; under a
+  // live ESP feed the checkpoint is structurally valid but each record is
+  // captured at the instant the pass visited it.
+  const std::size_t count_offset = out->size();
+  out->PutU64(0);  // placeholder, patched below
   std::uint64_t count = 0;
-  store.ForEachVisible(entity_attr,
-                       [&](EntityId, Version, const std::uint8_t*) {
-                         ++count;
-                       });
-  out->PutU64(count);
   store.ForEachVisible(
       entity_attr, [&](EntityId entity, Version version,
                        const std::uint8_t* row) {
         out->PutU64(entity);
         out->PutU64(version);
         out->PutBytes(row, schema.record_size());
+        ++count;
       });
+  out->PatchU64(count_offset, count);
   return Status::OK();
 }
 
@@ -52,6 +61,16 @@ Status Restore(BinaryReader* in, DeltaMainStore* store) {
     return Status::InvalidArgument("checkpoint record size mismatch");
   }
   const std::uint64_t count = in->GetU64();
+  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
+  // Pre-validate the payload length before touching the store: each record
+  // is exactly 16 + record_size bytes, so any truncation (or a garbage
+  // count) is detectable up front and a failed restore leaves the store
+  // empty instead of partially populated. Division avoids overflowing the
+  // count * stride product on a corrupt header.
+  const std::uint64_t stride = 16u + record_size;
+  if (count > in->remaining() / stride) {
+    return Status::InvalidArgument("truncated checkpoint");
+  }
   std::vector<std::uint8_t> row(record_size);
   for (std::uint64_t i = 0; i < count; ++i) {
     const EntityId entity = in->GetU64();
@@ -71,13 +90,26 @@ Status WriteToFile(const DeltaMainStore& store, std::uint16_t entity_attr,
   BinaryWriter writer;
   Status st = Write(store, entity_attr, &writer);
   if (!st.ok()) return st;
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot open " + path);
+  // Write-temp / fsync / rename: a crash at any point leaves either the
+  // previous checkpoint at `path` untouched or the complete new one —
+  // never a truncated file shadowing a good checkpoint. The fsync before
+  // the rename is what makes the rename a commit point: without it the
+  // kernel may order the metadata update ahead of the data blocks.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + tmp);
   const std::size_t written =
       std::fwrite(writer.buffer().data(), 1, writer.size(), f);
+  const bool flushed = written == writer.size() && std::fflush(f) == 0 &&
+                       ::fsync(::fileno(f)) == 0;
   const int closed = std::fclose(f);
-  if (written != writer.size() || closed != 0) {
-    return Status::Internal("short write to " + path);
+  if (!flushed || closed != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
 }

@@ -19,9 +19,18 @@ namespace aim {
 ///   magic "AIMCKPT1" | record_size u32 | num_records u64 |
 ///   num_records x { entity u64 | version u64 | row bytes }
 ///
-/// The caller quiesces the store (no concurrent ESP/RTA threads) around
-/// both operations. The delta does not need to be merged first: Write
-/// serializes the *visible* state (delta entries shadow main images).
+/// Snapshot consistency: for a point-in-time image the caller quiesces the
+/// store (no concurrent ESP/RTA threads) around both operations. Write is a
+/// single ForEachVisible pass with a backpatched header count, so the
+/// checkpoint stays *structurally* valid (count always matches the payload)
+/// even if writers race it — but then each record reflects the instant the
+/// pass visited it, not one cut across the store. The delta does not need
+/// to be merged first: Write serializes the *visible* state (delta entries
+/// shadow main images).
+///
+/// WriteToFile is crash-durable: it writes `path + ".tmp"`, fflush+fsyncs,
+/// and renames over the target, so a crash mid-write can never replace a
+/// good checkpoint with a truncated one.
 namespace checkpoint {
 
 /// Serializes the current visible state of `store`. `entity_attr` is the

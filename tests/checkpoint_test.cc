@@ -1,4 +1,10 @@
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -137,6 +143,166 @@ TEST_F(CheckpointTest, FileRoundTrip) {
   std::remove(path.c_str());
   EXPECT_TRUE(checkpoint::RestoreFromFile(path, MakeStore().get())
                   .IsNotFound());
+}
+
+// --- crash-durability regressions -------------------------------------------
+
+TEST_F(CheckpointTest, EveryTruncationPrefixFailsWithEmptyStore) {
+  Populate(12, /*leave_delta_dirty=*/true);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  // A crash mid-write can leave any prefix of the checkpoint on disk. Every
+  // one of them must fail cleanly AND leave the target store untouched —
+  // a partially populated store after a failed restore would silently serve
+  // wrong data.
+  for (std::size_t len = 0; len < writer.size(); ++len) {
+    auto restored = MakeStore();
+    BinaryReader reader(writer.buffer().data(), len);
+    const Status st = checkpoint::Restore(&reader, restored.get());
+    ASSERT_FALSE(st.ok()) << "prefix length " << len;
+    EXPECT_EQ(restored->main_records(), 0u) << "prefix length " << len;
+    EXPECT_EQ(restored->delta_size(), 0u) << "prefix length " << len;
+  }
+}
+
+TEST_F(CheckpointTest, CorruptCountFailsWithEmptyStore) {
+  Populate(8, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  // Flip the record-count header (offset 12 = magic 8 + record_size 4) to a
+  // huge value: the payload-length pre-check must reject it without a giant
+  // allocation or a partial restore.
+  std::vector<std::uint8_t> corrupt(writer.buffer().begin(),
+                                    writer.buffer().end());
+  const std::uint64_t huge = ~std::uint64_t{0} - 7;
+  std::memcpy(corrupt.data() + 12, &huge, sizeof(huge));
+  auto restored = MakeStore();
+  BinaryReader reader(corrupt);
+  EXPECT_TRUE(
+      checkpoint::Restore(&reader, restored.get()).IsInvalidArgument());
+  EXPECT_EQ(restored->main_records(), 0u);
+}
+
+TEST_F(CheckpointTest, HeaderCountMatchesSerializedRecords) {
+  // Single-pass write with a backpatched count: the header must agree with
+  // the payload exactly (the two-pass version could disagree under a
+  // concurrent writer).
+  Populate(17, /*leave_delta_dirty=*/true);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  std::uint64_t count = 0;
+  std::memcpy(&count, writer.buffer().data() + 12, sizeof(count));
+  EXPECT_EQ(count, 18u);  // 17 + delta-only entity 999
+  const std::size_t expected =
+      8 + 4 + 8 + count * (16 + schema_->record_size());
+  EXPECT_EQ(writer.size(), expected);
+}
+
+TEST_F(CheckpointTest, WriteUnderConcurrentPutsStaysStructurallyValid) {
+  // Regression for the two-pass count/payload race: checkpoints taken while
+  // an ESP-style writer Puts and Inserts must always restore structurally
+  // (header count == records serialized), even though record contents are
+  // only point-in-time per record. Merges are NOT raced here — checkpoint's
+  // contract requires quiescing the merger for a consistent image (an
+  // entity mid-merge may be visited in both the delta and the main pass).
+  Populate(40, false);
+  std::atomic<bool> stop{false};
+  std::thread writer_thread([&] {
+    std::vector<std::uint8_t> row(schema_->record_size());
+    Random rng(77);
+    EntityId next_new = 2000;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (EntityId e = 1; e <= 40; ++e) {
+        Version v = 0;
+        if (!store_->Get(e, row.data(), &v).ok()) continue;
+        store_->Put(e, row.data(), v);
+      }
+      // Growth too: inserts change the visible count between checkpoints
+      // (bounded so neither store hits its record capacity).
+      if (next_new < 2200) {
+        FillRandomRow(*schema_, &rng, row.data());
+        RecordView(schema_.get(), row.data())
+            .SetAs<std::uint64_t>(entity_attr_, next_new);
+        store_->Insert(next_new++, row.data());
+      }
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    BinaryWriter writer;
+    ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 16;
+    opts.max_records = 4096;
+    DeltaMainStore restored(schema_.get(), opts);
+    BinaryReader reader(writer.buffer());
+    ASSERT_TRUE(checkpoint::Restore(&reader, &restored).ok()) << i;
+    ASSERT_GT(restored.main_records(), 0u) << i;
+  }
+  stop.store(true, std::memory_order_release);
+  writer_thread.join();
+}
+
+TEST_F(CheckpointTest, InterruptedWriteLeavesPreviousCheckpointIntact) {
+  Populate(10, false);
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_atomic.bin";
+  ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+
+  // Simulate a write that cannot complete: a directory squatting on the
+  // temp path makes fopen fail, standing in for a crash/IO error before the
+  // rename commit point. The previous checkpoint must stay restorable.
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0700), 0);
+  EXPECT_TRUE(
+      checkpoint::WriteToFile(*store_, entity_attr_, path).IsInternal());
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+
+  auto restored = MakeStore();
+  ASSERT_TRUE(checkpoint::RestoreFromFile(path, restored.get()).ok());
+  ExpectStoresEqual(store_.get(), restored.get(), 10);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LeftoverTmpGarbageDoesNotAffectRestore) {
+  Populate(6, false);
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_tmp.bin";
+  ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+  // A crashed writer may leave a garbage .tmp behind; restore reads only
+  // the committed file, and the next successful write replaces the garbage.
+  std::FILE* f = std::fopen((path + ".tmp").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  auto restored = MakeStore();
+  ASSERT_TRUE(checkpoint::RestoreFromFile(path, restored.get()).ok());
+  ExpectStoresEqual(store_.get(), restored.get(), 6);
+  ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+  std::FILE* gone = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(gone, nullptr);  // committed write renamed the tmp away
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedFileOnDiskFailsCleanly) {
+  Populate(9, false);
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_trunc.bin";
+  ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+  // Truncate the committed file at a few representative lengths (header,
+  // mid-record, one byte short) — each must fail with an error and an empty
+  // store.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  for (long len : {long{5}, long{14}, full / 2, full - 1}) {
+    ASSERT_EQ(::truncate(path.c_str(), len), 0);
+    auto restored = MakeStore();
+    EXPECT_FALSE(checkpoint::RestoreFromFile(path, restored.get()).ok())
+        << "length " << len;
+    EXPECT_EQ(restored->main_records(), 0u) << "length " << len;
+    // Re-write the full checkpoint for the next iteration.
+    ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

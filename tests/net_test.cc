@@ -1,0 +1,622 @@
+// Frame-protocol and TCP-transport tests: codec round trips (including the
+// malformed-input paths through BinaryReader's sticky error), the loopback
+// end-to-end path TcpClient -> TcpServer -> StorageNode, and the client's
+// robustness contract — deadlines, disconnect handling and reconnect.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/logging.h"
+#include "aim/esp/event.h"
+#include "aim/net/frame.h"
+#include "aim/net/socket.h"
+#include "aim/net/tcp_client.h"
+#include "aim/net/tcp_server.h"
+#include "aim/rta/partial_result.h"
+#include "aim/server/local_node_channel.h"
+#include "aim/server/storage_node.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "aim/workload/query_workload.h"
+
+namespace aim {
+namespace {
+
+using net::BuildFrame;
+using net::DecodeFrameHeader;
+using net::EncodeFrameHeader;
+using net::FrameHeader;
+using net::FrameType;
+using net::kFrameHeaderSize;
+using net::kFrameMagic;
+
+// --- codecs -----------------------------------------------------------------
+
+TEST(FrameCodecTest, HeaderRoundTrip) {
+  FrameHeader in;
+  in.type = FrameType::kRecordRequest;
+  in.flags = net::kFlagNoReply;
+  in.request_id = 0x1122334455667788ull;
+  in.payload_size = 4096;
+  BinaryWriter w;
+  EncodeFrameHeader(in, &w);
+  ASSERT_EQ(w.size(), kFrameHeaderSize);
+  FrameHeader out;
+  ASSERT_TRUE(DecodeFrameHeader(w.buffer().data(), &out).ok());
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload_size, in.payload_size);
+}
+
+TEST(FrameCodecTest, HeaderWireLayoutIsLittleEndian) {
+  // The wire format is pinned to little-endian (static_assert in
+  // binary_io.h); the magic 0x464D4941 must serialize as "AIMF" bytes.
+  FrameHeader h;
+  h.type = FrameType::kEvent;
+  h.request_id = 0x0102030405060708ull;
+  h.payload_size = 0x64;
+  BinaryWriter w;
+  EncodeFrameHeader(h, &w);
+  const std::uint8_t* b = w.buffer().data();
+  EXPECT_EQ(b[0], 0x41);  // 'A'
+  EXPECT_EQ(b[1], 0x49);  // 'I'
+  EXPECT_EQ(b[2], 0x4D);  // 'M'
+  EXPECT_EQ(b[3], 0x46);  // 'F'
+  EXPECT_EQ(b[4], static_cast<std::uint8_t>(FrameType::kEvent));
+  EXPECT_EQ(b[8], 0x08);  // request_id little-endian, low byte first
+  EXPECT_EQ(b[15], 0x01);
+  EXPECT_EQ(b[16], 0x64);  // payload_size low byte
+}
+
+TEST(FrameCodecTest, HeaderRejectsGarbage) {
+  FrameHeader good;
+  good.type = FrameType::kQuery;
+  BinaryWriter w;
+  EncodeFrameHeader(good, &w);
+  FrameHeader out;
+
+  std::vector<std::uint8_t> bad_magic(w.buffer());
+  bad_magic[0] ^= 0xFF;
+  EXPECT_TRUE(DecodeFrameHeader(bad_magic.data(), &out).IsInvalidArgument());
+
+  std::vector<std::uint8_t> bad_type(w.buffer());
+  bad_type[4] = 0;  // below kHello
+  EXPECT_TRUE(DecodeFrameHeader(bad_type.data(), &out).IsInvalidArgument());
+  bad_type[4] = 99;  // above kRecordReply
+  EXPECT_TRUE(DecodeFrameHeader(bad_type.data(), &out).IsInvalidArgument());
+
+  FrameHeader oversized;
+  oversized.type = FrameType::kQuery;
+  oversized.payload_size = net::kMaxFramePayload + 1;
+  BinaryWriter w2;
+  EncodeFrameHeader(oversized, &w2);
+  EXPECT_TRUE(
+      DecodeFrameHeader(w2.buffer().data(), &out).IsInvalidArgument());
+}
+
+TEST(FrameCodecTest, StatusPayloadRoundTripsEveryCode) {
+  const Status codes[] = {
+      Status::OK(),          Status::NotFound("a"),
+      Status::Conflict("b"), Status::InvalidArgument("c"),
+      Status::Capacity("d"), Status::Unsupported("e"),
+      Status::Internal("f"), Status::TimedOut("g"),
+      Status::Shutdown("h"), Status::DeadlineExceeded("i"),
+  };
+  for (const Status& in : codes) {
+    BinaryWriter w;
+    net::EncodeStatusPayload(in, &w);
+    BinaryReader r(w.buffer());
+    Status out;
+    ASSERT_TRUE(net::DecodeStatusPayload(&r, &out).ok());
+    EXPECT_EQ(out.code(), in.code());
+    EXPECT_EQ(out.message(), in.message());
+  }
+}
+
+TEST(FrameCodecTest, EventReplyRoundTripAndTruncation) {
+  BinaryWriter w;
+  net::EncodeEventReply(Status::OK(), {3, 7, 42}, &w);
+  BinaryReader r(w.buffer());
+  Status status;
+  std::vector<std::uint32_t> fired;
+  ASSERT_TRUE(net::DecodeEventReply(&r, &status, &fired).ok());
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(fired, (std::vector<std::uint32_t>{3, 7, 42}));
+
+  // Every truncation must fail through the sticky-error reader, never read
+  // out of bounds or return partially parsed data as success.
+  for (std::size_t len = 0; len < w.size(); ++len) {
+    BinaryReader t(w.buffer().data(), len);
+    EXPECT_FALSE(net::DecodeEventReply(&t, &status, &fired).ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(FrameCodecTest, RecordRequestRoundTripAndGarbageSize) {
+  RecordRequest in;
+  in.kind = RecordRequest::Kind::kPut;
+  in.entity = 12345;
+  in.expected_version = 9;
+  in.row = {1, 2, 3, 4, 5};
+  BinaryWriter w;
+  net::EncodeRecordRequest(in, &w);
+  BinaryReader r(w.buffer());
+  RecordRequest out;
+  ASSERT_TRUE(net::DecodeRecordRequest(&r, &out).ok());
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.entity, in.entity);
+  EXPECT_EQ(out.expected_version, in.expected_version);
+  EXPECT_EQ(out.row, in.row);
+
+  // A row size claiming more bytes than the payload holds must be rejected
+  // (no giant resize, no out-of-bounds read).
+  std::vector<std::uint8_t> corrupt(w.buffer());
+  const std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(corrupt.data() + 17, &huge, sizeof(huge));
+  BinaryReader cr(corrupt);
+  EXPECT_TRUE(net::DecodeRecordRequest(&cr, &out).IsInvalidArgument());
+}
+
+TEST(FrameCodecTest, RecordReplyRoundTripAndTruncation) {
+  BinaryWriter w;
+  net::EncodeRecordReply(Status::Conflict("ver"), {9, 8, 7}, 17, &w);
+  BinaryReader r(w.buffer());
+  Status status;
+  std::vector<std::uint8_t> row;
+  Version version = 0;
+  ASSERT_TRUE(net::DecodeRecordReply(&r, &status, &row, &version).ok());
+  EXPECT_TRUE(status.IsConflict());
+  EXPECT_EQ(version, 17u);
+  EXPECT_EQ(row, (std::vector<std::uint8_t>{9, 8, 7}));
+  for (std::size_t len = 0; len < w.size(); ++len) {
+    BinaryReader t(w.buffer().data(), len);
+    EXPECT_FALSE(net::DecodeRecordReply(&t, &status, &row, &version).ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(FrameCodecTest, HelloReplyRejectsVersionSkew) {
+  NodeChannel::NodeInfo info;
+  info.node_id = 3;
+  info.num_partitions = 4;
+  info.record_size = 128;
+  BinaryWriter w;
+  net::EncodeHelloReply(info, &w);
+  std::vector<std::uint8_t> skewed(w.buffer());
+  skewed[0] += 1;  // bump the version field
+  BinaryReader r(skewed);
+  NodeChannel::NodeInfo out;
+  EXPECT_TRUE(net::DecodeHelloReply(&r, &out).IsUnsupported());
+}
+
+// --- EventCompletion::WaitFor regression ------------------------------------
+
+TEST(EventCompletionTest, WaitForTimesOutAndCompletes) {
+  EventCompletion completion;
+  // Nothing completes it: the bounded wait must return false, where Wait()
+  // would hang forever (the bug this API fixes for remote peers).
+  EXPECT_FALSE(completion.WaitFor(50));
+
+  std::thread completer([&completion] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    completion.done.store(true, std::memory_order_release);
+  });
+  EXPECT_TRUE(completion.WaitFor(5000));
+  completer.join();
+}
+
+// --- loopback end-to-end ----------------------------------------------------
+
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  NetLoopbackTest() : schema_(MakeCompactSchema()), dims_(MakeBenchmarkDims()) {}
+
+  void StartNode(std::uint64_t entities = 200) {
+    StorageNode::Options opts;
+    opts.node_id = 0;
+    opts.num_partitions = 2;
+    opts.bucket_size = 64;
+    opts.max_records_per_partition = 1 << 14;
+    opts.scan_poll_micros = 200;
+    opts.metrics = &metrics_;
+    node_ = std::make_unique<StorageNode>(schema_.get(), &dims_.catalog,
+                                          &rules_, opts);
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    for (EntityId e = 1; e <= entities; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema_, dims_, e, entities, row.data());
+      ASSERT_TRUE(node_->BulkLoad(e, row.data()).ok());
+    }
+    ASSERT_TRUE(node_->Start().ok());
+    channel_ = std::make_unique<LocalNodeChannel>(node_.get());
+  }
+
+  void StartServer() {
+    net::TcpServer::Options opts;
+    opts.metrics = &metrics_;
+    server_ = std::make_unique<net::TcpServer>(channel_.get(), opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<net::TcpClient> MakeClient(
+      std::uint16_t port, std::int64_t request_timeout_millis = 5000) {
+    net::TcpClient::Options opts;
+    opts.port = port;
+    opts.request_timeout_millis = request_timeout_millis;
+    opts.backoff_initial_millis = 5;
+    opts.metrics = &metrics_;
+    return std::make_unique<net::TcpClient>(opts);
+  }
+
+  std::vector<std::uint8_t> SerializedEvent(EntityId caller) {
+    Event event;
+    event.caller = caller;
+    event.callee = caller + 1;
+    event.timestamp = next_ts_ += 10;
+    event.duration = 60;
+    event.cost = 1.5f;
+    event.data_mb = 0.0f;
+    BinaryWriter w;
+    event.Serialize(&w);
+    return w.TakeBuffer();
+  }
+
+  /// Synchronous query through any channel; empty optional on rejection.
+  std::vector<std::uint8_t> QueryBytes(NodeChannel* channel, const Query& q) {
+    BinaryWriter w;
+    q.Serialize(&w);
+    std::atomic<bool> done{false};
+    std::vector<std::uint8_t> result;
+    EXPECT_TRUE(channel->SubmitQuery(
+        w.TakeBuffer(), [&](std::vector<std::uint8_t>&& bytes) {
+          result = std::move(bytes);
+          done.store(true, std::memory_order_release);
+        }));
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    return result;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (node_ != nullptr) node_->Stop();
+  }
+
+  std::unique_ptr<Schema> schema_;
+  BenchmarkDims dims_;
+  std::vector<Rule> rules_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<StorageNode> node_;
+  std::unique_ptr<LocalNodeChannel> channel_;
+  std::unique_ptr<net::TcpServer> server_;
+  Timestamp next_ts_ = 0;
+};
+
+TEST_F(NetLoopbackTest, HandshakeFillsNodeInfo) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+  const NodeChannel::NodeInfo info = client->info();
+  EXPECT_EQ(info.node_id, 0u);
+  EXPECT_EQ(info.num_partitions, 2u);
+  EXPECT_EQ(info.record_size, schema_->record_size());
+  // Remote routing must agree with the node's own partition function.
+  for (EntityId e = 1; e <= 50; ++e) {
+    EXPECT_EQ(client->PartitionOf(e), node_->PartitionOf(e)) << e;
+  }
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, EventRoundTripsMatchInProcessResults) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+
+  for (int i = 0; i < 100; ++i) {
+    const EntityId caller = 1 + (i % 50);
+    ASSERT_TRUE(client->EventRoundTrip(SerializedEvent(caller), nullptr).ok());
+  }
+
+  // The same query through the in-process channel and over TCP must settle
+  // on identical serialized partials — the loopback deployment answers with
+  // the exact same state.
+  QueryWorkload workload(schema_.get(), &dims_, 99);
+  const Query q = workload.Make(1);
+  std::vector<std::uint8_t> local;
+  std::vector<std::uint8_t> remote;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    local = QueryBytes(channel_.get(), q);
+    remote = QueryBytes(client.get(), q);
+    if (!local.empty() && local == remote) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(local.empty());
+  EXPECT_EQ(local, remote);
+  BinaryReader r(remote);
+  EXPECT_TRUE(PartialResult::Deserialize(&r).ok());
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, FireAndForgetEventsAreProcessed) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+  constexpr std::uint64_t kEvents = 500;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(
+        client->SubmitEvent(SerializedEvent(1 + (i % 100)), nullptr));
+  }
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    if (node_->stats().events_processed >= kEvents) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(node_->stats().events_processed, kEvents);
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, RecordGetPutRoundTrip) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+
+  struct Result {
+    std::atomic<bool> done{false};
+    Status status;
+    std::vector<std::uint8_t> row;
+    Version version = 0;
+  };
+  auto roundtrip = [&](RecordRequest request, Result* out) {
+    request.reply = [out](Status st, std::vector<std::uint8_t>&& row,
+                          Version v) {
+      out->status = std::move(st);
+      out->row = std::move(row);
+      out->version = v;
+      out->done.store(true, std::memory_order_release);
+    };
+    ASSERT_TRUE(client->SubmitRecordRequest(std::move(request)));
+    while (!out->done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+
+  RecordRequest get;
+  get.kind = RecordRequest::Kind::kGet;
+  get.entity = 7;
+  Result got;
+  roundtrip(std::move(get), &got);
+  ASSERT_TRUE(got.status.ok());
+  ASSERT_EQ(got.row.size(), schema_->record_size());
+
+  // Conditional put with the observed version succeeds; a stale version
+  // must come back kConflict over the wire, not just in-process.
+  RecordRequest put;
+  put.kind = RecordRequest::Kind::kPut;
+  put.entity = 7;
+  put.row = got.row;
+  put.expected_version = got.version;
+  Result put_ok;
+  roundtrip(std::move(put), &put_ok);
+  EXPECT_TRUE(put_ok.status.ok());
+
+  RecordRequest stale;
+  stale.kind = RecordRequest::Kind::kPut;
+  stale.entity = 7;
+  stale.row = got.row;
+  stale.expected_version = got.version;  // now one behind
+  Result put_stale;
+  roundtrip(std::move(stale), &put_stale);
+  EXPECT_TRUE(put_stale.status.IsConflict());
+
+  RecordRequest missing;
+  missing.kind = RecordRequest::Kind::kGet;
+  missing.entity = 999999;
+  Result not_found;
+  roundtrip(std::move(missing), &not_found);
+  EXPECT_TRUE(not_found.status.IsNotFound());
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, ServerDropsGarbageConnectionAndKeepsServing) {
+  StartNode();
+  StartServer();
+
+  StatusOr<net::Socket> raw =
+      net::TcpConnect("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(raw.ok());
+  // Longer than one frame header, so the server's header read completes and
+  // fails on the magic instead of waiting out its I/O deadline.
+  const char garbage[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(
+      net::SendAll(*raw, garbage, sizeof(garbage) - 1, 1000).ok());
+  // Framing is unrecoverable: the server must close this connection.
+  std::uint8_t byte;
+  EXPECT_FALSE(net::RecvAll(*raw, &byte, 1, 2000).ok());
+  raw->Close();
+
+  // A short frame (partial header, then close) must not wedge a handler.
+  StatusOr<net::Socket> shorty =
+      net::TcpConnect("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(shorty.ok());
+  const std::uint8_t partial[] = {0x41, 0x49, 0x4D};
+  ASSERT_TRUE(net::SendAll(*shorty, partial, sizeof(partial), 1000).ok());
+  shorty->Close();
+
+  // The server keeps serving well-formed clients afterwards.
+  auto client = MakeClient(server_->port());
+  EXPECT_TRUE(client->EventRoundTrip(SerializedEvent(3), nullptr).ok());
+  client->Close();
+
+  Counter* errors = metrics_.GetCounter(
+      "aim_net_frame_errors_total",
+      {{"role", "server"},
+       {"addr", "127.0.0.1:" + std::to_string(server_->port())}});
+  EXPECT_GE(errors->Value(), 1u);
+}
+
+// Minimal scripted peer: completes the hello handshake, then runs `script`
+// on the connection (silence, close, etc.) — for exercising client deadline
+// and disconnect paths no real server would take.
+class FakeNode {
+ public:
+  explicit FakeNode(std::function<void(net::Socket&)> script)
+      : script_(std::move(script)) {
+    StatusOr<net::Socket> listener = net::TcpListen("127.0.0.1", 0, 4);
+    AIM_CHECK(listener.ok());
+    listener_ = std::move(listener).value();
+    port_ = *net::LocalPort(listener_);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~FakeNode() {
+    listener_.ShutdownBoth();
+    if (thread_.joinable()) thread_.join();
+    listener_.Close();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void Run() {
+    StatusOr<net::Socket> conn = net::Accept(listener_, 10'000);
+    if (!conn.ok()) return;
+    // Serve the hello so TcpClient::Connect succeeds.
+    std::uint8_t header_bytes[kFrameHeaderSize];
+    if (!net::RecvAll(*conn, header_bytes, kFrameHeaderSize, 5000).ok()) {
+      return;
+    }
+    FrameHeader header;
+    if (!DecodeFrameHeader(header_bytes, &header).ok()) return;
+    std::vector<std::uint8_t> payload(header.payload_size);
+    if (!payload.empty() &&
+        !net::RecvAll(*conn, payload.data(), payload.size(), 5000).ok()) {
+      return;
+    }
+    NodeChannel::NodeInfo info;
+    info.num_partitions = 1;
+    BinaryWriter reply;
+    net::EncodeHelloReply(info, &reply);
+    const std::vector<std::uint8_t> frame =
+        BuildFrame(FrameType::kHelloReply, 0, header.request_id,
+                   reply.buffer().data(), reply.size());
+    if (!net::SendAll(*conn, frame.data(), frame.size(), 5000).ok()) return;
+    script_(*conn);
+  }
+
+  std::function<void(net::Socket&)> script_;
+  net::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST_F(NetLoopbackTest, ClientTimesOutWhenReplyNeverArrives) {
+  std::atomic<bool> release{false};
+  FakeNode fake([&release](net::Socket& conn) {
+    // Swallow requests, never reply.
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  auto client = MakeClient(fake.port(), /*request_timeout_millis=*/200);
+  ASSERT_TRUE(client->Connect().ok());
+
+  EventCompletion completion;
+  ASSERT_TRUE(client->SubmitEvent(SerializedEvent(1), &completion));
+  // The deadline sweep must fail the completion; without it this would
+  // hang forever on a lost reply.
+  ASSERT_TRUE(completion.WaitFor(5000));
+  EXPECT_TRUE(completion.status.IsDeadlineExceeded());
+
+  Counter* timeouts = metrics_.GetCounter(
+      "aim_net_timeouts_total",
+      {{"role", "client"},
+       {"peer", "127.0.0.1:" + std::to_string(fake.port())}});
+  EXPECT_GE(timeouts->Value(), 1u);
+  release.store(true, std::memory_order_release);
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, ClientFailsOutstandingRequestsOnDisconnect) {
+  FakeNode fake([](net::Socket& conn) {
+    // Read one frame header's worth of the incoming request, then drop the
+    // connection mid-request.
+    std::uint8_t buf[kFrameHeaderSize];
+    net::RecvAll(conn, buf, sizeof(buf), 5000);
+    conn.ShutdownBoth();
+  });
+  auto client = MakeClient(fake.port(), /*request_timeout_millis=*/30'000);
+  ASSERT_TRUE(client->Connect().ok());
+
+  EventCompletion completion;
+  ASSERT_TRUE(client->SubmitEvent(SerializedEvent(1), &completion));
+  // Despite the huge request deadline the completion must fail promptly:
+  // the receiver observes the disconnect and fails everything outstanding.
+  ASSERT_TRUE(completion.WaitFor(10'000));
+  EXPECT_TRUE(completion.status.IsDeadlineExceeded());
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, ClientReconnectsAfterServerRestart) {
+  StartNode();
+  StartServer();
+  const std::uint16_t port = server_->port();
+  auto client = MakeClient(port);
+  ASSERT_TRUE(client->EventRoundTrip(SerializedEvent(1), nullptr).ok());
+
+  server_->Stop();
+  server_.reset();
+  // Submits while the peer is down fail fast (and arm the backoff).
+  for (int i = 0; i < 3; ++i) {
+    EventCompletion completion;
+    if (client->SubmitEvent(SerializedEvent(1), &completion)) {
+      ASSERT_TRUE(completion.WaitFor(5000));
+      EXPECT_FALSE(completion.status.ok());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  net::TcpServer::Options opts;
+  opts.port = port;  // same endpoint comes back
+  opts.metrics = &metrics_;
+  server_ = std::make_unique<net::TcpServer>(channel_.get(), opts);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // The next submits reconnect lazily through the capped backoff.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 500 && !recovered; ++attempt) {
+    recovered = client->EventRoundTrip(SerializedEvent(1), nullptr).ok();
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered);
+
+  Counter* reconnects = metrics_.GetCounter(
+      "aim_net_reconnects_total",
+      {{"role", "client"}, {"peer", "127.0.0.1:" + std::to_string(port)}});
+  EXPECT_GE(reconnects->Value(), 1u);
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, SubmitAfterCloseFails) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+  client->Close();
+  EventCompletion completion;
+  EXPECT_FALSE(client->SubmitEvent(SerializedEvent(1), &completion));
+  EXPECT_FALSE(client->SubmitQuery({1, 2, 3}, [](auto&&) {}));
+}
+
+}  // namespace
+}  // namespace aim

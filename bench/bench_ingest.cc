@@ -1,0 +1,287 @@
+// bench_ingest — what event-ingest batching buys (docs/DESIGN.md, "Ingest
+// batching & prefetching"): sweeps submit batch size {1, 8, 32, 128} x
+// {scalar, prefetch} x {in-process, TCP loopback} and reports events/sec
+// plus sampled end-to-end event latency (submit -> completion, an upper
+// bound on per-event t_ESP that includes the event's whole batch).
+//
+// Each configuration runs against a fresh StorageNode whose max_event_batch
+// and prefetch_distance match the swept point, so batch=1/scalar is the true
+// sequential baseline: one event per queue operation, one ProcessEvent per
+// wakeup, no lookahead.
+//
+//   $ ./bench_ingest [--entities=N] [--events=N] [--json=PATH]
+//                    [--min-local-speedup=X] [--min-tcp-speedup=X]
+//
+// The speedup gates compare batch=32+prefetch against batch=1+scalar on the
+// same transport and exit non-zero below the bound (CI smoke gates tcp at
+// 1.1 — wire batching must win — and local at 0.9, the run-to-run noise
+// floor, since a lone core gains nothing from prefetch lookahead).
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aim/net/tcp_client.h"
+#include "aim/net/tcp_server.h"
+#include "aim/server/local_node_channel.h"
+#include "bench_common.h"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace {
+
+struct Config {
+  const char* transport;  // "local" | "tcp"
+  const char* mode;       // "scalar" | "prefetch"
+  std::uint32_t batch;
+};
+
+struct RunResult {
+  double events_per_sec = 0;
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+};
+
+/// Throughput phase: pumps `total` events in submit batches of `batch`
+/// under credit-based flow control — every kMarkerIntervalEvents events one
+/// event carries a completion ("marker"), and at most kMaxOutstandingMarkers
+/// markers may be un-acked. That caps in-flight bytes well below the TCP
+/// receive-buffer floor, so the loopback server never advertises a zero
+/// window (an uncapped fire-and-forget flood parks the connection in
+/// zero-window persist state, which this host's kernel occasionally fails
+/// to leave). A final completion event drains the run (FIFO per ESP thread:
+/// its completion proves everything before it processed), so the wall clock
+/// covers full processing, not just submission. Latency phase: 200
+/// closed-loop batches, each waiting on its last event — submit -> done for
+/// the *last* event of a batch bounds any member's t_ESP from above.
+RunResult RunConfig(NodeChannel* channel, StorageNode* node,
+                    std::uint64_t entities, std::uint64_t total,
+                    std::uint32_t batch) {
+  RunResult result;
+  CdrGenerator::Options gopts;
+  gopts.num_entities = entities;
+  CdrGenerator gen(gopts);
+  Timestamp now = 0;
+  BufferPool& pool = node->event_buffer_pool();
+
+  std::vector<EventMessage> msgs;
+  auto fill_batch = [&](std::uint32_t k) {
+    msgs.clear();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      BinaryWriter writer(pool.Acquire());
+      gen.Next(now += 10).Serialize(&writer);
+      EventMessage msg;
+      msg.bytes = writer.TakeBuffer();
+      msgs.push_back(std::move(msg));
+    }
+  };
+
+  constexpr std::uint64_t kMarkerIntervalEvents = 256;
+  constexpr std::size_t kMaxOutstandingMarkers = 4;
+  std::deque<std::unique_ptr<EventCompletion>> markers;
+  std::uint64_t since_marker = 0;
+
+  std::uint64_t sent = 0;
+  Stopwatch wall;
+  while (sent < total) {
+    const std::uint32_t k = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(batch, total - sent));
+    fill_batch(k);
+    std::unique_ptr<EventCompletion> marker;
+    since_marker += k;
+    if (since_marker >= kMarkerIntervalEvents) {
+      since_marker = 0;
+      marker = std::make_unique<EventCompletion>();
+      msgs.back().completion = marker.get();
+    }
+    AIM_CHECK(channel->SubmitEventBatch(std::move(msgs)) == k);
+    sent += k;
+    if (marker != nullptr) markers.push_back(std::move(marker));
+    while (markers.size() > kMaxOutstandingMarkers) {
+      markers.front()->Wait();
+      AIM_CHECK_MSG(markers.front()->status.ok(), "%s",
+                    markers.front()->status.message().c_str());
+      markers.pop_front();
+    }
+  }
+  for (auto& marker : markers) {
+    marker->Wait();
+    AIM_CHECK_MSG(marker->status.ok(), "%s", marker->status.message().c_str());
+  }
+  markers.clear();
+  {
+    BinaryWriter writer;
+    gen.Next(now += 10).Serialize(&writer);
+    EventCompletion done;
+    AIM_CHECK(channel->SubmitEvent(writer.TakeBuffer(), &done));
+    done.Wait();
+    AIM_CHECK_MSG(done.status.ok(), "%s", done.status.message().c_str());
+  }
+  result.events_per_sec = static_cast<double>(sent) / wall.ElapsedSeconds();
+
+  LatencyRecorder rtt;
+  EventCompletion sampled;
+  Stopwatch sample_timer;
+  for (int s = 0; s < 200; ++s) {
+    fill_batch(batch);
+    sampled.Reset();
+    msgs.back().completion = &sampled;
+    sample_timer.Restart();
+    AIM_CHECK(channel->SubmitEventBatch(std::move(msgs)) == batch);
+    sampled.Wait();
+    AIM_CHECK_MSG(sampled.status.ok(), "%s",
+                  sampled.status.message().c_str());
+    rtt.Record(sample_timer.ElapsedMicros());
+  }
+  result.rtt_p50_us = rtt.PercentileMicros(0.5);
+  result.rtt_p99_us = rtt.PercentileMicros(0.99);
+  return result;
+}
+
+/// Builds a node for one swept point, runs it, tears it down.
+RunResult RunPoint(const WorkloadSetup& setup, std::uint64_t entities,
+                   std::uint64_t events, const Config& cfg) {
+  MetricsRegistry metrics;
+  StorageNode::Options nopts;
+  nopts.num_partitions = 2;
+  nopts.max_records_per_partition = entities + 4096;
+  nopts.max_event_batch = cfg.batch;
+  nopts.metrics = &metrics;
+  nopts.esp.prefetch_distance =
+      std::string(cfg.mode) == "prefetch" ? 8 : 0;
+  StorageNode node(setup.schema.get(), &setup.dims.catalog, &setup.rules,
+                   nopts);
+  std::vector<std::uint8_t> row(setup.schema->record_size(), 0);
+  for (EntityId e = 1; e <= entities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*setup.schema, setup.dims, e, entities, row.data());
+    AIM_CHECK(node.BulkLoad(e, row.data()).ok());
+  }
+  AIM_CHECK(node.Start().ok());
+  LocalNodeChannel local(&node);
+
+  RunResult result;
+  if (std::string(cfg.transport) == "local") {
+    RunConfig(&local, &node, entities, events / 8, cfg.batch);  // warmup
+    result = RunConfig(&local, &node, entities, events, cfg.batch);
+  } else {
+    net::TcpServer::Options sopts;
+    sopts.metrics = &metrics;
+    net::TcpServer server(&local, sopts);
+    AIM_CHECK(server.Start().ok());
+    net::TcpClient::Options copts;
+    copts.port = server.port();
+    copts.metrics = &metrics;
+    net::TcpClient client(copts);
+    AIM_CHECK(client.Connect().ok());
+    RunConfig(&client, &node, entities, events / 8, cfg.batch);  // warmup
+    result = RunConfig(&client, &node, entities, events, cfg.batch);
+    client.Close();
+    server.Stop();
+  }
+  node.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t entities = FlagUint(argc, argv, "entities", 50000);
+  const std::uint64_t events = FlagUint(argc, argv, "events", 150000);
+  const double min_local = FlagDouble(argc, argv, "min-local-speedup", 0);
+  const double min_tcp = FlagDouble(argc, argv, "min-tcp-speedup", 0);
+  const char* json_path = FlagValue(argc, argv, "json");
+
+  std::printf("bench_ingest: %llu entities, %llu events per configuration\n",
+              static_cast<unsigned long long>(entities),
+              static_cast<unsigned long long>(events));
+
+  WorkloadSetup setup = MakeSetup(/*full_schema=*/false, 10);
+
+  std::vector<Config> configs;
+  for (const char* transport : {"local", "tcp"}) {
+    for (const char* mode : {"scalar", "prefetch"}) {
+      for (std::uint32_t batch : {1u, 8u, 32u, 128u}) {
+        configs.push_back({transport, mode, batch});
+      }
+    }
+  }
+
+  std::printf("\n%-8s %-9s %6s %14s %12s %12s\n", "transport", "mode",
+              "batch", "events/sec", "rtt p50 us", "rtt p99 us");
+  std::vector<RunResult> results;
+  for (const Config& cfg : configs) {
+    results.push_back(RunPoint(setup, entities, events, cfg));
+    const RunResult& r = results.back();
+    std::printf("%-8s %-9s %6u %14.0f %12.1f %12.1f\n", cfg.transport,
+                cfg.mode, cfg.batch, r.events_per_sec, r.rtt_p50_us,
+                r.rtt_p99_us);
+  }
+
+  auto find = [&](const char* transport, const char* mode,
+                  std::uint32_t batch) -> const RunResult& {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (std::string(configs[i].transport) == transport &&
+          std::string(configs[i].mode) == mode &&
+          configs[i].batch == batch) {
+        return results[i];
+      }
+    }
+    AIM_CHECK_MSG(false, "config not found");
+    return results[0];
+  };
+
+  const double local_speedup =
+      find("local", "prefetch", 32).events_per_sec /
+      find("local", "scalar", 1).events_per_sec;
+  const double tcp_speedup = find("tcp", "prefetch", 32).events_per_sec /
+                             find("tcp", "scalar", 1).events_per_sec;
+  std::printf("\nspeedup batch=32+prefetch vs batch=1+scalar: local %.2fx, "
+              "tcp %.2fx\n",
+              local_speedup, tcp_speedup);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    AIM_CHECK_MSG(f != nullptr, "cannot open --json path");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_ingest\",\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+    std::fprintf(f, "  \"build_type\": \"%s\",\n", BuildType());
+    std::fprintf(f,
+                 "  \"scale\": {\"entities\": %llu, \"events\": %llu},\n",
+                 static_cast<unsigned long long>(entities),
+                 static_cast<unsigned long long>(events));
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"transport\": \"%s\", \"mode\": \"%s\", "
+                   "\"batch\": %u, \"events_per_sec\": %.1f, "
+                   "\"rtt_p50_us\": %.1f, \"rtt_p99_us\": %.1f}%s\n",
+                   configs[i].transport, configs[i].mode, configs[i].batch,
+                   results[i].events_per_sec, results[i].rtt_p50_us,
+                   results[i].rtt_p99_us,
+                   i + 1 < configs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"local_speedup_b32_prefetch\": %.3f,\n",
+                 local_speedup);
+    std::fprintf(f, "  \"tcp_speedup_b32_prefetch\": %.3f\n", tcp_speedup);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+  bool ok = true;
+  if (min_local > 0 && local_speedup < min_local) {
+    std::fprintf(stderr, "FAIL: local speedup %.2f < %.2f\n", local_speedup,
+                 min_local);
+    ok = false;
+  }
+  if (min_tcp > 0 && tcp_speedup < min_tcp) {
+    std::fprintf(stderr, "FAIL: tcp speedup %.2f < %.2f\n", tcp_speedup,
+                 min_tcp);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

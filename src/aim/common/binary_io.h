@@ -25,6 +25,14 @@ static_assert(std::endian::native == std::endian::little,
 /// aim/net transport, possibly over an actual socket.
 class BinaryWriter {
  public:
+  BinaryWriter() = default;
+  /// Starts from `buf` (cleared, capacity kept) — pairs with BufferPool so
+  /// serialize-heavy paths can reuse buffers instead of allocating.
+  explicit BinaryWriter(std::vector<std::uint8_t>&& buf)
+      : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void PutU8(std::uint8_t v) { Append(&v, 1); }
   void PutU16(std::uint16_t v) { Append(&v, 2); }
   void PutU32(std::uint32_t v) { Append(&v, 4); }

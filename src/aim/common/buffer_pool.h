@@ -1,0 +1,60 @@
+#ifndef AIM_COMMON_BUFFER_POOL_H_
+#define AIM_COMMON_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace aim {
+
+/// Bounded free-list of byte buffers for the event submit paths. Every
+/// submitted event used to allocate a fresh std::vector for its 64 wire
+/// bytes and free it after processing; at millions of events per second
+/// that is pure allocator churn. Producers Acquire() a recycled buffer
+/// (capacity retained from its last trip through the pipeline), the
+/// consumer Release()s it after decoding.
+///
+/// Thread-safe; overflow beyond `max_buffers` is simply dropped to the
+/// allocator, so the pool can never grow without bound.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers = 256)
+      : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer, reusing a pooled one when available.
+  std::vector<std::uint8_t> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Returns a buffer to the pool (dropped if the pool is full or the
+  /// buffer never allocated).
+  void Release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= max_buffers_) return;  // fall to the allocator
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  const std::size_t max_buffers_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_BUFFER_POOL_H_

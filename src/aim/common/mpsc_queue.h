@@ -83,14 +83,45 @@ class MpscQueue {
   /// Returns the number of items drained.
   template <typename Container>
   std::size_t DrainInto(Container* out) {
+    return DrainInto(out, 0);
+  }
+
+  /// Drain up to `max_items` queued items into `out` (appends); 0 = no
+  /// limit. The batched ESP service loops use the bounded form so one
+  /// wakeup grabs a whole batch in a single lock acquisition without
+  /// starving completion latency behind an unbounded backlog. Returns the
+  /// number of items drained.
+  template <typename Container>
+  std::size_t DrainInto(Container* out, std::size_t max_items) {
     std::unique_lock<typename P::Mutex> lock(mu_);
     std::size_t n = items_.size();
-    while (!items_.empty()) {
+    if (max_items != 0 && max_items < n) n = max_items;
+    for (std::size_t i = 0; i < n; ++i) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
     if (n > 0) not_full_.notify_all();
     return n;
+  }
+
+  /// Push a whole batch under one lock acquisition. All-or-nothing against
+  /// Close (returns false with no items enqueued if closed); a bounded
+  /// queue admits the batch even past capacity rather than deadlocking the
+  /// producer mid-batch — capacity is a pacing hint here, not a hard limit.
+  template <typename It>
+  bool PushAll(It first, It last) {
+    std::unique_lock<typename P::Mutex> lock(mu_);
+    if (closed_) return false;
+    if (first == last) return true;
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    for (It it = first; it != last; ++it) {
+      items_.push_back(std::move(*it));
+    }
+    not_empty_.notify_all();
+    return true;
   }
 
   void Close() {

@@ -1,0 +1,34 @@
+#ifndef AIM_COMMON_THREAD_NAME_H_
+#define AIM_COMMON_THREAD_NAME_H_
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include <cstdio>
+
+namespace aim {
+
+/// Names the calling thread for debuggers, /proc/<pid>/task/*/comm and
+/// `top -H`. The node and the transports run half a dozen service threads
+/// each; without names a stall investigation is guesswork about which
+/// blocked tid is the connection reader versus an ESP loop. Best-effort:
+/// a no-op off Linux, and the kernel truncates to 15 characters.
+inline void SetCurrentThreadName(const char* name) {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)name;
+#endif
+}
+
+/// Formatting variant for indexed service threads ("aim-esp-3").
+inline void SetCurrentThreadName(const char* prefix, unsigned index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s%u", prefix, index);
+  SetCurrentThreadName(buf);
+}
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_THREAD_NAME_H_

@@ -62,6 +62,35 @@ void EspEngine::InitFreshRecord(EntityId entity, const Event& event) {
 
 Status EspEngine::ProcessEvent(const Event& event,
                                std::vector<std::uint32_t>* fired) {
+  return ProcessOne(event, fired);
+}
+
+void EspEngine::ProcessBatch(std::span<const Event> events,
+                             BatchResult* result) {
+  const std::size_t n = events.size();
+  result->Reset(n);
+  const std::size_t d =
+      options_.prefetch_distance > 0
+          ? static_cast<std::size_t>(options_.prefetch_distance)
+          : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d > 0) {
+      // Two-stage group prefetch: warm the hash-index probe chain for the
+      // event d ahead, and the record bytes (whose address the now-warm
+      // index makes cheap to compute) for the next event. Hints only —
+      // the transaction below never depends on them.
+      if (i + d < n) store_->PrefetchIndex(events[i + d].caller);
+      if (i + 1 < n) {
+        store_->PrefetchRecord(events[i + 1].caller,
+                               options_.prefetch_main_lines);
+      }
+    }
+    result->statuses[i] = ProcessOne(events[i], &result->fired[i]);
+  }
+}
+
+Status EspEngine::ProcessOne(const Event& event,
+                             std::vector<std::uint32_t>* fired) {
   if (fired != nullptr) fired->clear();
   store_->EspCheckpoint();
 

@@ -1,0 +1,89 @@
+#include "aim/net/coalescing_writer.h"
+
+#include <utility>
+
+#include "aim/common/logging.h"
+
+namespace aim {
+namespace net {
+
+bool CoalescingWriter::Enqueue(std::vector<std::uint8_t> frame,
+                               bool* should_flush) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    *should_flush = false;
+    return false;
+  }
+  queue_.push_back(std::move(frame));
+  if (!in_flight_) {
+    in_flight_ = true;
+    *should_flush = true;
+  } else {
+    *should_flush = false;
+  }
+  return true;
+}
+
+Status CoalescingWriter::Flush(const Socket& socket,
+                               std::int64_t timeout_millis) {
+  std::vector<std::vector<std::uint8_t>> batch;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      AIM_DCHECK_MSG(in_flight_, "Flush without election");
+      if (queue_.empty() || failed_) {
+        in_flight_ = false;
+        idle_cv_.notify_all();
+        return failed_ ? Status::Internal("coalescing writer failed")
+                       : Status::OK();
+      }
+      batch.clear();
+      batch.swap(queue_);
+    }
+    Status st = SendFrames(socket, batch, timeout_millis);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_ = true;
+      queue_.clear();  // broken stream: nothing queued can be framed now
+      in_flight_ = false;
+      idle_cv_.notify_all();
+      return st;
+    }
+    if (metrics_.frames_coalesced != nullptr) {
+      metrics_.frames_coalesced->Record(batch.size());
+    }
+    if (metrics_.frames_sent != nullptr) {
+      metrics_.frames_sent->Add(batch.size());
+    }
+    if (metrics_.bytes_sent != nullptr) {
+      std::uint64_t bytes = 0;
+      for (const auto& f : batch) bytes += f.size();
+      metrics_.bytes_sent->Add(bytes);
+    }
+  }
+}
+
+bool CoalescingWriter::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+bool CoalescingWriter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void CoalescingWriter::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return !in_flight_; });
+}
+
+void CoalescingWriter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AIM_DCHECK_MSG(!in_flight_, "Reset while a flush is in flight");
+  failed_ = false;
+  queue_.clear();
+}
+
+}  // namespace net
+}  // namespace aim

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "aim/common/logging.h"
+#include "aim/esp/event.h"
+
 namespace aim {
 namespace net {
 
@@ -21,7 +24,7 @@ Status DecodeFrameHeader(const std::uint8_t* bytes, FrameHeader* header) {
   }
   const std::uint8_t type = in.GetU8();
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kRecordReply)) {
+      type > static_cast<std::uint8_t>(FrameType::kEventBatch)) {
     return Status::InvalidArgument("unknown frame type");
   }
   header->type = static_cast<FrameType>(type);
@@ -112,6 +115,10 @@ void EncodeHelloReply(const NodeChannel::NodeInfo& info, BinaryWriter* out) {
   out->PutU32(info.node_id);
   out->PutU32(info.num_partitions);
   out->PutU32(info.record_size);
+  // Capability bits, appended after the version-1 fields: old clients stop
+  // reading before them, new clients read them when present — so the same
+  // protocol version serves mixed-version deployments.
+  out->PutU32(info.features);
 }
 
 Status DecodeHelloReply(BinaryReader* in, NodeChannel::NodeInfo* info) {
@@ -120,6 +127,8 @@ Status DecodeHelloReply(BinaryReader* in, NodeChannel::NodeInfo* info) {
   info->num_partitions = in->GetU32();
   info->record_size = in->GetU32();
   if (!in->ok()) return Status::InvalidArgument("malformed hello reply");
+  // Optional trailing capability bits (absent from old servers = 0).
+  info->features = in->remaining() >= 4 ? in->GetU32() : 0;
   if (version != kProtocolVersion) {
     return Status::Unsupported("protocol version mismatch");
   }
@@ -202,6 +211,40 @@ Status DecodeRecordReply(BinaryReader* in, Status* status,
   row->resize(row_size);
   if (row_size > 0 && !in->GetBytes(row->data(), row_size)) {
     return Status::InvalidArgument("malformed record reply");
+  }
+  return Status::OK();
+}
+
+// The EVENT_BATCH payload concatenates kEvent payloads verbatim; pin the
+// entry size to the event wire format so a schema-side change can't skew
+// the framing silently.
+static_assert(kEventBatchEntrySize == kEventWireSize,
+              "EVENT_BATCH entries are kEvent payloads");
+
+void EncodeEventBatch(const std::vector<EventMessage>& batch,
+                      BinaryWriter* out) {
+  out->PutU32(static_cast<std::uint32_t>(batch.size()));
+  for (const EventMessage& msg : batch) {
+    AIM_DCHECK(msg.bytes.size() == kEventBatchEntrySize);
+    out->PutBytes(msg.bytes.data(), kEventBatchEntrySize);
+  }
+}
+
+Status DecodeEventBatch(BinaryReader* in,
+                        std::vector<std::vector<std::uint8_t>>* events) {
+  events->clear();
+  const std::uint32_t n = in->GetU32();
+  if (!in->ok() || n > kMaxEventBatchCount ||
+      in->remaining() != static_cast<std::size_t>(n) * kEventBatchEntrySize) {
+    return Status::InvalidArgument("malformed event batch");
+  }
+  events->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> event(kEventBatchEntrySize);
+    if (!in->GetBytes(event.data(), kEventBatchEntrySize)) {
+      return Status::InvalidArgument("malformed event batch");
+    }
+    events->push_back(std::move(event));
   }
   return Status::OK();
 }

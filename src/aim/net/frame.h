@@ -33,13 +33,14 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,         // client -> server: protocol version
-  kHelloReply = 2,    // server -> client: version + NodeInfo
+  kHelloReply = 2,    // server -> client: version + NodeInfo [+ features]
   kEvent = 3,         // 64-byte event wire format
   kEventReply = 4,    // status + fired rule ids
   kQuery = 5,         // serialized Query
   kQueryReply = 6,    // serialized PartialResult (empty = failed/shutdown)
   kRecordRequest = 7, // kind + entity + expected_version + row
   kRecordReply = 8,   // status + version + row
+  kEventBatch = 9,    // count + count x 64-byte events (batched ingest)
 };
 
 /// kEvent flag: no reply wanted (fire-and-forget submission).
@@ -96,6 +97,24 @@ void EncodeRecordReply(const Status& status,
                        BinaryWriter* out);
 Status DecodeRecordReply(BinaryReader* in, Status* status,
                          std::vector<std::uint8_t>* row, Version* version);
+
+/// EVENT_BATCH payload: u32 count, then exactly count concatenated 64-byte
+/// event payloads — each entry is byte-identical to a kEvent payload, so
+/// batching never re-encodes events. Old peers that don't know the type
+/// reject the frame at the header (their DecodeFrameHeader range check),
+/// which is why senders gate it on NodeChannel::kFeatureEventBatch.
+inline constexpr std::size_t kEventBatchEntrySize = 64;
+/// Largest count a well-formed EVENT_BATCH payload can announce.
+inline constexpr std::uint32_t kMaxEventBatchCount =
+    (kMaxFramePayload - 4) / kEventBatchEntrySize;
+
+void EncodeEventBatch(const std::vector<EventMessage>& batch,
+                      BinaryWriter* out);
+/// Splits a batch payload back into per-event byte vectors (cleared first;
+/// each decoded vector is exactly kEventBatchEntrySize bytes). The count
+/// must match the payload size exactly — any truncation or excess fails.
+Status DecodeEventBatch(BinaryReader* in,
+                        std::vector<std::vector<std::uint8_t>>* events);
 
 }  // namespace net
 }  // namespace aim

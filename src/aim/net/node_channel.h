@@ -27,12 +27,20 @@ namespace aim {
 ///    (events, records) or an empty payload (queries).
 class NodeChannel {
  public:
+  /// Optional-capability bits carried in NodeInfo::features. A peer that
+  /// predates a bit simply never sets it (the hello-reply codec tolerates
+  /// the shorter payload), so capabilities degrade gracefully across
+  /// mixed-version deployments.
+  static constexpr std::uint32_t kFeatureEventBatch = 1u << 0;
+
   /// Identity the channel learned about its node (TCP: via the hello
   /// handshake). record_size lets remote peers sanity-check their schema.
   struct NodeInfo {
     NodeId node_id = 0;
     std::uint32_t num_partitions = 1;
     std::uint32_t record_size = 0;
+    /// kFeature* capability bits the node supports (0 from old peers).
+    std::uint32_t features = 0;
   };
 
   virtual ~NodeChannel() = default;
@@ -43,6 +51,21 @@ class NodeChannel {
   /// null (fire-and-forget; remote channels then ship it without a reply).
   virtual bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
                            EventCompletion* completion) = 0;
+
+  /// Enqueues a whole batch of serialized events in order. Returns the
+  /// number of events accepted — always a prefix of `batch` (the first
+  /// rejected event stops the submission; completions of unaccepted events
+  /// are never invoked, same contract as SubmitEvent). Channels override
+  /// this to amortize per-event costs (one queue lock, one EVENT_BATCH
+  /// frame); the default forwards event-at-a-time.
+  virtual std::size_t SubmitEventBatch(std::vector<EventMessage>&& batch) {
+    std::size_t accepted = 0;
+    for (EventMessage& msg : batch) {
+      if (!SubmitEvent(std::move(msg.bytes), msg.completion)) break;
+      ++accepted;
+    }
+    return accepted;
+  }
 
   /// Enqueues a serialized query; `reply` receives the node's serialized
   /// PartialResult (empty payload on shutdown or lost connection).

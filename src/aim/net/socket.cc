@@ -8,8 +8,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 
@@ -194,6 +196,80 @@ Status SendAll(const Socket& socket, const void* data, std::size_t size,
       continue;
     }
     return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+namespace {
+// relaxed everywhere below: a monotone process-wide syscall counter for
+// test observability; no data is published through it.
+std::atomic<std::uint64_t> g_sendframes_syscalls{0};
+}  // namespace
+
+std::uint64_t SendFramesSyscalls() {
+  // relaxed: monotone counter, see above.
+  return g_sendframes_syscalls.load(std::memory_order_relaxed);
+}
+
+Status SendFrames(const Socket& socket,
+                  const std::vector<std::vector<std::uint8_t>>& frames,
+                  std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  // Modest iovec batch: far below any platform IOV_MAX, and 64 frames per
+  // syscall already amortizes the per-write cost to noise.
+  constexpr std::size_t kMaxIov = 64;
+  struct iovec iov[kMaxIov];
+
+  std::size_t next = 0;       // first frame not yet fully sent
+  std::size_t offset = 0;     // bytes of frames[next] already sent
+  while (next < frames.size()) {
+    std::size_t niov = 0;
+    for (std::size_t i = next; i < frames.size() && niov < kMaxIov; ++i) {
+      const std::vector<std::uint8_t>& f = frames[i];
+      const std::size_t skip = (i == next) ? offset : 0;
+      if (f.size() <= skip) continue;  // empty (or fully sent) frame
+      iov[niov].iov_base =
+          const_cast<std::uint8_t*>(f.data() + skip);
+      iov[niov].iov_len = f.size() - skip;
+      ++niov;
+    }
+    if (niov == 0) break;  // only empty frames left
+
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(socket.fd(), &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      // relaxed: monotone counter, see above.
+      g_sendframes_syscalls.fetch_add(1, std::memory_order_relaxed);
+      // Advance (next, offset) past the n bytes the kernel accepted.
+      std::size_t left = static_cast<std::size_t>(n);
+      while (next < frames.size() && left > 0) {
+        const std::size_t pending = frames[next].size() - offset;
+        if (left < pending) {
+          offset += left;
+          left = 0;
+        } else {
+          left -= pending;
+          ++next;
+          offset = 0;
+        }
+      }
+      while (next < frames.size() && frames[next].size() == offset) {
+        ++next;
+        offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = PollFor(socket.fd(), POLLOUT, deadline);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    return ErrnoStatus("sendmsg");
   }
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "aim/common/status.h"
 
@@ -71,6 +72,18 @@ Status WaitReadable(const Socket& socket, std::int64_t timeout_millis);
 /// Writes exactly `size` bytes (poll+send loop, SIGPIPE suppressed).
 Status SendAll(const Socket& socket, const void* data, std::size_t size,
                std::int64_t timeout_millis);
+
+/// Gather-writes every buffer in `frames` back to back (vectored writev
+/// loop honouring IOV_MAX and partial writes; SIGPIPE suppressed). One
+/// syscall typically carries many frames — the transmit half of the
+/// coalescing writer (docs/NETWORKING.md). Empty buffers are skipped.
+Status SendFrames(const Socket& socket,
+                  const std::vector<std::vector<std::uint8_t>>& frames,
+                  std::int64_t timeout_millis);
+
+/// Number of writev calls SendFrames has issued process-wide (test
+/// observability for the coalescing contract; relaxed counter).
+std::uint64_t SendFramesSyscalls();
 
 /// Reads exactly `size` bytes (poll+recv loop). Orderly EOF before the
 /// first byte reports kShutdown; EOF mid-message reports kInternal (a

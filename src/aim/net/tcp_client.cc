@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "aim/common/thread_name.h"
+
 namespace aim {
 namespace net {
 
@@ -38,6 +40,12 @@ TcpClient::TcpClient(const Options& options)
   reconnects_ = metrics_->GetCounter("aim_net_reconnects_total", labels);
   timeouts_ = metrics_->GetCounter("aim_net_timeouts_total", labels);
   frame_errors_ = metrics_->GetCounter("aim_net_frame_errors_total", labels);
+  CoalescingWriter::Metrics wm;
+  wm.frames_sent = frames_sent_;
+  wm.bytes_sent = bytes_sent_;
+  wm.frames_coalesced =
+      metrics_->GetHistogram("aim_net_frames_coalesced", labels);
+  writer_.AttachMetrics(wm);
 }
 
 TcpClient::~TcpClient() { Close(); }
@@ -57,6 +65,9 @@ void TcpClient::Close() {
   }
   FailPending(std::move(orphaned), Status::Shutdown("client closed"));
   if (receiver_.joinable()) receiver_.join();
+  // A late flusher may still be gather-writing on the (shut down) socket;
+  // the fd must stay reserved until it stands down.
+  writer_.WaitIdle();
   std::lock_guard<std::mutex> lock(mu_);
   sock_.Close();
 }
@@ -84,6 +95,12 @@ Status TcpClient::EnsureConnectedLocked() {
     }
     receiver_.join();
   }
+  // Same for a flusher still draining onto the dead socket: closing the fd
+  // under it would let the kernel recycle the descriptor mid-writev.
+  if (writer_.busy()) {
+    return Status::Internal("previous connection still closing");
+  }
+  writer_.Reset();
   sock_.Close();
 
   const std::int64_t now = NowMillis();
@@ -178,32 +195,44 @@ void TcpClient::FailPending(std::vector<Pending> pending,
   }
 }
 
-bool TcpClient::WriteFrameLocked(FrameType type, std::uint8_t flags,
-                                 std::uint64_t request_id,
-                                 const std::uint8_t* payload,
-                                 std::size_t payload_size) {
-  const std::vector<std::uint8_t> frame =
-      BuildFrame(type, flags, request_id, payload, payload_size);
-  Status st = SendAll(sock_, frame.data(), frame.size(),
-                      options_.write_timeout_millis);
-  if (!st.ok()) return false;
-  frames_sent_->Add();
-  bytes_sent_->Add(frame.size());
-  return true;
+bool TcpClient::EnqueueFrameLocked(FrameType type, std::uint8_t flags,
+                                   std::uint64_t request_id,
+                                   const std::uint8_t* payload,
+                                   std::size_t payload_size,
+                                   bool* should_flush) {
+  bool elected = false;
+  const bool ok = writer_.Enqueue(
+      BuildFrame(type, flags, request_id, payload, payload_size), &elected);
+  if (elected) *should_flush = true;
+  return ok;
+}
+
+void TcpClient::FlushWriter(bool should_flush) {
+  if (!should_flush) return;
+  Status st = writer_.Flush(sock_, options_.write_timeout_millis);
+  if (st.ok()) return;
+  // Write failure: the stream is broken, so every outstanding request is
+  // as lost as its frame. Tear down and fail them immediately.
+  std::vector<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connected_) orphaned = DisconnectLocked();
+  }
+  FailPending(std::move(orphaned),
+              Status::DeadlineExceeded("connection lost"));
 }
 
 bool TcpClient::SubmitEvent(std::vector<std::uint8_t> event_bytes,
                             EventCompletion* completion) {
-  std::vector<Pending> orphaned;
   bool accepted = false;
+  bool should_flush = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
     if (completion == nullptr) {
-      accepted = WriteFrameLocked(FrameType::kEvent, kFlagNoReply,
-                                  /*request_id=*/0, event_bytes.data(),
-                                  event_bytes.size());
-      if (!accepted) orphaned = DisconnectLocked();
+      accepted = EnqueueFrameLocked(FrameType::kEvent, kFlagNoReply,
+                                    /*request_id=*/0, event_bytes.data(),
+                                    event_bytes.size(), &should_flush);
     } else {
       const std::uint64_t id = next_request_id_++;
       Pending pending;
@@ -211,26 +240,89 @@ bool TcpClient::SubmitEvent(std::vector<std::uint8_t> event_bytes,
       pending.deadline_millis =
           NowMillis() + options_.request_timeout_millis;
       outstanding_.emplace(id, std::move(pending));
-      accepted = WriteFrameLocked(FrameType::kEvent, 0, id,
-                                  event_bytes.data(), event_bytes.size());
-      if (!accepted) {
-        // Contract: false means the completion is never touched — remove
-        // our own entry before failing the rest.
-        outstanding_.erase(id);
-        orphaned = DisconnectLocked();
-      }
+      accepted = EnqueueFrameLocked(FrameType::kEvent, 0, id,
+                                    event_bytes.data(), event_bytes.size(),
+                                    &should_flush);
+      // Contract: false means the completion is never touched — remove
+      // our own entry again.
+      if (!accepted) outstanding_.erase(id);
     }
   }
-  FailPending(std::move(orphaned),
-              Status::DeadlineExceeded("connection lost"));
+  FlushWriter(should_flush);
+  return accepted;
+}
+
+std::size_t TcpClient::SubmitEventBatch(std::vector<EventMessage>&& batch) {
+  if (batch.empty()) return 0;
+  std::size_t accepted = 0;
+  bool should_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!EnsureConnectedLocked().ok()) return 0;
+    const bool server_batches =
+        (info_.features & kFeatureEventBatch) != 0;
+    bool writer_ok = true;
+
+    // Pending run of fire-and-forget events, shipped as one EVENT_BATCH
+    // frame where the server understands it.
+    std::vector<EventMessage> run;
+    auto ship_run = [&]() {
+      if (run.empty() || !writer_ok) return;
+      if (server_batches && run.size() > 1) {
+        BinaryWriter payload;
+        EncodeEventBatch(run, &payload);
+        writer_ok = EnqueueFrameLocked(
+            FrameType::kEventBatch, kFlagNoReply, /*request_id=*/0,
+            payload.buffer().data(), payload.size(), &should_flush);
+        if (writer_ok) accepted += run.size();
+      } else {
+        for (EventMessage& msg : run) {
+          writer_ok = EnqueueFrameLocked(
+              FrameType::kEvent, kFlagNoReply, /*request_id=*/0,
+              msg.bytes.data(), msg.bytes.size(), &should_flush);
+          if (!writer_ok) break;
+          ++accepted;
+        }
+      }
+      run.clear();
+    };
+
+    for (EventMessage& msg : batch) {
+      if (!writer_ok) break;
+      if (msg.completion == nullptr) {
+        run.push_back(std::move(msg));
+        continue;
+      }
+      // Reply-wanted events keep per-event frames: each needs its own
+      // request id and its exact per-event status + fired rules.
+      ship_run();
+      if (!writer_ok) break;
+      const std::uint64_t id = next_request_id_++;
+      Pending pending;
+      pending.completion = msg.completion;
+      pending.deadline_millis =
+          NowMillis() + options_.request_timeout_millis;
+      outstanding_.emplace(id, std::move(pending));
+      writer_ok = EnqueueFrameLocked(FrameType::kEvent, 0, id,
+                                     msg.bytes.data(), msg.bytes.size(),
+                                     &should_flush);
+      if (!writer_ok) {
+        outstanding_.erase(id);
+        break;
+      }
+      ++accepted;
+    }
+    ship_run();
+  }
+  FlushWriter(should_flush);
   return accepted;
 }
 
 bool TcpClient::SubmitQuery(
     std::vector<std::uint8_t> query_bytes,
     std::function<void(std::vector<std::uint8_t>&&)> reply) {
-  std::vector<Pending> orphaned;
   bool accepted = false;
+  bool should_flush = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
@@ -239,23 +331,20 @@ bool TcpClient::SubmitQuery(
     pending.query_reply = std::move(reply);
     pending.deadline_millis = NowMillis() + options_.request_timeout_millis;
     auto [it, inserted] = outstanding_.emplace(id, std::move(pending));
-    accepted = WriteFrameLocked(FrameType::kQuery, 0, id, query_bytes.data(),
-                                query_bytes.size());
-    if (!accepted) {
-      outstanding_.erase(it);
-      orphaned = DisconnectLocked();
-    }
+    accepted = EnqueueFrameLocked(FrameType::kQuery, 0, id,
+                                  query_bytes.data(), query_bytes.size(),
+                                  &should_flush);
+    if (!accepted) outstanding_.erase(it);
   }
-  FailPending(std::move(orphaned),
-              Status::DeadlineExceeded("connection lost"));
+  FlushWriter(should_flush);
   return accepted;
 }
 
 bool TcpClient::SubmitRecordRequest(RecordRequest request) {
   BinaryWriter payload;
   EncodeRecordRequest(request, &payload);
-  std::vector<Pending> orphaned;
   bool accepted = false;
+  bool should_flush = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
@@ -264,15 +353,12 @@ bool TcpClient::SubmitRecordRequest(RecordRequest request) {
     pending.record_reply = std::move(request.reply);
     pending.deadline_millis = NowMillis() + options_.request_timeout_millis;
     auto [it, inserted] = outstanding_.emplace(id, std::move(pending));
-    accepted = WriteFrameLocked(FrameType::kRecordRequest, 0, id,
-                                payload.buffer().data(), payload.size());
-    if (!accepted) {
-      outstanding_.erase(it);
-      orphaned = DisconnectLocked();
-    }
+    accepted = EnqueueFrameLocked(FrameType::kRecordRequest, 0, id,
+                                  payload.buffer().data(), payload.size(),
+                                  &should_flush);
+    if (!accepted) outstanding_.erase(it);
   }
-  FailPending(std::move(orphaned),
-              Status::DeadlineExceeded("connection lost"));
+  FlushWriter(should_flush);
   return accepted;
 }
 
@@ -290,6 +376,7 @@ Status TcpClient::EventRoundTrip(std::vector<std::uint8_t> event_bytes,
 }
 
 void TcpClient::ReceiverLoop() {
+  SetCurrentThreadName("aim-cli-rx");
   std::uint8_t header_bytes[kFrameHeaderSize];
   for (;;) {
     Status readable = WaitReadable(sock_, kReceiverPollMillis);

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
 #include "aim/net/node_channel.h"
 #include "aim/net/socket.h"
@@ -71,6 +72,14 @@ class TcpClient : public NodeChannel {
   NodeInfo info() const override;
   bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
                    EventCompletion* completion) override;
+  /// Batched submission. Runs of fire-and-forget events ship as one
+  /// EVENT_BATCH frame when the server advertised kFeatureEventBatch
+  /// (falling back to per-event kEvent frames against old servers);
+  /// reply-wanted events always use per-event frames so each keeps its
+  /// exact per-event reply. Either way all frames of the batch enter the
+  /// coalescing writer under one lock hold and typically leave in one
+  /// writev.
+  std::size_t SubmitEventBatch(std::vector<EventMessage>&& batch) override;
   bool SubmitQuery(
       std::vector<std::uint8_t> query_bytes,
       std::function<void(std::vector<std::uint8_t>&&)> reply) override;
@@ -97,10 +106,16 @@ class TcpClient : public NodeChannel {
   /// Marks the connection lost, wakes the receiver and fails every
   /// outstanding request (outside the lock, via the returned list).
   std::vector<Pending> DisconnectLocked();
-  bool WriteFrameLocked(FrameType type, std::uint8_t flags,
-                        std::uint64_t request_id,
-                        const std::uint8_t* payload,
-                        std::size_t payload_size);
+  /// Queues one frame on the coalescing writer (under mu_). Returns false
+  /// if the writer has failed; `*should_flush` tells the caller to run
+  /// FlushWriter after releasing mu_.
+  bool EnqueueFrameLocked(FrameType type, std::uint8_t flags,
+                          std::uint64_t request_id,
+                          const std::uint8_t* payload,
+                          std::size_t payload_size, bool* should_flush);
+  /// Runs the elected flush outside mu_; a write failure tears the
+  /// connection down (outstanding requests fail immediately).
+  void FlushWriter(bool should_flush);
   void FailPending(std::vector<Pending> pending, const Status& status);
   void ReceiverLoop();
   void DispatchReply(const FrameHeader& header,
@@ -111,6 +126,10 @@ class TcpClient : public NodeChannel {
 
   mutable std::mutex mu_;
   Socket sock_;
+  // Write path: frames enter under mu_, the elected flusher gather-writes
+  // them outside mu_ (sock_ is never closed or reassigned while the writer
+  // is busy — EnsureConnectedLocked and Close wait it out first).
+  CoalescingWriter writer_;
   bool connected_ = false;
   bool closed_ = false;
   bool ever_connected_ = false;

@@ -1,6 +1,7 @@
 #include "aim/net/tcp_server.h"
 
 #include "aim/common/logging.h"
+#include "aim/common/thread_name.h"
 
 namespace aim {
 namespace net {
@@ -44,6 +45,8 @@ Status TcpServer::Start() {
   connections_total_ =
       metrics_->GetCounter("aim_net_connections_total", labels);
   connections_gauge_ = metrics_->GetGauge("aim_net_connections", labels);
+  frames_coalesced_ =
+      metrics_->GetHistogram("aim_net_frames_coalesced", labels);
 
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -87,6 +90,7 @@ void TcpServer::PruneFinished() {
 }
 
 void TcpServer::AcceptLoop() {
+  SetCurrentThreadName("aim-accept");
   while (running()) {
     StatusOr<Socket> accepted = Accept(listener_, kStopPollMillis);
     if (!accepted.ok()) {
@@ -110,6 +114,11 @@ void TcpServer::AcceptLoop() {
     }
     auto state = std::make_shared<ConnectionState>();
     state->sock = std::move(accepted).value();
+    CoalescingWriter::Metrics wm;
+    wm.frames_sent = frames_sent_;
+    wm.bytes_sent = bytes_sent_;
+    wm.frames_coalesced = frames_coalesced_;
+    state->writer.AttachMetrics(wm);
     connections_total_->Add();
     Connection conn;
     conn.state = state;
@@ -125,30 +134,24 @@ void TcpServer::AcceptLoop() {
 void TcpServer::WriteFrame(ConnectionState* state, FrameType type,
                            std::uint64_t request_id,
                            const BinaryWriter& payload) {
-  FrameHeader header;
-  header.type = type;
-  header.request_id = request_id;
-  header.payload_size = static_cast<std::uint32_t>(payload.size());
-  BinaryWriter frame;
-  EncodeFrameHeader(header, &frame);
-  if (payload.size() > 0) {
-    frame.PutBytes(payload.buffer().data(), payload.size());
-  }
-
-  std::lock_guard<std::mutex> lock(state->write_mu);
   if (!state->open.load(std::memory_order_acquire)) return;
-  Status st = SendAll(state->sock, frame.buffer().data(), frame.size(),
-                      options_.io_timeout_millis);
+  bool should_flush = false;
+  if (!state->writer.Enqueue(
+          BuildFrame(type, 0, request_id, payload.buffer().data(),
+                     payload.size()),
+          &should_flush)) {
+    return;  // writer already failed; the connection is going down
+  }
+  if (!should_flush) return;  // an active flusher will carry this frame
+  Status st = state->writer.Flush(state->sock, options_.io_timeout_millis);
   if (!st.ok()) {
     state->open.store(false, std::memory_order_release);
     state->sock.ShutdownBoth();
-    return;
   }
-  frames_sent_->Add();
-  bytes_sent_->Add(frame.size());
 }
 
 void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
+  SetCurrentThreadName("aim-conn");
   std::uint8_t header_bytes[kFrameHeaderSize];
   std::vector<std::uint8_t> payload;
 
@@ -194,7 +197,11 @@ void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
           break;
         }
         BinaryWriter reply;
-        EncodeHelloReply(node_->info(), &reply);
+        // Advertise the transport's own capabilities on top of the node's:
+        // this server decodes EVENT_BATCH whatever channel backs it.
+        NodeChannel::NodeInfo info = node_->info();
+        info.features |= NodeChannel::kFeatureEventBatch;
+        EncodeHelloReply(info, &reply);
         WriteFrame(state.get(), FrameType::kHelloReply, header.request_id,
                    reply);
         break;
@@ -221,6 +228,56 @@ void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
           EncodeEventReply(completion.status, completion.fired_rules,
                            &reply);
         }
+        WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
+                   reply);
+        break;
+      }
+
+      case FrameType::kEventBatch: {
+        BinaryReader in(payload);
+        std::vector<std::vector<std::uint8_t>> events;
+        if (!DecodeEventBatch(&in, &events).ok()) {
+          // Count/size mismatch inside the payload: framing-level garbage.
+          frame_errors_->Add();
+          state->open.store(false, std::memory_order_release);
+          break;
+        }
+        if ((header.flags & kFlagNoReply) != 0) {
+          std::vector<EventMessage> batch;
+          batch.reserve(events.size());
+          for (std::vector<std::uint8_t>& bytes : events) {
+            EventMessage msg;
+            msg.bytes = std::move(bytes);
+            batch.push_back(std::move(msg));
+          }
+          node_->SubmitEventBatch(std::move(batch));
+          break;
+        }
+        // Reply-wanted batch: per-event completions on the node, one
+        // aggregated kEventReply (first failure's status, no fired rules
+        // — clients needing per-event replies use per-event frames).
+        std::vector<EventCompletion> completions(events.size());
+        std::vector<EventMessage> batch;
+        batch.reserve(events.size());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          EventMessage msg;
+          msg.bytes = std::move(events[i]);
+          msg.completion = &completions[i];
+          batch.push_back(std::move(msg));
+        }
+        const std::size_t accepted =
+            node_->SubmitEventBatch(std::move(batch));
+        Status agg = accepted == completions.size()
+                         ? Status::OK()
+                         : Status::Shutdown("node stopped");
+        for (std::size_t i = 0; i < accepted; ++i) {
+          completions[i].Wait();  // in-process node: guaranteed to drain
+          if (agg.ok() && !completions[i].status.ok()) {
+            agg = completions[i].status;
+          }
+        }
+        BinaryWriter reply;
+        EncodeEventReply(agg, {}, &reply);
         WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
                    reply);
         break;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
 #include "aim/net/node_channel.h"
 #include "aim/net/socket.h"
@@ -70,7 +71,10 @@ class TcpServer {
   /// one.
   struct ConnectionState {
     Socket sock;
-    std::mutex write_mu;
+    /// Reply frames from the handler and the node's service threads are
+    /// coalesced per connection: whoever is elected flusher gather-writes
+    /// everything queued meanwhile with one writev.
+    CoalescingWriter writer;
     std::atomic<bool> open{true};
     std::atomic<bool> done{false};  // handler thread exited
   };
@@ -82,8 +86,9 @@ class TcpServer {
 
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<ConnectionState> state);
-  /// Serializes one frame and writes it under the connection write lock.
-  /// Any failure marks the connection closed.
+  /// Serializes one frame and queues it on the connection's coalescing
+  /// writer (flushing when elected). Any write failure marks the
+  /// connection closed.
   void WriteFrame(ConnectionState* state, FrameType type,
                   std::uint64_t request_id, const BinaryWriter& payload);
   void PruneFinished();
@@ -108,6 +113,7 @@ class TcpServer {
   Counter* frame_errors_ = nullptr;
   Counter* connections_total_ = nullptr;
   Gauge* connections_gauge_ = nullptr;
+  AtomicHistogram* frames_coalesced_ = nullptr;
 };
 
 }  // namespace net

@@ -43,10 +43,13 @@ void AimCluster::Stop() {
 
 bool AimCluster::IngestEvent(const Event& event,
                              EventCompletion* completion) {
-  BinaryWriter writer;
+  StorageNode* node = nodes_[NodeOf(event.caller)].get();
+  // Serialize into a recycled buffer: the node's ESP loop releases every
+  // processed event's bytes back into this pool, so steady-state ingest
+  // allocates nothing per event.
+  BinaryWriter writer(node->event_buffer_pool().Acquire());
   event.Serialize(&writer);
-  return nodes_[NodeOf(event.caller)]->SubmitEvent(writer.TakeBuffer(),
-                                                   completion);
+  return node->SubmitEvent(writer.TakeBuffer(), completion);
 }
 
 StorageNode::NodeStats AimCluster::TotalStats() const {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "aim/common/logging.h"
+#include "aim/common/thread_name.h"
 #include "aim/esp/rule_eval.h"
 #include "aim/esp/update_kernel.h"
 #include "aim/schema/record.h"
@@ -84,9 +85,10 @@ Status EspTierNode::Start() {
     return Status::InvalidArgument("already running");
   }
   running_.store(true, std::memory_order_release);
-  for (auto& worker : workers_) {
-    Worker* raw = worker.get();
-    worker->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker* raw = workers_[i].get();
+    raw->index = static_cast<std::uint32_t>(i);
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
   }
   return Status::OK();
 }
@@ -117,6 +119,7 @@ bool EspTierNode::SubmitEvent(std::vector<std::uint8_t> event_bytes,
 }
 
 void EspTierNode::WorkerLoop(Worker* worker) {
+  SetCurrentThreadName("aim-tier-", worker->index);
   UpdateProgram program(*schema_, sys_.preferred_number);
   RuleEvaluator evaluator(rules_);
   FiringPolicyTracker policy_tracker;
@@ -126,116 +129,129 @@ void EspTierNode::WorkerLoop(Worker* worker) {
   // the steady state stays allocation-free.
   auto rendezvous = std::make_shared<Rendezvous>();
   const std::uint32_t record_size = schema_->record_size();
+  // Persistent drain buffer: one queue lock acquisition admits up to
+  // max_event_batch events; processing (and completion) stays per event.
+  std::vector<EventMessage> batch;
+  const std::size_t max_batch =
+      options_.max_event_batch > 0 ? options_.max_event_batch : 1;
 
   while (true) {
-    std::optional<EventMessage> msg = worker->queue.Pop();
-    if (!msg.has_value()) break;  // queue closed and drained
+    batch.clear();
+    if (worker->queue.DrainInto(&batch, max_batch) == 0) {
+      // Empty: fall back to the blocking Pop, which also detects close.
+      std::optional<EventMessage> msg = worker->queue.Pop();
+      if (!msg.has_value()) break;  // queue closed and drained
+      batch.push_back(std::move(*msg));
+    }
 
-    BinaryReader reader(msg->bytes);
-    const Event event = Event::Deserialize(&reader);
+    for (EventMessage& queued : batch) {
+      BinaryReader reader(queued.bytes);
+      const Event event = Event::Deserialize(&reader);
 
-    matched.clear();
-    Status result = Status::Conflict("retries exhausted");
-    for (int attempt = 0; attempt < options_.max_txn_retries; ++attempt) {
-      // Remote Get: the full Entity Record crosses the wire.
-      rendezvous->Reset();
-      RecordRequest get;
-      get.kind = RecordRequest::Kind::kGet;
-      get.entity = event.caller;
-      get.reply = [rv = rendezvous](Status st,
-                                    std::vector<std::uint8_t>&& row,
-                                    Version v) {
-        rv->Complete(std::move(st), std::move(row), v);
-      };
-      if (!channel_->SubmitRecordRequest(std::move(get))) {
-        result = Status::Shutdown();
-        break;
-      }
-      if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
-        result = Status::DeadlineExceeded("record get reply timed out");
-        rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
-        break;
-      }
-
-      bool fresh = false;
-      std::vector<std::uint8_t> row;
-      Version version = 0;
-      if (rendezvous->status.ok()) {
-        row = std::move(rendezvous->row);
-        // relaxed: monitoring counter; no ordering with the record data.
-        record_bytes_shipped_.fetch_add(row.size(),
-                                        std::memory_order_relaxed);
-        version = rendezvous->version;
-      } else if (rendezvous->status.IsNotFound()) {
-        row.assign(record_size, 0);
-        RecordView rec(schema_, row.data());
-        if (sys_.entity_id != kInvalidAttr) {
-          rec.SetAs<std::uint64_t>(sys_.entity_id, event.caller);
+      matched.clear();
+      Status result = Status::Conflict("retries exhausted");
+      for (int attempt = 0; attempt < options_.max_txn_retries; ++attempt) {
+        // Remote Get: the full Entity Record crosses the wire.
+        rendezvous->Reset();
+        RecordRequest get;
+        get.kind = RecordRequest::Kind::kGet;
+        get.entity = event.caller;
+        get.reply = [rv = rendezvous](Status st,
+                                      std::vector<std::uint8_t>&& row,
+                                      Version v) {
+          rv->Complete(std::move(st), std::move(row), v);
+        };
+        if (!channel_->SubmitRecordRequest(std::move(get))) {
+          result = Status::Shutdown();
+          break;
         }
-        fresh = true;
-      } else {
+        if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
+          result = Status::DeadlineExceeded("record get reply timed out");
+          rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
+          break;
+        }
+
+        bool fresh = false;
+        std::vector<std::uint8_t> row;
+        Version version = 0;
+        if (rendezvous->status.ok()) {
+          row = std::move(rendezvous->row);
+          // relaxed: monitoring counter; no ordering with the record data.
+          record_bytes_shipped_.fetch_add(row.size(),
+                                          std::memory_order_relaxed);
+          version = rendezvous->version;
+        } else if (rendezvous->status.IsNotFound()) {
+          row.assign(record_size, 0);
+          RecordView rec(schema_, row.data());
+          if (sys_.entity_id != kInvalidAttr) {
+            rec.SetAs<std::uint64_t>(sys_.entity_id, event.caller);
+          }
+          fresh = true;
+        } else {
+          result = rendezvous->status;
+          break;
+        }
+
+        // Local processing on the ESP node: update program + rules.
+        program.Apply(event, row.data());
+        if (sys_.last_event_ts != kInvalidAttr) {
+          RecordView(schema_, row.data())
+              .SetAs<std::int64_t>(sys_.last_event_ts, event.timestamp);
+        }
+        evaluator.Evaluate(event, ConstRecordView(schema_, row.data()),
+                           &matched);
+        policy_tracker.Filter(*rules_, event.caller, event.timestamp,
+                              &matched);
+
+        // Remote Put: the record crosses the wire again.
+        rendezvous->Reset();
+        RecordRequest put;
+        put.kind = fresh ? RecordRequest::Kind::kInsert
+                         : RecordRequest::Kind::kPut;
+        put.entity = event.caller;
+        put.row = std::move(row);
+        put.expected_version = version;
+        // relaxed: monitoring counter.
+        record_bytes_shipped_.fetch_add(record_size,
+                                        std::memory_order_relaxed);
+        put.reply = [rv = rendezvous](Status st, std::vector<std::uint8_t>&& b,
+                                      Version v) {
+          rv->Complete(std::move(st), std::move(b), v);
+        };
+        if (!channel_->SubmitRecordRequest(std::move(put))) {
+          result = Status::Shutdown();
+          break;
+        }
+        if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
+          result = Status::DeadlineExceeded("record put reply timed out");
+          rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
+          break;
+        }
+        if (rendezvous->status.ok()) {
+          result = Status::OK();
+          break;
+        }
+        if (rendezvous->status.IsConflict()) {
+          // relaxed: monitoring counter.
+          txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
+          continue;  // restart the single-row transaction
+        }
         result = rendezvous->status;
         break;
       }
 
-      // Local processing on the ESP node: update program + rules.
-      program.Apply(event, row.data());
-      if (sys_.last_event_ts != kInvalidAttr) {
-        RecordView(schema_, row.data())
-            .SetAs<std::int64_t>(sys_.last_event_ts, event.timestamp);
+      // relaxed: monitoring counters; stats() tolerates torn snapshots.
+      if (result.ok()) {
+        events_processed_.fetch_add(1, std::memory_order_relaxed);
+        rules_fired_.fetch_add(matched.size(), std::memory_order_relaxed);
       }
-      evaluator.Evaluate(event, ConstRecordView(schema_, row.data()),
-                         &matched);
-      policy_tracker.Filter(*rules_, event.caller, event.timestamp,
-                            &matched);
-
-      // Remote Put: the record crosses the wire again.
-      rendezvous->Reset();
-      RecordRequest put;
-      put.kind = fresh ? RecordRequest::Kind::kInsert
-                       : RecordRequest::Kind::kPut;
-      put.entity = event.caller;
-      put.row = std::move(row);
-      put.expected_version = version;
-      // relaxed: monitoring counter.
-      record_bytes_shipped_.fetch_add(record_size,
-                                      std::memory_order_relaxed);
-      put.reply = [rv = rendezvous](Status st, std::vector<std::uint8_t>&& b,
-                                    Version v) {
-        rv->Complete(std::move(st), std::move(b), v);
-      };
-      if (!channel_->SubmitRecordRequest(std::move(put))) {
-        result = Status::Shutdown();
-        break;
+      if (queued.completion != nullptr) {
+        queued.completion->status = result;
+        queued.completion->fired_rules = matched;
+        queued.completion->complete_nanos = NowNanos();
+        queued.completion->done.store(true, std::memory_order_release);
       }
-      if (!rendezvous->WaitFor(options_.record_reply_timeout_millis)) {
-        result = Status::DeadlineExceeded("record put reply timed out");
-        rendezvous = std::make_shared<Rendezvous>();  // abandon the slot
-        break;
-      }
-      if (rendezvous->status.ok()) {
-        result = Status::OK();
-        break;
-      }
-      if (rendezvous->status.IsConflict()) {
-        // relaxed: monitoring counter.
-        txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
-        continue;  // restart the single-row transaction
-      }
-      result = rendezvous->status;
-      break;
-    }
-
-    // relaxed: monitoring counters; stats() tolerates torn snapshots.
-    if (result.ok()) {
-      events_processed_.fetch_add(1, std::memory_order_relaxed);
-      rules_fired_.fetch_add(matched.size(), std::memory_order_relaxed);
-    }
-    if (msg->completion != nullptr) {
-      msg->completion->status = result;
-      msg->completion->fired_rules = matched;
-      msg->completion->complete_nanos = NowNanos();
-      msg->completion->done.store(true, std::memory_order_release);
+      event_buffers_.Release(std::move(queued.bytes));
     }
   }
 }

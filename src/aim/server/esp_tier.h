@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "aim/common/buffer_pool.h"
 #include "aim/common/mpsc_queue.h"
 #include "aim/esp/esp_engine.h"
 #include "aim/net/message.h"
@@ -39,6 +40,10 @@ class EspTierNode {
     /// misbehaving channel so a tier worker can never hang forever. An
     /// expired rendezvous fails the event with Status::DeadlineExceeded.
     std::int64_t record_reply_timeout_millis = 30'000;
+    /// Upper bound on events a tier worker drains per wakeup (one queue
+    /// lock acquisition amortized over the run; events still process —
+    /// and complete — one at a time).
+    std::uint32_t max_event_batch = 64;
     EspEngine::Options esp;  // rule-index toggle etc.
   };
 
@@ -61,6 +66,10 @@ class EspTierNode {
   bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
                    EventCompletion* completion);
 
+  /// Pool backing the tier's event byte buffers: workers release processed
+  /// 64-byte wire buffers here; submit paths may Acquire to reuse them.
+  BufferPool& event_buffer_pool() { return event_buffers_; }
+
   struct Stats {
     std::uint64_t events_processed = 0;
     std::uint64_t txn_conflicts = 0;
@@ -73,6 +82,7 @@ class EspTierNode {
   struct Worker {
     MpscQueue<EventMessage> queue;
     std::thread thread;
+    std::uint32_t index = 0;  // worker slot, for the thread name
   };
 
   void WorkerLoop(Worker* worker);
@@ -85,6 +95,7 @@ class EspTierNode {
   SystemAttrs sys_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  BufferPool event_buffers_;
   std::atomic<bool> running_{false};
 
   std::atomic<std::uint64_t> events_processed_{0};

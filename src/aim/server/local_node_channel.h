@@ -22,12 +22,17 @@ class LocalNodeChannel : public NodeChannel {
     info.node_id = node_->options().node_id;
     info.num_partitions = node_->options().num_partitions;
     info.record_size = node_->schema().record_size();
+    info.features = kFeatureEventBatch;
     return info;
   }
 
   bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
                    EventCompletion* completion) override {
     return node_->SubmitEvent(std::move(event_bytes), completion);
+  }
+
+  std::size_t SubmitEventBatch(std::vector<EventMessage>&& batch) override {
+    return node_->SubmitEventBatch(std::move(batch));
   }
 
   bool SubmitQuery(

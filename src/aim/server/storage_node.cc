@@ -5,6 +5,7 @@
 #include "aim/common/clock.h"
 #include "aim/common/hash.h"
 #include "aim/common/logging.h"
+#include "aim/common/thread_name.h"
 
 namespace aim {
 
@@ -28,6 +29,8 @@ StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
   const Labels node_labels = {{"node", node_label}};
   esp_event_latency_ =
       metrics_->GetHistogram("aim_esp_event_latency_micros", node_labels);
+  esp_batch_size_ =
+      metrics_->GetHistogram("aim_esp_batch_size", node_labels);
   queries_processed_ =
       metrics_->GetCounter("aim_rta_queries_total", node_labels);
   rta_query_latency_ =
@@ -153,6 +156,35 @@ bool StorageNode::SubmitEvent(std::vector<std::uint8_t> event_bytes,
   return esp_threads_[e]->queue.Push(std::move(msg));
 }
 
+std::size_t StorageNode::SubmitEventBatch(std::vector<EventMessage>&& batch) {
+  if (!running()) return 0;
+  const std::size_t n = batch.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (batch[i].bytes.size() < kEventWireSize) break;
+    EntityId caller;
+    std::memcpy(&caller, batch[i].bytes.data(), sizeof(caller));
+    const std::uint32_t e = PartitionOf(caller) % options_.num_esp_threads;
+    // Extend the run while events keep routing to the same ESP thread, so
+    // the whole run enters the queue under one lock acquisition.
+    std::size_t j = i + 1;
+    while (j < n && batch[j].bytes.size() >= kEventWireSize) {
+      EntityId next;
+      std::memcpy(&next, batch[j].bytes.data(), sizeof(next));
+      if (PartitionOf(next) % options_.num_esp_threads != e) break;
+      ++j;
+    }
+    const auto first = batch.begin() + static_cast<std::ptrdiff_t>(i);
+    const auto last = batch.begin() + static_cast<std::ptrdiff_t>(j);
+    if (!esp_threads_[e]->queue.PushAll(std::make_move_iterator(first),
+                                        std::make_move_iterator(last))) {
+      break;  // queue closed by Stop: the remainder is rejected as a whole
+    }
+    i = j;
+  }
+  return i;
+}
+
 bool StorageNode::SubmitQuery(
     std::vector<std::uint8_t> query_bytes,
     std::function<void(std::vector<std::uint8_t>&&)> reply) {
@@ -208,24 +240,46 @@ void StorageNode::ServeRecordRequest(RecordRequest& request) {
 }
 
 void StorageNode::EspLoop(EspThreadState* state) {
-  std::vector<std::uint32_t> fired;
+  SetCurrentThreadName(
+      "aim-esp-", state->owned_partitions.empty()
+                      ? 0u
+                      : state->owned_partitions[0] % options_.num_esp_threads);
+  // Persistent per-loop buffers: drained messages, decoded events and the
+  // batch result are reused across wakeups so the steady state allocates
+  // nothing per iteration.
+  std::vector<EventMessage> events;
+  std::vector<RecordRequest> records;
+  std::vector<Event> decoded;
+  std::vector<std::size_t> engine_of;  // engine index, parallel to decoded
+  // Stable per-engine index lists + the contiguous run fed to ProcessBatch.
+  std::vector<std::vector<std::size_t>> by_engine(state->engines.size());
+  std::vector<Event> run_events;
+  EspEngine::BatchResult batch_result;
   std::uint64_t handled = 0;
+  const std::size_t max_batch =
+      options_.max_event_batch > 0 ? options_.max_event_batch : 1;
+  const std::size_t s = options_.num_esp_threads;
+  const std::size_t thread_id =
+      state->owned_partitions.empty() ? 0 : state->owned_partitions[0] % s;
+
   while (true) {
     // Algorithm 7 line 3-5: acknowledge pending delta switches on every
-    // owned partition before (and between) requests.
+    // owned partition before (and between) batches.
     for (std::size_t i = 0; i < state->owned_partitions.size(); ++i) {
       partitions_[state->owned_partitions[i]]->EspCheckpoint();
     }
 
     // Record service first (remote ESP tiers are latency-sensitive: they
     // block synchronously on Get/Put round trips).
-    if (std::optional<RecordRequest> req = state->record_queue.TryPop()) {
-      ServeRecordRequest(*req);
+    records.clear();
+    if (state->record_queue.DrainInto(&records) > 0) {
+      for (RecordRequest& req : records) ServeRecordRequest(req);
       continue;
     }
 
-    std::optional<EventMessage> msg = state->queue.TryPop();
-    if (!msg.has_value()) {
+    events.clear();
+    const std::size_t n = state->queue.DrainInto(&events, max_batch);
+    if (n == 0) {
       if (!running_.load(std::memory_order_acquire) &&
           state->queue.size() == 0 && state->record_queue.size() == 0) {
         break;
@@ -235,36 +289,66 @@ void StorageNode::EspLoop(EspThreadState* state) {
           std::chrono::microseconds(options_.esp_idle_micros));
       continue;
     }
-    // Queue-depth sampling is periodic, not per event: size() takes the
-    // queue mutex, which would be a second lock acquisition per event.
-    if ((++handled & 1023) == 0) {
+    esp_batch_size_->Record(static_cast<double>(n));
+    // Queue-depth sampling is periodic, not per batch: size() takes the
+    // queue mutex, which would be an extra lock acquisition per wakeup.
+    handled += n;
+    if ((handled & 1023) < n) {
       state->queue_depth->Set(static_cast<std::int64_t>(state->queue.size()));
     }
 
-    BinaryReader reader(msg->bytes);
-    Event event = Event::Deserialize(&reader);
-    const std::uint32_t p = PartitionOf(event.caller);
-    // Find the engine bound to this partition.
-    EspEngine* engine = nullptr;
-    for (std::size_t i = 0; i < state->owned_partitions.size(); ++i) {
-      if (state->owned_partitions[i] == p) {
-        engine = state->engines[i].get();
-        break;
-      }
+    // Decode up front so the batch loop can group contiguous same-engine
+    // runs and feed them to ProcessBatch (which prefetches ahead within
+    // the run — docs/DESIGN.md, "Ingest batching & prefetching").
+    decoded.clear();
+    engine_of.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      BinaryReader reader(events[i].bytes);
+      decoded.push_back(Event::Deserialize(&reader));
+      const std::uint32_t p = PartitionOf(decoded.back().caller);
+      AIM_CHECK_MSG(p % s == thread_id, "event routed to wrong ESP thread");
+      // Thread t owns partitions {t, t+s, t+2s, ...} in order, so the
+      // engine bound to partition p sits at index (p - t) / s.
+      engine_of.push_back((p - thread_id) / s);
     }
-    AIM_CHECK_MSG(engine != nullptr, "event routed to wrong ESP thread");
 
-    // Per-event latency (t_ESP's in-process component): deserialize-to-
-    // processed. Counter updates happen inside the engine; the histogram
-    // record is the only instrumentation this loop adds per event.
-    Stopwatch event_timer;
-    Status st = engine->ProcessEvent(event, &fired);
-    esp_event_latency_->Record(event_timer.ElapsedMicros());
-    if (msg->completion != nullptr) {
-      msg->completion->status = st;
-      msg->completion->fired_rules = fired;
-      msg->completion->complete_nanos = MonotonicNanos();
-      msg->completion->done.store(true, std::memory_order_release);
+    // Stable-group by engine: an entity's partition (hence engine) is
+    // fixed, so per-entity order is preserved, and engines own disjoint
+    // partitions, so reordering across engines cannot change any outcome.
+    // Grouping turns a drained batch into maximal ProcessBatch runs even
+    // when traffic interleaves this thread's partitions.
+    for (std::vector<std::size_t>& idxs : by_engine) idxs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      by_engine[engine_of[i]].push_back(i);
+    }
+
+    for (std::size_t e = 0; e < by_engine.size(); ++e) {
+      const std::vector<std::size_t>& idxs = by_engine[e];
+      if (idxs.empty()) continue;
+      run_events.clear();
+      for (std::size_t idx : idxs) run_events.push_back(decoded[idx]);
+
+      // Per-event latency (t_ESP's in-process component): deserialize-to-
+      // processed, attributed evenly across the run. Counter updates
+      // happen inside the engine.
+      Stopwatch run_timer;
+      state->engines[e]->ProcessBatch(
+          std::span<const Event>(run_events.data(), run_events.size()),
+          &batch_result);
+      const double per_event_micros =
+          run_timer.ElapsedMicros() / static_cast<double>(idxs.size());
+      const std::int64_t complete_nanos = MonotonicNanos();
+      for (std::size_t k = 0; k < idxs.size(); ++k) {
+        esp_event_latency_->Record(per_event_micros);
+        EventMessage& msg = events[idxs[k]];
+        if (msg.completion != nullptr) {
+          msg.completion->status = batch_result.statuses[k];
+          msg.completion->fired_rules = batch_result.fired[k];
+          msg.completion->complete_nanos = complete_nanos;
+          msg.completion->done.store(true, std::memory_order_release);
+        }
+        event_buffers_.Release(std::move(msg.bytes));
+      }
     }
   }
 
@@ -273,8 +357,10 @@ void StorageNode::EspLoop(EspThreadState* state) {
   for (std::uint32_t p : state->owned_partitions) {
     partitions_[p]->set_esp_attached(false);
   }
-  while (std::optional<RecordRequest> req = state->record_queue.TryPop()) {
-    if (req->reply) req->reply(Status::Shutdown(), {}, 0);
+  records.clear();
+  state->record_queue.DrainInto(&records);
+  for (RecordRequest& req : records) {
+    if (req.reply) req.reply(Status::Shutdown(), {}, 0);
   }
 }
 
@@ -339,6 +425,7 @@ void StorageNode::MergeAndReply() {
 }
 
 void StorageNode::RtaLoop(std::uint32_t partition_id) {
+  SetCurrentThreadName("aim-rta-", partition_id);
   DeltaMainStore* store = partitions_[partition_id].get();
   SharedScan scan(store);
   ScanScratch scratch;

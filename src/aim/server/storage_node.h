@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "aim/common/buffer_pool.h"
 #include "aim/common/mpsc_queue.h"
 #include "aim/common/status.h"
 #include "aim/esp/esp_engine.h"
@@ -53,6 +54,11 @@ class StorageNode {
     /// ESP idle poll interval (the service loop must keep reaching its
     /// checkpoint even without traffic, or delta switches would stall).
     std::int64_t esp_idle_micros = 100;
+    /// Upper bound on events an ESP thread drains and hands to
+    /// EspEngine::ProcessBatch per wakeup. Bounds both the latency any
+    /// single event can hide behind and the time between delta-switch
+    /// checkpoints under load (docs/DESIGN.md, "Ingest batching").
+    std::uint32_t max_event_batch = 64;
     /// Registry the node's metrics live in. When null the node owns a
     /// private one. Series are distinguished by a node="<id>" label, so
     /// one registry can serve a whole cluster (see AimCluster).
@@ -94,6 +100,20 @@ class StorageNode {
   /// shutdown. `completion` may be null.
   bool SubmitEvent(std::vector<std::uint8_t> event_bytes,
                    EventCompletion* completion);
+
+  /// Batched enqueue: splits `batch` into contiguous runs that route to
+  /// the same ESP thread and admits each run with a single queue
+  /// operation. Returns how many events were accepted — always a prefix
+  /// of `batch` (on shutdown the remainder is neither queued nor
+  /// completed, exactly like a false return from SubmitEvent).
+  std::size_t SubmitEventBatch(std::vector<EventMessage>&& batch);
+
+  /// Pool backing the node's event byte buffers: the ESP loops release
+  /// processed 64-byte wire buffers here, and submit paths that serialize
+  /// events (cluster ingest, benches) can Acquire to avoid a fresh
+  /// allocation per event. Using it is optional — SubmitEvent accepts any
+  /// vector.
+  BufferPool& event_buffer_pool() { return event_buffers_; }
 
   /// Enqueues a serialized query; `reply` receives the node's serialized
   /// PartialResult (empty payload on shutdown).
@@ -178,7 +198,9 @@ class StorageNode {
   // node-level series (see docs/OBSERVABILITY.md for the full catalogue).
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  BufferPool event_buffers_;
   AtomicHistogram* esp_event_latency_ = nullptr;   // micros, per event
+  AtomicHistogram* esp_batch_size_ = nullptr;      // events per ESP wakeup
   Counter* queries_processed_ = nullptr;
   AtomicHistogram* rta_query_latency_ = nullptr;   // micros, queue->reply
   AtomicHistogram* rta_batch_size_ = nullptr;      // queries per scan cycle

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "aim/common/logging.h"
+#include "aim/common/prefetch.h"
 
 namespace aim {
 
@@ -111,6 +112,25 @@ void ColumnMap::MaterializeRow(RecordId id, std::uint8_t* out) const {
   if (state_stride_ > 0) {
     std::memcpy(out + schema_->state_area_offset(),
                 block + state_offset_ + idx * state_stride_, state_stride_);
+  }
+}
+
+void ColumnMap::PrefetchRow(RecordId id, std::uint32_t max_lines) const {
+  if (id >= num_records()) return;
+  const std::uint32_t b = id / bucket_size_;
+  const std::uint32_t idx = id % bucket_size_;
+  const Bucket* bucket = GetBucket(b);
+  if (bucket == nullptr) return;
+  const std::uint8_t* block = bucket->data.get();
+  const std::uint16_t n = schema_->num_attributes();
+  std::uint32_t lines = 0;
+  for (std::uint16_t i = 0; i < n && lines < max_lines; ++i) {
+    const std::size_t w = ValueTypeSize(schema_->attribute(i).type);
+    AIM_PREFETCH_READ(block + col_offset_[i] + idx * w);
+    ++lines;
+  }
+  if (state_stride_ > 0 && lines < max_lines) {
+    AIM_PREFETCH_READ(block + state_offset_ + idx * state_stride_);
   }
 }
 

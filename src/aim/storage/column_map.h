@@ -64,6 +64,16 @@ class ColumnMap {
     return v == DenseMap::kNotFound ? kInvalidRecordId : v;
   }
 
+  /// Prefetch hint for the index slot Lookup(entity) will probe first.
+  /// Advisory only; safe from any reader thread.
+  void PrefetchIndex(EntityId entity) const { index_.PrefetchSlot(entity); }
+
+  /// Prefetch hint for the cache lines MaterializeRow(id) will gather:
+  /// one line per column value plus the state block, capped at
+  /// `max_lines` hints so wide schemas don't flood the prefetch queue.
+  /// Advisory only; safe from any reader thread.
+  void PrefetchRow(RecordId id, std::uint32_t max_lines) const;
+
   // ------------------------------------------------------------------
   // Writer-side operations.
   // ------------------------------------------------------------------

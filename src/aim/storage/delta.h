@@ -46,6 +46,10 @@ class Delta {
   /// `out_version` may be null.
   const std::uint8_t* Get(EntityId entity, Version* out_version) const;
 
+  /// Prefetch hint for the index slot a Get(entity) will probe first.
+  /// Advisory only; safe from any thread that may call Get.
+  void PrefetchIndex(EntityId entity) const { index_.PrefetchSlot(entity); }
+
   /// Number of distinct entities currently buffered.
   std::size_t size() const {
     return size_.load(std::memory_order_acquire);

@@ -4,6 +4,7 @@
 
 #include "aim/common/clock.h"
 #include "aim/common/logging.h"
+#include "aim/common/prefetch.h"
 
 namespace aim {
 
@@ -52,6 +53,27 @@ StatusOr<Value> DeltaMainStore::GetAttribute(EntityId entity,
   const RecordId id = main_->Lookup(entity);
   if (id == kInvalidRecordId) return Status::NotFound();
   return main_->GetValue(id, attr);
+}
+
+void DeltaMainStore::PrefetchRecord(EntityId entity,
+                                    std::uint32_t max_main_lines) const {
+  // Mirror the Get fallthrough, but issue hints instead of copies. The
+  // delta Get only probes its (already prefetched) index and computes a
+  // stable arena address — cheap even on a miss.
+  const std::uint8_t* row = ActiveDelta()->Get(entity, nullptr);
+  if (row == nullptr && merging_.load(std::memory_order_acquire)) {
+    row = FrozenDelta()->Get(entity, nullptr);
+  }
+  if (row != nullptr) {
+    const std::uint32_t record_size = schema_->record_size();
+    for (std::uint32_t off = 0; off < record_size;
+         off += kPrefetchLineBytes) {
+      AIM_PREFETCH_READ(row + off);
+    }
+    return;
+  }
+  const RecordId id = main_->Lookup(entity);
+  if (id != kInvalidRecordId) main_->PrefetchRow(id, max_main_lines);
 }
 
 Version DeltaMainStore::CurrentVersion(EntityId entity, bool* found) const {

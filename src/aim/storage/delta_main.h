@@ -91,6 +91,23 @@ class DeltaMainStore {
   /// Point read of a single attribute (same lookup path as Get).
   StatusOr<Value> GetAttribute(EntityId entity, std::uint16_t attr) const;
 
+  /// Prefetch hints for a Get(entity) that the ESP thread will issue a few
+  /// events from now (group prefetching for ProcessBatch). PrefetchIndex
+  /// warms the hash-index slots along the Get fallthrough (active delta,
+  /// frozen delta while merging, main); PrefetchRecord additionally warms
+  /// the record bytes once the indexes are likely cached —
+  /// `max_main_lines` caps the per-record hint count against the main's
+  /// column-per-line layout. Both are advisory only and touch exactly the
+  /// structures Get may read, under the same thread contract as Get.
+  void PrefetchIndex(EntityId entity) const {
+    ActiveDelta()->PrefetchIndex(entity);
+    if (merging_.load(std::memory_order_acquire)) {
+      FrozenDelta()->PrefetchIndex(entity);
+    }
+    main_->PrefetchIndex(entity);
+  }
+  void PrefetchRecord(EntityId entity, std::uint32_t max_main_lines) const;
+
   /// Algorithm 4 + conditional write (paper footnote 8): installs `row` for
   /// an existing entity iff its current version equals `expected_version`;
   /// returns kConflict otherwise (caller restarts the single-row

@@ -8,6 +8,7 @@
 
 #include "aim/common/hash.h"
 #include "aim/common/logging.h"
+#include "aim/common/prefetch.h"
 #include "aim/common/sync_provider.h"
 
 namespace aim {
@@ -93,6 +94,16 @@ class BasicDenseMap {
   }
 
   bool Contains(std::uint64_t key) const { return Find(key) != kNotFound; }
+
+  /// Prefetch hint for the home slot of `key` — the first cache lines a
+  /// subsequent Find(key) will touch. Safe from any thread (same acquire
+  /// discipline as Find); purely advisory, never dereferences slot data.
+  void PrefetchSlot(std::uint64_t key) const {
+    const Table* t = active_.load(std::memory_order_acquire);
+    const std::size_t idx = Mix64(key) & t->mask;
+    AIM_PREFETCH_READ(&t->keys[idx]);
+    AIM_PREFETCH_READ(&t->values[idx]);
+  }
 
   /// Removes all entries; capacity retained. Writer thread only. Readers
   /// racing with Clear may still observe old entries until the wipe reaches

@@ -253,6 +253,59 @@ TEST(MpscQueueTest, DrainInto) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(MpscQueueTest, DrainIntoBoundedTakesPrefixAndAppends) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 7; ++i) q.Push(i);
+  std::vector<int> out;
+  // Bounded drain takes exactly max_items in FIFO order...
+  EXPECT_EQ(q.DrainInto(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.size(), 4u);
+  // ...appends to the output instead of clearing it...
+  EXPECT_EQ(q.DrainInto(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  // ...returns fewer when the queue holds fewer, and 0 = no limit.
+  EXPECT_EQ(q.DrainInto(&out, 100), 2u);
+  EXPECT_EQ(q.DrainInto(&out, 0), 0u);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(MpscQueueTest, PushAllEnqueuesBatchInOrder) {
+  MpscQueue<int> q;
+  std::vector<int> batch = {1, 2, 3, 4};
+  ASSERT_TRUE(q.PushAll(batch.begin(), batch.end()));
+  std::vector<int> empty;
+  ASSERT_TRUE(q.PushAll(empty.begin(), empty.end()));  // no-op, still ok
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(&out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MpscQueueTest, PushAllAfterCloseIsAllOrNothing) {
+  MpscQueue<int> q;
+  q.Push(9);
+  q.Close();
+  std::vector<int> batch = {1, 2, 3};
+  EXPECT_FALSE(q.PushAll(batch.begin(), batch.end()));
+  // Nothing from the rejected batch may have landed.
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpscQueueTest, PushAllOverflowsBoundedQueueInsteadOfDeadlocking) {
+  // Capacity is a pacing hint for PushAll: a batch larger than the bound
+  // must still be admitted whole (blocking mid-batch would deadlock the
+  // single-consumer loops that drain in batches).
+  MpscQueue<int> q(2);
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(q.PushAll(batch.begin(), batch.end()));
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(&out), 5u);
+  EXPECT_EQ(out, batch);
+}
+
 TEST(MpscQueueTest, MultiProducerSingleConsumer) {
   MpscQueue<int> q;
   constexpr int kPerProducer = 2000;

@@ -16,6 +16,7 @@
 
 #include "aim/common/logging.h"
 #include "aim/esp/event.h"
+#include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
 #include "aim/net/socket.h"
 #include "aim/net/tcp_client.h"
@@ -197,6 +198,117 @@ TEST(FrameCodecTest, HelloReplyRejectsVersionSkew) {
   BinaryReader r(skewed);
   NodeChannel::NodeInfo out;
   EXPECT_TRUE(net::DecodeHelloReply(&r, &out).IsUnsupported());
+}
+
+TEST(FrameCodecTest, EventBatchRoundTripAndTruncation) {
+  std::vector<EventMessage> batch;
+  for (int i = 0; i < 3; ++i) {
+    EventMessage msg;
+    msg.bytes.assign(net::kEventBatchEntrySize,
+                     static_cast<std::uint8_t>(i + 1));
+    batch.push_back(std::move(msg));
+  }
+  BinaryWriter w;
+  net::EncodeEventBatch(batch, &w);
+  ASSERT_EQ(w.size(), 4 + 3 * net::kEventBatchEntrySize);
+  BinaryReader r(w.buffer());
+  std::vector<std::vector<std::uint8_t>> out;
+  ASSERT_TRUE(net::DecodeEventBatch(&r, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], batch[i].bytes);
+
+  // An empty batch is well-formed (count 0, no entries).
+  BinaryWriter w0;
+  net::EncodeEventBatch({}, &w0);
+  BinaryReader r0(w0.buffer());
+  ASSERT_TRUE(net::DecodeEventBatch(&r0, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // Every truncation prefix must fail — the count has to match the payload
+  // byte-exactly, so no prefix of a 3-event batch parses as a shorter one.
+  for (std::size_t len = 0; len < w.size(); ++len) {
+    BinaryReader t(w.buffer().data(), len);
+    EXPECT_FALSE(net::DecodeEventBatch(&t, &out).ok()) << "prefix " << len;
+  }
+  // Trailing excess fails the same way.
+  std::vector<std::uint8_t> extra(w.buffer());
+  extra.push_back(0);
+  BinaryReader re(extra);
+  EXPECT_FALSE(net::DecodeEventBatch(&re, &out).ok());
+  // A count lying far beyond the payload fails without a giant allocation.
+  std::vector<std::uint8_t> lying(w.buffer());
+  const std::uint32_t huge = 0x40000000;
+  std::memcpy(lying.data(), &huge, sizeof(huge));
+  BinaryReader rl(lying);
+  EXPECT_FALSE(net::DecodeEventBatch(&rl, &out).ok());
+}
+
+TEST(FrameCodecTest, HelloReplyFeatureBitsAndOldPayloadCompat) {
+  NodeChannel::NodeInfo info;
+  info.node_id = 1;
+  info.num_partitions = 2;
+  info.record_size = 64;
+  info.features = NodeChannel::kFeatureEventBatch;
+  BinaryWriter w;
+  net::EncodeHelloReply(info, &w);
+  BinaryReader r(w.buffer());
+  NodeChannel::NodeInfo out;
+  ASSERT_TRUE(net::DecodeHelloReply(&r, &out).ok());
+  EXPECT_EQ(out.features, NodeChannel::kFeatureEventBatch);
+
+  // An old server's payload stops before the capability word; the decoder
+  // must read that as "no optional capabilities", not as an error.
+  BinaryReader old(w.buffer().data(), w.size() - 4);
+  NodeChannel::NodeInfo from_old;
+  ASSERT_TRUE(net::DecodeHelloReply(&old, &from_old).ok());
+  EXPECT_EQ(from_old.features, 0u);
+  EXPECT_EQ(from_old.record_size, 64u);
+}
+
+// --- coalescing writer ------------------------------------------------------
+
+TEST(CoalescingWriterTest, QueuedFramesLeaveInOneWritev) {
+  StatusOr<net::Socket> listener = net::TcpListen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = *net::LocalPort(*listener);
+  StatusOr<net::Socket> sender = net::TcpConnect("127.0.0.1", port, 2000);
+  ASSERT_TRUE(sender.ok());
+  StatusOr<net::Socket> peer = net::Accept(*listener, 2000);
+  ASSERT_TRUE(peer.ok());
+
+  net::CoalescingWriter writer;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    BinaryWriter payload;
+    payload.PutU32(i);
+    bool should_flush = false;
+    ASSERT_TRUE(writer.Enqueue(
+        BuildFrame(FrameType::kEvent, net::kFlagNoReply, 0,
+                   payload.buffer().data(), payload.size()),
+        &should_flush));
+    // The first enqueue elects this thread; later frames see a flush in
+    // flight and just queue behind it.
+    EXPECT_EQ(should_flush, i == 0);
+  }
+  const std::uint64_t syscalls_before = net::SendFramesSyscalls();
+  ASSERT_TRUE(writer.Flush(*sender, 2000).ok());
+  // The whole backlog left in a single writev: that is the coalescing win.
+  EXPECT_EQ(net::SendFramesSyscalls() - syscalls_before, 1u);
+
+  // And the peer still sees ten intact frames, in order.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    std::uint8_t header_bytes[kFrameHeaderSize];
+    ASSERT_TRUE(
+        net::RecvAll(*peer, header_bytes, kFrameHeaderSize, 2000).ok());
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(header_bytes, &header).ok());
+    ASSERT_EQ(header.type, FrameType::kEvent);
+    ASSERT_EQ(header.payload_size, 4u);
+    std::uint8_t payload[4];
+    ASSERT_TRUE(net::RecvAll(*peer, payload, sizeof(payload), 2000).ok());
+    std::uint32_t value = 0;
+    std::memcpy(&value, payload, sizeof(value));
+    EXPECT_EQ(value, i);
+  }
 }
 
 // --- EventCompletion::WaitFor regression ------------------------------------
@@ -605,6 +717,208 @@ TEST_F(NetLoopbackTest, ClientReconnectsAfterServerRestart) {
       {{"role", "client"}, {"peer", "127.0.0.1:" + std::to_string(port)}});
   EXPECT_GE(reconnects->Value(), 1u);
   client->Close();
+}
+
+// --- batched ingest over the wire -------------------------------------------
+
+TEST_F(NetLoopbackTest, FireAndForgetBatchLandsAsOneFrame) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+  // The loopback server advertises the capability, so the client batches.
+  ASSERT_NE(client->info().features & NodeChannel::kFeatureEventBatch, 0u);
+
+  Counter* frames = metrics_.GetCounter(
+      "aim_net_frames_received_total",
+      {{"role", "server"},
+       {"addr", "127.0.0.1:" + std::to_string(server_->port())}});
+  const std::uint64_t frames_before = frames->Value();
+  const std::uint64_t processed_before = node_->stats().events_processed;
+
+  constexpr std::uint32_t kBatch = 32;
+  std::vector<EventMessage> batch;
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    EventMessage msg;
+    msg.bytes = SerializedEvent(1 + (i % 8));
+    batch.push_back(std::move(msg));
+  }
+  ASSERT_EQ(client->SubmitEventBatch(std::move(batch)), kBatch);
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    if (node_->stats().events_processed >= processed_before + kBatch) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(node_->stats().events_processed, processed_before + kBatch);
+  // All 32 events crossed the wire in exactly one EVENT_BATCH frame.
+  EXPECT_EQ(frames->Value() - frames_before, 1u);
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, MixedBatchesSinglesAndQueriesOnOneConnection) {
+  StartNode();
+  StartServer();
+  auto client = MakeClient(server_->port());
+  ASSERT_TRUE(client->Connect().ok());
+
+  // EVENT_BATCH, plain EVENT (both reply-wanted and fire-and-forget) and
+  // QUERY frames interleaved on one connection: framing must never skew.
+  std::uint64_t sent = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EventMessage> batch;
+    for (int i = 0; i < 16; ++i) {
+      EventMessage msg;
+      msg.bytes = SerializedEvent(1 + (sent++ % 100));
+      batch.push_back(std::move(msg));
+    }
+    EventCompletion last;
+    batch.back().completion = &last;  // reply-wanted tail splits the batch
+    ASSERT_EQ(client->SubmitEventBatch(std::move(batch)), 16u);
+    ASSERT_TRUE(
+        client->EventRoundTrip(SerializedEvent(1 + (sent++ % 100)), nullptr)
+            .ok());
+    ASSERT_TRUE(last.WaitFor(10'000)) << "round " << round;
+    EXPECT_TRUE(last.status.ok()) << last.status.message();
+  }
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    if (node_->stats().events_processed >= sent) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(node_->stats().events_processed, sent);
+
+  // After the mixed traffic, queries still answer identically to the
+  // in-process channel.
+  QueryWorkload workload(schema_.get(), &dims_, 7);
+  const Query q = workload.Make(1);
+  std::vector<std::uint8_t> local;
+  std::vector<std::uint8_t> remote;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    local = QueryBytes(channel_.get(), q);
+    remote = QueryBytes(client.get(), q);
+    if (!local.empty() && local == remote) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(local.empty());
+  EXPECT_EQ(local, remote);
+  client->Close();
+}
+
+TEST_F(NetLoopbackTest, NewClientFallsBackToPerEventFramesOnOldServer) {
+  std::atomic<int> event_frames{0};
+  std::atomic<int> batch_frames{0};
+  std::atomic<bool> done{false};
+
+  StatusOr<net::Socket> listener = net::TcpListen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = *net::LocalPort(*listener);
+  // A pre-EVENT_BATCH server: its hello reply stops at the version-1 fields
+  // (no capability word), and it only counts what it receives.
+  std::thread old_server([&] {
+    StatusOr<net::Socket> conn = net::Accept(*listener, 10'000);
+    if (!conn.ok()) return;
+    auto read_frame = [&](FrameHeader* header,
+                          std::vector<std::uint8_t>* payload) {
+      std::uint8_t hb[kFrameHeaderSize];
+      if (!net::RecvAll(*conn, hb, kFrameHeaderSize, 5000).ok()) return false;
+      if (!DecodeFrameHeader(hb, header).ok()) return false;
+      payload->resize(header->payload_size);
+      return payload->empty() ||
+             net::RecvAll(*conn, payload->data(), payload->size(), 5000).ok();
+    };
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&header, &payload)) return;  // hello
+    BinaryWriter reply;
+    reply.PutU32(net::kProtocolVersion);
+    reply.PutU32(0);   // node_id
+    reply.PutU32(1);   // num_partitions
+    reply.PutU32(64);  // record_size — and nothing after it
+    const std::vector<std::uint8_t> frame =
+        BuildFrame(FrameType::kHelloReply, 0, header.request_id,
+                   reply.buffer().data(), reply.size());
+    if (!net::SendAll(*conn, frame.data(), frame.size(), 5000).ok()) return;
+    while (!done.load(std::memory_order_acquire)) {
+      if (!read_frame(&header, &payload)) return;
+      if (header.type == FrameType::kEvent) ++event_frames;
+      if (header.type == FrameType::kEventBatch) ++batch_frames;
+    }
+  });
+
+  auto client = MakeClient(port);
+  ASSERT_TRUE(client->Connect().ok());
+  EXPECT_EQ(client->info().features, 0u);
+
+  std::vector<EventMessage> batch;
+  for (int i = 0; i < 10; ++i) {
+    EventMessage msg;
+    msg.bytes = SerializedEvent(1 + i);
+    batch.push_back(std::move(msg));
+  }
+  // The feature gate must downgrade the whole batch to per-event frames the
+  // old server can parse — never an EVENT_BATCH it would drop on.
+  ASSERT_EQ(client->SubmitEventBatch(std::move(batch)), 10u);
+  for (int attempt = 0; attempt < 2000 && event_frames.load() < 10;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(event_frames.load(), 10);
+  EXPECT_EQ(batch_frames.load(), 0);
+  done.store(true, std::memory_order_release);
+  client->Close();
+  listener->ShutdownBoth();
+  old_server.join();
+  listener->Close();
+}
+
+TEST_F(NetLoopbackTest, OldStylePerEventClientStillServed) {
+  StartNode();
+  StartServer();
+  // Hand-rolled pre-batching client: raw hello, then one reply-wanted
+  // kEvent. The upgraded server must serve it exactly as before.
+  StatusOr<net::Socket> raw =
+      net::TcpConnect("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(raw.ok());
+  auto read_frame = [&](FrameHeader* header,
+                        std::vector<std::uint8_t>* payload) {
+    std::uint8_t hb[kFrameHeaderSize];
+    ASSERT_TRUE(net::RecvAll(*raw, hb, kFrameHeaderSize, 5000).ok());
+    ASSERT_TRUE(DecodeFrameHeader(hb, header).ok());
+    payload->resize(header->payload_size);
+    if (!payload->empty()) {
+      ASSERT_TRUE(
+          net::RecvAll(*raw, payload->data(), payload->size(), 5000).ok());
+    }
+  };
+
+  BinaryWriter hello;
+  net::EncodeHello(&hello);
+  std::vector<std::uint8_t> frame = BuildFrame(
+      FrameType::kHello, 0, 1, hello.buffer().data(), hello.size());
+  ASSERT_TRUE(net::SendAll(*raw, frame.data(), frame.size(), 2000).ok());
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  read_frame(&header, &payload);
+  ASSERT_EQ(header.type, FrameType::kHelloReply);
+  // An old client reads only the version-1 fields and stops; the capability
+  // word is strictly appended, so nothing it reads moved.
+  BinaryReader r(payload.data(), payload.size());
+  EXPECT_EQ(r.GetU32(), net::kProtocolVersion);
+  EXPECT_EQ(r.GetU32(), 0u);  // node_id
+  EXPECT_EQ(r.GetU32(), 2u);  // num_partitions
+  EXPECT_EQ(r.GetU32(), schema_->record_size());
+  ASSERT_TRUE(r.ok());
+
+  const std::vector<std::uint8_t> event = SerializedEvent(5);
+  frame = BuildFrame(FrameType::kEvent, 0, 2, event.data(), event.size());
+  ASSERT_TRUE(net::SendAll(*raw, frame.data(), frame.size(), 2000).ok());
+  read_frame(&header, &payload);
+  ASSERT_EQ(header.type, FrameType::kEventReply);
+  EXPECT_EQ(header.request_id, 2u);
+  BinaryReader er(payload.data(), payload.size());
+  Status status;
+  std::vector<std::uint32_t> fired;
+  ASSERT_TRUE(net::DecodeEventReply(&er, &status, &fired).ok());
+  EXPECT_TRUE(status.ok()) << status.message();
+  raw->Close();
 }
 
 TEST_F(NetLoopbackTest, SubmitAfterCloseFails) {

@@ -32,7 +32,7 @@ std::uint8_t* CowStore::WritableRowLocked(std::uint32_t idx) {
 }
 
 Status CowStore::Load(EntityId entity, const std::uint8_t* row) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (primary_.Contains(entity)) return Status::Conflict("duplicate entity");
   const std::uint32_t idx = num_rows_;
   if (idx / options_.rows_per_page >= pages_.size()) {
@@ -45,7 +45,7 @@ Status CowStore::Load(EntityId entity, const std::uint8_t* row) {
 }
 
 Status CowStore::ApplyEvent(const Event& event) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint32_t idx = primary_.Find(event.caller);
   if (idx == DenseMap::kNotFound) {
     idx = num_rows_;
@@ -74,7 +74,7 @@ QueryResult CowStore::Execute(const Query& query) {
   std::vector<PagePtr> snapshot;
   std::uint32_t rows;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     snapshot = pages_;
     rows = num_rows_;
   }

@@ -2,8 +2,9 @@
 #define AIM_BASELINES_COW_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "aim/common/annotated_mutex.h"
 
 #include "aim/baselines/baseline_store.h"
 #include "aim/baselines/row_query.h"
@@ -39,7 +40,13 @@ class CowStore : public BaselineStore {
   Status ApplyEvent(const Event& event) override;
   QueryResult Execute(const Query& query) override;
 
-  std::uint64_t pages_copied() const { return pages_copied_; }
+  std::uint64_t pages_copied() const AIM_EXCLUDES(mutex_) {
+    // Under mutex_: the writer increments this mid-ApplyEvent; an
+    // unlocked read was a (benign-looking but undefined) data race the
+    // thread-safety analysis flagged.
+    MutexLock lock(mutex_);
+    return pages_copied_;
+  }
 
  private:
   struct Page {
@@ -48,7 +55,7 @@ class CowStore : public BaselineStore {
   };
   using PagePtr = std::shared_ptr<Page>;
 
-  std::uint8_t* WritableRowLocked(std::uint32_t idx);
+  std::uint8_t* WritableRowLocked(std::uint32_t idx) AIM_REQUIRES(mutex_);
 
   const Schema* schema_;
   const DimensionCatalog* dims_;
@@ -56,13 +63,13 @@ class CowStore : public BaselineStore {
   std::size_t row_stride_;
   std::size_t page_bytes_;
 
-  std::vector<PagePtr> pages_;
-  std::uint32_t num_rows_ = 0;
-  DenseMap primary_;
+  mutable Mutex mutex_;  // guards the page table + the whole writer path
+  std::vector<PagePtr> pages_ AIM_GUARDED_BY(mutex_);
+  std::uint32_t num_rows_ AIM_GUARDED_BY(mutex_) = 0;
+  DenseMap primary_ AIM_GUARDED_BY(mutex_);
 
-  UpdateProgram program_;
-  std::uint64_t pages_copied_ = 0;
-  mutable std::mutex mutex_;  // guards pages_ vector + writer path
+  UpdateProgram program_ AIM_GUARDED_BY(mutex_);
+  std::uint64_t pages_copied_ AIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace aim

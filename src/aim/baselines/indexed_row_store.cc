@@ -1,7 +1,6 @@
 #include "aim/baselines/indexed_row_store.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "aim/common/logging.h"
 #include "aim/schema/record.h"
@@ -70,14 +69,14 @@ void IndexedRowStore::IndexUpdateLocked(std::uint32_t row_idx,
 }
 
 Status IndexedRowStore::Load(EntityId entity, const std::uint8_t* row) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   if (primary_.Contains(entity)) return Status::Conflict("duplicate entity");
   AppendRowLocked(entity, row);
   return Status::OK();
 }
 
 Status IndexedRowStore::ApplyEvent(const Event& event) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   const std::uint32_t idx = primary_.Find(event.caller);
   if (idx == DenseMap::kNotFound) {
     std::vector<std::uint8_t> fresh(schema_->record_size(), 0);
@@ -102,15 +101,20 @@ QueryResult IndexedRowStore::Execute(const Query& query) {
   // index (may take the writer lock briefly to build it).
   std::size_t index_filter = query.where.size();
   if (!query.where.empty()) {
-    for (std::size_t i = 0; i < query.where.size(); ++i) {
-      std::shared_lock rlock(mutex_);
-      if (indexes_.count(query.where[i].attr) > 0) {
-        index_filter = i;
-        break;
+    {
+      // One shared-lock pass over the predicates (this used to re-acquire
+      // the lock per iteration, which was both slower and let the index
+      // set shift mid-decision).
+      ReaderLock rlock(mutex_);
+      for (std::size_t i = 0; i < query.where.size(); ++i) {
+        if (indexes_.count(query.where[i].attr) > 0) {
+          index_filter = i;
+          break;
+        }
       }
     }
     if (index_filter == query.where.size() && options_.auto_index) {
-      std::unique_lock wlock(mutex_);
+      WriterLock wlock(mutex_);
       const std::uint16_t attr = query.where[0].attr;
       if (indexes_.find(attr) == indexes_.end()) {
         auto& index = indexes_[attr];
@@ -122,7 +126,7 @@ QueryResult IndexedRowStore::Execute(const Query& query) {
     }
   }
 
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   RowQueryRun run;
   Status st = RowQueryRun::Compile(query, schema_, dims_, &run);
   if (!st.ok()) {
@@ -178,7 +182,7 @@ QueryResult IndexedRowStore::Execute(const Query& query) {
 }
 
 std::size_t IndexedRowStore::num_indexes() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return indexes_.size();
 }
 

@@ -3,8 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
+
+#include "aim/common/annotated_mutex.h"
 
 #include "aim/baselines/baseline_store.h"
 #include "aim/baselines/row_query.h"
@@ -44,15 +45,17 @@ class IndexedRowStore : public BaselineStore {
  private:
   static constexpr std::uint32_t kChunkRows = 4096;
 
-  std::uint8_t* RowAt(std::uint32_t idx) const {
+  std::uint8_t* RowAt(std::uint32_t idx) const AIM_REQUIRES_SHARED(mutex_) {
     return chunks_[idx / kChunkRows].get() +
            static_cast<std::size_t>(idx % kChunkRows) * row_stride_;
   }
 
-  std::uint32_t AppendRowLocked(EntityId entity, const std::uint8_t* row);
-  void IndexInsertLocked(std::uint32_t row_idx, const std::uint8_t* row);
+  std::uint32_t AppendRowLocked(EntityId entity, const std::uint8_t* row)
+      AIM_REQUIRES(mutex_);
+  void IndexInsertLocked(std::uint32_t row_idx, const std::uint8_t* row)
+      AIM_REQUIRES(mutex_);
   void IndexUpdateLocked(std::uint32_t row_idx, const std::uint8_t* old_row,
-                         const std::uint8_t* new_row);
+                         const std::uint8_t* new_row) AIM_REQUIRES(mutex_);
   double AttrValue(const std::uint8_t* row, std::uint16_t attr) const;
 
   const Schema* schema_;
@@ -60,16 +63,19 @@ class IndexedRowStore : public BaselineStore {
   Options options_;
   std::size_t row_stride_;
 
-  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
-  std::uint32_t num_rows_ = 0;
-  DenseMap primary_;  // entity -> row idx
+  mutable SharedMutex mutex_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_ AIM_GUARDED_BY(mutex_);
+  std::uint32_t num_rows_ AIM_GUARDED_BY(mutex_) = 0;
+  DenseMap primary_ AIM_GUARDED_BY(mutex_);  // entity -> row idx
 
   // Secondary indexes: attr -> ordered multimap value -> row idx.
-  std::map<std::uint16_t, std::multimap<double, std::uint32_t>> indexes_;
+  std::map<std::uint16_t, std::multimap<double, std::uint32_t>> indexes_
+      AIM_GUARDED_BY(mutex_);
 
-  UpdateProgram program_;
-  std::vector<std::uint8_t> old_row_buf_;
-  mutable std::shared_mutex mutex_;
+  UpdateProgram program_ AIM_GUARDED_BY(mutex_);
+  // Writer-only scratch for the old-row image; mutated under the exclusive
+  // lock in ApplyEvent only.
+  std::vector<std::uint8_t> old_row_buf_ AIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace aim

@@ -1,7 +1,6 @@
 #include "aim/baselines/pure_column_store.h"
 
 #include <cstring>
-#include <mutex>
 
 namespace aim {
 
@@ -17,13 +16,13 @@ PureColumnStore::PureColumnStore(const Schema* schema,
       row_buf_(schema->record_size(), 0) {}
 
 Status PureColumnStore::Load(EntityId entity, const std::uint8_t* row) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   StatusOr<RecordId> id = columns_->Insert(entity, row, 1);
   return id.ok() ? Status::OK() : id.status();
 }
 
 Status PureColumnStore::ApplyEvent(const Event& event) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   const RecordId id = columns_->Lookup(event.caller);
   if (id == kInvalidRecordId) {
     // Auto-create, as the AIM engine does.
@@ -47,7 +46,7 @@ Status PureColumnStore::ApplyEvent(const Event& event) {
 }
 
 QueryResult PureColumnStore::Execute(const Query& query) {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   StatusOr<CompiledQuery> cq = CompiledQuery::Compile(query, schema_, dims_);
   if (!cq.ok()) {
     QueryResult r;
@@ -55,9 +54,14 @@ QueryResult PureColumnStore::Execute(const Query& query) {
     r.status = cq.status();
     return r;
   }
+  // Per-query scratch: Execute runs under a *shared* lock, so concurrent
+  // queries may overlap — a shared member scratch buffer was a data race
+  // between them (caught by the thread-safety annotations: writing
+  // through a member under a shared capability).
+  ScanScratch scratch;
   const std::uint32_t buckets = columns_->num_buckets();
   for (std::uint32_t b = 0; b < buckets; ++b) {
-    cq->ProcessBucket(*columns_, columns_->bucket(b), &scratch_);
+    cq->ProcessBucket(*columns_, columns_->bucket(b), &scratch);
   }
   return FinalizeResult(query, dims_, cq->TakePartial());
 }

@@ -2,8 +2,9 @@
 #define AIM_BASELINES_PURE_COLUMN_STORE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <vector>
+
+#include "aim/common/annotated_mutex.h"
 
 #include "aim/baselines/baseline_store.h"
 #include "aim/esp/update_kernel.h"
@@ -36,12 +37,14 @@ class PureColumnStore : public BaselineStore {
  private:
   const Schema* schema_;
   const DimensionCatalog* dims_;
+  mutable SharedMutex mutex_;
   // bucket_size == max_records: one giant bucket = pure columnar layout.
-  std::unique_ptr<ColumnMap> columns_;
-  UpdateProgram program_;
-  std::vector<std::uint8_t> row_buf_;
-  ScanScratch scratch_;
-  mutable std::shared_mutex mutex_;
+  // The pointer is set once in the constructor; the pointee is what the
+  // lock protects (writers scatter under WriterLock, scans run under
+  // ReaderLock).
+  std::unique_ptr<ColumnMap> columns_ AIM_PT_GUARDED_BY(mutex_);
+  UpdateProgram program_ AIM_GUARDED_BY(mutex_);
+  std::vector<std::uint8_t> row_buf_ AIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace aim

@@ -1,0 +1,219 @@
+#ifndef AIM_COMMON_ANNOTATED_MUTEX_H_
+#define AIM_COMMON_ANNOTATED_MUTEX_H_
+
+// Clang Thread Safety Analysis wrappers — the compile-time layer of the
+// three-layer concurrency story (docs/CORRECTNESS.md, "Thread-safety
+// annotations"): annotations here are checked statically by
+// `-Wthread-safety`, sanitizers catch what escapes at test time, and the
+// model checker certifies the lock-free protocols the analysis cannot see.
+//
+// Every mutex-holding class in src/aim (outside mc/, which ships its own
+// instrumented shims) uses these wrappers instead of the raw std types:
+//
+//   aim::Mutex mu_;                                  // the capability
+//   std::vector<int> items_ AIM_GUARDED_BY(mu_);     // checked field
+//   void DrainLocked() AIM_REQUIRES(mu_);            // checked method
+//   { aim::MutexLock lock(mu_); items_.clear(); }    // checked acquisition
+//
+// tools/lint.sh rejects raw std::mutex / std::lock_guard /
+// std::unique_lock anywhere else in src/aim, so the discipline cannot
+// erode; tests/tsa/ proves with negative-compile fixtures that the
+// analysis actually fires.
+//
+// On non-Clang toolchains every macro expands to nothing and the wrappers
+// are zero-overhead inline shims over the std types — GCC builds are
+// byte-for-byte the unannotated program.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#if defined(__clang__) && !defined(SWIG)
+#define AIM_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define AIM_TSA_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define AIM_CAPABILITY(x) AIM_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define AIM_SCOPED_CAPABILITY AIM_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be touched while holding the named capability.
+#define AIM_GUARDED_BY(x) AIM_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the named capability.
+#define AIM_PT_GUARDED_BY(x) AIM_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define AIM_ACQUIRE(...) AIM_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define AIM_ACQUIRE_SHARED(...) \
+  AIM_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define AIM_RELEASE(...) AIM_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define AIM_RELEASE_SHARED(...) \
+  AIM_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define AIM_TRY_ACQUIRE(...) \
+  AIM_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define AIM_TRY_ACQUIRE_SHARED(...) \
+  AIM_TSA_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (shared: at least shared).
+#define AIM_REQUIRES(...) AIM_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define AIM_REQUIRES_SHARED(...) \
+  AIM_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// catches self-deadlock).
+#define AIM_EXCLUDES(...) AIM_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Static lock-ordering declaration (checked under -Wthread-safety-beta).
+#define AIM_ACQUIRED_BEFORE(...) \
+  AIM_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define AIM_ACQUIRED_AFTER(...) AIM_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define AIM_RETURN_CAPABILITY(x) AIM_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define AIM_ASSERT_CAPABILITY(x) AIM_TSA_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch for code the analysis cannot model. Every use carries a
+/// comment saying why (same policy as "// relaxed:" justifications).
+#define AIM_NO_THREAD_SAFETY_ANALYSIS \
+  AIM_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace aim {
+
+class CondVar;
+
+/// std::mutex with the capability annotation. Lowercase lock/unlock keep
+/// BasicLockable compatibility so generic code (and std::lock-style
+/// helpers inside the wrappers) keep working.
+class AIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AIM_ACQUIRE() { mu_.lock(); }
+  void unlock() AIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() AIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability annotation (reader/writer stores
+/// in baselines/).
+class AIM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() AIM_ACQUIRE() { mu_.lock(); }
+  void unlock() AIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() AIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() AIM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() AIM_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() AIM_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over aim::Mutex — the annotated stand-in for
+/// std::lock_guard / std::unique_lock. Exposes mutex() for signature
+/// parity with std::unique_lock, which is what lets the protocol
+/// templates swap in the model checker's lock type (mc::UniqueLock) via
+/// the sync provider.
+class AIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AIM_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() AIM_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  Mutex* mutex() const { return mu_; }
+
+ private:
+  Mutex* mu_;
+};
+
+/// Scoped shared (reader) lock over aim::SharedMutex.
+class AIM_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) AIM_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() AIM_RELEASE_SHARED() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Scoped exclusive (writer) lock over aim::SharedMutex.
+class AIM_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) AIM_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~WriterLock() AIM_RELEASE() { mu_->unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// std::condition_variable against aim::Mutex, waiting through a
+/// MutexLock. The analysis treats the lock as continuously held across
+/// wait() — the standard TSA model for condvars: the lock is held on
+/// entry and re-held on every return, and the guarded-field invariants
+/// the predicate checks are exactly the ones the capability protects.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Single wait (may wake spuriously). Callers re-check their predicate
+  /// in an explicit `while (!pred) cv.wait(lock);` loop — the loop body
+  /// then sits in the locked scope, where the analysis can check the
+  /// guarded fields the predicate reads (a lambda predicate would be
+  /// analyzed as a separate, lock-less function and flagged).
+  void wait(MutexLock& lock) AIM_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held mutex for the duration of the std wait, then
+    // release ownership back to the MutexLock (which unlocks at scope
+    // exit as usual). No lock/unlock happens here beyond the condvar's
+    // own internal reacquisition.
+    std::unique_lock<std::mutex> inner(lock.mutex()->mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_ANNOTATED_MUTEX_H_

@@ -2,9 +2,10 @@
 #define AIM_COMMON_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "aim/common/annotated_mutex.h"
 
 namespace aim {
 
@@ -27,7 +28,7 @@ class BufferPool {
 
   /// Returns an empty buffer, reusing a pooled one when available.
   std::vector<std::uint8_t> Acquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (free_.empty()) return {};
     std::vector<std::uint8_t> buf = std::move(free_.back());
     free_.pop_back();
@@ -39,19 +40,19 @@ class BufferPool {
   /// buffer never allocated).
   void Release(std::vector<std::uint8_t>&& buf) {
     if (buf.capacity() == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (free_.size() >= max_buffers_) return;  // fall to the allocator
     free_.push_back(std::move(buf));
   }
 
   std::size_t free_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return free_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::uint8_t>> free_;
+  mutable Mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_ AIM_GUARDED_BY(mu_);
   const std::size_t max_buffers_;
 };
 

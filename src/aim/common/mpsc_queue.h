@@ -2,10 +2,10 @@
 #define AIM_COMMON_MPSC_QUEUE_H_
 
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/common/sync_provider.h"
 
 namespace aim {
@@ -26,6 +26,11 @@ namespace aim {
 /// proved exhaustively by tests/mc/mpsc_queue_mc_test.cc, which
 /// instantiates this class with the model checker's sync provider — that
 /// is what the P parameter exists for; production uses the default).
+///
+/// Condvar waits are explicit predicate loops, not wait(lock, pred)
+/// lambdas: the loop body lives in the locked scope, so the thread-safety
+/// analysis can check every guarded-field read the predicate makes
+/// (annotated_mutex.h explains the lambda blind spot).
 template <typename T, typename P = RealSyncProvider>
 class MpscQueue {
  public:
@@ -36,10 +41,10 @@ class MpscQueue {
 
   /// Blocking push. Returns false if the queue was closed.
   bool Push(T item) {
-    std::unique_lock<typename P::Mutex> lock(mu_);
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
+    typename P::UniqueLock lock(mu_);
+    while (!(closed_ || capacity_ == 0 || items_.size() < capacity_)) {
+      not_full_.wait(lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -48,7 +53,7 @@ class MpscQueue {
 
   /// Non-blocking push. Returns false if full or closed.
   bool TryPush(T item) {
-    std::lock_guard<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
       return false;
     }
@@ -59,8 +64,10 @@ class MpscQueue {
 
   /// Blocking pop. Returns nullopt once the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<typename P::Mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    typename P::UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(lock);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -70,7 +77,7 @@ class MpscQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::unique_lock<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -93,7 +100,7 @@ class MpscQueue {
   /// number of items drained.
   template <typename Container>
   std::size_t DrainInto(Container* out, std::size_t max_items) {
-    std::unique_lock<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     std::size_t n = items_.size();
     if (max_items != 0 && max_items < n) n = max_items;
     for (std::size_t i = 0; i < n; ++i) {
@@ -110,12 +117,12 @@ class MpscQueue {
   /// producer mid-batch — capacity is a pacing hint here, not a hard limit.
   template <typename It>
   bool PushAll(It first, It last) {
-    std::unique_lock<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     if (closed_) return false;
     if (first == last) return true;
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
+    while (!(closed_ || capacity_ == 0 || items_.size() < capacity_)) {
+      not_full_.wait(lock);
+    }
     if (closed_) return false;
     for (It it = first; it != last; ++it) {
       items_.push_back(std::move(*it));
@@ -125,19 +132,19 @@ class MpscQueue {
   }
 
   void Close() {
-    std::lock_guard<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<typename P::Mutex> lock(mu_);
+    typename P::UniqueLock lock(mu_);
     return items_.size();
   }
 
@@ -145,9 +152,9 @@ class MpscQueue {
   mutable typename P::Mutex mu_;
   typename P::CondVar not_empty_;
   typename P::CondVar not_full_;
-  std::deque<T> items_;
+  std::deque<T> items_ AIM_GUARDED_BY(mu_);
   const std::size_t capacity_;  // 0 = unbounded
-  bool closed_ = false;
+  bool closed_ AIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aim

@@ -2,15 +2,16 @@
 #define AIM_COMMON_SYNC_PROVIDER_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+
+#include "aim/common/annotated_mutex.h"
 
 namespace aim {
 
 /// Synchronization-primitive provider for the concurrency-protocol
 /// templates (SwapHandshake, BasicDenseMap, MpscQueue). Production code
-/// instantiates them with this provider — plain std types, zero overhead;
+/// instantiates them with this provider — the Clang-TSA-annotated
+/// wrappers from annotated_mutex.h, zero overhead over the std types;
 /// the model checker instantiates them with mc::ModelSyncProvider
 /// (aim/mc/shim.h), which routes every operation through an exhaustive
 /// interleaving explorer. Parameterizing the *real* protocol code is what
@@ -20,8 +21,12 @@ struct RealSyncProvider {
   template <typename T>
   using Atomic = std::atomic<T>;
   using AtomicBool = std::atomic<bool>;
-  using Mutex = std::mutex;
-  using CondVar = std::condition_variable;
+  using Mutex = aim::Mutex;
+  using CondVar = aim::CondVar;
+  /// Scoped exclusive lock over Mutex, condvar-wait capable. The model
+  /// checker substitutes mc::UniqueLock; both expose mutex() like
+  /// std::unique_lock.
+  using UniqueLock = aim::MutexLock;
 
   /// Spin-throttle for handshake wait loops: pause for short waits, yield
   /// once the other side clearly is not running (mandatory on

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/mc/scheduler.h"
 
 namespace aim {
@@ -141,8 +142,10 @@ class Atomic {
 
 /// Drop-in for std::mutex. Lock/unlock are schedule points; the scheduler
 /// blocks lock() while another virtual thread holds the mutex and flags
-/// destroy-while-held / use-after-destroy as violations.
-class Mutex {
+/// destroy-while-held / use-after-destroy as violations. Carries the same
+/// capability annotation as aim::Mutex so protocol templates annotated
+/// with AIM_GUARDED_BY stay analyzable in their mc instantiations.
+class AIM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() { id_ = RegisterObject(ObjectKind::kMutex, 0); }
   ~Mutex() { DestroyObject(id_); }
@@ -150,7 +153,7 @@ class Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() {
+  void lock() AIM_ACQUIRE() {
     if (!InSimulation()) {
       plain_locked_ = true;
       return;
@@ -158,7 +161,7 @@ class Mutex {
     MutexLock(id_);
   }
 
-  void unlock() {
+  void unlock() AIM_RELEASE() {
     if (!InSimulation()) {
       plain_locked_ = false;
       return;
@@ -170,6 +173,23 @@ class Mutex {
   friend class CondVar;
   ObjectId id_;
   bool plain_locked_ = false;  // driver-context bookkeeping only
+};
+
+/// Scoped lock over mc::Mutex — the shim counterpart of aim::MutexLock
+/// (RealSyncProvider::UniqueLock). mutex() gives CondVar::wait the object
+/// identity it reports to the scheduler.
+class AIM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) AIM_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~UniqueLock() AIM_RELEASE() { mu_->unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  Mutex* mutex() const { return mu_; }
+
+ private:
+  Mutex* mu_;
 };
 
 /// Drop-in for std::condition_variable, against mc::Mutex. Notifies wake
@@ -200,6 +220,21 @@ class CondVar {
     }
   }
 
+  /// Single wait, re-checked by the caller's explicit predicate loop —
+  /// mirror of aim::CondVar::wait(MutexLock&), which production code uses
+  /// so guarded-field predicates stay visible to the thread-safety
+  /// analysis (see annotated_mutex.h).
+  template <typename Lock>
+  void wait(Lock& lock) {
+    if (!InSimulation()) {
+      // Driver-context waits cannot be woken (single-threaded): reaching a
+      // wait at all is a deadlock in the test body.
+      McAssert(false, "CondVar::wait outside sim");
+      return;
+    }
+    CondWaitBlock(id_, lock.mutex()->id_);
+  }
+
   void notify_one() { Notify(); }
   void notify_all() { Notify(); }
 
@@ -220,6 +255,7 @@ struct ModelSyncProvider {
   using AtomicBool = mc::Atomic<bool>;
   using Mutex = mc::Mutex;
   using CondVar = mc::CondVar;
+  using UniqueLock = mc::UniqueLock;
 
   /// Spin-throttle hook: under the checker a failed spin blocks the thread
   /// until another thread writes, keeping the DFS finite (scheduler.h).

@@ -9,7 +9,7 @@ namespace net {
 
 bool CoalescingWriter::Enqueue(std::vector<std::uint8_t> frame,
                                bool* should_flush) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) {
     *should_flush = false;
     return false;
@@ -29,7 +29,7 @@ Status CoalescingWriter::Flush(const Socket& socket,
   std::vector<std::vector<std::uint8_t>> batch;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       AIM_DCHECK_MSG(in_flight_, "Flush without election");
       if (queue_.empty() || failed_) {
         in_flight_ = false;
@@ -42,7 +42,7 @@ Status CoalescingWriter::Flush(const Socket& socket,
     }
     Status st = SendFrames(socket, batch, timeout_millis);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       failed_ = true;
       queue_.clear();  // broken stream: nothing queued can be framed now
       in_flight_ = false;
@@ -64,22 +64,24 @@ Status CoalescingWriter::Flush(const Socket& socket,
 }
 
 bool CoalescingWriter::busy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
 bool CoalescingWriter::failed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_;
 }
 
 void CoalescingWriter::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return !in_flight_; });
+  MutexLock lock(mu_);
+  while (in_flight_) {
+    idle_cv_.wait(lock);
+  }
 }
 
 void CoalescingWriter::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AIM_DCHECK_MSG(!in_flight_, "Reset while a flush is in flight");
   failed_ = false;
   queue_.clear();

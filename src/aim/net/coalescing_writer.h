@@ -1,11 +1,10 @@
 #ifndef AIM_NET_COALESCING_WRITER_H_
 #define AIM_NET_COALESCING_WRITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/common/status.h"
 #include "aim/net/socket.h"
 #include "aim/obs/histogram.h"
@@ -52,34 +51,40 @@ class CoalescingWriter {
   /// Queues one complete frame. Returns false if the writer has failed
   /// (frame dropped). On true, `*should_flush` says whether this thread
   /// was elected flusher and must call Flush() now.
-  bool Enqueue(std::vector<std::uint8_t> frame, bool* should_flush);
+  bool Enqueue(std::vector<std::uint8_t> frame, bool* should_flush)
+      AIM_EXCLUDES(mu_);
 
   /// The elected flusher's duty: drain-and-send until the queue is empty,
   /// then stand down. Returns the first write error (writer is then
-  /// failed) or OK.
-  Status Flush(const Socket& socket, std::int64_t timeout_millis);
+  /// failed) or OK. Sends run outside mu_, so enqueuers never block on a
+  /// slow socket.
+  Status Flush(const Socket& socket, std::int64_t timeout_millis)
+      AIM_EXCLUDES(mu_);
 
   /// True between a flusher's election and its stand-down.
-  bool busy() const;
+  bool busy() const AIM_EXCLUDES(mu_);
 
   /// True once a write error latched (until Reset).
-  bool failed() const;
+  bool failed() const AIM_EXCLUDES(mu_);
 
   /// Blocks until no flush is in flight (failed or drained). The caller
   /// must ensure no further Enqueue elections race with its next step
   /// (e.g. TcpClient holds its submit mutex).
-  void WaitIdle();
+  void WaitIdle() AIM_EXCLUDES(mu_);
 
   /// Rearm for a fresh connection: clears the failure latch and any
   /// stranded frames. Only legal while not busy.
-  void Reset();
+  void Reset() AIM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::vector<std::vector<std::uint8_t>> queue_;
-  bool in_flight_ = false;
-  bool failed_ = false;
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  std::vector<std::vector<std::uint8_t>> queue_ AIM_GUARDED_BY(mu_);
+  bool in_flight_ AIM_GUARDED_BY(mu_) = false;
+  bool failed_ AIM_GUARDED_BY(mu_) = false;
+  /// Set once via AttachMetrics before first use, read without mu_ by the
+  /// flusher — not guarded by design (pointers are immutable after
+  /// attach; the metric objects themselves are lock-free).
   Metrics metrics_;
 };
 

@@ -51,14 +51,14 @@ TcpClient::TcpClient(const Options& options)
 TcpClient::~TcpClient() { Close(); }
 
 Status TcpClient::Connect() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return EnsureConnectedLocked();
 }
 
 void TcpClient::Close() {
   std::vector<Pending> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     closed_ = true;
     orphaned = DisconnectLocked();
@@ -68,17 +68,17 @@ void TcpClient::Close() {
   // A late flusher may still be gather-writing on the (shut down) socket;
   // the fd must stay reserved until it stands down.
   writer_.WaitIdle();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sock_.Close();
 }
 
 bool TcpClient::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return connected_;
 }
 
 NodeChannel::NodeInfo TcpClient::info() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return info_;
 }
 
@@ -215,7 +215,7 @@ void TcpClient::FlushWriter(bool should_flush) {
   // as lost as its frame. Tear down and fail them immediately.
   std::vector<Pending> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (connected_) orphaned = DisconnectLocked();
   }
   FailPending(std::move(orphaned),
@@ -227,7 +227,7 @@ bool TcpClient::SubmitEvent(std::vector<std::uint8_t> event_bytes,
   bool accepted = false;
   bool should_flush = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
     if (completion == nullptr) {
       accepted = EnqueueFrameLocked(FrameType::kEvent, kFlagNoReply,
@@ -257,7 +257,7 @@ std::size_t TcpClient::SubmitEventBatch(std::vector<EventMessage>&& batch) {
   std::size_t accepted = 0;
   bool should_flush = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!EnsureConnectedLocked().ok()) return 0;
     const bool server_batches =
         (info_.features & kFeatureEventBatch) != 0;
@@ -324,7 +324,7 @@ bool TcpClient::SubmitQuery(
   bool accepted = false;
   bool should_flush = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
     const std::uint64_t id = next_request_id_++;
     Pending pending;
@@ -346,7 +346,7 @@ bool TcpClient::SubmitRecordRequest(RecordRequest request) {
   bool accepted = false;
   bool should_flush = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!EnsureConnectedLocked().ok()) return false;
     const std::uint64_t id = next_request_id_++;
     Pending pending;
@@ -383,7 +383,7 @@ void TcpClient::ReceiverLoop() {
     if (readable.IsDeadlineExceeded()) {
       SweepDeadlines();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!connected_) break;
       }
       continue;
@@ -415,7 +415,7 @@ void TcpClient::ReceiverLoop() {
   // socket back (joined + closed by the next connect attempt or Close).
   std::vector<Pending> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (connected_) orphaned = DisconnectLocked();
   }
   FailPending(std::move(orphaned),
@@ -427,7 +427,7 @@ void TcpClient::DispatchReply(const FrameHeader& header,
                               std::vector<std::uint8_t>&& payload) {
   Pending pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = outstanding_.find(header.request_id);
     if (it == outstanding_.end()) return;  // expired request's late reply
     pending = std::move(it->second);
@@ -481,7 +481,7 @@ void TcpClient::DispatchReply(const FrameHeader& header,
 void TcpClient::SweepDeadlines() {
   std::vector<Pending> expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const std::int64_t now = NowMillis();
     for (auto it = outstanding_.begin(); it != outstanding_.end();) {
       if (now >= it->second.deadline_millis) {

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
 #include "aim/net/node_channel.h"
@@ -102,42 +102,49 @@ class TcpClient : public NodeChannel {
     std::int64_t deadline_millis = 0;
   };
 
-  Status EnsureConnectedLocked();
+  Status EnsureConnectedLocked() AIM_REQUIRES(mu_);
   /// Marks the connection lost, wakes the receiver and fails every
   /// outstanding request (outside the lock, via the returned list).
-  std::vector<Pending> DisconnectLocked();
+  std::vector<Pending> DisconnectLocked() AIM_REQUIRES(mu_);
   /// Queues one frame on the coalescing writer (under mu_). Returns false
   /// if the writer has failed; `*should_flush` tells the caller to run
   /// FlushWriter after releasing mu_.
   bool EnqueueFrameLocked(FrameType type, std::uint8_t flags,
                           std::uint64_t request_id,
                           const std::uint8_t* payload,
-                          std::size_t payload_size, bool* should_flush);
+                          std::size_t payload_size, bool* should_flush)
+      AIM_REQUIRES(mu_);
   /// Runs the elected flush outside mu_; a write failure tears the
   /// connection down (outstanding requests fail immediately).
-  void FlushWriter(bool should_flush);
+  void FlushWriter(bool should_flush) AIM_EXCLUDES(mu_);
   void FailPending(std::vector<Pending> pending, const Status& status);
   void ReceiverLoop();
   void DispatchReply(const FrameHeader& header,
-                     std::vector<std::uint8_t>&& payload);
-  void SweepDeadlines();
+                     std::vector<std::uint8_t>&& payload) AIM_EXCLUDES(mu_);
+  void SweepDeadlines() AIM_EXCLUDES(mu_);
 
   Options options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // Deliberately not AIM_GUARDED_BY(mu_): the receiver thread reads sock_
+  // without the lock by design — the fd stays reserved (shutdown, not
+  // closed) until the receiver is joined, and EnsureConnectedLocked never
+  // reassigns it while the receiver or a flusher is alive.
   Socket sock_;
   // Write path: frames enter under mu_, the elected flusher gather-writes
   // them outside mu_ (sock_ is never closed or reassigned while the writer
-  // is busy — EnsureConnectedLocked and Close wait it out first).
+  // is busy — EnsureConnectedLocked and Close wait it out first). The
+  // writer is internally synchronized.
   CoalescingWriter writer_;
-  bool connected_ = false;
-  bool closed_ = false;
-  bool ever_connected_ = false;
-  NodeInfo info_;
-  std::uint64_t next_request_id_ = 1;
-  std::unordered_map<std::uint64_t, Pending> outstanding_;
-  std::int64_t backoff_millis_ = 0;
-  std::int64_t next_attempt_millis_ = 0;
+  bool connected_ AIM_GUARDED_BY(mu_) = false;
+  bool closed_ AIM_GUARDED_BY(mu_) = false;
+  bool ever_connected_ AIM_GUARDED_BY(mu_) = false;
+  NodeInfo info_ AIM_GUARDED_BY(mu_);
+  std::uint64_t next_request_id_ AIM_GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, Pending> outstanding_
+      AIM_GUARDED_BY(mu_);
+  std::int64_t backoff_millis_ AIM_GUARDED_BY(mu_) = 0;
+  std::int64_t next_attempt_millis_ AIM_GUARDED_BY(mu_) = 0;
 
   std::thread receiver_;
   // Set by the receiver as its very last action outside mu_, so a joiner

@@ -62,7 +62,7 @@ void TcpServer::Stop() {
 
   std::vector<Connection> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     connections.swap(connections_);
   }
   for (Connection& conn : connections) {
@@ -76,7 +76,7 @@ void TcpServer::Stop() {
 }
 
 void TcpServer::PruneFinished() {
-  std::lock_guard<std::mutex> lock(connections_mu_);
+  MutexLock lock(connections_mu_);
   for (std::size_t i = 0; i < connections_.size();) {
     if (connections_[i].state->done.load(std::memory_order_acquire)) {
       if (connections_[i].thread.joinable()) connections_[i].thread.join();
@@ -104,7 +104,7 @@ void TcpServer::AcceptLoop() {
     PruneFinished();
     std::size_t active;
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       active = connections_.size();
     }
     if (active >= options_.max_connections) {
@@ -124,7 +124,7 @@ void TcpServer::AcceptLoop() {
     conn.state = state;
     conn.thread = std::thread([this, state] { ServeConnection(state); });
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       connections_.push_back(std::move(conn));
       connections_gauge_->Set(static_cast<std::int64_t>(connections_.size()));
     }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
 #include "aim/net/node_channel.h"
@@ -91,7 +91,7 @@ class TcpServer {
   /// connection closed.
   void WriteFrame(ConnectionState* state, FrameType type,
                   std::uint64_t request_id, const BinaryWriter& payload);
-  void PruneFinished();
+  void PruneFinished() AIM_EXCLUDES(connections_mu_);
 
   NodeChannel* node_;
   Options options_;
@@ -101,8 +101,8 @@ class TcpServer {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
 
-  std::mutex connections_mu_;
-  std::vector<Connection> connections_;
+  Mutex connections_mu_;
+  std::vector<Connection> connections_ AIM_GUARDED_BY(connections_mu_);
 
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_ = nullptr;

@@ -76,7 +76,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
                                                       Labels labels,
                                                       Type type) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : entries_) {
     if (e->name == name && e->labels == labels) {
       AIM_CHECK_MSG(e->type == type,
@@ -128,12 +128,12 @@ AtomicHistogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::size_t MetricsRegistry::NumMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   // One # TYPE line per family: entries are grouped by first appearance.
   std::vector<const Entry*> ordered;
@@ -202,7 +202,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& e : entries_) {
     switch (e->type) {

@@ -2,11 +2,11 @@
 #define AIM_OBS_REGISTRY_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "aim/common/annotated_mutex.h"
 #include "aim/obs/histogram.h"
 #include "aim/obs/metric.h"
 
@@ -70,12 +70,13 @@ class MetricsRegistry {
     }
   };
 
-  Entry* FindOrCreate(const std::string& name, Labels labels, Type type);
+  Entry* FindOrCreate(const std::string& name, Labels labels, Type type)
+      AIM_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // deque-of-unique_ptr semantics via vector<unique_ptr>: entries never
   // move, so metric pointers handed out stay stable across registrations.
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ AIM_GUARDED_BY(mu_);
 };
 
 }  // namespace aim

@@ -1,0 +1,18 @@
+// Lint self-test fixture (clean tree): a fully justified file — the lint
+// run over this tree must exit 0.
+#include <atomic>
+
+namespace aim::lint_fixture {
+
+inline int LoadGood(const std::atomic<int>& v) {
+  // relaxed: monotonic stats snapshot; readers tolerate staleness.
+  return v.load(std::memory_order_relaxed);
+}
+
+inline void StoreGood(std::atomic<int>& v, int x) {
+  // seq_cst: Dekker-style store/load pairing with the drain flag needs a
+  // total order.
+  v.store(x, std::memory_order_seq_cst);
+}
+
+}  // namespace aim::lint_fixture

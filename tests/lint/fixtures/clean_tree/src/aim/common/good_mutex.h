@@ -1,0 +1,23 @@
+#ifndef AIM_LINT_FIXTURE_GOOD_MUTEX_H_
+#define AIM_LINT_FIXTURE_GOOD_MUTEX_H_
+
+// Lint self-test fixture (clean tree): locking through the annotated
+// wrappers — nothing to flag. (Prose mentioning std::mutex is fine.)
+
+namespace aim::lint_fixture {
+
+class GoodCounter {
+ public:
+  void Bump() {
+    // In the real tree this would be aim::MutexLock lock(mu_); the
+    // self-test fixture only needs the absence of raw primitives.
+    ++count_;
+  }
+
+ private:
+  int count_ = 0;
+};
+
+}  // namespace aim::lint_fixture
+
+#endif  // AIM_LINT_FIXTURE_GOOD_MUTEX_H_

@@ -1,0 +1,18 @@
+#ifndef AIM_LINT_FIXTURE_ANNOTATED_MUTEX_H_
+#define AIM_LINT_FIXTURE_ANNOTATED_MUTEX_H_
+
+// Lint self-test fixture standing in for the real annotation layer:
+// common/annotated_mutex.h is allowlisted by path, so its raw std::mutex
+// member below must NOT be flagged.
+#include <mutex>
+
+namespace aim::lint_fixture {
+
+class FakeAnnotatedMutex {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace aim::lint_fixture
+
+#endif  // AIM_LINT_FIXTURE_ANNOTATED_MUTEX_H_

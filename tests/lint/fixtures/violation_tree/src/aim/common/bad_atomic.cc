@@ -1,0 +1,15 @@
+// Lint self-test fixture: planted memory-order violations. The driver
+// asserts tools/lint.sh flags EXACTLY the lines marked BAD below.
+#include <atomic>
+
+namespace aim::lint_fixture {
+
+inline int LoadBad(const std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);  // BAD: no justification
+}
+
+inline void StoreBad(std::atomic<int>& v, int x) {
+  v.store(x, std::memory_order_seq_cst);  // BAD: no justification
+}
+
+}  // namespace aim::lint_fixture

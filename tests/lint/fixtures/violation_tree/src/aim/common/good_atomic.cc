@@ -1,0 +1,25 @@
+// Lint self-test fixture: justified orderings — the audit must NOT flag
+// anything in this file (over-flagging is as much a bug as missing one).
+#include <atomic>
+
+namespace aim::lint_fixture {
+
+inline int LoadGood(const std::atomic<int>& v) {
+  // relaxed: monotonic stats snapshot; readers tolerate staleness.
+  return v.load(std::memory_order_relaxed);
+}
+
+inline void StoreGood(std::atomic<int>& v, int x) {
+  // seq_cst: Dekker-style store/load pairing with the drain flag needs a
+  // total order.
+  v.store(x, std::memory_order_seq_cst);
+}
+
+inline int ChainedGood(const std::atomic<int>& v) {
+  // relaxed: one comment covers the contiguous block below.
+  int a = v.load(std::memory_order_relaxed);
+  int b = v.load(std::memory_order_relaxed);
+  return a + b;
+}
+
+}  // namespace aim::lint_fixture

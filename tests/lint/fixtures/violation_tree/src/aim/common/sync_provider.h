@@ -1,0 +1,17 @@
+#ifndef AIM_LINT_FIXTURE_SYNC_PROVIDER_H_
+#define AIM_LINT_FIXTURE_SYNC_PROVIDER_H_
+
+// Lint self-test fixture standing in for the real sync provider:
+// common/sync_provider.h is allowlisted by path, so the raw
+// condition_variable below must NOT be flagged.
+#include <condition_variable>
+
+namespace aim::lint_fixture {
+
+struct FakeSyncProvider {
+  std::condition_variable cv;
+};
+
+}  // namespace aim::lint_fixture
+
+#endif  // AIM_LINT_FIXTURE_SYNC_PROVIDER_H_

@@ -1,0 +1,19 @@
+#ifndef AIM_LINT_FIXTURE_FAKE_SHIM_H_
+#define AIM_LINT_FIXTURE_FAKE_SHIM_H_
+
+// Lint self-test fixture: mc/ is allowlisted (the model checker's shims
+// ARE the instrumented primitives), so nothing here may be flagged even
+// though it uses the raw types.
+#include <condition_variable>
+#include <mutex>
+
+namespace aim::lint_fixture {
+
+struct FakeShim {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace aim::lint_fixture
+
+#endif  // AIM_LINT_FIXTURE_FAKE_SHIM_H_

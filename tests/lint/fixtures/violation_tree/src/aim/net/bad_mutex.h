@@ -1,0 +1,25 @@
+#ifndef AIM_LINT_FIXTURE_BAD_MUTEX_H_
+#define AIM_LINT_FIXTURE_BAD_MUTEX_H_
+
+// Lint self-test fixture: raw synchronization primitives outside the
+// annotation layer. Every raw use below must be flagged; the mention of
+// std::mutex in this comment must NOT be (comments are stripped).
+#include <mutex>
+
+namespace aim::lint_fixture {
+
+class BadCounter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace aim::lint_fixture
+
+#endif  // AIM_LINT_FIXTURE_BAD_MUTEX_H_

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Self-test for tools/lint.sh: runs the always-on audits over two fixture
+# trees and asserts
+#   1. the violation tree fails with EXACTLY the planted violations
+#      (expected_violations.txt) — no misses, no over-flagging, and the
+#      allowlisted fakes (src/aim/mc/, common/annotated_mutex.h,
+#      common/sync_provider.h) stay exempt;
+#   2. the clean tree passes with exit 0.
+# clang-tidy is skipped (AIM_LINT_SKIP_TIDY=1) so the result is
+# toolchain-independent and byte-exact.
+
+set -u
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+REPO_ROOT="$(cd "$HERE/../.." && pwd)"
+LINT="$REPO_ROOT/tools/lint.sh"
+FAIL=0
+
+echo "== lint self-test: violation tree =="
+OUT=$(AIM_LINT_ROOT="$HERE/fixtures/violation_tree" AIM_LINT_SKIP_TIDY=1 \
+      "$LINT" 2>&1)
+RC=$?
+if [ "$RC" -eq 0 ]; then
+  echo "FAIL: lint exited 0 on the violation tree"
+  FAIL=1
+fi
+GOT=$(printf '%s\n' "$OUT" | grep -E '^src/aim/[^ ]+:[0-9]+: ' | sort)
+WANT=$(sort "$HERE/expected_violations.txt")
+if [ "$GOT" != "$WANT" ]; then
+  echo "FAIL: flagged violations differ from expected_violations.txt"
+  echo "--- expected"
+  printf '%s\n' "$WANT"
+  echo "--- got"
+  printf '%s\n' "$GOT"
+  FAIL=1
+else
+  echo "OK: exactly the planted violations were flagged (exit $RC)."
+fi
+
+echo
+echo "== lint self-test: clean tree =="
+OUT=$(AIM_LINT_ROOT="$HERE/fixtures/clean_tree" AIM_LINT_SKIP_TIDY=1 \
+      "$LINT" 2>&1)
+RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAIL: lint exited $RC on the clean tree"
+  printf '%s\n' "$OUT"
+  FAIL=1
+else
+  echo "OK: clean tree passes (exit 0)."
+fi
+
+if [ "$FAIL" -eq 0 ]; then
+  echo
+  echo "PASS: lint self-test"
+fi
+exit $FAIL

@@ -5,6 +5,7 @@
 // concurrent Record/Snapshot interleavings to chew on.
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -129,6 +130,72 @@ TEST(ObsStress, RegistryConcurrentGetAndRender) {
     EXPECT_EQ(canonical->Value(), static_cast<std::uint64_t>(threads));
     for (int t = 0; t < threads; ++t) {
       EXPECT_EQ(seen[static_cast<std::size_t>(t * series + i)], canonical);
+    }
+  }
+}
+
+TEST(ObsStress, RegistryMixedTypeRegistrationWhileRendering) {
+  // A dedicated render thread snapshots continuously while worker threads
+  // grow the catalogue with all four metric types under distinct names.
+  // Every pointer handed out must stay valid and re-fetchable (the
+  // registry's entries-never-move guarantee), and renders must never see
+  // a torn entry.
+  const int threads = 8;
+  const int per_thread = 16;
+  MetricsRegistry reg;
+  std::atomic<bool> stop_render{false};
+  std::uint64_t renders = 0;
+
+  std::thread render([&] {
+    while (!stop_render.load(std::memory_order_acquire)) {
+      const std::string prom = reg.RenderPrometheus();
+      const std::string json = reg.RenderJson();
+      ASSERT_FALSE(json.empty());
+      (void)prom;
+      ++renders;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string who = std::to_string(t);
+      for (int i = 0; i < per_thread; ++i) {
+        const std::string idx = std::to_string(i);
+        Counter* c =
+            reg.GetCounter("aim_stress_mixed_total", {{"t", who}, {"i", idx}});
+        Gauge* g =
+            reg.GetGauge("aim_stress_mixed_gauge", {{"t", who}, {"i", idx}});
+        AtomicHistogram* h = reg.GetHistogram("aim_stress_mixed_micros",
+                                              {{"t", who}, {"i", idx}});
+        ShardedCounter* s = reg.GetShardedCounter("aim_stress_mixed_sharded",
+                                                  {{"t", who}, {"i", idx}});
+        c->Add();
+        g->Set(i);
+        h->Record(1.5 * i);
+        s->Add();
+        // Same name+labels must come back as the same object even while
+        // other threads are appending entries.
+        ASSERT_EQ(c, reg.GetCounter("aim_stress_mixed_total",
+                                    {{"t", who}, {"i", idx}}));
+        ASSERT_EQ(s, reg.GetShardedCounter("aim_stress_mixed_sharded",
+                                           {{"t", who}, {"i", idx}}));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop_render.store(true, std::memory_order_release);
+  render.join();
+
+  EXPECT_EQ(reg.NumMetrics(),
+            static_cast<std::size_t>(threads) * per_thread * 4);
+  EXPECT_GT(renders, 0u);
+  for (int t = 0; t < threads; ++t) {
+    for (int i = 0; i < per_thread; ++i) {
+      Counter* c = reg.GetCounter(
+          "aim_stress_mixed_total",
+          {{"t", std::to_string(t)}, {"i", std::to_string(i)}});
+      EXPECT_EQ(c->Value(), 1u);
     }
   }
 }

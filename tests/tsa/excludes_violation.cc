@@ -1,0 +1,31 @@
+// TSA negative fixture: calling an AIM_EXCLUDES function while holding
+// the mutex it acquires itself — a guaranteed self-deadlock with
+// non-recursive mutexes. Must FAIL to compile under -Wthread-safety
+// -Werror.
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class Registry {
+ public:
+  void Refresh() {
+    MutexLock lock(mu_);
+    Rebuild();  // BAD: Rebuild re-locks mu_, which this thread holds
+  }
+
+  void Rebuild() AIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++generation_;
+  }
+
+ private:
+  Mutex mu_;
+  int generation_ AIM_GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Registry registry;
+  registry.Refresh();
+}
+
+}  // namespace aim::tsa_fixture

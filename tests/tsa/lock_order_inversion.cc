@@ -1,0 +1,39 @@
+// TSA negative fixture: lock-ordering violations. Two independent defects
+// so the fixture fails to build regardless of whether the beta
+// lock-ordering checks are active in the toolchain's Clang:
+//   1. re-acquiring a capability already held (always diagnosed), and
+//   2. acquiring mu_a_ after mu_b_ against the declared
+//      AIM_ACQUIRED_AFTER order (diagnosed under -Wthread-safety-beta).
+// Must FAIL to compile under -Wthread-safety -Wthread-safety-beta -Werror.
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class Transfer {
+ public:
+  void DoubleAcquire() {
+    mu_a_.lock();
+    mu_a_.lock();  // BAD: mu_a_ is already held
+    mu_a_.unlock();
+    mu_a_.unlock();
+  }
+
+  void InvertedOrder() {
+    mu_b_.lock();
+    mu_a_.lock();  // BAD: mu_b_ is declared acquired-after mu_a_
+    mu_a_.unlock();
+    mu_b_.unlock();
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_ AIM_ACQUIRED_AFTER(mu_a_);
+};
+
+void Drive() {
+  Transfer transfer;
+  transfer.DoubleAcquire();
+  transfer.InvertedOrder();
+}
+
+}  // namespace aim::tsa_fixture

@@ -1,0 +1,31 @@
+// TSA negative fixture: calling an AIM_REQUIRES function without holding
+// the required mutex. Must FAIL to compile under -Wthread-safety -Werror.
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class Journal {
+ public:
+  void Append(int v) {
+    AppendLocked(v);  // BAD: caller does not hold mu_
+  }
+
+  void AppendSafely(int v) {
+    MutexLock lock(mu_);
+    AppendLocked(v);
+  }
+
+ private:
+  void AppendLocked(int v) AIM_REQUIRES(mu_) { tail_ = v; }
+
+  Mutex mu_;
+  int tail_ AIM_GUARDED_BY(mu_) = 0;
+};
+
+void Drive(int v) {
+  Journal journal;
+  journal.Append(v);
+  journal.AppendSafely(v);
+}
+
+}  // namespace aim::tsa_fixture

@@ -1,0 +1,30 @@
+// TSA negative fixture: a path that returns while still holding the
+// mutex (the classic early-return leak that scoped locks exist to
+// prevent). Must FAIL to compile under -Wthread-safety -Werror.
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class Latch {
+ public:
+  bool Arm() {
+    mu_.lock();
+    if (armed_) {
+      return false;  // BAD: returns with mu_ still held
+    }
+    armed_ = true;
+    mu_.unlock();
+    return true;
+  }
+
+ private:
+  Mutex mu_;
+  bool armed_ AIM_GUARDED_BY(mu_) = false;
+};
+
+bool Drive() {
+  Latch latch;
+  return latch.Arm();
+}
+
+}  // namespace aim::tsa_fixture

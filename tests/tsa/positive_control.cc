@@ -1,0 +1,81 @@
+// TSA positive control: correct lock discipline over every wrapper in
+// annotated_mutex.h. Must COMPILE CLEANLY under the exact flags the
+// negative fixtures are built with (-Wthread-safety -Wthread-safety-beta
+// -Werror) — if this target ever fails, the negative tests' failures are
+// meaningless (the flags, not the defects, would be doing the failing).
+#include <deque>
+
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class BoundedBox {
+ public:
+  void Put(int v) {
+    MutexLock lock(mu_);
+    while (items_.size() >= kCapacity) {
+      not_full_.wait(lock);
+    }
+    items_.push_back(v);
+  }
+
+  bool TryTake(int* out) {
+    MutexLock lock(mu_);
+    if (items_.empty()) return false;
+    *out = items_.front();
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Clear() AIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ClearLocked();
+  }
+
+ private:
+  void ClearLocked() AIM_REQUIRES(mu_) { items_.clear(); }
+
+  static constexpr std::size_t kCapacity = 8;
+  Mutex mu_;
+  CondVar not_full_;
+  std::deque<int> items_ AIM_GUARDED_BY(mu_);
+};
+
+class Snapshot {
+ public:
+  void Set(int v) {
+    WriterLock lock(mu_);
+    value_ = v;
+  }
+
+  int Get() const {
+    ReaderLock lock(mu_);
+    return value_;
+  }
+
+  void Bump() {
+    mu_.lock();
+    ++value_;
+    mu_.unlock();
+  }
+
+ private:
+  mutable SharedMutex mu_;
+  int value_ AIM_GUARDED_BY(mu_) = 0;
+};
+
+int Drive(int v) {
+  BoundedBox box;
+  box.Put(v);
+  int out = 0;
+  box.TryTake(&out);
+  box.Clear();
+
+  Snapshot snapshot;
+  snapshot.Set(out);
+  snapshot.Bump();
+  return snapshot.Get();
+}
+
+}  // namespace aim::tsa_fixture

@@ -1,0 +1,32 @@
+// TSA negative fixture: touching an AIM_GUARDED_BY field without holding
+// its mutex. Must FAIL to compile under -Wthread-safety -Werror (asserted
+// by tests/tsa/CMakeLists.txt with WILL_FAIL); compiles as plain C++
+// everywhere else, which keeps the fixture honest about being valid code
+// whose only defect is the lock discipline.
+#include "aim/common/annotated_mutex.h"
+
+namespace aim::tsa_fixture {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held
+  }
+
+  int balance() const {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int balance_ AIM_GUARDED_BY(mu_) = 0;
+};
+
+int Drive(int amount) {
+  Account account;
+  account.Deposit(amount);
+  return account.balance();
+}
+
+}  // namespace aim::tsa_fixture

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Lint gate for the AIM tree. Three checks:
+# Lint gate for the AIM tree. Four checks:
 #
 #   1. memory-order audits (always run, no toolchain dependency): every
 #      `memory_order_relaxed` in src/aim/** must carry a `// relaxed: ...`
@@ -11,15 +11,38 @@
 #      adding fence cost for nothing) — the default in this tree is
 #      acquire/release with a reason. See docs/CORRECTNESS.md.
 #
+#   1c. raw-mutex audit (always run): std::mutex / std::lock_guard /
+#      std::unique_lock and friends are forbidden in src/aim/** outside
+#      common/annotated_mutex.h, common/sync_provider.h, and mc/ — all
+#      locking goes through the thread-safety-annotated wrappers so the
+#      Clang analysis sees every acquisition (docs/CORRECTNESS.md,
+#      "Thread-safety annotations").
+#
 #   2. clang-tidy over src/aim/**/*.cc with the repo .clang-tidy config.
 #      Skipped with a notice when clang-tidy or compile_commands.json is
 #      unavailable (the CI lint job provides both).
+#
+#   2b. clang-tidy over src/aim/**/*.h via a generated umbrella TU with an
+#      explicit --header-filter, so header-only classes (MpscQueue,
+#      BufferPool, the annotated wrappers) get tidy coverage even though
+#      no .cc of their own ever lands them in the compile database.
+#
+# Environment:
+#   AIM_LINT_ROOT       root of the tree to lint (default: this repo) —
+#                       used by tests/lint/ to point the audits at fixture
+#                       trees with planted violations.
+#   AIM_LINT_BUILD_DIR  build dir holding compile_commands.json (default:
+#                       build).
+#   AIM_LINT_SKIP_TIDY  set to 1 to skip the clang-tidy checks (the
+#                       self-test uses this for toolchain-independent,
+#                       byte-exact output).
 #
 # Exit status is non-zero iff a check that ran found a violation.
 
 set -u
 
-REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SCRIPT_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+REPO_ROOT="${AIM_LINT_ROOT:-$SCRIPT_ROOT}"
 cd "$REPO_ROOT"
 
 STATUS=0
@@ -91,13 +114,54 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Check 1c: raw synchronization primitives outside the annotation layer.
+# Comments are stripped before matching (prose may mention the std types);
+# the allowlist is exactly the layer that implements the wrappers plus the
+# model checker, whose shims ARE the instrumented primitives.
+# ---------------------------------------------------------------------------
+echo
+echo "== raw-mutex audit =="
+
+MUTEX_VIOLATIONS=$(
+  find src/aim \( -path 'src/aim/mc' -o -path 'src/aim/mc/*' \) -prune \
+       -o \( -name '*.h' -o -name '*.cc' \) -print | sort |
+  grep -v -e '^src/aim/common/annotated_mutex\.h$' \
+          -e '^src/aim/common/sync_provider\.h$' |
+  xargs -r awk '
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)  # strip line comments
+      if (match(line, /std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)/)) {
+        printf "%s:%d: raw %s outside the annotation layer\n", FILENAME, FNR, substr(line, RSTART, RLENGTH)
+      } else if (match(line, /#[ \t]*include[ \t]*<(mutex|shared_mutex|condition_variable)>/)) {
+        printf "%s:%d: raw %s outside the annotation layer\n", FILENAME, FNR, substr(line, RSTART, RLENGTH)
+      }
+    }
+  '
+)
+
+if [ -n "$MUTEX_VIOLATIONS" ]; then
+  echo "$MUTEX_VIOLATIONS"
+  COUNT=$(printf '%s\n' "$MUTEX_VIOLATIONS" | wc -l)
+  echo "FAIL: $COUNT raw mutex/lock/condvar use(s) outside the annotation layer."
+  echo "Use the annotated wrappers from aim/common/annotated_mutex.h"
+  echo "(aim::Mutex, MutexLock, SharedMutex, Reader/WriterLock, CondVar) so"
+  echo "-Wthread-safety can check the locking."
+  STATUS=1
+else
+  echo "OK: no raw mutex use outside the annotation layer."
+fi
+
+# ---------------------------------------------------------------------------
 # Check 2: clang-tidy (when available).
 # ---------------------------------------------------------------------------
 echo
 echo "== clang-tidy =="
 
 BUILD_DIR="${AIM_LINT_BUILD_DIR:-build}"
-if ! command -v clang-tidy >/dev/null 2>&1; then
+if [ "${AIM_LINT_SKIP_TIDY:-0}" = "1" ]; then
+  echo "SKIP: AIM_LINT_SKIP_TIDY=1."
+elif ! command -v clang-tidy >/dev/null 2>&1; then
   echo "SKIP: clang-tidy not installed (install LLVM or run the CI lint job)."
 elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "SKIP: $BUILD_DIR/compile_commands.json not found."
@@ -109,6 +173,24 @@ else
     STATUS=1
   else
     echo "OK: clang-tidy clean."
+  fi
+
+  # Check 2b: header umbrella. Every header in src/aim/** must be
+  # self-contained, so one generated TU that includes them all gives tidy
+  # a compilation to diagnose headers through; --header-filter opts every
+  # included repo header into the diagnostics.
+  echo
+  echo "== clang-tidy (header umbrella) =="
+  UMBRELLA="$(mktemp -t aim_lint_umbrella_XXXXXX.cc)"
+  trap 'rm -f "$UMBRELLA"' EXIT
+  find src/aim -name '*.h' | sort |
+    sed -e 's|^src/|#include "|' -e 's|$|"|' > "$UMBRELLA"
+  if ! clang-tidy --quiet --header-filter='src/aim/.*' "$UMBRELLA" -- \
+       -std=c++20 -I "$REPO_ROOT/src" -Wno-pragma-once-outside-header; then
+    echo "FAIL: clang-tidy reported warnings in headers (treated as errors)."
+    STATUS=1
+  else
+    echo "OK: clang-tidy clean over all src/aim headers."
   fi
 fi
 

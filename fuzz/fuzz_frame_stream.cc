@@ -1,0 +1,142 @@
+// Stateful fuzz of the server-side receive path: the exact FrameAssembler
+// that TcpServer::ServeConnection feeds (net/frame_assembler.h), driven
+// with arbitrary bytes in arbitrary split sizes, then every reassembled
+// payload pushed through the payload decoder its frame type selects — the
+// full set of parses a byte on the wire can reach.
+//
+// Asserted invariants:
+//   * buffered bytes never exceed one incomplete frame (bounded
+//     allocation: header + kMaxFramePayload) plus the push that completed
+//     it;
+//   * every delivered payload is exactly header.payload_size bytes;
+//   * a poisoned assembler stays poisoned, holds no memory, and delivers
+//     nothing;
+//   * no payload decoder crashes, whatever the bytes.
+
+#include <cstdint>
+#include <vector>
+
+#include "aim/common/binary_io.h"
+#include "aim/esp/event.h"
+#include "aim/net/frame.h"
+#include "aim/net/frame_assembler.h"
+#include "aim/net/message.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+#include "fuzz_util.h"
+
+using aim::BinaryReader;
+using aim::net::FrameAssembler;
+using aim::net::FrameHeader;
+using aim::net::FrameType;
+using aim::net::kFrameHeaderSize;
+using aim::net::kMaxFramePayload;
+
+namespace {
+
+void DecodePayload(const FrameHeader& header,
+                   const std::vector<std::uint8_t>& payload) {
+  BinaryReader in(payload);
+  switch (header.type) {
+    case FrameType::kHello: {
+      std::uint32_t version = 0;
+      (void)aim::net::DecodeHello(&in, &version);
+      break;
+    }
+    case FrameType::kHelloReply: {
+      aim::NodeChannel::NodeInfo info;
+      (void)aim::net::DecodeHelloReply(&in, &info);
+      break;
+    }
+    case FrameType::kEvent: {
+      if (payload.size() == aim::kEventWireSize) {
+        (void)aim::Event::Deserialize(&in);
+      }
+      break;
+    }
+    case FrameType::kEventReply: {
+      aim::Status status;
+      std::vector<std::uint32_t> fired;
+      (void)aim::net::DecodeEventReply(&in, &status, &fired);
+      break;
+    }
+    case FrameType::kQuery: {
+      (void)aim::Query::Deserialize(&in);
+      break;
+    }
+    case FrameType::kQueryReply: {
+      if (!payload.empty()) {
+        (void)aim::PartialResult::Deserialize(&in);
+      }
+      break;
+    }
+    case FrameType::kRecordRequest: {
+      aim::RecordRequest request;
+      (void)aim::net::DecodeRecordRequest(&in, &request);
+      break;
+    }
+    case FrameType::kRecordReply: {
+      aim::Status status;
+      std::vector<std::uint8_t> row;
+      aim::Version version = 0;
+      (void)aim::net::DecodeRecordReply(&in, &status, &row, &version);
+      break;
+    }
+    case FrameType::kEventBatch: {
+      std::vector<std::vector<std::uint8_t>> events;
+      const aim::Status st = aim::net::DecodeEventBatch(&in, &events);
+      if (st.ok()) {
+        for (const std::vector<std::uint8_t>& e : events) {
+          AIM_FUZZ_REQUIRE(e.size() == aim::net::kEventBatchEntrySize);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // The last byte seeds the split schedule (so the mutator can explore
+  // reassembly boundaries); the rest is the stream.
+  const std::uint32_t seed = data[size - 1];
+  const std::size_t stream_size = size - 1;
+
+  FrameAssembler assembler;
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t pos = 0;
+  std::uint32_t step = 0;
+  while (pos < stream_size) {
+    // Chunks of 1..128 bytes in a seed-dependent pattern: byte-at-a-time
+    // trickles, header-straddling splits, and big gulps all occur.
+    std::size_t chunk = ((seed + step * 2654435761u) % 128) + 1;
+    ++step;
+    if (chunk > stream_size - pos) chunk = stream_size - pos;
+    assembler.Push(data + pos, chunk);
+    pos += chunk;
+
+    while (assembler.Next(&header, &payload)) {
+      AIM_FUZZ_REQUIRE(payload.size() == header.payload_size);
+      AIM_FUZZ_REQUIRE(payload.size() <= kMaxFramePayload);
+      DecodePayload(header, payload);
+    }
+    if (!assembler.ok()) {
+      // Poisoned: sticky, empty, and silent from here on.
+      AIM_FUZZ_REQUIRE(assembler.buffered() == 0);
+      assembler.Push(data, stream_size < 16 ? stream_size : 16);
+      AIM_FUZZ_REQUIRE(!assembler.Next(&header, &payload));
+      AIM_FUZZ_REQUIRE(assembler.buffered() == 0);
+      return 0;
+    }
+    // Bounded buffering: drained after every push, the residue is at most
+    // one incomplete frame plus the chunk that carried its tail.
+    AIM_FUZZ_REQUIRE(assembler.buffered() <
+                     kFrameHeaderSize + kMaxFramePayload + 128);
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Round-trip fuzz of the query and partial-result wire codecs (rta/query.h,
+// rta/partial_result.h) — the two domain objects that cross the network
+// whole (RTA front ends ship queries to every storage node and merge the
+// partials that come back).
+//
+// Three modes, selected by the first input byte:
+//   0: structure-aware build-then-mutate — the input bytes populate a
+//      *valid* Query (every enum in range), which must round-trip to
+//      identical bytes; then input-chosen byte flips are applied to the
+//      wire form, whose decode may fail but must not crash, and must
+//      re-encode stably when it succeeds.
+//   1: Query::Deserialize from arbitrary bytes, with the stability check
+//      encode(decode(b)) == encode(decode(encode(decode(b)))).
+//   2: the same for PartialResult::Deserialize.
+
+#include <cstdint>
+#include <vector>
+
+#include "aim/common/binary_io.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+#include "fuzz_util.h"
+
+using aim::AggOp;
+using aim::BinaryReader;
+using aim::BinaryWriter;
+using aim::CmpOp;
+using aim::DimFilter;
+using aim::GroupBy;
+using aim::PartialResult;
+using aim::Query;
+using aim::ScanFilter;
+using aim::SelectItem;
+using aim::TopKTarget;
+using aim::Value;
+using aim::ValueType;
+using aim::fuzz::FuzzInput;
+
+namespace {
+
+Value BuildValue(FuzzInput* in) {
+  switch (static_cast<ValueType>(in->GetByte() % aim::kNumValueTypes)) {
+    case ValueType::kInt32:
+      return Value::Int32(in->Get<std::int32_t>());
+    case ValueType::kUInt32:
+      return Value::UInt32(in->Get<std::uint32_t>());
+    case ValueType::kInt64:
+      return Value::Int64(in->Get<std::int64_t>());
+    case ValueType::kUInt64:
+      return Value::UInt64(in->Get<std::uint64_t>());
+    case ValueType::kFloat:
+      return Value::Float(in->Get<float>());
+    case ValueType::kDouble:
+      return Value::Double(in->Get<double>());
+  }
+  return Value();
+}
+
+Query BuildQuery(FuzzInput* in) {
+  Query q;
+  q.id = in->Get<std::uint32_t>();
+  q.kind = static_cast<Query::Kind>(in->GetByte() % 3);
+  const std::size_t nsel = (in->GetByte() % 3) + 1;
+  for (std::size_t i = 0; i < nsel; ++i) {
+    SelectItem s;
+    s.op = static_cast<AggOp>(in->GetByte() % 5);
+    s.attr = in->Get<std::uint16_t>();
+    s.is_sum_ratio = (in->GetByte() % 2) != 0;
+    s.den_attr = in->Get<std::uint16_t>();
+    q.select.push_back(s);
+  }
+  const std::size_t nwhere = in->GetByte() % 3;
+  for (std::size_t i = 0; i < nwhere; ++i) {
+    ScanFilter f;
+    f.attr = in->Get<std::uint16_t>();
+    f.op = static_cast<CmpOp>(in->GetByte() % 6);
+    f.constant = BuildValue(in);
+    q.where.push_back(f);
+  }
+  const std::size_t ndim = in->GetByte() % 2;
+  for (std::size_t i = 0; i < ndim; ++i) {
+    DimFilter f;
+    f.fk_attr = in->Get<std::uint16_t>();
+    f.dim_table = in->Get<std::uint16_t>();
+    f.dim_column = in->Get<std::uint16_t>();
+    f.op = static_cast<CmpOp>(in->GetByte() % 6);
+    f.constant = in->Get<std::uint32_t>();
+    const std::vector<std::uint8_t> s = in->GetBytes(in->GetByte() % 16);
+    f.str_constant.assign(s.begin(), s.end());
+    q.dim_where.push_back(f);
+  }
+  q.group_by.kind = static_cast<GroupBy::Kind>(in->GetByte() % 3);
+  q.group_by.attr = in->Get<std::uint16_t>();
+  q.group_by.fk_attr = in->Get<std::uint16_t>();
+  q.group_by.dim_table = in->Get<std::uint16_t>();
+  q.group_by.dim_column = in->Get<std::uint16_t>();
+  q.limit = in->Get<std::uint32_t>();
+  const std::size_t ntopk = in->GetByte() % 3;
+  for (std::size_t i = 0; i < ntopk; ++i) {
+    TopKTarget t;
+    t.attr = in->Get<std::uint16_t>();
+    t.den_attr = in->Get<std::uint16_t>();
+    t.ascending = (in->GetByte() % 2) != 0;
+    q.topk.push_back(t);
+  }
+  q.k = in->Get<std::uint32_t>();
+  q.entity_attr = in->Get<std::uint16_t>();
+  return q;
+}
+
+/// decode(bytes) must be stable: when it succeeds, its re-encoding decodes
+/// to the same bytes again (the canonical form is a fixed point).
+template <typename T>
+void CheckDecodeStability(const std::uint8_t* data, std::size_t size) {
+  BinaryReader r(data, size);
+  aim::StatusOr<T> first = T::Deserialize(&r);
+  if (!first.ok()) return;
+  BinaryWriter w1;
+  first.value().Serialize(&w1);
+  BinaryReader r2(w1.buffer());
+  aim::StatusOr<T> second = T::Deserialize(&r2);
+  AIM_FUZZ_REQUIRE(second.ok());
+  BinaryWriter w2;
+  second.value().Serialize(&w2);
+  AIM_FUZZ_REQUIRE(w1.buffer() == w2.buffer());
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  FuzzInput in(data + 1, size - 1);
+  switch (data[0] % 3) {
+    case 0: {
+      const Query q = BuildQuery(&in);
+      BinaryWriter w;
+      q.Serialize(&w);
+      BinaryReader r(w.buffer());
+      aim::StatusOr<Query> back = Query::Deserialize(&r);
+      AIM_FUZZ_REQUIRE(back.ok());
+      BinaryWriter w2;
+      back.value().Serialize(&w2);
+      AIM_FUZZ_REQUIRE(w.buffer() == w2.buffer());
+
+      // Mutate the valid wire form and decode again.
+      std::vector<std::uint8_t> wire = w.TakeBuffer();
+      const std::size_t flips = (in.GetByte() % 8) + 1;
+      for (std::size_t i = 0; i < flips && !wire.empty(); ++i) {
+        wire[in.Get<std::uint32_t>() % wire.size()] ^= in.GetByte();
+      }
+      CheckDecodeStability<Query>(wire.data(), wire.size());
+      break;
+    }
+    case 1:
+      CheckDecodeStability<Query>(in.rest(), in.remaining());
+      break;
+    case 2:
+      CheckDecodeStability<PartialResult>(in.rest(), in.remaining());
+      break;
+  }
+  return 0;
+}

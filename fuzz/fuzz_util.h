@@ -1,0 +1,73 @@
+#ifndef AIM_FUZZ_FUZZ_UTIL_H_
+#define AIM_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+// Shared helpers for the libFuzzer harnesses (and their corpus-replay
+// drivers — the same LLVMFuzzerTestOneInput is linked into both, see
+// fuzz/CMakeLists.txt).
+
+// Harness invariant check. abort()-based, NOT assert(): the replay tier
+// also runs in Release configs where NDEBUG would strip assert and turn a
+// violated invariant into a silent pass.
+#define AIM_FUZZ_REQUIRE(cond)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "AIM_FUZZ_REQUIRE failed: %s at %s:%d\n",    \
+                   #cond, __FILE__, __LINE__);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+namespace aim {
+namespace fuzz {
+
+/// Structure-aware input splitter: consumes typed values off the front of
+/// the fuzzer's byte string so "build a valid object, then mutate it"
+/// harnesses stay deterministic in the input bytes. Reads past the end
+/// return zeroes (never UB) — libFuzzer shrinks inputs aggressively and a
+/// harness must accept any length.
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ == size_; }
+
+  template <typename T>
+  T Get() {
+    T v{};
+    const std::size_t n = remaining() < sizeof(T) ? remaining() : sizeof(T);
+    std::memcpy(&v, data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::uint8_t GetByte() { return Get<std::uint8_t>(); }
+
+  /// Up to `max` of the remaining bytes as a vector.
+  std::vector<std::uint8_t> GetBytes(std::size_t max) {
+    const std::size_t n = remaining() < max ? remaining() : max;
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Everything left, without copying.
+  const std::uint8_t* rest() const { return data_ + pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace aim
+
+#endif  // AIM_FUZZ_FUZZ_UTIL_H_

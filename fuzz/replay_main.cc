@@ -1,0 +1,81 @@
+// Corpus-replay driver: links any fuzz harness's LLVMFuzzerTestOneInput
+// into a plain main() so the committed corpus (including minimized crash
+// inputs) runs as a ctest regression on every toolchain — including GCC,
+// where libFuzzer itself is unavailable. Usage:
+//
+//   replay_<harness> <file-or-directory>...
+//
+// Directories are scanned one level deep (corpus layout is flat); dotfiles
+// and README.md are skipped. Exits non-zero when no input was executed —
+// a silently empty corpus directory must fail the regression, not pass it.
+
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) {
+    std::fprintf(stderr, "short read from %s\n", path.c_str());
+    return false;
+  }
+  LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  return true;
+}
+
+bool SkipName(const char* name) {
+  return name[0] == '.' || std::strcmp(name, "README.md") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-directory>...\n", argv[0]);
+    return 2;
+  }
+  int executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    DIR* dir = ::opendir(argv[i]);
+    if (dir == nullptr) {
+      if (!RunFile(argv[i])) return 1;
+      ++executed;
+      continue;
+    }
+    std::vector<std::string> entries;
+    for (struct dirent* e = ::readdir(dir); e != nullptr;
+         e = ::readdir(dir)) {
+      if (!SkipName(e->d_name)) entries.push_back(e->d_name);
+    }
+    ::closedir(dir);
+    for (const std::string& name : entries) {
+      if (!RunFile(std::string(argv[i]) + "/" + name)) return 1;
+      ++executed;
+    }
+  }
+  if (executed == 0) {
+    std::fprintf(stderr, "no corpus inputs found\n");
+    return 1;
+  }
+  std::printf("replayed %d input(s)\n", executed);
+  return 0;
+}

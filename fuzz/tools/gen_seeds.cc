@@ -1,0 +1,310 @@
+// Deterministic seed-corpus generator: writes the committed seeds under
+// fuzz/corpus/<harness>/. The corpus is checked in (fuzzing starts from
+// real protocol bytes instead of rediscovering the magic numbers), so this
+// tool only needs re-running when a wire format changes:
+//
+//   build/fuzz/gen_seeds fuzz/corpus
+//
+// Regression entries for fixed bugs are written alongside the plain seeds;
+// fuzz/corpus/README.md names each one and the fix it pins.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aim/common/binary_io.h"
+#include "aim/esp/event.h"
+#include "aim/net/frame.h"
+#include "aim/net/message.h"
+#include "aim/rta/partial_result.h"
+#include "aim/rta/query.h"
+#include "aim/schema/schema.h"
+#include "aim/storage/checkpoint.h"
+#include "aim/storage/delta_main.h"
+#include "aim/workload/benchmark_schema.h"
+
+namespace {
+
+using aim::BinaryWriter;
+using aim::Event;
+
+bool WriteSeed(const std::string& dir, const std::string& name,
+               const std::vector<std::uint8_t>& bytes) {
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s (directory missing?)\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+  std::fclose(f);
+  if (ok) std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return ok;
+}
+
+std::vector<std::uint8_t> Str(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> EventBytes(std::uint64_t caller) {
+  Event e;
+  e.caller = caller;
+  e.callee = caller + 1;
+  e.timestamp = 1700000000000;
+  e.duration = 120;
+  e.cost = 1.5f;
+  e.data_mb = 0.0f;
+  e.flags = Event::kLongDistance;
+  e.sequence = caller;
+  BinaryWriter w;
+  e.Serialize(&w);
+  return w.TakeBuffer();
+}
+
+std::vector<std::uint8_t> QueryBytes() {
+  aim::Query q;
+  q.id = 7;
+  q.kind = aim::Query::Kind::kGroupBy;
+  q.select.push_back(aim::SelectItem::Agg(aim::AggOp::kSum, 3));
+  aim::ScanFilter f;
+  f.attr = 4;
+  f.op = aim::CmpOp::kGt;
+  f.constant = aim::Value::Int32(10);
+  q.where.push_back(f);
+  q.group_by.kind = aim::GroupBy::Kind::kMatrixAttr;
+  q.group_by.attr = 5;
+  q.limit = 16;
+  BinaryWriter w;
+  q.Serialize(&w);
+  return w.TakeBuffer();
+}
+
+std::vector<std::uint8_t> Frame(aim::net::FrameType type, std::uint8_t flags,
+                                std::uint64_t request_id,
+                                const std::vector<std::uint8_t>& payload) {
+  return aim::net::BuildFrame(type, flags, request_id, payload.data(),
+                              payload.size());
+}
+
+void Append(std::vector<std::uint8_t>* out,
+            const std::vector<std::uint8_t>& more) {
+  out->insert(out->end(), more.begin(), more.end());
+}
+
+bool GenFrameHeader(const std::string& dir) {
+  bool ok = true;
+  std::vector<std::uint8_t> valid =
+      Frame(aim::net::FrameType::kHello, 0, 1, {});
+  valid.resize(aim::net::kFrameHeaderSize);
+  ok &= WriteSeed(dir, "hello_header", valid);
+
+  std::vector<std::uint8_t> bad_magic = valid;
+  bad_magic[0] ^= 0xFF;
+  ok &= WriteSeed(dir, "bad_magic", bad_magic);
+
+  std::vector<std::uint8_t> bad_type = valid;
+  bad_type[4] = 0;
+  ok &= WriteSeed(dir, "bad_type", bad_type);
+
+  // Regression: payload_size over kMaxFramePayload must be rejected at the
+  // header — before any payload buffer could be sized off it.
+  std::vector<std::uint8_t> oversize = valid;
+  const std::uint32_t huge = aim::net::kMaxFramePayload + 1;
+  std::memcpy(oversize.data() + 16, &huge, sizeof(huge));
+  ok &= WriteSeed(dir, "oversize_payload_claim", oversize);
+  return ok;
+}
+
+bool GenFrameStream(const std::string& dir) {
+  bool ok = true;
+  // The harness consumes the LAST byte as its split-schedule seed; every
+  // stream seed ends with one seed byte.
+  BinaryWriter hello;
+  aim::net::EncodeHello(&hello);
+
+  std::vector<std::uint8_t> stream =
+      Frame(aim::net::FrameType::kHello, 0, 1, hello.TakeBuffer());
+  Append(&stream, Frame(aim::net::FrameType::kEvent, 0, 2, EventBytes(42)));
+  std::vector<aim::EventMessage> batch(2);
+  batch[0].bytes = EventBytes(1);
+  batch[1].bytes = EventBytes(2);
+  BinaryWriter bw;
+  aim::net::EncodeEventBatch(batch, &bw);
+  Append(&stream,
+         Frame(aim::net::FrameType::kEventBatch, 0, 3, bw.TakeBuffer()));
+  Append(&stream, Frame(aim::net::FrameType::kQuery, 0, 4, QueryBytes()));
+  stream.push_back(0x05);  // split seed
+  ok &= WriteSeed(dir, "hello_event_batch_query", stream);
+
+  std::vector<std::uint8_t> truncated =
+      Frame(aim::net::FrameType::kEvent, 0, 9, EventBytes(7));
+  truncated.resize(aim::net::kFrameHeaderSize + 10);
+  truncated.push_back(0x01);
+  ok &= WriteSeed(dir, "truncated_event", truncated);
+
+  std::vector<std::uint8_t> garbage =
+      Frame(aim::net::FrameType::kHello, 0, 1, {});
+  Append(&garbage, Str("not a frame at all"));
+  garbage.push_back(0x03);
+  ok &= WriteSeed(dir, "garbage_after_hello", garbage);
+
+  // Regression: a header announcing kMaxFramePayload+1 poisons the
+  // assembler without buffering anything (allocation-bounded reassembly).
+  std::vector<std::uint8_t> oversize =
+      Frame(aim::net::FrameType::kQuery, 0, 1, {});
+  const std::uint32_t huge = aim::net::kMaxFramePayload + 1;
+  std::memcpy(oversize.data() + 16, &huge, sizeof(huge));
+  oversize.push_back(0x07);
+  ok &= WriteSeed(dir, "oversize_payload_claim", oversize);
+  return ok;
+}
+
+bool GenCheckpoint(const std::string& dir) {
+  bool ok = true;
+  const std::unique_ptr<aim::Schema> schema = aim::MakeCompactSchema();
+  aim::DeltaMainStore::Options options;
+  options.max_records = 1024;
+  aim::DeltaMainStore store(schema.get(), options);
+
+  // Rows with the entity id stored in attribute 0 (entity_id), as the
+  // ForEachVisible serialization pass expects.
+  const std::size_t row_size = schema->record_size();
+  const std::size_t entity_off = schema->attribute(0).row_offset;
+  std::vector<std::uint8_t> row(row_size, 0xAB);
+  for (std::uint64_t entity = 10; entity < 13; ++entity) {
+    std::memcpy(row.data() + entity_off, &entity, sizeof(entity));
+    if (!store.BulkInsert(entity, row.data()).ok()) return false;
+  }
+  BinaryWriter w;
+  if (!aim::checkpoint::Write(store, 0, &w).ok()) return false;
+  const std::vector<std::uint8_t> valid = w.TakeBuffer();
+  ok &= WriteSeed(dir, "valid_3_records", valid);
+
+  std::vector<std::uint8_t> truncated(valid.begin(), valid.begin() + 30);
+  ok &= WriteSeed(dir, "truncated", truncated);
+
+  // Regression: a 100-byte checkpoint claiming 2^32 records must fail
+  // before allocating (BinaryReader::GetCountU64 validates the claim
+  // against the bytes present).
+  BinaryWriter huge;
+  huge.PutBytes("AIMCKPT1", 8);
+  huge.PutU32(static_cast<std::uint32_t>(row_size));
+  huge.PutU64(1ull << 32);
+  ok &= WriteSeed(dir, "huge_count_claim", huge.TakeBuffer());
+
+  // Regression: entity id ~0 is the dense-map empty-slot sentinel;
+  // restoring it used to abort a DCHECK in debug builds (and corrupt the
+  // index in release). Restore now rejects it up front.
+  const std::size_t header = 8 + 4 + 8;
+  std::vector<std::uint8_t> sentinel = valid;
+  std::memset(sentinel.data() + header, 0xFF, 8);
+  ok &= WriteSeed(dir, "sentinel_entity_id", sentinel);
+
+  // Regression: duplicate entity ids are rejected in the validation pass,
+  // keeping the restore all-or-nothing instead of failing half-inserted.
+  std::vector<std::uint8_t> dup = valid;
+  std::memcpy(dup.data() + header + 16 + row_size, dup.data() + header, 8);
+  ok &= WriteSeed(dir, "duplicate_entity", dup);
+  return ok;
+}
+
+bool GenSql(const std::string& dir) {
+  bool ok = true;
+  ok &= WriteSeed(dir, "count_star",
+                  Str("SELECT COUNT(*) FROM AnalyticsMatrix"));
+  // Attribute names from the compact schema the harness parses against.
+  const std::unique_ptr<aim::Schema> schema = aim::MakeCompactSchema();
+  const std::string a3 = schema->attribute(3).name;
+  const std::string a4 = schema->attribute(4).name;
+  ok &= WriteSeed(dir, "sum_where_group",
+                  Str("SELECT SUM(" + a3 + ") FROM AnalyticsMatrix WHERE " +
+                      a4 + " > 10 GROUP BY " + a4 + " LIMIT 5"));
+  ok &= WriteSeed(dir, "join_dim",
+                  Str("SELECT COUNT(*) FROM AnalyticsMatrix a, RegionInfo r "
+                      "WHERE a.zip = r.zip AND r.country = 'C0'"));
+  ok &= WriteSeed(dir, "ratio", Str("SELECT SUM(" + a3 + ") / SUM(" + a4 +
+                                    ") AS ratio FROM AnalyticsMatrix"));
+
+  // Regression: embedded NUL and non-ASCII bytes reach the tokenizer; the
+  // error path must escape them and std::toupper must never see a negative
+  // char (UB before the unsigned-char cast fix).
+  std::vector<std::uint8_t> nul = Str("SELECT COUNT(*) FROM x");
+  nul.push_back(0);
+  nul.push_back('y');
+  ok &= WriteSeed(dir, "embedded_nul", nul);
+  std::vector<std::uint8_t> high = Str("SELECT ");
+  for (int b = 0x80; b <= 0xFF; b += 7) {
+    high.push_back(static_cast<std::uint8_t>(b));
+  }
+  ok &= WriteSeed(dir, "non_ascii_bytes", high);
+  return ok;
+}
+
+bool GenEventCodec(const std::string& dir) {
+  bool ok = true;
+  // The harness consumes these as field material; give it full events plus
+  // mutation bytes.
+  std::vector<std::uint8_t> one;
+  one.push_back(1);
+  Append(&one, EventBytes(99));
+  ok &= WriteSeed(dir, "one_event", one);
+
+  std::vector<std::uint8_t> multi;
+  multi.push_back(4);
+  for (std::uint64_t i = 0; i < 4; ++i) Append(&multi, EventBytes(i));
+  Append(&multi, Str("\x07\x01\x02\x03\x04\x05\x06\x07"));
+  ok &= WriteSeed(dir, "four_events_mutated", multi);
+  return ok;
+}
+
+bool GenQueryCodec(const std::string& dir) {
+  bool ok = true;
+  std::vector<std::uint8_t> build;
+  build.push_back(0);  // mode 0: build-then-mutate
+  for (int i = 0; i < 64; ++i) build.push_back(static_cast<std::uint8_t>(i));
+  ok &= WriteSeed(dir, "build_mutate", build);
+
+  std::vector<std::uint8_t> decode;
+  decode.push_back(1);  // mode 1: decode arbitrary query bytes
+  Append(&decode, QueryBytes());
+  ok &= WriteSeed(dir, "valid_query", decode);
+
+  std::vector<std::uint8_t> partial;
+  partial.push_back(2);  // mode 2: decode partial-result bytes
+  aim::PartialResult pr;
+  pr.query_id = 7;
+  aim::PartialResult::Group g;
+  g.key = 3;
+  g.slots.resize(2);
+  g.slots[0].sum = 10.0;
+  g.slots[0].count = 4;
+  pr.groups.push_back(g);
+  BinaryWriter w;
+  pr.Serialize(&w);
+  Append(&partial, w.buffer());
+  ok &= WriteSeed(dir, "valid_partial", partial);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  bool ok = true;
+  ok &= GenFrameHeader(root + "/frame_header");
+  ok &= GenFrameStream(root + "/frame_stream");
+  ok &= GenCheckpoint(root + "/checkpoint_restore");
+  ok &= GenSql(root + "/sql_parser");
+  ok &= GenEventCodec(root + "/event_codec");
+  ok &= GenQueryCodec(root + "/query_codec");
+  return ok ? 0 : 1;
+}

@@ -102,9 +102,62 @@ class BinaryReader {
     return true;
   }
 
+  // --- checked length-prefixed reads --------------------------------------
+  // Every decoder that reads an attacker-controlled element count MUST
+  // validate it against the bytes actually present *before* sizing any
+  // container: a 32-bit count in a 100-byte payload can announce 4 billion
+  // elements, and a reserve()/resize() on the announced value is a remote
+  // allocation bomb even though the per-element reads would fail later.
+  // These helpers fold the validation into the read: they fail the reader
+  // (sticky, like any short read) and return 0 when the count cannot fit in
+  // the remaining input, so `reserve(GetCountU32(...))` is always safe.
+
+  /// Reads a u32 element count whose elements each consume at least
+  /// `min_element_size` bytes (>= 1) of the remaining input.
+  std::uint32_t GetCountU32(std::size_t min_element_size) {
+    return GetCountImpl<std::uint32_t>(min_element_size);
+  }
+
+  /// u64 variant for headers with 64-bit counts (checkpoints).
+  std::uint64_t GetCountU64(std::size_t min_element_size) {
+    return GetCountImpl<std::uint64_t>(min_element_size);
+  }
+
+  /// Length-prefixed byte vector: u32 length + that many bytes, validated
+  /// before `out` is sized. `out` is cleared on failure.
+  bool GetSizedBytes(std::vector<std::uint8_t>* out) {
+    const std::uint32_t n = GetU32();
+    if (!ok_ || !CheckAvailable(n)) {
+      out->clear();
+      return false;
+    }
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == size_; }
   std::size_t remaining() const { return size_ - pos_; }
+
+  /// Poisons the reader. Decoders that detect semantic corruption the byte
+  /// reads cannot see (an unknown enum tag, a count/size mismatch) fail the
+  /// same sticky way a short read does, so one ok() check covers both.
+  void Fail() {
+    ok_ = false;
+    pos_ = size_;
+  }
+
+  /// Pointer to `n` bytes at `offset` past the cursor without consuming
+  /// them, or nullptr when they are not all present. Lets a decoder run a
+  /// cheap validation pass over fixed-stride records before committing to
+  /// side effects (checkpoint restore's all-or-nothing contract).
+  const std::uint8_t* Peek(std::size_t offset, std::size_t n) const {
+    if (!ok_ || offset > size_ - pos_ || n > size_ - pos_ - offset) {
+      return nullptr;
+    }
+    return data_ + pos_ + offset;
+  }
 
  private:
   template <typename T>
@@ -115,6 +168,22 @@ class BinaryReader {
       pos_ += sizeof(T);
     }
     return v;
+  }
+
+  template <typename T>
+  T GetCountImpl(std::size_t min_element_size) {
+    const T n = GetPod<T>();
+    if (!ok_) return 0;
+    // A zero stride would make any count "fit"; treat it as 1 so the count
+    // stays bounded by the input size even on a caller mistake.
+    const std::size_t stride = min_element_size == 0 ? 1 : min_element_size;
+    // Division (not multiplication) so a hostile count cannot overflow.
+    if (n > static_cast<T>(remaining() / stride)) {
+      ok_ = false;
+      pos_ = size_;
+      return 0;
+    }
+    return n;
   }
 
   bool CheckAvailable(std::size_t n) {

@@ -150,8 +150,10 @@ Status DecodeEventReply(BinaryReader* in, Status* status,
                         std::vector<std::uint32_t>* fired_rules) {
   Status parse = DecodeStatusPayload(in, status);
   if (!parse.ok()) return parse;
-  const std::uint32_t n = in->GetU32();
-  if (!in->ok() || static_cast<std::size_t>(n) * 4 > in->remaining()) {
+  // Checked count: validated against the bytes present before the reserve,
+  // so a hostile length claim cannot force an allocation.
+  const std::uint32_t n = in->GetCountU32(sizeof(std::uint32_t));
+  if (!in->ok()) {
     return Status::InvalidArgument("malformed event reply");
   }
   fired_rules->clear();
@@ -179,12 +181,9 @@ Status DecodeRecordRequest(BinaryReader* in, RecordRequest* request) {
   request->kind = static_cast<RecordRequest::Kind>(kind);
   request->entity = in->GetU64();
   request->expected_version = in->GetU64();
-  const std::uint32_t row_size = in->GetU32();
-  if (!in->ok() || row_size > in->remaining()) {
-    return Status::InvalidArgument("malformed record request");
-  }
-  request->row.resize(row_size);
-  if (row_size > 0 && !in->GetBytes(request->row.data(), row_size)) {
+  // Size-checked before allocation (a row length larger than the payload
+  // fails without sizing the vector).
+  if (!in->GetSizedBytes(&request->row)) {
     return Status::InvalidArgument("malformed record request");
   }
   return Status::OK();
@@ -204,12 +203,7 @@ Status DecodeRecordReply(BinaryReader* in, Status* status,
   Status parse = DecodeStatusPayload(in, status);
   if (!parse.ok()) return parse;
   *version = in->GetU64();
-  const std::uint32_t row_size = in->GetU32();
-  if (!in->ok() || row_size > in->remaining()) {
-    return Status::InvalidArgument("malformed record reply");
-  }
-  row->resize(row_size);
-  if (row_size > 0 && !in->GetBytes(row->data(), row_size)) {
+  if (!in->ok() || !in->GetSizedBytes(row)) {
     return Status::InvalidArgument("malformed record reply");
   }
   return Status::OK();
@@ -233,7 +227,9 @@ void EncodeEventBatch(const std::vector<EventMessage>& batch,
 Status DecodeEventBatch(BinaryReader* in,
                         std::vector<std::vector<std::uint8_t>>* events) {
   events->clear();
-  const std::uint32_t n = in->GetU32();
+  // GetCountU32 bounds the count by the bytes present (no allocation on a
+  // hostile claim); the exact-size check then rejects any trailing slack.
+  const std::uint32_t n = in->GetCountU32(kEventBatchEntrySize);
   if (!in->ok() || n > kMaxEventBatchCount ||
       in->remaining() != static_cast<std::size_t>(n) * kEventBatchEntrySize) {
     return Status::InvalidArgument("malformed event batch");

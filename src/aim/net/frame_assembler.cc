@@ -1,0 +1,46 @@
+#include "aim/net/frame_assembler.h"
+
+namespace aim {
+namespace net {
+
+Status FrameAssembler::Push(const std::uint8_t* data, std::size_t size) {
+  if (!status_.ok()) return status_;
+  buf_.insert(buf_.end(), data, data + size);
+  return status_;
+}
+
+bool FrameAssembler::Next(FrameHeader* header,
+                          std::vector<std::uint8_t>* payload) {
+  if (!status_.ok()) return false;
+  if (buffered() >= kFrameHeaderSize) {
+    FrameHeader h;
+    Status st = DecodeFrameHeader(buf_.data() + consumed_, &h);
+    if (!st.ok()) {
+      // Framing lost: drop everything buffered and fail permanently.
+      status_ = st;
+      buf_.clear();
+      buf_.shrink_to_fit();
+      consumed_ = 0;
+      return false;
+    }
+    if (buffered() >= kFrameHeaderSize + h.payload_size) {
+      *header = h;
+      const std::uint8_t* begin = buf_.data() + consumed_ + kFrameHeaderSize;
+      payload->assign(begin, begin + h.payload_size);
+      consumed_ += kFrameHeaderSize + h.payload_size;
+      return true;
+    }
+  }
+  // Incomplete frame: compact the drained prefix now, while the residue is
+  // at most one frame, so the buffer never grows by re-appending behind a
+  // long-dead prefix (and the erase cost stays proportional to the residue).
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return false;
+}
+
+}  // namespace net
+}  // namespace aim

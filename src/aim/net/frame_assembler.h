@@ -1,0 +1,58 @@
+#ifndef AIM_NET_FRAME_ASSEMBLER_H_
+#define AIM_NET_FRAME_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aim/common/status.h"
+#include "aim/net/frame.h"
+
+namespace aim {
+namespace net {
+
+/// Incremental byte-stream -> frame reassembly: the receive half of the
+/// frame protocol, factored out of the socket loop so the exact production
+/// decode path can be driven with arbitrary byte splits — by unit tests
+/// (net_test) and by the stateful fuzz harness (fuzz/fuzz_frame_stream.cc),
+/// which is what certifies this class against hostile streams.
+///
+/// Usage: Push() whatever the transport produced (any split: one byte at a
+/// time, many frames at once), then drain completed frames with Next()
+/// until it returns false; repeat. Header-level corruption — bad magic,
+/// unknown type, a payload announcement over kMaxFramePayload — poisons the
+/// assembler permanently: framing is unrecoverable on a byte stream, so the
+/// connection must be dropped (DecodeFrameHeader's contract).
+///
+/// Allocation is bounded by construction: a header announcing more than
+/// kMaxFramePayload fails *before* any payload-sized buffer exists, and the
+/// internal buffer holds only bytes actually received. A caller that drains
+/// Next() after every Push() therefore never buffers more than one
+/// incomplete frame (< kFrameHeaderSize + kMaxFramePayload bytes) plus one
+/// receive chunk.
+class FrameAssembler {
+ public:
+  /// Appends stream bytes. Returns the sticky status; pushing after a
+  /// failure is a no-op.
+  Status Push(const std::uint8_t* data, std::size_t size);
+
+  /// Pops the next complete frame into `header` + `payload` (resized to
+  /// exactly the payload). Returns false when more bytes are needed or the
+  /// assembler is poisoned — distinguish via ok().
+  bool Next(FrameHeader* header, std::vector<std::uint8_t>* payload);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Bytes received but not yet returned by Next().
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // frames already handed out, compacted lazily
+  Status status_;
+};
+
+}  // namespace net
+}  // namespace aim
+
+#endif  // AIM_NET_FRAME_ASSEMBLER_H_

@@ -274,6 +274,21 @@ Status SendFrames(const Socket& socket,
   return Status::OK();
 }
 
+StatusOr<std::size_t> RecvSome(const Socket& socket, void* data,
+                               std::size_t max, std::int64_t timeout_millis) {
+  const std::int64_t deadline =
+      timeout_millis < 0 ? -1 : NowMillis() + timeout_millis;
+  for (;;) {
+    Status ready = PollFor(socket.fd(), POLLIN, deadline);
+    if (!ready.ok()) return ready;
+    const ssize_t n = ::recv(socket.fd(), data, max, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return Status::Shutdown("connection closed");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus("recv");
+  }
+}
+
 Status RecvAll(const Socket& socket, void* data, std::size_t size,
                std::int64_t timeout_millis) {
   const std::int64_t deadline =

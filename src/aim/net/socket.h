@@ -91,6 +91,13 @@ std::uint64_t SendFramesSyscalls();
 Status RecvAll(const Socket& socket, void* data, std::size_t size,
                std::int64_t timeout_millis);
 
+/// Reads whatever is available, up to `max` bytes, returning the byte
+/// count (> 0). Orderly EOF reports kShutdown — whether that EOF is clean
+/// or mid-frame is the caller's to judge (the stream reassembler knows,
+/// this function does not).
+StatusOr<std::size_t> RecvSome(const Socket& socket, void* data,
+                               std::size_t max, std::int64_t timeout_millis);
+
 }  // namespace net
 }  // namespace aim
 

@@ -1,7 +1,11 @@
 #include "aim/net/tcp_server.h"
 
+#include <chrono>
+
 #include "aim/common/logging.h"
 #include "aim/common/thread_name.h"
+#include "aim/esp/event.h"
+#include "aim/net/frame_assembler.h"
 
 namespace aim {
 namespace net {
@@ -9,6 +13,16 @@ namespace net {
 namespace {
 /// How often blocked accept/read loops wake up to notice Stop().
 constexpr std::int64_t kStopPollMillis = 100;
+
+/// Receive chunk: big enough that a full event batch rarely takes more
+/// than a few reads, small enough to live on the handler stack.
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+std::int64_t MonoMillis() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 TcpServer::TcpServer(NodeChannel* node, const Options& options)
@@ -152,194 +166,64 @@ void TcpServer::WriteFrame(ConnectionState* state, FrameType type,
 
 void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
   SetCurrentThreadName("aim-conn");
-  std::uint8_t header_bytes[kFrameHeaderSize];
+  // All received bytes flow through the FrameAssembler — the same class
+  // the stream fuzz harness drives with arbitrary byte splits, so the
+  // path exercised here is byte-for-byte the one certified there.
+  FrameAssembler assembler;
+  std::uint8_t chunk[kRecvChunk];
+  FrameHeader header;
   std::vector<std::uint8_t> payload;
+  // Wall-clock start of the currently incomplete frame (-1 = none). The
+  // io timeout is enforced from the first byte of a frame to its last, so
+  // a byte-trickler cannot hold a handler slot forever by keeping the
+  // socket technically active.
+  std::int64_t partial_since = -1;
 
   while (running() && state->open.load(std::memory_order_acquire)) {
-    Status readable = WaitReadable(state->sock, kStopPollMillis);
-    if (readable.IsDeadlineExceeded()) continue;
-    if (!readable.ok()) break;
-
-    Status st = RecvAll(state->sock, header_bytes, kFrameHeaderSize,
-                        options_.io_timeout_millis);
-    if (st.IsShutdown()) break;  // orderly close
-    if (!st.ok()) {
+    StatusOr<std::size_t> got =
+        RecvSome(state->sock, chunk, sizeof(chunk), kStopPollMillis);
+    if (!got.ok()) {
+      if (got.status().IsDeadlineExceeded()) {
+        if (partial_since >= 0 &&
+            MonoMillis() - partial_since > options_.io_timeout_millis) {
+          frame_errors_->Add();  // frame started but never finished
+          break;
+        }
+        continue;
+      }
+      if (got.status().IsShutdown()) {
+        // EOF between frames is an orderly close; EOF inside one is a
+        // truncated frame.
+        if (assembler.buffered() > 0) frame_errors_->Add();
+        break;
+      }
       frame_errors_->Add();
       break;
     }
-    FrameHeader header;
-    st = DecodeFrameHeader(header_bytes, &header);
-    if (!st.ok()) {
+    assembler.Push(chunk, *got);
+
+    bool drop = false;
+    while (assembler.Next(&header, &payload)) {
+      frames_received_->Add();
+      bytes_received_->Add(kFrameHeaderSize + payload.size());
+      HandleFrame(state, header, std::move(payload));
+      payload.clear();
+    }
+    if (!assembler.ok()) {
       // Garbage on the wire: framing is lost, drop the connection.
       frame_errors_->Add();
-      break;
+      drop = true;
     }
-    payload.resize(header.payload_size);
-    if (header.payload_size > 0) {
-      st = RecvAll(state->sock, payload.data(), payload.size(),
-                   options_.io_timeout_millis);
-      if (!st.ok()) {
+    if (drop) break;
+
+    if (assembler.buffered() > 0) {
+      if (partial_since < 0) partial_since = MonoMillis();
+      if (MonoMillis() - partial_since > options_.io_timeout_millis) {
         frame_errors_->Add();
         break;
       }
-    }
-    frames_received_->Add();
-    bytes_received_->Add(kFrameHeaderSize + payload.size());
-
-    switch (header.type) {
-      case FrameType::kHello: {
-        std::uint32_t version = 0;
-        BinaryReader in(payload);
-        if (!DecodeHello(&in, &version).ok() ||
-            version != kProtocolVersion) {
-          frame_errors_->Add();
-          state->open.store(false, std::memory_order_release);
-          break;
-        }
-        BinaryWriter reply;
-        // Advertise the transport's own capabilities on top of the node's:
-        // this server decodes EVENT_BATCH whatever channel backs it.
-        NodeChannel::NodeInfo info = node_->info();
-        info.features |= NodeChannel::kFeatureEventBatch;
-        EncodeHelloReply(info, &reply);
-        WriteFrame(state.get(), FrameType::kHelloReply, header.request_id,
-                   reply);
-        break;
-      }
-
-      case FrameType::kEvent: {
-        if ((header.flags & kFlagNoReply) != 0) {
-          node_->SubmitEvent(std::move(payload), nullptr);
-          payload = {};
-          break;
-        }
-        EventCompletion completion;
-        BinaryWriter reply;
-        if (!node_->SubmitEvent(std::move(payload), &completion)) {
-          payload = {};
-          EncodeEventReply(Status::Shutdown("node stopped"), {}, &reply);
-        } else {
-          payload = {};
-          // Unbounded wait is safe here: the channel is the in-process
-          // node, which always drains its queue (even through Stop), so
-          // the completion cannot be abandoned. The *client* bounds the
-          // round trip with its own request deadline.
-          completion.Wait();
-          EncodeEventReply(completion.status, completion.fired_rules,
-                           &reply);
-        }
-        WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
-                   reply);
-        break;
-      }
-
-      case FrameType::kEventBatch: {
-        BinaryReader in(payload);
-        std::vector<std::vector<std::uint8_t>> events;
-        if (!DecodeEventBatch(&in, &events).ok()) {
-          // Count/size mismatch inside the payload: framing-level garbage.
-          frame_errors_->Add();
-          state->open.store(false, std::memory_order_release);
-          break;
-        }
-        if ((header.flags & kFlagNoReply) != 0) {
-          std::vector<EventMessage> batch;
-          batch.reserve(events.size());
-          for (std::vector<std::uint8_t>& bytes : events) {
-            EventMessage msg;
-            msg.bytes = std::move(bytes);
-            batch.push_back(std::move(msg));
-          }
-          node_->SubmitEventBatch(std::move(batch));
-          break;
-        }
-        // Reply-wanted batch: per-event completions on the node, one
-        // aggregated kEventReply (first failure's status, no fired rules
-        // — clients needing per-event replies use per-event frames).
-        std::vector<EventCompletion> completions(events.size());
-        std::vector<EventMessage> batch;
-        batch.reserve(events.size());
-        for (std::size_t i = 0; i < events.size(); ++i) {
-          EventMessage msg;
-          msg.bytes = std::move(events[i]);
-          msg.completion = &completions[i];
-          batch.push_back(std::move(msg));
-        }
-        const std::size_t accepted =
-            node_->SubmitEventBatch(std::move(batch));
-        Status agg = accepted == completions.size()
-                         ? Status::OK()
-                         : Status::Shutdown("node stopped");
-        for (std::size_t i = 0; i < accepted; ++i) {
-          completions[i].Wait();  // in-process node: guaranteed to drain
-          if (agg.ok() && !completions[i].status.ok()) {
-            agg = completions[i].status;
-          }
-        }
-        BinaryWriter reply;
-        EncodeEventReply(agg, {}, &reply);
-        WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
-                   reply);
-        break;
-      }
-
-      case FrameType::kQuery: {
-        // Replies are written asynchronously from the node's RTA
-        // coordinator thread; the shared_ptr keeps the connection state
-        // alive however late the reply lands.
-        const std::uint64_t request_id = header.request_id;
-        const bool accepted = node_->SubmitQuery(
-            std::move(payload),
-            [this, state, request_id](std::vector<std::uint8_t>&& bytes) {
-              BinaryWriter reply;
-              if (!bytes.empty()) reply.PutBytes(bytes.data(), bytes.size());
-              WriteFrame(state.get(), FrameType::kQueryReply, request_id,
-                         reply);
-            });
-        payload = {};
-        if (!accepted) {
-          WriteFrame(state.get(), FrameType::kQueryReply, header.request_id,
-                     BinaryWriter());
-        }
-        break;
-      }
-
-      case FrameType::kRecordRequest: {
-        RecordRequest request;
-        BinaryReader in(payload);
-        if (!DecodeRecordRequest(&in, &request).ok()) {
-          frame_errors_->Add();
-          BinaryWriter reply;
-          EncodeRecordReply(
-              Status::InvalidArgument("malformed record request"), {}, 0,
-              &reply);
-          WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
-                     reply);
-          break;
-        }
-        const std::uint64_t request_id = header.request_id;
-        request.reply = [this, state, request_id](
-                            Status st_reply, std::vector<std::uint8_t>&& row,
-                            Version version) {
-          BinaryWriter reply;
-          EncodeRecordReply(st_reply, row, version, &reply);
-          WriteFrame(state.get(), FrameType::kRecordReply, request_id,
-                     reply);
-        };
-        if (!node_->SubmitRecordRequest(std::move(request))) {
-          BinaryWriter reply;
-          EncodeRecordReply(Status::Shutdown("node stopped"), {}, 0, &reply);
-          WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
-                     reply);
-        }
-        break;
-      }
-
-      default:
-        // A reply type arriving at the server is a protocol violation.
-        frame_errors_->Add();
-        state->open.store(false, std::memory_order_release);
-        break;
+    } else {
+      partial_since = -1;
     }
   }
 
@@ -349,6 +233,173 @@ void TcpServer::ServeConnection(std::shared_ptr<ConnectionState> state) {
   // it here would need connections_mu_, which PruneFinished holds while
   // joining this very thread.
   state->done.store(true, std::memory_order_release);
+}
+
+void TcpServer::HandleFrame(const std::shared_ptr<ConnectionState>& state,
+                            const FrameHeader& header,
+                            std::vector<std::uint8_t>&& payload) {
+  switch (header.type) {
+    case FrameType::kHello: {
+      std::uint32_t version = 0;
+      BinaryReader in(payload);
+      if (!DecodeHello(&in, &version).ok() || version != kProtocolVersion) {
+        frame_errors_->Add();
+        state->open.store(false, std::memory_order_release);
+        break;
+      }
+      BinaryWriter reply;
+      // Advertise the transport's own capabilities on top of the node's:
+      // this server decodes EVENT_BATCH whatever channel backs it.
+      NodeChannel::NodeInfo info = node_->info();
+      info.features |= NodeChannel::kFeatureEventBatch;
+      EncodeHelloReply(info, &reply);
+      WriteFrame(state.get(), FrameType::kHelloReply, header.request_id,
+                 reply);
+      break;
+    }
+
+    case FrameType::kEvent: {
+      if (payload.size() != kEventWireSize) {
+        // The node would reject a short event anyway, but with a status
+        // ("node stopped") that misdiagnoses the problem — and an
+        // oversized one would silently drop the trailing bytes. Reject
+        // here with the honest verdict; framing is intact, so the
+        // connection survives.
+        frame_errors_->Add();
+        if ((header.flags & kFlagNoReply) == 0) {
+          BinaryWriter reply;
+          EncodeEventReply(Status::InvalidArgument("malformed event"), {},
+                           &reply);
+          WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
+                     reply);
+        }
+        break;
+      }
+      if ((header.flags & kFlagNoReply) != 0) {
+        node_->SubmitEvent(std::move(payload), nullptr);
+        break;
+      }
+      EventCompletion completion;
+      BinaryWriter reply;
+      if (!node_->SubmitEvent(std::move(payload), &completion)) {
+        EncodeEventReply(Status::Shutdown("node stopped"), {}, &reply);
+      } else {
+        // Unbounded wait is safe here: the channel is the in-process
+        // node, which always drains its queue (even through Stop), so
+        // the completion cannot be abandoned. The *client* bounds the
+        // round trip with its own request deadline.
+        completion.Wait();
+        EncodeEventReply(completion.status, completion.fired_rules, &reply);
+      }
+      WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
+                 reply);
+      break;
+    }
+
+    case FrameType::kEventBatch: {
+      BinaryReader in(payload);
+      std::vector<std::vector<std::uint8_t>> events;
+      if (!DecodeEventBatch(&in, &events).ok()) {
+        // Count/size mismatch inside the payload: framing-level garbage.
+        frame_errors_->Add();
+        state->open.store(false, std::memory_order_release);
+        break;
+      }
+      if ((header.flags & kFlagNoReply) != 0) {
+        std::vector<EventMessage> batch;
+        batch.reserve(events.size());
+        for (std::vector<std::uint8_t>& bytes : events) {
+          EventMessage msg;
+          msg.bytes = std::move(bytes);
+          batch.push_back(std::move(msg));
+        }
+        node_->SubmitEventBatch(std::move(batch));
+        break;
+      }
+      // Reply-wanted batch: per-event completions on the node, one
+      // aggregated kEventReply (first failure's status, no fired rules
+      // — clients needing per-event replies use per-event frames).
+      std::vector<EventCompletion> completions(events.size());
+      std::vector<EventMessage> batch;
+      batch.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        EventMessage msg;
+        msg.bytes = std::move(events[i]);
+        msg.completion = &completions[i];
+        batch.push_back(std::move(msg));
+      }
+      const std::size_t accepted = node_->SubmitEventBatch(std::move(batch));
+      Status agg = accepted == completions.size()
+                       ? Status::OK()
+                       : Status::Shutdown("node stopped");
+      for (std::size_t i = 0; i < accepted; ++i) {
+        completions[i].Wait();  // in-process node: guaranteed to drain
+        if (agg.ok() && !completions[i].status.ok()) {
+          agg = completions[i].status;
+        }
+      }
+      BinaryWriter reply;
+      EncodeEventReply(agg, {}, &reply);
+      WriteFrame(state.get(), FrameType::kEventReply, header.request_id,
+                 reply);
+      break;
+    }
+
+    case FrameType::kQuery: {
+      // Replies are written asynchronously from the node's RTA
+      // coordinator thread; the shared_ptr keeps the connection state
+      // alive however late the reply lands.
+      const std::uint64_t request_id = header.request_id;
+      const bool accepted = node_->SubmitQuery(
+          std::move(payload),
+          [this, state, request_id](std::vector<std::uint8_t>&& bytes) {
+            BinaryWriter reply;
+            if (!bytes.empty()) reply.PutBytes(bytes.data(), bytes.size());
+            WriteFrame(state.get(), FrameType::kQueryReply, request_id,
+                       reply);
+          });
+      if (!accepted) {
+        WriteFrame(state.get(), FrameType::kQueryReply, header.request_id,
+                   BinaryWriter());
+      }
+      break;
+    }
+
+    case FrameType::kRecordRequest: {
+      RecordRequest request;
+      BinaryReader in(payload);
+      if (!DecodeRecordRequest(&in, &request).ok()) {
+        frame_errors_->Add();
+        BinaryWriter reply;
+        EncodeRecordReply(Status::InvalidArgument("malformed record request"),
+                          {}, 0, &reply);
+        WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
+                   reply);
+        break;
+      }
+      const std::uint64_t request_id = header.request_id;
+      request.reply = [this, state, request_id](
+                          Status st_reply, std::vector<std::uint8_t>&& row,
+                          Version version) {
+        BinaryWriter reply;
+        EncodeRecordReply(st_reply, row, version, &reply);
+        WriteFrame(state.get(), FrameType::kRecordReply, request_id, reply);
+      };
+      if (!node_->SubmitRecordRequest(std::move(request))) {
+        BinaryWriter reply;
+        EncodeRecordReply(Status::Shutdown("node stopped"), {}, 0, &reply);
+        WriteFrame(state.get(), FrameType::kRecordReply, header.request_id,
+                   reply);
+      }
+      break;
+    }
+
+    default:
+      // A reply type arriving at the server is a protocol violation.
+      frame_errors_->Add();
+      state->open.store(false, std::memory_order_release);
+      break;
+  }
 }
 
 }  // namespace net

@@ -86,6 +86,13 @@ class TcpServer {
 
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<ConnectionState> state);
+  /// Dispatches one reassembled frame to the node. Malformed payloads
+  /// count a frame error; header-level garbage never gets here (the
+  /// assembler drops the connection first). May mark the connection
+  /// closed (protocol violation) via `state->open`.
+  void HandleFrame(const std::shared_ptr<ConnectionState>& state,
+                   const FrameHeader& header,
+                   std::vector<std::uint8_t>&& payload);
   /// Serializes one frame and queues it on the connection's coalescing
   /// writer (flushing when elected). Any write failure marks the
   /// connection closed.

@@ -76,13 +76,17 @@ void PartialResult::Serialize(BinaryWriter* w) const {
 StatusOr<PartialResult> PartialResult::Deserialize(BinaryReader* r) {
   PartialResult p;
   p.query_id = r->GetU32();
-  const std::uint32_t ng = r->GetU32();
+  // Every count is validated against the remaining bytes before any
+  // container is sized (GetCountU32 with the minimum encoded element size),
+  // so a hostile header cannot pre-allocate more than the payload carries.
+  const std::uint32_t ng = r->GetCountU32(12);  // u64 key + u32 slot count
   if (!r->ok()) return Status::InvalidArgument("truncated partial result");
-  p.groups.reserve(std::min<std::uint32_t>(ng, 1u << 20));
+  p.groups.reserve(ng);
   for (std::uint32_t i = 0; i < ng && r->ok(); ++i) {
     PartialResult::Group g;
     g.key = r->GetU64();
-    const std::uint32_t ns = r->GetU32();
+    const std::uint32_t ns = r->GetCountU32(32);  // 3 x f64 + i64
+    g.slots.reserve(ns);
     for (std::uint32_t s = 0; s < ns && r->ok(); ++s) {
       simd::AggAccum a;
       a.sum = r->GetF64();
@@ -93,10 +97,12 @@ StatusOr<PartialResult> PartialResult::Deserialize(BinaryReader* r) {
     }
     p.groups.push_back(std::move(g));
   }
-  const std::uint32_t nt = r->GetU32();
+  const std::uint32_t nt = r->GetCountU32(4);  // u32 entry count
+  p.topk.reserve(nt);
   for (std::uint32_t t = 0; t < nt && r->ok(); ++t) {
     std::vector<TopKEntry> list;
-    const std::uint32_t ne = r->GetU32();
+    const std::uint32_t ne = r->GetCountU32(16);  // u64 entity + f64 value
+    list.reserve(ne);
     for (std::uint32_t e = 0; e < ne && r->ok(); ++e) {
       TopKEntry entry;
       entry.entity = r->GetU64();

@@ -35,8 +35,13 @@ void SerializeValue(BinaryWriter* w, const Value& v) {
 }
 
 Value DeserializeValue(BinaryReader* r) {
-  const ValueType t = static_cast<ValueType>(r->GetU8());
+  const std::uint8_t raw_type = r->GetU8();
   const std::uint64_t bits = r->GetU64();
+  if (raw_type >= kNumValueTypes) {
+    r->Fail();  // unknown type tag: poison the reader like any short read
+    return Value();
+  }
+  const ValueType t = static_cast<ValueType>(raw_type);
   switch (t) {
     case ValueType::kInt32:
       return Value::Int32(static_cast<std::int32_t>(bits));
@@ -108,50 +113,71 @@ void Query::Serialize(BinaryWriter* w) const {
   w->PutU16(entity_attr);
 }
 
+namespace {
+
+/// Reads a one-byte enum tag, poisoning the reader when the wire value is
+/// outside [0, max]. Out-of-range tags would otherwise flow into switches
+/// downstream (query compilation, scan dispatch) as unnameable enum values.
+template <typename E>
+E GetEnum8(BinaryReader* r, E max) {
+  const std::uint8_t raw = r->GetU8();
+  if (raw > static_cast<std::uint8_t>(max)) r->Fail();
+  return static_cast<E>(r->ok() ? raw : 0);
+}
+
+}  // namespace
+
 StatusOr<Query> Query::Deserialize(BinaryReader* r) {
   Query q;
   q.id = r->GetU32();
-  q.kind = static_cast<Kind>(r->GetU8());
+  q.kind = GetEnum8(r, Kind::kTopK);
 
-  const std::uint32_t ns = r->GetU32();
+  // All element counts are validated against the remaining bytes before the
+  // first element is read (GetCountU32 with the minimum encoded element
+  // size), so a hostile count can neither loop nor pre-allocate.
+  const std::uint32_t ns = r->GetCountU32(6);  // u8 + u16 + u8 + u16
+  q.select.reserve(ns);
   for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
     SelectItem s;
-    s.op = static_cast<AggOp>(r->GetU8());
+    s.op = GetEnum8(r, AggOp::kAvg);
     s.attr = r->GetU16();
     s.is_sum_ratio = r->GetU8() != 0;
     s.den_attr = r->GetU16();
     q.select.push_back(s);
   }
 
-  const std::uint32_t nw = r->GetU32();
+  const std::uint32_t nw = r->GetCountU32(12);  // u16 + u8 + value(9)
+  q.where.reserve(nw);
   for (std::uint32_t i = 0; i < nw && r->ok(); ++i) {
     ScanFilter f;
     f.attr = r->GetU16();
-    f.op = static_cast<CmpOp>(r->GetU8());
+    f.op = GetEnum8(r, CmpOp::kNe);
     f.constant = DeserializeValue(r);
     q.where.push_back(f);
   }
 
-  const std::uint32_t nd = r->GetU32();
+  const std::uint32_t nd = r->GetCountU32(15);  // 3*u16 + u8 + u32 + string
+  q.dim_where.reserve(nd);
   for (std::uint32_t i = 0; i < nd && r->ok(); ++i) {
     DimFilter f;
     f.fk_attr = r->GetU16();
     f.dim_table = r->GetU16();
     f.dim_column = r->GetU16();
-    f.op = static_cast<CmpOp>(r->GetU8());
+    f.op = GetEnum8(r, CmpOp::kNe);
     f.constant = r->GetU32();
     f.str_constant = r->GetString();
-    q.dim_where.push_back(f);
+    q.dim_where.push_back(std::move(f));
   }
 
-  q.group_by.kind = static_cast<GroupBy::Kind>(r->GetU8());
+  q.group_by.kind = GetEnum8(r, GroupBy::Kind::kDimColumn);
   q.group_by.attr = r->GetU16();
   q.group_by.fk_attr = r->GetU16();
   q.group_by.dim_table = r->GetU16();
   q.group_by.dim_column = r->GetU16();
   q.limit = r->GetU32();
 
-  const std::uint32_t nt = r->GetU32();
+  const std::uint32_t nt = r->GetCountU32(5);  // u16 + u16 + u8
+  q.topk.reserve(nt);
   for (std::uint32_t i = 0; i < nt && r->ok(); ++i) {
     TopKTarget t;
     t.attr = r->GetU16();

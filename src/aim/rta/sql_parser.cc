@@ -1,6 +1,7 @@
 #include "aim/rta/sql_parser.h"
 
 #include <cctype>
+#include <cstdio>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,25 @@ struct Token {
 Status TokenizeError(std::size_t pos, const std::string& what) {
   return Status::InvalidArgument("SQL error at offset " + std::to_string(pos) +
                                  ": " + what);
+}
+
+/// Printable rendering of one input byte for error messages. SQL arrives
+/// over the wire, so the byte may be NUL, a control character, or a
+/// non-ASCII value — embedding it raw would put unprintable (or invisible)
+/// bytes into a position-annotated message that operators read in logs.
+std::string EscapeChar(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  if (std::isprint(u) != 0) return std::string(1, c);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\x%02x", u);
+  return buf;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out += EscapeChar(c);
+  return out;
 }
 
 StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
@@ -83,8 +103,8 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
       t.text = std::string(1, c);
       ++i;
     } else {
-      return TokenizeError(i, std::string("unexpected character '") + c +
-                                  "'");
+      return TokenizeError(i,
+                           "unexpected character '" + EscapeChar(c) + "'");
     }
     tokens.push_back(std::move(t));
   }
@@ -96,7 +116,12 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
 
 std::string Upper(const std::string& s) {
   std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  for (char& c : out) {
+    // The unsigned-char cast matters: passing a raw char with the high bit
+    // set (any non-ASCII byte on a signed-char platform) to std::toupper is
+    // undefined behavior per the C standard.
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -613,7 +638,10 @@ StatusOr<Query> Parser::Run() {
         std::strtoul(Next().text.c_str(), nullptr, 10));
   }
   if (Peek().kind != Token::Kind::kEnd) {
-    return Error("unexpected trailing input '" + Peek().text + "'");
+    // The token may be a string literal carrying arbitrary bytes; escape it
+    // so the error message itself stays printable.
+    return Error("unexpected trailing input '" + EscapeString(Peek().text) +
+                 "'");
   }
 
   Query query;

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <unordered_set>
+
+#include "aim/storage/dense_map.h"
 
 namespace aim {
 namespace checkpoint {
@@ -57,19 +60,42 @@ Status Restore(BinaryReader* in, DeltaMainStore* store) {
     return Status::InvalidArgument("bad checkpoint magic");
   }
   const std::uint32_t record_size = in->GetU32();
-  if (record_size != schema.record_size()) {
+  if (!in->ok() || record_size != schema.record_size()) {
     return Status::InvalidArgument("checkpoint record size mismatch");
   }
-  const std::uint64_t count = in->GetU64();
-  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
-  // Pre-validate the payload length before touching the store: each record
-  // is exactly 16 + record_size bytes, so any truncation (or a garbage
-  // count) is detectable up front and a failed restore leaves the store
-  // empty instead of partially populated. Division avoids overflowing the
-  // count * stride product on a corrupt header.
+  // Checked count: each record is exactly 16 + record_size bytes, and the
+  // announced count is validated against the bytes actually present before
+  // anything is allocated or inserted — a 4 GiB count claimed by a 100-byte
+  // checkpoint fails right here, without the 4 GiB. (GetCountU64 divides
+  // instead of multiplying, so a hostile count cannot overflow either.)
   const std::uint64_t stride = 16u + record_size;
-  if (count > in->remaining() / stride) {
-    return Status::InvalidArgument("truncated checkpoint");
+  const std::uint64_t count = in->GetCountU64(stride);
+  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
+  if (count > store->main_capacity()) {
+    return Status::InvalidArgument("checkpoint exceeds store capacity");
+  }
+  // Validation pass before the first insert: entity ids must be unique and
+  // none may be the dense-map empty-slot sentinel (a fuzzed checkpoint can
+  // claim any id; inserting the sentinel would corrupt the entity index).
+  // Checking everything up front keeps the restore all-or-nothing — a
+  // malformed checkpoint always leaves the store empty, never partially
+  // populated. The set is bounded by `count`, which the checks above bound
+  // by both the input size and the store capacity.
+  {
+    std::unordered_set<EntityId> seen;
+    seen.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = in->Peek(i * stride, sizeof(EntityId));
+      if (p == nullptr) return Status::InvalidArgument("truncated checkpoint");
+      EntityId entity;
+      std::memcpy(&entity, p, sizeof(entity));
+      if (entity == DenseMap::kEmptyKey) {
+        return Status::InvalidArgument("checkpoint entity id reserved");
+      }
+      if (!seen.insert(entity).second) {
+        return Status::InvalidArgument("duplicate entity in checkpoint");
+      }
+    }
   }
   std::vector<std::uint8_t> row(record_size);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -79,7 +105,7 @@ Status Restore(BinaryReader* in, DeltaMainStore* store) {
       return Status::InvalidArgument("truncated checkpoint");
     }
     Status st = store->BulkInsertWithVersion(entity, row.data(), version);
-    if (!st.ok()) return st;
+    if (!st.ok()) return st;  // unreachable after validation; belt-and-braces
   }
   if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
   return Status::OK();

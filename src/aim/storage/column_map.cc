@@ -49,6 +49,12 @@ ColumnMap::~ColumnMap() {
 
 StatusOr<RecordId> ColumnMap::Insert(EntityId entity, const std::uint8_t* row,
                                      Version version) {
+  if (entity == DenseMap::kEmptyKey) {
+    // The index's empty-slot sentinel: inserting it would corrupt probing.
+    // Reachable from untrusted bytes (checkpoint restore, record requests),
+    // so this is a Status, not a DCHECK.
+    return Status::InvalidArgument("entity id reserved");
+  }
   if (index_.Contains(entity)) {
     return Status::Conflict("entity already present in main");
   }

@@ -175,6 +175,8 @@ class DeltaMainStore {
   /// Total records visible (main + new entities still in deltas is not
   /// tracked exactly; this is the main's count, used for scan sizing).
   std::uint64_t main_records() const { return main_->num_records(); }
+  /// Fixed capacity of the main store (bulk-load admission checks).
+  std::uint64_t main_capacity() const { return main_->max_records(); }
 
   /// Visits every visible record once (checkpointing; caller must quiesce
   /// all threads). Delta entries are visited with their current image;

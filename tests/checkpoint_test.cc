@@ -183,6 +183,64 @@ TEST_F(CheckpointTest, CorruptCountFailsWithEmptyStore) {
   EXPECT_EQ(restored->main_records(), 0u);
 }
 
+TEST_F(CheckpointTest, ReservedEntityIdFailsWithEmptyStore) {
+  Populate(8, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  // Overwrite the first record's entity id (offset 20 = magic 8 +
+  // record_size 4 + count 8) with the hash index's empty-slot sentinel.
+  // Inserting it would corrupt the index; the pre-insert validation pass
+  // must reject the whole checkpoint instead (this used to be an
+  // AIM_DCHECK abort — pinned by fuzz/corpus/checkpoint_restore/
+  // sentinel_entity_id).
+  std::vector<std::uint8_t> corrupt(writer.buffer().begin(),
+                                    writer.buffer().end());
+  const std::uint64_t sentinel = ~std::uint64_t{0};
+  std::memcpy(corrupt.data() + 20, &sentinel, sizeof(sentinel));
+  auto restored = MakeStore();
+  BinaryReader reader(corrupt);
+  EXPECT_TRUE(
+      checkpoint::Restore(&reader, restored.get()).IsInvalidArgument());
+  EXPECT_EQ(restored->main_records(), 0u);
+  EXPECT_EQ(restored->delta_size(), 0u);
+}
+
+TEST_F(CheckpointTest, DuplicateEntityIdFailsWithEmptyStore) {
+  Populate(8, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  // Copy record 0's entity id over record 1's (stride = entity 8 +
+  // version 8 + row). All-or-nothing: nothing from the checkpoint may
+  // land in the store, not even the records before the duplicate.
+  std::vector<std::uint8_t> corrupt(writer.buffer().begin(),
+                                    writer.buffer().end());
+  const std::size_t stride = 16 + schema_->record_size();
+  std::memcpy(corrupt.data() + 20 + stride, corrupt.data() + 20, 8);
+  auto restored = MakeStore();
+  BinaryReader reader(corrupt);
+  EXPECT_TRUE(
+      checkpoint::Restore(&reader, restored.get()).IsInvalidArgument());
+  EXPECT_EQ(restored->main_records(), 0u);
+  EXPECT_EQ(restored->delta_size(), 0u);
+}
+
+TEST_F(CheckpointTest, CountBeyondTargetCapacityFailsBeforeInserting) {
+  Populate(12, false);
+  BinaryWriter writer;
+  ASSERT_TRUE(checkpoint::Write(*store_, entity_attr_, &writer).ok());
+  // A checkpoint from a bigger deployment must not half-fill a smaller
+  // store: the capacity check runs on the announced count, before any
+  // record is touched.
+  DeltaMainStore::Options opts;
+  opts.bucket_size = 16;
+  opts.max_records = 4;
+  auto small = std::make_unique<DeltaMainStore>(schema_.get(), opts);
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(checkpoint::Restore(&reader, small.get()).IsInvalidArgument());
+  EXPECT_EQ(small->main_records(), 0u);
+  EXPECT_EQ(small->delta_size(), 0u);
+}
+
 TEST_F(CheckpointTest, HeaderCountMatchesSerializedRecords) {
   // Single-pass write with a backpatched count: the header must agree with
   // the payload exactly (the two-pass version could disagree under a

@@ -375,5 +375,90 @@ TEST(BinaryIoTest, TruncatedStringSetsError) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(BinaryIoTest, GetCountValidatesAgainstRemainingBytes) {
+  BinaryWriter w;
+  w.PutU32(3);
+  w.PutU64(2);
+  for (int i = 0; i < 3 * 4 + 2 * 8; ++i) w.PutU8(0);
+  BinaryReader r(w.buffer());
+  // Both counts are backed by enough bytes for their elements.
+  EXPECT_EQ(r.GetCountU32(4), 3u);
+  EXPECT_EQ(r.GetCountU64(8), 2u);
+  EXPECT_TRUE(r.ok());
+
+  // A count whose elements cannot possibly fit in the remaining input is
+  // rejected BEFORE the caller gets a chance to reserve() for it.
+  BinaryWriter huge;
+  huge.PutU32(0xFFFFFFFFu);
+  BinaryReader r2(huge.buffer());
+  EXPECT_EQ(r2.GetCountU32(4), 0u);
+  EXPECT_FALSE(r2.ok());
+
+  // Same for 64-bit counts: count * stride must not be computed naively
+  // (it would overflow); the division form catches ~0 counts too.
+  BinaryWriter huge64;
+  huge64.PutU64(~std::uint64_t{0});
+  BinaryReader r3(huge64.buffer());
+  EXPECT_EQ(r3.GetCountU64(16), 0u);
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(BinaryIoTest, GetCountZeroStrideTreatedAsOne) {
+  // min_element_size 0 must not divide by zero; a zero-size element still
+  // needs its count bounded by the remaining byte count.
+  BinaryWriter w;
+  w.PutU32(2);
+  w.PutU8(0);
+  w.PutU8(0);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetCountU32(0), 2u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BinaryIoTest, GetSizedBytesChecksLengthBeforeAllocating) {
+  BinaryWriter w;
+  w.PutU32(3);
+  w.PutU8('a');
+  w.PutU8('b');
+  w.PutU8('c');
+  BinaryReader r(w.buffer());
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(r.GetSizedBytes(&out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{'a', 'b', 'c'}));
+  EXPECT_TRUE(r.AtEnd());
+
+  BinaryWriter bad;
+  bad.PutU32(0x40000000u);  // 1 GiB claim over a 1-byte payload
+  bad.PutU8('x');
+  BinaryReader r2(bad.buffer());
+  out.assign(1, 0xEE);
+  EXPECT_FALSE(r2.GetSizedBytes(&out));
+  EXPECT_FALSE(r2.ok());
+  EXPECT_TRUE(out.empty());  // no partial output on failure
+}
+
+TEST(BinaryIoTest, FailPoisonsAllSubsequentReads) {
+  BinaryWriter w;
+  w.PutU32(7);
+  BinaryReader r(w.buffer());
+  r.Fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.GetU32(), 0u);  // sticky: data is present but unreadable
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, PeekDoesNotConsumeAndBoundsChecks) {
+  BinaryWriter w;
+  w.PutU32(0x11223344u);
+  BinaryReader r(w.buffer());
+  const std::uint8_t* p = r.Peek(0, 4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p[0], 0x44);  // little-endian wire order
+  EXPECT_EQ(r.remaining(), 4u);  // nothing consumed
+  EXPECT_EQ(r.Peek(1, 4), nullptr);  // window past the end
+  EXPECT_TRUE(r.ok());  // a failed Peek is a query, not an error
+  EXPECT_EQ(r.GetU32(), 0x11223344u);
+}
+
 }  // namespace
 }  // namespace aim

@@ -1,0 +1,15 @@
+// Clean-tree fixture for the fuzz-coverage audit: every decoder declared
+// here is claimed by this fixture's fuzz/HARNESSES, so the audit passes.
+#pragma once
+
+namespace aim {
+
+class GoodParser {
+ public:
+  GoodParser();  // constructor "Parser(" must not trip the audit
+};
+
+bool DecodeGoodFrame(const unsigned char* data, unsigned long size);
+bool RestoreGoodState(const unsigned char* data, unsigned long size);
+
+}  // namespace aim

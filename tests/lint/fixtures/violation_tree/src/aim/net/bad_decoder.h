@@ -1,0 +1,20 @@
+// Planted violation for the fuzz-coverage audit: DecodeSneaky is a public
+// decoder entry point that no harness in this fixture's fuzz/HARNESSES
+// claims. DecodeCovered IS listed and must not be flagged.
+#pragma once
+
+namespace aim {
+
+class FrameParser {
+ public:
+  // The constructor mentions "Parser(" — the audit requires a word boundary
+  // before the matched name, so this must not count as a `Parser` decoder.
+  FrameParser();
+};
+
+bool DecodeCovered(const unsigned char* data, unsigned long size);
+
+// Decoders in comments are prose, not declarations: DecodeCommented(...)
+bool DecodeSneaky(const unsigned char* data, unsigned long size);
+
+}  // namespace aim

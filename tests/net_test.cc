@@ -18,6 +18,7 @@
 #include "aim/esp/event.h"
 #include "aim/net/coalescing_writer.h"
 #include "aim/net/frame.h"
+#include "aim/net/frame_assembler.h"
 #include "aim/net/socket.h"
 #include "aim/net/tcp_client.h"
 #include "aim/net/tcp_server.h"
@@ -39,6 +40,100 @@ using net::FrameHeader;
 using net::FrameType;
 using net::kFrameHeaderSize;
 using net::kFrameMagic;
+
+// --- frame assembler --------------------------------------------------------
+// The same class the TcpServer read loop and fuzz_frame_stream drive; these
+// tests pin the split-tolerance and poison semantics the fuzzer relies on.
+
+TEST(FrameAssemblerTest, ReassemblesFramesFromByteAtATimeDelivery) {
+  const std::uint8_t p1[] = {1, 2, 3};
+  std::vector<std::uint8_t> stream =
+      BuildFrame(FrameType::kHello, 0, 7, p1, sizeof(p1));
+  const std::vector<std::uint8_t> f2 =
+      BuildFrame(FrameType::kQuery, net::kFlagNoReply, 8, nullptr, 0);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  net::FrameAssembler asm_;
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>> got;
+  for (std::uint8_t b : stream) {
+    ASSERT_TRUE(asm_.Push(&b, 1).ok());
+    while (asm_.Next(&header, &payload)) got.emplace_back(header, payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first.type, FrameType::kHello);
+  EXPECT_EQ(got[0].first.request_id, 7u);
+  EXPECT_EQ(got[0].second, std::vector<std::uint8_t>(p1, p1 + sizeof(p1)));
+  EXPECT_EQ(got[1].first.type, FrameType::kQuery);
+  EXPECT_EQ(got[1].first.flags, net::kFlagNoReply);
+  EXPECT_TRUE(got[1].second.empty());
+  EXPECT_EQ(asm_.buffered(), 0u);
+  EXPECT_TRUE(asm_.ok());
+}
+
+TEST(FrameAssemblerTest, HeaderCorruptionPoisonsPermanently) {
+  std::vector<std::uint8_t> stream =
+      BuildFrame(FrameType::kHello, 0, 1, nullptr, 0);
+  stream.resize(stream.size() + kFrameHeaderSize, 0xAB);  // bad magic next
+
+  net::FrameAssembler asm_;
+  ASSERT_TRUE(asm_.Push(stream.data(), stream.size()).ok());
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  // The valid frame ahead of the corruption still comes out; the corrupt
+  // header then poisons — once framing is lost there is no trustworthy
+  // boundary to resume from.
+  ASSERT_TRUE(asm_.Next(&header, &payload));
+  EXPECT_EQ(header.type, FrameType::kHello);
+  EXPECT_FALSE(asm_.Next(&header, &payload));
+  EXPECT_FALSE(asm_.ok());
+  EXPECT_TRUE(asm_.status().IsInvalidArgument());
+  EXPECT_EQ(asm_.buffered(), 0u);  // buffer released on poison
+  const std::uint8_t more = 0;
+  EXPECT_FALSE(asm_.Push(&more, 1).ok());  // sticky: push is a no-op
+  EXPECT_EQ(asm_.buffered(), 0u);
+}
+
+TEST(FrameAssemblerTest, OversizePayloadClaimRejectedWithoutBuffering) {
+  // A header announcing > kMaxFramePayload must poison at the header, not
+  // park the assembler waiting to buffer 64 MiB of attacker bytes.
+  FrameHeader h;
+  h.type = FrameType::kEvent;
+  h.flags = 0;
+  h.request_id = 1;
+  h.payload_size = net::kMaxFramePayload + 1;
+  BinaryWriter w;
+  EncodeFrameHeader(h, &w);
+  net::FrameAssembler asm_;
+  ASSERT_TRUE(asm_.Push(w.buffer().data(), w.size()).ok());
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(asm_.Next(&header, &payload));
+  EXPECT_FALSE(asm_.ok());
+  EXPECT_TRUE(asm_.status().IsInvalidArgument());
+  EXPECT_EQ(asm_.buffered(), 0u);  // nothing parked waiting for 64 MiB
+  const std::uint8_t more = 0;
+  EXPECT_FALSE(asm_.Push(&more, 1).ok());
+}
+
+TEST(FrameAssemblerTest, IncompleteFrameStaysParkedUntilPayloadArrives) {
+  const std::uint8_t p[] = {9, 9, 9, 9};
+  const std::vector<std::uint8_t> frame =
+      BuildFrame(FrameType::kEventReply, 0, 3, p, sizeof(p));
+  net::FrameAssembler asm_;
+  ASSERT_TRUE(asm_.Push(frame.data(), frame.size() - 1).ok());
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(asm_.Next(&header, &payload));
+  EXPECT_TRUE(asm_.ok());
+  EXPECT_EQ(asm_.buffered(), frame.size() - 1);
+  ASSERT_TRUE(asm_.Push(&frame.back(), 1).ok());
+  ASSERT_TRUE(asm_.Next(&header, &payload));
+  EXPECT_EQ(header.type, FrameType::kEventReply);
+  EXPECT_EQ(payload, std::vector<std::uint8_t>(p, p + sizeof(p)));
+  EXPECT_EQ(asm_.buffered(), 0u);
+}
 
 // --- codecs -----------------------------------------------------------------
 

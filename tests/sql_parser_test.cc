@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdio>
+
 #include "aim/rta/compiled_query.h"
 #include "aim/rta/sql_parser.h"
 #include "aim/server/aim_db.h"
@@ -160,6 +163,51 @@ TEST_F(SqlParserTest, ErrorsAreDiagnosed) {
               "unexpected character");
   ExpectError("SELECT COUNT(*) FROM AnalyticsMatrix WHERE zip = 'uncl",
               "unterminated string");
+}
+
+// SQL arrives over the wire, so the parser must stay well-defined on byte
+// values a text editor would never produce. These inputs are also committed
+// fuzz seeds (fuzz/corpus/sql_parser/); the assertions here pin the exact
+// diagnostics the fuzz harness only checks the shape of.
+TEST_F(SqlParserTest, EmbeddedNulIsDiagnosedNotTruncated) {
+  std::string sql = "SELECT COUNT(*) FROM AnalyticsMatrix";
+  sql += '\0';
+  sql += " WHERE zip = 3";
+  StatusOr<Query> q = parser_.Parse(sql);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument()) << q.status().ToString();
+  // The NUL byte sits at offset 36; the error must name that position and
+  // escape the byte rather than embedding it raw (a C-string-truncated
+  // parser would instead accept the statement up to the NUL).
+  EXPECT_NE(q.status().message().find("offset 36"), std::string::npos)
+      << q.status().ToString();
+  EXPECT_NE(q.status().message().find("\\x00"), std::string::npos)
+      << q.status().ToString();
+  EXPECT_EQ(q.status().message().find('\0'), std::string::npos);
+}
+
+TEST_F(SqlParserTest, NonAsciiBytesAreDiagnosedWithoutUb) {
+  // Bytes >= 0x80 are negative on a signed-char platform; feeding them to
+  // std::toupper/isalpha without the unsigned-char cast is UB. The parser
+  // must reject them with a position-annotated, fully printable message.
+  for (unsigned int b = 0x80; b <= 0xFF; b += 0x15) {
+    std::string sql = "SELECT ";
+    sql += static_cast<char>(b);
+    StatusOr<Query> q = parser_.Parse(sql);
+    ASSERT_FALSE(q.ok()) << "byte 0x" << std::hex << b;
+    EXPECT_TRUE(q.status().IsInvalidArgument());
+    EXPECT_NE(q.status().message().find("offset 7"), std::string::npos)
+        << q.status().ToString();
+    char esc[8];
+    std::snprintf(esc, sizeof(esc), "\\x%02x", b);
+    EXPECT_NE(q.status().message().find(esc), std::string::npos)
+        << q.status().ToString();
+    for (char c : q.status().message()) {
+      EXPECT_TRUE(std::isprint(static_cast<unsigned char>(c)) != 0 ||
+                  c == ' ')
+          << "unprintable byte in error message: " << q.status().ToString();
+    }
+  }
 }
 
 TEST_F(SqlParserTest, ParsedQueriesCompileAndRun) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Lint gate for the AIM tree. Four checks:
+# Lint gate for the AIM tree. Five checks:
 #
 #   1. memory-order audits (always run, no toolchain dependency): every
 #      `memory_order_relaxed` in src/aim/** must carry a `// relaxed: ...`
@@ -17,6 +17,11 @@
 #      locking goes through the thread-safety-annotated wrappers so the
 #      Clang analysis sees every acquisition (docs/CORRECTNESS.md,
 #      "Thread-safety annotations").
+#
+#   1d. fuzz-coverage audit (always run): every public Decode*/Parse*/
+#      Restore* entry point declared in src/aim/net/*.h, src/aim/storage/*.h
+#      or src/aim/rta/sql_parser.h must be claimed by a harness listed in
+#      fuzz/HARNESSES (docs/CORRECTNESS.md, "Fuzzing").
 #
 #   2. clang-tidy over src/aim/**/*.cc with the repo .clang-tidy config.
 #      Skipped with a notice when clang-tidy or compile_commands.json is
@@ -150,6 +155,63 @@ if [ -n "$MUTEX_VIOLATIONS" ]; then
   STATUS=1
 else
   echo "OK: no raw mutex use outside the annotation layer."
+fi
+
+# ---------------------------------------------------------------------------
+# Check 1d: fuzz-coverage audit. Every public Decode*/Parse*/Restore* entry
+# point declared in the untrusted-input headers (net/, storage/, the SQL
+# parser) must be claimed by a harness in fuzz/HARNESSES — adding a decoder
+# without fuzzing it fails the gate. Comments are stripped before matching,
+# and a word boundary is required before the name so e.g. a `SqlParser(...)`
+# constructor does not count as a `Parser` entry point.
+# ---------------------------------------------------------------------------
+echo
+echo "== fuzz-coverage audit =="
+
+FUZZ_SURFACES=$(
+  { find src/aim/net src/aim/storage -name '*.h' 2>/dev/null
+    [ -f src/aim/rta/sql_parser.h ] && echo src/aim/rta/sql_parser.h
+  } | sort
+)
+
+if [ -z "$FUZZ_SURFACES" ]; then
+  echo "OK: no untrusted-decoder headers in this tree."
+else
+  COVERED=$(grep -v '^[ \t]*#' fuzz/HARNESSES 2>/dev/null |
+            sed 's/^[^:]*://' | tr -s ' \t' '  ')
+  # shellcheck disable=SC2086
+  FUZZ_VIOLATIONS=$(printf '%s\n' "$FUZZ_SURFACES" | xargs awk -v covered="$COVERED" '
+    BEGIN {
+      n = split(covered, a, " ")
+      for (i = 1; i <= n; i++) if (a[i] != "") cov[a[i]] = 1
+    }
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)  # strip line comments
+      while (match(line, /(^|[^A-Za-z0-9_])(Decode|Parse|Restore)[A-Za-z0-9_]*[ \t]*\(/)) {
+        name = substr(line, RSTART, RLENGTH)
+        sub(/^[^A-Za-z0-9_]/, "", name)  # drop the boundary char, if any
+        sub(/[ \t]*\($/, "", name)
+        if (!(name in cov) && !((FILENAME SUBSEP name) in seen)) {
+          seen[FILENAME, name] = 1
+          printf "%s:%d: decoder %s is not claimed by any fuzz harness (add it to fuzz/HARNESSES)\n", FILENAME, FNR, name
+        }
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }
+  ')
+
+  if [ -n "$FUZZ_VIOLATIONS" ]; then
+    echo "$FUZZ_VIOLATIONS"
+    COUNT=$(printf '%s\n' "$FUZZ_VIOLATIONS" | wc -l)
+    echo "FAIL: $COUNT unfuzzed decoder entry point(s)."
+    echo "Every Decode*/Parse*/Restore* in net/, storage/ and rta/sql_parser.h"
+    echo "must be exercised by a harness listed in fuzz/HARNESSES (see"
+    echo "docs/CORRECTNESS.md, \"Fuzzing\")."
+    STATUS=1
+  else
+    echo "OK: every decoder entry point is claimed by a fuzz harness."
+  fi
 fi
 
 # ---------------------------------------------------------------------------

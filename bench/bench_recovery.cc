@@ -1,0 +1,237 @@
+// bench_recovery — measures the recovery time objective (RTO) of the
+// durability subsystem (docs/DURABILITY.md) at benchmark scale: how long a
+// storage node takes from process start to serving again, for the two
+// operational recovery shapes:
+//
+//   full                a checkpoint chain current through the end of the
+//                       event log (the clean-shutdown case): recovery is
+//                       checkpoint restore only, zero replay.
+//   incremental_replay  an initial full checkpoint plus a mid-run
+//                       incremental (delta) checkpoint, with the tail of
+//                       the run only in the event log (the crash case):
+//                       recovery is chain restore + log replay from the
+//                       delta's recorded LSN.
+//
+// Both scenarios run the identical workload — bulk load, then a stream of
+// CDR events through the real durable ingest path — so the reported RTOs
+// are directly comparable. --json=PATH writes the rows as one JSON
+// document (committed as BENCH_recovery.json, consumed by CI).
+//
+// Flags: --entities=N (10000) --events=K (20000) --partitions=P (4)
+//        --json=PATH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aim/server/storage_node.h"
+#include "aim/storage/fs_util.h"
+#include "bench_common.h"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace {
+
+struct ScenarioResult {
+  double rto_ms = 0;          // ctor + Recover + Start on the fresh node
+  double recover_ms = 0;      // the Recover() call alone
+  StorageNode::RecoveryStats stats;
+};
+
+void RemoveTreeRec(const std::string& root, std::uint32_t partitions) {
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const std::string dir = root + "/p" + std::to_string(p);
+    StatusOr<std::vector<std::string>> names = fs::ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& n : *names) {
+        std::remove((dir + "/" + n).c_str());
+      }
+    }
+    ::rmdir(dir.c_str());
+  }
+  ::rmdir(root.c_str());
+}
+
+StorageNode::Options NodeOptions(const std::string& dir,
+                                 std::uint32_t partitions,
+                                 std::uint64_t entities) {
+  StorageNode::Options opts;
+  opts.node_id = 0;
+  opts.num_partitions = partitions;
+  opts.num_esp_threads = 2;
+  opts.max_records_per_partition = entities * 2 + 1024;
+  opts.scan_poll_micros = 200;
+  opts.durability.dir = dir;
+  return opts;
+}
+
+// Runs the workload into `dir`: bulk load + initial full checkpoint, then
+// `events` CDR events through the durable ingest path. When
+// `mid_run_checkpoint` an incremental checkpoint is requested at the half
+// point; when `final_checkpoint` the chain is brought current at Stop.
+void Populate(const WorkloadSetup& setup, const std::string& dir,
+              std::uint64_t entities, std::uint64_t events,
+              std::uint32_t partitions, bool mid_run_checkpoint,
+              bool final_checkpoint) {
+  StorageNode node(setup.schema.get(), &setup.dims.catalog, &setup.rules,
+                   NodeOptions(dir, partitions, entities));
+  AIM_CHECK(node.Recover().ok());
+  std::vector<std::uint8_t> row(setup.schema->record_size(), 0);
+  for (EntityId e = 1; e <= entities; ++e) {
+    std::fill(row.begin(), row.end(), 0);
+    PopulateEntityProfile(*setup.schema, setup.dims, e, entities, row.data());
+    AIM_CHECK(node.BulkLoad(e, row.data()).ok());
+  }
+  AIM_CHECK(node.CheckpointNow().ok());  // epoch 1: the full base image
+  AIM_CHECK(node.Start().ok());
+
+  CdrGenerator::Options gopts;
+  gopts.num_entities = entities;
+  CdrGenerator gen(gopts);
+  const std::uint64_t half = events / 2;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    Event event = gen.Next(static_cast<Timestamp>(1000000 + i));
+    BinaryWriter w;
+    event.Serialize(&w);
+    // A completion slot only where we synchronize — it must outlive the
+    // ESP thread's write into it, so no slot for fire-and-forget events.
+    const bool waits =
+        (i + 1 == half && mid_run_checkpoint) || i + 1 == events;
+    EventCompletion done;
+    AIM_CHECK(node.SubmitEvent(w.TakeBuffer(), waits ? &done : nullptr));
+    if (!waits) continue;
+    done.Wait();
+    AIM_CHECK(done.status.ok());
+    if (i + 1 == half && mid_run_checkpoint) {
+      const std::uint64_t want =
+          node.checkpoints_completed() + partitions;
+      node.RequestCheckpoint();
+      while (node.checkpoints_completed() < want) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  node.Stop();
+  if (final_checkpoint) AIM_CHECK(node.CheckpointNow().ok());
+}
+
+ScenarioResult MeasureRecovery(const WorkloadSetup& setup,
+                               const std::string& dir,
+                               std::uint64_t entities,
+                               std::uint32_t partitions) {
+  ScenarioResult r;
+  Stopwatch total;
+  StorageNode node(setup.schema.get(), &setup.dims.catalog, &setup.rules,
+                   NodeOptions(dir, partitions, entities));
+  Stopwatch recover;
+  StatusOr<StorageNode::RecoveryStats> stats = node.Recover();
+  r.recover_ms = recover.ElapsedMillis();
+  AIM_CHECK(stats.ok());
+  AIM_CHECK(!stats->cold_start);
+  AIM_CHECK(node.Start().ok());
+  r.rto_ms = total.ElapsedMillis();
+  r.stats = *stats;
+  node.Stop();
+  return r;
+}
+
+void PrintScenario(const char* name, const ScenarioResult& r) {
+  std::printf(
+      "%-20s rto %8.2f ms  (recover %8.2f ms)  ckpts %llu  records %llu  "
+      "batches %llu  events %llu\n",
+      name, r.rto_ms, r.recover_ms,
+      static_cast<unsigned long long>(r.stats.checkpoints_applied),
+      static_cast<unsigned long long>(r.stats.records_restored),
+      static_cast<unsigned long long>(r.stats.batches_replayed),
+      static_cast<unsigned long long>(r.stats.events_replayed));
+}
+
+void JsonScenario(FILE* f, const char* name, const ScenarioResult& r,
+                  bool last) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\"rto_ms\": %.3f, \"recover_ms\": %.3f, "
+      "\"checkpoints_applied\": %llu, \"records_restored\": %llu, "
+      "\"batches_replayed\": %llu, \"events_replayed\": %llu}%s\n",
+      name, r.rto_ms, r.recover_ms,
+      static_cast<unsigned long long>(r.stats.checkpoints_applied),
+      static_cast<unsigned long long>(r.stats.records_restored),
+      static_cast<unsigned long long>(r.stats.batches_replayed),
+      static_cast<unsigned long long>(r.stats.events_replayed),
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== bench_recovery (durability RTO, docs/DURABILITY.md) ===\n");
+  const std::uint64_t entities = FlagUint(argc, argv, "entities", 10000);
+  const std::uint64_t events = FlagUint(argc, argv, "events", 20000);
+  const std::uint32_t partitions =
+      static_cast<std::uint32_t>(FlagUint(argc, argv, "partitions", 4));
+  const char* json_path = FlagValue(argc, argv, "json");
+
+  WorkloadSetup setup = MakeSetup();
+  std::printf("schema: %u-byte records; %llu entities, %llu events, "
+              "%u partitions\n",
+              setup.schema->record_size(),
+              static_cast<unsigned long long>(entities),
+              static_cast<unsigned long long>(events), partitions);
+
+  const std::string root =
+      std::string(::getenv("TMPDIR") != nullptr ? ::getenv("TMPDIR")
+                                                : "/tmp") +
+      "/aim_bench_recovery_" + std::to_string(::getpid());
+
+  // Scenario 1: clean shutdown — the chain is current, nothing replays.
+  const std::string full_dir = root + "_full";
+  RemoveTreeRec(full_dir, partitions);
+  Populate(setup, full_dir, entities, events, partitions,
+           /*mid_run_checkpoint=*/false, /*final_checkpoint=*/true);
+  const ScenarioResult full =
+      MeasureRecovery(setup, full_dir, entities, partitions);
+  AIM_CHECK(full.stats.batches_replayed == 0);
+  RemoveTreeRec(full_dir, partitions);
+
+  // Scenario 2: crash — an incremental checkpoint from mid-run plus the
+  // log tail; recovery restores the chain then replays the tail.
+  const std::string incr_dir = root + "_incr";
+  RemoveTreeRec(incr_dir, partitions);
+  Populate(setup, incr_dir, entities, events, partitions,
+           /*mid_run_checkpoint=*/true, /*final_checkpoint=*/false);
+  const ScenarioResult incr =
+      MeasureRecovery(setup, incr_dir, entities, partitions);
+  AIM_CHECK(incr.stats.batches_replayed > 0);
+  RemoveTreeRec(incr_dir, partitions);
+
+  std::printf("\n--- recovery time objective ---\n");
+  PrintScenario("full", full);
+  PrintScenario("incremental_replay", incr);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_recovery\",\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+    std::fprintf(f, "  \"build_type\": \"%s\",\n", BuildType());
+    std::fprintf(f,
+                 "  \"scale\": {\"entities\": %llu, \"events\": %llu, "
+                 "\"partitions\": %u},\n",
+                 static_cast<unsigned long long>(entities),
+                 static_cast<unsigned long long>(events), partitions);
+    std::fprintf(f, "  \"scenarios\": {\n");
+    JsonScenario(f, "full", full, /*last=*/false);
+    JsonScenario(f, "incremental_replay", incr, /*last=*/true);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

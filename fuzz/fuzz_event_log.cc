@@ -1,0 +1,77 @@
+// Fuzzes the event-log read path (storage/event_log.h) from arbitrary
+// bytes: EventLog::ScanImage — the pure in-memory scan Open() and Replay()
+// build on, i.e. exactly what recovery runs against whatever a crash left
+// on disk — and DecodeLogPayload over every payload the scan delivers.
+//
+// Asserted invariants:
+//   * the scan never reads outside the image: every delivered payload lies
+//     within the input bytes and its LSN is consistent with its position;
+//   * delivered records form a strictly advancing prefix (LSNs increase by
+//     exactly the record's framed size; end_lsn is the last record's LSN);
+//   * a file shorter than its header, or with a foreign magic, delivers
+//     nothing and reports the tear;
+//   * DecodeLogPayload either rejects a payload or returns a view whose
+//     spans alias the payload bytes (count * size == span length, row
+//     inside the payload) — no crash, whatever the bytes.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "aim/storage/event_log.h"
+#include "fuzz_util.h"
+
+using aim::DecodeLogPayload;
+using aim::EventLog;
+using aim::LogPayloadView;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> image(data, size);
+
+  EventLog::Lsn prev_lsn = EventLog::kHeaderSize;
+  std::uint64_t delivered = 0;
+  const EventLog::ReplayStats stats = EventLog::ScanImage(
+      image, 0, [&](EventLog::Lsn lsn, std::span<const std::uint8_t> p) {
+        ++delivered;
+        // The payload aliases the image, inside bounds.
+        AIM_FUZZ_REQUIRE(p.data() >= data);
+        AIM_FUZZ_REQUIRE(p.data() + p.size() <= data + size);
+        // LSN is the offset after the record: header (8 bytes) + payload.
+        AIM_FUZZ_REQUIRE(lsn == prev_lsn + 8 + p.size());
+        AIM_FUZZ_REQUIRE(p.data() == data + (lsn - p.size()));
+        prev_lsn = lsn;
+
+        LogPayloadView view;
+        if (DecodeLogPayload(p, &view).ok()) {
+          if (view.kind == LogPayloadView::Kind::kEventBatch) {
+            AIM_FUZZ_REQUIRE(view.events.size() ==
+                             static_cast<std::uint64_t>(view.event_count) *
+                                 view.event_size);
+            AIM_FUZZ_REQUIRE(view.events.empty() ||
+                             (view.events.data() >= p.data() &&
+                              view.events.data() + view.events.size() <=
+                                  p.data() + p.size()));
+          } else {
+            AIM_FUZZ_REQUIRE(view.kind == LogPayloadView::Kind::kRecordPut ||
+                             view.kind ==
+                                 LogPayloadView::Kind::kRecordInsert);
+            AIM_FUZZ_REQUIRE(view.row.empty() ||
+                             (view.row.data() >= p.data() &&
+                              view.row.data() + view.row.size() <=
+                                  p.data() + p.size()));
+          }
+        }
+      });
+
+  AIM_FUZZ_REQUIRE(stats.records == delivered);
+  AIM_FUZZ_REQUIRE(delivered == 0 || stats.end == prev_lsn);
+  AIM_FUZZ_REQUIRE(stats.end <= size);
+  if (size < EventLog::kHeaderSize ||
+      std::memcmp(data, "AIMLOG1\0", EventLog::kHeaderSize) != 0) {
+    // Short or foreign image: nothing may be delivered.
+    AIM_FUZZ_REQUIRE(delivered == 0);
+    AIM_FUZZ_REQUIRE(size == 0 || stats.torn);
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "aim/schema/schema.h"
 #include "aim/storage/checkpoint.h"
 #include "aim/storage/delta_main.h"
+#include "aim/storage/event_log.h"
 #include "aim/workload/benchmark_schema.h"
 
 namespace {
@@ -210,6 +211,80 @@ bool GenCheckpoint(const std::string& dir) {
   std::vector<std::uint8_t> dup = valid;
   std::memcpy(dup.data() + header + 16 + row_size, dup.data() + header, 8);
   ok &= WriteSeed(dir, "duplicate_entity", dup);
+
+  // v2 chained images (the format recovery reads): same record body, the
+  // richer header in front. The v1 body starts after magic + record_size.
+  auto v2 = [&](std::uint8_t kind, std::uint64_t epoch, std::uint64_t base,
+                std::uint64_t log_lsn) {
+    BinaryWriter h2;
+    h2.PutBytes("AIMCKPT2", 8);
+    h2.PutU32(static_cast<std::uint32_t>(row_size));
+    h2.PutU8(kind);
+    h2.PutU64(epoch);
+    h2.PutU64(base);
+    h2.PutU64(log_lsn);
+    std::vector<std::uint8_t> out = h2.TakeBuffer();
+    out.insert(out.end(), valid.begin() + 12, valid.end());
+    return out;
+  };
+  ok &= WriteSeed(dir, "v2_full", v2(0, 1, 0, 42));
+  ok &= WriteSeed(dir, "v2_delta", v2(1, 2, 1, 99));
+  // Regression: inconsistent chain fields (a full carrying a base epoch, a
+  // delta whose base is not older) are structural errors, not data.
+  ok &= WriteSeed(dir, "v2_full_with_base", v2(0, 1, 1, 42));
+  ok &= WriteSeed(dir, "v2_delta_base_not_older", v2(1, 2, 2, 99));
+  return ok;
+}
+
+bool GenEventLog(const std::string& dir) {
+  bool ok = true;
+  const char magic[8] = {'A', 'I', 'M', 'L', 'O', 'G', '1', '\0'};
+  auto fresh = [&] {
+    return std::vector<std::uint8_t>(magic, magic + 8);
+  };
+
+  // A log exactly as the node writes it: an event-batch record (one
+  // ProcessBatch run) followed by a record-op record.
+  std::vector<std::uint8_t> image = fresh();
+  BinaryWriter batch;
+  aim::EncodeEventBatchHeader(2, 64, &batch);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    const std::vector<std::uint8_t> ev = EventBytes(i + 1);
+    batch.PutBytes(ev.data(), ev.size());
+  }
+  aim::EventLog::EncodeRecord(batch.buffer(), &image);
+  BinaryWriter put;
+  std::vector<std::uint8_t> row(32, 0xCD);
+  aim::EncodeRecordOpPayload(aim::LogPayloadView::Kind::kRecordPut, 17, 3,
+                             row, &put);
+  aim::EventLog::EncodeRecord(put.buffer(), &image);
+  ok &= WriteSeed(dir, "batch_then_record_op", image);
+
+  // Regression: a torn tail — a record header whose payload never hit the
+  // disk (the exact artifact of a crash between the two appends) — ends
+  // the valid prefix instead of reading past the file.
+  std::vector<std::uint8_t> torn = image;
+  const std::uint32_t claim = 64;
+  const std::uint32_t bogus_crc = 0xDEADBEEF;
+  torn.insert(torn.end(), reinterpret_cast<const std::uint8_t*>(&claim),
+              reinterpret_cast<const std::uint8_t*>(&claim) + 4);
+  torn.insert(torn.end(), reinterpret_cast<const std::uint8_t*>(&bogus_crc),
+              reinterpret_cast<const std::uint8_t*>(&bogus_crc) + 4);
+  ok &= WriteSeed(dir, "torn_tail_header_only", torn);
+
+  // Regression: a flipped payload byte must fail the record's CRC, not
+  // deliver the corrupt record (CRC is seeded over the length field, so
+  // corrupt lengths cannot pair with valid-looking windows either).
+  std::vector<std::uint8_t> flipped = image;
+  flipped[flipped.size() - 5] ^= 0x40;
+  ok &= WriteSeed(dir, "flipped_payload_byte", flipped);
+
+  // A foreign file (wrong magic) delivers nothing.
+  std::vector<std::uint8_t> foreign = Str("AIMCKPT1 is not a log");
+  ok &= WriteSeed(dir, "foreign_magic", foreign);
+
+  // Header only: a freshly created, never-appended log.
+  ok &= WriteSeed(dir, "empty_log", fresh());
   return ok;
 }
 
@@ -303,6 +378,7 @@ int main(int argc, char** argv) {
   ok &= GenFrameHeader(root + "/frame_header");
   ok &= GenFrameStream(root + "/frame_stream");
   ok &= GenCheckpoint(root + "/checkpoint_restore");
+  ok &= GenEventLog(root + "/event_log");
   ok &= GenSql(root + "/sql_parser");
   ok &= GenEventCodec(root + "/event_codec");
   ok &= GenQueryCodec(root + "/query_codec");

@@ -1,0 +1,13 @@
+#include "aim/common/crash_point.h"
+
+namespace aim {
+
+namespace internal {
+CrashPointHandler g_crash_point_handler = nullptr;
+}  // namespace internal
+
+void SetCrashPointHandler(CrashPointHandler handler) {
+  internal::g_crash_point_handler = handler;
+}
+
+}  // namespace aim

@@ -1,0 +1,42 @@
+#ifndef AIM_COMMON_CRASH_POINT_H_
+#define AIM_COMMON_CRASH_POINT_H_
+
+namespace aim {
+
+/// Kill-point fault injection for the durability tier (docs/CORRECTNESS.md,
+/// "Kill-point fault injection"). Production code marks the instants where
+/// a crash is interesting — between a write and its fsync, between a rename
+/// and the directory sync — with AIM_CRASH_POINT("name"). A test harness
+/// installs a handler in a *child process* that calls _exit() when the
+/// named point is hit; the parent then recovers from the on-disk state the
+/// simulated crash left behind and asserts consistency.
+///
+/// With no handler installed (every production run) a crash point is a
+/// single predictable-branch null check — cheap enough to leave in release
+/// builds, which is the point: the binary that is tested for crash safety
+/// is the binary that ships.
+///
+/// The handler pointer is process-global and installed before any threads
+/// start (the harness installs it at child-process startup); it is not a
+/// synchronization point.
+using CrashPointHandler = void (*)(const char* point);
+
+/// Installs (or, with nullptr, removes) the process-wide handler.
+/// Test-only; call before starting any threads that may hit a point.
+void SetCrashPointHandler(CrashPointHandler handler);
+
+namespace internal {
+extern CrashPointHandler g_crash_point_handler;
+}  // namespace internal
+
+/// Marks a named crash point. The handler decides whether to die here.
+#define AIM_CRASH_POINT(name)                                  \
+  do {                                                         \
+    if (::aim::internal::g_crash_point_handler != nullptr) {   \
+      ::aim::internal::g_crash_point_handler(name);            \
+    }                                                          \
+  } while (0)
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_CRASH_POINT_H_

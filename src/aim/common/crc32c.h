@@ -1,0 +1,24 @@
+#ifndef AIM_COMMON_CRC32C_H_
+#define AIM_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aim {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum guarding event-log records (storage/event_log.h). Chosen over
+/// plain CRC-32 for its better burst-error detection; the software
+/// slice-by-one table implementation is plenty for the log's per-batch
+/// record granularity (one checksum per ProcessBatch run, not per event).
+///
+/// Incremental use: pass the previous return value as `seed` to extend a
+/// checksum over discontiguous pieces. The seed for a fresh checksum is 0;
+/// the xor-in/xor-out masking is handled internally, so
+/// `Crc32c(b, n) == Crc32c(b + k, n - k, Crc32c(b, k))`.
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_CRC32C_H_

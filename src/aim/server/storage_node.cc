@@ -1,11 +1,14 @@
 #include "aim/server/storage_node.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "aim/common/clock.h"
 #include "aim/common/hash.h"
 #include "aim/common/logging.h"
 #include "aim/common/thread_name.h"
+#include "aim/storage/fs_util.h"
+#include "aim/storage/recovery.h"
 
 namespace aim {
 
@@ -46,6 +49,14 @@ StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
       metrics_->GetCounter("aim_store_records_merged_total", node_labels);
   freshness_millis_ =
       metrics_->GetHistogram("aim_fresh_staleness_millis", node_labels);
+  log_appends_ =
+      metrics_->GetCounter("aim_log_appends_total", node_labels);
+  log_bytes_ = metrics_->GetCounter("aim_log_bytes_total", node_labels);
+  log_syncs_ = metrics_->GetCounter("aim_log_syncs_total", node_labels);
+  log_sync_micros_ =
+      metrics_->GetHistogram("aim_log_sync_micros", node_labels);
+  checkpoints_written_ =
+      metrics_->GetCounter("aim_checkpoints_total", node_labels);
 
   DeltaMainStore::Options store_opts;
   store_opts.bucket_size = options_.bucket_size;
@@ -89,6 +100,13 @@ StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
     esp_threads_.push_back(std::move(state));
   }
 
+  if (durable()) {
+    logs_.resize(options_.num_partitions);  // opened by Recover()
+    for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+      batch_gates_.push_back(std::make_unique<SwapHandshake<>>());
+    }
+  }
+
   partials_.resize(options_.num_partitions);
   round_barrier_ = std::make_unique<std::barrier<>>(options_.num_partitions);
 }
@@ -108,11 +126,14 @@ Status StorageNode::BulkLoad(EntityId entity, const std::uint8_t* row) {
 
 Status StorageNode::Start() {
   if (running()) return Status::InvalidArgument("already running");
+  AIM_CHECK_MSG(!durable() || recovered_,
+                "durability enabled: call Recover() before Start()");
   running_.store(true, std::memory_order_release);
 
   for (auto& state : esp_threads_) {
     for (std::uint32_t p : state->owned_partitions) {
       partitions_[p]->set_esp_attached(true);
+      if (durable()) batch_gates_[p]->set_writer_attached(true);
     }
     EspThreadState* raw = state.get();
     state->thread = std::thread([this, raw] { EspLoop(raw); });
@@ -209,7 +230,8 @@ bool StorageNode::SubmitRecordRequest(RecordRequest request) {
 // ---------------------------------------------------------------------------
 
 void StorageNode::ServeRecordRequest(RecordRequest& request) {
-  DeltaMainStore* store = partitions_[PartitionOf(request.entity)].get();
+  const std::uint32_t p = PartitionOf(request.entity);
+  DeltaMainStore* store = partitions_[p].get();
   switch (request.kind) {
     case RecordRequest::Kind::kGet: {
       std::vector<std::uint8_t> row(schema_->record_size());
@@ -224,6 +246,9 @@ void StorageNode::ServeRecordRequest(RecordRequest& request) {
                       ? store->Put(request.entity, request.row.data(),
                                    request.expected_version)
                       : Status::InvalidArgument("bad record size");
+      if (st.ok()) {
+        LogRecordOp(p, LogPayloadView::Kind::kRecordPut, request);
+      }
       if (request.reply) {
         request.reply(st, {}, request.expected_version + 1);
       }
@@ -233,10 +258,34 @@ void StorageNode::ServeRecordRequest(RecordRequest& request) {
       Status st = request.row.size() == schema_->record_size()
                       ? store->Insert(request.entity, request.row.data())
                       : Status::InvalidArgument("bad record size");
+      if (st.ok()) {
+        LogRecordOp(p, LogPayloadView::Kind::kRecordInsert, request);
+      }
       if (request.reply) request.reply(st, {}, 1);
       return;
     }
   }
+}
+
+// Makes one successful record-service mutation durable before its reply is
+// sent (the record tier's ack-after-fsync point). Only successes are
+// logged, so a replayed op is expected to succeed again. Record ops are
+// synchronous round trips and rare relative to events, so each one syncs
+// immediately rather than joining the event group commit.
+void StorageNode::LogRecordOp(std::uint32_t p, LogPayloadView::Kind kind,
+                              const RecordRequest& request) {
+  if (!durable()) return;
+  BinaryWriter writer;
+  EncodeRecordOpPayload(kind, request.entity, request.expected_version,
+                        std::span<const std::uint8_t>(request.row), &writer);
+  StatusOr<EventLog::Lsn> lsn = logs_[p]->Append(writer.buffer());
+  AIM_CHECK_MSG(lsn.ok(), "event log append failed");
+  log_appends_->Add();
+  log_bytes_->Add(writer.size());
+  Stopwatch sync_timer;
+  AIM_CHECK_MSG(logs_[p]->Sync(lsn.value()).ok(), "event log fsync failed");
+  log_syncs_->Add();
+  log_sync_micros_->Record(sync_timer.ElapsedMicros());
 }
 
 void StorageNode::EspLoop(EspThreadState* state) {
@@ -255,6 +304,9 @@ void StorageNode::EspLoop(EspThreadState* state) {
   std::vector<std::vector<std::size_t>> by_engine(state->engines.size());
   std::vector<Event> run_events;
   EspEngine::BatchResult batch_result;
+  std::vector<std::uint8_t> log_scratch;  // reused log payload buffer
+  state->pending_sync_lsn.assign(state->engines.size(), 0);
+  state->last_flush_nanos = MonotonicNanos();
   std::uint64_t handled = 0;
   const std::size_t max_batch =
       options_.max_event_batch > 0 ? options_.max_event_batch : 1;
@@ -264,9 +316,15 @@ void StorageNode::EspLoop(EspThreadState* state) {
 
   while (true) {
     // Algorithm 7 line 3-5: acknowledge pending delta switches on every
-    // owned partition before (and between) batches.
+    // owned partition before (and between) batches. The batch gate is
+    // acknowledged here too — this loop top is the one point where every
+    // drained event is both applied and appended, so a checkpoint cut
+    // taken inside the gate's window matches the log offset it records.
     for (std::size_t i = 0; i < state->owned_partitions.size(); ++i) {
       partitions_[state->owned_partitions[i]]->EspCheckpoint();
+      if (durable()) {
+        batch_gates_[state->owned_partitions[i]]->WriterCheckpoint();
+      }
     }
 
     // Record service first (remote ESP tiers are latency-sensitive: they
@@ -280,6 +338,10 @@ void StorageNode::EspLoop(EspThreadState* state) {
     events.clear();
     const std::size_t n = state->queue.DrainInto(&events, max_batch);
     if (n == 0) {
+      // Nothing to coalesce with: flush deferred acks before idling (or
+      // exiting) so the group-commit interval only adds latency under
+      // load, where the next wakeup is imminent anyway.
+      if (durable()) FlushPendingAcks(state);
       if (!running_.load(std::memory_order_acquire) &&
           state->queue.size() == 0 && state->record_queue.size() == 0) {
         break;
@@ -337,31 +399,271 @@ void StorageNode::EspLoop(EspThreadState* state) {
           &batch_result);
       const double per_event_micros =
           run_timer.ElapsedMicros() / static_cast<double>(idxs.size());
-      const std::int64_t complete_nanos = MonotonicNanos();
+
+      if (durable()) {
+        // One log record per ProcessBatch run, built from the original
+        // wire buffers (apply-then-append: the log only ever contains
+        // applied batches, and by the next loop top — where checkpoints
+        // cut — applied and appended coincide). Acks wait for the fsync.
+        BinaryWriter writer(std::move(log_scratch));
+        EncodeEventBatchHeader(static_cast<std::uint32_t>(idxs.size()),
+                               kEventWireSize, &writer);
+        for (std::size_t idx : idxs) {
+          writer.PutBytes(events[idx].bytes.data(), kEventWireSize);
+        }
+        const std::uint32_t part = state->owned_partitions[e];
+        StatusOr<EventLog::Lsn> lsn = logs_[part]->Append(writer.buffer());
+        AIM_CHECK_MSG(lsn.ok(), "event log append failed");
+        state->pending_sync_lsn[e] = lsn.value();
+        log_appends_->Add();
+        log_bytes_->Add(writer.size());
+        log_scratch = writer.TakeBuffer();
+      }
+
+      const bool defer_acks = durable();
+      const std::int64_t complete_nanos =
+          defer_acks ? 0 : MonotonicNanos();
       for (std::size_t k = 0; k < idxs.size(); ++k) {
         esp_event_latency_->Record(per_event_micros);
         EventMessage& msg = events[idxs[k]];
         if (msg.completion != nullptr) {
           msg.completion->status = batch_result.statuses[k];
           msg.completion->fired_rules = batch_result.fired[k];
-          msg.completion->complete_nanos = complete_nanos;
-          msg.completion->done.store(true, std::memory_order_release);
+          if (defer_acks) {
+            // done (and complete_nanos) are set by FlushPendingAcks once
+            // the covering fsync lands — ack-after-fsync.
+            state->pending_acks.push_back(msg.completion);
+          } else {
+            msg.completion->complete_nanos = complete_nanos;
+            msg.completion->done.store(true, std::memory_order_release);
+          }
         }
         event_buffers_.Release(std::move(msg.bytes));
       }
     }
+
+    // Group commit: sync (and ack) now unless the interval says more
+    // appends may still pile onto this fsync.
+    if (durable()) {
+      const std::int64_t interval_nanos =
+          options_.durability.group_commit_micros * 1000;
+      if (interval_nanos <= 0 ||
+          MonotonicNanos() - state->last_flush_nanos >= interval_nanos) {
+        FlushPendingAcks(state);
+      }
+    }
   }
 
-  // Detach from the handshake so in-flight delta switches can proceed, and
-  // fail any record requests that raced with shutdown.
+  // Detach from the handshakes so in-flight delta switches (and checkpoint
+  // cuts) can proceed, and fail any record requests that raced with
+  // shutdown. Deferred acks were flushed on the idle pass that observed
+  // shutdown, but flush again for safety: an ack must never be lost.
+  if (durable()) FlushPendingAcks(state);
   for (std::uint32_t p : state->owned_partitions) {
     partitions_[p]->set_esp_attached(false);
+    if (durable()) batch_gates_[p]->set_writer_attached(false);
   }
   records.clear();
   state->record_queue.DrainInto(&records);
   for (RecordRequest& req : records) {
     if (req.reply) req.reply(Status::Shutdown(), {}, 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: group-commit flush, recovery, checkpoints (docs/DURABILITY.md).
+// ---------------------------------------------------------------------------
+
+void StorageNode::FlushPendingAcks(EspThreadState* state) {
+  bool any = false;
+  for (EventLog::Lsn lsn : state->pending_sync_lsn) any |= lsn != 0;
+  if (!any && state->pending_acks.empty()) return;
+  if (any) {
+    Stopwatch sync_timer;
+    for (std::size_t e = 0; e < state->pending_sync_lsn.size(); ++e) {
+      const EventLog::Lsn upto = state->pending_sync_lsn[e];
+      if (upto == 0) continue;
+      const std::uint32_t p = state->owned_partitions[e];
+      AIM_CHECK_MSG(logs_[p]->Sync(upto).ok(), "event log fsync failed");
+      state->pending_sync_lsn[e] = 0;
+      log_syncs_->Add();
+    }
+    log_sync_micros_->Record(sync_timer.ElapsedMicros());
+  }
+  const std::int64_t now = MonotonicNanos();
+  for (EventCompletion* completion : state->pending_acks) {
+    completion->complete_nanos = now;
+    completion->done.store(true, std::memory_order_release);
+  }
+  state->pending_acks.clear();
+  state->last_flush_nanos = now;
+}
+
+std::string StorageNode::PartitionDir(std::uint32_t p) const {
+  return options_.durability.dir + "/p" + std::to_string(p);
+}
+
+StatusOr<StorageNode::RecoveryStats> StorageNode::Recover() {
+  AIM_CHECK_MSG(durable(), "Recover() requires Options::durability.dir");
+  AIM_CHECK_MSG(!running(), "Recover() only before Start()");
+  AIM_CHECK_MSG(!recovered_, "Recover() called twice");
+
+  Status st = fs::EnsureDir(options_.durability.dir);
+  if (!st.ok()) return st;
+
+  RecoveryStats stats;
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    const std::string dir = PartitionDir(p);
+    st = fs::EnsureDir(dir);
+    if (!st.ok()) return st;
+    // A crash can orphan a checkpoint temporary; sweep before anything
+    // else so a stale .tmp never survives into (or past) this run.
+    stats.tmp_files_swept += fs::RemoveStaleTmpFiles(dir);
+
+    std::uint64_t replay_from = 0;  // whole log when no checkpoint restores
+    StatusOr<checkpoint::ChainTip> tip =
+        checkpoint::RecoverChain(dir, partitions_[p].get());
+    if (tip.ok()) {
+      stats.cold_start = false;
+      stats.checkpoints_applied += tip->files_applied;
+      stats.records_restored += tip->records_restored;
+      replay_from = tip->log_lsn;
+    } else if (!tip.status().IsNotFound()) {
+      return tip.status();
+    }
+
+    // Open (truncating any torn tail) before replaying, so replay sees
+    // exactly the prefix future appends will extend.
+    logs_[p] = std::make_unique<EventLog>();
+    const std::string log_path = dir + "/events.log";
+    StatusOr<EventLog::OpenStats> opened = logs_[p]->Open(log_path);
+    if (!opened.ok()) return opened.status();
+    if (opened->records > 0) stats.cold_start = false;
+    ReplayPartitionLog(p, replay_from, &stats);
+  }
+  recovered_ = true;
+  return stats;
+}
+
+void StorageNode::ReplayPartitionLog(std::uint32_t p, std::uint64_t from,
+                                     RecoveryStats* stats) {
+  // Replay through the partition's own engine: the log holds one record
+  // per ProcessBatch run, appended in apply order by the single ESP
+  // writer, so re-running records in log order reproduces the exact
+  // original computation (rule evaluations included).
+  const std::uint32_t thread_id = p % options_.num_esp_threads;
+  EspEngine* engine =
+      esp_threads_[thread_id]
+          ->engines[(p - thread_id) / options_.num_esp_threads]
+          .get();
+  DeltaMainStore* store = partitions_[p].get();
+  std::vector<Event> batch;
+  EspEngine::BatchResult result;
+  StatusOr<EventLog::ReplayStats> replayed = EventLog::Replay(
+      PartitionDir(p) + "/events.log", from,
+      [&](EventLog::Lsn, std::span<const std::uint8_t> payload) {
+        LogPayloadView view;
+        if (!DecodeLogPayload(payload, &view).ok()) {
+          std::fprintf(stderr,
+                       "aim: skipping undecodable log record (partition %u)\n",
+                       p);
+          return;
+        }
+        switch (view.kind) {
+          case LogPayloadView::Kind::kEventBatch: {
+            if (view.event_size != kEventWireSize) {
+              std::fprintf(stderr,
+                           "aim: skipping log batch with foreign event size "
+                           "%u (partition %u)\n",
+                           view.event_size, p);
+              return;
+            }
+            batch.clear();
+            for (std::uint32_t i = 0; i < view.event_count; ++i) {
+              BinaryReader reader(
+                  view.events.data() +
+                      static_cast<std::size_t>(i) * kEventWireSize,
+                  kEventWireSize);
+              batch.push_back(Event::Deserialize(&reader));
+            }
+            engine->ProcessBatch(
+                std::span<const Event>(batch.data(), batch.size()), &result);
+            ++stats->batches_replayed;
+            stats->events_replayed += view.event_count;
+            break;
+          }
+          case LogPayloadView::Kind::kRecordPut:
+          case LogPayloadView::Kind::kRecordInsert: {
+            // Only successful ops were logged, so failure here means the
+            // state diverged (e.g. a mid-chain checkpoint already holds
+            // the op) — warn, do not abort recovery.
+            Status op =
+                view.row.size() == schema_->record_size()
+                    ? (view.kind == LogPayloadView::Kind::kRecordPut
+                           ? store->Put(view.entity, view.row.data(),
+                                        view.expected_version)
+                           : store->Insert(view.entity, view.row.data()))
+                    : Status::InvalidArgument("bad record size");
+            if (!op.ok()) {
+              std::fprintf(
+                  stderr,
+                  "aim: log record op replay failed (partition %u): %s\n", p,
+                  op.ToString().c_str());
+            }
+            ++stats->record_ops_replayed;
+            break;
+          }
+        }
+      });
+  AIM_CHECK_MSG(replayed.ok(), "event log replay failed");
+}
+
+Status StorageNode::CheckpointNow() {
+  AIM_CHECK_MSG(durable(), "CheckpointNow() requires durability");
+  AIM_CHECK_MSG(!running(), "CheckpointNow() only with the threads stopped; "
+                            "use RequestCheckpoint() on a live node");
+  AIM_CHECK_MSG(recovered_, "CheckpointNow() only after Recover()");
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    StatusOr<checkpoint::ChainTip> tip = checkpoint::WriteChained(
+        partitions_[p].get(), sys_attrs_.entity_id, PartitionDir(p),
+        logs_[p]->end_lsn());
+    if (!tip.ok()) return tip.status();
+    checkpoints_written_->Add();
+    checkpoints_completed_.fetch_add(1, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+void StorageNode::RequestCheckpoint() {
+  // Release pairs with the acquire in RtaLoop: a thread that observes the
+  // new sequence also observes everything the requester did before asking.
+  checkpoint_seq_.fetch_add(1, std::memory_order_release);
+}
+
+void StorageNode::WritePartitionCheckpoint(std::uint32_t partition_id) {
+  DeltaMainStore* store = partitions_[partition_id].get();
+  // Serialize inside the batch gate's window (ESP parked at a loop top:
+  // applied state == log prefix, and end_lsn is exactly that prefix), but
+  // commit — the fsync — outside it, so disk latency never extends the
+  // writer's park.
+  StatusOr<checkpoint::PendingCheckpoint> pending =
+      Status::Internal("checkpoint not prepared");
+  batch_gates_[partition_id]->RunExclusive([&] {
+    pending = checkpoint::PrepareChained(*store, sys_attrs_.entity_id,
+                                         PartitionDir(partition_id),
+                                         logs_[partition_id]->end_lsn());
+  });
+  Status st = pending.ok() ? checkpoint::CommitChained(*pending, store)
+                           : pending.status();
+  if (!st.ok()) {
+    // Failure leaves the chain where it was: the epoch did not advance, so
+    // the next request retries the same cut. Nothing to roll back.
+    std::fprintf(stderr, "aim: checkpoint failed (partition %u): %s\n",
+                 partition_id, st.ToString().c_str());
+    return;
+  }
+  checkpoints_written_->Add();
+  checkpoints_completed_.fetch_add(1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -429,6 +731,7 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
   DeltaMainStore* store = partitions_[partition_id].get();
   SharedScan scan(store);
   ScanScratch scratch;
+  std::uint64_t checkpoint_done_seq = 0;
 
   while (true) {
     if (partition_id == 0) FillBatch();
@@ -471,6 +774,20 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
     if (store->delta_size() > 0) {
       scan.MergeStep();
     }
+
+    // Checkpoint service: each partition's RTA thread writes its own
+    // partition's checkpoint here — after the merge, so no merge is in
+    // flight and the dirty-bucket stamps are settled for this cut.
+    if (durable()) {
+      // Acquire pairs with the release in RequestCheckpoint.
+      const std::uint64_t want =
+          checkpoint_seq_.load(std::memory_order_acquire);
+      if (want != checkpoint_done_seq) {
+        WritePartitionCheckpoint(partition_id);
+        checkpoint_done_seq = want;
+      }
+    }
+
     if (partition_id == 0) {
       scan_cycles_->Add();
       rta_queue_depth_->Set(static_cast<std::int64_t>(query_queue_.size()));

@@ -20,6 +20,8 @@
 #include "aim/rta/dimension.h"
 #include "aim/rta/shared_scan.h"
 #include "aim/storage/delta_main.h"
+#include "aim/storage/event_log.h"
+#include "aim/storage/swap_handshake.h"
 
 namespace aim {
 
@@ -64,6 +66,21 @@ class StorageNode {
     /// one registry can serve a whole cluster (see AimCluster).
     MetricsRegistry* metrics = nullptr;
     EspEngine::Options esp;
+
+    /// Durability (docs/DURABILITY.md). With an empty `dir` the node runs
+    /// exactly as before: no log, no checkpoints, no recovery.
+    struct DurabilityOptions {
+      /// Data directory. Each partition keeps its event log and checkpoint
+      /// chain in `<dir>/p<partition>/`. Setting this requires calling
+      /// Recover() before Start().
+      std::string dir;
+      /// Group-commit interval: how long event acknowledgements may be
+      /// deferred so one fsync covers more appended batches. 0 syncs (and
+      /// acks) at every ESP wakeup that appended something; idle wakeups
+      /// always flush regardless, so the interval only batches under load.
+      std::int64_t group_commit_micros = 0;
+    };
+    DurabilityOptions durability;
   };
 
   /// Legacy aggregate view over the registry-backed metrics (the registry
@@ -89,6 +106,49 @@ class StorageNode {
 
   /// Pre-start bulk load of one entity (routes to its partition's main).
   Status BulkLoad(EntityId entity, const std::uint8_t* row);
+
+  // ------------------------------------------------------------------
+  // Durability (only with Options::durability.dir set).
+  // ------------------------------------------------------------------
+
+  bool durable() const { return !options_.durability.dir.empty(); }
+
+  struct RecoveryStats {
+    bool cold_start = true;  // no partition had a usable checkpoint or log
+    std::uint64_t checkpoints_applied = 0;  // chain files restored
+    std::uint64_t records_restored = 0;     // checkpoint records loaded
+    std::uint64_t batches_replayed = 0;     // log records re-run
+    std::uint64_t events_replayed = 0;
+    std::uint64_t record_ops_replayed = 0;
+    std::uint64_t tmp_files_swept = 0;      // orphaned *.tmp removed
+  };
+
+  /// Restores every partition from its checkpoint chain, replays each
+  /// partition's event log from the chain tip's recorded offset through
+  /// the partition's own ESP engine (replay order == original apply
+  /// order), and opens the logs for appending (truncating torn tails).
+  /// Must be called exactly once, before Start() and before any BulkLoad
+  /// (cold start is reported, not populated: the caller bulk-loads and
+  /// then writes the initial checkpoint via CheckpointNow()).
+  StatusOr<RecoveryStats> Recover();
+
+  /// Writes one checkpoint per partition with the threads stopped (initial
+  /// checkpoint after a cold-start load; final checkpoint after Stop()).
+  Status CheckpointNow();
+
+  /// Asks every partition's RTA thread to write a checkpoint at its next
+  /// safe point (between scan/merge cycles, serialized inside the ESP
+  /// batch-boundary window). Returns immediately; track completion via
+  /// checkpoints_completed().
+  void RequestCheckpoint();
+
+  /// Cumulative partition checkpoints committed since construction.
+  std::uint64_t checkpoints_completed() const {
+    return checkpoints_completed_.load(std::memory_order_acquire);
+  }
+
+  /// "<durability.dir>/p<partition>".
+  std::string PartitionDir(std::uint32_t p) const;
 
   /// Starts the ESP service threads and RTA scan threads.
   Status Start();
@@ -159,9 +219,29 @@ class StorageNode {
     std::vector<std::unique_ptr<EspEngine>> engines;  // parallel to owned
     Gauge* queue_depth = nullptr;  // sampled periodically, not per event
     std::thread thread;
+    // Durability: completions processed but awaiting their covering fsync
+    // (ack-after-fsync), the per-engine append high-water marks one Sync
+    // must reach (0 = nothing pending), and the last flush time the
+    // group-commit interval is measured from.
+    std::vector<EventCompletion*> pending_acks;
+    std::vector<EventLog::Lsn> pending_sync_lsn;  // parallel to engines
+    std::int64_t last_flush_nanos = 0;
   };
 
   void ServeRecordRequest(RecordRequest& request);
+  /// Logs one successful record-service mutation and syncs before the
+  /// caller sends the reply (the record tier's ack-after-fsync point).
+  void LogRecordOp(std::uint32_t p, LogPayloadView::Kind kind,
+                   const RecordRequest& request);
+  /// Syncs every log with pending appends, then releases the deferred
+  /// acknowledgements. The ack-after-fsync point: an event's submitter
+  /// observes done only after the record holding it is durable.
+  void FlushPendingAcks(EspThreadState* state);
+  void ReplayPartitionLog(std::uint32_t p, std::uint64_t from,
+                          RecoveryStats* stats);
+  /// One partition's live checkpoint: serialize inside the ESP
+  /// batch-boundary window, commit (fsync) outside it.
+  void WritePartitionCheckpoint(std::uint32_t partition_id);
 
   void EspLoop(EspThreadState* state);
   void RtaLoop(std::uint32_t partition_id);
@@ -179,6 +259,20 @@ class StorageNode {
   std::vector<std::unique_ptr<DeltaMainStore>> partitions_;
   std::vector<std::unique_ptr<EspThreadState>> esp_threads_;
   std::vector<std::thread> rta_threads_;
+
+  // Durability state (sized only when durable()). The batch gate is a
+  // second writer-quiescence handshake per partition, acknowledged only at
+  // the ESP loop top — a point where every drained event is both applied
+  // and appended, so a checkpoint serialized inside the gate's window is
+  // exactly the effect of the log prefix [0, end_lsn) it records. (The
+  // store's own handshake can park the writer mid-batch, where applied
+  // state runs ahead of the log — fine for a delta swap, wrong for a
+  // checkpoint cut.)
+  std::vector<std::unique_ptr<EventLog>> logs_;               // per partition
+  std::vector<std::unique_ptr<SwapHandshake<>>> batch_gates_;  // per partition
+  bool recovered_ = false;
+  std::atomic<std::uint64_t> checkpoint_seq_{0};
+  std::atomic<std::uint64_t> checkpoints_completed_{0};
 
   MpscQueue<QueryMessage> query_queue_;
 
@@ -209,6 +303,11 @@ class StorageNode {
   Counter* scan_cycles_ = nullptr;
   Counter* records_merged_ = nullptr;
   AtomicHistogram* freshness_millis_ = nullptr;    // traced t_fresh
+  Counter* log_appends_ = nullptr;                 // log records written
+  Counter* log_bytes_ = nullptr;                   // payload+header bytes
+  Counter* log_syncs_ = nullptr;                   // group-commit fsyncs
+  AtomicHistogram* log_sync_micros_ = nullptr;     // per flush
+  Counter* checkpoints_written_ = nullptr;         // per partition commit
   std::vector<std::unique_ptr<FreshnessTracer>> tracers_;  // per partition
 };
 

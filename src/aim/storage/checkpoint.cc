@@ -7,14 +7,110 @@
 #include <memory>
 #include <unordered_set>
 
+#include "aim/common/crash_point.h"
 #include "aim/storage/dense_map.h"
+#include "aim/storage/fs_util.h"
 
 namespace aim {
 namespace checkpoint {
 
 namespace {
-constexpr char kMagic[8] = {'A', 'I', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'A', 'I', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'A', 'I', 'M', 'C', 'K', 'P', 'T', '2'};
+
+/// Validation pass shared by full and delta restore: every entity id must
+/// be readable, must not be the dense-map empty-slot sentinel, and must be
+/// unique within the file (the writer emits each visible entity exactly
+/// once). Runs off Peek so the reader's cursor stays at the first record.
+Status ValidateRecordIds(const BinaryReader& in, std::uint64_t count,
+                         std::uint64_t stride,
+                         std::unordered_set<EntityId>* ids) {
+  ids->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = in.Peek(i * stride, sizeof(EntityId));
+    if (p == nullptr) return Status::InvalidArgument("truncated checkpoint");
+    EntityId entity;
+    std::memcpy(&entity, p, sizeof(entity));
+    if (entity == DenseMap::kEmptyKey) {
+      return Status::InvalidArgument("checkpoint entity id reserved");
+    }
+    if (!ids->insert(entity).second) {
+      return Status::InvalidArgument("duplicate entity in checkpoint");
+    }
+  }
+  return Status::OK();
+}
+
+/// Serializes header fields + records; shared by the v1 and v2 writers.
+/// Single pass with a backpatched count — see Write's comment.
+template <typename ForEach>
+Status WriteRecords(const Schema& schema, BinaryWriter* out,
+                    ForEach&& for_each) {
+  const std::size_t count_offset = out->size();
+  out->PutU64(0);  // placeholder, patched below
+  std::uint64_t count = 0;
+  for_each([&](EntityId entity, Version version, const std::uint8_t* row) {
+    out->PutU64(entity);
+    out->PutU64(version);
+    out->PutBytes(row, schema.record_size());
+    ++count;
+  });
+  out->PatchU64(count_offset, count);
+  return Status::OK();
+}
+
 }  // namespace
+
+Status DecodeCheckpointHeader(BinaryReader* in, CheckpointHeader* out) {
+  char magic[8];
+  if (!in->GetBytes(magic, sizeof(magic))) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    out->version = 1;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    out->version = 2;
+  } else {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  out->record_size = in->GetU32();
+  if (!in->ok() || out->record_size == 0) {
+    return Status::InvalidArgument("bad checkpoint record size");
+  }
+  out->kind = CheckpointHeader::Kind::kFull;
+  out->epoch = 0;
+  out->base_epoch = 0;
+  out->log_lsn = 0;
+  if (out->version == 2) {
+    const std::uint8_t kind = in->GetU8();
+    out->epoch = in->GetU64();
+    out->base_epoch = in->GetU64();
+    out->log_lsn = in->GetU64();
+    if (!in->ok() || kind > 1) {
+      return Status::InvalidArgument("bad checkpoint header");
+    }
+    out->kind = static_cast<CheckpointHeader::Kind>(kind);
+    // Chain sanity: a full image bases on nothing; a delta must cite a
+    // strictly older epoch (a self- or forward-referencing delta could
+    // otherwise loop chain recovery).
+    if (out->kind == CheckpointHeader::Kind::kFull && out->base_epoch != 0) {
+      return Status::InvalidArgument("full checkpoint with a base epoch");
+    }
+    if (out->kind == CheckpointHeader::Kind::kDelta &&
+        out->base_epoch >= out->epoch) {
+      return Status::InvalidArgument("delta checkpoint base not older");
+    }
+  }
+  // Checked count: each record is exactly 16 + record_size bytes, and the
+  // announced count is validated against the bytes actually present before
+  // anything is allocated or inserted — a 4 GiB count claimed by a 100-byte
+  // checkpoint fails right here, without the 4 GiB. (GetCountU64 divides
+  // instead of multiplying, so a hostile count cannot overflow either.)
+  const std::uint64_t stride = 16u + out->record_size;
+  out->count = in->GetCountU64(stride);
+  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
+  return Status::OK();
+}
 
 Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
              BinaryWriter* out) {
@@ -22,7 +118,7 @@ Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
   if (entity_attr >= schema.num_attributes()) {
     return Status::InvalidArgument("entity attribute out of range");
   }
-  out->PutBytes(kMagic, sizeof(kMagic));
+  out->PutBytes(kMagicV1, sizeof(kMagicV1));
   out->PutU32(schema.record_size());
 
   // Single pass: serialize the payload directly and backpatch the header
@@ -34,80 +130,119 @@ Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
   // caller's job: quiesce the writers for a point-in-time image; under a
   // live ESP feed the checkpoint is structurally valid but each record is
   // captured at the instant the pass visited it.
-  const std::size_t count_offset = out->size();
-  out->PutU64(0);  // placeholder, patched below
-  std::uint64_t count = 0;
-  store.ForEachVisible(
-      entity_attr, [&](EntityId entity, Version version,
-                       const std::uint8_t* row) {
-        out->PutU64(entity);
-        out->PutU64(version);
-        out->PutBytes(row, schema.record_size());
-        ++count;
-      });
-  out->PatchU64(count_offset, count);
-  return Status::OK();
+  return WriteRecords(schema, out, [&](auto&& fn) {
+    store.ForEachVisible(entity_attr, fn);
+  });
+}
+
+Status WriteV2(const DeltaMainStore& store, std::uint16_t entity_attr,
+               const CheckpointHeader& header, BinaryWriter* out) {
+  const Schema& schema = store.schema();
+  if (entity_attr >= schema.num_attributes()) {
+    return Status::InvalidArgument("entity attribute out of range");
+  }
+  const bool delta = header.kind == CheckpointHeader::Kind::kDelta;
+  if (delta ? header.base_epoch >= header.epoch : header.base_epoch != 0) {
+    return Status::InvalidArgument("inconsistent checkpoint chain fields");
+  }
+  out->PutBytes(kMagicV2, sizeof(kMagicV2));
+  out->PutU32(schema.record_size());
+  out->PutU8(static_cast<std::uint8_t>(header.kind));
+  out->PutU64(header.epoch);
+  out->PutU64(header.base_epoch);
+  out->PutU64(header.log_lsn);
+  const std::uint64_t since = delta ? header.base_epoch : 0;
+  return WriteRecords(schema, out, [&](auto&& fn) {
+    store.ForEachVisibleSince(entity_attr, since, fn);
+  });
 }
 
 Status Restore(BinaryReader* in, DeltaMainStore* store) {
   const Schema& schema = store->schema();
-  if (store->main_records() != 0 || store->delta_size() != 0) {
-    return Status::Conflict("restore target is not empty");
-  }
-  char magic[8];
-  if (!in->GetBytes(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad checkpoint magic");
-  }
-  const std::uint32_t record_size = in->GetU32();
-  if (!in->ok() || record_size != schema.record_size()) {
+  CheckpointHeader header;
+  Status st = DecodeCheckpointHeader(in, &header);
+  if (!st.ok()) return st;
+  if (header.record_size != schema.record_size()) {
     return Status::InvalidArgument("checkpoint record size mismatch");
   }
-  // Checked count: each record is exactly 16 + record_size bytes, and the
-  // announced count is validated against the bytes actually present before
-  // anything is allocated or inserted — a 4 GiB count claimed by a 100-byte
-  // checkpoint fails right here, without the 4 GiB. (GetCountU64 divides
-  // instead of multiplying, so a hostile count cannot overflow either.)
-  const std::uint64_t stride = 16u + record_size;
-  const std::uint64_t count = in->GetCountU64(stride);
-  if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
-  if (count > store->main_capacity()) {
+  const std::uint64_t stride = 16u + header.record_size;
+  const bool delta = header.kind == CheckpointHeader::Kind::kDelta;
+  if (delta) {
+    // Deltas apply between restores, before any live writes: the in-memory
+    // deltas must be empty so the upserts land in main unshadowed.
+    if (store->delta_size() != 0 || store->frozen_size() != 0) {
+      return Status::Conflict("delta restore with buffered writes");
+    }
+  } else if (store->main_records() != 0 || store->delta_size() != 0) {
+    return Status::Conflict("restore target is not empty");
+  }
+  // Validation pass before the first insert — the restore stays
+  // all-or-nothing per file: a malformed checkpoint never leaves the store
+  // partially populated. The set is bounded by `count`, which the header
+  // checks bound by the input size.
+  std::unordered_set<EntityId> ids;
+  st = ValidateRecordIds(*in, header.count, stride, &ids);
+  if (!st.ok()) return st;
+  // Capacity check: for a full image every record is an insert; for a
+  // delta only the entities the store does not already hold are.
+  std::uint64_t inserts = header.count;
+  if (delta) {
+    inserts = 0;
+    for (const EntityId id : ids) {
+      if (!store->Exists(id)) ++inserts;
+    }
+  }
+  if (store->main_records() + inserts > store->main_capacity()) {
     return Status::InvalidArgument("checkpoint exceeds store capacity");
   }
-  // Validation pass before the first insert: entity ids must be unique and
-  // none may be the dense-map empty-slot sentinel (a fuzzed checkpoint can
-  // claim any id; inserting the sentinel would corrupt the entity index).
-  // Checking everything up front keeps the restore all-or-nothing — a
-  // malformed checkpoint always leaves the store empty, never partially
-  // populated. The set is bounded by `count`, which the checks above bound
-  // by both the input size and the store capacity.
-  {
-    std::unordered_set<EntityId> seen;
-    seen.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint8_t* p = in->Peek(i * stride, sizeof(EntityId));
-      if (p == nullptr) return Status::InvalidArgument("truncated checkpoint");
-      EntityId entity;
-      std::memcpy(&entity, p, sizeof(entity));
-      if (entity == DenseMap::kEmptyKey) {
-        return Status::InvalidArgument("checkpoint entity id reserved");
-      }
-      if (!seen.insert(entity).second) {
-        return Status::InvalidArgument("duplicate entity in checkpoint");
-      }
-    }
-  }
-  std::vector<std::uint8_t> row(record_size);
-  for (std::uint64_t i = 0; i < count; ++i) {
+  std::vector<std::uint8_t> row(header.record_size);
+  for (std::uint64_t i = 0; i < header.count; ++i) {
     const EntityId entity = in->GetU64();
     const Version version = in->GetU64();
-    if (!in->GetBytes(row.data(), record_size)) {
+    if (!in->GetBytes(row.data(), header.record_size)) {
       return Status::InvalidArgument("truncated checkpoint");
     }
-    Status st = store->BulkInsertWithVersion(entity, row.data(), version);
+    st = delta ? store->BulkUpsertWithVersion(entity, row.data(), version)
+               : store->BulkInsertWithVersion(entity, row.data(), version);
     if (!st.ok()) return st;  // unreachable after validation; belt-and-braces
   }
   if (!in->ok()) return Status::InvalidArgument("truncated checkpoint");
+  return Status::OK();
+}
+
+Status CommitFileAtomic(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) {
+  // Write-temp / fsync / rename / fsync-dir: a crash at any point leaves
+  // either the previous file at `path` untouched or the complete new one —
+  // never a truncated file shadowing a good one. The file fsync before the
+  // rename orders the data blocks ahead of the metadata update; the
+  // directory fsync after it makes the rename itself durable (without it
+  // the new directory entry can vanish in a crash even though the data
+  // survived — the classic rename-without-dirsync hole).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + tmp);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  AIM_CRASH_POINT("checkpoint.pre_fsync");
+  const bool flushed = written == bytes.size() && std::fflush(f) == 0 &&
+                       ::fsync(::fileno(f)) == 0;
+  const int closed = std::fclose(f);
+  if (!flushed || closed != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  AIM_CRASH_POINT("checkpoint.post_fsync_pre_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  AIM_CRASH_POINT("checkpoint.post_rename_pre_dirsync");
+  Status st = fs::SyncDir(fs::ParentDir(path));
+  if (!st.ok()) {
+    // The rename happened but is not durably committed; no tmp remains.
+    // Callers must not advance their chain state on this error.
+    return st;
+  }
   return Status::OK();
 }
 
@@ -116,28 +251,15 @@ Status WriteToFile(const DeltaMainStore& store, std::uint16_t entity_attr,
   BinaryWriter writer;
   Status st = Write(store, entity_attr, &writer);
   if (!st.ok()) return st;
-  // Write-temp / fsync / rename: a crash at any point leaves either the
-  // previous checkpoint at `path` untouched or the complete new one —
-  // never a truncated file shadowing a good checkpoint. The fsync before
-  // the rename is what makes the rename a commit point: without it the
-  // kernel may order the metadata update ahead of the data blocks.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot open " + tmp);
-  const std::size_t written =
-      std::fwrite(writer.buffer().data(), 1, writer.size(), f);
-  const bool flushed = written == writer.size() && std::fflush(f) == 0 &&
-                       ::fsync(::fileno(f)) == 0;
-  const int closed = std::fclose(f);
-  if (!flushed || closed != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  return CommitFileAtomic(path, writer.buffer());
+}
+
+Status WriteToFileV2(const DeltaMainStore& store, std::uint16_t entity_attr,
+                     const CheckpointHeader& header, const std::string& path) {
+  BinaryWriter writer;
+  Status st = WriteV2(store, entity_attr, header, &writer);
+  if (!st.ok()) return st;
+  return CommitFileAtomic(path, writer.buffer());
 }
 
 Status RestoreFromFile(const std::string& path, DeltaMainStore* store) {
@@ -149,6 +271,12 @@ Status RestoreFromFile(const std::string& path, DeltaMainStore* store) {
   if (size < 0) {
     std::fclose(f);
     return Status::Internal("cannot stat " + path);
+  }
+  if (size == 0) {
+    // An empty file is "no checkpoint yet", not corruption: recovery
+    // cold-starts from it exactly like from a missing file.
+    std::fclose(f);
+    return Status::NotFound("empty checkpoint file " + path);
   }
   std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
   const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);

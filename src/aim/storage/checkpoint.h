@@ -9,43 +9,103 @@
 
 namespace aim {
 
-/// Checkpointing for a DeltaMainStore. The production AIM has incremental
-/// checkpointing and zero-copy logging (paper §7); this reproduction keeps
-/// the paper's measured scope (checkpoint costs excluded from benchmarks,
-/// §5.1) and provides full checkpoints so a store can be persisted and
-/// restored — enough to build recovery on top of the event archive.
+/// Checkpointing for a DeltaMainStore — now both halves of the paper's §7
+/// durability sketch: full images (the original "AIMCKPT1" format, still
+/// read and written unchanged) and incremental delta-since-epoch images
+/// ("AIMCKPT2") that persist only the buckets dirtied since the previous
+/// checkpoint, chained by epoch and carrying the event-log offset their
+/// state covers (docs/DURABILITY.md).
 ///
-/// Format (little endian):
+/// v1 format (little endian):
 ///   magic "AIMCKPT1" | record_size u32 | num_records u64 |
 ///   num_records x { entity u64 | version u64 | row bytes }
 ///
-/// Snapshot consistency: for a point-in-time image the caller quiesces the
-/// store (no concurrent ESP/RTA threads) around both operations. Write is a
-/// single ForEachVisible pass with a backpatched header count, so the
-/// checkpoint stays *structurally* valid (count always matches the payload)
-/// even if writers race it — but then each record reflects the instant the
-/// pass visited it, not one cut across the store. The delta does not need
-/// to be merged first: Write serializes the *visible* state (delta entries
-/// shadow main images).
+/// v2 format:
+///   magic "AIMCKPT2" | record_size u32 | kind u8 (0 full, 1 delta) |
+///   epoch u64 | base_epoch u64 | log_lsn u64 | num_records u64 |
+///   num_records x { entity u64 | version u64 | row bytes }
 ///
-/// WriteToFile is crash-durable: it writes `path + ".tmp"`, fflush+fsyncs,
-/// and renames over the target, so a crash mid-write can never replace a
-/// good checkpoint with a truncated one.
+/// `epoch` names this checkpoint in the chain; a delta applies on top of
+/// the checkpoint whose epoch equals its `base_epoch` (0 for a full).
+/// `log_lsn` is the event-log byte offset this image covers: replaying the
+/// partition's log from exactly log_lsn reproduces everything newer. The
+/// same offset doubles as the catch-up cursor a replica would stream the
+/// log from (docs/NETWORKING.md, scale-out).
+///
+/// Snapshot consistency: for a point-in-time image the caller quiesces the
+/// store (DeltaMainStore::RunQuiesced parks the ESP writer) around the
+/// serialize. Write is a single ForEachVisible pass with a backpatched
+/// header count, so the checkpoint stays *structurally* valid even if
+/// writers race it — but then each record reflects the instant the pass
+/// visited it, not one cut across the store.
+///
+/// WriteToFile is crash-durable end to end: it writes `path + ".tmp"`,
+/// fflush+fsyncs, renames over the target *and fsyncs the parent
+/// directory* — the rename is only a commit point once the directory block
+/// holding the new entry is durable. Every failure path removes the
+/// temporary; RemoveStaleTmp sweeps any a crash still orphaned.
 namespace checkpoint {
 
-/// Serializes the current visible state of `store`. `entity_attr` is the
-/// raw attribute holding the entity id (usually "entity_id").
+/// Parsed v1/v2 header. For v1 files version==1 and the v2-only fields are
+/// zero. `kind`/`epoch`/`base_epoch`/`log_lsn` are also the write-side
+/// parameters (WriteV2 serializes them verbatim).
+struct CheckpointHeader {
+  enum class Kind : std::uint8_t { kFull = 0, kDelta = 1 };
+
+  std::uint32_t version = 2;  // format: 1 = AIMCKPT1, 2 = AIMCKPT2
+  std::uint32_t record_size = 0;
+  Kind kind = Kind::kFull;
+  std::uint64_t epoch = 0;       // this checkpoint's chain epoch
+  std::uint64_t base_epoch = 0;  // delta base (0 for full / v1)
+  std::uint64_t log_lsn = 0;     // event-log replay cursor
+  std::uint64_t count = 0;       // records in the payload
+};
+
+/// Reads and validates a v1 or v2 header, leaving `in` positioned at the
+/// first record. The announced count is validated against the bytes
+/// actually present (kInvalidArgument otherwise), so sizing a container by
+/// `out->count` is safe.
+Status DecodeCheckpointHeader(BinaryReader* in, CheckpointHeader* out);
+
+/// Serializes the current visible state of `store` (v1 full image).
+/// `entity_attr` is the raw attribute holding the entity id.
 Status Write(const DeltaMainStore& store, std::uint16_t entity_attr,
              BinaryWriter* out);
 
-/// Restores into an empty store (BulkInsert path). Fails with kConflict if
-/// the store already has records, kInvalidArgument on format mismatch.
+/// v2 writer. `header.kind`, `epoch`, `base_epoch` and `log_lsn` are
+/// serialized as given; `record_size` and `count` are filled in. A delta
+/// image persists ForEachVisibleSince(header.base_epoch); a full image
+/// everything visible.
+Status WriteV2(const DeltaMainStore& store, std::uint16_t entity_attr,
+               const CheckpointHeader& header, BinaryWriter* out);
+
+/// Restores a checkpoint image, dispatching on the magic. Full images
+/// (v1 or v2) require an empty store (kConflict otherwise) and are
+/// all-or-nothing: validation runs before the first insert. Delta images
+/// upsert on top of the current main (the store's deltas must be empty —
+/// recovery applies them between restores, before any live writes) and are
+/// equally all-or-nothing per file. kInvalidArgument on any malformed
+/// input.
 Status Restore(BinaryReader* in, DeltaMainStore* store);
 
-/// File convenience wrappers (plain stdio; no <filesystem>).
+/// File convenience wrappers (plain stdio/POSIX; no <filesystem>).
 Status WriteToFile(const DeltaMainStore& store, std::uint16_t entity_attr,
                    const std::string& path);
+
+/// v2 variant of WriteToFile (same tmp/fsync/rename/dir-fsync commit).
+Status WriteToFileV2(const DeltaMainStore& store, std::uint16_t entity_attr,
+                     const CheckpointHeader& header, const std::string& path);
+
+/// kNotFound for a missing or empty file ("no checkpoint yet" — recovery
+/// cold-starts), kInvalidArgument for a malformed one (corruption — do not
+/// silently reinitialize), kConflict/kInternal as per Restore.
 Status RestoreFromFile(const std::string& path, DeltaMainStore* store);
+
+/// Commits `bytes` to `path` crash-atomically: write `path + ".tmp"`,
+/// fsync, rename, fsync the parent directory. The temporary is removed on
+/// every failure path. (Shared by WriteToFile* and the event-log tests.)
+Status CommitFileAtomic(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes);
 
 }  // namespace checkpoint
 }  // namespace aim

@@ -15,6 +15,9 @@ DeltaMainStore::DeltaMainStore(const Schema* schema, const Options& options)
                                       options.max_records);
   deltas_[0] = std::make_unique<Delta>(schema);
   deltas_[1] = std::make_unique<Delta>(schema);
+  bucket_stamp_.assign(
+      (options.max_records + options.bucket_size - 1) / options.bucket_size,
+      0);
 }
 
 Status DeltaMainStore::Get(EntityId entity, std::uint8_t* out_row,
@@ -133,7 +136,22 @@ Status DeltaMainStore::BulkInsertWithVersion(EntityId entity,
                                              const std::uint8_t* row,
                                              Version version) {
   StatusOr<RecordId> id = main_->Insert(entity, row, version);
-  return id.ok() ? Status::OK() : id.status();
+  if (!id.ok()) return id.status();
+  StampBucket(id.value());
+  return Status::OK();
+}
+
+Status DeltaMainStore::BulkUpsertWithVersion(EntityId entity,
+                                             const std::uint8_t* row,
+                                             Version version) {
+  const RecordId id = main_->Lookup(entity);
+  if (id == kInvalidRecordId) {
+    return BulkInsertWithVersion(entity, row, version);
+  }
+  main_->ScatterRow(id, row);
+  main_->set_version(id, version);
+  StampBucket(id);
+  return Status::OK();
 }
 
 void DeltaMainStore::SwitchDeltas() {
@@ -174,10 +192,12 @@ std::size_t DeltaMainStore::MergeStep() {
       // because both structures are indexed (paper footnote 3).
       main_->ScatterRow(id, row);
       main_->set_version(id, version);
+      StampBucket(id);
     } else {
       StatusOr<RecordId> inserted = main_->Insert(entity, row, version);
       AIM_CHECK_MSG(inserted.ok(), "main full during merge: %s",
                     inserted.status().ToString().c_str());
+      StampBucket(inserted.value());
     }
     ++merged;
   });

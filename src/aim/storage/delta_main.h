@@ -1,10 +1,12 @@
 #ifndef AIM_STORAGE_DELTA_MAIN_H_
 #define AIM_STORAGE_DELTA_MAIN_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "aim/common/status.h"
@@ -132,6 +134,13 @@ class DeltaMainStore {
   Status BulkInsertWithVersion(EntityId entity, const std::uint8_t* row,
                                Version version);
 
+  /// Upsert directly into main (incremental-checkpoint restore: a delta
+  /// image overwrites the base image of an entity that already exists, and
+  /// inserts entities created since the base). Same single-threaded load
+  /// phase contract as BulkInsert.
+  Status BulkUpsertWithVersion(EntityId entity, const std::uint8_t* row,
+                               Version version);
+
   // ------------------------------------------------------------------
   // RTA side (the partition's scan thread).
   // ------------------------------------------------------------------
@@ -185,6 +194,20 @@ class DeltaMainStore {
   /// Fn: void(EntityId, Version, const uint8_t* row).
   template <typename Fn>
   void ForEachVisible(std::uint16_t entity_attr, Fn&& fn) const {
+    ForEachVisibleSince(entity_attr, /*base_epoch=*/0, std::forward<Fn>(fn));
+  }
+
+  /// ForEachVisible restricted to what an incremental checkpoint since
+  /// checkpoint epoch `base_epoch` must persist: every current delta entry
+  /// (not yet folded into any checkpointed bucket) plus the main records of
+  /// buckets dirtied by a merge or load after epoch `base_epoch` was
+  /// captured. `base_epoch == 0` disables the filter (full image). Same
+  /// quiescence contract as ForEachVisible; the bucket stamps are written
+  /// by the merge path on the RTA thread, which is also the checkpointing
+  /// thread (docs/DURABILITY.md, "Dirty-bucket tracking").
+  template <typename Fn>
+  void ForEachVisibleSince(std::uint16_t entity_attr, std::uint64_t base_epoch,
+                           Fn&& fn) const {
     ActiveDelta()->ForEach(
         [&](EntityId e, Version v, const std::uint8_t* row) { fn(e, v, row); });
     if (merging_.load(std::memory_order_acquire)) {
@@ -196,17 +219,45 @@ class DeltaMainStore {
     const Attribute& ea = schema_->attribute(entity_attr);
     std::vector<std::uint8_t> row(schema_->record_size());
     const std::uint64_t n = main_->num_records();
-    for (std::uint64_t id = 0; id < n; ++id) {
-      main_->MaterializeRow(static_cast<RecordId>(id), row.data());
-      EntityId entity;
-      std::memcpy(&entity, row.data() + ea.row_offset, sizeof(entity));
-      if (ActiveDelta()->Get(entity, nullptr) != nullptr) continue;
-      if (merging_.load(std::memory_order_acquire) &&
-          FrozenDelta()->Get(entity, nullptr) != nullptr) {
-        continue;
+    const std::uint64_t bucket_size = main_->bucket_size();
+    for (std::uint64_t lo = 0; lo < n; lo += bucket_size) {
+      if (base_epoch != 0 &&
+          bucket_stamp_[lo / bucket_size] <= base_epoch) {
+        continue;  // bucket unchanged since the base checkpoint
       }
-      fn(entity, main_->version(static_cast<RecordId>(id)), row.data());
+      const std::uint64_t hi = std::min(n, lo + bucket_size);
+      for (std::uint64_t id = lo; id < hi; ++id) {
+        main_->MaterializeRow(static_cast<RecordId>(id), row.data());
+        EntityId entity;
+        std::memcpy(&entity, row.data() + ea.row_offset, sizeof(entity));
+        if (ActiveDelta()->Get(entity, nullptr) != nullptr) continue;
+        if (merging_.load(std::memory_order_acquire) &&
+            FrozenDelta()->Get(entity, nullptr) != nullptr) {
+          continue;
+        }
+        fn(entity, main_->version(static_cast<RecordId>(id)), row.data());
+      }
     }
+  }
+
+  /// Epoch the *next* checkpoint of this store will carry. Starts at 1;
+  /// advanced by the checkpoint writer after a successful commit, reset by
+  /// recovery to chain-tip + 1. Read/written on the checkpointing (RTA)
+  /// thread only — plain fields, same contract as the bucket stamps.
+  std::uint64_t next_checkpoint_epoch() const { return next_ckpt_epoch_; }
+  void set_next_checkpoint_epoch(std::uint64_t epoch) {
+    next_ckpt_epoch_ = epoch;
+  }
+
+  /// Runs `fn` inside the ESP writer-quiescence window (the same handshake
+  /// SwitchDeltas uses). While `fn` runs the single ESP writer is parked,
+  /// so the visible state is a point-in-time cut — this is where a live
+  /// checkpoint serializes its image. Caller is the partition's RTA thread
+  /// (the handshake supports one exclusive requester); must not be called
+  /// while a merge is in flight with work still frozen.
+  template <typename Fn>
+  void RunQuiesced(Fn&& fn) {
+    handshake_.RunExclusive(std::forward<Fn>(fn));
   }
 
   /// Marks that a live ESP thread participates in the handshake. The
@@ -249,12 +300,25 @@ class DeltaMainStore {
   /// Current version of an entity along the Get path (0 if unknown).
   Version CurrentVersion(EntityId entity, bool* found) const;
 
+  /// Stamps the bucket holding `id` with the next checkpoint epoch — every
+  /// path that mutates main bytes calls this (merge, bulk load, upsert).
+  void StampBucket(RecordId id) {
+    bucket_stamp_[id / main_->bucket_size()] = next_ckpt_epoch_;
+  }
+
   const Schema* schema_;
   std::unique_ptr<ColumnMap> main_;
   std::unique_ptr<Delta> deltas_[2];
   std::atomic<std::uint32_t> active_idx_{0};
   std::atomic<bool> merging_{false};
   std::atomic<std::uint64_t> merge_epoch_{0};
+
+  // Dirty-bucket stamps for incremental checkpoints: stamp[b] is the
+  // next_ckpt_epoch_ current when bucket b's main bytes last changed.
+  // Plain (non-atomic) by the thread contract in ForEachVisibleSince's
+  // comment: writer and reader are the same RTA/load thread.
+  std::vector<std::uint64_t> bucket_stamp_;
+  std::uint64_t next_ckpt_epoch_ = 1;
 
   // Appendix A handshake (epoch formulation), shared with the model
   // checker via the SwapHandshake template — see swap_handshake.h.

@@ -1,0 +1,350 @@
+#include "aim/storage/event_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "aim/common/crash_point.h"
+#include "aim/common/crc32c.h"
+#include "aim/common/logging.h"
+#include "aim/storage/fs_util.h"
+
+namespace aim {
+
+namespace {
+
+constexpr char kLogMagic[EventLog::kHeaderSize] = {'A', 'I', 'M', 'L',
+                                                   'O', 'G', '1', '\0'};
+constexpr std::size_t kRecordHeaderSize = 8;  // payload_len u32 | crc u32
+
+// CRC over the length field then the payload (see header comment).
+std::uint32_t RecordCrc(std::uint32_t len, const std::uint8_t* payload) {
+  std::uint32_t crc = Crc32c(&len, sizeof(len));
+  return Crc32c(payload, len, crc);
+}
+
+StatusOr<std::vector<std::uint8_t>> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat " + path);
+  }
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::Internal("short read from " + path);
+  return buf;
+}
+
+}  // namespace
+
+EventLog::~EventLog() { (void)Close(); }
+
+Status EventLog::WriteFully(Lsn offset, const std::uint8_t* data,
+                            std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ::ssize_t w = ::pwrite(fd_, data + done, n - done,
+                                 static_cast<::off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("pwrite(" + path_ +
+                              "): " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+StatusOr<EventLog::OpenStats> EventLog::Open(const std::string& path) {
+  MutexLock lock(mu_);
+  AIM_CHECK_MSG(fd_ < 0, "EventLog::Open on an already-open log");
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("open(" + path + "): " + std::strerror(errno));
+  }
+  struct ::stat st;
+  if (::fstat(fd_, &st) != 0) {
+    const Status err =
+        Status::Internal("fstat(" + path + "): " + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return err;
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+
+  OpenStats stats;
+  if (size < kHeaderSize) {
+    // Fresh log — or a create interrupted before the header hit disk, in
+    // which case nothing could have been appended (Open fsyncs the header
+    // before any Append can run), so starting over loses nothing.
+    stats.truncated_tear = size != 0;
+    if (::ftruncate(fd_, 0) != 0) {
+      const Status err =
+          Status::Internal("ftruncate(" + path + "): " + std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return err;
+    }
+    Status st_w = WriteFully(0, reinterpret_cast<const std::uint8_t*>(
+                                    kLogMagic),
+                             kHeaderSize);
+    if (st_w.ok() && ::fsync(fd_) != 0) {
+      st_w = Status::Internal("fsync(" + path + "): " + std::strerror(errno));
+    }
+    // The directory entry must be durable too, or a crash could forget the
+    // log file whose records we are about to acknowledge.
+    if (st_w.ok()) st_w = fs::SyncDir(fs::ParentDir(path));
+    if (!st_w.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+      return st_w;
+    }
+    end_lsn_ = kHeaderSize;
+    durable_lsn_ = kHeaderSize;
+    stats.end = kHeaderSize;
+    return stats;
+  }
+
+  StatusOr<std::vector<std::uint8_t>> image = ReadWholeFile(path);
+  if (!image.ok()) {
+    ::close(fd_);
+    fd_ = -1;
+    return image.status();
+  }
+  if (std::memcmp(image->data(), kLogMagic, kHeaderSize) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::InvalidArgument(path + " is not an AIM event log");
+  }
+  const ReplayStats scan =
+      ScanImage(std::span<const std::uint8_t>(image->data(), image->size()),
+                kHeaderSize, nullptr);
+  if (scan.torn) {
+    std::fprintf(stderr,
+                 "aim: event log %s has a torn tail at offset %llu "
+                 "(%llu of %llu bytes valid); truncating\n",
+                 path.c_str(), static_cast<unsigned long long>(scan.end),
+                 static_cast<unsigned long long>(scan.end),
+                 static_cast<unsigned long long>(size));
+    if (::ftruncate(fd_, static_cast<::off_t>(scan.end)) != 0 ||
+        ::fsync(fd_) != 0) {
+      const Status err =
+          Status::Internal("truncate(" + path + "): " + std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return err;
+    }
+    stats.truncated_tear = true;
+  }
+  end_lsn_ = scan.end;
+  durable_lsn_ = scan.end;
+  stats.end = scan.end;
+  stats.records = scan.records;
+  return stats;
+}
+
+StatusOr<EventLog::Lsn> EventLog::Append(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayloadSize) {
+    return Status::InvalidArgument("log payload exceeds size cap");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[kRecordHeaderSize];
+  const std::uint32_t crc = RecordCrc(len, payload.data());
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &crc, 4);
+
+  MutexLock lock(mu_);
+  if (fd_ < 0) return Status::Shutdown("event log closed");
+  if (!error_.ok()) return error_;
+  // Two writes with a kill point between them: the torn-record case the
+  // durability tier injects is exactly a header without its payload.
+  Status st = WriteFully(end_lsn_, header, kRecordHeaderSize);
+  AIM_CRASH_POINT("event_log.mid_append");
+  if (st.ok()) {
+    st = WriteFully(end_lsn_ + kRecordHeaderSize, payload.data(),
+                    payload.size());
+  }
+  if (!st.ok()) {
+    // A partial append is on-disk garbage past end_lsn_; recovery treats it
+    // as a tear. Poison the log so no later append writes beyond it.
+    error_ = st;
+    return st;
+  }
+  end_lsn_ += kRecordHeaderSize + payload.size();
+  return end_lsn_;
+}
+
+Status EventLog::Sync(Lsn upto) {
+  Lsn target = 0;
+  {
+    MutexLock lock(mu_);
+    for (;;) {
+      if (!error_.ok()) return error_;
+      if (durable_lsn_ >= upto) return Status::OK();
+      if (fd_ < 0) return Status::Shutdown("event log closed");
+      if (!sync_in_flight_) break;
+      synced_cv_.wait(lock);
+    }
+    AIM_CHECK_MSG(upto <= end_lsn_, "Sync past the end of the log");
+    sync_in_flight_ = true;
+    target = end_lsn_;
+  }
+
+  AIM_CRASH_POINT("event_log.pre_sync");
+  // fsync outside the lock: appends (and their pwrites) proceed while the
+  // flush is in flight — that overlap is the group-commit win.
+  const int rc = ::fsync(fd_);
+  const int err = errno;
+
+  MutexLock lock(mu_);
+  sync_in_flight_ = false;
+  if (rc != 0) {
+    error_ = Status::Internal("fsync(" + path_ + "): " + std::strerror(err));
+  } else if (durable_lsn_ < target) {
+    durable_lsn_ = target;
+  }
+  synced_cv_.notify_all();
+  return error_;
+}
+
+EventLog::Lsn EventLog::end_lsn() const {
+  MutexLock lock(mu_);
+  return end_lsn_;
+}
+
+EventLog::Lsn EventLog::durable_lsn() const {
+  MutexLock lock(mu_);
+  return durable_lsn_;
+}
+
+Status EventLog::Close() {
+  Lsn end;
+  {
+    MutexLock lock(mu_);
+    if (fd_ < 0) return Status::OK();
+    end = end_lsn_;
+  }
+  const Status st = Sync(end);
+  MutexLock lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return st;
+}
+
+EventLog::ReplayStats EventLog::ScanImage(
+    std::span<const std::uint8_t> image, Lsn from,
+    const std::function<void(Lsn, std::span<const std::uint8_t>)>& fn) {
+  ReplayStats stats;
+  if (from < kHeaderSize) {
+    // Scanning from the top includes the header in the validity check.
+    if (image.size() < kHeaderSize ||
+        std::memcmp(image.data(), kLogMagic, kHeaderSize) != 0) {
+      stats.end = 0;
+      stats.torn = image.size() != 0;
+      return stats;
+    }
+    from = kHeaderSize;
+  }
+  std::uint64_t pos = from;
+  while (pos + kRecordHeaderSize <= image.size()) {
+    std::uint32_t len;
+    std::uint32_t crc;
+    std::memcpy(&len, image.data() + pos, 4);
+    std::memcpy(&crc, image.data() + pos + 4, 4);
+    if (len > kMaxPayloadSize) break;
+    if (pos + kRecordHeaderSize + len > image.size()) break;
+    const std::uint8_t* payload = image.data() + pos + kRecordHeaderSize;
+    if (RecordCrc(len, payload) != crc) break;
+    pos += kRecordHeaderSize + len;
+    ++stats.records;
+    if (fn) fn(pos, std::span<const std::uint8_t>(payload, len));
+  }
+  stats.end = pos;
+  stats.torn = pos < image.size();
+  return stats;
+}
+
+StatusOr<EventLog::ReplayStats> EventLog::Replay(
+    const std::string& path, Lsn from,
+    const std::function<void(Lsn, std::span<const std::uint8_t>)>& fn) {
+  StatusOr<std::vector<std::uint8_t>> image = ReadWholeFile(path);
+  if (!image.ok()) return image.status();
+  if (from > image->size()) {
+    return Status::InvalidArgument("replay offset beyond the end of " + path);
+  }
+  if (image->size() < kHeaderSize ||
+      std::memcmp(image->data(), kLogMagic, kHeaderSize) != 0) {
+    return Status::InvalidArgument(path + " is not an AIM event log");
+  }
+  return ScanImage(std::span<const std::uint8_t>(image->data(), image->size()),
+                   from, fn);
+}
+
+void EventLog::EncodeRecord(std::span<const std::uint8_t> payload,
+                            std::vector<std::uint8_t>* out) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = RecordCrc(len, payload.data());
+  const std::size_t base = out->size();
+  out->resize(base + kRecordHeaderSize + payload.size());
+  std::memcpy(out->data() + base, &len, 4);
+  std::memcpy(out->data() + base + 4, &crc, 4);
+  std::memcpy(out->data() + base + kRecordHeaderSize, payload.data(),
+              payload.size());
+}
+
+Status DecodeLogPayload(std::span<const std::uint8_t> payload,
+                        LogPayloadView* out) {
+  BinaryReader reader(payload.data(), payload.size());
+  const std::uint8_t kind = reader.GetU8();
+  if (!reader.ok()) return Status::InvalidArgument("empty log payload");
+  switch (static_cast<LogPayloadView::Kind>(kind)) {
+    case LogPayloadView::Kind::kEventBatch: {
+      const std::uint32_t count = reader.GetU32();
+      const std::uint32_t event_size = reader.GetU32();
+      if (!reader.ok() || event_size == 0) {
+        return Status::InvalidArgument("bad event batch header");
+      }
+      // Exact-size check (division first, so a hostile count cannot
+      // overflow the multiply).
+      if (count != reader.remaining() / event_size ||
+          count * static_cast<std::uint64_t>(event_size) !=
+              reader.remaining()) {
+        return Status::InvalidArgument("event batch size mismatch");
+      }
+      out->kind = LogPayloadView::Kind::kEventBatch;
+      out->event_count = count;
+      out->event_size = event_size;
+      out->events = payload.subspan(payload.size() - reader.remaining());
+      return Status::OK();
+    }
+    case LogPayloadView::Kind::kRecordPut:
+    case LogPayloadView::Kind::kRecordInsert: {
+      const EntityId entity = reader.GetU64();
+      const Version expected = reader.GetU64();
+      if (!reader.ok()) return Status::InvalidArgument("short record op");
+      if (reader.remaining() == 0) {
+        return Status::InvalidArgument("record op without a row");
+      }
+      out->kind = static_cast<LogPayloadView::Kind>(kind);
+      out->entity = entity;
+      out->expected_version = expected;
+      out->row = payload.subspan(payload.size() - reader.remaining());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown log payload kind");
+}
+
+}  // namespace aim

@@ -1,0 +1,198 @@
+#ifndef AIM_STORAGE_EVENT_LOG_H_
+#define AIM_STORAGE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aim/common/annotated_mutex.h"
+#include "aim/common/binary_io.h"
+#include "aim/common/status.h"
+#include "aim/common/types.h"
+
+namespace aim {
+
+/// Per-partition append-only event log (paper §7's "logging" half of
+/// incremental checkpointing + logging; docs/DURABILITY.md). The storage
+/// node appends one record per ESP ProcessBatch run — the log rides the
+/// batch path, so log-record granularity equals batch granularity and a
+/// replayed record re-runs exactly one batch — and acknowledges events only
+/// after the covering fsync. The recorded byte offset (LSN) of the log is
+/// what a checkpoint header cites as its replay cursor, and what a future
+/// replica would cite as its catch-up cursor (docs/NETWORKING.md).
+///
+/// File format (little endian):
+///   magic "AIMLOG1\0" |
+///   records: { payload_len u32 | crc32c(len || payload) u32 | payload }
+///
+/// An LSN is a plain byte offset; the first record sits at LSN 8 and a
+/// record's LSN is the offset *after* it (so Sync(lsn) means "make
+/// everything up to lsn durable" and a checkpoint's log_lsn is directly a
+/// replay start offset). The CRC covers the length field as well as the
+/// payload, so a corrupted length cannot pair with an accidentally-valid
+/// checksum window.
+///
+/// Torn tails: a crash mid-append leaves a short or checksum-failing
+/// record at the tail. Open() and Replay() stop cleanly at the first
+/// invalid record; Open() additionally warns and truncates the tear so the
+/// next append extends a valid prefix. A torn record was by construction
+/// never acknowledged (acks happen after fsync covers the record), so
+/// truncation cannot lose acknowledged work.
+///
+/// Group commit: Append never syncs. Sync(upto) elects the first caller as
+/// the flusher for everything appended so far (CoalescingWriter's
+/// elected-flusher idiom, aim/net/coalescing_writer.h): concurrent Sync
+/// callers whose LSN an in-flight fsync already covers just wait for it;
+/// the configurable batching *interval* lives with the caller
+/// (StorageNode::DurabilityOptions::group_commit_micros), which defers
+/// Sync — and the acks behind it — to coalesce more appends per fsync.
+///
+/// Thread contract: Append from one thread at a time (the owning ESP
+/// service thread); Sync/end_lsn/durable_lsn from any thread.
+class EventLog {
+ public:
+  using Lsn = std::uint64_t;  // byte offset into the log file
+
+  static constexpr Lsn kHeaderSize = 8;
+  /// Per-record payload cap: validated on append and on replay, so a
+  /// corrupted length field is recognized as a tear without attempting a
+  /// multi-gigabyte read.
+  static constexpr std::uint32_t kMaxPayloadSize = 64u << 20;
+
+  struct OpenStats {
+    Lsn end = 0;                    // valid end == first append position
+    std::uint64_t records = 0;      // valid records found
+    bool truncated_tear = false;    // a torn tail was cut off
+  };
+
+  struct ReplayStats {
+    Lsn end = 0;                // end of the valid prefix
+    std::uint64_t records = 0;  // records delivered to the callback
+    bool torn = false;          // invalid bytes followed the valid prefix
+  };
+
+  EventLog() = default;
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens `path` for appending, creating it (header + file + directory
+  /// entry fsynced) when absent. An existing file has its whole record
+  /// chain validated; a torn tail is truncated (with a warning to stderr).
+  /// A file that does not start with the log magic is refused with
+  /// kInvalidArgument rather than overwritten.
+  StatusOr<OpenStats> Open(const std::string& path) AIM_EXCLUDES(mu_);
+
+  /// Appends one record (not yet durable) and returns the LSN *after* it —
+  /// the value to pass to Sync() to make it durable.
+  StatusOr<Lsn> Append(std::span<const std::uint8_t> payload)
+      AIM_EXCLUDES(mu_);
+
+  /// Blocks until everything up to `upto` is fsynced. First caller in
+  /// becomes the flusher for all appends so far; callers already covered
+  /// by the in-flight fsync wait instead of issuing their own.
+  Status Sync(Lsn upto) AIM_EXCLUDES(mu_);
+
+  Lsn end_lsn() const AIM_EXCLUDES(mu_);
+  Lsn durable_lsn() const AIM_EXCLUDES(mu_);
+
+  /// Syncs and closes. Further Appends fail. Idempotent.
+  Status Close() AIM_EXCLUDES(mu_);
+
+  /// Replays `path`, delivering each valid record payload (with the LSN
+  /// after it) in append order, starting at `from` (0 or kHeaderSize both
+  /// mean "the beginning"; otherwise `from` must be a record boundary a
+  /// checkpoint recorded). Stops cleanly at the first invalid record;
+  /// `torn` reports whether bytes past the valid prefix existed. Missing
+  /// file => kNotFound; `from` beyond the file => kInvalidArgument.
+  static StatusOr<ReplayStats> Replay(
+      const std::string& path, Lsn from,
+      const std::function<void(Lsn, std::span<const std::uint8_t>)>& fn);
+
+  /// The pure in-memory scan Replay/Open build on (also the fuzz surface):
+  /// walks a complete log-file image. Never fails — corruption just ends
+  /// the valid prefix.
+  static ReplayStats ScanImage(
+      std::span<const std::uint8_t> image, Lsn from,
+      const std::function<void(Lsn, std::span<const std::uint8_t>)>& fn);
+
+  /// Serializes one record (header + payload) into `out` — the exact bytes
+  /// Append writes; used by tests and the fuzz seed generator.
+  static void EncodeRecord(std::span<const std::uint8_t> payload,
+                           std::vector<std::uint8_t>* out);
+
+ private:
+  Status WriteFully(Lsn offset, const std::uint8_t* data, std::size_t n)
+      AIM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar synced_cv_;
+  int fd_ = -1;  // set by Open, const until Close (fsync runs unlocked)
+  std::string path_;
+  Lsn end_lsn_ AIM_GUARDED_BY(mu_) = 0;
+  Lsn durable_lsn_ AIM_GUARDED_BY(mu_) = 0;
+  bool sync_in_flight_ AIM_GUARDED_BY(mu_) = false;
+  Status error_ AIM_GUARDED_BY(mu_);  // sticky: first write/fsync failure
+};
+
+// ---------------------------------------------------------------------------
+// Log payload codec. A log record's payload is one of:
+//   event batch:  kind u8 (=0) | count u32 | event_size u32 |
+//                 count x event_size raw wire events
+//   record op:    kind u8 (=1 put, =2 insert) | entity u64 |
+//                 expected_version u64 | row bytes (rest of payload)
+// The event batch is self-describing (event_size on the wire) so the
+// storage layer does not depend on the ESP tier's wire constant.
+// ---------------------------------------------------------------------------
+
+struct LogPayloadView {
+  enum class Kind : std::uint8_t {
+    kEventBatch = 0,
+    kRecordPut = 1,
+    kRecordInsert = 2,
+  };
+
+  Kind kind = Kind::kEventBatch;
+  // kEventBatch:
+  std::uint32_t event_count = 0;
+  std::uint32_t event_size = 0;
+  std::span<const std::uint8_t> events;  // event_count * event_size bytes
+  // kRecordPut / kRecordInsert:
+  EntityId entity = 0;
+  Version expected_version = 0;  // put precondition; 0 for insert
+  std::span<const std::uint8_t> row;
+};
+
+/// Parses one record payload. The view aliases `payload` — it is valid only
+/// while those bytes are. kInvalidArgument on any structural violation
+/// (unknown kind, count/size mismatch, short fields).
+Status DecodeLogPayload(std::span<const std::uint8_t> payload,
+                        LogPayloadView* out);
+
+/// Starts an event-batch payload; the caller appends `count` wire events of
+/// `event_size` bytes each with PutBytes.
+inline void EncodeEventBatchHeader(std::uint32_t count,
+                                   std::uint32_t event_size,
+                                   BinaryWriter* out) {
+  out->PutU8(static_cast<std::uint8_t>(LogPayloadView::Kind::kEventBatch));
+  out->PutU32(count);
+  out->PutU32(event_size);
+}
+
+/// Serializes a complete record-op payload.
+inline void EncodeRecordOpPayload(LogPayloadView::Kind kind, EntityId entity,
+                                  Version expected_version,
+                                  std::span<const std::uint8_t> row,
+                                  BinaryWriter* out) {
+  out->PutU8(static_cast<std::uint8_t>(kind));
+  out->PutU64(entity);
+  out->PutU64(expected_version);
+  out->PutBytes(row.data(), row.size());
+}
+
+}  // namespace aim
+
+#endif  // AIM_STORAGE_EVENT_LOG_H_

@@ -1,0 +1,89 @@
+#include "aim/storage/fs_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace aim {
+namespace fs {
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync(" + dir + "): " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Internal("mkdir(" + dir + "): " + std::strerror(errno));
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory " + dir);
+    return Status::Internal("opendir(" + dir + "): " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::size_t RemoveStaleTmpFiles(const std::string& dir) {
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return 0;
+  std::size_t removed = 0;
+  for (const std::string& name : *names) {
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      if (std::remove((dir + "/" + name).c_str()) == 0) ++removed;
+    }
+  }
+  // Make the unlinks durable too: a sweep that reappears after a crash
+  // would defeat its own purpose (a stale .tmp must never be mistaken for
+  // an in-flight checkpoint by a later inspection).
+  if (removed > 0) (void)SyncDir(dir);
+  return removed;
+}
+
+StatusOr<std::uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file " + path);
+    return Status::Internal("stat(" + path + "): " + std::strerror(errno));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace fs
+}  // namespace aim

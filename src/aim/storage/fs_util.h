@@ -1,0 +1,43 @@
+#ifndef AIM_STORAGE_FS_UTIL_H_
+#define AIM_STORAGE_FS_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "aim/common/status.h"
+
+namespace aim {
+namespace fs {
+
+/// POSIX directory helpers for the durability layer (no <filesystem>, same
+/// policy as checkpoint.cc's stdio usage: these paths also run inside
+/// crash-recovery code where we want the exact syscalls visible).
+
+/// fsyncs the directory itself so a just-renamed or just-created entry
+/// survives a power cut. A rename is only a commit point once the directory
+/// block holding the new entry is durable; without this, the file's data
+/// can be on disk while the name pointing at it is not.
+Status SyncDir(const std::string& dir);
+
+/// Parent directory of `path` ("." when the path has no slash).
+std::string ParentDir(const std::string& path);
+
+/// mkdir -p for a single level (creates `dir` if absent; ok if it exists).
+Status EnsureDir(const std::string& dir);
+
+/// Plain (non-recursive) listing of regular-file names in `dir`, sorted.
+/// kNotFound when the directory does not exist.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Deletes every "*.tmp" file in `dir` — the startup sweep that reclaims
+/// checkpoint temporaries orphaned by a crash between write and rename.
+/// Returns the number removed; a missing directory removes zero.
+std::size_t RemoveStaleTmpFiles(const std::string& dir);
+
+/// Size of a regular file in bytes; kNotFound when it does not exist.
+StatusOr<std::uint64_t> FileSize(const std::string& path);
+
+}  // namespace fs
+}  // namespace aim
+
+#endif  // AIM_STORAGE_FS_UTIL_H_

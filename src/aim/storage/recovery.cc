@@ -1,0 +1,222 @@
+#include "aim/storage/recovery.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "aim/common/logging.h"
+#include "aim/storage/fs_util.h"
+
+namespace aim {
+namespace checkpoint {
+
+namespace {
+
+constexpr char kChainSuffix[] = ".aimckpt";
+
+std::optional<std::uint64_t> ParseChainEpoch(const std::string& name) {
+  // "ckpt-<digits>.aimckpt"
+  constexpr char kPrefix[] = "ckpt-";
+  const std::size_t prefix_len = sizeof(kPrefix) - 1;
+  const std::size_t suffix_len = sizeof(kChainSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kChainSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t epoch = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    epoch = epoch * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return epoch;
+}
+
+StatusOr<std::vector<std::uint8_t>> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat " + path);
+  }
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::Internal("short read from " + path);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChainFileName(const std::string& dir, std::uint64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt-%010llu%s",
+                static_cast<unsigned long long>(epoch), kChainSuffix);
+  return dir + "/" + name;
+}
+
+StatusOr<PendingCheckpoint> PrepareChained(const DeltaMainStore& store,
+                                           std::uint16_t entity_attr,
+                                           const std::string& dir,
+                                           std::uint64_t log_lsn,
+                                           bool force_full) {
+  Status st = fs::EnsureDir(dir);
+  if (!st.ok()) return st;
+  const std::uint64_t epoch = store.next_checkpoint_epoch();
+  // Delta only in the steady state: the immediately preceding epoch is on
+  // disk (the usual case after the previous commit advanced the epoch).
+  // Anything surprising — first checkpoint, a gap, a foreign directory —
+  // degrades to a full image, which never depends on older files.
+  bool delta = !force_full && epoch > 1 &&
+               fs::FileSize(ChainFileName(dir, epoch - 1)).ok();
+  PendingCheckpoint pending;
+  pending.header.kind = delta ? CheckpointHeader::Kind::kDelta
+                              : CheckpointHeader::Kind::kFull;
+  pending.header.epoch = epoch;
+  pending.header.base_epoch = delta ? epoch - 1 : 0;
+  pending.header.log_lsn = log_lsn;
+  BinaryWriter writer;
+  st = WriteV2(store, entity_attr, pending.header, &writer);
+  if (!st.ok()) return st;
+  pending.bytes = writer.TakeBuffer();
+  pending.path = ChainFileName(dir, epoch);
+  return pending;
+}
+
+Status CommitChained(const PendingCheckpoint& pending, DeltaMainStore* store) {
+  Status st = CommitFileAtomic(pending.path, pending.bytes);
+  if (!st.ok()) return st;
+  // Only after the file is durably committed does the epoch advance; a
+  // failed commit retries under the same epoch (and the same dirty-bucket
+  // stamps still select the same content).
+  store->set_next_checkpoint_epoch(pending.header.epoch + 1);
+  return Status::OK();
+}
+
+StatusOr<ChainTip> WriteChained(DeltaMainStore* store,
+                                std::uint16_t entity_attr,
+                                const std::string& dir, std::uint64_t log_lsn,
+                                bool force_full) {
+  StatusOr<PendingCheckpoint> pending =
+      PrepareChained(*store, entity_attr, dir, log_lsn, force_full);
+  if (!pending.ok()) return pending.status();
+  Status st = CommitChained(*pending, store);
+  if (!st.ok()) return st;
+  ChainTip tip;
+  tip.epoch = pending->header.epoch;
+  tip.log_lsn = log_lsn;
+  tip.kind = pending->header.kind;
+  return tip;
+}
+
+StatusOr<ChainTip> RecoverChain(const std::string& dir,
+                                DeltaMainStore* store) {
+  StatusOr<std::vector<std::string>> names = fs::ListDir(dir);
+  if (!names.ok()) {
+    return names.status().IsNotFound()
+               ? Status::NotFound("no checkpoint directory " + dir)
+               : names.status();
+  }
+  // Load every chain member up front: epoch -> (bytes, header). Files that
+  // fail even header decode are recorded with no header — they terminate
+  // any chain that reaches them.
+  struct Member {
+    std::vector<std::uint8_t> bytes;
+    std::optional<CheckpointHeader> header;
+  };
+  std::map<std::uint64_t, Member> members;
+  for (const std::string& name : *names) {
+    const std::optional<std::uint64_t> epoch = ParseChainEpoch(name);
+    if (!epoch.has_value()) continue;
+    Member m;
+    StatusOr<std::vector<std::uint8_t>> bytes =
+        ReadWholeFile(dir + "/" + name);
+    if (bytes.ok()) {
+      m.bytes = std::move(bytes).value();
+      BinaryReader reader(m.bytes);
+      CheckpointHeader header;
+      if (DecodeCheckpointHeader(&reader, &header).ok()) m.header = header;
+    }
+    members.emplace(*epoch, std::move(m));
+  }
+  if (members.empty()) {
+    return Status::NotFound("no checkpoints in " + dir);
+  }
+
+  // Newest-first over the full images: a corrupt full leaves the store
+  // empty (all-or-nothing restore), so the next older one is a clean retry.
+  ChainTip tip;
+  bool restored = false;
+  for (auto it = members.rbegin(); it != members.rend() && !restored; ++it) {
+    const auto& [epoch, m] = *it;
+    if (!m.header.has_value() ||
+        m.header->kind != CheckpointHeader::Kind::kFull) {
+      continue;
+    }
+    BinaryReader reader(m.bytes);
+    const Status st = Restore(&reader, store);
+    if (!st.ok()) {
+      std::fprintf(stderr,
+                   "aim: checkpoint %s unusable (%s); trying older\n",
+                   ChainFileName(dir, epoch).c_str(), st.ToString().c_str());
+      continue;
+    }
+    tip.epoch = epoch;
+    tip.log_lsn = m.header->log_lsn;
+    tip.kind = CheckpointHeader::Kind::kFull;
+    tip.files_applied = 1;
+    tip.records_restored = m.header->count;
+    restored = true;
+  }
+  if (!restored) {
+    return Status::NotFound("no usable full checkpoint in " + dir);
+  }
+
+  // Apply deltas ascending while each one chains exactly onto the tip. A
+  // delta that fails (corrupt, wrong base) ends the chain — not recovery:
+  // log replay from the tip's log_lsn covers what the dropped files held.
+  for (auto it = members.upper_bound(tip.epoch); it != members.end(); ++it) {
+    const auto& [epoch, m] = *it;
+    if (!m.header.has_value() ||
+        m.header->kind != CheckpointHeader::Kind::kDelta ||
+        m.header->base_epoch != tip.epoch) {
+      break;
+    }
+    BinaryReader reader(m.bytes);
+    const Status st = Restore(&reader, store);
+    if (!st.ok()) {
+      std::fprintf(stderr,
+                   "aim: delta checkpoint %s unusable (%s); replaying the "
+                   "log from the last good checkpoint instead\n",
+                   ChainFileName(dir, epoch).c_str(), st.ToString().c_str());
+      break;
+    }
+    tip.epoch = epoch;
+    tip.log_lsn = m.header->log_lsn;
+    tip.kind = CheckpointHeader::Kind::kDelta;
+    ++tip.files_applied;
+    tip.records_restored += m.header->count;
+  }
+
+  // Files beyond the tip are unreachable chain segments (a corrupt link cut
+  // them off). Remove them now: the next checkpoint reuses epoch tip+1, and
+  // a stale file at a reused epoch would chain onto the *new* history and
+  // resurrect old rows on a later recovery.
+  bool removed_any = false;
+  for (auto it = members.upper_bound(tip.epoch); it != members.end(); ++it) {
+    if (std::remove(ChainFileName(dir, it->first).c_str()) == 0) {
+      removed_any = true;
+    }
+  }
+  if (removed_any) (void)fs::SyncDir(dir);
+
+  store->set_next_checkpoint_epoch(tip.epoch + 1);
+  return tip;
+}
+
+}  // namespace checkpoint
+}  // namespace aim

@@ -1,0 +1,80 @@
+#ifndef AIM_STORAGE_RECOVERY_H_
+#define AIM_STORAGE_RECOVERY_H_
+
+#include <string>
+
+#include "aim/common/status.h"
+#include "aim/storage/checkpoint.h"
+#include "aim/storage/delta_main.h"
+
+namespace aim {
+namespace checkpoint {
+
+/// Checkpoint *chains*: one directory per partition holding
+/// "ckpt-<epoch>.aimckpt" files — periodically a full image, between them
+/// incremental deltas that chain by base_epoch. Recovery restores the
+/// newest full image plus every delta that chains onto it, then replays
+/// the partition's event log from the chain tip's log_lsn
+/// (docs/DURABILITY.md, "Recovery").
+
+/// Canonical file name for a chain member ("ckpt-0000000007.aimckpt").
+std::string ChainFileName(const std::string& dir, std::uint64_t epoch);
+
+/// Outcome of WriteChained / RecoverChain: the chain tip the directory now
+/// (or after recovery, the store) corresponds to.
+struct ChainTip {
+  std::uint64_t epoch = 0;
+  std::uint64_t log_lsn = 0;       // replay starts here
+  CheckpointHeader::Kind kind = CheckpointHeader::Kind::kFull;
+  std::uint64_t files_applied = 0;     // RecoverChain: chain length used
+  std::uint64_t records_restored = 0;  // RecoverChain: payload records read
+};
+
+/// Writes the next checkpoint of `store` into `dir` and advances the
+/// store's checkpoint epoch on success. The image is a delta against the
+/// previous checkpoint when the directory's newest file is exactly the
+/// store's previous epoch (the normal steady state) and `force_full` is
+/// false; anything surprising — an empty directory, a gap, a foreign
+/// epoch — falls back to a fresh full image, which is always safe: a full
+/// image never depends on older files. `log_lsn` is recorded in the
+/// header as the replay cursor this image covers.
+///
+/// Caller threading: the store's checkpointing (RTA/load) thread; for a
+/// point-in-time image run the serialize quiesced — which is what
+/// PrepareChained/CommitChained split out: Prepare serializes (call it
+/// inside DeltaMainStore::RunQuiesced), Commit does the file I/O and the
+/// epoch advance (call it outside the window — fsync latency must not
+/// extend the ESP writer's park). WriteChained = Prepare + Commit for
+/// single-threaded callers.
+struct PendingCheckpoint {
+  CheckpointHeader header;
+  std::vector<std::uint8_t> bytes;
+  std::string path;
+};
+
+StatusOr<PendingCheckpoint> PrepareChained(const DeltaMainStore& store,
+                                           std::uint16_t entity_attr,
+                                           const std::string& dir,
+                                           std::uint64_t log_lsn,
+                                           bool force_full = false);
+Status CommitChained(const PendingCheckpoint& pending, DeltaMainStore* store);
+StatusOr<ChainTip> WriteChained(DeltaMainStore* store,
+                                std::uint16_t entity_attr,
+                                const std::string& dir, std::uint64_t log_lsn,
+                                bool force_full = false);
+
+/// Restores the newest usable chain in `dir` into the (empty) store:
+/// tries full images newest-first until one restores cleanly (a corrupt
+/// full leaves the store empty, so the next older one is tried), then
+/// applies deltas in ascending epoch order as long as each one chains
+/// exactly onto the current tip and restores cleanly. A corrupt or
+/// missing delta ends the chain early — correct, not fatal: the log
+/// replay from the tip's log_lsn covers everything the dropped deltas
+/// held. Sets the store's next checkpoint epoch past the tip. kNotFound
+/// when the directory holds no usable full image (cold start).
+StatusOr<ChainTip> RecoverChain(const std::string& dir, DeltaMainStore* store);
+
+}  // namespace checkpoint
+}  // namespace aim
+
+#endif  // AIM_STORAGE_RECOVERY_H_

@@ -1,6 +1,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "aim/storage/checkpoint.h"
+#include "aim/storage/fs_util.h"
 #include "test_util.h"
 
 namespace aim {
@@ -361,6 +363,77 @@ TEST_F(CheckpointTest, TruncatedFileOnDiskFailsCleanly) {
     ASSERT_TRUE(checkpoint::WriteToFile(*store_, entity_attr_, path).ok());
   }
   std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, MissingAndEmptyFilesAreNotFoundNotMalformed) {
+  // "No checkpoint yet" (missing or zero-byte file) is a cold start the
+  // caller proceeds past; a malformed file is damage the caller must not
+  // silently ignore. The two must stay distinguishable.
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_kinds.bin";
+  std::remove(path.c_str());
+  auto restored = MakeStore();
+  EXPECT_TRUE(
+      checkpoint::RestoreFromFile(path, restored.get()).IsNotFound());
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);  // zero bytes: a crash right after open(O_CREAT)
+  EXPECT_TRUE(
+      checkpoint::RestoreFromFile(path, restored.get()).IsNotFound());
+
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a checkpoint", f);
+  std::fclose(f);
+  EXPECT_TRUE(
+      checkpoint::RestoreFromFile(path, restored.get()).IsInvalidArgument());
+  EXPECT_EQ(restored->main_records(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, StaleTmpSweepRemovesOnlyTmpFiles) {
+  const std::string dir = ::testing::TempDir() + "/aim_ckpt_sweep";
+  ASSERT_TRUE(fs::EnsureDir(dir).ok());
+  auto touch = [&](const std::string& name) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("x", f);
+    std::fclose(f);
+  };
+  touch("a.aimckpt.tmp");
+  touch("b.tmp");
+  touch("keep.aimckpt");
+  touch("events.log");
+  EXPECT_EQ(fs::RemoveStaleTmpFiles(dir), 2u);
+  EXPECT_EQ(fs::RemoveStaleTmpFiles(dir), 0u);  // idempotent
+  StatusOr<std::vector<std::string>> left = fs::ListDir(dir);
+  ASSERT_TRUE(left.ok());
+  std::sort(left->begin(), left->end());
+  EXPECT_EQ(*left,
+            (std::vector<std::string>{"events.log", "keep.aimckpt"}));
+  for (const std::string& n : *left) std::remove((dir + "/" + n).c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(CheckpointTest, FailedRenameRemovesItsTmpFile) {
+  Populate(6, false);
+  // A non-empty directory squatting on the *target* path makes the rename
+  // itself fail after the tmp was fully written. The writer must clean up
+  // its tmp — otherwise every such failure leaks one until the sweep.
+  const std::string path = ::testing::TempDir() + "/aim_ckpt_squat";
+  ASSERT_EQ(::mkdir(path.c_str(), 0700), 0);
+  std::FILE* inner = std::fopen((path + "/occupant").c_str(), "wb");
+  ASSERT_NE(inner, nullptr);
+  std::fclose(inner);
+
+  EXPECT_TRUE(
+      checkpoint::WriteToFile(*store_, entity_attr_, path).IsInternal());
+  std::FILE* leaked = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(leaked, nullptr) << "failed rename left its .tmp behind";
+  if (leaked != nullptr) std::fclose(leaked);
+
+  std::remove((path + "/occupant").c_str());
+  ::rmdir(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,415 @@
+// Kill-point fault injection (ctest label "durability"): a forked child
+// performs durable work with a crash handler armed on one of the named
+// AIM_CRASH_POINT sites and dies there via SIGKILL — no destructors, no
+// flushes, exactly like a real crash. The parent then recovers from the
+// surviving files and asserts the durability contract:
+//
+//   * no acknowledged event (or record op) is lost,
+//   * no half-applied state survives (torn log tails truncate cleanly,
+//     interrupted checkpoints never become the restore source),
+//   * recovery always lands on a consistent chain tip.
+//
+// The child and parent share one address space layout (plain fork, no
+// exec), so the child replays deterministic work the parent can recompute.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/crash_point.h"
+#include "aim/server/storage_node.h"
+#include "aim/storage/checkpoint.h"
+#include "aim/storage/event_log.h"
+#include "aim/storage/fs_util.h"
+#include "aim/storage/recovery.h"
+#include "aim/workload/benchmark_schema.h"
+#include "aim/workload/cdr_generator.h"
+#include "aim/workload/dimension_data.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::FillRandomRow;
+using testing_util::MakeTinySchema;
+using testing_util::RandomEvent;
+
+// --- crash arming (child side) ---------------------------------------------
+
+const char* g_crash_point = nullptr;
+int g_crash_countdown = 0;
+
+void CrashHandler(const char* point) {
+  if (g_crash_point == nullptr || std::strcmp(point, g_crash_point) != 0) {
+    return;
+  }
+  if (--g_crash_countdown <= 0) {
+    ::raise(SIGKILL);  // die mid-operation: no unwinding, no flushing
+  }
+}
+
+void ArmCrash(const char* point, int countdown) {
+  g_crash_point = point;
+  g_crash_countdown = countdown;
+  SetCrashPointHandler(&CrashHandler);
+}
+
+// Forks, runs `child` (which is expected to die at its armed crash point),
+// and returns once the parent has confirmed the SIGKILL death.
+template <typename Fn>
+void RunChildToCrash(Fn&& child) {
+  std::fflush(nullptr);  // don't duplicate buffered test output into the child
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    child();
+    // Reaching here means the crash point never fired — fail loudly.
+    std::fprintf(stderr, "child survived its crash point\n");
+    ::_exit(97);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with "
+                                   << WEXITSTATUS(status);
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+using Snapshot =
+    std::map<EntityId, std::pair<Version, std::vector<std::uint8_t>>>;
+
+Snapshot Snap(const DeltaMainStore& store, std::uint16_t entity_attr) {
+  Snapshot snap;
+  store.ForEachVisible(entity_attr,
+                       [&](EntityId e, Version v, const std::uint8_t* row) {
+                         snap[e] = {v, std::vector<std::uint8_t>(
+                                           row, row + store.schema()
+                                                          .record_size())};
+                       });
+  return snap;
+}
+
+void RemoveTree(const std::string& dir) {
+  StatusOr<std::vector<std::string>> names = fs::ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& n : *names) std::remove((dir + "/" + n).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+// --- checkpoint kill points -------------------------------------------------
+
+class CheckpointKillTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  CheckpointKillTest() : schema_(MakeTinySchema()) {
+    entity_attr_ = schema_->FindAttribute("entity_id");
+    dir_ = ::testing::TempDir() + "/aim_kill_ckpt_" +
+           std::to_string(::getpid());
+    RemoveTree(dir_);
+  }
+  ~CheckpointKillTest() override { RemoveTree(dir_); }
+
+  std::unique_ptr<DeltaMainStore> MakeStore() {
+    DeltaMainStore::Options opts;
+    opts.bucket_size = 8;
+    opts.max_records = 1024;
+    return std::make_unique<DeltaMainStore>(schema_.get(), opts);
+  }
+
+  // The child's deterministic workload, split at the first checkpoint so
+  // the parent can recompute "state at epoch 1" and "state at epoch 2".
+  void PhaseOne(DeltaMainStore* store) {
+    Random rng(7);
+    std::vector<std::uint8_t> row(schema_->record_size());
+    for (EntityId e = 1; e <= 50; ++e) {
+      FillRandomRow(*schema_, &rng, row.data());
+      RecordView(schema_.get(), row.data())
+          .SetAs<std::uint64_t>(entity_attr_, e);
+      ASSERT_TRUE(store->Insert(e, row.data()).ok());
+    }
+    store->Merge();
+  }
+  void PhaseTwo(DeltaMainStore* store) {
+    std::vector<std::uint8_t> row(schema_->record_size());
+    for (EntityId e = 1; e <= 6; ++e) {
+      Version v = 0;
+      ASSERT_TRUE(store->Get(e, row.data(), &v).ok());
+      RecordView(schema_.get(), row.data())
+          .Set(schema_->FindAttribute("calls_today"),
+               Value::Int32(static_cast<std::int32_t>(e) * 31));
+      ASSERT_TRUE(store->Put(e, row.data(), v).ok());
+    }
+    store->Merge();
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::uint16_t entity_attr_;
+  std::string dir_;
+};
+
+TEST_P(CheckpointKillTest, CrashDuringCommitNeverCorruptsTheChain) {
+  const char* point = GetParam();
+  RunChildToCrash([&] {
+    auto store = MakeStore();
+    PhaseOne(store.get());
+    checkpoint::WriteChained(store.get(), entity_attr_, dir_, 5).status();
+    PhaseTwo(store.get());
+    ArmCrash(point, 1);
+    (void)checkpoint::WriteChained(store.get(), entity_attr_, dir_, 9);
+  });
+
+  // Parent = next process start: sweep orphaned temporaries, then recover.
+  const std::size_t swept = fs::RemoveStaleTmpFiles(dir_);
+  const bool before_rename =
+      std::strcmp(point, "checkpoint.post_rename_pre_dirsync") != 0;
+  if (before_rename) {
+    EXPECT_EQ(swept, 1u) << "crash before rename must orphan the .tmp";
+  } else {
+    EXPECT_EQ(swept, 0u) << "crash after rename leaves no .tmp";
+  }
+
+  auto recovered = MakeStore();
+  StatusOr<checkpoint::ChainTip> tip =
+      checkpoint::RecoverChain(dir_, recovered.get());
+  ASSERT_TRUE(tip.ok()) << tip.status().ToString();
+
+  // Recompute both consistent states the crash could have landed on.
+  auto at_epoch1 = MakeStore();
+  PhaseOne(at_epoch1.get());
+  auto at_epoch2 = MakeStore();
+  PhaseOne(at_epoch2.get());
+  PhaseTwo(at_epoch2.get());
+
+  if (before_rename) {
+    // The interrupted epoch-2 checkpoint must be invisible.
+    EXPECT_EQ(tip->epoch, 1u);
+    EXPECT_EQ(tip->log_lsn, 5u);
+    EXPECT_EQ(Snap(*recovered, entity_attr_), Snap(*at_epoch1, entity_attr_));
+  } else {
+    // Renamed and (in this test environment) visible: the epoch-2 image is
+    // complete, so recovery lands on it with its replay cursor.
+    EXPECT_EQ(tip->epoch, 2u);
+    EXPECT_EQ(tip->log_lsn, 9u);
+    EXPECT_EQ(Snap(*recovered, entity_attr_), Snap(*at_epoch2, entity_attr_));
+  }
+  // Either way the directory is ready for the next checkpoint: writing one
+  // more must chain cleanly onto the recovered tip.
+  StatusOr<checkpoint::ChainTip> next = checkpoint::WriteChained(
+      recovered.get(), entity_attr_, dir_, tip->log_lsn);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->epoch, tip->epoch + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCommitPoints, CheckpointKillTest,
+                         ::testing::Values("checkpoint.pre_fsync",
+                                           "checkpoint.post_fsync_pre_rename",
+                                           "checkpoint.post_rename_pre_dirsync"));
+
+// --- event-log kill points --------------------------------------------------
+
+class EventLogKillTest : public ::testing::Test {
+ protected:
+  EventLogKillTest() {
+    path_ = ::testing::TempDir() + "/aim_kill_log_" +
+            std::to_string(::getpid()) + ".log";
+    std::remove(path_.c_str());
+  }
+  ~EventLogKillTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(EventLogKillTest, CrashMidAppendTruncatesToAckedPrefix) {
+  RunChildToCrash([&] {
+    EventLog log;
+    if (!log.Open(path_).ok()) ::_exit(96);
+    EventLog::Lsn last = 0;
+    for (std::uint8_t i = 1; i <= 3; ++i) {
+      std::vector<std::uint8_t> payload(16, i);
+      StatusOr<EventLog::Lsn> lsn = log.Append(payload);
+      if (!lsn.ok()) ::_exit(96);
+      last = *lsn;
+    }
+    if (!log.Sync(last).ok()) ::_exit(96);  // records 1-3 are acked
+    ArmCrash("event_log.mid_append", 1);
+    std::vector<std::uint8_t> payload(16, 9);
+    (void)log.Append(payload);  // dies with the header written, payload not
+  });
+
+  // Recovery: the torn record is cut, the three acked records replay
+  // bit-exact, and the log accepts new appends.
+  EventLog log;
+  StatusOr<EventLog::OpenStats> opened = log.Open(path_);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->records, 3u);
+  EXPECT_TRUE(opened->truncated_tear);
+  ASSERT_TRUE(log.Close().ok());
+  std::uint64_t seen = 0;
+  ASSERT_TRUE(EventLog::Replay(path_, 0,
+                               [&](EventLog::Lsn,
+                                   std::span<const std::uint8_t> p) {
+                                 ++seen;
+                                 ASSERT_EQ(p.size(), 16u);
+                                 for (std::uint8_t b : p) {
+                                   ASSERT_EQ(b, static_cast<std::uint8_t>(seen));
+                                 }
+                               })
+                  .ok());
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST_F(EventLogKillTest, CrashBeforeFsyncLosesOnlyUnackedRecords) {
+  RunChildToCrash([&] {
+    EventLog log;
+    if (!log.Open(path_).ok()) ::_exit(96);
+    std::vector<std::uint8_t> payload(8, 1);
+    StatusOr<EventLog::Lsn> lsn = log.Append(payload);
+    if (!lsn.ok() || !log.Sync(*lsn).ok()) ::_exit(96);  // record 1 acked
+    payload.assign(8, 2);
+    lsn = log.Append(payload);
+    if (!lsn.ok()) ::_exit(96);
+    ArmCrash("event_log.pre_sync", 1);
+    (void)log.Sync(*lsn);  // dies before the fsync — record 2 never acked
+  });
+
+  // The acked record must replay; the unacked one may or may not (its
+  // write() hit the page cache, not certainly the disk) — but whatever
+  // replays must be a clean prefix of exactly what was appended.
+  std::uint64_t seen = 0;
+  ASSERT_TRUE(EventLog::Replay(path_, 0,
+                               [&](EventLog::Lsn,
+                                   std::span<const std::uint8_t> p) {
+                                 ++seen;
+                                 ASSERT_LE(seen, 2u);
+                                 ASSERT_EQ(p.size(), 8u);
+                                 for (std::uint8_t b : p) {
+                                   ASSERT_EQ(b, static_cast<std::uint8_t>(seen));
+                                 }
+                               })
+                  .ok());
+  EXPECT_GE(seen, 1u);
+}
+
+// --- node-level kill: acked events survive ---------------------------------
+
+TEST(NodeKillTest, NoAckedEventIsLostAcrossSigkill) {
+  const std::string dir = ::testing::TempDir() + "/aim_kill_node_" +
+                          std::to_string(::getpid());
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    RemoveTree(dir + "/p" + std::to_string(p));
+  }
+  ::rmdir(dir.c_str());
+
+  std::unique_ptr<Schema> schema = MakeCompactSchema();
+  BenchmarkDims dims = MakeBenchmarkDims();
+  std::vector<Rule> rules;
+  constexpr std::uint64_t kEntities = 48;
+  constexpr int kCrashAtAppend = 25;
+
+  auto node_options = [&] {
+    StorageNode::Options opts;
+    opts.node_id = 0;
+    opts.num_partitions = 2;
+    opts.num_esp_threads = 2;
+    opts.bucket_size = 64;
+    opts.max_records_per_partition = 1 << 12;
+    opts.scan_poll_micros = 200;
+    opts.durability.dir = dir;
+    return opts;
+  };
+
+  // Child reports each acknowledged event (entity, timestamp) over a pipe
+  // the instant its completion fires; SIGKILL then cuts it off mid-stream.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    ::close(fds[0]);
+    StorageNode node(schema.get(), &dims.catalog, &rules, node_options());
+    if (!node.Recover().ok()) ::_exit(96);
+    std::vector<std::uint8_t> row(schema->record_size(), 0);
+    for (EntityId e = 1; e <= kEntities; ++e) {
+      std::fill(row.begin(), row.end(), 0);
+      PopulateEntityProfile(*schema, dims, e, kEntities, row.data());
+      if (!node.BulkLoad(e, row.data()).ok()) ::_exit(96);
+    }
+    if (!node.CheckpointNow().ok()) ::_exit(96);
+    if (!node.Start().ok()) ::_exit(96);
+    // The ESP threads die at the Nth log append, mid-record.
+    ArmCrash("event_log.mid_append", kCrashAtAppend);
+    Random rng(11);
+    for (int i = 0;; ++i) {
+      const EntityId caller = static_cast<EntityId>(i % kEntities) + 1;
+      const Timestamp ts = 1000000 + i;
+      Event event = RandomEvent(&rng, caller, ts);
+      BinaryWriter w;
+      event.Serialize(&w);
+      EventCompletion done;
+      if (!node.SubmitEvent(w.TakeBuffer(), &done)) ::_exit(96);
+      done.Wait();  // blocks forever once the ESP thread is dead — fine,
+                    // SIGKILL already terminated the process by then
+      if (!done.status.ok()) ::_exit(96);
+      std::uint64_t acked[2] = {caller, static_cast<std::uint64_t>(ts)};
+      if (::write(fds[1], acked, sizeof(acked)) != sizeof(acked)) _exit(96);
+    }
+  }
+  ::close(fds[1]);
+  std::map<EntityId, std::int64_t> acked;  // entity -> last acked timestamp
+  std::uint64_t buf[2];
+  ssize_t n;
+  std::size_t acked_events = 0;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) == sizeof(buf)) {
+    acked[buf[0]] = static_cast<std::int64_t>(buf[1]);
+    ++acked_events;
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  ASSERT_GT(acked_events, 0u) << "crash fired before any event was acked";
+
+  // Restart: every acknowledged event's effect must be visible — the
+  // entity's row carries the exact timestamp of its last acked event (an
+  // unacked newer event may legitimately have survived too, in which case
+  // the timestamp is even newer, never older).
+  StorageNode node(schema.get(), &dims.catalog, &rules, node_options());
+  StatusOr<StorageNode::RecoveryStats> rec = node.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE(rec->cold_start);
+  const std::uint16_t entity_attr = schema->FindAttribute("entity_id");
+  const std::uint16_t ts_attr = schema->FindAttribute("last_event_ts");
+  Snapshot snap;
+  for (std::uint32_t p = 0; p < node_options().num_partitions; ++p) {
+    Snapshot part = Snap(node.partition(p), entity_attr);
+    snap.insert(part.begin(), part.end());
+  }
+  EXPECT_EQ(snap.size(), kEntities);
+  for (const auto& [entity, want_ts] : acked) {
+    auto it = snap.find(entity);
+    ASSERT_NE(it, snap.end()) << "acked entity " << entity << " missing";
+    const std::int64_t got_ts =
+        ConstRecordView(schema.get(), it->second.second.data())
+            .GetAs<std::int64_t>(ts_attr);
+    EXPECT_GE(got_ts, want_ts) << "entity " << entity
+                               << " lost its acked event";
+  }
+
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    RemoveTree(dir + "/p" + std::to_string(p));
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace aim

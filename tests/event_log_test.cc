@@ -1,0 +1,380 @@
+#include "aim/storage/event_log.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "aim/common/crc32c.h"
+#include "aim/storage/fs_util.h"
+
+namespace aim {
+namespace {
+
+std::string TestPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> Payload(std::initializer_list<std::uint8_t> bytes) {
+  return std::vector<std::uint8_t>(bytes);
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  EXPECT_EQ(std::fread(buf.data(), 1, buf.size(), f), buf.size());
+  std::fclose(f);
+  return buf;
+}
+
+void WriteFile(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+  std::fclose(f);
+}
+
+struct Replayed {
+  EventLog::Lsn lsn;
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<Replayed> ReplayAll(const std::string& path,
+                                EventLog::Lsn from = 0) {
+  std::vector<Replayed> out;
+  StatusOr<EventLog::ReplayStats> stats = EventLog::Replay(
+      path, from, [&](EventLog::Lsn lsn, std::span<const std::uint8_t> p) {
+        out.push_back({lsn, {p.begin(), p.end()}});
+      });
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return out;
+}
+
+TEST(EventLogTest, AppendSyncReplayRoundTrip) {
+  const std::string path = TestPath("event_log_roundtrip.log");
+  std::remove(path.c_str());
+  EventLog log;
+  StatusOr<EventLog::OpenStats> opened = log.Open(path);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->end, EventLog::kHeaderSize);
+  EXPECT_EQ(opened->records, 0u);
+  EXPECT_FALSE(opened->truncated_tear);
+
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      Payload({1}), Payload({2, 3, 4}), Payload({}), Payload({5, 6})};
+  EventLog::Lsn last = 0;
+  for (const auto& p : payloads) {
+    StatusOr<EventLog::Lsn> lsn = log.Append(p);
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_GT(*lsn, last);
+    last = *lsn;
+  }
+  EXPECT_EQ(log.end_lsn(), last);
+  EXPECT_LT(log.durable_lsn(), last);  // Append never syncs
+  ASSERT_TRUE(log.Sync(last).ok());
+  EXPECT_EQ(log.durable_lsn(), last);
+  ASSERT_TRUE(log.Close().ok());
+
+  const std::vector<Replayed> seen = ReplayAll(path);
+  ASSERT_EQ(seen.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(seen[i].payload, payloads[i]) << i;
+  }
+  EXPECT_EQ(seen.back().lsn, last);
+
+  // Replay from a recorded mid-log LSN delivers exactly the suffix.
+  const std::vector<Replayed> suffix = ReplayAll(path, seen[1].lsn);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0].payload, payloads[2]);
+  EXPECT_EQ(suffix[1].payload, payloads[3]);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, ReopenExtendsExistingLog) {
+  const std::string path = TestPath("event_log_reopen.log");
+  std::remove(path.c_str());
+  {
+    EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(log.Append(Payload({10})).ok());
+    ASSERT_TRUE(log.Close().ok());  // Close syncs
+  }
+  EventLog log;
+  StatusOr<EventLog::OpenStats> opened = log.Open(path);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->records, 1u);
+  StatusOr<EventLog::Lsn> lsn = log.Append(Payload({11}));
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(log.Sync(*lsn).ok());
+  ASSERT_TRUE(log.Close().ok());
+  const std::vector<Replayed> seen = ReplayAll(path);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].payload, Payload({10}));
+  EXPECT_EQ(seen[1].payload, Payload({11}));
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, MissingFileIsNotFoundAndForeignFileIsRefused) {
+  const std::string path = TestPath("event_log_absent.log");
+  std::remove(path.c_str());
+  EXPECT_TRUE(EventLog::Replay(path, 0, [](EventLog::Lsn,
+                                           std::span<const std::uint8_t>) {})
+                  .status()
+                  .IsNotFound());
+  // A file that is not a log must not be appended over.
+  WriteFile(path, {'n', 'o', 't', ' ', 'a', ' ', 'l', 'o', 'g', '!'});
+  EventLog log;
+  EXPECT_TRUE(log.Open(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+// The torn-tail property: truncating a valid log at EVERY byte boundary
+// must replay a clean prefix of whole records — never an error, never a
+// partial or corrupted record, never a record past the cut.
+TEST(EventLogTest, TruncationAtEveryByteReplaysCleanPrefix) {
+  const std::string path = TestPath("event_log_trunc.log");
+  std::remove(path.c_str());
+  std::vector<EventLog::Lsn> boundaries;  // LSN after each record
+  {
+    EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    for (std::uint8_t i = 0; i < 9; ++i) {
+      std::vector<std::uint8_t> payload(static_cast<std::size_t>(i) * 3 + 1,
+                                        i);
+      StatusOr<EventLog::Lsn> lsn = log.Append(payload);
+      ASSERT_TRUE(lsn.ok());
+      boundaries.push_back(*lsn);
+    }
+    ASSERT_TRUE(log.Close().ok());
+  }
+  const std::vector<std::uint8_t> full = ReadFile(path);
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(path, {full.begin(), full.begin() + cut});
+    // How many whole records fit under the cut?
+    std::size_t expect = 0;
+    while (expect < boundaries.size() && boundaries[expect] <= cut) ++expect;
+    if (cut < EventLog::kHeaderSize) {
+      // Short of even the magic: Open rewrites a fresh header (size < 8 is
+      // treated as a never-initialized file), Replay sees zero records.
+      EventLog log;
+      StatusOr<EventLog::OpenStats> opened = log.Open(path);
+      ASSERT_TRUE(opened.ok()) << "cut " << cut;
+      EXPECT_EQ(opened->records, 0u) << "cut " << cut;
+      ASSERT_TRUE(log.Close().ok());
+      continue;
+    }
+    const std::vector<Replayed> seen = ReplayAll(path);
+    ASSERT_EQ(seen.size(), expect) << "cut " << cut;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].payload.size(), i * 3 + 1) << "cut " << cut;
+      EXPECT_EQ(seen[i].lsn, boundaries[i]) << "cut " << cut;
+    }
+    // Open truncates the tear and the log stays appendable.
+    EventLog log;
+    StatusOr<EventLog::OpenStats> opened = log.Open(path);
+    ASSERT_TRUE(opened.ok()) << "cut " << cut;
+    EXPECT_EQ(opened->records, expect) << "cut " << cut;
+    EXPECT_EQ(opened->truncated_tear,
+              cut != (expect == 0 ? EventLog::kHeaderSize
+                                  : boundaries[expect - 1]))
+        << "cut " << cut;
+    StatusOr<EventLog::Lsn> lsn = log.Append(Payload({0xEE}));
+    ASSERT_TRUE(lsn.ok()) << "cut " << cut;
+    ASSERT_TRUE(log.Close().ok());
+    const std::vector<Replayed> extended = ReplayAll(path);
+    ASSERT_EQ(extended.size(), expect + 1) << "cut " << cut;
+    EXPECT_EQ(extended.back().payload, Payload({0xEE})) << "cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, TrailingGarbageIsATearNotASuccess) {
+  const std::string path = TestPath("event_log_garbage.log");
+  std::remove(path.c_str());
+  EventLog::Lsn good_end = 0;
+  {
+    EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    StatusOr<EventLog::Lsn> lsn = log.Append(Payload({7, 8, 9}));
+    ASSERT_TRUE(lsn.ok());
+    good_end = *lsn;
+    ASSERT_TRUE(log.Close().ok());
+  }
+  std::vector<std::uint8_t> image = ReadFile(path);
+  for (int i = 0; i < 24; ++i) image.push_back(0xAB);
+  WriteFile(path, image);
+
+  EventLog::ReplayStats scanned = EventLog::ScanImage(
+      image, 0, [](EventLog::Lsn, std::span<const std::uint8_t>) {});
+  EXPECT_TRUE(scanned.torn);  // never reported as a clean end-of-log
+  EXPECT_EQ(scanned.end, good_end);
+  EXPECT_EQ(scanned.records, 1u);
+
+  // Open truncates the garbage; the file shrinks back to the valid prefix.
+  EventLog log;
+  StatusOr<EventLog::OpenStats> opened = log.Open(path);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->truncated_tear);
+  EXPECT_EQ(opened->end, good_end);
+  ASSERT_TRUE(log.Close().ok());
+  EXPECT_EQ(ReadFile(path).size(), good_end);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, CorruptedByteAnywhereEndsReplayAtThatRecord) {
+  const std::string path = TestPath("event_log_corrupt.log");
+  std::remove(path.c_str());
+  std::vector<EventLog::Lsn> boundaries;
+  {
+    EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      StatusOr<EventLog::Lsn> lsn = log.Append(Payload({i, i, i, i, i}));
+      ASSERT_TRUE(lsn.ok());
+      boundaries.push_back(*lsn);
+    }
+    ASSERT_TRUE(log.Close().ok());
+  }
+  const std::vector<std::uint8_t> clean = ReadFile(path);
+  for (std::size_t pos = EventLog::kHeaderSize; pos < clean.size(); ++pos) {
+    std::vector<std::uint8_t> image = clean;
+    image[pos] ^= 0x40;
+    // The record containing the flipped byte (and everything after it) must
+    // not be delivered; everything before it must be.
+    std::size_t expect = 0;
+    while (expect < boundaries.size() && boundaries[expect] <= pos) ++expect;
+    std::size_t delivered = 0;
+    EventLog::ReplayStats scanned = EventLog::ScanImage(
+        image, 0, [&](EventLog::Lsn, std::span<const std::uint8_t> p) {
+          ++delivered;
+          ASSERT_EQ(p.size(), 5u);
+          for (std::uint8_t b : p) ASSERT_EQ(b, p[0]);
+        });
+    EXPECT_EQ(delivered, expect) << "pos " << pos;
+    EXPECT_TRUE(scanned.torn) << "pos " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, ReplayFromBeyondFileIsInvalid) {
+  const std::string path = TestPath("event_log_beyond.log");
+  std::remove(path.c_str());
+  {
+    EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  EXPECT_TRUE(
+      EventLog::Replay(path, 1u << 20,
+                       [](EventLog::Lsn, std::span<const std::uint8_t>) {})
+          .status()
+          .IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, ConcurrentSyncersAllObserveDurability) {
+  // Group commit: many threads wait on Sync for their own LSN while one
+  // appender keeps writing; every Sync must return ok with durable_lsn
+  // at or past the requested point.
+  const std::string path = TestPath("event_log_group.log");
+  std::remove(path.c_str());
+  EventLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  constexpr int kRecords = 200;
+  std::vector<EventLog::Lsn> lsns(kRecords);
+  for (int i = 0; i < kRecords; ++i) {
+    StatusOr<EventLog::Lsn> lsn =
+        log.Append(Payload({static_cast<std::uint8_t>(i)}));
+    ASSERT_TRUE(lsn.ok());
+    lsns[static_cast<std::size_t>(i)] = *lsn;
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kRecords; i += 8) {
+        const EventLog::Lsn want = lsns[static_cast<std::size_t>(i)];
+        ASSERT_TRUE(log.Sync(want).ok());
+        ASSERT_GE(log.durable_lsn(), want);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(log.Close().ok());
+  EXPECT_EQ(ReplayAll(path).size(), static_cast<std::size_t>(kRecords));
+  std::remove(path.c_str());
+}
+
+// --- payload codec ---------------------------------------------------------
+
+TEST(LogPayloadTest, EventBatchRoundTrip) {
+  BinaryWriter writer;
+  const std::vector<std::uint8_t> events = {1, 2, 3, 4, 5, 6, 7, 8};
+  EncodeEventBatchHeader(2, 4, &writer);
+  writer.PutBytes(events.data(), events.size());
+  LogPayloadView view;
+  ASSERT_TRUE(DecodeLogPayload(writer.buffer(), &view).ok());
+  EXPECT_EQ(view.kind, LogPayloadView::Kind::kEventBatch);
+  EXPECT_EQ(view.event_count, 2u);
+  EXPECT_EQ(view.event_size, 4u);
+  ASSERT_EQ(view.events.size(), events.size());
+  EXPECT_EQ(std::memcmp(view.events.data(), events.data(), events.size()), 0);
+}
+
+TEST(LogPayloadTest, RecordOpRoundTrip) {
+  BinaryWriter writer;
+  const std::vector<std::uint8_t> row = {9, 9, 9};
+  EncodeRecordOpPayload(LogPayloadView::Kind::kRecordPut, 42, 7, row,
+                        &writer);
+  LogPayloadView view;
+  ASSERT_TRUE(DecodeLogPayload(writer.buffer(), &view).ok());
+  EXPECT_EQ(view.kind, LogPayloadView::Kind::kRecordPut);
+  EXPECT_EQ(view.entity, 42u);
+  EXPECT_EQ(view.expected_version, 7u);
+  ASSERT_EQ(view.row.size(), row.size());
+  EXPECT_EQ(std::memcmp(view.row.data(), row.data(), row.size()), 0);
+}
+
+TEST(LogPayloadTest, MalformedPayloadsAreRejectedNotCrashed) {
+  LogPayloadView view;
+  EXPECT_TRUE(DecodeLogPayload({}, &view).IsInvalidArgument());
+  // Unknown kind.
+  std::vector<std::uint8_t> bad = {9};
+  EXPECT_TRUE(DecodeLogPayload(bad, &view).IsInvalidArgument());
+  // Event batch whose count*size disagrees with the bytes present.
+  BinaryWriter writer;
+  EncodeEventBatchHeader(1000, 64, &writer);
+  writer.PutU8(0);
+  EXPECT_TRUE(DecodeLogPayload(writer.buffer(), &view).IsInvalidArgument());
+  // count*size overflow must not wrap into a small "valid" total.
+  BinaryWriter overflow;
+  EncodeEventBatchHeader(0xFFFFFFFFu, 0xFFFFFFFFu, &overflow);
+  EXPECT_TRUE(
+      DecodeLogPayload(overflow.buffer(), &view).IsInvalidArgument());
+  // Record op with an empty row.
+  BinaryWriter empty_row;
+  EncodeRecordOpPayload(LogPayloadView::Kind::kRecordInsert, 1, 0, {},
+                        &empty_row);
+  EXPECT_TRUE(
+      DecodeLogPayload(empty_row.buffer(), &view).IsInvalidArgument());
+}
+
+TEST(Crc32cTest, KnownVectorsAndIncrementalChaining) {
+  // RFC 3720 test vector: crc32c of 32 zero bytes.
+  std::uint8_t zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c(s, 9), 0xE3069283u);
+  // Incremental: crc(a+b) == crc(b, seed=crc(a)).
+  EXPECT_EQ(Crc32c(s + 4, 5, Crc32c(s, 4)), 0xE3069283u);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,62 +1,208 @@
 // bench_partitions — paper Figures 9a / 10a: RTA response time and
 // throughput for different numbers of data partitions (= RTA scan threads)
 // n and different ColumnMap Bucket Sizes, on a single storage server with a
-// fixed event rate.
+// fixed event rate. Plus the scan-executor sweep: {SIMD dispatch tier} x
+// {scan-pool workers} x {morsel size}, written as BENCH_scan.json via
+// --json=PATH.
 //
 // Paper shape to reproduce: performance improves with n until the node's
 // cores are oversubscribed, and Bucket Size barely matters once it is large
 // enough to saturate the SIMD registers (>= 32), with PAX slightly ahead of
 // the pure column store ("all"). On our 1-core VM the n-sweep saturates at
 // n=1-2 — the oversubscription penalty appears immediately, which is the
-// same effect the paper sees at n=6 on 8 cores.
+// same effect the paper sees at n=6 on 8 cores. The same caveat governs
+// the pool sweep: pool workers timeshare the single core, so pool_threads
+// > 0 measures the coordination overhead of the morsel board, not a
+// speedup — the cooperative path's correctness is covered by tests
+// (scan_pool_test, scan_pool_stress_test); its scaling needs multi-core
+// hardware. The JSON records the host's core count so readers can tell
+// which regime a row was measured in.
+//
+// Flags: --entities=N --seconds=S --eps=R --json=PATH --scan-only
+// (--scan-only skips the Fig 9a/10a table, used by the CI bench job).
 
+#include <thread>
+
+#include "aim/rta/simd.h"
 #include "bench_common.h"
 
 using namespace aim;
 using namespace aim::bench;
 
-int main() {
-  std::printf("=== bench_partitions (paper Fig 9a/10a) ===\n");
-  const std::uint64_t entities = 8000;
+namespace {
+
+struct ScanPoint {
+  simd::SimdLevel tier;
+  std::uint32_t pool_threads;
+  std::uint32_t morsel_buckets;
+  double rta_mean_ms = 0;
+  double rta_p99_ms = 0;
+  double rta_qps = 0;
+  double esp_eps = 0;
+};
+
+/// MakeCluster with the scan-executor knobs exposed (the shared helper
+/// deliberately keeps its signature small).
+std::unique_ptr<AimCluster> MakeScanCluster(const WorkloadSetup& s,
+                                            std::uint64_t entities,
+                                            std::uint32_t pool_threads,
+                                            std::uint32_t morsel_buckets) {
+  AimCluster::Options copts;
+  copts.num_nodes = 1;
+  copts.node.num_partitions = 2;
+  copts.node.num_esp_threads = 1;
+  // Small buckets so a partition decomposes into enough morsels for the
+  // board to matter (~40 buckets per partition at the default scale).
+  copts.node.bucket_size = 256;
+  copts.node.max_records_per_partition = entities + 4096;
+  copts.node.scan_pool_threads = pool_threads;
+  copts.node.scan_morsel_buckets = morsel_buckets;
+  auto cluster = std::make_unique<AimCluster>(s.schema.get(), &s.dims.catalog,
+                                              &s.rules, copts);
+  LoadCluster(cluster.get(), s, entities);
+  AIM_CHECK(cluster->Start().ok());
+  return cluster;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t entities = FlagUint(argc, argv, "entities", 8000);
+  const double seconds = FlagDouble(argc, argv, "seconds", 2.5);
+  const double target_eps = FlagDouble(argc, argv, "eps", 1000);
+  const char* json_path = FlagValue(argc, argv, "json");
+  const bool scan_only = FlagValue(argc, argv, "scan-only") != nullptr;
+
   WorkloadSetup setup = MakeSetup();
 
-  struct BucketChoice {
-    const char* label;
-    std::uint32_t size;  // 0 = "all": one bucket spanning the partition
-  };
-  const BucketChoice buckets[] = {
-      {"1024", 1024},
-      {"3072", 3072},
-      {"all", 0},  // pure column store: bucket covers the whole partition
-  };
+  if (!scan_only) {
+    std::printf("=== bench_partitions (paper Fig 9a/10a) ===\n");
+    struct BucketChoice {
+      const char* label;
+      std::uint32_t size;  // 0 = "all": one bucket spanning the partition
+    };
+    const BucketChoice buckets[] = {
+        {"1024", 1024},
+        {"3072", 3072},
+        {"all", 0},  // pure column store: bucket covers the whole partition
+    };
 
-  std::printf("%-10s %-6s %14s %16s %14s\n", "bucket", "n", "rta_mean_ms",
-              "rta_qps", "esp_eps");
-  for (const BucketChoice& bucket : buckets) {
-    for (std::uint32_t n : {1u, 2u, 3u, 4u}) {
-      // "all" must size the single bucket to the partition's actual record
-      // capacity — a fixed huge constant would allocate the whole bucket
-      // (bucket_size x record_size bytes) up front.
-      const std::uint32_t bucket_size =
-          bucket.size != 0
-              ? bucket.size
-              : static_cast<std::uint32_t>(entities * 2 / n + 4096);
-      auto cluster = MakeCluster(setup, entities, /*nodes=*/1,
-                                 /*partitions=*/n, /*esp_threads=*/1,
-                                 bucket_size);
-      MixedOptions opts;
-      opts.entities = entities;
-      opts.target_eps = 1000;
-      opts.clients = 4;
-      opts.seconds = 2.5;
-      const MixedResult r = RunMixedWorkload(cluster.get(), setup, opts);
+    std::printf("%-10s %-6s %14s %16s %14s\n", "bucket", "n", "rta_mean_ms",
+                "rta_qps", "esp_eps");
+    for (const BucketChoice& bucket : buckets) {
+      for (std::uint32_t n : {1u, 2u, 3u, 4u}) {
+        // "all" must size the single bucket to the partition's actual record
+        // capacity — a fixed huge constant would allocate the whole bucket
+        // (bucket_size x record_size bytes) up front.
+        const std::uint32_t bucket_size =
+            bucket.size != 0
+                ? bucket.size
+                : static_cast<std::uint32_t>(entities * 2 / n + 4096);
+        auto cluster = MakeCluster(setup, entities, /*nodes=*/1,
+                                   /*partitions=*/n, /*esp_threads=*/1,
+                                   bucket_size);
+        MixedOptions opts;
+        opts.entities = entities;
+        opts.target_eps = target_eps;
+        opts.clients = 4;
+        opts.seconds = seconds;
+        const MixedResult r = RunMixedWorkload(cluster.get(), setup, opts);
+        cluster->Stop();
+        std::printf("%-10s %-6u %14.2f %16.1f %14.0f\n", bucket.label, n,
+                    r.rta_lat.MeanMicros() / 1e3, r.rta_qps, r.esp_eps);
+      }
+    }
+    std::printf("\nExpected shape: bucket size has minor impact (>=32); more "
+                "partitions than cores degrades both sides (thread "
+                "thrashing, paper §5.2).\n\n");
+  }
+
+  // --- Scan-executor sweep: {dispatch tier} x {pool workers} x {morsel} ---
+  std::printf("=== scan-executor sweep (tier x pool x morsel) ===\n");
+  const simd::SimdLevel max_tier = simd::MaxSupportedLevel();
+  const simd::SimdLevel startup_tier = simd::ActiveLevel();
+  std::vector<ScanPoint> sweep;
+
+  std::printf("%-8s %-8s %-8s %14s %12s %14s %12s\n", "tier", "pool",
+              "morsel", "rta_mean_ms", "rta_p99_ms", "rta_qps", "esp_eps");
+  for (std::uint32_t pool_threads : {0u, 1u, 2u}) {
+    for (std::uint32_t morsel : {4u, 16u, 64u}) {
+      // One cluster per (pool, morsel) point; the dispatch tier is a
+      // process-wide runtime switch, so all tiers share the loaded state.
+      auto cluster =
+          MakeScanCluster(setup, entities, pool_threads, morsel);
+      for (int t = 0; t <= static_cast<int>(max_tier); ++t) {
+        ScanPoint p;
+        p.tier = static_cast<simd::SimdLevel>(t);
+        p.pool_threads = pool_threads;
+        p.morsel_buckets = morsel;
+        AIM_CHECK(simd::SetLevel(p.tier) == p.tier);
+        MixedOptions opts;
+        opts.entities = entities;
+        opts.target_eps = target_eps;
+        opts.clients = 4;
+        opts.seconds = seconds;
+        const MixedResult r = RunMixedWorkload(cluster.get(), setup, opts);
+        p.rta_mean_ms = r.rta_lat.MeanMicros() / 1e3;
+        p.rta_p99_ms = r.rta_lat.PercentileMicros(0.99) / 1e3;
+        p.rta_qps = r.rta_qps;
+        p.esp_eps = r.esp_eps;
+        sweep.push_back(p);
+        std::printf("%-8s %-8u %-8u %14.2f %12.2f %14.1f %12.0f\n",
+                    simd::SimdLevelName(p.tier), pool_threads, morsel,
+                    p.rta_mean_ms, p.rta_p99_ms, p.rta_qps, p.esp_eps);
+      }
+      simd::SetLevel(startup_tier);
       cluster->Stop();
-      std::printf("%-10s %-6u %14.2f %16.1f %14.0f\n", bucket.label, n,
-                  r.rta_lat.MeanMicros() / 1e3, r.rta_qps, r.esp_eps);
     }
   }
-  std::printf("\nExpected shape: bucket size has minor impact (>=32); more "
-              "partitions than cores degrades both sides (thread "
-              "thrashing, paper §5.2).\n");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\nhost cores: %u. On a single-core host pool_threads > 0 "
+              "measures morsel-board coordination overhead, not speedup; "
+              "cooperative-execution correctness is test-verified "
+              "(scan_pool_test, scan_pool_stress_test).\n",
+              cores);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    AIM_CHECK_MSG(f != nullptr, "cannot open --json path");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_partitions_scan_sweep\",\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+    std::fprintf(f, "  \"build_type\": \"%s\",\n", BuildType());
+    std::fprintf(f,
+                 "  \"scale\": {\"entities\": %llu, \"partitions\": 2, "
+                 "\"bucket_size\": 256, \"seconds\": %g, \"target_eps\": "
+                 "%g, \"clients\": 4},\n",
+                 static_cast<unsigned long long>(entities), seconds,
+                 target_eps);
+    std::fprintf(f, "  \"host_cores\": %u,\n", cores);
+    std::fprintf(f, "  \"max_simd_tier\": \"%s\",\n",
+                 simd::SimdLevelName(max_tier));
+    std::fprintf(f,
+                 "  \"caveat\": \"single-core hosts timeshare pool workers "
+                 "with the coordinator and the ESP thread, so pool_threads "
+                 "> 0 rows measure morsel-board coordination overhead, not "
+                 "parallel speedup; cooperative execution is "
+                 "correctness-verified by scan_pool_test and "
+                 "scan_pool_stress_test, and the scaling claim needs "
+                 "host_cores > 2\",\n");
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const ScanPoint& p = sweep[i];
+      std::fprintf(f,
+                   "    {\"tier\": \"%s\", \"pool_threads\": %u, "
+                   "\"morsel_buckets\": %u, \"rta_mean_ms\": %.3f, "
+                   "\"rta_p99_ms\": %.3f, \"rta_qps\": %.1f, "
+                   "\"esp_eps\": %.0f}%s\n",
+                   simd::SimdLevelName(p.tier), p.pool_threads,
+                   p.morsel_buckets, p.rta_mean_ms, p.rta_p99_ms, p.rta_qps,
+                   p.esp_eps, i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
   return 0;
 }

@@ -1,10 +1,17 @@
 // bench_simd — paper §4.7.1 ablation: SIMD versus scalar scan kernels
-// (filter and masked aggregation) at the default bucket size. The paper's
-// motivation for ColumnMap is precisely that these kernels need contiguous
-// column data; the expected shape is a multi-x win for AVX2 on 4-byte
-// columns.
+// (filter and masked aggregation) at the default bucket size, swept across
+// every dispatch tier the host supports (scalar / AVX2 / AVX-512 via
+// simd::SetLevel). The paper's motivation for ColumnMap is precisely that
+// these kernels need contiguous column data; the expected shape is a
+// multi-x win per ISA generation on 4-byte columns.
+//
+// Each benchmark takes the tier as its range argument (0 = scalar,
+// 1 = AVX2, 2 = AVX-512); unsupported tiers are skipped at run time, so
+// the same binary sweeps whatever the host offers. `--json=PATH` emits
+// google-benchmark's JSON report (custom main below).
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -32,7 +39,31 @@ std::vector<std::uint8_t> MakeColumn(ValueType type, std::uint32_t n) {
   return col;
 }
 
-void BM_FilterI32_Simd(benchmark::State& state) {
+/// Pins the dispatch tier for one benchmark run; restores on destruction so
+/// tiers do not leak across benchmarks. Returns false (after SkipWithError)
+/// when the host cannot run the requested tier.
+class TierGuard {
+ public:
+  explicit TierGuard(benchmark::State& state)
+      : prev_(simd::ActiveLevel()) {
+    const auto want = static_cast<simd::SimdLevel>(state.range(0));
+    if (simd::SetLevel(want) != want) {
+      state.SkipWithError("tier unsupported on this host");
+      ok_ = false;
+    }
+    state.SetLabel(simd::SimdLevelName(want));
+  }
+  ~TierGuard() { simd::SetLevel(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  simd::SimdLevel prev_;
+  bool ok_ = true;
+};
+
+void BM_FilterI32(benchmark::State& state) {
+  TierGuard tier(state);
+  if (!tier.ok()) return;
   const auto col = MakeColumn(ValueType::kInt32, kBucket);
   std::vector<std::uint8_t> mask(kBucket);
   for (auto _ : state) {
@@ -42,22 +73,11 @@ void BM_FilterI32_Simd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kBucket);
 }
-BENCHMARK(BM_FilterI32_Simd);
+BENCHMARK(BM_FilterI32)->DenseRange(0, 2);
 
-void BM_FilterI32_Scalar(benchmark::State& state) {
-  const auto col = MakeColumn(ValueType::kInt32, kBucket);
-  std::vector<std::uint8_t> mask(kBucket);
-  for (auto _ : state) {
-    simd::FilterColumnScalar(ValueType::kInt32, col.data(), kBucket,
-                             CmpOp::kGt, Value::Int32(50), mask.data(),
-                             false);
-    benchmark::DoNotOptimize(mask.data());
-  }
-  state.SetItemsProcessed(state.iterations() * kBucket);
-}
-BENCHMARK(BM_FilterI32_Scalar);
-
-void BM_FilterF32_Simd(benchmark::State& state) {
+void BM_FilterF32(benchmark::State& state) {
+  TierGuard tier(state);
+  if (!tier.ok()) return;
   const auto col = MakeColumn(ValueType::kFloat, kBucket);
   std::vector<std::uint8_t> mask(kBucket);
   for (auto _ : state) {
@@ -67,22 +87,11 @@ void BM_FilterF32_Simd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kBucket);
 }
-BENCHMARK(BM_FilterF32_Simd);
+BENCHMARK(BM_FilterF32)->DenseRange(0, 2);
 
-void BM_FilterF32_Scalar(benchmark::State& state) {
-  const auto col = MakeColumn(ValueType::kFloat, kBucket);
-  std::vector<std::uint8_t> mask(kBucket);
-  for (auto _ : state) {
-    simd::FilterColumnScalar(ValueType::kFloat, col.data(), kBucket,
-                             CmpOp::kLt, Value::Float(42.0f), mask.data(),
-                             false);
-    benchmark::DoNotOptimize(mask.data());
-  }
-  state.SetItemsProcessed(state.iterations() * kBucket);
-}
-BENCHMARK(BM_FilterF32_Scalar);
-
-void BM_MaskedAggF32_Simd(benchmark::State& state) {
+void BM_MaskedAggF32(benchmark::State& state) {
+  TierGuard tier(state);
+  if (!tier.ok()) return;
   const auto col = MakeColumn(ValueType::kFloat, kBucket);
   std::vector<std::uint8_t> mask(kBucket, 0xff);
   for (std::uint32_t i = 0; i < kBucket; i += 3) mask[i] = 0;
@@ -94,23 +103,11 @@ void BM_MaskedAggF32_Simd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kBucket);
 }
-BENCHMARK(BM_MaskedAggF32_Simd);
+BENCHMARK(BM_MaskedAggF32)->DenseRange(0, 2);
 
-void BM_MaskedAggF32_Scalar(benchmark::State& state) {
-  const auto col = MakeColumn(ValueType::kFloat, kBucket);
-  std::vector<std::uint8_t> mask(kBucket, 0xff);
-  for (std::uint32_t i = 0; i < kBucket; i += 3) mask[i] = 0;
-  for (auto _ : state) {
-    simd::AggAccum acc;
-    simd::MaskedAggregateScalar(ValueType::kFloat, col.data(), mask.data(),
-                                kBucket, &acc);
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * kBucket);
-}
-BENCHMARK(BM_MaskedAggF32_Scalar);
-
-void BM_MaskedAggI32_Simd(benchmark::State& state) {
+void BM_MaskedAggI32(benchmark::State& state) {
+  TierGuard tier(state);
+  if (!tier.ok()) return;
   const auto col = MakeColumn(ValueType::kInt32, kBucket);
   std::vector<std::uint8_t> mask(kBucket, 0xff);
   for (auto _ : state) {
@@ -121,20 +118,49 @@ void BM_MaskedAggI32_Simd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kBucket);
 }
-BENCHMARK(BM_MaskedAggI32_Simd);
+BENCHMARK(BM_MaskedAggI32)->DenseRange(0, 2);
 
-void BM_MaskedAggI32_Scalar(benchmark::State& state) {
-  const auto col = MakeColumn(ValueType::kInt32, kBucket);
-  std::vector<std::uint8_t> mask(kBucket, 0xff);
+void BM_CountMask(benchmark::State& state) {
+  TierGuard tier(state);
+  if (!tier.ok()) return;
+  std::vector<std::uint8_t> mask(kBucket);
+  Random rng(11);
+  for (auto& b : mask) b = rng.Uniform(2) ? 0xff : 0x00;
   for (auto _ : state) {
-    simd::AggAccum acc;
-    simd::MaskedAggregateScalar(ValueType::kInt32, col.data(), mask.data(),
-                                kBucket, &acc);
-    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(simd::CountMask(mask.data(), kBucket));
   }
   state.SetItemsProcessed(state.iterations() * kBucket);
 }
-BENCHMARK(BM_MaskedAggI32_Scalar);
+BENCHMARK(BM_CountMask)->DenseRange(0, 2);
 
 }  // namespace
 }  // namespace aim
+
+/// Custom main instead of benchmark_main: maps the repo-wide `--json=PATH`
+/// flag onto google-benchmark's JSON reporter so every bench binary shares
+/// one machine-readable output convention (see bench_common.h).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  constexpr char kJsonPrefix[] = "--json=";
+  constexpr char kJsonFormat[] = "--benchmark_out_format=json";
+  char format_flag[sizeof(kJsonFormat)];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strncmp(args[i], kJsonPrefix, sizeof(kJsonPrefix) - 1) == 0) {
+      out_flag = std::string("--benchmark_out=") +
+                 (args[i] + sizeof(kJsonPrefix) - 1);
+      std::memcpy(format_flag, kJsonFormat, sizeof(kJsonFormat));
+      args[i] = format_flag;
+      args.push_back(out_flag.data());
+      break;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -97,6 +97,21 @@ class Atomic {
   }
 
   // seq_cst: std::atomic signature parity; ordering is ignored (see above).
+  T fetch_sub(T delta, std::memory_order = std::memory_order_seq_cst) {
+    if (!InSimulation()) {
+      T old = value_;
+      value_ = static_cast<T>(value_ - delta);
+      DriverOpValue(id_, internal::ToBits(value_));
+      return old;
+    }
+    AtOpPoint(OpKind::kRmw, id_, internal::ToBits(delta));
+    T old = value_;
+    value_ = static_cast<T>(value_ - delta);
+    ReportValue(id_, internal::ToBits(value_));
+    return old;
+  }
+
+  // seq_cst: std::atomic signature parity; ordering is ignored (see above).
   T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
     if (!InSimulation()) {
       T old = value_;

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "aim/common/logging.h"
 #include "aim/common/status.h"
 #include "aim/rta/dimension.h"
 #include "aim/rta/partial_result.h"
@@ -17,13 +19,32 @@
 namespace aim {
 
 /// Reusable per-thread scan scratch (selection mask sized to bucket_size).
+/// The mask buffer is 64-byte aligned and its capacity is a multiple of 64:
+/// the SIMD filter kernels read/write the mask in full vector registers
+/// (up to 64 mask bytes per AVX-512 CountMask step), and cacheline-aligned
+/// scratch keeps each pool worker's mask traffic off its neighbors' lines.
 struct ScanScratch {
-  std::vector<std::uint8_t> mask;
-
   std::uint8_t* MaskFor(std::uint32_t n) {
-    if (mask.size() < n) mask.resize(n);
-    return mask.data();
+    if (capacity_ < n) {
+      const std::size_t cap = (n + 63u) & ~std::size_t{63};
+      mask_.reset(static_cast<std::uint8_t*>(
+          ::operator new(cap, std::align_val_t{64})));
+      capacity_ = cap;
+      AIM_DCHECK(reinterpret_cast<std::uintptr_t>(mask_.get()) % 64 == 0);
+    }
+    return mask_.get();
   }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::uint8_t* p) const {
+      ::operator delete(p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<std::uint8_t[], AlignedDelete> mask_;
+  std::size_t capacity_ = 0;
 };
 
 /// A query compiled against a schema + dimension catalog, ready to consume

@@ -1,8 +1,6 @@
 #include "aim/rta/parallel_scan.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
+#include <utility>
 
 namespace aim {
 
@@ -13,78 +11,26 @@ StatusOr<std::vector<PartialResult>> ParallelSharedScan::Execute(
   if (options.num_threads == 0 || options.chunk_buckets == 0) {
     return Status::InvalidArgument("bad parallel scan options");
   }
-  const std::uint32_t num_buckets = main.num_buckets();
-  const std::uint32_t num_chunks =
-      (num_buckets + options.chunk_buckets - 1) / options.chunk_buckets;
 
-  std::atomic<std::uint32_t> cursor{0};
-  // partials[worker][query]
-  std::vector<std::vector<PartialResult>> partials(options.num_threads);
-  std::vector<std::uint32_t> chunk_counts(options.num_threads, 0);
-  std::atomic<bool> compile_failed{false};
-
-  auto worker_fn = [&](std::uint32_t worker) {
-    // Every worker compiles its own batch copy (compiled queries carry
-    // mutable execution state).
-    std::vector<CompiledQuery> compiled;
-    compiled.reserve(batch.size());
-    for (const Query& q : batch) {
-      StatusOr<CompiledQuery> cq = CompiledQuery::Compile(q, schema, dims);
-      if (!cq.ok()) {
-        compile_failed.store(true, std::memory_order_release);
-        return;
-      }
-      compiled.push_back(std::move(cq).value());
+  std::vector<CompiledQuery> prototype;
+  prototype.reserve(batch.size());
+  for (const Query& q : batch) {
+    StatusOr<CompiledQuery> cq = CompiledQuery::Compile(q, schema, dims);
+    if (!cq.ok()) {
+      return Status::InvalidArgument("query failed to compile");
     }
-    ScanScratch scratch;
-    while (true) {
-      // relaxed: the ticket value alone partitions the work; workers read
-      // only immutable scan inputs, published before thread start.
-      const std::uint32_t chunk =
-          cursor.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= num_chunks) break;
-      chunk_counts[worker]++;
-      const std::uint32_t first = chunk * options.chunk_buckets;
-      const std::uint32_t last =
-          std::min(first + options.chunk_buckets, num_buckets);
-      for (std::uint32_t b = first; b < last; ++b) {
-        const ColumnMap::BucketRef bucket = main.bucket(b);
-        for (CompiledQuery& cq : compiled) {
-          cq.ProcessBucket(main, bucket, &scratch);
-        }
-      }
-    }
-    partials[worker].reserve(compiled.size());
-    for (CompiledQuery& cq : compiled) {
-      partials[worker].push_back(cq.TakePartial());
-    }
-  };
-
-  std::vector<std::thread> threads;
-  for (std::uint32_t w = 1; w < options.num_threads; ++w) {
-    threads.emplace_back(worker_fn, w);
-  }
-  worker_fn(0);  // the calling thread participates
-  for (std::thread& t : threads) t.join();
-
-  if (compile_failed.load(std::memory_order_acquire)) {
-    return Status::InvalidArgument("query failed to compile");
+    prototype.push_back(std::move(cq).value());
   }
 
-  std::vector<PartialResult> merged(batch.size());
-  for (std::size_t q = 0; q < batch.size(); ++q) {
-    bool first = true;
-    for (std::uint32_t w = 0; w < options.num_threads; ++w) {
-      if (partials[w].size() <= q) continue;  // worker bailed early
-      if (first) {
-        merged[q] = std::move(partials[w][q]);
-        first = false;
-      } else {
-        merged[q].MergeFrom(partials[w][q], batch[q]);
-      }
-    }
-  }
-  if (chunks_per_worker != nullptr) *chunks_per_worker = chunk_counts;
+  ScanPool* pool = options.pool != nullptr ? options.pool : ScanPool::Shared();
+  ScanPool::ScanOptions scan_options;
+  scan_options.morsel_buckets = options.chunk_buckets;
+
+  std::vector<PartialResult> merged;
+  const ScanPool::ScanStats stats =
+      pool->ScanPartition(main, prototype, scan_options, &merged);
+
+  if (chunks_per_worker != nullptr) *chunks_per_worker = stats.per_executor;
   return merged;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "aim/rta/compiled_query.h"
+#include "aim/rta/scan_pool.h"
 
 namespace aim {
 
@@ -12,21 +13,28 @@ namespace aim {
 /// at scan start and idle threads continuously grab the next chunk — work
 /// stealing, which balances skewed loads at the cost of chunk management.
 ///
-/// Executes a query batch over one ColumnMap with `num_threads` workers
-/// pulling `chunk_buckets`-sized bucket ranges from a shared cursor. Each
-/// worker runs its own compiled copy of the batch; per-query partials are
-/// merged at the end (the same merge path node-level partials use).
+/// A thin client of ScanPool: the batch is compiled once, the scan is
+/// submitted as one pool job with `chunk_buckets`-sized morsels, and the
+/// calling thread coordinates (participates in the scan, merges the
+/// per-executor partials). Repeated Execute calls create no threads — the
+/// pool's workers are persistent (regression-tested by
+/// tests/parallel_scan_test.cc's thread-count probe).
 class ParallelSharedScan {
  public:
   struct Options {
+    /// Kept for interface compatibility as a concurrency *hint*: must be
+    /// non-zero (validation), but actual parallelism is the pool's worker
+    /// count + the calling thread.
     std::uint32_t num_threads = 2;
-    std::uint32_t chunk_buckets = 1;  // chunk granularity
+    std::uint32_t chunk_buckets = 1;  // chunk (morsel) granularity
+    /// Pool to run on; null uses the process-wide ScanPool::Shared().
+    ScanPool* pool = nullptr;
   };
 
-  /// Returns one merged PartialResult per query (empty partials for
-  /// queries that fail to compile). `chunks_per_worker`, if non-null, is
-  /// filled with how many chunks each worker processed — the
-  /// load-balancing evidence the §3.2 discussion is about.
+  /// Returns one merged PartialResult per query. `chunks_per_worker`, if
+  /// non-null, is filled with how many chunks each executor processed
+  /// (pool workers first, calling thread last) — the load-balancing
+  /// evidence the §3.2 discussion is about.
   static StatusOr<std::vector<PartialResult>> Execute(
       const ColumnMap& main, const Schema* schema,
       const DimensionCatalog* dims, const std::vector<Query>& batch,

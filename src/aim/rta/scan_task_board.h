@@ -1,0 +1,193 @@
+#ifndef AIM_RTA_SCAN_TASK_BOARD_H_
+#define AIM_RTA_SCAN_TASK_BOARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "aim/common/annotated_mutex.h"
+#include "aim/common/sync_provider.h"
+
+namespace aim {
+
+/// Work-distribution protocol of the scan pool (paper §3.2 morsel-driven
+/// style): tasks are morsels of a *job* (one partition's scan step), dealt
+/// round-robin onto per-worker deques; a worker pops its own deque from the
+/// front and, when empty, steals from the back of the fullest victim —
+/// owner and thief touch opposite ends, so a steal rarely collides with the
+/// hot end of the deque. A job's completion is tracked by a countdown
+/// ticket the submitting coordinator waits on; the pool stays up across
+/// jobs (ScanPool is node-wide and persistent), only tickets come and go.
+///
+/// One mutex guards every deque. That is deliberate: the unit of work is a
+/// morsel of several buckets (microseconds of scanning per acquire), so the
+/// board is traversed a few hundred times per scan cycle, not millions —
+/// lock-free Chase-Lev deques would buy nothing measurable here and cost
+/// the exhaustive model-checking story (tests/mc/scan_pool_mc_test.cc runs
+/// this exact class under the checker via the P parameter, like MpscQueue).
+///
+/// Completion signaling follows the MpscQueue notify-under-lock rule: the
+/// final CompleteTask notifies done_cv_ while holding mu_, so a coordinator
+/// that wakes in AwaitJob and immediately destroys its job/ticket cannot
+/// free state the notifier is still touching.
+///
+/// Condvar waits are explicit predicate loops, not wait(lock, pred)
+/// lambdas, for the same thread-safety-analysis reason as MpscQueue.
+template <typename P = RealSyncProvider>
+class ScanTaskBoard {
+ public:
+  /// Per-job countdown. `remaining` is armed by Distribute before any task
+  /// is published and hits zero exactly when every task of the job has been
+  /// Complete()d. `owner` carries the job context pointer for the executor.
+  struct JobTicket {
+    typename P::template Atomic<std::uint32_t> remaining{0};
+    void* owner = nullptr;
+  };
+
+  /// One morsel: `seq` indexes the morsel within its job (the executor maps
+  /// it to a bucket range).
+  struct Task {
+    JobTicket* job = nullptr;
+    std::uint32_t seq = 0;
+  };
+
+  explicit ScanTaskBoard(std::size_t num_workers)
+      : deques_(num_workers == 0 ? 1 : num_workers) {}
+
+  ScanTaskBoard(const ScanTaskBoard&) = delete;
+  ScanTaskBoard& operator=(const ScanTaskBoard&) = delete;
+
+  std::size_t num_queues() const { return deques_.size(); }
+
+  /// Publishes `num_tasks` morsels of `job`, dealt round-robin across the
+  /// worker deques starting at `job->owner`-independent position 0. The
+  /// ticket is armed before the first task becomes visible, so a worker
+  /// can never complete a task of a ticket that still reads zero.
+  void Distribute(JobTicket* job, std::uint32_t num_tasks) {
+    // relaxed: armed before the tasks are published; the mutex release
+    // below is what makes the tasks (and this store) visible to workers.
+    job->remaining.store(num_tasks, std::memory_order_relaxed);
+    if (num_tasks == 0) return;
+    typename P::UniqueLock lock(mu_);
+    for (std::uint32_t seq = 0; seq < num_tasks; ++seq) {
+      deques_[seq % deques_.size()].push_back(Task{job, seq});
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Blocking acquire for pool workers. Pops the front of the worker's own
+  /// deque; if empty, steals from the back of the fullest other deque
+  /// (incrementing `*stolen` if non-null); otherwise waits. Returns false
+  /// only once the board is stopped and empty.
+  bool AcquireTask(std::size_t worker, Task* out, std::uint64_t* stolen) {
+    typename P::UniqueLock lock(mu_);
+    for (;;) {
+      if (PopLocked(worker, out, stolen)) return true;
+      if (stopped_) return false;
+      work_cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking acquire restricted to tasks of `job`. Lets the submitting
+  /// coordinator burn down its own job instead of idling in AwaitJob — and
+  /// is the whole pool when the pool has zero workers. Scans every deque
+  /// (coordinators have no own deque); returns false when no task of `job`
+  /// is queued, which does NOT mean the job is done — workers may still be
+  /// executing acquired tasks.
+  bool AcquireJobTask(JobTicket* job, Task* out) {
+    typename P::UniqueLock lock(mu_);
+    for (auto& dq : deques_) {
+      for (auto it = dq.begin(); it != dq.end(); ++it) {
+        if (it->job == job) {
+          *out = *it;
+          dq.erase(it);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Marks one task of `job` finished. The executor calls this after the
+  /// morsel's results are written to its context. When the final task
+  /// completes, waiters in AwaitJob are notified under mu_ (see header
+  /// comment for why under the lock).
+  void CompleteTask(JobTicket* job) {
+    // release: pairs with the acquire load in AwaitJob — every context
+    // write an executor made before CompleteTask happens-before the
+    // coordinator's merge. The RMW release sequence extends this to all
+    // executors, whichever one finishes last.
+    if (job->remaining.fetch_sub(1, std::memory_order_release) == 1) {
+      typename P::UniqueLock lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  /// Blocks until every task of `job` has completed. No lost wakeup: the
+  /// final CompleteTask notifies while holding mu_, so the counter cannot
+  /// drop to zero between this predicate check and the wait.
+  void AwaitJob(JobTicket* job) {
+    typename P::UniqueLock lock(mu_);
+    // acquire: pairs with the release fetch_sub in CompleteTask (see there).
+    while (job->remaining.load(std::memory_order_acquire) != 0) {
+      done_cv_.wait(lock);
+    }
+  }
+
+  /// True once every task of `job` has completed (coordinator fast path).
+  bool JobDone(JobTicket* job) const {
+    // acquire: pairs with the release fetch_sub in CompleteTask.
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Wakes all workers and makes AcquireTask return false once the board
+  /// drains. Idempotent. The pool joins its workers after this.
+  void Stop() {
+    typename P::UniqueLock lock(mu_);
+    stopped_ = true;
+    work_cv_.notify_all();
+  }
+
+  std::size_t queued() const {
+    typename P::UniqueLock lock(mu_);
+    std::size_t n = 0;
+    for (const auto& dq : deques_) n += dq.size();
+    return n;
+  }
+
+ private:
+  /// Own-front pop, then biggest-victim back steal. Caller holds mu_.
+  bool PopLocked(std::size_t worker, Task* out, std::uint64_t* stolen)
+      AIM_REQUIRES(mu_) {
+    auto& own = deques_[worker];
+    if (!own.empty()) {
+      *out = own.front();
+      own.pop_front();
+      return true;
+    }
+    std::size_t victim = deques_.size();
+    std::size_t victim_size = 0;
+    for (std::size_t q = 0; q < deques_.size(); ++q) {
+      if (q != worker && deques_[q].size() > victim_size) {
+        victim = q;
+        victim_size = deques_[q].size();
+      }
+    }
+    if (victim == deques_.size()) return false;
+    *out = deques_[victim].back();
+    deques_[victim].pop_back();
+    if (stolen != nullptr) ++*stolen;
+    return true;
+  }
+
+  mutable typename P::Mutex mu_;
+  typename P::CondVar work_cv_;
+  typename P::CondVar done_cv_;
+  std::vector<std::deque<Task>> deques_ AIM_GUARDED_BY(mu_);
+  bool stopped_ AIM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace aim
+
+#endif  // AIM_RTA_SCAN_TASK_BOARD_H_

@@ -1,356 +1,139 @@
 #include "aim/rta/simd.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#define AIM_HAVE_AVX2 1
-#else
-#define AIM_HAVE_AVX2 0
-#endif
+#include "aim/rta/simd_internal.h"
 
 namespace aim {
 namespace simd {
 
-bool HasAvx2() { return AIM_HAVE_AVX2 != 0; }
+using internal::KernelTable;
+using internal::TypeIndex;
 
-namespace {
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
 
-// ---------------------------------------------------------------------------
-// Scalar building blocks.
-// ---------------------------------------------------------------------------
-
-template <typename T>
-inline bool CmpScalar(CmpOp op, T lhs, T rhs) {
-  switch (op) {
-    case CmpOp::kLt:
-      return lhs < rhs;
-    case CmpOp::kLe:
-      return lhs <= rhs;
-    case CmpOp::kGt:
-      return lhs > rhs;
-    case CmpOp::kGe:
-      return lhs >= rhs;
-    case CmpOp::kEq:
-      return lhs == rhs;
-    case CmpOp::kNe:
-      return lhs != rhs;
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+    return true;
   }
   return false;
 }
 
-template <typename T>
-void FilterScalarT(const T* col, std::uint32_t count, CmpOp op, T constant,
-                   std::uint8_t* mask, bool combine_and) {
-  if (combine_and) {
-    for (std::uint32_t i = 0; i < count; ++i) {
-      mask[i] &= CmpScalar(op, col[i], constant) ? 0xffu : 0u;
-    }
-  } else {
-    for (std::uint32_t i = 0; i < count; ++i) {
-      mask[i] = CmpScalar(op, col[i], constant) ? 0xffu : 0u;
-    }
+namespace {
+
+SimdLevel DetectMaxLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // A tier counts only when its kernels are compiled in AND the CPU can run
+  // them; the AVX-512 tier needs the full F+BW+DQ+VL set its TU is built
+  // with (BW/VL for the mask<->byte moves, DQ for 64-bit compares).
+  if (internal::Avx512Kernels() != nullptr &&
+      __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdLevel::kAvx512;
   }
-}
-
-template <typename T>
-void MaskedAggScalarT(const T* col, const std::uint8_t* mask,
-                      std::uint32_t count, AggAccum* acc) {
-  double sum = 0.0;
-  double mn = acc->min;
-  double mx = acc->max;
-  std::int64_t n = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (mask[i] == 0) continue;
-    const double v = static_cast<double>(col[i]);
-    sum += v;
-    if (v < mn) mn = v;
-    if (v > mx) mx = v;
-    ++n;
+  if (internal::Avx2Kernels() != nullptr && __builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
   }
-  acc->sum += sum;
-  acc->min = mn;
-  acc->max = mx;
-  acc->count += n;
+#endif
+  return SimdLevel::kScalar;
 }
 
-template <typename T>
-T ConstantAs(const Value& v);
-
-template <>
-std::int32_t ConstantAs<std::int32_t>(const Value& v) {
-  return static_cast<std::int32_t>(v.AsInt64());
-}
-template <>
-std::uint32_t ConstantAs<std::uint32_t>(const Value& v) {
-  return static_cast<std::uint32_t>(v.AsInt64());
-}
-template <>
-std::int64_t ConstantAs<std::int64_t>(const Value& v) {
-  return v.AsInt64();
-}
-template <>
-std::uint64_t ConstantAs<std::uint64_t>(const Value& v) {
-  return static_cast<std::uint64_t>(v.AsInt64());
-}
-template <>
-float ConstantAs<float>(const Value& v) {
-  return static_cast<float>(v.AsDouble());
-}
-template <>
-double ConstantAs<double>(const Value& v) {
-  return v.AsDouble();
+SimdLevel ClampToSupported(SimdLevel level, SimdLevel max) {
+  return static_cast<int>(level) > static_cast<int>(max) ? max : level;
 }
 
-#if AIM_HAVE_AVX2
-
-// ---------------------------------------------------------------------------
-// AVX2 paths. Comparisons produce per-lane masks; _mm256_movemask_* distills
-// them into one bit per lane, which a 256-entry lookup table expands into
-// the byte mask (8 lanes -> one u64 write).
-// ---------------------------------------------------------------------------
-
-struct ByteExpandLut {
-  std::uint64_t v[256];
-  constexpr ByteExpandLut() : v() {
-    for (int b = 0; b < 256; ++b) {
-      std::uint64_t x = 0;
-      for (int i = 0; i < 8; ++i) {
-        if (b & (1 << i)) x |= 0xffULL << (8 * i);
-      }
-      v[b] = x;
-    }
-  }
+struct LevelState {
+  SimdLevel max;
+  std::atomic<int> active;
 };
-constexpr ByteExpandLut kExpand{};
 
-inline void WriteMask8(std::uint8_t* dst, unsigned bits, bool combine_and) {
-  std::uint64_t expanded = kExpand.v[bits & 0xff];
-  if (combine_and) {
-    std::uint64_t cur;
-    std::memcpy(&cur, dst, 8);
-    expanded &= cur;
-  }
-  std::memcpy(dst, &expanded, 8);
-}
-
-/// i32 comparison via cmpgt/cmpeq composition. Returns movemask bits (one
-/// per 32-bit lane, 8 lanes).
-inline unsigned CmpMaskI32(__m256i data, __m256i cnst, CmpOp op) {
-  __m256i m = _mm256_setzero_si256();
-  switch (op) {
-    case CmpOp::kLt:
-      m = _mm256_cmpgt_epi32(cnst, data);
-      break;
-    case CmpOp::kLe:
-      m = _mm256_cmpgt_epi32(data, cnst);
-      return ~static_cast<unsigned>(_mm256_movemask_ps(
-                 _mm256_castsi256_ps(m))) &
-             0xffu;
-    case CmpOp::kGt:
-      m = _mm256_cmpgt_epi32(data, cnst);
-      break;
-    case CmpOp::kGe:
-      m = _mm256_cmpgt_epi32(cnst, data);
-      return ~static_cast<unsigned>(_mm256_movemask_ps(
-                 _mm256_castsi256_ps(m))) &
-             0xffu;
-    case CmpOp::kEq:
-      m = _mm256_cmpeq_epi32(data, cnst);
-      break;
-    case CmpOp::kNe:
-      m = _mm256_cmpeq_epi32(data, cnst);
-      return ~static_cast<unsigned>(_mm256_movemask_ps(
-                 _mm256_castsi256_ps(m))) &
-             0xffu;
-  }
-  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
-}
-
-void FilterI32Avx2(const std::int32_t* col, std::uint32_t count, CmpOp op,
-                   std::int32_t constant, std::uint8_t* mask,
-                   bool combine_and) {
-  const __m256i cnst = _mm256_set1_epi32(constant);
-  std::uint32_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    __m256i data =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
-    WriteMask8(mask + i, CmpMaskI32(data, cnst, op), combine_and);
-  }
-  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
-}
-
-/// u32: bias by 0x80000000 to reuse signed compares.
-void FilterU32Avx2(const std::uint32_t* col, std::uint32_t count, CmpOp op,
-                   std::uint32_t constant, std::uint8_t* mask,
-                   bool combine_and) {
-  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
-  const __m256i cnst = _mm256_xor_si256(
-      _mm256_set1_epi32(static_cast<int>(constant)), bias);
-  std::uint32_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    __m256i data = _mm256_xor_si256(
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i)), bias);
-    WriteMask8(mask + i, CmpMaskI32(data, cnst, op), combine_and);
-  }
-  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
-}
-
-inline unsigned CmpMaskF32(__m256 data, __m256 cnst, CmpOp op) {
-  __m256 m;
-  switch (op) {
-    case CmpOp::kLt:
-      m = _mm256_cmp_ps(data, cnst, _CMP_LT_OQ);
-      break;
-    case CmpOp::kLe:
-      m = _mm256_cmp_ps(data, cnst, _CMP_LE_OQ);
-      break;
-    case CmpOp::kGt:
-      m = _mm256_cmp_ps(data, cnst, _CMP_GT_OQ);
-      break;
-    case CmpOp::kGe:
-      m = _mm256_cmp_ps(data, cnst, _CMP_GE_OQ);
-      break;
-    case CmpOp::kEq:
-      m = _mm256_cmp_ps(data, cnst, _CMP_EQ_OQ);
-      break;
-    case CmpOp::kNe:
-      m = _mm256_cmp_ps(data, cnst, _CMP_NEQ_UQ);
-      break;
-    default:
-      m = _mm256_setzero_ps();
-  }
-  return static_cast<unsigned>(_mm256_movemask_ps(m));
-}
-
-void FilterF32Avx2(const float* col, std::uint32_t count, CmpOp op,
-                   float constant, std::uint8_t* mask, bool combine_and) {
-  const __m256 cnst = _mm256_set1_ps(constant);
-  std::uint32_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    __m256 data = _mm256_loadu_ps(col + i);
-    WriteMask8(mask + i, CmpMaskF32(data, cnst, op), combine_and);
-  }
-  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
-}
-
-/// Masked f32 aggregation: expand 8 mask bytes to 32-bit lanes, AND with the
-/// data (masked-out lanes become +0.0f for the sum) and blend +/-inf for
-/// min/max.
-void MaskedAggF32Avx2(const float* col, const std::uint8_t* mask,
-                      std::uint32_t count, AggAccum* acc) {
-  __m256 vsum = _mm256_setzero_ps();
-  __m256 vmin = _mm256_set1_ps(std::numeric_limits<float>::infinity());
-  __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
-  __m256i vcount = _mm256_setzero_si256();
-  const __m256i ones = _mm256_set1_epi32(1);
-
-  std::uint32_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    // Sign-extending 0xff bytes yields 0xffffffff lanes: already a full
-    // 32-bit lane mask.
-    __m256i lane = _mm256_cvtepi8_epi32(
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + i)));
-    __m256 lanef = _mm256_castsi256_ps(lane);
-
-    __m256 data = _mm256_loadu_ps(col + i);
-    vsum = _mm256_add_ps(vsum, _mm256_and_ps(data, lanef));
-    vmin = _mm256_min_ps(vmin, _mm256_blendv_ps(
-                                   _mm256_set1_ps(
-                                       std::numeric_limits<float>::infinity()),
-                                   data, lanef));
-    vmax = _mm256_max_ps(
-        vmax, _mm256_blendv_ps(
-                  _mm256_set1_ps(-std::numeric_limits<float>::infinity()),
-                  data, lanef));
-    vcount = _mm256_add_epi32(vcount, _mm256_and_si256(ones, lane));
-  }
-
-  alignas(32) float tmp[8];
-  alignas(32) std::int32_t tmpi[8];
-  _mm256_store_ps(tmp, vsum);
-  for (int k = 0; k < 8; ++k) acc->sum += tmp[k];
-  _mm256_store_ps(tmp, vmin);
-  for (int k = 0; k < 8; ++k) {
-    if (tmp[k] < acc->min) acc->min = tmp[k];
-  }
-  _mm256_store_ps(tmp, vmax);
-  for (int k = 0; k < 8; ++k) {
-    if (tmp[k] > acc->max) acc->max = tmp[k];
-  }
-  _mm256_store_si256(reinterpret_cast<__m256i*>(tmpi), vcount);
-  for (int k = 0; k < 8; ++k) acc->count += tmpi[k];
-
-  MaskedAggScalarT(col + i, mask + i, count - i, acc);
-}
-
-/// Masked i32 aggregation: widen selected lanes, accumulate in i64 pairs
-/// for the sum; min/max via blends with sentinels.
-void MaskedAggI32Avx2(const std::int32_t* col, const std::uint8_t* mask,
-                      std::uint32_t count, AggAccum* acc) {
-  __m256i vsum = _mm256_setzero_si256();  // 4 x i64 partial sums
-  __m256i vmin = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
-  __m256i vmax = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::min());
-  __m256i vcount = _mm256_setzero_si256();
-  const __m256i ones = _mm256_set1_epi32(1);
-
-  std::uint32_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    __m256i lane = _mm256_cvtepi8_epi32(
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + i)));
-
-    __m256i data =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
-    __m256i masked = _mm256_and_si256(data, lane);
-    // Widen the two 128-bit halves to i64 and accumulate.
-    vsum = _mm256_add_epi64(
-        vsum, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(masked)));
-    vsum = _mm256_add_epi64(
-        vsum, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(masked, 1)));
-
-    vmin = _mm256_min_epi32(
-        vmin, _mm256_blendv_epi8(
-                  _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max()),
-                  data, lane));
-    vmax = _mm256_max_epi32(
-        vmax, _mm256_blendv_epi8(
-                  _mm256_set1_epi32(std::numeric_limits<std::int32_t>::min()),
-                  data, lane));
-    vcount = _mm256_add_epi32(vcount, _mm256_and_si256(ones, lane));
-  }
-
-  alignas(32) std::int64_t tmp64[4];
-  alignas(32) std::int32_t tmp32[8];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp64), vsum);
-  for (int k = 0; k < 4; ++k) acc->sum += static_cast<double>(tmp64[k]);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vcount);
-  std::int64_t selected = 0;
-  for (int k = 0; k < 8; ++k) selected += tmp32[k];
-  acc->count += selected;
-  if (selected > 0) {
-    // With at least one selected element the INT32_MAX/MIN sentinels of
-    // unselected lanes cannot distort the result; with zero we must not
-    // fold them at all.
-    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vmin);
-    for (int k = 0; k < 8; ++k) {
-      if (static_cast<double>(tmp32[k]) < acc->min) acc->min = tmp32[k];
+LevelState& State() {
+  static LevelState state = [] {
+    const SimdLevel max = DetectMaxLevel();
+    SimdLevel active = max;
+    if (const char* env = std::getenv("AIM_SIMD_LEVEL")) {
+      SimdLevel requested;
+      if (ParseSimdLevel(env, &requested)) {
+        active = ClampToSupported(requested, max);
+      } else {
+        std::fprintf(stderr,
+                     "AIM_SIMD_LEVEL=%s not recognized "
+                     "(scalar|avx2|avx512); using %s\n",
+                     env, SimdLevelName(active));
+      }
     }
-    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vmax);
-    for (int k = 0; k < 8; ++k) {
-      if (static_cast<double>(tmp32[k]) > acc->max) acc->max = tmp32[k];
-    }
-  }
-
-  MaskedAggScalarT(col + i, mask + i, count - i, acc);
+    return LevelState{max, {static_cast<int>(active)}};
+  }();
+  return state;
 }
-
-#endif  // AIM_HAVE_AVX2
 
 }  // namespace
+
+SimdLevel MaxSupportedLevel() { return State().max; }
+
+SimdLevel ActiveLevel() {
+  // relaxed: the level is configuration, not synchronization — kernels
+  // reached through any tier read only immutable tables and caller data.
+  return static_cast<SimdLevel>(State().active.load(std::memory_order_relaxed));
+}
+
+SimdLevel SetLevel(SimdLevel level) {
+  LevelState& s = State();
+  const SimdLevel clamped = ClampToSupported(level, s.max);
+  // relaxed: see ActiveLevel.
+  s.active.store(static_cast<int>(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+bool HasAvx2() { return ActiveLevel() >= SimdLevel::kAvx2; }
+bool HasAvx512() { return ActiveLevel() >= SimdLevel::kAvx512; }
+
+namespace internal {
+
+const KernelTable* ActiveTable() {
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx512:
+      return Avx512Kernels();
+    case SimdLevel::kAvx2:
+      return Avx2Kernels();
+    case SimdLevel::kScalar:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace internal
 
 void FilterColumnScalar(ValueType type, const std::uint8_t* column,
                         std::uint32_t count, CmpOp op, const Value& constant,
                         std::uint8_t* mask, bool combine_and) {
+  using internal::ConstantAs;
+  using internal::FilterScalarT;
   switch (type) {
     case ValueType::kInt32:
       FilterScalarT(reinterpret_cast<const std::int32_t*>(column), count, op,
@@ -382,24 +165,12 @@ void FilterColumnScalar(ValueType type, const std::uint8_t* column,
 void FilterColumn(ValueType type, const std::uint8_t* column,
                   std::uint32_t count, CmpOp op, const Value& constant,
                   std::uint8_t* mask, bool combine_and) {
-#if AIM_HAVE_AVX2
-  switch (type) {
-    case ValueType::kInt32:
-      FilterI32Avx2(reinterpret_cast<const std::int32_t*>(column), count, op,
-                    ConstantAs<std::int32_t>(constant), mask, combine_and);
+  if (const KernelTable* t = internal::ActiveTable()) {
+    if (internal::FilterFn fn = t->filter[TypeIndex(type)]) {
+      fn(column, count, op, constant, mask, combine_and);
       return;
-    case ValueType::kUInt32:
-      FilterU32Avx2(reinterpret_cast<const std::uint32_t*>(column), count, op,
-                    ConstantAs<std::uint32_t>(constant), mask, combine_and);
-      return;
-    case ValueType::kFloat:
-      FilterF32Avx2(reinterpret_cast<const float*>(column), count, op,
-                    ConstantAs<float>(constant), mask, combine_and);
-      return;
-    default:
-      break;  // 8-byte types: scalar below
+    }
   }
-#endif
   FilterColumnScalar(type, column, count, op, constant, mask, combine_and);
 }
 
@@ -409,6 +180,9 @@ void MaskOr(std::uint8_t* mask, const std::uint8_t* other,
 }
 
 std::uint32_t CountMask(const std::uint8_t* mask, std::uint32_t count) {
+  if (const KernelTable* t = internal::ActiveTable()) {
+    if (t->count_mask != nullptr) return t->count_mask(mask, count);
+  }
   std::uint32_t n = 0;
   std::uint32_t i = 0;
   // Byte mask values are 0x00/0xff: popcount of 8 bytes at once / 8 bits.
@@ -428,6 +202,7 @@ void FillMask(std::uint8_t* mask, std::uint32_t count) {
 void MaskedAggregateScalar(ValueType type, const std::uint8_t* column,
                            const std::uint8_t* mask, std::uint32_t count,
                            AggAccum* acc) {
+  using internal::MaskedAggScalarT;
   switch (type) {
     case ValueType::kInt32:
       MaskedAggScalarT(reinterpret_cast<const std::int32_t*>(column), mask,
@@ -459,20 +234,12 @@ void MaskedAggregateScalar(ValueType type, const std::uint8_t* column,
 void MaskedAggregate(ValueType type, const std::uint8_t* column,
                      const std::uint8_t* mask, std::uint32_t count,
                      AggAccum* acc) {
-#if AIM_HAVE_AVX2
-  switch (type) {
-    case ValueType::kInt32:
-      MaskedAggI32Avx2(reinterpret_cast<const std::int32_t*>(column), mask,
-                       count, acc);
+  if (const KernelTable* t = internal::ActiveTable()) {
+    if (internal::AggFn fn = t->agg[TypeIndex(type)]) {
+      fn(column, mask, count, acc);
       return;
-    case ValueType::kFloat:
-      MaskedAggF32Avx2(reinterpret_cast<const float*>(column), mask, count,
-                       acc);
-      return;
-    default:
-      break;
+    }
   }
-#endif
   MaskedAggregateScalar(type, column, mask, count, acc);
 }
 

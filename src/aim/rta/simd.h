@@ -14,13 +14,48 @@ namespace simd {
 /// (0xff = selected, 0x00 = filtered out) and masked aggregation over
 /// columns, the two building blocks of the shared scan.
 ///
-/// AVX2 paths cover the hot column types of the benchmark schema (int32 and
-/// float indicators, uint32 foreign keys); the remaining types use scalar
-/// loops. Every kernel has a *Scalar reference twin used for correctness
-/// tests and for the SIMD-vs-scalar ablation bench.
+/// The kernels come in three tiers — scalar, AVX2 and AVX-512 — selected at
+/// runtime through function-pointer tables. Each vector tier is compiled in
+/// its own translation unit with that tier's ISA flags (independent of the
+/// build's -march), so one binary carries every tier and picks the best the
+/// CPU supports by CPUID at startup. Every kernel has a *Scalar reference
+/// twin used for correctness tests and the SIMD-vs-scalar ablation bench;
+/// the vector tiers implement the scalar semantics exactly: bit-identical
+/// masks, NaN skipped by min/max, NaN propagated into the sum.
 
-/// True when the AVX2 paths are compiled in and used.
+/// Dispatch tiers, in strictly increasing capability order.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  // requires F+BW+DQ+VL (Skylake-SP and later)
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a level name (the AIM_SIMD_LEVEL spellings). Returns false and
+/// leaves `*out` untouched on an unknown name.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
+
+/// Highest tier that is both compiled into this binary and supported by
+/// the running CPU. Independent of any override.
+SimdLevel MaxSupportedLevel();
+
+/// The tier dispatch currently uses. Defaults to MaxSupportedLevel(),
+/// lowered by the AIM_SIMD_LEVEL environment variable if set (evaluated
+/// once, clamped to MaxSupportedLevel — the override can only select a
+/// tier the host can actually run).
+SimdLevel ActiveLevel();
+
+/// Forces the dispatch tier (clamped to MaxSupportedLevel()); returns the
+/// level now in effect. Test/bench hook for cross-tier parity checks; not
+/// intended to race in-flight scans (a racing scan would merely mix tiers,
+/// all of which produce identical masks).
+SimdLevel SetLevel(SimdLevel level);
+
+/// True when dispatch currently uses at least the AVX2 / AVX-512 tier.
 bool HasAvx2();
+bool HasAvx512();
 
 // ---------------------------------------------------------------------------
 // Filtering. If `combine_and` is true, the comparison result is ANDed into

@@ -1,0 +1,325 @@
+// AVX2 tier of the scan kernels. Compiled with -mavx2 regardless of the
+// build's -march (runtime dispatch guarantees it only runs on capable
+// CPUs); compiled out entirely under TSan (AIM_SIMD_DISABLE_TIERS), which
+// does not model all vector codegen.
+
+#include "aim/rta/simd_internal.h"
+
+#if !defined(AIM_SIMD_DISABLE_TIERS) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <limits>
+
+namespace aim {
+namespace simd {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Comparisons produce per-lane masks; _mm256_movemask_* distills them into
+// one bit per lane, which a 256-entry lookup table expands into the byte
+// mask (8 lanes -> one u64 write).
+// ---------------------------------------------------------------------------
+
+struct ByteExpandLut {
+  std::uint64_t v[256];
+  constexpr ByteExpandLut() : v() {
+    for (int b = 0; b < 256; ++b) {
+      std::uint64_t x = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (b & (1 << i)) x |= 0xffULL << (8 * i);
+      }
+      v[b] = x;
+    }
+  }
+};
+constexpr ByteExpandLut kExpand{};
+
+inline void WriteMask8(std::uint8_t* dst, unsigned bits, bool combine_and) {
+  std::uint64_t expanded = kExpand.v[bits & 0xff];
+  if (combine_and) {
+    std::uint64_t cur;
+    std::memcpy(&cur, dst, 8);
+    expanded &= cur;
+  }
+  std::memcpy(dst, &expanded, 8);
+}
+
+/// i32 comparison via cmpgt/cmpeq composition. Returns movemask bits (one
+/// per 32-bit lane, 8 lanes).
+inline unsigned CmpMaskI32(__m256i data, __m256i cnst, CmpOp op) {
+  __m256i m = _mm256_setzero_si256();
+  switch (op) {
+    case CmpOp::kLt:
+      m = _mm256_cmpgt_epi32(cnst, data);
+      break;
+    case CmpOp::kLe:
+      m = _mm256_cmpgt_epi32(data, cnst);
+      return ~static_cast<unsigned>(_mm256_movemask_ps(
+                 _mm256_castsi256_ps(m))) &
+             0xffu;
+    case CmpOp::kGt:
+      m = _mm256_cmpgt_epi32(data, cnst);
+      break;
+    case CmpOp::kGe:
+      m = _mm256_cmpgt_epi32(cnst, data);
+      return ~static_cast<unsigned>(_mm256_movemask_ps(
+                 _mm256_castsi256_ps(m))) &
+             0xffu;
+    case CmpOp::kEq:
+      m = _mm256_cmpeq_epi32(data, cnst);
+      break;
+    case CmpOp::kNe:
+      m = _mm256_cmpeq_epi32(data, cnst);
+      return ~static_cast<unsigned>(_mm256_movemask_ps(
+                 _mm256_castsi256_ps(m))) &
+             0xffu;
+  }
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+}
+
+void FilterI32Avx2(const std::int32_t* col, std::uint32_t count, CmpOp op,
+                   std::int32_t constant, std::uint8_t* mask,
+                   bool combine_and) {
+  const __m256i cnst = _mm256_set1_epi32(constant);
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i data =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    WriteMask8(mask + i, CmpMaskI32(data, cnst, op), combine_and);
+  }
+  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
+}
+
+/// u32: bias by 0x80000000 to reuse signed compares.
+void FilterU32Avx2(const std::uint32_t* col, std::uint32_t count, CmpOp op,
+                   std::uint32_t constant, std::uint8_t* mask,
+                   bool combine_and) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i cnst = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(constant)), bias);
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i data = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i)), bias);
+    WriteMask8(mask + i, CmpMaskI32(data, cnst, op), combine_and);
+  }
+  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
+}
+
+inline unsigned CmpMaskF32(__m256 data, __m256 cnst, CmpOp op) {
+  __m256 m;
+  switch (op) {
+    case CmpOp::kLt:
+      m = _mm256_cmp_ps(data, cnst, _CMP_LT_OQ);
+      break;
+    case CmpOp::kLe:
+      m = _mm256_cmp_ps(data, cnst, _CMP_LE_OQ);
+      break;
+    case CmpOp::kGt:
+      m = _mm256_cmp_ps(data, cnst, _CMP_GT_OQ);
+      break;
+    case CmpOp::kGe:
+      m = _mm256_cmp_ps(data, cnst, _CMP_GE_OQ);
+      break;
+    case CmpOp::kEq:
+      m = _mm256_cmp_ps(data, cnst, _CMP_EQ_OQ);
+      break;
+    case CmpOp::kNe:
+      m = _mm256_cmp_ps(data, cnst, _CMP_NEQ_UQ);
+      break;
+    default:
+      m = _mm256_setzero_ps();
+  }
+  return static_cast<unsigned>(_mm256_movemask_ps(m));
+}
+
+void FilterF32Avx2(const float* col, std::uint32_t count, CmpOp op,
+                   float constant, std::uint8_t* mask, bool combine_and) {
+  const __m256 cnst = _mm256_set1_ps(constant);
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256 data = _mm256_loadu_ps(col + i);
+    WriteMask8(mask + i, CmpMaskF32(data, cnst, op), combine_and);
+  }
+  FilterScalarT(col + i, count - i, op, constant, mask + i, combine_and);
+}
+
+/// Masked f32 aggregation: expand 8 mask bytes to 32-bit lanes, AND with the
+/// data (masked-out lanes become +0.0f for the sum) and blend +/-inf for
+/// min/max.
+void MaskedAggF32Avx2(const float* col, const std::uint8_t* mask,
+                      std::uint32_t count, AggAccum* acc) {
+  __m256 vsum = _mm256_setzero_ps();
+  __m256 vmin = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  __m256i vcount = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    // Sign-extending 0xff bytes yields 0xffffffff lanes: already a full
+    // 32-bit lane mask.
+    __m256i lane = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + i)));
+    __m256 lanef = _mm256_castsi256_ps(lane);
+
+    __m256 data = _mm256_loadu_ps(col + i);
+    vsum = _mm256_add_ps(vsum, _mm256_and_ps(data, lanef));
+    // min/max must skip NaN like the scalar reference (whose comparisons
+    // against NaN are all false). minps/maxps instead return their second
+    // operand on NaN, so a selected NaN would absorb the lane's running
+    // extremum; AND the selection with an ordered self-compare to drop NaN
+    // lanes from the min/max path (the sum still propagates NaN above).
+    __m256 lane_ord =
+        _mm256_and_ps(lanef, _mm256_cmp_ps(data, data, _CMP_ORD_Q));
+    vmin = _mm256_min_ps(vmin, _mm256_blendv_ps(
+                                   _mm256_set1_ps(
+                                       std::numeric_limits<float>::infinity()),
+                                   data, lane_ord));
+    vmax = _mm256_max_ps(
+        vmax, _mm256_blendv_ps(
+                  _mm256_set1_ps(-std::numeric_limits<float>::infinity()),
+                  data, lane_ord));
+    vcount = _mm256_add_epi32(vcount, _mm256_and_si256(ones, lane));
+  }
+
+  alignas(32) float tmp[8];
+  alignas(32) std::int32_t tmpi[8];
+  _mm256_store_ps(tmp, vsum);
+  for (int k = 0; k < 8; ++k) acc->sum += tmp[k];
+  _mm256_store_ps(tmp, vmin);
+  for (int k = 0; k < 8; ++k) {
+    if (tmp[k] < acc->min) acc->min = tmp[k];
+  }
+  _mm256_store_ps(tmp, vmax);
+  for (int k = 0; k < 8; ++k) {
+    if (tmp[k] > acc->max) acc->max = tmp[k];
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmpi), vcount);
+  for (int k = 0; k < 8; ++k) acc->count += tmpi[k];
+
+  MaskedAggScalarT(col + i, mask + i, count - i, acc);
+}
+
+/// Masked i32 aggregation: widen selected lanes, accumulate in i64 pairs
+/// for the sum; min/max via blends with sentinels.
+void MaskedAggI32Avx2(const std::int32_t* col, const std::uint8_t* mask,
+                      std::uint32_t count, AggAccum* acc) {
+  __m256i vsum = _mm256_setzero_si256();  // 4 x i64 partial sums
+  __m256i vmin = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
+  __m256i vmax = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::min());
+  __m256i vcount = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i lane = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mask + i)));
+
+    __m256i data =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    __m256i masked = _mm256_and_si256(data, lane);
+    // Widen the two 128-bit halves to i64 and accumulate.
+    vsum = _mm256_add_epi64(
+        vsum, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(masked)));
+    vsum = _mm256_add_epi64(
+        vsum, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(masked, 1)));
+
+    vmin = _mm256_min_epi32(
+        vmin, _mm256_blendv_epi8(
+                  _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max()),
+                  data, lane));
+    vmax = _mm256_max_epi32(
+        vmax, _mm256_blendv_epi8(
+                  _mm256_set1_epi32(std::numeric_limits<std::int32_t>::min()),
+                  data, lane));
+    vcount = _mm256_add_epi32(vcount, _mm256_and_si256(ones, lane));
+  }
+
+  alignas(32) std::int64_t tmp64[4];
+  alignas(32) std::int32_t tmp32[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp64), vsum);
+  for (int k = 0; k < 4; ++k) acc->sum += static_cast<double>(tmp64[k]);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vcount);
+  std::int64_t selected = 0;
+  for (int k = 0; k < 8; ++k) selected += tmp32[k];
+  acc->count += selected;
+  if (selected > 0) {
+    // With at least one selected element the INT32_MAX/MIN sentinels of
+    // unselected lanes cannot distort the result; with zero we must not
+    // fold them at all.
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vmin);
+    for (int k = 0; k < 8; ++k) {
+      if (static_cast<double>(tmp32[k]) < acc->min) acc->min = tmp32[k];
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp32), vmax);
+    for (int k = 0; k < 8; ++k) {
+      if (static_cast<double>(tmp32[k]) > acc->max) acc->max = tmp32[k];
+    }
+  }
+
+  MaskedAggScalarT(col + i, mask + i, count - i, acc);
+}
+
+// --- KernelTable adapters (untyped byte-pointer signatures) ----------------
+
+void FilterI32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  FilterI32Avx2(reinterpret_cast<const std::int32_t*>(column), count, op,
+                ConstantAs<std::int32_t>(constant), mask, combine_and);
+}
+void FilterU32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  FilterU32Avx2(reinterpret_cast<const std::uint32_t*>(column), count, op,
+                ConstantAs<std::uint32_t>(constant), mask, combine_and);
+}
+void FilterF32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  FilterF32Avx2(reinterpret_cast<const float*>(column), count, op,
+                ConstantAs<float>(constant), mask, combine_and);
+}
+void AggI32(const std::uint8_t* column, const std::uint8_t* mask,
+            std::uint32_t count, AggAccum* acc) {
+  MaskedAggI32Avx2(reinterpret_cast<const std::int32_t*>(column), mask, count,
+                   acc);
+}
+void AggF32(const std::uint8_t* column, const std::uint8_t* mask,
+            std::uint32_t count, AggAccum* acc) {
+  MaskedAggF32Avx2(reinterpret_cast<const float*>(column), mask, count, acc);
+}
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.filter[TypeIndex(ValueType::kInt32)] = &FilterI32;
+    t.filter[TypeIndex(ValueType::kUInt32)] = &FilterU32;
+    t.filter[TypeIndex(ValueType::kFloat)] = &FilterF32;
+    t.agg[TypeIndex(ValueType::kInt32)] = &AggI32;
+    t.agg[TypeIndex(ValueType::kFloat)] = &AggF32;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aim
+
+#else  // tier compiled out
+
+namespace aim {
+namespace simd {
+namespace internal {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aim
+
+#endif

@@ -1,0 +1,432 @@
+// AVX-512 tier of the scan kernels (paper §4.7.1, "wider vectors" ROADMAP
+// item). Compiled with -mavx512f/bw/dq/vl regardless of the build's -march;
+// runtime dispatch (simd.cc) only selects this tier when CPUID reports the
+// full feature set. Compiled out under TSan (AIM_SIMD_DISABLE_TIERS).
+//
+// Where AVX2 composes compares out of cmpgt/cmpeq plus a movemask + LUT
+// byte expansion, AVX-512 compares straight into mask registers
+// (__mmask16), expands them with one vpmovm2b, and uses masked loads for
+// the non-multiple-of-16 bucket tails — no scalar tail loop in the filter
+// path. Unsigned and 64-bit compares are native (no sign-bias trick).
+
+#include "aim/rta/simd_internal.h"
+
+#if !defined(AIM_SIMD_DISABLE_TIERS) && defined(__AVX512F__) && \
+    defined(__AVX512BW__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace aim {
+namespace simd {
+namespace internal {
+namespace {
+
+// _mm512_*cmp*_mask immediates must be compile-time constants, hence the
+// switch per comparison family instead of a runtime imm.
+
+inline __mmask16 CmpMaskEpi32(__mmask16 active, __m512i data, __m512i cnst,
+                              CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_LT);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_LE);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_NLE);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_NLT);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_EQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_epi32_mask(active, data, cnst, _MM_CMPINT_NE);
+  }
+  return 0;
+}
+
+inline __mmask16 CmpMaskEpu32(__mmask16 active, __m512i data, __m512i cnst,
+                              CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_LT);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_LE);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_NLE);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_NLT);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_EQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_epu32_mask(active, data, cnst, _MM_CMPINT_NE);
+  }
+  return 0;
+}
+
+inline __mmask8 CmpMaskEpi64(__mmask8 active, __m512i data, __m512i cnst,
+                             CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_LT);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_LE);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_NLE);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_NLT);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_EQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_epi64_mask(active, data, cnst, _MM_CMPINT_NE);
+  }
+  return 0;
+}
+
+inline __mmask8 CmpMaskEpu64(__mmask8 active, __m512i data, __m512i cnst,
+                             CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_LT);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_LE);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_NLE);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_NLT);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_EQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_epu64_mask(active, data, cnst, _MM_CMPINT_NE);
+  }
+  return 0;
+}
+
+// Float compares use the same ordered predicates as the AVX2 tier and the
+// scalar reference: everything ordered except Ne (NaN != c is true in C).
+inline __mmask16 CmpMaskPs(__mmask16 active, __m512 data, __m512 cnst,
+                           CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_LT_OQ);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_LE_OQ);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_GT_OQ);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_GE_OQ);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_EQ_OQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_ps_mask(active, data, cnst, _CMP_NEQ_UQ);
+  }
+  return 0;
+}
+
+inline __mmask8 CmpMaskPd(__mmask8 active, __m512d data, __m512d cnst,
+                          CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_LT_OQ);
+    case CmpOp::kLe:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_LE_OQ);
+    case CmpOp::kGt:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_GT_OQ);
+    case CmpOp::kGe:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_GE_OQ);
+    case CmpOp::kEq:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_EQ_OQ);
+    case CmpOp::kNe:
+      return _mm512_mask_cmp_pd_mask(active, data, cnst, _CMP_NEQ_UQ);
+  }
+  return 0;
+}
+
+/// Selection bits -> 0x00/0xff byte mask, ANDed into / stored over the
+/// `active` prefix of `dst` (16 four-byte lanes per step; for the 8-lane
+/// 64-bit kernels the high mask bits are simply zero).
+inline void StoreMaskBytes(std::uint8_t* dst, __mmask16 active, __mmask16 sel,
+                           bool combine_and) {
+  __m128i bytes = _mm_movm_epi8(sel);
+  if (combine_and) {
+    bytes = _mm_and_si128(bytes, _mm_maskz_loadu_epi8(active, dst));
+  }
+  _mm_mask_storeu_epi8(dst, active, bytes);
+}
+
+inline __mmask16 TailMask16(std::uint32_t rem) {
+  return rem >= 16 ? static_cast<__mmask16>(0xffff)
+                   : static_cast<__mmask16>((1u << rem) - 1);
+}
+
+inline __mmask8 TailMask8(std::uint32_t rem) {
+  return rem >= 8 ? static_cast<__mmask8>(0xff)
+                  : static_cast<__mmask8>((1u << rem) - 1);
+}
+
+// --- Filters ---------------------------------------------------------------
+
+void FilterI32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const std::int32_t* col = reinterpret_cast<const std::int32_t*>(column);
+  const __m512i cnst = _mm512_set1_epi32(ConstantAs<std::int32_t>(constant));
+  for (std::uint32_t i = 0; i < count; i += 16) {
+    const __mmask16 active = TailMask16(count - i);
+    const __m512i data = _mm512_maskz_loadu_epi32(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskEpi32(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+void FilterU32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const std::uint32_t* col = reinterpret_cast<const std::uint32_t*>(column);
+  const __m512i cnst = _mm512_set1_epi32(
+      static_cast<int>(ConstantAs<std::uint32_t>(constant)));
+  for (std::uint32_t i = 0; i < count; i += 16) {
+    const __mmask16 active = TailMask16(count - i);
+    const __m512i data = _mm512_maskz_loadu_epi32(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskEpu32(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+void FilterF32(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const float* col = reinterpret_cast<const float*>(column);
+  const __m512 cnst = _mm512_set1_ps(ConstantAs<float>(constant));
+  for (std::uint32_t i = 0; i < count; i += 16) {
+    const __mmask16 active = TailMask16(count - i);
+    const __m512 data = _mm512_maskz_loadu_ps(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskPs(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+void FilterI64(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const std::int64_t* col = reinterpret_cast<const std::int64_t*>(column);
+  const __m512i cnst = _mm512_set1_epi64(ConstantAs<std::int64_t>(constant));
+  for (std::uint32_t i = 0; i < count; i += 8) {
+    const __mmask8 active = TailMask8(count - i);
+    const __m512i data = _mm512_maskz_loadu_epi64(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskEpi64(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+void FilterU64(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const std::uint64_t* col = reinterpret_cast<const std::uint64_t*>(column);
+  const __m512i cnst = _mm512_set1_epi64(
+      static_cast<long long>(ConstantAs<std::uint64_t>(constant)));
+  for (std::uint32_t i = 0; i < count; i += 8) {
+    const __mmask8 active = TailMask8(count - i);
+    const __m512i data = _mm512_maskz_loadu_epi64(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskEpu64(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+void FilterF64(const std::uint8_t* column, std::uint32_t count, CmpOp op,
+               const Value& constant, std::uint8_t* mask, bool combine_and) {
+  const double* col = reinterpret_cast<const double*>(column);
+  const __m512d cnst = _mm512_set1_pd(ConstantAs<double>(constant));
+  for (std::uint32_t i = 0; i < count; i += 8) {
+    const __mmask8 active = TailMask8(count - i);
+    const __m512d data = _mm512_maskz_loadu_pd(active, col + i);
+    StoreMaskBytes(mask + i, active, CmpMaskPd(active, data, cnst, op),
+                   combine_and);
+  }
+}
+
+// --- Masked aggregation ----------------------------------------------------
+//
+// Selection arrives as the 0x00/0xff byte mask; vptestmb turns 16 mask
+// bytes into a __mmask16 directly. Masked-zero loads leave unselected
+// lanes at 0, so the sum path needs no blend; min/max updates are masked
+// by selection ANDed with an ordered self-compare so NaN is skipped
+// exactly as in the scalar reference (sum still propagates NaN).
+
+void AggI32(const std::uint8_t* column, const std::uint8_t* maskp,
+            std::uint32_t count, AggAccum* acc) {
+  const std::int32_t* col = reinterpret_cast<const std::int32_t*>(column);
+  __m512i vsum = _mm512_setzero_si512();  // 8 x i64 partial sums
+  __m512i vmin = _mm512_set1_epi32(std::numeric_limits<std::int32_t>::max());
+  __m512i vmax = _mm512_set1_epi32(std::numeric_limits<std::int32_t>::min());
+  std::int64_t selected = 0;
+  std::uint32_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m128i mbytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(maskp + i));
+    const __mmask16 sel = _mm_test_epi8_mask(mbytes, mbytes);
+    const __m512i data = _mm512_maskz_loadu_epi32(sel, col + i);
+    // Unselected lanes are zero: free to widen-and-add for the sum.
+    vsum = _mm512_add_epi64(
+        vsum, _mm512_cvtepi32_epi64(_mm512_castsi512_si256(data)));
+    vsum = _mm512_add_epi64(
+        vsum, _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(data, 1)));
+    vmin = _mm512_mask_min_epi32(vmin, sel, vmin, data);
+    vmax = _mm512_mask_max_epi32(vmax, sel, vmax, data);
+    selected += __builtin_popcount(static_cast<unsigned>(sel));
+  }
+  acc->sum += static_cast<double>(_mm512_reduce_add_epi64(vsum));
+  acc->count += selected;
+  if (selected > 0) {
+    // Sentinel lanes (never selected) hold INT32_MAX/MIN; with at least one
+    // real value they cannot distort the extrema, with zero they must not
+    // be folded at all (scalar leaves min/max untouched).
+    const std::int32_t mn = _mm512_reduce_min_epi32(vmin);
+    const std::int32_t mx = _mm512_reduce_max_epi32(vmax);
+    if (static_cast<double>(mn) < acc->min) acc->min = mn;
+    if (static_cast<double>(mx) > acc->max) acc->max = mx;
+  }
+  MaskedAggScalarT(col + i, maskp + i, count - i, acc);
+}
+
+void AggU32(const std::uint8_t* column, const std::uint8_t* maskp,
+            std::uint32_t count, AggAccum* acc) {
+  const std::uint32_t* col = reinterpret_cast<const std::uint32_t*>(column);
+  __m512i vsum = _mm512_setzero_si512();  // 8 x u64 partial sums
+  __m512i vmin = _mm512_set1_epi32(-1);   // UINT32_MAX sentinel
+  __m512i vmax = _mm512_setzero_si512();
+  std::int64_t selected = 0;
+  std::uint32_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m128i mbytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(maskp + i));
+    const __mmask16 sel = _mm_test_epi8_mask(mbytes, mbytes);
+    const __m512i data = _mm512_maskz_loadu_epi32(sel, col + i);
+    vsum = _mm512_add_epi64(
+        vsum, _mm512_cvtepu32_epi64(_mm512_castsi512_si256(data)));
+    vsum = _mm512_add_epi64(
+        vsum, _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(data, 1)));
+    vmin = _mm512_mask_min_epu32(vmin, sel, vmin, data);
+    vmax = _mm512_mask_max_epu32(vmax, sel, vmax, data);
+    selected += __builtin_popcount(static_cast<unsigned>(sel));
+  }
+  acc->sum += static_cast<double>(
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(vsum)));
+  acc->count += selected;
+  if (selected > 0) {
+    const std::uint32_t mn = _mm512_reduce_min_epu32(vmin);
+    const std::uint32_t mx = _mm512_reduce_max_epu32(vmax);
+    if (static_cast<double>(mn) < acc->min) acc->min = mn;
+    if (static_cast<double>(mx) > acc->max) acc->max = mx;
+  }
+  MaskedAggScalarT(col + i, maskp + i, count - i, acc);
+}
+
+void AggF32(const std::uint8_t* column, const std::uint8_t* maskp,
+            std::uint32_t count, AggAccum* acc) {
+  const float* col = reinterpret_cast<const float*>(column);
+  __m512 vsum = _mm512_setzero_ps();
+  __m512 vmin = _mm512_set1_ps(std::numeric_limits<float>::infinity());
+  __m512 vmax = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
+  std::int64_t selected = 0;
+  std::uint32_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m128i mbytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(maskp + i));
+    const __mmask16 sel = _mm_test_epi8_mask(mbytes, mbytes);
+    const __m512 data = _mm512_maskz_loadu_ps(sel, col + i);
+    vsum = _mm512_mask_add_ps(vsum, sel, vsum, data);
+    // Ordered self-compare keeps NaN out of min/max (scalar semantics).
+    const __mmask16 ord = _mm512_mask_cmp_ps_mask(sel, data, data, _CMP_ORD_Q);
+    vmin = _mm512_mask_min_ps(vmin, ord, vmin, data);
+    vmax = _mm512_mask_max_ps(vmax, ord, vmax, data);
+    selected += __builtin_popcount(static_cast<unsigned>(sel));
+  }
+  acc->sum += static_cast<double>(_mm512_reduce_add_ps(vsum));
+  acc->count += selected;
+  // The +/-inf sentinels are idempotent under min/max: no selected-count
+  // guard needed (matches the AVX2 tier).
+  const float mn = _mm512_reduce_min_ps(vmin);
+  const float mx = _mm512_reduce_max_ps(vmax);
+  if (mn < acc->min) acc->min = mn;
+  if (mx > acc->max) acc->max = mx;
+  MaskedAggScalarT(col + i, maskp + i, count - i, acc);
+}
+
+void AggF64(const std::uint8_t* column, const std::uint8_t* maskp,
+            std::uint32_t count, AggAccum* acc) {
+  const double* col = reinterpret_cast<const double*>(column);
+  __m512d vsum = _mm512_setzero_pd();
+  __m512d vmin = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  __m512d vmax = _mm512_set1_pd(-std::numeric_limits<double>::infinity());
+  std::int64_t selected = 0;
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m128i mbytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(maskp + i));
+    const __mmask8 sel =
+        static_cast<__mmask8>(_mm_test_epi8_mask(mbytes, mbytes));
+    const __m512d data = _mm512_maskz_loadu_pd(sel, col + i);
+    vsum = _mm512_mask_add_pd(vsum, sel, vsum, data);
+    const __mmask8 ord = _mm512_mask_cmp_pd_mask(sel, data, data, _CMP_ORD_Q);
+    vmin = _mm512_mask_min_pd(vmin, ord, vmin, data);
+    vmax = _mm512_mask_max_pd(vmax, ord, vmax, data);
+    selected += __builtin_popcount(static_cast<unsigned>(sel));
+  }
+  acc->sum += _mm512_reduce_add_pd(vsum);
+  acc->count += selected;
+  const double mn = _mm512_reduce_min_pd(vmin);
+  const double mx = _mm512_reduce_max_pd(vmax);
+  if (mn < acc->min) acc->min = mn;
+  if (mx > acc->max) acc->max = mx;
+  MaskedAggScalarT(col + i, maskp + i, count - i, acc);
+}
+
+// --- CountMask -------------------------------------------------------------
+
+std::uint32_t CountMask512(const std::uint8_t* mask, std::uint32_t count) {
+  std::uint64_t n = 0;
+  std::uint32_t i = 0;
+  for (; i + 64 <= count; i += 64) {
+    const __m512i bytes =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(mask + i));
+    n += __builtin_popcountll(
+        static_cast<std::uint64_t>(_mm512_test_epi8_mask(bytes, bytes)));
+  }
+  for (; i < count; ++i) n += mask[i] != 0;
+  return static_cast<std::uint32_t>(n);
+}
+
+}  // namespace
+
+const KernelTable* Avx512Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.filter[TypeIndex(ValueType::kInt32)] = &FilterI32;
+    t.filter[TypeIndex(ValueType::kUInt32)] = &FilterU32;
+    t.filter[TypeIndex(ValueType::kInt64)] = &FilterI64;
+    t.filter[TypeIndex(ValueType::kUInt64)] = &FilterU64;
+    t.filter[TypeIndex(ValueType::kFloat)] = &FilterF32;
+    t.filter[TypeIndex(ValueType::kDouble)] = &FilterF64;
+    t.agg[TypeIndex(ValueType::kInt32)] = &AggI32;
+    t.agg[TypeIndex(ValueType::kUInt32)] = &AggU32;
+    t.agg[TypeIndex(ValueType::kFloat)] = &AggF32;
+    t.agg[TypeIndex(ValueType::kDouble)] = &AggF64;
+    t.count_mask = &CountMask512;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aim
+
+#else  // tier compiled out
+
+namespace aim {
+namespace simd {
+namespace internal {
+
+const KernelTable* Avx512Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aim
+
+#endif

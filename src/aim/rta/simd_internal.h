@@ -1,0 +1,143 @@
+#ifndef AIM_RTA_SIMD_INTERNAL_H_
+#define AIM_RTA_SIMD_INTERNAL_H_
+
+// Shared internals of the runtime-dispatched scan kernels (simd.h):
+//   * the scalar reference templates every vector tier reuses for tails;
+//   * the per-tier kernel tables the dispatchers index.
+//
+// The vector tiers live in their own translation units (simd_avx2.cc,
+// simd_avx512.cc) compiled with the tier's ISA flags regardless of the
+// build's -march, so the binary always carries every tier and picks one at
+// runtime by CPUID (see simd.cc). A tier compiled out (non-x86 target,
+// AIM_SIMD_DISABLE_TIERS under TSan) exposes a null table and dispatch
+// falls through to scalar.
+
+#include <cstdint>
+
+#include "aim/rta/simd.h"
+
+namespace aim {
+namespace simd {
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Also the semantics contract for the vector
+// tiers: min/max skip NaN (every comparison against NaN is false), the sum
+// propagates NaN, and an all-false mask leaves min/max untouched.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+inline bool CmpScalar(CmpOp op, T lhs, T rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+template <typename T>
+void FilterScalarT(const T* col, std::uint32_t count, CmpOp op, T constant,
+                   std::uint8_t* mask, bool combine_and) {
+  if (combine_and) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      mask[i] &= CmpScalar(op, col[i], constant) ? 0xffu : 0u;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      mask[i] = CmpScalar(op, col[i], constant) ? 0xffu : 0u;
+    }
+  }
+}
+
+template <typename T>
+void MaskedAggScalarT(const T* col, const std::uint8_t* mask,
+                      std::uint32_t count, AggAccum* acc) {
+  double sum = 0.0;
+  double mn = acc->min;
+  double mx = acc->max;
+  std::int64_t n = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (mask[i] == 0) continue;
+    const double v = static_cast<double>(col[i]);
+    sum += v;
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+    ++n;
+  }
+  acc->sum += sum;
+  acc->min = mn;
+  acc->max = mx;
+  acc->count += n;
+}
+
+template <typename T>
+T ConstantAs(const Value& v);
+
+template <>
+inline std::int32_t ConstantAs<std::int32_t>(const Value& v) {
+  return static_cast<std::int32_t>(v.AsInt64());
+}
+template <>
+inline std::uint32_t ConstantAs<std::uint32_t>(const Value& v) {
+  return static_cast<std::uint32_t>(v.AsInt64());
+}
+template <>
+inline std::int64_t ConstantAs<std::int64_t>(const Value& v) {
+  return v.AsInt64();
+}
+template <>
+inline std::uint64_t ConstantAs<std::uint64_t>(const Value& v) {
+  return static_cast<std::uint64_t>(v.AsInt64());
+}
+template <>
+inline float ConstantAs<float>(const Value& v) {
+  return static_cast<float>(v.AsDouble());
+}
+template <>
+inline double ConstantAs<double>(const Value& v) {
+  return v.AsDouble();
+}
+
+// ---------------------------------------------------------------------------
+// Per-tier kernel tables. Entries are indexed by ValueType; a null entry
+// means "this tier has no kernel for the type, use scalar".
+// ---------------------------------------------------------------------------
+
+using FilterFn = void (*)(const std::uint8_t* column, std::uint32_t count,
+                          CmpOp op, const Value& constant, std::uint8_t* mask,
+                          bool combine_and);
+using AggFn = void (*)(const std::uint8_t* column, const std::uint8_t* mask,
+                       std::uint32_t count, AggAccum* acc);
+using CountFn = std::uint32_t (*)(const std::uint8_t* mask,
+                                  std::uint32_t count);
+
+struct KernelTable {
+  FilterFn filter[kNumValueTypes] = {};
+  AggFn agg[kNumValueTypes] = {};
+  CountFn count_mask = nullptr;
+};
+
+/// Tier tables; null when the tier is compiled out.
+const KernelTable* Avx2Kernels();
+const KernelTable* Avx512Kernels();
+
+/// Table of the active dispatch level; null means scalar.
+const KernelTable* ActiveTable();
+
+inline int TypeIndex(ValueType type) { return static_cast<int>(type); }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aim
+
+#endif  // AIM_RTA_SIMD_INTERNAL_H_

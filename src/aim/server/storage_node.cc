@@ -107,6 +107,14 @@ StorageNode::StorageNode(const Schema* schema, const DimensionCatalog* dims,
     }
   }
 
+  if (options_.scan_pool_threads > 0) {
+    ScanPool::Options pool_opts;
+    pool_opts.num_threads = options_.scan_pool_threads;
+    pool_opts.metrics = metrics_;
+    pool_opts.node_label = node_label;
+    scan_pool_ = std::make_unique<ScanPool>(pool_opts);
+  }
+
   partials_.resize(options_.num_partitions);
   round_barrier_ = std::make_unique<std::barrier<>>(options_.num_partitions);
 }
@@ -730,7 +738,6 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
   SetCurrentThreadName("aim-rta-", partition_id);
   DeltaMainStore* store = partitions_[partition_id].get();
   SharedScan scan(store);
-  ScanScratch scratch;
   std::uint64_t checkpoint_done_seq = 0;
 
   while (true) {
@@ -754,15 +761,31 @@ void StorageNode::RtaLoop(std::uint32_t partition_id) {
         compiled_for.push_back(qi);
       }
     }
+    partials_[partition_id].assign(batch_queries_.size(), PartialResult{});
     if (!compiled.empty()) {
       Stopwatch scan_timer;
-      scan.ScanStep(compiled);
+      if (scan_pool_ != nullptr) {
+        // Task-queue model: this thread coordinates — the scan step is
+        // decomposed into bucket-range morsels executed cooperatively with
+        // the pool workers, and the bucket-level partials are merged here.
+        // Only the read-only scan is shared; the merge step below stays
+        // with this thread (it mutates the main).
+        ScanPool::ScanOptions scan_opts;
+        scan_opts.morsel_buckets = options_.scan_morsel_buckets;
+        std::vector<PartialResult> merged;
+        scan_pool_->ScanPartition(store->main(), compiled, scan_opts,
+                                  &merged);
+        for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
+          partials_[partition_id][compiled_for[ci]] = std::move(merged[ci]);
+        }
+      } else {
+        scan.ScanStep(compiled);
+        for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
+          partials_[partition_id][compiled_for[ci]] =
+              compiled[ci].TakePartial();
+        }
+      }
       rta_scan_duration_->Record(scan_timer.ElapsedMicros());
-    }
-
-    partials_[partition_id].assign(batch_queries_.size(), PartialResult{});
-    for (std::size_t ci = 0; ci < compiled.size(); ++ci) {
-      partials_[partition_id][compiled_for[ci]] = compiled[ci].TakePartial();
     }
 
     round_barrier_->arrive_and_wait();  // partials ready

@@ -18,6 +18,7 @@
 #include "aim/net/message.h"
 #include "aim/rta/compiled_query.h"
 #include "aim/rta/dimension.h"
+#include "aim/rta/scan_pool.h"
 #include "aim/rta/shared_scan.h"
 #include "aim/storage/delta_main.h"
 #include "aim/storage/event_log.h"
@@ -61,6 +62,18 @@ class StorageNode {
     /// single event can hide behind and the time between delta-switch
     /// checkpoints under load (docs/DESIGN.md, "Ingest batching").
     std::uint32_t max_event_batch = 64;
+    /// Workers in the node-wide scan pool. 0 (the default) keeps the
+    /// original model — each partition's RTA thread scans alone. With
+    /// N > 0 the node starts one persistent ScanPool of N workers and
+    /// every partition's scan step is decomposed into bucket-range
+    /// morsels executed cooperatively by the pool and the partition's
+    /// RTA thread; the RTA thread still owns compilation, the partial
+    /// merge, and the delta-merge/checkpoint protocol. Worthwhile only
+    /// when cores outnumber partitions (docs/DESIGN.md, "Scan
+    /// parallelism").
+    std::uint32_t scan_pool_threads = 0;
+    /// Buckets per scan-pool morsel (granularity of work stealing).
+    std::uint32_t scan_morsel_buckets = 8;
     /// Registry the node's metrics live in. When null the node owns a
     /// private one. Series are distinguished by a node="<id>" label, so
     /// one registry can serve a whole cluster (see AimCluster).
@@ -259,6 +272,7 @@ class StorageNode {
   std::vector<std::unique_ptr<DeltaMainStore>> partitions_;
   std::vector<std::unique_ptr<EspThreadState>> esp_threads_;
   std::vector<std::thread> rta_threads_;
+  std::unique_ptr<ScanPool> scan_pool_;  // only with scan_pool_threads > 0
 
   // Durability state (sized only when durable()). The batch gate is a
   // second writer-quiescence handshake per partition, acknowledged only at

@@ -1,0 +1,180 @@
+// Exhaustive interleaving checks for ScanTaskBoard — the work-distribution
+// protocol of the scan pool — instantiated with the model checker's sync
+// provider (the production template, not a re-implementation).
+//
+// Properties proven over every schedule within the preemption bound:
+//   1. every distributed morsel executes exactly once, whether a worker
+//      pops it, steals it, or the coordinator grabs it via AcquireJobTask;
+//   2. AwaitJob returns only after the final CompleteTask — the
+//      coordinator's merge observes every executor's context writes
+//      (release fetch_sub / acquire load pairing, including the RMW
+//      release sequence when different executors finish in any order);
+//   3. the final CompleteTask's notify-under-lock leaves no lost wakeup:
+//      a coordinator already blocked in AwaitJob always wakes.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "aim/mc/checker.h"
+#include "aim/mc/shim.h"
+#include "aim/rta/scan_task_board.h"
+
+namespace aim {
+namespace {
+
+using ModelBoard = ScanTaskBoard<mc::ModelSyncProvider>;
+
+// ---------------------------------------------------------------------
+// Two workers draining one job while the coordinator blocks in AwaitJob.
+// Each worker writes its task's result slot *before* CompleteTask; the
+// coordinator asserts every slot is visible after AwaitJob returns, with
+// relaxed loads — the only ordering is the ticket countdown itself.
+// ---------------------------------------------------------------------
+
+TEST(ScanPoolMc, WorkersCompleteJobExactlyOnceBeforeAwaitReturns) {
+  mc::Options opts;
+  opts.preemption_bound = 2;
+  mc::Result r = mc::Check(opts, [](mc::Sim& sim) {
+    constexpr std::uint32_t kTasks = 3;
+    struct State {
+      ModelBoard board{2};
+      ModelBoard::JobTicket job;
+      mc::Atomic<int> executed[kTasks] = {};
+      mc::Atomic<int> result[kTasks] = {};
+    };
+    auto st = std::make_shared<State>();
+
+    for (std::size_t w = 0; w < 2; ++w) {
+      sim.Spawn(w == 0 ? "worker0" : "worker1", [st, w] {
+        ModelBoard::Task task;
+        while (st->board.AcquireTask(w, &task, nullptr)) {
+          // relaxed: exactly-once bookkeeping, checked in OnFinal.
+          st->executed[task.seq].fetch_add(1, std::memory_order_relaxed);
+          // relaxed: the context write CompleteTask's release publishes.
+          st->result[task.seq].store(1 + static_cast<int>(task.seq),
+                                     std::memory_order_relaxed);
+          st->board.CompleteTask(task.job);
+        }
+      });
+    }
+    sim.Spawn("coordinator", [st] {
+      st->board.Distribute(&st->job, kTasks);
+      st->board.AwaitJob(&st->job);
+      // The merge step: every executor's writes must be visible here via
+      // the release-sequence of CompleteTask countdowns alone.
+      for (std::uint32_t s = 0; s < kTasks; ++s) {
+        mc::McAssert(
+            st->result[s].load(std::memory_order_relaxed) ==
+                1 + static_cast<int>(s),
+            "AwaitJob returned before a task's context write was visible");
+      }
+      st->board.Stop();
+    });
+
+    sim.OnFinal([st] {
+      for (std::uint32_t s = 0; s < kTasks; ++s) {
+        mc::McAssert(st->executed[s].load() == 1,
+                     "a morsel executed zero or multiple times");
+      }
+      mc::McAssert(st->board.queued() == 0, "board drained but tasks remain");
+    });
+  });
+  EXPECT_TRUE(r.ok()) << r.Report();
+  EXPECT_TRUE(r.complete) << r.Report();
+  EXPECT_GT(r.executions, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator-participates shape: one worker and the submitting
+// coordinator race to drain the same job, the coordinator via the
+// non-blocking job-filtered AcquireJobTask path (which erases from any
+// deque — i.e. it steals). Exactly-once must hold across the two acquire
+// paths, and AwaitJob must terminate in every schedule — including the
+// one where the worker finishes last and the one where the coordinator
+// drains everything before the worker ever wakes.
+// ---------------------------------------------------------------------
+
+TEST(ScanPoolMc, CoordinatorAndWorkerDrainSameJobExactlyOnce) {
+  mc::Options opts;
+  opts.preemption_bound = 2;
+  mc::Result r = mc::Check(opts, [](mc::Sim& sim) {
+    constexpr std::uint32_t kTasks = 2;
+    struct State {
+      ModelBoard board{1};
+      ModelBoard::JobTicket job;
+      mc::Atomic<int> executed[kTasks] = {};
+    };
+    auto st = std::make_shared<State>();
+
+    sim.Spawn("worker", [st] {
+      ModelBoard::Task task;
+      while (st->board.AcquireTask(0, &task, nullptr)) {
+        st->executed[task.seq].fetch_add(1, std::memory_order_relaxed);
+        st->board.CompleteTask(task.job);
+      }
+    });
+    sim.Spawn("coordinator", [st] {
+      st->board.Distribute(&st->job, kTasks);
+      ModelBoard::Task task;
+      while (!st->board.JobDone(&st->job)) {
+        if (st->board.AcquireJobTask(&st->job, &task)) {
+          st->executed[task.seq].fetch_add(1, std::memory_order_relaxed);
+          st->board.CompleteTask(&st->job);
+        } else {
+          st->board.AwaitJob(&st->job);
+        }
+      }
+      st->board.Stop();
+    });
+
+    sim.OnFinal([st] {
+      for (std::uint32_t s = 0; s < kTasks; ++s) {
+        mc::McAssert(st->executed[s].load() == 1,
+                     "a morsel executed zero or multiple times");
+      }
+    });
+  });
+  EXPECT_TRUE(r.ok()) << r.Report();
+  EXPECT_TRUE(r.complete) << r.Report();
+}
+
+// ---------------------------------------------------------------------
+// Zero-worker board: the coordinator is the entire pool. AcquireJobTask
+// must surface every task and AwaitJob must return immediately once the
+// coordinator has completed them — with nobody else around to notify,
+// any wait here would be a permanent hang the checker flags.
+// ---------------------------------------------------------------------
+
+TEST(ScanPoolMc, ZeroWorkerBoardDrainsOnCoordinatorAlone) {
+  mc::Options opts;
+  opts.preemption_bound = 2;
+  mc::Result r = mc::Check(opts, [](mc::Sim& sim) {
+    struct State {
+      ModelBoard board{0};
+      ModelBoard::JobTicket job;
+      mc::Atomic<int> drained{0};
+    };
+    auto st = std::make_shared<State>();
+
+    sim.Spawn("coordinator", [st] {
+      st->board.Distribute(&st->job, 2);
+      ModelBoard::Task task;
+      while (st->board.AcquireJobTask(&st->job, &task)) {
+        st->drained.fetch_add(1, std::memory_order_relaxed);
+        st->board.CompleteTask(&st->job);
+      }
+      st->board.AwaitJob(&st->job);  // must not block: counter already 0
+      st->board.Stop();
+    });
+
+    sim.OnFinal([st] {
+      mc::McAssert(st->drained.load() == 2, "zero-worker board lost a task");
+    });
+  });
+  EXPECT_TRUE(r.ok()) << r.Report();
+  EXPECT_TRUE(r.complete) << r.Report();
+}
+
+}  // namespace
+}  // namespace aim

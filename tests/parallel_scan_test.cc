@@ -1,3 +1,5 @@
+#include <dirent.h>
+
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -125,6 +127,60 @@ TEST_F(ParallelScanTest, EveryChunkProcessedExactlyOnce) {
       (map_->num_buckets() + opts.chunk_buckets - 1) / opts.chunk_buckets;
   EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0u),
             expected_chunks);
+}
+
+// Number of live threads in this process (Linux: /proc/self/task entries).
+std::size_t CountProcessThreads() {
+  DIR* dir = opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  closedir(dir);
+  return n;
+}
+
+TEST_F(ParallelScanTest, RepeatedExecuteCreatesNoThreads) {
+  const std::vector<Query> batch = MakeBatch();
+  ParallelSharedScan::Options opts;
+  opts.num_threads = 2;
+  opts.chunk_buckets = 2;
+
+  // First call may lazily start the shared pool's persistent workers.
+  ASSERT_TRUE(ParallelSharedScan::Execute(*map_, schema_.get(), nullptr,
+                                          batch, opts)
+                  .ok());
+  const std::size_t warm = CountProcessThreads();
+  ASSERT_GT(warm, 0u);
+
+  // Thread-churn regression (the pre-pool implementation spawned fresh
+  // std::threads on every Execute): repeated calls must reuse the pool.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ParallelSharedScan::Execute(*map_, schema_.get(), nullptr,
+                                            batch, opts)
+                    .ok());
+    EXPECT_EQ(CountProcessThreads(), warm) << "iteration " << i;
+  }
+}
+
+TEST_F(ParallelScanTest, RunsOnACallerProvidedPool) {
+  const std::vector<Query> batch = MakeBatch();
+  ScanPool::Options popts;
+  popts.num_threads = 2;
+  ScanPool pool(popts);
+
+  ParallelSharedScan::Options opts;
+  opts.num_threads = 2;
+  opts.chunk_buckets = 2;
+  opts.pool = &pool;
+  std::vector<std::uint32_t> chunks;
+  StatusOr<std::vector<PartialResult>> got = ParallelSharedScan::Execute(
+      *map_, schema_.get(), nullptr, batch, opts, &chunks);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(pool.morsels(), 0u);
+  // Executor breakdown: two pool workers + the calling thread.
+  EXPECT_EQ(chunks.size(), pool.num_threads() + 1);
 }
 
 TEST_F(ParallelScanTest, RejectsBadOptions) {

@@ -1,0 +1,254 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aim/rta/scan_pool.h"
+#include "test_util.h"
+
+namespace aim {
+namespace {
+
+using testing_util::MakeTinySchema;
+
+/// Pool-vs-single-thread equivalence is checked with EXPECT_DOUBLE_EQ, not
+/// a tolerance: every stored value is integer-valued, so all double-typed
+/// partial sums are exact (< 2^53) and merging in any executor order must
+/// produce byte-identical aggregates.
+class ScanPoolTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kRecords = 2000;
+
+  ScanPoolTest() : schema_(MakeTinySchema()) {
+    map_ = std::make_unique<ColumnMap>(schema_.get(), /*bucket_size=*/64,
+                                       kRecords);
+    Random rng(77);
+    std::vector<std::uint8_t> row(schema_->record_size(), 0);
+    const std::uint16_t calls = schema_->FindAttribute("calls_today");
+    const std::uint16_t dur = schema_->FindAttribute("dur_today_sum");
+    const std::uint16_t entity = schema_->FindAttribute("entity_id");
+    for (EntityId e = 1; e <= kRecords; ++e) {
+      RecordView rec(schema_.get(), row.data());
+      rec.Set(entity, Value::UInt64(e));
+      rec.Set(calls, Value::Int32(static_cast<std::int32_t>(rng.Uniform(20))));
+      // Distinct integer-valued floats: exact sums and a unique top-k order.
+      rec.Set(dur, Value::Float(static_cast<float>(e)));
+      AIM_CHECK(map_->Insert(e, row.data(), 1).ok());
+    }
+  }
+
+  std::vector<Query> MakeBatch() {
+    std::vector<Query> batch;
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .Select(AggOp::kSum, "dur_today_sum")
+                         .Select(AggOp::kMin, "dur_today_sum")
+                         .Select(AggOp::kMax, "dur_today_sum")
+                         .SelectCount()
+                         .Where("calls_today", CmpOp::kGt, Value::Int32(5))
+                         .Build());
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .SelectCount()
+                         .GroupByAttr("calls_today")
+                         .Build());
+    batch.push_back(*QueryBuilder(schema_.get())
+                         .TopK("dur_today_sum", false, 3)
+                         .WithEntityAttr("entity_id")
+                         .Build());
+    return batch;
+  }
+
+  std::vector<CompiledQuery> CompileBatch(const std::vector<Query>& batch) {
+    std::vector<CompiledQuery> compiled;
+    for (const Query& q : batch) {
+      compiled.push_back(*CompiledQuery::Compile(q, schema_.get(), nullptr));
+    }
+    return compiled;
+  }
+
+  std::vector<QueryResult> SingleThreadReference(
+      const std::vector<Query>& batch) {
+    std::vector<QueryResult> out;
+    ScanScratch scratch;
+    for (const Query& q : batch) {
+      CompiledQuery cq = *CompiledQuery::Compile(q, schema_.get(), nullptr);
+      for (std::uint32_t b = 0; b < map_->num_buckets(); ++b) {
+        cq.ProcessBucket(*map_, map_->bucket(b), &scratch);
+      }
+      out.push_back(FinalizeResult(q, nullptr, cq.TakePartial()));
+    }
+    return out;
+  }
+
+  void ExpectMatchesReference(const std::vector<Query>& batch,
+                              std::vector<PartialResult> got,
+                              const std::vector<QueryResult>& want) {
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t q = 0; q < batch.size(); ++q) {
+      QueryResult r = FinalizeResult(batch[q], nullptr, std::move(got[q]));
+      ASSERT_EQ(r.rows.size(), want[q].rows.size()) << "query " << q;
+      for (std::size_t i = 0; i < want[q].rows.size(); ++i) {
+        EXPECT_EQ(r.rows[i].group_key, want[q].rows[i].group_key);
+        ASSERT_EQ(r.rows[i].values.size(), want[q].rows[i].values.size());
+        for (std::size_t v = 0; v < want[q].rows[i].values.size(); ++v) {
+          EXPECT_DOUBLE_EQ(r.rows[i].values[v], want[q].rows[i].values[v])
+              << "query " << q << " row " << i << " value " << v;
+        }
+      }
+      ASSERT_EQ(r.topk.size(), want[q].topk.size());
+      for (std::size_t t = 0; t < want[q].topk.size(); ++t) {
+        ASSERT_EQ(r.topk[t].size(), want[q].topk[t].size());
+        for (std::size_t k = 0; k < want[q].topk[t].size(); ++k) {
+          EXPECT_EQ(r.topk[t][k].entity, want[q].topk[t][k].entity);
+          EXPECT_DOUBLE_EQ(r.topk[t][k].value, want[q].topk[t][k].value);
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<ColumnMap> map_;
+};
+
+TEST_F(ScanPoolTest, MatchesSingleThreadedSharedScanExactly) {
+  const std::vector<Query> batch = MakeBatch();
+  const std::vector<QueryResult> want = SingleThreadReference(batch);
+
+  for (std::size_t workers : {0u, 1u, 2u}) {
+    ScanPool::Options popts;
+    popts.num_threads = workers;
+    ScanPool pool(popts);
+    for (std::uint32_t morsel : {1u, 4u, 16u, 1000u}) {
+      const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+      ScanPool::ScanOptions sopts;
+      sopts.morsel_buckets = morsel;
+      std::vector<PartialResult> results;
+      const ScanPool::ScanStats stats =
+          pool.ScanPartition(*map_, prototype, sopts, &results);
+      EXPECT_EQ(stats.morsels,
+                (map_->num_buckets() + morsel - 1) / morsel);
+      EXPECT_EQ(stats.executed_by_coordinator + stats.executed_by_workers,
+                stats.morsels)
+          << "workers " << workers << " morsel " << morsel;
+      ExpectMatchesReference(batch, std::move(results), want);
+    }
+  }
+}
+
+TEST_F(ScanPoolTest, WorkersCarryWholeScanWhenCoordinatorAbstains) {
+  const std::vector<Query> batch = MakeBatch();
+  const std::vector<QueryResult> want = SingleThreadReference(batch);
+
+  ScanPool::Options popts;
+  popts.num_threads = 2;
+  ScanPool pool(popts);
+  const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+
+  ScanPool::ScanOptions sopts;
+  sopts.morsel_buckets = 4;
+  sopts.coordinator_participates = false;
+  std::vector<PartialResult> results;
+  const ScanPool::ScanStats stats =
+      pool.ScanPartition(*map_, prototype, sopts, &results);
+
+  // Deterministic proof the pool executed the scan: the coordinator never
+  // took a morsel, yet every morsel completed and the results are exact.
+  EXPECT_GT(stats.morsels, 0u);
+  EXPECT_EQ(stats.executed_by_coordinator, 0u);
+  EXPECT_EQ(stats.executed_by_workers, stats.morsels);
+  ExpectMatchesReference(batch, std::move(results), want);
+}
+
+TEST_F(ScanPoolTest, ZeroWorkerPoolForcesCoordinatorExecution) {
+  const std::vector<Query> batch = MakeBatch();
+  ScanPool pool(ScanPool::Options{});
+  ASSERT_EQ(pool.num_threads(), 0u);
+  const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+
+  ScanPool::ScanOptions sopts;
+  sopts.coordinator_participates = false;  // must be overridden, or deadlock
+  std::vector<PartialResult> results;
+  const ScanPool::ScanStats stats =
+      pool.ScanPartition(*map_, prototype, sopts, &results);
+  EXPECT_EQ(stats.executed_by_coordinator, stats.morsels);
+  EXPECT_EQ(stats.executed_by_workers, 0u);
+}
+
+TEST_F(ScanPoolTest, PerExecutorCountsSumToMorsels) {
+  const std::vector<Query> batch = MakeBatch();
+  ScanPool::Options popts;
+  popts.num_threads = 2;
+  ScanPool pool(popts);
+  const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+
+  ScanPool::ScanOptions sopts;
+  sopts.morsel_buckets = 2;
+  std::vector<PartialResult> results;
+  const ScanPool::ScanStats stats =
+      pool.ScanPartition(*map_, prototype, sopts, &results);
+  ASSERT_EQ(stats.per_executor.size(), pool.num_threads() + 1);
+  std::uint32_t total = 0;
+  for (std::uint32_t n : stats.per_executor) total += n;
+  EXPECT_EQ(total, stats.morsels);
+  EXPECT_EQ(stats.per_executor.back(), stats.executed_by_coordinator);
+}
+
+TEST_F(ScanPoolTest, EmptyPartitionYieldsWellFormedPartials) {
+  ColumnMap empty(schema_.get(), /*bucket_size=*/64, /*max_records=*/128);
+  const std::vector<Query> batch = {*QueryBuilder(schema_.get())
+                                         .Select(AggOp::kSum, "dur_today_sum")
+                                         .SelectCount()
+                                         .Build()};
+  ScanPool::Options popts;
+  popts.num_threads = 1;
+  ScanPool pool(popts);
+  const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+
+  std::vector<PartialResult> results;
+  const ScanPool::ScanStats stats =
+      pool.ScanPartition(empty, prototype, ScanPool::ScanOptions{}, &results);
+  EXPECT_EQ(stats.morsels, 0u);
+  ASSERT_EQ(results.size(), 1u);
+  QueryResult r = FinalizeResult(batch[0], nullptr, std::move(results[0]));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0].values[1], 0.0);  // COUNT(*) = 0
+}
+
+TEST_F(ScanPoolTest, MorselAndStealCountersAreWired) {
+  MetricsRegistry registry;
+  ScanPool::Options popts;
+  popts.num_threads = 2;
+  popts.metrics = &registry;
+  popts.node_label = "7";
+  ScanPool pool(popts);
+
+  const std::vector<Query> batch = MakeBatch();
+  const std::vector<CompiledQuery> prototype = CompileBatch(batch);
+  ScanPool::ScanOptions sopts;
+  sopts.morsel_buckets = 2;
+  std::vector<PartialResult> results;
+  const ScanPool::ScanStats stats =
+      pool.ScanPartition(*map_, prototype, sopts, &results);
+
+  Counter* morsels =
+      registry.GetCounter("aim_scan_morsels_total", {{"node", "7"}});
+  Counter* steals =
+      registry.GetCounter("aim_scan_steals_total", {{"node", "7"}});
+  EXPECT_EQ(morsels->Value(), stats.morsels);
+  EXPECT_EQ(morsels->Value(), pool.morsels());
+  EXPECT_EQ(steals->Value(), pool.steals());
+  // Per-worker scan histograms exist (registered at pool construction).
+  EXPECT_NE(registry.GetHistogram("aim_scan_worker_morsel_micros",
+                                  {{"node", "7"}, {"worker", "0"}}),
+            nullptr);
+}
+
+TEST_F(ScanPoolTest, SharedPoolIsASingleton) {
+  ScanPool* a = ScanPool::Shared();
+  ScanPool* b = ScanPool::Shared();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace aim

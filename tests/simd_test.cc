@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -9,6 +10,29 @@
 
 namespace aim {
 namespace {
+
+/// Dispatch level in effect at process start, before any test calls
+/// SetLevel — what the AIM_SIMD_LEVEL env override (if any) produced.
+const simd::SimdLevel kStartupLevel = simd::ActiveLevel();
+
+/// Restores the active dispatch tier on scope exit, so cross-tier tests
+/// cannot leak a forced level into later tests.
+struct LevelGuard {
+  simd::SimdLevel prev = simd::ActiveLevel();
+  ~LevelGuard() { simd::SetLevel(prev); }
+};
+
+/// Every tier this binary+CPU can actually run (always includes kScalar).
+std::vector<simd::SimdLevel> SupportedLevels() {
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::MaxSupportedLevel() >= simd::SimdLevel::kAvx2) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+  if (simd::MaxSupportedLevel() >= simd::SimdLevel::kAvx512) {
+    levels.push_back(simd::SimdLevel::kAvx512);
+  }
+  return levels;
+}
 
 constexpr CmpOp kAllOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
                              CmpOp::kGe, CmpOp::kEq, CmpOp::kNe};
@@ -87,56 +111,65 @@ struct FilterCase {
 
 class SimdFilterTest : public ::testing::TestWithParam<FilterCase> {};
 
-TEST_P(SimdFilterTest, MatchesScalarReference) {
+TEST_P(SimdFilterTest, MatchesScalarReferenceAtEveryTier) {
   const FilterCase c = GetParam();
-  Random rng(static_cast<std::uint64_t>(c.count) * 31 +
-             static_cast<std::uint64_t>(c.type));
-  const std::vector<std::uint8_t> col = RandomColumn(c.type, c.count, &rng);
+  LevelGuard guard;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ASSERT_EQ(simd::SetLevel(level), level);
+    Random rng(static_cast<std::uint64_t>(c.count) * 31 +
+               static_cast<std::uint64_t>(c.type));
+    const std::vector<std::uint8_t> col = RandomColumn(c.type, c.count, &rng);
 
-  for (CmpOp op : kAllOps) {
-    for (int k = 0; k < 5; ++k) {
-      const Value constant = ConstantFor(c.type, rng.UniformRange(-20, 20));
-      std::vector<std::uint8_t> m_simd(c.count, 0xcc);
-      std::vector<std::uint8_t> m_ref(c.count, 0xcc);
-      simd::FilterColumn(c.type, col.data(), c.count, op, constant,
-                         m_simd.data(), /*combine_and=*/false);
-      simd::FilterColumnScalar(c.type, col.data(), c.count, op, constant,
-                               m_ref.data(), false);
-      ASSERT_EQ(m_simd, m_ref)
-          << ValueTypeName(c.type) << " " << CmpOpName(op) << " n=" << c.count;
+    for (CmpOp op : kAllOps) {
+      for (int k = 0; k < 5; ++k) {
+        const Value constant = ConstantFor(c.type, rng.UniformRange(-20, 20));
+        std::vector<std::uint8_t> m_simd(c.count, 0xcc);
+        std::vector<std::uint8_t> m_ref(c.count, 0xcc);
+        simd::FilterColumn(c.type, col.data(), c.count, op, constant,
+                           m_simd.data(), /*combine_and=*/false);
+        simd::FilterColumnScalar(c.type, col.data(), c.count, op, constant,
+                                 m_ref.data(), false);
+        ASSERT_EQ(m_simd, m_ref)
+            << simd::SimdLevelName(level) << " " << ValueTypeName(c.type)
+            << " " << CmpOpName(op) << " n=" << c.count;
 
-      // Combine-and on top of a random prior mask.
-      std::vector<std::uint8_t> prior(c.count);
-      for (auto& b : prior) b = rng.OneIn(2) ? 0xff : 0x00;
-      std::vector<std::uint8_t> a_simd = prior, a_ref = prior;
-      simd::FilterColumn(c.type, col.data(), c.count, op, constant,
-                         a_simd.data(), /*combine_and=*/true);
-      simd::FilterColumnScalar(c.type, col.data(), c.count, op, constant,
-                               a_ref.data(), true);
-      ASSERT_EQ(a_simd, a_ref);
+        // Combine-and on top of a random prior mask.
+        std::vector<std::uint8_t> prior(c.count);
+        for (auto& b : prior) b = rng.OneIn(2) ? 0xff : 0x00;
+        std::vector<std::uint8_t> a_simd = prior, a_ref = prior;
+        simd::FilterColumn(c.type, col.data(), c.count, op, constant,
+                           a_simd.data(), /*combine_and=*/true);
+        simd::FilterColumnScalar(c.type, col.data(), c.count, op, constant,
+                                 a_ref.data(), true);
+        ASSERT_EQ(a_simd, a_ref) << simd::SimdLevelName(level);
+      }
     }
   }
 }
 
 class SimdAggTest : public ::testing::TestWithParam<FilterCase> {};
 
-TEST_P(SimdAggTest, MatchesScalarReference) {
+TEST_P(SimdAggTest, MatchesScalarReferenceAtEveryTier) {
   const FilterCase c = GetParam();
-  Random rng(static_cast<std::uint64_t>(c.count) * 77 +
-             static_cast<std::uint64_t>(c.type));
-  const std::vector<std::uint8_t> col = RandomColumn(c.type, c.count, &rng);
-  std::vector<std::uint8_t> mask(c.count);
-  for (auto& b : mask) b = rng.OneIn(3) ? 0x00 : 0xff;
+  LevelGuard guard;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ASSERT_EQ(simd::SetLevel(level), level);
+    Random rng(static_cast<std::uint64_t>(c.count) * 77 +
+               static_cast<std::uint64_t>(c.type));
+    const std::vector<std::uint8_t> col = RandomColumn(c.type, c.count, &rng);
+    std::vector<std::uint8_t> mask(c.count);
+    for (auto& b : mask) b = rng.OneIn(3) ? 0x00 : 0xff;
 
-  simd::AggAccum fast, ref;
-  simd::MaskedAggregate(c.type, col.data(), mask.data(), c.count, &fast);
-  simd::MaskedAggregateScalar(c.type, col.data(), mask.data(), c.count,
-                              &ref);
-  EXPECT_EQ(fast.count, ref.count);
-  EXPECT_DOUBLE_EQ(fast.min, ref.min);
-  EXPECT_DOUBLE_EQ(fast.max, ref.max);
-  const double tol = 1e-9 * (1.0 + std::abs(ref.sum));
-  EXPECT_NEAR(fast.sum, ref.sum, tol);
+    simd::AggAccum fast, ref;
+    simd::MaskedAggregate(c.type, col.data(), mask.data(), c.count, &fast);
+    simd::MaskedAggregateScalar(c.type, col.data(), mask.data(), c.count,
+                                &ref);
+    EXPECT_EQ(fast.count, ref.count) << simd::SimdLevelName(level);
+    EXPECT_DOUBLE_EQ(fast.min, ref.min) << simd::SimdLevelName(level);
+    EXPECT_DOUBLE_EQ(fast.max, ref.max) << simd::SimdLevelName(level);
+    const double tol = 1e-9 * (1.0 + std::abs(ref.sum));
+    EXPECT_NEAR(fast.sum, ref.sum, tol) << simd::SimdLevelName(level);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -208,7 +241,161 @@ TEST(SimdTest, ReportsAvx2Availability) {
   // On the CI machine this is informative; both paths are covered by the
   // reference-equivalence tests either way.
   (void)simd::HasAvx2();
+  (void)simd::HasAvx512();
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tier dispatch: special values and the level API itself.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::vector<std::uint8_t> AsBytes(const std::vector<T>& vals) {
+  std::vector<std::uint8_t> out(vals.size() * sizeof(T));
+  std::memcpy(out.data(), vals.data(), out.size());
+  return out;
+}
+
+/// NaN / infinity semantics must be bit-identical across tiers: NaN
+/// compares false for every ordered op and true for kNe; min/max skip NaN;
+/// the sum propagates NaN. Column length 19 exercises a non-vector-width
+/// tail at both 8- and 16-lane widths.
+TEST(SimdDispatchTest, FloatSpecialValueParityAcrossTiers) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> vals = {0.5f, -1.0f, qnan, inf,  -inf, 3.0f, qnan,
+                             2.5f, -2.5f, inf,  qnan, 0.0f, -0.0f};
+  while (vals.size() < 19) vals.push_back(static_cast<float>(vals.size()));
+  const std::vector<std::uint8_t> col = AsBytes(vals);
+  const auto n = static_cast<std::uint32_t>(vals.size());
+
+  LevelGuard guard;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ASSERT_EQ(simd::SetLevel(level), level);
+    for (CmpOp op : kAllOps) {
+      for (float cv : {0.0f, 2.5f, inf, -inf}) {
+        std::vector<std::uint8_t> got(n, 0xcc), want(n, 0xcc);
+        simd::FilterColumn(ValueType::kFloat, col.data(), n, op,
+                           Value::Float(cv), got.data(), false);
+        simd::FilterColumnScalar(ValueType::kFloat, col.data(), n, op,
+                                 Value::Float(cv), want.data(), false);
+        ASSERT_EQ(got, want) << simd::SimdLevelName(level) << " "
+                             << CmpOpName(op) << " c=" << cv;
+      }
+    }
+
+    // Aggregation with every row selected: min/max skip the NaNs but keep
+    // the infinities; the sum is NaN-poisoned exactly like the scalar ref.
+    std::vector<std::uint8_t> mask(n, 0xff);
+    simd::AggAccum got, want;
+    simd::MaskedAggregate(ValueType::kFloat, col.data(), mask.data(), n,
+                          &got);
+    simd::MaskedAggregateScalar(ValueType::kFloat, col.data(), mask.data(),
+                                n, &want);
+    EXPECT_EQ(got.count, want.count) << simd::SimdLevelName(level);
+    EXPECT_DOUBLE_EQ(got.min, want.min) << simd::SimdLevelName(level);
+    EXPECT_DOUBLE_EQ(got.max, want.max) << simd::SimdLevelName(level);
+    EXPECT_TRUE(std::isnan(got.sum) && std::isnan(want.sum))
+        << simd::SimdLevelName(level);
+
+    // All-false mask: min/max stay at their sentinels on every tier.
+    std::fill(mask.begin(), mask.end(), 0);
+    simd::AggAccum none;
+    simd::MaskedAggregate(ValueType::kFloat, col.data(), mask.data(), n,
+                          &none);
+    EXPECT_EQ(none.count, 0) << simd::SimdLevelName(level);
+    EXPECT_DOUBLE_EQ(none.min, std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(none.max, -std::numeric_limits<double>::infinity());
+  }
+}
+
+/// Integer extremes: INT32_MIN/MAX (the vector tiers' min/max sentinel
+/// values appearing as real data) and UINT32_MAX must aggregate and filter
+/// identically on every tier, including with an all-false mask.
+TEST(SimdDispatchTest, IntegerSaturationParityAcrossTiers) {
+  std::vector<std::int32_t> ivals = {std::numeric_limits<std::int32_t>::max(),
+                                     std::numeric_limits<std::int32_t>::min(),
+                                     0,
+                                     -1,
+                                     1,
+                                     std::numeric_limits<std::int32_t>::max(),
+                                     std::numeric_limits<std::int32_t>::min()};
+  while (ivals.size() < 21) {
+    ivals.push_back(static_cast<std::int32_t>(ivals.size()) - 10);
+  }
+  const std::vector<std::uint8_t> col = AsBytes(ivals);
+  const auto n = static_cast<std::uint32_t>(ivals.size());
+
+  LevelGuard guard;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ASSERT_EQ(simd::SetLevel(level), level);
+    for (CmpOp op : kAllOps) {
+      for (std::int32_t cv : {std::numeric_limits<std::int32_t>::min(),
+                              std::numeric_limits<std::int32_t>::max(), 0}) {
+        std::vector<std::uint8_t> got(n, 0xcc), want(n, 0xcc);
+        simd::FilterColumn(ValueType::kInt32, col.data(), n, op,
+                           Value::Int32(cv), got.data(), false);
+        simd::FilterColumnScalar(ValueType::kInt32, col.data(), n, op,
+                                 Value::Int32(cv), want.data(), false);
+        ASSERT_EQ(got, want) << simd::SimdLevelName(level) << " "
+                             << CmpOpName(op) << " c=" << cv;
+      }
+    }
+
+    for (bool select_all : {true, false}) {
+      std::vector<std::uint8_t> mask(n, select_all ? 0xff : 0x00);
+      simd::AggAccum got, want;
+      simd::MaskedAggregate(ValueType::kInt32, col.data(), mask.data(), n,
+                            &got);
+      simd::MaskedAggregateScalar(ValueType::kInt32, col.data(), mask.data(),
+                                  n, &want);
+      EXPECT_EQ(got.count, want.count) << simd::SimdLevelName(level);
+      EXPECT_DOUBLE_EQ(got.min, want.min) << simd::SimdLevelName(level);
+      EXPECT_DOUBLE_EQ(got.max, want.max) << simd::SimdLevelName(level);
+      EXPECT_DOUBLE_EQ(got.sum, want.sum) << simd::SimdLevelName(level);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, LevelNamesRoundTrip) {
+  for (simd::SimdLevel level :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::kAvx2,
+        simd::SimdLevel::kAvx512}) {
+    simd::SimdLevel parsed;
+    ASSERT_TRUE(simd::ParseSimdLevel(simd::SimdLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  simd::SimdLevel out;
+  EXPECT_FALSE(simd::ParseSimdLevel("sse9", &out));
+  EXPECT_FALSE(simd::ParseSimdLevel(nullptr, &out));
+}
+
+TEST(SimdDispatchTest, SetLevelClampsToSupported) {
+  LevelGuard guard;
+  const simd::SimdLevel max = simd::MaxSupportedLevel();
+  // Requesting the highest tier yields at most what the host supports.
+  EXPECT_EQ(simd::SetLevel(simd::SimdLevel::kAvx512),
+            max >= simd::SimdLevel::kAvx512 ? simd::SimdLevel::kAvx512 : max);
+  // Scalar is always available and always honored.
+  EXPECT_EQ(simd::SetLevel(simd::SimdLevel::kScalar),
+            simd::SimdLevel::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::SimdLevel::kScalar);
+}
+
+TEST(SimdDispatchTest, EnvOverrideRespected) {
+  const char* env = std::getenv("AIM_SIMD_LEVEL");
+  if (env == nullptr) {
+    GTEST_SKIP() << "AIM_SIMD_LEVEL not set (CI sets it per dispatch leg)";
+  }
+  simd::SimdLevel requested;
+  if (!simd::ParseSimdLevel(env, &requested)) {
+    GTEST_SKIP() << "unrecognized AIM_SIMD_LEVEL spelling: " << env;
+  }
+  const simd::SimdLevel expect =
+      requested > simd::MaxSupportedLevel() ? simd::MaxSupportedLevel()
+                                            : requested;
+  // kStartupLevel snapshots ActiveLevel before any test forces a tier.
+  EXPECT_EQ(kStartupLevel, expect);
 }
 
 }  // namespace
